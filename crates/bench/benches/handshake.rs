@@ -1,0 +1,188 @@
+//! Handshake benchmarks — quantifying the *performance* side of the
+//! paper's tradeoff: how much a full handshake actually costs versus the
+//! abbreviated resumptions and the ephemeral-value-reuse shortcut.
+//!
+//! The paper's thesis presupposes these gaps: operators deploy the
+//! shortcuts because full handshakes are expensive. These benchmarks
+//! reproduce the incentive.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use std::sync::Arc;
+use ts_crypto::drbg::HmacDrbg;
+use ts_crypto::rsa::RsaPrivateKey;
+use ts_tls::config::{ClientConfig, ResumptionOffer, ServerConfig, ServerIdentity};
+use ts_tls::ephemeral::{EphemeralCache, EphemeralPolicy};
+use ts_tls::pump::pump;
+use ts_tls::suites::CipherSuite;
+use ts_tls::ticket::{RotationPolicy, SharedStekManager, StekManager, TicketFormat};
+use ts_tls::{ClientConn, ServerConn};
+use ts_x509::{Certificate, CertificateParams, DistinguishedName, RootStore, Validity};
+
+struct World {
+    store: Arc<RootStore>,
+    config: ServerConfig,
+}
+
+fn world(eph_policy: EphemeralPolicy) -> World {
+    let mut rng = HmacDrbg::new(b"bench-world");
+    let ca_key = RsaPrivateKey::generate(512, &mut rng).unwrap();
+    let ca_name = DistinguishedName::cn("Bench CA");
+    let ca = Certificate::issue(
+        &CertificateParams {
+            serial: 1,
+            subject: ca_name.clone(),
+            validity: Validity { not_before: 0, not_after: u32::MAX as u64 },
+            dns_names: vec![],
+            is_ca: true,
+        },
+        &ca_key.public,
+        &ca_name,
+        &ca_key,
+    );
+    let key = RsaPrivateKey::generate(512, &mut rng).unwrap();
+    let leaf = Certificate::issue(
+        &CertificateParams {
+            serial: 2,
+            subject: DistinguishedName::cn("bench.sim"),
+            validity: Validity { not_before: 0, not_after: u32::MAX as u64 },
+            dns_names: vec!["bench.sim".into()],
+            is_ca: false,
+        },
+        &key.public,
+        &ca_name,
+        &ca_key,
+    );
+    let mut store = RootStore::new();
+    store.add_root(ca);
+    let identity = Arc::new(ServerIdentity { chain: vec![leaf], key });
+    let eph = EphemeralCache::new(
+        eph_policy,
+        ts_crypto::dh::DhGroup::Sim256,
+        HmacDrbg::new(b"bench-eph"),
+    );
+    let mut config = ServerConfig::new(identity, eph);
+    config.tickets = Some(SharedStekManager::new(StekManager::new(
+        RotationPolicy::Static,
+        TicketFormat::Rfc5077,
+        HmacDrbg::new(b"bench-stek"),
+        0,
+    )));
+    config.ticket_accept_window = 86_400;
+    World { store: Arc::new(store), config }
+}
+
+fn full_handshake(w: &World, suite: CipherSuite, seed: u64) -> (ClientConn, ServerConn) {
+    let mut ccfg = ClientConfig::new(w.store.clone(), "bench.sim", 100);
+    ccfg.suites = vec![suite];
+    let mut client = ClientConn::new(ccfg, HmacDrbg::from_seed_label(seed, "c"));
+    let mut server =
+        ServerConn::new(w.config.clone(), HmacDrbg::from_seed_label(seed, "s"), 100);
+    pump(&mut client, &mut server).expect("handshake");
+    (client, server)
+}
+
+fn bench_full_handshakes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_handshake");
+    g.sample_size(20);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    for suite in [
+        CipherSuite::EcdheRsaChaCha20Poly1305,
+        CipherSuite::DheRsaAes128CbcSha256,
+        CipherSuite::RsaAes128CbcSha256,
+    ] {
+        let w = world(EphemeralPolicy::FreshPerHandshake);
+        let mut seed = 0u64;
+        g.bench_function(format!("{suite:?}"), |b| {
+            b.iter(|| {
+                seed += 1;
+                full_handshake(&w, suite, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_resumption_speedup(c: &mut Criterion) {
+    // The headline comparison: full vs ticket-resumed vs ID-resumed.
+    let mut g = c.benchmark_group("resumption_vs_full");
+    g.sample_size(20);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    let w = world(EphemeralPolicy::FreshPerHandshake);
+    let (client, _server) = full_handshake(&w, CipherSuite::EcdheRsaChaCha20Poly1305, 1);
+    let summary = client.summary().unwrap();
+    let ticket = summary.new_ticket.clone().unwrap().ticket;
+    let session_id = summary.server_session_id.clone();
+    let state = summary.session.clone();
+
+    let mut seed = 1000u64;
+    g.bench_function("full", |b| {
+        b.iter(|| {
+            seed += 1;
+            full_handshake(&w, CipherSuite::EcdheRsaChaCha20Poly1305, seed)
+        })
+    });
+    g.bench_function("ticket_resumed", |b| {
+        b.iter(|| {
+            seed += 1;
+            let mut ccfg = ClientConfig::new(w.store.clone(), "bench.sim", 150);
+            ccfg.resumption = ResumptionOffer {
+                session: None,
+                ticket: Some((ticket.clone(), state.clone())),
+            };
+            let mut client = ClientConn::new(ccfg, HmacDrbg::from_seed_label(seed, "c"));
+            let mut server =
+                ServerConn::new(w.config.clone(), HmacDrbg::from_seed_label(seed, "s"), 150);
+            pump(&mut client, &mut server).expect("resumes");
+            assert!(client.is_established());
+        })
+    });
+    g.bench_function("session_id_resumed", |b| {
+        b.iter(|| {
+            seed += 1;
+            let mut ccfg = ClientConfig::new(w.store.clone(), "bench.sim", 150);
+            ccfg.resumption = ResumptionOffer {
+                session: Some((session_id.clone(), state.clone())),
+                ticket: None,
+            };
+            let mut client = ClientConn::new(ccfg, HmacDrbg::from_seed_label(seed, "c"));
+            let mut server =
+                ServerConn::new(w.config.clone(), HmacDrbg::from_seed_label(seed, "s"), 150);
+            pump(&mut client, &mut server).expect("resumes");
+            assert!(client.is_established());
+        })
+    });
+    g.finish();
+}
+
+fn bench_ephemeral_reuse_shortcut(c: &mut Criterion) {
+    // §2.3's incentive: reusing the server's DHE value skips a modexp.
+    let mut g = c.benchmark_group("ephemeral_reuse");
+    g.sample_size(20);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    for (label, policy) in [
+        ("fresh_per_handshake", EphemeralPolicy::FreshPerHandshake),
+        ("reuse_forever", EphemeralPolicy::ReuseForever),
+    ] {
+        let w = world(policy);
+        let mut seed = 5000u64;
+        g.bench_function(format!("dhe_{label}"), |b| {
+            b.iter(|| {
+                seed += 1;
+                full_handshake(&w, CipherSuite::DheRsaAes128CbcSha256, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_handshakes,
+    bench_resumption_speedup,
+    bench_ephemeral_reuse_shortcut
+);
+criterion_main!(benches);

@@ -1,0 +1,226 @@
+//! `repro` — regenerate every table and figure from the paper.
+//!
+//! ```text
+//! repro [EXPERIMENT] [--size N] [--seed S] [--days D] [--step SECS]
+//!
+//! EXPERIMENT: all (default) | table1 | table2 | table3 | table4 |
+//!             table5 | table6 | table7 | fig1 | fig2 | fig3 | fig4 |
+//!             fig5 | fig6 | fig7 | fig8 | google | demo | tls13 | ablation
+//! ```
+//!
+//! Absolute counts scale with `--size`; the percentages, orderings and
+//! crossovers are the reproduction targets (see EXPERIMENTS.md).
+
+use std::time::Instant;
+use ts_bench::{
+    exp_ablation, exp_campaign, exp_exposure, exp_lifetimes, exp_sharing, exp_support,
+    exp_target, exp_tls13, Context,
+};
+use ts_scanner::probe::ProbeSchedule;
+
+struct Args {
+    experiment: String,
+    size: usize,
+    seed: u64,
+    days: u64,
+    step: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        experiment: "all".into(),
+        size: 8_000,
+        seed: 2016,
+        days: 63,
+        step: 300, // the paper's probe cadence
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--size" => {
+                i += 1;
+                args.size = argv[i].parse().expect("--size N");
+            }
+            "--seed" => {
+                i += 1;
+                args.seed = argv[i].parse().expect("--seed S");
+            }
+            "--days" => {
+                i += 1;
+                args.days = argv[i].parse().expect("--days D");
+            }
+            "--step" => {
+                i += 1;
+                args.step = argv[i].parse().expect("--step SECS");
+            }
+            "--help" | "-h" => {
+                println!(
+                    "repro [EXPERIMENT] [--size N] [--seed S] [--days D] [--step SECS]\n\
+                     experiments: all table1..table7 fig1..fig8 google demo tls13 ablation"
+                );
+                std::process::exit(0);
+            }
+            other => args.experiment = other.to_string(),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let t0 = Instant::now();
+    eprintln!(
+        "[repro] building population: size={} seed={} days={}",
+        args.size, args.seed, args.days
+    );
+    let mut cfg = ts_population::PopulationConfig::new(args.seed, args.size);
+    cfg.study_days = args.days;
+    let ctx = Context::from_config(cfg);
+    eprintln!(
+        "[repro] population ready in {:.1}s: {} core domains, {} trusted, {} terminators",
+        t0.elapsed().as_secs_f64(),
+        ctx.pop.churn.core().len(),
+        ctx.core_trusted.len(),
+        ctx.pop.terminators.len(),
+    );
+    let schedule = ProbeSchedule::coarse(args.step, 24 * 3_600);
+
+    let run = |name: &str| args.experiment == "all" || args.experiment == name;
+    let mut ran = false;
+    let section = |title: &str| {
+        println!("\n{}", "=".repeat(74));
+        println!("{title}");
+        println!("{}", "=".repeat(74));
+    };
+
+    if run("table1") {
+        ran = true;
+        let t = Instant::now();
+        section("TABLE 1");
+        println!("{}", exp_support::table1_support(&ctx).report);
+        eprintln!("[repro] table1 in {:.1}s", t.elapsed().as_secs_f64());
+    }
+    if run("fig1") {
+        ran = true;
+        let t = Instant::now();
+        section("FIGURE 1");
+        println!("{}", exp_lifetimes::fig1_session_id_lifetime(&ctx, &schedule).report);
+        eprintln!("[repro] fig1 in {:.1}s", t.elapsed().as_secs_f64());
+    }
+    if run("fig2") {
+        ran = true;
+        let t = Instant::now();
+        section("FIGURE 2");
+        println!("{}", exp_lifetimes::fig2_ticket_lifetime(&ctx, &schedule).report);
+        eprintln!("[repro] fig2 in {:.1}s", t.elapsed().as_secs_f64());
+    }
+    let campaign_needed =
+        ["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table2", "table3", "table4", "tls13"]
+            .iter()
+            .any(|e| run(e));
+    if campaign_needed {
+        let t = Instant::now();
+        let campaign = ctx.campaign();
+        eprintln!(
+            "[repro] daily campaign: {} attempts over {} days in {:.1}s",
+            campaign.attempts,
+            campaign.days,
+            t.elapsed().as_secs_f64(),
+        );
+    }
+    if run("fig3") {
+        ran = true;
+        section("FIGURE 3");
+        println!("{}", exp_campaign::fig3_stek_lifetime(&ctx).report);
+    }
+    if run("fig4") {
+        ran = true;
+        section("FIGURE 4");
+        println!("{}", exp_campaign::fig4_stek_by_rank(&ctx));
+    }
+    if run("fig5") {
+        ran = true;
+        section("FIGURE 5");
+        println!("{}", exp_campaign::fig5_kex_reuse(&ctx).report);
+    }
+    if run("table2") {
+        ran = true;
+        section("TABLE 2");
+        println!("{}", exp_campaign::table2_stek_reuse(&ctx));
+    }
+    if run("table3") {
+        ran = true;
+        section("TABLE 3");
+        println!("{}", exp_campaign::table3_dhe_reuse(&ctx));
+    }
+    if run("table4") {
+        ran = true;
+        section("TABLE 4");
+        println!("{}", exp_campaign::table4_ecdhe_reuse(&ctx));
+    }
+    if run("table5") {
+        ran = true;
+        let t = Instant::now();
+        section("TABLE 5");
+        println!("{}", exp_sharing::table5_cache_groups(&ctx).report);
+        eprintln!("[repro] table5 in {:.1}s", t.elapsed().as_secs_f64());
+    }
+    if run("table6") {
+        ran = true;
+        let t = Instant::now();
+        section("TABLE 6");
+        println!("{}", exp_sharing::table6_stek_groups(&ctx).report);
+        eprintln!("[repro] table6 in {:.1}s", t.elapsed().as_secs_f64());
+    }
+    if run("table7") {
+        ran = true;
+        let t = Instant::now();
+        section("TABLE 7");
+        println!("{}", exp_sharing::table7_dh_groups(&ctx).report);
+        eprintln!("[repro] table7 in {:.1}s", t.elapsed().as_secs_f64());
+    }
+    if run("fig6") || run("fig7") {
+        ran = true;
+        section("FIGURES 6 & 7");
+        println!("{}", exp_sharing::fig6_fig7_treemaps(&ctx));
+    }
+    if run("fig8") {
+        ran = true;
+        let t = Instant::now();
+        section("FIGURE 8");
+        println!("{}", exp_exposure::fig8_exposure(&ctx, &schedule).report);
+        eprintln!("[repro] fig8 in {:.1}s", t.elapsed().as_secs_f64());
+    }
+    if run("google") {
+        ran = true;
+        section("§7.2 TARGET ANALYSIS");
+        println!("{}", exp_target::google_target_analysis(&ctx));
+    }
+    if run("demo") {
+        ran = true;
+        section("§6.1 STEK THEFT DEMO");
+        println!("{}", exp_target::stek_theft_demo(&ctx));
+    }
+    if run("tls13") {
+        ran = true;
+        section("§8.1 TLS 1.3 OUTLOOK");
+        println!("{}", exp_tls13::tls13_outlook(&ctx));
+    }
+    if args.experiment == "ablation" {
+        // Not part of `all`: ablations are follow-on analyses, not paper
+        // artefacts.
+        ran = true;
+        section("ABLATION: STEK ROTATION SWEEP");
+        println!("{}", exp_ablation::rotation_sweep(&ctx));
+        section("ABLATION: PROBE-STEP SENSITIVITY");
+        println!("{}", exp_ablation::probe_step_sensitivity(&ctx));
+    }
+
+    if !ran {
+        eprintln!("unknown experiment '{}'; try --help", args.experiment);
+        std::process::exit(2);
+    }
+    eprintln!("[repro] total {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,110 @@
+//! Figure 8 — overall vulnerability windows (§6.4).
+//!
+//! Combines the three mechanisms per domain: the STEK span (from the daily
+//! campaign), the session-cache window (from lifetime probes), and the DH
+//! reuse span. A domain's exposure is the maximum.
+
+use crate::{Context, DAY, HOUR};
+use ts_core::exposure::{ExposureKind, ExposureTable};
+use ts_core::report::{compare_line, fmt_duration, pct, TextTable};
+use ts_scanner::probe::ProbeSchedule;
+
+/// Figure 8 output.
+pub struct Fig8 {
+    /// The combined exposure table.
+    pub table: ExposureTable,
+    /// (>24 h, >7 d, >30 d) fractions.
+    pub headline: (f64, f64, f64),
+    /// Rendered report.
+    pub report: String,
+}
+
+/// Compute Figure 8. `probe_schedule` bounds the session-cache window
+/// measurement (coarse steps are fine: windows cluster on config spikes).
+pub fn fig8_exposure(ctx: &Context, probe_schedule: &ProbeSchedule) -> Fig8 {
+    let campaign = ctx.campaign();
+    let spans = crate::exp_campaign::spans(campaign);
+    let mut table = ExposureTable::new();
+
+    // Session tickets: the STEK's observed lifetime.
+    for (domain, ds) in spans.stek.domain_spans() {
+        table.record(&domain, ExposureKind::Ticket, ds.max_span_days * DAY);
+    }
+    // Diffie-Hellman reuse: value lifetime (either flavour).
+    for (domain, ds) in spans.dhe.domain_spans() {
+        if ds.max_span_days > 1 || ds.distinct_ids < ds.days_seen {
+            table.record(&domain, ExposureKind::DhReuse, ds.max_span_days * DAY);
+        }
+    }
+    for (domain, ds) in spans.ecdhe.domain_spans() {
+        if ds.max_span_days > 1 || ds.distinct_ids < ds.days_seen {
+            table.record(&domain, ExposureKind::DhReuse, ds.max_span_days * DAY);
+        }
+    }
+    // Session caches: measured acceptance lifetime.
+    let fig1 = crate::exp_lifetimes::fig1_session_id_lifetime(ctx, probe_schedule);
+    for probe in &fig1.probes {
+        if let Some(delay) = probe.max_delay {
+            table.record(&probe.domain, ExposureKind::SessionCache, delay);
+        }
+    }
+
+    let headline = table.headline_fractions();
+    let cdf = table.combined_cdf();
+    let mut report = String::new();
+    report.push_str("Figure 8 — Overall Vulnerability Windows (combined CDF)\n");
+    let mut t = TextTable::new(&["window ≤", "CDF"]);
+    for bp in [
+        5 * 60,
+        HOUR,
+        10 * HOUR,
+        24 * HOUR,
+        7 * DAY,
+        30 * DAY,
+        63 * DAY,
+    ] {
+        t.row(&[fmt_duration(bp), pct(cdf.fraction_le(bp))]);
+    }
+    report.push_str(&t.render());
+    report.push('\n');
+    report.push_str(&compare_line("window >24h", "38%", &pct(headline.0)));
+    report.push('\n');
+    report.push_str(&compare_line("window >7d", "22%", &pct(headline.1)));
+    report.push('\n');
+    report.push_str(&compare_line("window >30d", "10%", &pct(headline.2)));
+    report.push('\n');
+    let counts = table.dominant_counts();
+    report.push_str(&format!(
+        "dominant mechanism: tickets {} / caches {} / DH {} (paper: tickets dominate)\n",
+        counts.get(&ExposureKind::Ticket).copied().unwrap_or(0),
+        counts.get(&ExposureKind::SessionCache).copied().unwrap_or(0),
+        counts.get(&ExposureKind::DhReuse).copied().unwrap_or(0),
+    ));
+    Fig8 { table, headline, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_headline_shape() {
+        let mut cfg = ts_population::PopulationConfig::new(19, 400);
+        cfg.flakiness = 0.0;
+        cfg.study_days = 35;
+        let ctx = Context::from_config(cfg);
+        let fig = fig8_exposure(&ctx, &ProbeSchedule::coarse(2 * HOUR, 24 * HOUR));
+        let (d1, d7, d30) = fig.headline;
+        // The paper's ordering and rough magnitudes: a large >24h mass,
+        // smaller >7d, smaller still >30d — all strictly positive.
+        assert!(d1 > d7 && d7 > d30, "monotone: {d1} {d7} {d30}");
+        assert!(d1 > 0.2 && d1 < 0.7, ">24h fraction {d1}");
+        assert!(d30 > 0.02 && d30 < 0.35, ">30d fraction {d30}");
+        // Tickets dominate the exposure (paper §6.1: "most worrisome").
+        let counts = fig.table.dominant_counts();
+        let tickets = counts.get(&ExposureKind::Ticket).copied().unwrap_or(0);
+        let dh = counts.get(&ExposureKind::DhReuse).copied().unwrap_or(0);
+        assert!(tickets > dh, "tickets {tickets} vs dh {dh}");
+        assert!(fig.report.contains("Figure 8"));
+    }
+}

@@ -1,0 +1,141 @@
+//! # ts-bench — the experiment harness
+//!
+//! One function per paper artefact (Tables 1–7, Figures 1–8, the §7.2
+//! target analysis), shared between the `repro` binary and the Criterion
+//! benches. Every experiment runs against a seeded [`Context`] and returns
+//! both structured results and a rendered report with paper-vs-measured
+//! columns.
+//!
+//! The heavyweight scans (daily campaign, burst scans, probes) fan out
+//! across threads with crossbeam; results are deterministic for a fixed
+//! (seed, size, worker-partitioning) triple because every worker derives
+//! its DRBG from its chunk index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exp_ablation;
+pub mod exp_campaign;
+pub mod exp_exposure;
+pub mod exp_lifetimes;
+pub mod exp_sharing;
+pub mod exp_support;
+pub mod exp_target;
+pub mod exp_tls13;
+
+use std::sync::OnceLock;
+use ts_population::{Population, PopulationConfig};
+
+/// Seconds per day.
+pub const DAY: u64 = 86_400;
+/// Seconds per hour.
+pub const HOUR: u64 = 3_600;
+
+/// A built world plus lazily computed shared artefacts.
+///
+/// Simulated virtual time only moves forward inside a `Population` (STEK
+/// managers rotate monotonically), so experiments that scan *different*
+/// virtual time windows must not share one mutable world: each experiment
+/// builds its own via [`Context::fresh_pop`] — byte-identical, since the
+/// build is a pure function of the config.
+pub struct Context {
+    /// The population config every experiment world is built from.
+    pub config: PopulationConfig,
+    /// A read-mostly reference world (ground truth, DNS, ranks).
+    pub pop: Population,
+    /// Browser-trusted stable-core domains (the paper's 291,643 analogue).
+    pub core_trusted: Vec<String>,
+    campaign: OnceLock<exp_campaign::Campaign>,
+}
+
+impl Context {
+    /// Build a context at the given scale.
+    pub fn new(seed: u64, size: usize) -> Self {
+        Self::from_config(PopulationConfig::new(seed, size))
+    }
+
+    /// Build with a custom population config.
+    pub fn from_config(cfg: PopulationConfig) -> Self {
+        let pop = Population::build(cfg.clone());
+        let core_trusted = pop.core_trusted();
+        Context { config: cfg, pop, core_trusted, campaign: OnceLock::new() }
+    }
+
+    /// A pristine, byte-identical world for one experiment's exclusive use.
+    pub fn fresh_pop(&self) -> Population {
+        Population::build(self.config.clone())
+    }
+
+    /// The shared 63-day campaign (run once, reused by Figures 3–5 and
+    /// Tables 2–4).
+    pub fn campaign(&self) -> &exp_campaign::Campaign {
+        self.campaign
+            .get_or_init(|| exp_campaign::run_daily_campaign(self))
+    }
+}
+
+/// Deterministic parallel map: split `items` into chunks, run `f(chunk_id,
+/// chunk)` on worker threads, concatenate in chunk order.
+pub fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    workers: usize,
+    f: impl Fn(usize, &[T]) -> Vec<R> + Sync,
+) -> Vec<R> {
+    let workers = workers.max(1);
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let chunk_size = items.len().div_ceil(workers);
+    let chunks: Vec<(usize, &[T])> = items.chunks(chunk_size).enumerate().collect();
+    let mut out: Vec<(usize, Vec<R>)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|(id, chunk)| {
+                let f = &f;
+                let id = *id;
+                let chunk = *chunk;
+                scope.spawn(move |_| (id, f(id, chunk)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    })
+    .expect("scope");
+    out.sort_by_key(|(id, _)| *id);
+    out.into_iter().flat_map(|(_, v)| v).collect()
+}
+
+/// Default worker count.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u32> = (0..100).collect();
+        let doubled = parallel_map(&items, 7, |_id, chunk| {
+            chunk.iter().map(|x| x * 2).collect()
+        });
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, 4, |_, c| c.to_vec()).is_empty());
+        let one = vec![9u32];
+        assert_eq!(parallel_map(&one, 16, |_, c| c.to_vec()), vec![9]);
+    }
+
+    #[test]
+    fn context_builds_and_caches_campaign() {
+        let ctx = Context::new(3, 200);
+        assert!(!ctx.core_trusted.is_empty());
+        let c1 = ctx.campaign() as *const _;
+        let c2 = ctx.campaign() as *const _;
+        assert_eq!(c1, c2, "campaign computed once");
+    }
+}

@@ -1,0 +1,144 @@
+//! Empirical CDFs for the paper's figures.
+
+/// An empirical cumulative distribution over `u64` samples.
+#[derive(Debug, Clone, Default)]
+pub struct Cdf {
+    sorted: Vec<u64>,
+}
+
+impl Cdf {
+    /// Build from samples (any order).
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        samples.sort_unstable();
+        Cdf { sorted: samples }
+    }
+
+    /// Sample count.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples ≤ `x` (the CDF value). 0.0 for empty.
+    pub fn fraction_le(&self, x: u64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Fraction of samples ≥ `x` (the survival function at x).
+    pub fn fraction_ge(&self, x: u64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let below = self.sorted.partition_point(|&v| v < x);
+        (self.sorted.len() - below) as f64 / self.sorted.len() as f64
+    }
+
+    /// Count of samples ≥ `x`.
+    pub fn count_ge(&self, x: u64) -> usize {
+        let below = self.sorted.partition_point(|&v| v < x);
+        self.sorted.len() - below
+    }
+
+    /// Quantile (0.0..=1.0) by nearest-rank. None if empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.sorted.len() - 1);
+        Some(self.sorted[idx])
+    }
+
+    /// Median by nearest rank.
+    pub fn median(&self) -> Option<u64> {
+        self.quantile(0.5)
+    }
+
+    /// The CDF evaluated at each breakpoint: `(x, fraction ≤ x)` rows —
+    /// the series a figure plots.
+    pub fn series(&self, breakpoints: &[u64]) -> Vec<(u64, f64)> {
+        breakpoints.iter().map(|&x| (x, self.fraction_le(x))).collect()
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Option<u64> {
+        self.sorted.first().copied()
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<u64> {
+        self.sorted.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_on_small_set() {
+        let c = Cdf::from_samples(vec![1, 2, 2, 3, 10]);
+        assert_eq!(c.len(), 5);
+        assert!((c.fraction_le(0) - 0.0).abs() < 1e-12);
+        assert!((c.fraction_le(1) - 0.2).abs() < 1e-12);
+        assert!((c.fraction_le(2) - 0.6).abs() < 1e-12);
+        assert!((c.fraction_le(100) - 1.0).abs() < 1e-12);
+        assert!((c.fraction_ge(2) - 0.8).abs() < 1e-12);
+        assert!((c.fraction_ge(11) - 0.0).abs() < 1e-12);
+        assert_eq!(c.count_ge(3), 2);
+    }
+
+    #[test]
+    fn quantiles_and_median() {
+        let c = Cdf::from_samples(vec![10, 20, 30, 40, 50]);
+        assert_eq!(c.median(), Some(30));
+        assert_eq!(c.quantile(0.0), Some(10));
+        assert_eq!(c.quantile(1.0), Some(50));
+        assert_eq!(c.quantile(0.2), Some(10));
+        assert_eq!(c.quantile(0.21), Some(20));
+        let even = Cdf::from_samples(vec![1, 2, 3, 4]);
+        assert_eq!(even.median(), Some(2), "nearest rank");
+    }
+
+    #[test]
+    fn empty_cdf_behaviour() {
+        let c = Cdf::from_samples(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.fraction_le(5), 0.0);
+        assert_eq!(c.fraction_ge(5), 0.0);
+        assert_eq!(c.median(), None);
+        assert_eq!(c.min(), None);
+        assert_eq!(c.series(&[1, 2]), vec![(1, 0.0), (2, 0.0)]);
+    }
+
+    #[test]
+    fn monotone_nondecreasing_series() {
+        let c = Cdf::from_samples(vec![5, 1, 9, 2, 2, 7, 100, 0]);
+        let series = c.series(&[0, 1, 2, 3, 5, 7, 9, 50, 100, 1000]);
+        for w in series.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF must be monotone: {series:?}");
+        }
+        assert_eq!(series.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn le_and_ge_partition() {
+        let c = Cdf::from_samples(vec![1, 3, 3, 8]);
+        for x in 0..10 {
+            let le = c.fraction_le(x);
+            let gt = 1.0 - le;
+            let ge_next = c.fraction_ge(x + 1);
+            assert!((gt - ge_next).abs() < 1e-12, "x={x}");
+        }
+    }
+}

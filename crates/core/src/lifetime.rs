@@ -1,0 +1,226 @@
+//! First/last-seen span estimation (§4.3, §4.4).
+//!
+//! The paper's estimator: a (domain, identifier) pair's lifetime is the
+//! span between the first and last day the pair was sighted, *inclusive*.
+//! Intermediate days with a different identifier are attributed to scan
+//! jitter (A-record selection, load-balancer affinity, missed
+//! connections), because static keys don't flip back and forth and random
+//! identifiers don't collide.
+
+use crate::observations::{KexKind, KexSighting, TicketSighting};
+use std::collections::HashMap;
+
+/// Span statistics for one domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainSpans {
+    /// Longest identifier span, in days (first-to-last inclusive).
+    pub max_span_days: u64,
+    /// Number of distinct identifiers sighted.
+    pub distinct_ids: usize,
+    /// Number of days with at least one sighting.
+    pub days_seen: usize,
+}
+
+/// Accumulates sightings and computes per-domain spans.
+#[derive(Debug, Default)]
+pub struct SpanEstimator {
+    // (domain, id) -> (first_day, last_day)
+    ranges: HashMap<(String, String), (u64, u64)>,
+    // domain -> set of days sighted (small sorted vec)
+    days: HashMap<String, Vec<u64>>,
+}
+
+impl SpanEstimator {
+    /// Empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sighting of `id` at `domain` on `day`.
+    pub fn record(&mut self, domain: &str, id: &str, day: u64) {
+        let entry = self
+            .ranges
+            .entry((domain.to_string(), id.to_string()))
+            .or_insert((day, day));
+        entry.0 = entry.0.min(day);
+        entry.1 = entry.1.max(day);
+        let days = self.days.entry(domain.to_string()).or_default();
+        if let Err(pos) = days.binary_search(&day) {
+            days.insert(pos, day);
+        }
+    }
+
+    /// Ingest ticket sightings.
+    pub fn record_tickets<'a>(&mut self, sightings: impl IntoIterator<Item = &'a TicketSighting>) {
+        for s in sightings {
+            self.record(&s.domain, &s.stek_id, s.day);
+        }
+    }
+
+    /// Ingest key-exchange sightings of one flavour.
+    pub fn record_kex<'a>(
+        &mut self,
+        sightings: impl IntoIterator<Item = &'a KexSighting>,
+        kex: KexKind,
+    ) {
+        for s in sightings {
+            if s.kex == kex {
+                self.record(&s.domain, &s.value_fp, s.day);
+            }
+        }
+    }
+
+    /// Per-domain span statistics.
+    pub fn domain_spans(&self) -> HashMap<String, DomainSpans> {
+        let mut per_domain: HashMap<String, (u64, usize)> = HashMap::new();
+        for ((domain, _id), &(first, last)) in &self.ranges {
+            let span = last - first + 1;
+            let entry = per_domain.entry(domain.clone()).or_insert((0, 0));
+            entry.0 = entry.0.max(span);
+            entry.1 += 1;
+        }
+        per_domain
+            .into_iter()
+            .map(|(domain, (max_span_days, distinct_ids))| {
+                let days_seen = self.days.get(&domain).map(|d| d.len()).unwrap_or(0);
+                (domain, DomainSpans { max_span_days, distinct_ids, days_seen })
+            })
+            .collect()
+    }
+
+    /// Span of one specific (domain, id) pair.
+    pub fn span_of(&self, domain: &str, id: &str) -> Option<u64> {
+        self.ranges
+            .get(&(domain.to_string(), id.to_string()))
+            .map(|&(first, last)| last - first + 1)
+    }
+
+    /// Domains whose longest span is at least `days`, sorted by span
+    /// descending then name.
+    pub fn domains_with_span_at_least(&self, days: u64) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .domain_spans()
+            .into_iter()
+            .filter(|(_, s)| s.max_span_days >= days)
+            .map(|(d, s)| (d, s.max_span_days))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// All per-domain max spans (for CDF building).
+    pub fn max_spans(&self) -> Vec<u64> {
+        self.domain_spans().values().map(|s| s.max_span_days).collect()
+    }
+
+    /// Number of (domain, id) pairs tracked.
+    pub fn pair_count(&self) -> usize {
+        self.ranges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_day_span_is_one() {
+        let mut e = SpanEstimator::new();
+        e.record("a.sim", "k1", 5);
+        assert_eq!(e.span_of("a.sim", "k1"), Some(1));
+        let spans = e.domain_spans();
+        assert_eq!(spans["a.sim"].max_span_days, 1);
+        assert_eq!(spans["a.sim"].distinct_ids, 1);
+    }
+
+    #[test]
+    fn first_to_last_inclusive() {
+        let mut e = SpanEstimator::new();
+        e.record("a.sim", "k1", 0);
+        e.record("a.sim", "k1", 62);
+        assert_eq!(e.span_of("a.sim", "k1"), Some(63), "whole study");
+    }
+
+    #[test]
+    fn jitter_days_bridged() {
+        // The paper's key property: an intermediate sighting of a
+        // different id (load-balancer jitter) does not split the span.
+        let mut e = SpanEstimator::new();
+        e.record("a.sim", "k1", 0);
+        e.record("a.sim", "other", 5);
+        e.record("a.sim", "k1", 10);
+        assert_eq!(e.span_of("a.sim", "k1"), Some(11));
+        let spans = e.domain_spans();
+        assert_eq!(spans["a.sim"].max_span_days, 11);
+        assert_eq!(spans["a.sim"].distinct_ids, 2);
+        assert_eq!(spans["a.sim"].days_seen, 3);
+    }
+
+    #[test]
+    fn missed_scan_days_bridged() {
+        let mut e = SpanEstimator::new();
+        e.record("a.sim", "k1", 0);
+        // days 1-6 missed entirely (server unresponsive)
+        e.record("a.sim", "k1", 7);
+        assert_eq!(e.span_of("a.sim", "k1"), Some(8));
+    }
+
+    #[test]
+    fn per_domain_max_over_multiple_ids() {
+        let mut e = SpanEstimator::new();
+        // Rotating daily: spans of 1 each.
+        for day in 0..10 {
+            e.record("daily.sim", &format!("key{day}"), day);
+        }
+        // One long key.
+        e.record("static.sim", "k", 0);
+        e.record("static.sim", "k", 29);
+        let spans = e.domain_spans();
+        assert_eq!(spans["daily.sim"].max_span_days, 1);
+        assert_eq!(spans["daily.sim"].distinct_ids, 10);
+        assert_eq!(spans["static.sim"].max_span_days, 30);
+    }
+
+    #[test]
+    fn domains_with_span_at_least_sorted() {
+        let mut e = SpanEstimator::new();
+        e.record("long.sim", "k", 0);
+        e.record("long.sim", "k", 62);
+        e.record("mid.sim", "k", 0);
+        e.record("mid.sim", "k", 9);
+        e.record("short.sim", "k", 0);
+        let v = e.domains_with_span_at_least(7);
+        assert_eq!(v, vec![("long.sim".to_string(), 63), ("mid.sim".to_string(), 10)]);
+        assert_eq!(e.domains_with_span_at_least(64), vec![]);
+    }
+
+    #[test]
+    fn same_id_different_domains_tracked_separately() {
+        let mut e = SpanEstimator::new();
+        e.record("a.sim", "shared", 0);
+        e.record("a.sim", "shared", 5);
+        e.record("b.sim", "shared", 3);
+        assert_eq!(e.span_of("a.sim", "shared"), Some(6));
+        assert_eq!(e.span_of("b.sim", "shared"), Some(1));
+        assert_eq!(e.pair_count(), 2);
+    }
+
+    #[test]
+    fn ingest_helpers() {
+        use crate::observations::{KexKind, KexSighting, TicketSighting};
+        let tickets = vec![
+            TicketSighting { domain: "t.sim".into(), day: 0, stek_id: "aa".into(), lifetime_hint: 0 },
+            TicketSighting { domain: "t.sim".into(), day: 4, stek_id: "aa".into(), lifetime_hint: 0 },
+        ];
+        let kex = vec![
+            KexSighting { domain: "k.sim".into(), day: 0, kex: KexKind::Dhe, value_fp: "ff".into() },
+            KexSighting { domain: "k.sim".into(), day: 2, kex: KexKind::Ecdhe, value_fp: "ff".into() },
+        ];
+        let mut e = SpanEstimator::new();
+        e.record_tickets(&tickets);
+        assert_eq!(e.span_of("t.sim", "aa"), Some(5));
+        let mut e = SpanEstimator::new();
+        e.record_kex(&kex, KexKind::Dhe);
+        assert_eq!(e.span_of("k.sim", "ff"), Some(1), "only DHE ingested");
+    }
+}

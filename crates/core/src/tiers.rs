@@ -1,0 +1,79 @@
+//! Rank tiers (Figure 4: STEK lifetime by Alexa rank).
+
+use crate::cdf::Cdf;
+use std::collections::HashMap;
+
+/// A rank tier: domains with rank ≤ `limit`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tier {
+    /// Human label ("Top 100").
+    pub label: &'static str,
+    /// Inclusive rank limit.
+    pub limit: usize,
+}
+
+/// The paper's tiers, trimmed to the population size (a 20 K-domain
+/// simulation has no "Top 1M" tier distinct from "Top 20K").
+pub fn tiers_for_population(size: usize) -> Vec<Tier> {
+    let all = [
+        Tier { label: "Top 100", limit: 100 },
+        Tier { label: "Top 1K", limit: 1_000 },
+        Tier { label: "Top 10K", limit: 10_000 },
+        Tier { label: "Top 100K", limit: 100_000 },
+        Tier { label: "Top 1M", limit: 1_000_000 },
+    ];
+    let mut out: Vec<Tier> = all.into_iter().filter(|t| t.limit < size).collect();
+    out.push(Tier { label: "Whole list", limit: size });
+    out
+}
+
+/// Per-tier CDFs from (rank, sample) pairs. Tiers are cumulative, as in
+/// the paper (Top 1K includes Top 100).
+pub fn tier_cdfs(samples: &[(usize, u64)], tiers: &[Tier]) -> HashMap<&'static str, Cdf> {
+    tiers
+        .iter()
+        .map(|tier| {
+            let values: Vec<u64> = samples
+                .iter()
+                .filter(|(rank, _)| *rank <= tier.limit)
+                .map(|&(_, v)| v)
+                .collect();
+            (tier.label, Cdf::from_samples(values))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_trim_to_population() {
+        let t = tiers_for_population(20_000);
+        let labels: Vec<&str> = t.iter().map(|x| x.label).collect();
+        assert_eq!(labels, vec!["Top 100", "Top 1K", "Top 10K", "Whole list"]);
+        assert_eq!(t.last().unwrap().limit, 20_000);
+        let t = tiers_for_population(1_000_000);
+        assert_eq!(t.len(), 5, "Top 1M collapses into whole-list");
+    }
+
+    #[test]
+    fn tier_cdfs_are_cumulative() {
+        let samples = vec![(5usize, 100u64), (500, 10), (5_000, 1)];
+        let tiers = tiers_for_population(10_000);
+        let cdfs = tier_cdfs(&samples, &tiers);
+        assert_eq!(cdfs["Top 100"].len(), 1);
+        assert_eq!(cdfs["Top 1K"].len(), 2);
+        assert_eq!(cdfs["Whole list"].len(), 3);
+        assert_eq!(cdfs["Top 100"].median(), Some(100));
+    }
+
+    #[test]
+    fn empty_tier_is_empty_cdf() {
+        let samples = vec![(5_000usize, 1u64)];
+        let tiers = tiers_for_population(10_000);
+        let cdfs = tier_cdfs(&samples, &tiers);
+        assert!(cdfs["Top 100"].is_empty());
+        assert_eq!(cdfs["Whole list"].len(), 1);
+    }
+}

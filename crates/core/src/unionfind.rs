@@ -1,0 +1,266 @@
+//! Disjoint sets (union-find) with path compression and union by size.
+//!
+//! The §5.1 cross-domain experiment grows service groups *transitively*:
+//! if `id_a` resumes on `b` and `id_b` resumes on `c`, then a, b, c share
+//! a cache. That closure is exactly union-find.
+
+use std::collections::HashMap;
+
+/// Union-find over `usize` indices.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect(), size: vec![1; n] }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Find the representative of `x` (with path compression).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merge the sets containing `a` and `b`. Returns true if they were
+    /// previously separate.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        true
+    }
+
+    /// Are `a` and `b` in the same set?
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r]
+    }
+
+    /// All sets, each as a sorted vector of member indices, largest first.
+    pub fn sets(&mut self) -> Vec<Vec<usize>> {
+        let mut by_root: HashMap<usize, Vec<usize>> = HashMap::new();
+        for i in 0..self.parent.len() {
+            let r = self.find(i);
+            by_root.entry(r).or_default().push(i);
+        }
+        let mut out: Vec<Vec<usize>> = by_root.into_values().collect();
+        for s in &mut out {
+            s.sort_unstable();
+        }
+        out.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+        out
+    }
+}
+
+/// Union-find keyed by arbitrary (hashable) values — domains, here.
+#[derive(Debug, Clone, Default)]
+pub struct DisjointSets {
+    indices: HashMap<String, usize>,
+    names: Vec<String>,
+    uf: Option<UnionFind>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl DisjointSets {
+    /// Empty structure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn index(&mut self, key: &str) -> usize {
+        if let Some(&i) = self.indices.get(key) {
+            return i;
+        }
+        let i = self.names.len();
+        self.indices.insert(key.to_string(), i);
+        self.names.push(key.to_string());
+        // Invalidate any built UF; edges are replayed on demand.
+        self.uf = None;
+        i
+    }
+
+    /// Register an element (idempotent).
+    pub fn add(&mut self, key: &str) {
+        self.index(key);
+    }
+
+    /// Record that `a` and `b` share state.
+    pub fn union(&mut self, a: &str, b: &str) {
+        let ia = self.index(a);
+        let ib = self.index(b);
+        self.edges.push((ia, ib));
+        self.uf = None;
+    }
+
+    fn built(&mut self) -> &mut UnionFind {
+        if self.uf.is_none() {
+            let mut uf = UnionFind::new(self.names.len());
+            for &(a, b) in &self.edges {
+                uf.union(a, b);
+            }
+            self.uf = Some(uf);
+        }
+        self.uf.as_mut().expect("just built")
+    }
+
+    /// Are two keys transitively connected? Unknown keys are singletons.
+    pub fn connected(&mut self, a: &str, b: &str) -> bool {
+        if a == b {
+            return true;
+        }
+        let (ia, ib) = match (self.indices.get(a), self.indices.get(b)) {
+            (Some(&x), Some(&y)) => (x, y),
+            _ => return false,
+        };
+        self.built().connected(ia, ib)
+    }
+
+    /// Number of registered elements.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no elements registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All groups as sorted name vectors, largest first.
+    pub fn groups(&mut self) -> Vec<Vec<String>> {
+        if self.names.is_empty() {
+            return Vec::new();
+        }
+        let names = self.names.clone();
+        self.built()
+            .sets()
+            .into_iter()
+            .map(|set| {
+                let mut g: Vec<String> = set.into_iter().map(|i| names[i].clone()).collect();
+                g.sort();
+                g
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_union_find() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already merged");
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+        assert_eq!(uf.set_size(1), 3);
+        assert_eq!(uf.set_size(3), 1);
+        let sets = uf.sets();
+        assert_eq!(sets[0], vec![0, 1, 2]);
+        assert_eq!(sets.len(), 3);
+    }
+
+    #[test]
+    fn transitive_closure_matches_paper_example() {
+        // id_a valid on b, id_b valid on c ⇒ {a, b, c} one group.
+        let mut ds = DisjointSets::new();
+        ds.add("a.sim");
+        ds.add("b.sim");
+        ds.add("c.sim");
+        ds.add("d.sim");
+        ds.union("a.sim", "b.sim");
+        ds.union("b.sim", "c.sim");
+        assert!(ds.connected("a.sim", "c.sim"));
+        assert!(!ds.connected("a.sim", "d.sim"));
+        let groups = ds.groups();
+        assert_eq!(groups[0], vec!["a.sim", "b.sim", "c.sim"]);
+        assert_eq!(groups[1], vec!["d.sim"]);
+    }
+
+    #[test]
+    fn unknown_keys_are_disconnected() {
+        let mut ds = DisjointSets::new();
+        ds.add("a.sim");
+        assert!(!ds.connected("a.sim", "nope.sim"));
+        assert!(ds.connected("x", "x"), "reflexive even if unknown");
+    }
+
+    #[test]
+    fn adding_after_build_keeps_edges() {
+        let mut ds = DisjointSets::new();
+        ds.union("a", "b");
+        assert!(ds.connected("a", "b"));
+        ds.add("c"); // invalidates the built structure
+        ds.union("b", "c");
+        assert!(ds.connected("a", "c"));
+        assert_eq!(ds.groups()[0].len(), 3);
+    }
+
+    #[test]
+    fn groups_sorted_largest_first() {
+        let mut ds = DisjointSets::new();
+        for i in 0..10 {
+            ds.add(&format!("s{i}"));
+        }
+        ds.union("s0", "s1");
+        ds.union("s2", "s3");
+        ds.union("s3", "s4");
+        let groups = ds.groups();
+        assert_eq!(groups[0].len(), 3);
+        assert_eq!(groups[1].len(), 2);
+        assert_eq!(groups.len(), 1 + 1 + 5);
+    }
+
+    #[test]
+    fn large_random_unions_consistent() {
+        let mut uf = UnionFind::new(1000);
+        // Merge into 10 chains.
+        for chain in 0..10 {
+            for i in 0..99 {
+                uf.union(chain * 100 + i, chain * 100 + i + 1);
+            }
+        }
+        for chain in 0..10 {
+            assert_eq!(uf.set_size(chain * 100), 100);
+            assert!(uf.connected(chain * 100, chain * 100 + 99));
+        }
+        assert!(!uf.connected(0, 100));
+        assert_eq!(uf.sets().len(), 10);
+    }
+}

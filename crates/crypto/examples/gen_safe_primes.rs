@@ -1,0 +1,21 @@
+//! One-off generator for the Sim256/Sim512 safe-prime constants in dh.rs.
+use ts_crypto::bignum::{gen_prime, is_probable_prime, Ub};
+use ts_crypto::drbg::HmacDrbg;
+
+fn safe_prime(bits: usize, rng: &mut HmacDrbg) -> Ub {
+    loop {
+        let q = gen_prime(bits - 1, |b| rng.fill_bytes(b));
+        let p = q.shl(1).add(&Ub::one());
+        if p.bit_len() == bits && is_probable_prime(&p, 20, |b| rng.fill_bytes(b)) {
+            return p;
+        }
+    }
+}
+
+fn main() {
+    let mut rng = HmacDrbg::new(b"tls-shortcuts-sim-groups");
+    let p256 = safe_prime(256, &mut rng);
+    println!("SIM256 = {}", p256.to_hex());
+    let p512 = safe_prime(512, &mut rng);
+    println!("SIM512 = {}", p512.to_hex());
+}

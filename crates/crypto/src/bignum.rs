@@ -1,0 +1,895 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! Just enough bignum for the study's public-key needs: finite-field
+//! Diffie-Hellman ([`crate::dh`]) and RSA ([`crate::rsa`]). Little-endian
+//! `u32` limbs, schoolbook multiplication, Knuth Algorithm D division, and
+//! Montgomery modular exponentiation (odd moduli — DH primes and RSA moduli
+//! always are).
+//!
+//! The representation is normalized: no trailing zero limbs; zero is the
+//! empty limb vector.
+
+use crate::error::CryptoError;
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Ub {
+    /// Little-endian 32-bit limbs, normalized (no trailing zeros).
+    limbs: Vec<u32>,
+}
+
+impl std::fmt::Debug for Ub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Ub(0x{})", self.to_hex())
+    }
+}
+
+impl Ub {
+    /// Zero.
+    pub fn zero() -> Self {
+        Ub { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        Ub { limbs: vec![1] }
+    }
+
+    /// Construct from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        let mut n = Ub { limbs: vec![v as u32, (v >> 32) as u32] };
+        n.normalize();
+        n
+    }
+
+    /// Construct from big-endian bytes (leading zeros allowed).
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 4 + 1);
+        let mut cur: u32 = 0;
+        let mut shift = 0;
+        for &b in bytes.iter().rev() {
+            cur |= (b as u32) << shift;
+            shift += 8;
+            if shift == 32 {
+                limbs.push(cur);
+                cur = 0;
+                shift = 0;
+            }
+        }
+        if shift > 0 {
+            limbs.push(cur);
+        }
+        let mut n = Ub { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Serialize to big-endian bytes with no leading zeros (zero → empty).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.limbs.len() * 4);
+        for &limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        while out.first() == Some(&0) {
+            out.remove(0);
+        }
+        out
+    }
+
+    /// Serialize to big-endian bytes left-padded to exactly `len` bytes.
+    /// Panics if the value needs more than `len` bytes.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_bytes_be();
+        assert!(raw.len() <= len, "value does not fit in {len} bytes");
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Parse a hexadecimal string (no prefix, case-insensitive).
+    pub fn from_hex(s: &str) -> Self {
+        let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        let bytes: Vec<u8> = {
+            let padded = if s.len() % 2 == 1 { format!("0{s}") } else { s };
+            (0..padded.len())
+                .step_by(2)
+                .map(|i| u8::from_str_radix(&padded[i..i + 2], 16).expect("hex digit"))
+                .collect()
+        };
+        Ub::from_bytes_be(&bytes)
+    }
+
+    /// Render as lowercase hex (zero → "0").
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".into();
+        }
+        let bytes = self.to_bytes_be();
+        let mut s: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+        while s.len() > 1 && s.starts_with('0') {
+            s.remove(0);
+        }
+        s
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True if the value is odd.
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().map_or(false, |l| l & 1 == 1)
+    }
+
+    /// Number of significant bits (zero → 0).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => (self.limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Test bit `i` (little-endian bit order).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 32;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 32)) & 1 == 1
+    }
+
+    /// Compare.
+    pub fn cmp_to(&self, other: &Ub) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Ub) -> Ub {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let sum = long[i] as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+            out.push(sum as u32);
+            carry = sum >> 32;
+        }
+        if carry > 0 {
+            out.push(carry as u32);
+        }
+        let mut n = Ub { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self - other`. Panics if `other > self`.
+    pub fn sub(&self, other: &Ub) -> Ub {
+        assert!(
+            self.cmp_to(other) != std::cmp::Ordering::Less,
+            "bignum subtraction underflow"
+        );
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let mut diff =
+                self.limbs[i] as i64 - other.limbs.get(i).copied().unwrap_or(0) as i64 - borrow;
+            if diff < 0 {
+                diff += 1 << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(diff as u32);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut n = Ub { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self * other` (schoolbook).
+    pub fn mul(&self, other: &Ub) -> Ub {
+        if self.is_zero() || other.is_zero() {
+            return Ub::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = out[i + j] as u64 + a as u64 * b as u64 + carry;
+                out[i + j] = t as u32;
+                carry = t >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let t = out[k] as u64 + carry;
+                out[k] = t as u32;
+                carry = t >> 32;
+                k += 1;
+            }
+        }
+        let mut n = Ub { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl(&self, bits: usize) -> Ub {
+        if self.is_zero() {
+            return Ub::zero();
+        }
+        let limb_shift = bits / 32;
+        let bit_shift = bits % 32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (32 - bit_shift);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        let mut n = Ub { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr(&self, bits: usize) -> Ub {
+        let limb_shift = bits / 32;
+        if limb_shift >= self.limbs.len() {
+            return Ub::zero();
+        }
+        let bit_shift = bits % 32;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = if i + 1 < src.len() { src[i + 1] << (32 - bit_shift) } else { 0 };
+                out.push(lo | hi);
+            }
+        }
+        let mut n = Ub { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Quotient and remainder (`self / divisor`, `self % divisor`).
+    /// Panics on division by zero.
+    pub fn divrem(&self, divisor: &Ub) -> (Ub, Ub) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self.cmp_to(divisor) == std::cmp::Ordering::Less {
+            return (Ub::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            // Single-limb fast path.
+            let d = divisor.limbs[0] as u64;
+            let mut q = Vec::with_capacity(self.limbs.len());
+            let mut rem = 0u64;
+            for &l in self.limbs.iter().rev() {
+                let cur = (rem << 32) | l as u64;
+                q.push((cur / d) as u32);
+                rem = cur % d;
+            }
+            q.reverse();
+            let mut qn = Ub { limbs: q };
+            qn.normalize();
+            return (qn, Ub::from_u64(rem));
+        }
+        // Knuth Algorithm D (TAOCP vol. 2, 4.3.1).
+        let shift = divisor.limbs.last().expect("non-empty").leading_zeros() as usize;
+        let u = self.shl(shift);
+        let v = divisor.shl(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+        let mut un = u.limbs.clone();
+        un.push(0); // u has m+n+1 limbs
+        let vn = &v.limbs;
+        let mut q = vec![0u32; m + 1];
+        let b = 1u64 << 32;
+        for j in (0..=m).rev() {
+            // Estimate q̂.
+            let top = ((un[j + n] as u64) << 32) | un[j + n - 1] as u64;
+            let mut qhat = top / vn[n - 1] as u64;
+            let mut rhat = top % vn[n - 1] as u64;
+            while qhat >= b
+                || qhat * vn[n - 2] as u64 > (rhat << 32) + un[j + n - 2] as u64
+            {
+                qhat -= 1;
+                rhat += vn[n - 1] as u64;
+                if rhat >= b {
+                    break;
+                }
+            }
+            // Multiply and subtract.
+            let mut borrow = 0i64;
+            let mut carry = 0u64;
+            for i in 0..n {
+                let p = qhat * vn[i] as u64 + carry;
+                carry = p >> 32;
+                let t = un[i + j] as i64 - (p as u32) as i64 - borrow;
+                un[i + j] = t as u32;
+                borrow = if t < 0 { 1 } else { 0 };
+            }
+            let t = un[j + n] as i64 - carry as i64 - borrow;
+            un[j + n] = t as u32;
+            if t < 0 {
+                // q̂ was one too large: add back.
+                qhat -= 1;
+                let mut carry = 0u64;
+                for i in 0..n {
+                    let t = un[i + j] as u64 + vn[i] as u64 + carry;
+                    un[i + j] = t as u32;
+                    carry = t >> 32;
+                }
+                un[j + n] = (un[j + n] as u64).wrapping_add(carry) as u32;
+            }
+            q[j] = qhat as u32;
+        }
+        let mut quotient = Ub { limbs: q };
+        quotient.normalize();
+        let mut rem = Ub { limbs: un[..n].to_vec() };
+        rem.normalize();
+        (quotient, rem.shr(shift))
+    }
+
+    /// `self % modulus`.
+    pub fn rem(&self, modulus: &Ub) -> Ub {
+        self.divrem(modulus).1
+    }
+
+    /// Modular addition.
+    pub fn add_mod(&self, other: &Ub, modulus: &Ub) -> Ub {
+        self.add(other).rem(modulus)
+    }
+
+    /// Modular multiplication.
+    pub fn mul_mod(&self, other: &Ub, modulus: &Ub) -> Ub {
+        self.mul(other).rem(modulus)
+    }
+
+    /// Modular exponentiation `self^exp mod modulus`.
+    ///
+    /// Uses Montgomery multiplication for odd moduli (the common case for
+    /// DH primes and RSA), falling back to square-and-multiply with
+    /// division-based reduction otherwise.
+    pub fn modpow(&self, exp: &Ub, modulus: &Ub) -> Ub {
+        assert!(!modulus.is_zero(), "zero modulus");
+        if modulus.limbs == [1] {
+            return Ub::zero();
+        }
+        if exp.is_zero() {
+            return Ub::one();
+        }
+        if modulus.is_odd() {
+            Montgomery::new(modulus).modpow(&self.rem(modulus), exp)
+        } else {
+            let mut result = Ub::one();
+            let base = self.rem(modulus);
+            let bits = exp.bit_len();
+            for i in (0..bits).rev() {
+                result = result.mul_mod(&result, modulus);
+                if exp.bit(i) {
+                    result = result.mul_mod(&base, modulus);
+                }
+            }
+            result
+        }
+    }
+
+    /// Greatest common divisor (Euclid).
+    pub fn gcd(&self, other: &Ub) -> Ub {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Modular inverse of `self` modulo `modulus`, if it exists.
+    pub fn modinv(&self, modulus: &Ub) -> Result<Ub, CryptoError> {
+        // Extended Euclid on (a, m), tracking only the coefficient of a and
+        // doing signed bookkeeping via (value, negative) pairs.
+        if modulus.is_zero() {
+            return Err(CryptoError::InvalidParameter("zero modulus"));
+        }
+        let mut r0 = modulus.clone();
+        let mut r1 = self.rem(modulus);
+        // t coefficients as (magnitude, is_negative)
+        let mut t0 = (Ub::zero(), false);
+        let mut t1 = (Ub::one(), false);
+        while !r1.is_zero() {
+            let (q, r2) = r0.divrem(&r1);
+            // t2 = t0 - q * t1 with sign tracking.
+            let qt1 = q.mul(&t1.0);
+            let t2 = sub_signed(&t0, &(qt1, t1.1));
+            r0 = r1;
+            r1 = r2;
+            t0 = t1;
+            t1 = t2;
+        }
+        if r0 != Ub::one() {
+            return Err(CryptoError::InvalidParameter("not invertible"));
+        }
+        let inv = if t0.1 {
+            modulus.sub(&t0.0.rem(modulus))
+        } else {
+            t0.0.rem(modulus)
+        };
+        Ok(inv.rem(modulus))
+    }
+}
+
+/// Signed subtraction over (magnitude, negative) pairs: `a - b`.
+fn sub_signed(a: &(Ub, bool), b: &(Ub, bool)) -> (Ub, bool) {
+    match (a.1, b.1) {
+        (false, true) => (a.0.add(&b.0), false),
+        (true, false) => (a.0.add(&b.0), true),
+        (an, _) => {
+            // Same sign: |a| - |b| with possible sign flip.
+            if a.0.cmp_to(&b.0) != std::cmp::Ordering::Less {
+                (a.0.sub(&b.0), an)
+            } else {
+                (b.0.sub(&a.0), !an)
+            }
+        }
+    }
+}
+
+/// Montgomery context for a fixed odd modulus.
+pub struct Montgomery {
+    n: Ub,
+    n0inv: u32,  // -n^{-1} mod 2^32
+    rr: Ub,      // R^2 mod n, R = 2^(32*k)
+    k: usize,    // limb count of n
+}
+
+impl Montgomery {
+    /// Build a context. Panics if the modulus is even or < 3.
+    pub fn new(modulus: &Ub) -> Self {
+        assert!(modulus.is_odd(), "Montgomery requires odd modulus");
+        assert!(modulus.bit_len() >= 2, "modulus too small");
+        let k = modulus.limbs.len();
+        // n0inv = -n^{-1} mod 2^32 via Newton iteration.
+        let n0 = modulus.limbs[0];
+        let mut inv = 1u32;
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u32.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        let n0inv = inv.wrapping_neg();
+        // R^2 mod n where R = 2^(32k).
+        let r = Ub::one().shl(32 * k);
+        let rr = r.mul(&r).rem(modulus);
+        Montgomery { n: modulus.clone(), n0inv, rr, k }
+    }
+
+    /// Montgomery product: `a * b * R^{-1} mod n` (CIOS).
+    fn mont_mul(&self, a: &[u32], b: &[u32]) -> Vec<u32> {
+        let k = self.k;
+        let mut t = vec![0u32; k + 2];
+        for i in 0..k {
+            let ai = a.get(i).copied().unwrap_or(0) as u64;
+            // t += a_i * b
+            let mut carry = 0u64;
+            for j in 0..k {
+                let sum = t[j] as u64 + ai * b.get(j).copied().unwrap_or(0) as u64 + carry;
+                t[j] = sum as u32;
+                carry = sum >> 32;
+            }
+            let sum = t[k] as u64 + carry;
+            t[k] = sum as u32;
+            t[k + 1] = (sum >> 32) as u32;
+            // m = t[0] * n0inv mod 2^32; t += m * n; t >>= 32
+            let m = t[0].wrapping_mul(self.n0inv) as u64;
+            let mut carry = (t[0] as u64 + m * self.n.limbs[0] as u64) >> 32;
+            for j in 1..k {
+                let sum = t[j] as u64 + m * self.n.limbs[j] as u64 + carry;
+                t[j - 1] = sum as u32;
+                carry = sum >> 32;
+            }
+            let sum = t[k] as u64 + carry;
+            t[k - 1] = sum as u32;
+            t[k] = t[k + 1].wrapping_add((sum >> 32) as u32);
+            t[k + 1] = 0;
+        }
+        t.truncate(k + 1);
+        // Conditional subtraction to bring into [0, n).
+        let mut result = Ub { limbs: t };
+        result.normalize();
+        if result.cmp_to(&self.n) != std::cmp::Ordering::Less {
+            result = result.sub(&self.n);
+        }
+        let mut limbs = result.limbs;
+        limbs.resize(k, 0);
+        limbs
+    }
+
+    /// `base^exp mod n` for `base < n`.
+    pub fn modpow(&self, base: &Ub, exp: &Ub) -> Ub {
+        let k = self.k;
+        let mut base_limbs = base.limbs.clone();
+        base_limbs.resize(k, 0);
+        let mut rr = self.rr.limbs.clone();
+        rr.resize(k, 0);
+        // Convert to Montgomery domain.
+        let base_m = self.mont_mul(&base_limbs, &rr);
+        // result = R mod n (Montgomery form of 1).
+        let mut one = vec![0u32; k];
+        one[0] = 1;
+        let mut result = self.mont_mul(&one, &rr);
+        let bits = exp.bit_len();
+        for i in (0..bits).rev() {
+            result = self.mont_mul(&result, &result);
+            if exp.bit(i) {
+                result = self.mont_mul(&result, &base_m);
+            }
+        }
+        // Convert out of Montgomery domain.
+        let out = self.mont_mul(&result, &one);
+        let mut n = Ub { limbs: out };
+        n.normalize();
+        n
+    }
+}
+
+/// Generate a uniformly random value in `[0, bound)` using rejection
+/// sampling over `fill`'s bytes. `fill` is any byte-filling closure
+/// (typically a DRBG).
+pub fn random_below(bound: &Ub, mut fill: impl FnMut(&mut [u8])) -> Ub {
+    assert!(!bound.is_zero(), "empty range");
+    let byte_len = (bound.bit_len() + 7) / 8;
+    let top_bits = bound.bit_len() % 8;
+    let mask = if top_bits == 0 { 0xff } else { (1u16 << top_bits) as u8 - 1 };
+    let mut buf = vec![0u8; byte_len];
+    loop {
+        fill(&mut buf);
+        buf[0] &= mask;
+        let candidate = Ub::from_bytes_be(&buf);
+        if candidate.cmp_to(bound) == std::cmp::Ordering::Less {
+            return candidate;
+        }
+    }
+}
+
+/// Miller-Rabin probable-prime test with `rounds` random bases.
+pub fn is_probable_prime(n: &Ub, rounds: usize, mut fill: impl FnMut(&mut [u8])) -> bool {
+    if n.bit_len() < 2 {
+        return false; // 0 and 1
+    }
+    const SMALL_PRIMES: [u64; 16] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53];
+    for &p in &SMALL_PRIMES {
+        let pp = Ub::from_u64(p);
+        match n.cmp_to(&pp) {
+            std::cmp::Ordering::Equal => return true,
+            std::cmp::Ordering::Less => return false,
+            std::cmp::Ordering::Greater => {
+                if n.rem(&pp).is_zero() {
+                    return false;
+                }
+            }
+        }
+    }
+    // n - 1 = d * 2^s
+    let n_minus_1 = n.sub(&Ub::one());
+    let mut d = n_minus_1.clone();
+    let mut s = 0usize;
+    while !d.is_odd() {
+        d = d.shr(1);
+        s += 1;
+    }
+    let two = Ub::from_u64(2);
+    let bound = n.sub(&Ub::from_u64(3)); // bases in [2, n-2]
+    'outer: for _ in 0..rounds {
+        let a = random_below(&bound, &mut fill).add(&two);
+        let mut x = a.modpow(&d, n);
+        if x == Ub::one() || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = x.mul_mod(&x, n);
+            if x == n_minus_1 {
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generate a random probable prime of exactly `bits` bits.
+pub fn gen_prime(bits: usize, mut fill: impl FnMut(&mut [u8])) -> Ub {
+    assert!(bits >= 8, "prime too small");
+    let byte_len = (bits + 7) / 8;
+    loop {
+        let mut buf = vec![0u8; byte_len];
+        fill(&mut buf);
+        // Force exact bit length and oddness.
+        let top_bit = (bits - 1) % 8;
+        buf[0] &= ((1u16 << (top_bit + 1)) - 1) as u8;
+        buf[0] |= 1 << top_bit;
+        let last = buf.len() - 1;
+        buf[last] |= 1;
+        let candidate = Ub::from_bytes_be(&buf);
+        if is_probable_prime(&candidate, 20, &mut fill) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill_counter() -> impl FnMut(&mut [u8]) {
+        // A toy deterministic filler for tests: SHA-256 counter stream.
+        let mut ctr = 0u64;
+        move |buf: &mut [u8]| {
+            let mut off = 0;
+            while off < buf.len() {
+                let d = crate::sha256::sha256(&ctr.to_be_bytes());
+                let take = (buf.len() - off).min(32);
+                buf[off..off + take].copy_from_slice(&d[..take]);
+                off += take;
+                ctr += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_bytes_and_hex() {
+        let n = Ub::from_hex("deadbeefcafebabe0123456789");
+        assert_eq!(n.to_hex(), "deadbeefcafebabe0123456789");
+        assert_eq!(Ub::from_bytes_be(&n.to_bytes_be()), n);
+        assert_eq!(Ub::from_bytes_be(&[0, 0, 1]), Ub::one());
+        assert_eq!(Ub::zero().to_bytes_be(), Vec::<u8>::new());
+        assert_eq!(Ub::zero().to_hex(), "0");
+    }
+
+    #[test]
+    fn padded_serialization() {
+        let n = Ub::from_u64(0x1234);
+        assert_eq!(n.to_bytes_be_padded(4), vec![0, 0, 0x12, 0x34]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn padded_serialization_overflow_panics() {
+        Ub::from_u64(0x123456).to_bytes_be_padded(2);
+    }
+
+    #[test]
+    fn add_sub_small() {
+        let a = Ub::from_u64(u64::MAX);
+        let b = Ub::from_u64(1);
+        let sum = a.add(&b);
+        assert_eq!(sum.to_hex(), "10000000000000000");
+        assert_eq!(sum.sub(&b), a);
+        assert_eq!(a.sub(&a), Ub::zero());
+    }
+
+    #[test]
+    fn mul_known() {
+        let a = Ub::from_hex("ffffffffffffffff");
+        let b = Ub::from_hex("ffffffffffffffff");
+        assert_eq!(a.mul(&b).to_hex(), "fffffffffffffffe0000000000000001");
+        assert_eq!(a.mul(&Ub::zero()), Ub::zero());
+        assert_eq!(a.mul(&Ub::one()), a);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = Ub::from_u64(0b1011);
+        assert_eq!(a.shl(4).to_hex(), "b0");
+        assert_eq!(a.shl(64).to_hex(), "b0000000000000000");
+        assert_eq!(a.shl(64).shr(64), a);
+        assert_eq!(a.shr(2).to_hex(), "2");
+        assert_eq!(a.shr(100), Ub::zero());
+    }
+
+    #[test]
+    fn bit_len_and_bit() {
+        assert_eq!(Ub::zero().bit_len(), 0);
+        assert_eq!(Ub::one().bit_len(), 1);
+        assert_eq!(Ub::from_u64(0x100).bit_len(), 9);
+        let n = Ub::from_hex("8000000000000000000000000000000000");
+        assert_eq!(n.bit_len(), 136);
+        assert!(n.bit(135));
+        assert!(!n.bit(134));
+        assert!(!n.bit(500));
+    }
+
+    #[test]
+    fn divrem_small_divisor() {
+        let a = Ub::from_hex("123456789abcdef0123456789abcdef");
+        let d = Ub::from_u64(97);
+        let (q, r) = a.divrem(&d);
+        assert_eq!(q.mul(&d).add(&r), a);
+        assert!(r.cmp_to(&d) == std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn divrem_multi_limb() {
+        let a = Ub::from_hex("fedcba9876543210fedcba9876543210fedcba98");
+        let d = Ub::from_hex("123456789abcdef01234");
+        let (q, r) = a.divrem(&d);
+        assert_eq!(q.mul(&d).add(&r), a);
+        assert!(r.cmp_to(&d) == std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn divrem_edge_cases() {
+        let a = Ub::from_hex("abcdef");
+        assert_eq!(a.divrem(&a), (Ub::one(), Ub::zero()));
+        assert_eq!(a.divrem(&Ub::one()), (a.clone(), Ub::zero()));
+        let bigger = a.add(&Ub::one());
+        assert_eq!(a.divrem(&bigger), (Ub::zero(), a.clone()));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        Ub::one().divrem(&Ub::zero());
+    }
+
+    #[test]
+    fn modpow_small_known() {
+        // 4^13 mod 497 = 445 (classic example).
+        let r = Ub::from_u64(4).modpow(&Ub::from_u64(13), &Ub::from_u64(497));
+        assert_eq!(r, Ub::from_u64(445));
+        // Fermat: 2^(p-1) ≡ 1 mod p for prime p = 1000003.
+        let p = Ub::from_u64(1_000_003);
+        let r = Ub::from_u64(2).modpow(&p.sub(&Ub::one()), &p);
+        assert_eq!(r, Ub::one());
+    }
+
+    #[test]
+    fn modpow_even_modulus() {
+        // 3^5 mod 16 = 243 mod 16 = 3 (exercises non-Montgomery path).
+        let r = Ub::from_u64(3).modpow(&Ub::from_u64(5), &Ub::from_u64(16));
+        assert_eq!(r, Ub::from_u64(3));
+    }
+
+    #[test]
+    fn modpow_exp_zero_and_mod_one() {
+        let m = Ub::from_u64(97);
+        assert_eq!(Ub::from_u64(42).modpow(&Ub::zero(), &m), Ub::one());
+        assert_eq!(Ub::from_u64(42).modpow(&Ub::from_u64(5), &Ub::one()), Ub::zero());
+    }
+
+    #[test]
+    fn montgomery_matches_naive() {
+        // Cross-check Montgomery against division-based modpow for a batch
+        // of odd moduli.
+        let mut fill = fill_counter();
+        for _ in 0..10 {
+            let mut buf = [0u8; 24];
+            fill(&mut buf);
+            let mut m = Ub::from_bytes_be(&buf);
+            if !m.is_odd() {
+                m = m.add(&Ub::one());
+            }
+            if m.bit_len() < 2 {
+                continue;
+            }
+            let mut bbuf = [0u8; 20];
+            fill(&mut bbuf);
+            let base = Ub::from_bytes_be(&bbuf);
+            let exp = Ub::from_u64(65537);
+            let mont = base.modpow(&exp, &m);
+            // Naive reference.
+            let mut reference = Ub::one();
+            let b = base.rem(&m);
+            for i in (0..exp.bit_len()).rev() {
+                reference = reference.mul_mod(&reference, &m);
+                if exp.bit(i) {
+                    reference = reference.mul_mod(&b, &m);
+                }
+            }
+            assert_eq!(mont, reference, "modulus {}", m.to_hex());
+        }
+    }
+
+    #[test]
+    fn gcd_and_modinv() {
+        let a = Ub::from_u64(270);
+        let b = Ub::from_u64(192);
+        assert_eq!(a.gcd(&b), Ub::from_u64(6));
+        // 3 * 7 = 21 ≡ 1 mod 10 → inverse of 3 mod 10 is 7.
+        assert_eq!(Ub::from_u64(3).modinv(&Ub::from_u64(10)).unwrap(), Ub::from_u64(7));
+        // 65537^{-1} mod a known prime round-trips.
+        let p = Ub::from_hex("ffffffffffffffc5"); // large prime < 2^64
+        let e = Ub::from_u64(65537);
+        let inv = e.modinv(&p).unwrap();
+        assert_eq!(e.mul_mod(&inv, &p), Ub::one());
+        // Non-invertible.
+        assert!(Ub::from_u64(6).modinv(&Ub::from_u64(9)).is_err());
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let bound = Ub::from_u64(1000);
+        let mut fill = fill_counter();
+        for _ in 0..50 {
+            let v = random_below(&bound, &mut fill);
+            assert!(v.cmp_to(&bound) == std::cmp::Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn small_primes_recognized() {
+        let mut fill = fill_counter();
+        for p in [2u64, 3, 5, 7, 11, 13, 97, 65537, 1_000_003] {
+            assert!(is_probable_prime(&Ub::from_u64(p), 10, &mut fill), "{p} is prime");
+        }
+        for c in [0u64, 1, 4, 9, 15, 91, 561, 65535, 1_000_001] {
+            assert!(!is_probable_prime(&Ub::from_u64(c), 10, &mut fill), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        let mut fill = fill_counter();
+        // 561, 1105, 1729 fool Fermat but not Miller-Rabin.
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601] {
+            assert!(!is_probable_prime(&Ub::from_u64(c), 20, &mut fill), "{c}");
+        }
+    }
+
+    #[test]
+    fn gen_prime_has_exact_bit_length() {
+        let mut fill = fill_counter();
+        for bits in [16usize, 32, 64, 128] {
+            let p = gen_prime(bits, &mut fill);
+            assert_eq!(p.bit_len(), bits);
+            assert!(p.is_odd());
+            assert!(is_probable_prime(&p, 10, &mut fill));
+        }
+    }
+
+    #[test]
+    fn rfc3526_prime_is_prime() {
+        // The 1536-bit MODP group prime (RFC 3526 group 5) — a good stress
+        // test for Montgomery modpow on realistic sizes.
+        let p = Ub::from_hex(
+            "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74\
+             020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437\
+             4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED\
+             EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05\
+             98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB\
+             9ED529077096966D670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF",
+        );
+        let mut fill = fill_counter();
+        assert!(is_probable_prime(&p, 5, &mut fill));
+    }
+}

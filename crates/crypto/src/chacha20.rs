@@ -1,0 +1,142 @@
+//! The ChaCha20 stream cipher (RFC 7539).
+//!
+//! Used (with [`crate::poly1305`]) as the AEAD record protection for the
+//! `*_CHACHA20_POLY1305_*` cipher suites in the TLS stack.
+
+/// Key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// Nonce length in bytes (IETF variant).
+pub const NONCE_LEN: usize = 12;
+
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Produce the 64-byte keystream block for (`key`, `counter`, `nonce`).
+pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[0] = 0x61707865;
+    state[1] = 0x3320646e;
+    state[2] = 0x79622d32;
+    state[3] = 0x6b206574;
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes(key[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes(nonce[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+    }
+    let mut working = state;
+    for _ in 0..10 {
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// XOR `data` with the ChaCha20 keystream starting at block `counter`.
+/// Encryption and decryption are the same operation.
+pub fn xor_stream(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+    for (i, chunk) in data.chunks_mut(64).enumerate() {
+        let ks = block(key, counter.wrapping_add(i as u32), nonce);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    // RFC 7539 §2.3.2 block function test vector.
+    #[test]
+    fn rfc7539_block_vector() {
+        let key: [u8; 32] = unhex(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        )
+        .try_into()
+        .unwrap();
+        let nonce: [u8; 12] = unhex("000000090000004a00000000").try_into().unwrap();
+        let ks = block(&key, 1, &nonce);
+        assert_eq!(
+            hex(&ks),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    // RFC 7539 §2.4.2 encryption test vector ("sunscreen" plaintext).
+    #[test]
+    fn rfc7539_encrypt_vector() {
+        let key: [u8; 32] = unhex(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        )
+        .try_into()
+        .unwrap();
+        let nonce: [u8; 12] = unhex("000000000000004a00000000").try_into().unwrap();
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.".to_vec();
+        xor_stream(&key, 1, &nonce, &mut data);
+        assert_eq!(
+            hex(&data),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+             f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+             07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+             5af90bbf74a35be6b40b8eedf2785e42874d"
+        );
+    }
+
+    #[test]
+    fn xor_stream_is_involutive() {
+        let key = [7u8; 32];
+        let nonce = [9u8; 12];
+        let original: Vec<u8> = (0..200u8).collect();
+        let mut data = original.clone();
+        xor_stream(&key, 0, &nonce, &mut data);
+        assert_ne!(data, original);
+        xor_stream(&key, 0, &nonce, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        // Encrypting 128 bytes at counter 0 must equal two blocks at 0 and 1.
+        let mut data = vec![0u8; 128];
+        xor_stream(&key, 0, &nonce, &mut data);
+        let b0 = block(&key, 0, &nonce);
+        let b1 = block(&key, 1, &nonce);
+        assert_eq!(&data[..64], &b0[..]);
+        assert_eq!(&data[64..], &b1[..]);
+    }
+}

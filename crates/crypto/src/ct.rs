@@ -1,0 +1,40 @@
+//! Constant-time comparison helpers.
+
+/// Compare two byte slices in constant time (for equal lengths).
+///
+/// Returns `false` immediately if the lengths differ — length is public in
+/// every context this crate uses (MAC tags, finished digests).
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ct_eq;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"abc", b"abc"));
+    }
+
+    #[test]
+    fn unequal_slices() {
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(!ct_eq(b"", b"a"));
+    }
+
+    #[test]
+    fn first_and_last_byte_differences() {
+        assert!(!ct_eq(b"xbc", b"abc"));
+        assert!(!ct_eq(b"abx", b"abc"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Error type shared by all primitives in this crate.
+
+use std::fmt;
+
+/// Errors returned by cryptographic operations.
+///
+/// The variants are deliberately coarse: callers in the TLS stack map them
+/// onto protocol alerts, and the measurement pipeline only needs to know
+/// *that* an operation failed, not the precise internal reason (which could
+/// itself be an oracle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// Authenticated decryption failed (bad tag or MAC).
+    BadMac,
+    /// Ciphertext or padding is structurally invalid.
+    BadPadding,
+    /// An input had an invalid length (block alignment, key size, ...).
+    BadLength(&'static str),
+    /// A public value was outside the valid range for the group.
+    InvalidPublicValue,
+    /// A signature did not verify.
+    BadSignature,
+    /// Key generation failed to find suitable parameters.
+    KeygenFailure,
+    /// An operation needed a non-zero / odd / in-range parameter.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::BadMac => write!(f, "message authentication failed"),
+            CryptoError::BadPadding => write!(f, "invalid padding"),
+            CryptoError::BadLength(what) => write!(f, "invalid length: {what}"),
+            CryptoError::InvalidPublicValue => write!(f, "invalid public key-exchange value"),
+            CryptoError::BadSignature => write!(f, "signature verification failed"),
+            CryptoError::KeygenFailure => write!(f, "key generation failed"),
+            CryptoError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}

@@ -1,0 +1,54 @@
+//! # ts-crypto — cryptographic primitives for the TLS crypto-shortcuts study
+//!
+//! This crate implements, from scratch, every primitive the reproduction's
+//! TLS 1.2 stack needs. The study requires *white-box* access to handshake
+//! secrets (ephemeral Diffie-Hellman values, session ticket encryption keys,
+//! master secrets), which production libraries such as rustls deliberately
+//! hide — so we own the whole stack.
+//!
+//! Implemented primitives, each pinned to published test vectors:
+//!
+//! * [`sha256`] — SHA-256 (FIPS 180-4)
+//! * [`hmac`] — HMAC-SHA256 (RFC 4231)
+//! * [`prf`] — the TLS 1.2 pseudo-random function `P_SHA256` (RFC 5246 §5)
+//!   and HKDF (RFC 5869) for the TLS 1.3 PSK module
+//! * [`aes`] — the AES-128 block cipher (FIPS 197)
+//! * [`cbc`] — AES-128-CBC with PKCS#7 padding (NIST SP 800-38A)
+//! * [`chacha20`] / [`poly1305`] / [`aead`] — ChaCha20-Poly1305 (RFC 7539)
+//! * [`bignum`] — arbitrary-precision unsigned integers with Knuth-D
+//!   division and Montgomery modular exponentiation
+//! * [`dh`] — finite-field Diffie-Hellman over named groups (RFC 3526 plus
+//!   small "simulation" groups for fast large-population runs)
+//! * [`x25519`] — Curve25519 ECDH (RFC 7748)
+//! * [`rsa`] — RSA key generation (Miller-Rabin) and PKCS#1 v1.5
+//!   signatures with SHA-256
+//! * [`drbg`] — a deterministic HMAC-DRBG (SP 800-90A flavoured) so every
+//!   simulation run is reproducible from a seed
+//! * [`ct`] — constant-time comparison helpers
+//!
+//! ## Security stance
+//!
+//! These implementations are correct (vector-pinned and property-tested) but
+//! are written for a *measurement simulation*: they favour clarity over
+//! side-channel hardening. Do not lift them into production use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aead;
+pub mod aes;
+pub mod bignum;
+pub mod cbc;
+pub mod chacha20;
+pub mod ct;
+pub mod dh;
+pub mod drbg;
+pub mod error;
+pub mod hmac;
+pub mod poly1305;
+pub mod prf;
+pub mod rsa;
+pub mod sha256;
+pub mod x25519;
+
+pub use error::CryptoError;

@@ -1,0 +1,226 @@
+//! The Poly1305 one-time authenticator (RFC 7539 §2.5).
+//!
+//! Implemented with three 64-bit limbs (44/44/42-bit radix folded into a
+//! simpler 2^64 radix using `u128` intermediates). Clarity over speed.
+
+/// Tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// Poly1305 state for incremental MAC computation.
+pub struct Poly1305 {
+    // r (clamped) and the accumulator, as 130-bit values in three 64-bit
+    // limbs of 44, 44 and 42 bits.
+    r: [u64; 3],
+    h: [u64; 3],
+    s: [u64; 2],
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl Poly1305 {
+    /// Initialize with a 32-byte one-time key (r || s).
+    pub fn new(key: &[u8; 32]) -> Self {
+        let t0 = u64::from_le_bytes(key[0..8].try_into().expect("8 bytes"));
+        let t1 = u64::from_le_bytes(key[8..16].try_into().expect("8 bytes"));
+        // Clamp r per the RFC and split into 44/44/42-bit limbs.
+        let r0 = t0 & 0xffc0fffffff;
+        let r1 = ((t0 >> 44) | (t1 << 20)) & 0xfffffc0ffff;
+        let r2 = (t1 >> 24) & 0x00ffffffc0f;
+        let s0 = u64::from_le_bytes(key[16..24].try_into().expect("8 bytes"));
+        let s1 = u64::from_le_bytes(key[24..32].try_into().expect("8 bytes"));
+        Poly1305 {
+            r: [r0, r1, r2],
+            h: [0; 3],
+            s: [s0, s1],
+            buf: [0; 16],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorb message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let take = (16 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let block = self.buf;
+                self.process_block(&block, 1);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 16 {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(&data[..16]);
+            self.process_block(&block, 1);
+            data = &data[16..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    fn process_block(&mut self, block: &[u8; 16], hibit: u64) {
+        let t0 = u64::from_le_bytes(block[0..8].try_into().expect("8 bytes"));
+        let t1 = u64::from_le_bytes(block[8..16].try_into().expect("8 bytes"));
+        // Add block (plus 2^128 if full block) to h.
+        let m0 = t0 & 0xfffffffffff;
+        let m1 = ((t0 >> 44) | (t1 << 20)) & 0xfffffffffff;
+        let m2 = ((t1 >> 24) & 0x3ffffffffff) | (hibit << 40);
+        self.h[0] += m0;
+        self.h[1] += m1;
+        self.h[2] += m2;
+        // h *= r (mod 2^130 - 5), schoolbook with 128-bit intermediates.
+        let [h0, h1, h2] = self.h.map(|x| x as u128);
+        let [r0, r1, r2] = self.r.map(|x| x as u128);
+        // 5 * r_i pre-scaled for the reduction: x * 2^130 ≡ 5x.
+        let s1 = r1 * 20; // 5 * 4: limbs are 44 bits so 2^130 = 2^(44+44+42);
+        let s2 = r2 * 20; // carrying r1/r2 above limb 2 multiplies by 5*2^2.
+        let d0 = h0 * r0 + h1 * s2 + h2 * s1;
+        let mut d1 = h0 * r1 + h1 * r0 + h2 * s2;
+        let mut d2 = h0 * r2 + h1 * r1 + h2 * r0;
+        // Carry propagation.
+        let mut c = (d0 >> 44) as u64;
+        let mut out0 = (d0 as u64) & 0xfffffffffff;
+        d1 += c as u128;
+        c = (d1 >> 44) as u64;
+        let mut out1 = (d1 as u64) & 0xfffffffffff;
+        d2 += c as u128;
+        c = (d2 >> 42) as u64;
+        let out2 = (d2 as u64) & 0x3ffffffffff;
+        out0 += c * 5;
+        let c2 = out0 >> 44;
+        out0 &= 0xfffffffffff;
+        out1 += c2;
+        self.h = [out0, out1, out2];
+    }
+
+    /// Finalize and produce the 16-byte tag.
+    pub fn finish(mut self) -> [u8; TAG_LEN] {
+        if self.buf_len > 0 {
+            // Final partial block: append 0x01 then zero-pad; hibit = 0.
+            let mut block = [0u8; 16];
+            block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            block[self.buf_len] = 1;
+            self.process_block(&block, 0);
+        }
+        // Full carry and reduction mod 2^130 - 5.
+        let [mut h0, mut h1, mut h2] = self.h;
+        let mut c = h1 >> 44;
+        h1 &= 0xfffffffffff;
+        h2 += c;
+        c = h2 >> 42;
+        h2 &= 0x3ffffffffff;
+        h0 += c * 5;
+        c = h0 >> 44;
+        h0 &= 0xfffffffffff;
+        h1 += c;
+        c = h1 >> 44;
+        h1 &= 0xfffffffffff;
+        h2 += c;
+        c = h2 >> 42;
+        h2 &= 0x3ffffffffff;
+        h0 += c * 5;
+        c = h0 >> 44;
+        h0 &= 0xfffffffffff;
+        h1 += c;
+        // Compute h + -p = h - (2^130 - 5).
+        let mut g0 = h0.wrapping_add(5);
+        c = g0 >> 44;
+        g0 &= 0xfffffffffff;
+        let mut g1 = h1.wrapping_add(c);
+        c = g1 >> 44;
+        g1 &= 0xfffffffffff;
+        let g2 = h2.wrapping_add(c).wrapping_sub(1 << 42);
+        // Select h if h < p, else g.
+        let mask = (g2 >> 63).wrapping_sub(1); // all-ones if g2 did not borrow
+        let h0 = (h0 & !mask) | (g0 & mask);
+        let h1 = (h1 & !mask) | (g1 & mask);
+        let h2 = (h2 & !mask) | (g2 & mask);
+        // h += s (mod 2^128).
+        let t0 = h0 | (h1 << 44);
+        let t1 = (h1 >> 20) | (h2 << 24);
+        let (t0, carry) = t0.overflowing_add(self.s[0]);
+        let t1 = t1.wrapping_add(self.s[1]).wrapping_add(carry as u64);
+        let mut tag = [0u8; TAG_LEN];
+        tag[..8].copy_from_slice(&t0.to_le_bytes());
+        tag[8..].copy_from_slice(&t1.to_le_bytes());
+        tag
+    }
+}
+
+/// One-shot Poly1305 MAC.
+pub fn poly1305(key: &[u8; 32], msg: &[u8]) -> [u8; TAG_LEN] {
+    let mut p = Poly1305::new(key);
+    p.update(msg);
+    p.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    // RFC 7539 §2.5.2 test vector.
+    #[test]
+    fn rfc7539_vector() {
+        let key: [u8; 32] = unhex(
+            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
+        )
+        .try_into()
+        .unwrap();
+        let tag = poly1305(&key, b"Cryptographic Forum Research Group");
+        assert_eq!(hex(&tag), "a8061dc1305136c6c22b8baf0c0127a9");
+    }
+
+    // RFC 7539 Appendix A.3 test vector #1: all-zero key, all-zero text.
+    #[test]
+    fn rfc7539_a3_vector1() {
+        let key = [0u8; 32];
+        let msg = [0u8; 64];
+        assert_eq!(hex(&poly1305(&key, &msg)), "00000000000000000000000000000000");
+    }
+
+    // RFC 7539 Appendix A.3 test vector #2.
+    #[test]
+    fn rfc7539_a3_vector2() {
+        let mut key = [0u8; 32];
+        key[16..].copy_from_slice(&unhex("36e5f6b5c5e06070f0efca96227a863e"));
+        let msg = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
+        assert_eq!(hex(&poly1305(&key, msg)), "36e5f6b5c5e06070f0efca96227a863e");
+    }
+
+    // RFC 7539 Appendix A.3 test vector #3 (r = key part, s = 0).
+    #[test]
+    fn rfc7539_a3_vector3() {
+        let mut key = [0u8; 32];
+        key[..16].copy_from_slice(&unhex("36e5f6b5c5e06070f0efca96227a863e"));
+        let msg = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
+        assert_eq!(hex(&poly1305(&key, msg)), "f3477e7cd95417af89a6b8794c310cf0");
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key = [3u8; 32];
+        let msg: Vec<u8> = (0..255u8).collect();
+        let want = poly1305(&key, &msg);
+        for split in [0usize, 1, 15, 16, 17, 100, 255] {
+            let mut p = Poly1305::new(&key);
+            p.update(&msg[..split]);
+            p.update(&msg[split..]);
+            assert_eq!(p.finish(), want, "split {split}");
+        }
+    }
+}

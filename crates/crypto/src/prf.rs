@@ -1,0 +1,145 @@
+//! The TLS 1.2 pseudo-random function (RFC 5246 §5) and HKDF (RFC 5869).
+//!
+//! TLS 1.2 derives the master secret and the key block from the premaster
+//! secret via `PRF(secret, label, seed) = P_SHA256(secret, label + seed)`.
+//! The TLS 1.3 PSK module uses HKDF-Extract/Expand instead.
+
+use crate::hmac::hmac_sha256;
+use crate::sha256::DIGEST_LEN;
+
+/// `P_SHA256(secret, seed)` expanded to `out.len()` bytes (RFC 5246 §5).
+pub fn p_sha256(secret: &[u8], seed: &[u8], out: &mut [u8]) {
+    // A(0) = seed; A(i) = HMAC(secret, A(i-1))
+    // output = HMAC(secret, A(1) + seed) + HMAC(secret, A(2) + seed) + ...
+    let mut a = hmac_sha256(secret, seed);
+    let mut offset = 0;
+    while offset < out.len() {
+        let mut msg = Vec::with_capacity(DIGEST_LEN + seed.len());
+        msg.extend_from_slice(&a);
+        msg.extend_from_slice(seed);
+        let block = hmac_sha256(secret, &msg);
+        let take = (out.len() - offset).min(DIGEST_LEN);
+        out[offset..offset + take].copy_from_slice(&block[..take]);
+        offset += take;
+        a = hmac_sha256(secret, &a);
+    }
+}
+
+/// The TLS 1.2 PRF: `PRF(secret, label, seed)` producing `len` bytes.
+pub fn prf(secret: &[u8], label: &[u8], seed: &[u8], len: usize) -> Vec<u8> {
+    let mut label_seed = Vec::with_capacity(label.len() + seed.len());
+    label_seed.extend_from_slice(label);
+    label_seed.extend_from_slice(seed);
+    let mut out = vec![0u8; len];
+    p_sha256(secret, &label_seed, &mut out);
+    out
+}
+
+/// HKDF-Extract with SHA-256 (RFC 5869 §2.2).
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand with SHA-256 (RFC 5869 §2.3). Panics if `len > 255 * 32`.
+pub fn hkdf_expand(prk: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * DIGEST_LEN, "HKDF-Expand output too long");
+    let mut out = Vec::with_capacity(len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < len {
+        let mut msg = Vec::with_capacity(t.len() + info.len() + 1);
+        msg.extend_from_slice(&t);
+        msg.extend_from_slice(info);
+        msg.push(counter);
+        let block = hmac_sha256(prk, &msg);
+        t = block.to_vec();
+        let take = (len - out.len()).min(DIGEST_LEN);
+        out.extend_from_slice(&block[..take]);
+        counter = counter.checked_add(1).expect("HKDF counter overflow");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // Widely circulated TLS 1.2 PRF (SHA-256) test vector
+    // (e.g. from the IETF TLS list / mozilla NSS test suite).
+    #[test]
+    fn tls12_prf_vector() {
+        let secret = unhex("9bbe436ba940f017b17652849a71db35");
+        let seed = unhex("a0ba9f936cda311827a6f796ffd5198c");
+        let out = prf(&secret, b"test label", &seed, 100);
+        assert_eq!(
+            hex(&out),
+            "e3f229ba727be17b8d122620557cd453c2aab21d07c3d495329b52d4e61edb5a\
+             6b301791e90d35c9c9a46b4e14baf9af0fa022f7077def17abfd3797c0564bab\
+             4fbc91666e9def9b97fce34f796789baa48082d122ee42c5a72e5a5110fff701\
+             87347b66"
+        );
+    }
+
+    // RFC 5869 test case 1.
+    #[test]
+    fn hkdf_rfc5869_case1() {
+        let ikm = [0x0bu8; 22];
+        let salt = unhex("000102030405060708090a0b0c");
+        let info = unhex("f0f1f2f3f4f5f6f7f8f9");
+        let prk = hkdf_extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = hkdf_expand(&prk, &info, 42);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 test case 3 (empty salt and info).
+    #[test]
+    fn hkdf_rfc5869_case3() {
+        let ikm = [0x0bu8; 22];
+        let prk = hkdf_extract(&[], &ikm);
+        let okm = hkdf_expand(&prk, &[], 42);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn prf_deterministic_and_length_exact() {
+        for len in [0usize, 1, 31, 32, 33, 64, 100] {
+            let a = prf(b"secret", b"label", b"seed", len);
+            let b = prf(b"secret", b"label", b"seed", len);
+            assert_eq!(a, b);
+            assert_eq!(a.len(), len);
+        }
+    }
+
+    #[test]
+    fn prf_separates_inputs() {
+        let base = prf(b"secret", b"label", b"seed", 32);
+        assert_ne!(base, prf(b"secreT", b"label", b"seed", 32));
+        assert_ne!(base, prf(b"secret", b"labeL", b"seed", 32));
+        assert_ne!(base, prf(b"secret", b"label", b"seeD", 32));
+        // label/seed boundary must matter... P_SHA256 concatenates, so the
+        // pair ("label", "seed") equals ("labels", "eed") by construction.
+        // Document that callers must use fixed labels (TLS does).
+        assert_eq!(base, prf(b"secret", b"labels", b"eed", 32));
+    }
+}

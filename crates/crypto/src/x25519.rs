@@ -1,0 +1,408 @@
+//! X25519 elliptic-curve Diffie-Hellman (RFC 7748).
+//!
+//! The ECDHE side of the study. Curve25519 is implemented with a
+//! Montgomery ladder over GF(2^255 - 19) using ten 26/25-bit limbs packed
+//! in `u64`s (the classic "ref10"-style radix-2^25.5 representation).
+//! Pinned to the RFC 7748 §5.2 test vectors and the iterated-ladder vector.
+
+/// Length of scalars and public values.
+pub const KEY_LEN: usize = 32;
+
+/// Field element in GF(2^255 - 19): ten limbs, radix 2^25.5.
+#[derive(Clone, Copy)]
+struct Fe([i64; 10]);
+
+impl Fe {
+    const ZERO: Fe = Fe([0; 10]);
+    const ONE: Fe = Fe([1, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+
+    fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        // Little-endian; top bit masked per RFC 7748.
+        let load3 = |b: &[u8]| -> i64 {
+            b[0] as i64 | (b[1] as i64) << 8 | (b[2] as i64) << 16
+        };
+        let load4 = |b: &[u8]| -> i64 {
+            load3(b) | (b[3] as i64) << 24
+        };
+        let mut h = [0i64; 10];
+        h[0] = load4(&bytes[0..4]) & 0x3ffffff;
+        h[1] = (load4(&bytes[3..7]) >> 2) & 0x1ffffff;
+        h[2] = (load4(&bytes[6..10]) >> 3) & 0x3ffffff;
+        h[3] = (load4(&bytes[9..13]) >> 5) & 0x1ffffff;
+        h[4] = (load4(&bytes[12..16]) >> 6) & 0x3ffffff;
+        h[5] = load4(&bytes[16..20]) & 0x1ffffff;
+        h[6] = (load4(&bytes[19..23]) >> 1) & 0x3ffffff;
+        h[7] = (load4(&bytes[22..26]) >> 3) & 0x1ffffff;
+        h[8] = (load4(&bytes[25..29]) >> 4) & 0x3ffffff;
+        h[9] = (load4(&bytes[28..32]) >> 6) & 0x1ffffff; // top bit dropped
+        Fe(h)
+    }
+
+    fn to_bytes(mut self) -> [u8; 32] {
+        self = self.carry();
+        // Reduce fully mod 2^255 - 19.
+        let mut h = self.0;
+        // q = floor(h / (2^255 - 19)) ∈ {0, 1}; compute via adding 19 and
+        // seeing if it overflows 2^255.
+        let mut q = (19 * h[9] + (1 << 24)) >> 25;
+        for i in 0..10 {
+            let shift = if i % 2 == 0 { 26 } else { 25 };
+            q = (h[i] + q) >> shift;
+        }
+        h[0] += 19 * q;
+        // Carry chain clearing each limb to canonical range.
+        for i in 0..9 {
+            let shift = if i % 2 == 0 { 26 } else { 25 };
+            let carry = h[i] >> shift;
+            h[i + 1] += carry;
+            h[i] -= carry << shift;
+        }
+        let carry = h[9] >> 25;
+        h[9] -= carry << 25;
+        // h is now canonical; pack little-endian.
+        let mut out = [0u8; 32];
+        let mut acc: u64 = 0;
+        let mut acc_bits = 0;
+        let mut idx = 0;
+        for i in 0..10 {
+            let bits = if i % 2 == 0 { 26 } else { 25 };
+            acc |= (h[i] as u64) << acc_bits;
+            acc_bits += bits;
+            while acc_bits >= 8 {
+                out[idx] = acc as u8;
+                idx += 1;
+                acc >>= 8;
+                acc_bits -= 8;
+            }
+        }
+        if idx < 32 {
+            out[idx] = acc as u8;
+        }
+        out
+    }
+
+    fn add(&self, other: &Fe) -> Fe {
+        let mut out = [0i64; 10];
+        for i in 0..10 {
+            out[i] = self.0[i] + other.0[i];
+        }
+        Fe(out)
+    }
+
+    fn sub(&self, other: &Fe) -> Fe {
+        // Add a multiple of p before subtracting to keep limbs positive.
+        const P2: [i64; 10] = [
+            0x7ffffda, 0x3fffffe, 0x7fffffe, 0x3fffffe, 0x7fffffe, 0x3fffffe, 0x7fffffe,
+            0x3fffffe, 0x7fffffe, 0x3fffffe,
+        ]; // 2p in this radix
+        let mut out = [0i64; 10];
+        for i in 0..10 {
+            out[i] = self.0[i] + P2[i] - other.0[i];
+        }
+        Fe(out).carry()
+    }
+
+    fn carry(mut self) -> Fe {
+        for _ in 0..2 {
+            for i in 0..9 {
+                let shift = if i % 2 == 0 { 26 } else { 25 };
+                let c = self.0[i] >> shift;
+                self.0[i] -= c << shift;
+                self.0[i + 1] += c;
+            }
+            let c = self.0[9] >> 25;
+            self.0[9] -= c << 25;
+            self.0[0] += 19 * c;
+        }
+        self
+    }
+
+    fn mul(&self, other: &Fe) -> Fe {
+        let a = &self.0;
+        let b = &other.0;
+        // Products with the 2^25.5 radix corrections: odd*odd limb pairs
+        // pick up a factor of 2; wraparound terms pick up 19.
+        let mut t = [0i128; 19];
+        for i in 0..10 {
+            for j in 0..10 {
+                let mut m = a[i] as i128 * b[j] as i128;
+                if i % 2 == 1 && j % 2 == 1 {
+                    m *= 2;
+                }
+                t[i + j] += m;
+            }
+        }
+        // Fold t[10..19] back with factor 19 (since 2^255 ≡ 19).
+        let mut h = [0i128; 10];
+        for i in 0..10 {
+            h[i] = t[i];
+        }
+        for i in 10..19 {
+            h[i - 10] += 19 * t[i];
+        }
+        // Carry to bring limbs into range.
+        let mut out = [0i64; 10];
+        let mut carry: i128 = 0;
+        for i in 0..10 {
+            let shift = if i % 2 == 0 { 26 } else { 25 };
+            let v = h[i] + carry;
+            carry = v >> shift;
+            out[i] = (v - (carry << shift)) as i64;
+        }
+        // carry * 2^255 ≡ carry * 19
+        let mut fe = Fe(out);
+        fe.0[0] += (carry * 19) as i64;
+        fe.carry()
+    }
+
+    fn square(&self) -> Fe {
+        self.mul(self)
+    }
+
+    fn mul_small(&self, k: i64) -> Fe {
+        let mut out = [0i64; 10];
+        for i in 0..10 {
+            out[i] = self.0[i] * k;
+        }
+        Fe(out).carry()
+    }
+
+    /// Inversion via Fermat: a^(p-2).
+    fn invert(&self) -> Fe {
+        let mut result = Fe::ONE;
+        let mut base = *self;
+        // p - 2 = 2^255 - 21, binary: 253 ones, then 01011.
+        // Simple square-and-multiply over the fixed exponent bits.
+        let exp_bits: Vec<bool> = {
+            // Little-endian bits of 2^255 - 21.
+            // 2^255 - 21 = (2^255 - 19) - 2 ... compute directly:
+            // binary of p-2: bit 255 unset; bits 254..5 set? Use bignum-free
+            // approach: p - 2 = 2^255 - 21; -21 mod 2^255 flips low bits.
+            // 21 = 10101b. 2^255 - 21 = (2^255 - 32) + 11 =
+            // 0b0111...1101011 with 250 leading ones.
+            let mut bits = vec![true; 255];
+            // low 5 bits of (2^255 - 21): since 2^255 ≡ 0 mod 32, low 5
+            // bits are (32 - 21) = 11 = 01011.
+            bits[0] = true;
+            bits[1] = true;
+            bits[2] = false;
+            bits[3] = true;
+            bits[4] = false;
+            bits
+        };
+        for &bit in exp_bits.iter() {
+            if bit {
+                result = result.mul(&base);
+            }
+            base = base.square();
+        }
+        result
+    }
+}
+
+fn cswap(swap: u8, a: &mut Fe, b: &mut Fe) {
+    let mask = -(swap as i64);
+    for i in 0..10 {
+        let x = mask & (a.0[i] ^ b.0[i]);
+        a.0[i] ^= x;
+        b.0[i] ^= x;
+    }
+}
+
+/// Clamp a 32-byte scalar per RFC 7748 §5.
+pub fn clamp_scalar(scalar: &mut [u8; 32]) {
+    scalar[0] &= 248;
+    scalar[31] &= 127;
+    scalar[31] |= 64;
+}
+
+/// The X25519 function: scalar multiplication on Curve25519.
+pub fn x25519(scalar: &[u8; 32], point: &[u8; 32]) -> [u8; 32] {
+    let mut k = *scalar;
+    clamp_scalar(&mut k);
+    let x1 = Fe::from_bytes(point);
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = 0u8;
+    for t in (0..255).rev() {
+        let k_t = (k[t / 8] >> (t % 8)) & 1;
+        swap ^= k_t;
+        cswap(swap, &mut x2, &mut x3);
+        cswap(swap, &mut z2, &mut z3);
+        swap = k_t;
+        let a = x2.add(&z2);
+        let aa = a.square();
+        let b = x2.sub(&z2);
+        let bb = b.square();
+        let e = aa.sub(&bb);
+        let c = x3.add(&z3);
+        let d = x3.sub(&z3);
+        let da = d.mul(&a);
+        let cb = c.mul(&b);
+        x3 = da.add(&cb).carry().square();
+        z3 = x1.mul(&da.sub(&cb).square());
+        x2 = aa.mul(&bb);
+        z2 = e.mul(&aa.add(&e.mul_small(121665)).carry());
+    }
+    cswap(swap, &mut x2, &mut x3);
+    cswap(swap, &mut z2, &mut z3);
+    x2.mul(&z2.invert()).to_bytes()
+}
+
+/// The canonical base point (u = 9).
+pub const BASEPOINT: [u8; 32] = {
+    let mut b = [0u8; 32];
+    b[0] = 9;
+    b
+};
+
+/// Compute the public key for a secret scalar.
+pub fn public_key(secret: &[u8; 32]) -> [u8; 32] {
+    x25519(secret, &BASEPOINT)
+}
+
+/// An X25519 key pair.
+#[derive(Clone)]
+pub struct X25519KeyPair {
+    /// The (clamped-on-use) secret scalar `d_A`.
+    pub secret: [u8; 32],
+    /// The public point `d_A · G`.
+    pub public: [u8; 32],
+}
+
+impl X25519KeyPair {
+    /// Generate from a DRBG.
+    pub fn generate(rng: &mut crate::drbg::HmacDrbg) -> Self {
+        let mut secret = [0u8; 32];
+        rng.fill_bytes(&mut secret);
+        let public = public_key(&secret);
+        X25519KeyPair { secret, public }
+    }
+
+    /// Shared secret with a peer public value.
+    pub fn shared_secret(&self, peer_public: &[u8; 32]) -> [u8; 32] {
+        x25519(&self.secret, peer_public)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex32(s: &str) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..32 {
+            out[i] = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap();
+        }
+        out
+    }
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    // RFC 7748 §5.2 test vector 1.
+    #[test]
+    fn rfc7748_vector1() {
+        let scalar = unhex32("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let point = unhex32("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        let out = x25519(&scalar, &point);
+        assert_eq!(
+            hex(&out),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+        );
+    }
+
+    // RFC 7748 §5.2 test vector 2.
+    #[test]
+    fn rfc7748_vector2() {
+        let scalar = unhex32("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let point = unhex32("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+        let out = x25519(&scalar, &point);
+        assert_eq!(
+            hex(&out),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957"
+        );
+    }
+
+    // RFC 7748 §6.1 Diffie-Hellman vector.
+    #[test]
+    fn rfc7748_dh_vector() {
+        let alice_sk = unhex32("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        let bob_sk = unhex32("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+        let alice_pk = public_key(&alice_sk);
+        assert_eq!(
+            hex(&alice_pk),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"
+        );
+        let bob_pk = public_key(&bob_sk);
+        assert_eq!(
+            hex(&bob_pk),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"
+        );
+        let k1 = x25519(&alice_sk, &bob_pk);
+        let k2 = x25519(&bob_sk, &alice_pk);
+        assert_eq!(k1, k2);
+        assert_eq!(
+            hex(&k1),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"
+        );
+    }
+
+    // RFC 7748 §5.2 iterated vectors: 1 and 1000 iterations.
+    #[test]
+    fn rfc7748_iterated() {
+        let once = x25519(&BASEPOINT, &BASEPOINT);
+        assert_eq!(
+            hex(&once),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079"
+        );
+        let mut k = BASEPOINT;
+        let mut u = BASEPOINT;
+        for _ in 0..1000 {
+            let r = x25519(&k, &u);
+            u = k;
+            k = r;
+        }
+        assert_eq!(
+            hex(&k),
+            "684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51"
+        );
+    }
+
+    #[test]
+    fn keypair_exchange_agrees() {
+        let mut rng = crate::drbg::HmacDrbg::new(b"x25519");
+        let a = X25519KeyPair::generate(&mut rng);
+        let b = X25519KeyPair::generate(&mut rng);
+        assert_eq!(a.shared_secret(&b.public), b.shared_secret(&a.public));
+        assert_ne!(a.public, b.public);
+    }
+
+    #[test]
+    fn clamping_makes_cofactor_safe() {
+        let mut s = [0xffu8; 32];
+        clamp_scalar(&mut s);
+        assert_eq!(s[0] & 7, 0);
+        assert_eq!(s[31] & 0x80, 0);
+        assert_eq!(s[31] & 0x40, 0x40);
+    }
+
+    #[test]
+    fn fe_roundtrip() {
+        // Canonical field elements round-trip through from_bytes/to_bytes.
+        let mut rng = crate::drbg::HmacDrbg::new(b"fe");
+        for _ in 0..20 {
+            let mut b = [0u8; 32];
+            rng.fill_bytes(&mut b);
+            b[31] &= 0x7f; // < 2^255
+            // Values ≥ p don't round-trip (they reduce); skip unlikely case
+            // by masking the top byte down further.
+            b[31] &= 0x3f;
+            let fe = Fe::from_bytes(&b);
+            assert_eq!(fe.to_bytes(), b);
+        }
+    }
+}

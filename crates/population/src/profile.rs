@@ -1,0 +1,585 @@
+//! Behaviour profiles and the distributions they are sampled from.
+//!
+//! Each domain ends up with a [`DomainBehavior`]: which key exchanges it
+//! supports, how its session cache and tickets behave, and how long it
+//! reuses ephemeral values. The sampling distributions are calibrated to
+//! the paper's §4 measurements (see the module-level constants).
+
+use ts_crypto::drbg::HmacDrbg;
+use ts_tls::ephemeral::EphemeralPolicy;
+use ts_tls::suites::CipherSuite;
+use ts_tls::ticket::{RotationPolicy, TicketFormat};
+
+/// Seconds helpers.
+pub const MINUTE: u64 = 60;
+/// One hour.
+pub const HOUR: u64 = 3_600;
+/// One day.
+pub const DAY: u64 = 86_400;
+
+/// Server software, which fixes defaults and the ticket wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Software {
+    /// Apache httpd: 5-minute session cache, tickets on by default,
+    /// random STEK at startup.
+    Apache,
+    /// Nginx: issues session IDs; cache only when configured (5 min);
+    /// tickets on by default, random STEK at startup.
+    Nginx,
+    /// Microsoft IIS / SChannel: 10-hour session cache, SChannel-format
+    /// tickets, DPAPI-style key rotation.
+    Iis,
+    /// CDN or large-operator custom stack.
+    Custom,
+}
+
+impl Software {
+    /// Ticket format this software emits.
+    pub fn ticket_format(self) -> TicketFormat {
+        match self {
+            Software::Iis => TicketFormat::SChannel,
+            _ => TicketFormat::Rfc5077,
+        }
+    }
+}
+
+/// Session-ID cache behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachePolicy {
+    /// Issue session IDs in ServerHello at all?
+    pub issue_ids: bool,
+    /// Resume from the cache? (Nginx issues but may not resume.)
+    pub resume: bool,
+    /// Cache entry lifetime in seconds.
+    pub lifetime: u64,
+}
+
+/// Session-ticket behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TicketPolicy {
+    /// Issue tickets at all?
+    pub enabled: bool,
+    /// Lifetime hint sent in NewSessionTicket (0 = unspecified).
+    pub lifetime_hint: u32,
+    /// How long tickets are honoured after original establishment.
+    pub accept_window: u64,
+    /// STEK rotation behaviour.
+    pub rotation: RotationPolicy,
+    /// Reissue a fresh ticket on resumption?
+    pub reissue: bool,
+}
+
+/// A domain's complete server-side behaviour.
+#[derive(Debug, Clone)]
+pub struct DomainBehavior {
+    /// Software family.
+    pub software: Software,
+    /// Suites in server preference order.
+    pub suites: Vec<CipherSuite>,
+    /// Session-ID behaviour.
+    pub cache: CachePolicy,
+    /// Ticket behaviour.
+    pub tickets: TicketPolicy,
+    /// DHE value reuse.
+    pub dhe_policy: EphemeralPolicy,
+    /// ECDHE value reuse.
+    pub ecdhe_policy: EphemeralPolicy,
+}
+
+/// Which key exchanges a behaviour's suite list supports.
+impl DomainBehavior {
+    /// Supports any DHE suite?
+    pub fn supports_dhe(&self) -> bool {
+        self.suites
+            .iter()
+            .any(|s| s.key_exchange() == ts_tls::suites::KeyExchange::Dhe)
+    }
+
+    /// Supports any ECDHE suite?
+    pub fn supports_ecdhe(&self) -> bool {
+        self.suites
+            .iter()
+            .any(|s| s.key_exchange() == ts_tls::suites::KeyExchange::Ecdhe)
+    }
+}
+
+/// Sample a value from `(probability, value)` buckets; the last bucket is
+/// the fallback. Probabilities are cumulative-ized internally.
+fn sample_buckets<T: Copy>(rng: &mut HmacDrbg, buckets: &[(f64, T)]) -> T {
+    let roll = rng.gen_f64();
+    let mut acc = 0.0;
+    for &(p, v) in buckets {
+        acc += p;
+        if roll < acc {
+            return v;
+        }
+    }
+    buckets.last().expect("non-empty buckets").1
+}
+
+/// Long-tail software mix among trusted HTTPS sites (approximating 2016
+/// web-server market structure plus the paper's lifetime spikes: Apache
+/// and Nginx at 5 minutes, IIS at 10 hours).
+pub fn sample_software(rng: &mut HmacDrbg) -> Software {
+    sample_buckets(
+        rng,
+        &[
+            (0.42, Software::Apache),
+            (0.34, Software::Nginx),
+            (0.12, Software::Iis),
+            (0.12, Software::Custom),
+        ],
+    )
+}
+
+/// Long-tail suite support. Ecosystem-wide the paper measures 89% ECDHE
+/// and 59% DHE among trusted sites (Table 1); CDN-class operators are
+/// ECDHE-only, so the *long tail* must run above the ecosystem DHE rate
+/// for the blend to land at 59%.
+pub fn sample_suites(rng: &mut HmacDrbg) -> Vec<CipherSuite> {
+    let ecdhe = rng.gen_bool(0.89);
+    let dhe = rng.gen_bool(0.72);
+    let mut suites = Vec::new();
+    if ecdhe {
+        suites.extend(CipherSuite::ecdhe_only());
+    }
+    if dhe {
+        suites.extend(CipherSuite::dhe_only());
+    }
+    // RSA key exchange is near-universally retained as a fallback.
+    suites.push(CipherSuite::RsaAes128CbcSha256);
+    suites
+}
+
+/// Long-tail session-cache behaviour, producing Figure 1's shape:
+/// ~61% ≤5 min, ~82% ≤1 h, an IIS step at 10 h, and a sliver ≥24 h.
+pub fn sample_cache_policy(rng: &mut HmacDrbg, software: Software) -> CachePolicy {
+    match software {
+        Software::Apache => {
+            // Default is 5 minutes; a minority of admins raise it.
+            let lifetime = sample_buckets(
+                rng,
+                &[
+                    (0.70, 5 * MINUTE),
+                    (0.15, 30 * MINUTE),
+                    (0.10, HOUR),
+                    (0.05, 10 * HOUR),
+                ],
+            );
+            CachePolicy { issue_ids: true, resume: true, lifetime }
+        }
+        Software::Iis => CachePolicy { issue_ids: true, resume: true, lifetime: 10 * HOUR },
+        Software::Nginx => {
+            // Nginx resumes only when the admin configured a cache; most
+            // deployments do, at the 5-minute default.
+            if rng.gen_bool(0.82) {
+                let lifetime = sample_buckets(
+                    rng,
+                    &[
+                        (0.80, 5 * MINUTE),
+                        (0.08, 20 * MINUTE),
+                        (0.07, HOUR),
+                        (0.05, 4 * HOUR),
+                    ],
+                );
+                CachePolicy { issue_ids: true, resume: true, lifetime }
+            } else {
+                CachePolicy { issue_ids: true, resume: false, lifetime: 0 }
+            }
+        }
+        Software::Custom => {
+            if rng.gen_bool(0.90) {
+                let lifetime = sample_buckets(
+                    rng,
+                    &[
+                        (0.40, 5 * MINUTE),
+                        (0.20, 30 * MINUTE),
+                        (0.20, HOUR),
+                        (0.12, 4 * HOUR),
+                        (0.05, 12 * HOUR),
+                        (0.03, 24 * HOUR),
+                    ],
+                );
+                CachePolicy { issue_ids: true, resume: true, lifetime }
+            } else {
+                CachePolicy { issue_ids: rng.gen_bool(0.5), resume: false, lifetime: 0 }
+            }
+        }
+    }
+}
+
+/// Long-tail STEK rotation, producing Figure 3's shape among ticket
+/// issuers: ~53% fresh each day, ~28% spanning ≥7 days, ~13% ≥30 days.
+pub fn sample_stek_rotation(rng: &mut HmacDrbg) -> RotationPolicy {
+    #[derive(Clone, Copy)]
+    enum Bucket {
+        SubDaily,
+        Days2to6,
+        Days7to29,
+        Days30to62,
+        Never,
+    }
+    let bucket = sample_buckets(
+        rng,
+        &[
+            (0.53, Bucket::SubDaily),
+            (0.18, Bucket::Days2to6),
+            (0.16, Bucket::Days7to29),
+            (0.05, Bucket::Days30to62),
+            (0.08, Bucket::Never),
+        ],
+    );
+    match bucket {
+        Bucket::SubDaily => RotationPolicy::OnRestart {
+            restart_interval: 6 * HOUR + rng.gen_range(18 * HOUR),
+        },
+        Bucket::Days2to6 => RotationPolicy::OnRestart {
+            restart_interval: (2 + rng.gen_range(5)) * DAY,
+        },
+        Bucket::Days7to29 => RotationPolicy::OnRestart {
+            restart_interval: (7 + rng.gen_range(23)) * DAY,
+        },
+        Bucket::Days30to62 => RotationPolicy::OnRestart {
+            restart_interval: (30 + rng.gen_range(33)) * DAY,
+        },
+        Bucket::Never => RotationPolicy::Static,
+    }
+}
+
+/// Long-tail ticket policy: ~81.5% of trusted sites issue tickets
+/// (Table 1); honoured lifetimes give Figure 2's shape (67% <5 min,
+/// 76% ≤1 h), and ~4% leave the hint unspecified.
+pub fn sample_ticket_policy(rng: &mut HmacDrbg, software: Software) -> TicketPolicy {
+    let enabled = match software {
+        Software::Apache | Software::Nginx => rng.gen_bool(0.88),
+        Software::Iis => rng.gen_bool(0.35),
+        Software::Custom => rng.gen_bool(0.75),
+    };
+    if !enabled {
+        return TicketPolicy {
+            enabled: false,
+            lifetime_hint: 0,
+            accept_window: 0,
+            rotation: RotationPolicy::Static,
+            reissue: false,
+        };
+    }
+    // Apache/Nginx default: 3-minute ticket lifetime.
+    let accept_window = match software {
+        Software::Apache | Software::Nginx => sample_buckets(
+            rng,
+            &[
+                (0.75, 3 * MINUTE),
+                (0.08, 30 * MINUTE),
+                (0.06, HOUR),
+                (0.07, 10 * HOUR),
+                (0.04, 18 * HOUR),
+            ],
+        ),
+        Software::Iis => 10 * HOUR,
+        Software::Custom => sample_buckets(
+            rng,
+            &[
+                (0.50, 3 * MINUTE),
+                (0.14, 30 * MINUTE),
+                (0.10, HOUR),
+                (0.12, 10 * HOUR),
+                (0.10, 18 * HOUR),
+                (0.04, 24 * HOUR),
+            ],
+        ),
+    };
+    let hint_unspecified = rng.gen_bool(0.04);
+    TicketPolicy {
+        enabled: true,
+        lifetime_hint: if hint_unspecified { 0 } else { accept_window as u32 },
+        accept_window,
+        rotation: sample_stek_rotation(rng),
+        reissue: rng.gen_bool(0.3),
+    }
+}
+
+/// Long-tail DHE reuse policy (fractions relative to DHE-supporting
+/// domains, calibrated to §4.4: 7.2% show burst reuse; spans ≥1 d for
+/// ~2.3%, ≥7 d ~2.0%, ≥30 d ~0.9% of DHE-connecting domains).
+pub fn sample_dhe_policy(rng: &mut HmacDrbg) -> EphemeralPolicy {
+    #[derive(Clone, Copy)]
+    enum B {
+        Fresh,
+        Hours,
+        Days,
+        Weeks,
+        Forever,
+    }
+    let b = sample_buckets(
+        rng,
+        &[
+            (0.928, B::Fresh),
+            (0.049, B::Hours),
+            (0.003, B::Days),
+            (0.011, B::Weeks),
+            (0.009, B::Forever),
+        ],
+    );
+    match b {
+        B::Fresh => EphemeralPolicy::FreshPerHandshake,
+        B::Hours => EphemeralPolicy::ReuseFor { secs: 10 * MINUTE + rng.gen_range(12 * HOUR) },
+        B::Days => EphemeralPolicy::ReuseFor { secs: (1 + rng.gen_range(6)) * DAY },
+        B::Weeks => EphemeralPolicy::ReuseFor { secs: (7 + rng.gen_range(23)) * DAY },
+        B::Forever => EphemeralPolicy::ReuseForever,
+    }
+}
+
+/// Long-tail ECDHE reuse policy (§4.4: 15.5% burst reuse; ≥1 d ~4.2%,
+/// ≥7 d ~3.7%, ≥30 d ~1.7% of ECDHE-connecting domains).
+pub fn sample_ecdhe_policy(rng: &mut HmacDrbg) -> EphemeralPolicy {
+    #[derive(Clone, Copy)]
+    enum B {
+        Fresh,
+        Hours,
+        Days,
+        Weeks,
+        Forever,
+    }
+    let b = sample_buckets(
+        rng,
+        &[
+            (0.845, B::Fresh),
+            (0.113, B::Hours),
+            (0.005, B::Days),
+            (0.020, B::Weeks),
+            (0.017, B::Forever),
+        ],
+    );
+    match b {
+        B::Fresh => EphemeralPolicy::FreshPerHandshake,
+        B::Hours => EphemeralPolicy::ReuseFor { secs: 10 * MINUTE + rng.gen_range(12 * HOUR) },
+        B::Days => EphemeralPolicy::ReuseFor { secs: (1 + rng.gen_range(6)) * DAY },
+        B::Weeks => EphemeralPolicy::ReuseFor { secs: (7 + rng.gen_range(23)) * DAY },
+        B::Forever => EphemeralPolicy::ReuseForever,
+    }
+}
+
+/// Sample a complete long-tail domain behaviour.
+pub fn sample_long_tail(rng: &mut HmacDrbg) -> DomainBehavior {
+    let software = sample_software(rng);
+    let suites = sample_suites(rng);
+    let cache = sample_cache_policy(rng, software);
+    let tickets = sample_ticket_policy(rng, software);
+    let dhe_policy = sample_dhe_policy(rng);
+    let ecdhe_policy = sample_ecdhe_policy(rng);
+    DomainBehavior { software, suites, cache, tickets, dhe_policy, ecdhe_policy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rates<F: FnMut(&mut HmacDrbg) -> bool>(n: usize, mut f: F) -> f64 {
+        let mut rng = HmacDrbg::new(b"profile-rates");
+        (0..n).filter(|_| f(&mut rng)).count() as f64 / n as f64
+    }
+
+    #[test]
+    fn software_mix_roughly_calibrated() {
+        let apache = rates(4000, |r| sample_software(r) == Software::Apache);
+        assert!((apache - 0.42).abs() < 0.04, "apache share {apache}");
+        let iis = rates(4000, |r| sample_software(r) == Software::Iis);
+        assert!((iis - 0.12).abs() < 0.03, "iis share {iis}");
+    }
+
+    #[test]
+    fn suite_support_matches_table1_ratios() {
+        let mut rng = HmacDrbg::new(b"suites");
+        let n = 4000;
+        let mut ecdhe = 0;
+        let mut dhe = 0;
+        for _ in 0..n {
+            let b = sample_suites(&mut rng);
+            let d = DomainBehavior {
+                software: Software::Apache,
+                suites: b,
+                cache: CachePolicy { issue_ids: true, resume: true, lifetime: 1 },
+                tickets: TicketPolicy {
+                    enabled: false,
+                    lifetime_hint: 0,
+                    accept_window: 0,
+                    rotation: RotationPolicy::Static,
+                    reissue: false,
+                },
+                dhe_policy: EphemeralPolicy::FreshPerHandshake,
+                ecdhe_policy: EphemeralPolicy::FreshPerHandshake,
+            };
+            if d.supports_ecdhe() {
+                ecdhe += 1;
+            }
+            if d.supports_dhe() {
+                dhe += 1;
+            }
+        }
+        let e = ecdhe as f64 / n as f64;
+        let d = dhe as f64 / n as f64;
+        assert!((e - 0.89).abs() < 0.03, "ecdhe {e}");
+        assert!((d - 0.72).abs() < 0.03, "dhe {d}");
+    }
+
+    #[test]
+    fn stek_rotation_distribution_matches_fig3() {
+        let mut rng = HmacDrbg::new(b"stek");
+        let n = 5000;
+        let mut ge7 = 0;
+        let mut ge30 = 0;
+        let mut daily = 0;
+        for _ in 0..n {
+            match sample_stek_rotation(&mut rng) {
+                RotationPolicy::Static => {
+                    ge7 += 1;
+                    ge30 += 1;
+                }
+                RotationPolicy::OnRestart { restart_interval } => {
+                    if restart_interval >= 7 * DAY {
+                        ge7 += 1;
+                    }
+                    if restart_interval >= 30 * DAY {
+                        ge30 += 1;
+                    }
+                    if restart_interval < DAY {
+                        daily += 1;
+                    }
+                }
+                RotationPolicy::Periodic { .. } => unreachable!("long tail never Periodic"),
+            }
+        }
+        let f7 = ge7 as f64 / n as f64;
+        let f30 = ge30 as f64 / n as f64;
+        let fd = daily as f64 / n as f64;
+        assert!((fd - 0.53).abs() < 0.04, "daily {fd}");
+        assert!((f7 - 0.26).abs() < 0.05, "≥7d {f7}");
+        assert!((f30 - 0.11).abs() < 0.04, "≥30d {f30}");
+    }
+
+    #[test]
+    fn cache_lifetimes_produce_fig1_spikes() {
+        let mut rng = HmacDrbg::new(b"cache");
+        let n = 5000;
+        let mut five_min = 0;
+        let mut under_hour = 0;
+        let mut resuming = 0;
+        for _ in 0..n {
+            let sw = sample_software(&mut rng);
+            let c = sample_cache_policy(&mut rng, sw);
+            if c.resume {
+                resuming += 1;
+                if c.lifetime <= 5 * MINUTE {
+                    five_min += 1;
+                }
+                if c.lifetime <= HOUR {
+                    under_hour += 1;
+                }
+            }
+        }
+        let f5 = five_min as f64 / resuming as f64;
+        let f60 = under_hour as f64 / resuming as f64;
+        assert!((f5 - 0.61).abs() < 0.08, "≤5min {f5}");
+        assert!((f60 - 0.82).abs() < 0.08, "≤1h {f60}");
+    }
+
+    #[test]
+    fn ticket_windows_produce_fig2_spikes() {
+        let mut rng = HmacDrbg::new(b"tickets");
+        let n = 5000;
+        let mut enabled = 0;
+        let mut five = 0;
+        let mut hour = 0;
+        for _ in 0..n {
+            let sw = sample_software(&mut rng);
+            let t = sample_ticket_policy(&mut rng, sw);
+            if t.enabled {
+                enabled += 1;
+                if t.accept_window <= 5 * MINUTE {
+                    five += 1;
+                }
+                if t.accept_window <= HOUR {
+                    hour += 1;
+                }
+            }
+        }
+        let fe = enabled as f64 / n as f64;
+        let f5 = five as f64 / enabled as f64;
+        let f60 = hour as f64 / enabled as f64;
+        // Long-tail-only targets sit above the paper's ecosystem-wide 67%
+        // / 76% because the CDN operators' 10-28h windows are added by
+        // the population builder, not sampled here.
+        assert!((fe - 0.80).abs() < 0.06, "ticket support {fe}");
+        assert!((f5 - 0.70).abs() < 0.08, "≤5min {f5}");
+        assert!((f60 - 0.84).abs() < 0.08, "≤1h {f60}");
+    }
+
+    #[test]
+    fn ephemeral_reuse_rates_match_section_4_4() {
+        let mut rng = HmacDrbg::new(b"eph");
+        let n = 20_000;
+        let mut dhe_reuse = 0;
+        let mut dhe_ge1d = 0;
+        let mut ecdhe_reuse = 0;
+        let mut ecdhe_ge1d = 0;
+        for _ in 0..n {
+            match sample_dhe_policy(&mut rng) {
+                EphemeralPolicy::FreshPerHandshake => {}
+                EphemeralPolicy::ReuseFor { secs } => {
+                    dhe_reuse += 1;
+                    if secs >= DAY {
+                        dhe_ge1d += 1;
+                    }
+                }
+                EphemeralPolicy::ReuseForever => {
+                    dhe_reuse += 1;
+                    dhe_ge1d += 1;
+                }
+            }
+            match sample_ecdhe_policy(&mut rng) {
+                EphemeralPolicy::FreshPerHandshake => {}
+                EphemeralPolicy::ReuseFor { secs } => {
+                    ecdhe_reuse += 1;
+                    if secs >= DAY {
+                        ecdhe_ge1d += 1;
+                    }
+                }
+                EphemeralPolicy::ReuseForever => {
+                    ecdhe_reuse += 1;
+                    ecdhe_ge1d += 1;
+                }
+            }
+        }
+        let dr = dhe_reuse as f64 / n as f64;
+        let d1 = dhe_ge1d as f64 / n as f64;
+        let er = ecdhe_reuse as f64 / n as f64;
+        let e1 = ecdhe_ge1d as f64 / n as f64;
+        assert!((dr - 0.072).abs() < 0.01, "dhe reuse {dr}");
+        assert!((d1 - 0.023).abs() < 0.008, "dhe ≥1d {d1}");
+        assert!((er - 0.155).abs() < 0.015, "ecdhe reuse {er}");
+        assert!((e1 - 0.042).abs() < 0.01, "ecdhe ≥1d {e1}");
+    }
+
+    #[test]
+    fn iis_uses_schannel_format() {
+        assert_eq!(Software::Iis.ticket_format(), TicketFormat::SChannel);
+        assert_eq!(Software::Apache.ticket_format(), TicketFormat::Rfc5077);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let mut a = HmacDrbg::new(b"det");
+        let mut b = HmacDrbg::new(b"det");
+        for _ in 0..50 {
+            let x = sample_long_tail(&mut a);
+            let y = sample_long_tail(&mut b);
+            assert_eq!(x.software, y.software);
+            assert_eq!(x.suites, y.suites);
+            assert_eq!(x.cache, y.cache);
+            assert_eq!(x.tickets, y.tickets);
+            assert_eq!(x.dhe_policy, y.dhe_policy);
+            assert_eq!(x.ecdhe_policy, y.ecdhe_policy);
+        }
+    }
+}

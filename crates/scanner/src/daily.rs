@@ -1,0 +1,220 @@
+//! The daily 63-day campaign (§4.3, §4.4 — Figures 3–5, Tables 2–4).
+//!
+//! Each day, for each domain in that day's list: one browser-like grab
+//! recording the issued ticket's STEK identifier, one DHE-only grab and
+//! one ECDHE-first grab recording the server's key-exchange values.
+
+use crate::grab::{GrabOptions, Scanner, SuiteOffer};
+use ts_core::observations::{KexKind, KexSighting, TicketSighting};
+use ts_simnet::clock::{Clock, DAY, MINUTE};
+
+/// Options for a daily campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Days to scan (typically `0..63`).
+    pub days: std::ops::Range<u64>,
+    /// Seconds after midnight the daily scan fires.
+    pub scan_time_of_day: u64,
+    /// Collect ticket sightings?
+    pub tickets: bool,
+    /// Collect DHE sightings?
+    pub dhe: bool,
+    /// Collect ECDHE sightings?
+    pub ecdhe: bool,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            days: 0..63,
+            scan_time_of_day: 6 * 3_600,
+            tickets: true,
+            dhe: true,
+            ecdhe: true,
+        }
+    }
+}
+
+/// The sightings a campaign produced.
+#[derive(Debug, Default, Clone)]
+pub struct CampaignData {
+    /// (domain, day, STEK id) sightings.
+    pub tickets: Vec<TicketSighting>,
+    /// (domain, day, KEX value) sightings, both flavours.
+    pub kex: Vec<KexSighting>,
+    /// Handshake attempts made (for throughput reporting).
+    pub attempts: u64,
+}
+
+/// Run a daily campaign over the population's per-day list.
+///
+/// `domains_for_day` selects targets (e.g. the full list, or the stable
+/// core); the default campaign scans whatever the churned list contains,
+/// and analysis filters to the core afterwards — exactly the paper's flow.
+pub fn run_campaign(
+    scanner: &mut Scanner,
+    options: &CampaignOptions,
+    mut domains_for_day: impl FnMut(u64) -> Vec<String>,
+) -> CampaignData {
+    let mut data = CampaignData::default();
+    for day in options.days.clone() {
+        let clock = Clock::at(day * DAY + options.scan_time_of_day);
+        let now = clock.now();
+        debug_assert_eq!(clock.day(), day);
+        for domain in domains_for_day(day) {
+            if options.tickets {
+                data.attempts += 1;
+                let g = scanner.grab(&domain, now, &GrabOptions::default());
+                if let Some(obs) = g.ok() {
+                    if obs.trusted {
+                        if let (Some(stek_id), Some(nst)) = (&obs.stek_id, &obs.ticket) {
+                            data.tickets.push(TicketSighting {
+                                domain: domain.clone(),
+                                day,
+                                stek_id: stek_id.clone(),
+                                lifetime_hint: nst.lifetime_hint,
+                            });
+                        }
+                    }
+                }
+            }
+            if options.dhe {
+                data.attempts += 1;
+                let opts = GrabOptions { suites: SuiteOffer::DheOnly, ..Default::default() };
+                let g = scanner.grab(&domain, now + MINUTE, &opts);
+                if let Some(obs) = g.ok() {
+                    if obs.trusted {
+                        if let Some(fp) = &obs.kex_value_fp {
+                            data.kex.push(KexSighting {
+                                domain: domain.clone(),
+                                day,
+                                kex: KexKind::Dhe,
+                                value_fp: fp.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+            if options.ecdhe {
+                data.attempts += 1;
+                let opts =
+                    GrabOptions { suites: SuiteOffer::EcdheThenRsa, ..Default::default() };
+                let g = scanner.grab(&domain, now + 2 * MINUTE, &opts);
+                if let Some(obs) = g.ok() {
+                    if obs.trusted {
+                        // Only ECDHE connections yield a value; RSA
+                        // fallback connections record nothing.
+                        if let Some(fp) = &obs.kex_value_fp {
+                            data.kex.push(KexSighting {
+                                domain: domain.clone(),
+                                day,
+                                kex: KexKind::Ecdhe,
+                                value_fp: fp.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+    use ts_core::lifetime::SpanEstimator;
+    use ts_core::observations::KexKind;
+    use ts_population::{Population, PopulationConfig};
+
+    fn pop() -> &'static Population {
+        static POP: OnceLock<Population> = OnceLock::new();
+        POP.get_or_init(|| {
+            let mut cfg = PopulationConfig::new(31, 300);
+            cfg.flakiness = 0.0;
+            Population::build(cfg)
+        })
+    }
+
+    fn mini_campaign(days: std::ops::Range<u64>, targets: Vec<String>) -> CampaignData {
+        let p = pop();
+        let mut s = Scanner::new(p, "daily-test");
+        let options = CampaignOptions { days, ..Default::default() };
+        run_campaign(&mut s, &options, move |_day| targets.clone())
+    }
+
+    #[test]
+    fn static_stek_domain_spans_whole_window() {
+        let data = mini_campaign(0..10, vec!["yahoo.sim".into()]);
+        let mut est = SpanEstimator::new();
+        est.record_tickets(&data.tickets);
+        let spans = est.domain_spans();
+        assert_eq!(spans["yahoo.sim"].max_span_days, 10);
+        assert_eq!(spans["yahoo.sim"].distinct_ids, 1, "one STEK for 10 days");
+    }
+
+    #[test]
+    fn rotating_domain_changes_stek_daily() {
+        // Fresh population: STEK rotation state is monotone in time, and
+        // the shared test population may already have ticked past day 0.
+        let mut cfg = PopulationConfig::new(33, 300);
+        cfg.flakiness = 0.0;
+        let p = Population::build(cfg);
+        let mut s = Scanner::new(&p, "daily-rotate");
+        let options = CampaignOptions { days: 0..6, ..Default::default() };
+        let data = run_campaign(&mut s, &options, |_day| vec!["twitter.sim".into()]);
+        let mut est = SpanEstimator::new();
+        est.record_tickets(&data.tickets);
+        let spans = est.domain_spans();
+        assert_eq!(spans["twitter.sim"].max_span_days, 1, "fresh STEK daily");
+        assert_eq!(spans["twitter.sim"].distinct_ids, 6);
+    }
+
+    #[test]
+    fn restart_rotation_observed_at_boundary() {
+        // netflix.sim: STEK rotates every 54 days; in a 6-day window one id.
+        let data = mini_campaign(0..6, vec!["netflix.sim".into()]);
+        let mut est = SpanEstimator::new();
+        est.record_tickets(&data.tickets);
+        assert_eq!(est.domain_spans()["netflix.sim"].distinct_ids, 1);
+    }
+
+    #[test]
+    fn ecdhe_reuser_spans_and_fresh_domain_does_not() {
+        let data = mini_campaign(0..5, vec!["whatsapp.sim".into(), "twitter.sim".into()]);
+        let mut est = SpanEstimator::new();
+        est.record_kex(&data.kex, KexKind::Ecdhe);
+        let spans = est.domain_spans();
+        assert_eq!(spans["whatsapp.sim"].max_span_days, 5, "62-day ECDHE reuse");
+        assert_eq!(spans["twitter.sim"].max_span_days, 1, "fresh values");
+    }
+
+    #[test]
+    fn dhe_scan_collects_only_dhe_capable_domains() {
+        // cookpad.sim reuses DHE 63d; cirrusflare has no DHE.
+        let p = pop();
+        let cdn = p
+            .truth
+            .iter()
+            .find(|t| t.operator.as_deref() == Some("cirrusflare"))
+            .unwrap()
+            .name
+            .clone();
+        let data = mini_campaign(0..3, vec!["cookpad.sim".into(), cdn.clone()]);
+        let dhe_domains: std::collections::HashSet<&str> = data
+            .kex
+            .iter()
+            .filter(|s| s.kex == KexKind::Dhe)
+            .map(|s| s.domain.as_str())
+            .collect();
+        assert!(dhe_domains.contains("cookpad.sim"));
+        assert!(!dhe_domains.contains(cdn.as_str()));
+    }
+
+    #[test]
+    fn attempts_counted() {
+        let data = mini_campaign(0..2, vec!["yahoo.sim".into()]);
+        assert_eq!(data.attempts, 2 * 3, "3 grabs per domain-day");
+    }
+}

@@ -1,0 +1,357 @@
+//! The TLS grabber: one observed connection.
+
+use ts_core::observations::fingerprint_hex;
+use ts_crypto::drbg::HmacDrbg;
+use ts_population::Population;
+use ts_simnet::{ConnectError, Ip};
+use ts_tls::config::{ClientConfig, ResumptionOffer};
+use ts_tls::server::ResumeKind;
+use ts_tls::session::SessionState;
+use ts_tls::suites::CipherSuite;
+use ts_tls::ticket::{extract_stek_id, sniff_format};
+use ts_tls::wire::handshake::NewSessionTicket;
+
+/// Which cipher suites the grabber offers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteOffer {
+    /// Everything, browser-like (ECDHE preferred).
+    All,
+    /// Only DHE suites (the Censys-style DHE scans).
+    DheOnly,
+    /// Only ECDHE suites.
+    EcdheOnly,
+    /// ECDHE preferred with RSA fallback (the paper's ECDHE scan offer).
+    EcdheThenRsa,
+}
+
+impl SuiteOffer {
+    fn suites(self) -> Vec<CipherSuite> {
+        match self {
+            SuiteOffer::All => CipherSuite::all().to_vec(),
+            SuiteOffer::DheOnly => CipherSuite::dhe_only().to_vec(),
+            SuiteOffer::EcdheOnly => CipherSuite::ecdhe_only().to_vec(),
+            SuiteOffer::EcdheThenRsa => {
+                let mut v = CipherSuite::ecdhe_only().to_vec();
+                v.push(CipherSuite::RsaAes128CbcSha256);
+                v
+            }
+        }
+    }
+}
+
+/// Options for one grab.
+#[derive(Clone)]
+pub struct GrabOptions {
+    /// Cipher suites to offer.
+    pub suites: SuiteOffer,
+    /// Offer a session ID for resumption.
+    pub resume_session: Option<(Vec<u8>, SessionState)>,
+    /// Offer a session ticket for resumption.
+    pub resume_ticket: Option<(Vec<u8>, SessionState)>,
+    /// Record trust failures instead of aborting the handshake.
+    pub permissive: bool,
+    /// Transport retries on transient timeouts.
+    pub retries: u32,
+}
+
+impl Default for GrabOptions {
+    fn default() -> Self {
+        GrabOptions {
+            suites: SuiteOffer::All,
+            resume_session: None,
+            resume_ticket: None,
+            permissive: true,
+            retries: 2,
+        }
+    }
+}
+
+/// Why a grab failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrabFailure {
+    /// Domain is blacklisted — never contacted.
+    Blacklisted,
+    /// No DNS A record.
+    NoDns,
+    /// TCP-level refusal (no HTTPS).
+    Refused,
+    /// Timed out after retries.
+    Timeout,
+    /// SNI unknown at the endpoint.
+    UnknownHost,
+    /// TLS handshake failed.
+    TlsFailed(String),
+}
+
+/// Everything one successful connection reveals.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// Negotiated suite.
+    pub cipher_suite: CipherSuite,
+    /// Chain validated against the root store?
+    pub trusted: bool,
+    /// ServerHello session ID (empty if none).
+    pub session_id: Vec<u8>,
+    /// How the handshake resumed, if it did.
+    pub resumed: Option<ResumeKind>,
+    /// NewSessionTicket, if issued.
+    pub ticket: Option<NewSessionTicket>,
+    /// Hex STEK identifier parsed out of the ticket.
+    pub stek_id: Option<String>,
+    /// Hex fingerprint of the server's (EC)DHE public value.
+    pub kex_value_fp: Option<String>,
+    /// Session state for later resumption offers.
+    pub session: SessionState,
+}
+
+/// The result of one grab.
+#[derive(Debug, Clone)]
+pub struct Grab {
+    /// Target domain.
+    pub domain: String,
+    /// Resolved address, when DNS succeeded.
+    pub ip: Option<Ip>,
+    /// Observation or failure.
+    pub outcome: Result<Observation, GrabFailure>,
+}
+
+impl Grab {
+    /// Shorthand: did the handshake complete?
+    pub fn ok(&self) -> Option<&Observation> {
+        self.outcome.as_ref().ok()
+    }
+}
+
+/// The scanner: a seeded connection factory against one population.
+pub struct Scanner<'a> {
+    pop: &'a Population,
+    rng: HmacDrbg,
+}
+
+impl<'a> Scanner<'a> {
+    /// New scanner with its own RNG stream.
+    pub fn new(pop: &'a Population, seed_label: &str) -> Self {
+        Scanner {
+            pop,
+            rng: HmacDrbg::from_seed_label(pop.config.seed, seed_label),
+        }
+    }
+
+    /// The population under measurement.
+    pub fn population(&self) -> &Population {
+        self.pop
+    }
+
+    /// Perform one grab of `domain` at virtual time `now`.
+    pub fn grab(&mut self, domain: &str, now: u64, options: &GrabOptions) -> Grab {
+        if self.pop.blacklist.contains(domain) {
+            return Grab { domain: domain.into(), ip: None, outcome: Err(GrabFailure::Blacklisted) };
+        }
+        let ip = match self.pop.dns.resolve(domain, &mut self.rng) {
+            Some(ip) => ip,
+            None => {
+                return Grab { domain: domain.into(), ip: None, outcome: Err(GrabFailure::NoDns) }
+            }
+        };
+        self.grab_ip(domain, ip, now, options)
+    }
+
+    /// Grab a specific IP with a given SNI (the cross-domain experiments
+    /// pick the address explicitly).
+    pub fn grab_ip(&mut self, sni: &str, ip: Ip, now: u64, options: &GrabOptions) -> Grab {
+        let mut last_err = GrabFailure::Timeout;
+        for _attempt in 0..=options.retries {
+            let mut cfg = ClientConfig::new(self.pop.root_store.clone(), sni, now);
+            cfg.suites = options.suites.suites();
+            cfg.verify_certs = !options.permissive;
+            cfg.resumption = ResumptionOffer {
+                session: options.resume_session.clone(),
+                ticket: options.resume_ticket.clone(),
+            };
+            match self.pop.net.connect(ip, cfg, now, &mut self.rng) {
+                Ok(conn) => {
+                    let summary = match conn.client.summary() {
+                        Ok(s) => s,
+                        Err(e) => {
+                            return Grab {
+                                domain: sni.into(),
+                                ip: Some(ip),
+                                outcome: Err(GrabFailure::TlsFailed(e.to_string())),
+                            }
+                        }
+                    };
+                    let trusted = matches!(summary.trust, Some(Ok(()))) || summary.resumed.is_some();
+                    let stek_id = summary.new_ticket.as_ref().map(|nst| {
+                        let format = sniff_format(&nst.ticket);
+                        extract_stek_id(&nst.ticket, format)
+                            .map(|id| fingerprint_hex(&id))
+                            .unwrap_or_else(|_| "unparseable".into())
+                    });
+                    let kex_value_fp =
+                        summary.server_kex_public.as_ref().map(|v| fingerprint_hex(v));
+                    return Grab {
+                        domain: sni.into(),
+                        ip: Some(ip),
+                        outcome: Ok(Observation {
+                            cipher_suite: summary.cipher_suite,
+                            trusted,
+                            session_id: summary.server_session_id.clone(),
+                            resumed: summary.resumed,
+                            ticket: summary.new_ticket.clone(),
+                            stek_id,
+                            kex_value_fp,
+                            session: summary.session.clone(),
+                        }),
+                    };
+                }
+                Err(ConnectError::Timeout) => {
+                    last_err = GrabFailure::Timeout;
+                    continue;
+                }
+                Err(ConnectError::Refused) => {
+                    return Grab { domain: sni.into(), ip: Some(ip), outcome: Err(GrabFailure::Refused) }
+                }
+                Err(ConnectError::UnknownHost) => {
+                    return Grab {
+                        domain: sni.into(),
+                        ip: Some(ip),
+                        outcome: Err(GrabFailure::UnknownHost),
+                    }
+                }
+                Err(ConnectError::Tls(e)) => {
+                    return Grab {
+                        domain: sni.into(),
+                        ip: Some(ip),
+                        outcome: Err(GrabFailure::TlsFailed(e.to_string())),
+                    }
+                }
+            }
+        }
+        Grab { domain: sni.into(), ip: Some(ip), outcome: Err(last_err) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+    use ts_population::PopulationConfig;
+
+    fn pop() -> &'static Population {
+        static POP: OnceLock<Population> = OnceLock::new();
+        POP.get_or_init(|| Population::build(PopulationConfig::new(7, 500)))
+    }
+
+    #[test]
+    fn grab_trusted_domain_succeeds() {
+        let mut s = Scanner::new(pop(), "grab-test");
+        let g = s.grab("yahoo.sim", 1000, &GrabOptions::default());
+        let obs = g.ok().expect("handshake succeeds");
+        assert!(obs.trusted);
+        assert!(obs.ticket.is_some());
+        assert!(obs.stek_id.is_some());
+        assert!(obs.kex_value_fp.is_some(), "PFS suite negotiated");
+        assert!(obs.resumed.is_none());
+    }
+
+    #[test]
+    fn grab_blacklist_never_contacts() {
+        let p = pop();
+        let victim = p
+            .truth
+            .iter()
+            .find(|t| t.blacklisted)
+            .map(|t| t.name.clone());
+        if let Some(victim) = victim {
+            let mut s = Scanner::new(p, "bl-test");
+            let g = s.grab(&victim, 1000, &GrabOptions::default());
+            assert_eq!(g.outcome.unwrap_err(), GrabFailure::Blacklisted);
+            assert!(g.ip.is_none(), "no DNS resolution even");
+        }
+    }
+
+    #[test]
+    fn grab_unknown_domain_no_dns() {
+        let mut s = Scanner::new(pop(), "nodns-test");
+        let g = s.grab("no-such-domain.sim", 1000, &GrabOptions::default());
+        assert_eq!(g.outcome.unwrap_err(), GrabFailure::NoDns);
+    }
+
+    #[test]
+    fn grab_non_https_refused() {
+        let p = pop();
+        let dead = p
+            .truth
+            .iter()
+            .find(|t| !t.https && t.stable && !t.blacklisted)
+            .expect("non-https domain exists");
+        let mut s = Scanner::new(p, "refused-test");
+        let g = s.grab(&dead.name, 1000, &GrabOptions::default());
+        assert_eq!(g.outcome.unwrap_err(), GrabFailure::Refused);
+    }
+
+    #[test]
+    fn untrusted_domain_recorded_when_permissive() {
+        let p = pop();
+        let ut = p
+            .truth
+            .iter()
+            .find(|t| t.https && !t.trusted && t.stable && !t.blacklisted)
+            .expect("untrusted domain exists");
+        let mut s = Scanner::new(p, "permissive-test");
+        let g = s.grab(&ut.name, 1000, &GrabOptions::default());
+        let obs = g.ok().expect("permissive grab succeeds");
+        assert!(!obs.trusted);
+    }
+
+    #[test]
+    fn dhe_only_offer_fails_on_non_dhe_domain() {
+        let p = pop();
+        // cirrusflare serves ECDHE+RSA only.
+        let cdn = p
+            .truth
+            .iter()
+            .find(|t| t.operator.as_deref() == Some("cirrusflare"))
+            .expect("cdn domain");
+        let mut s = Scanner::new(p, "dhe-test");
+        let opts = GrabOptions { suites: SuiteOffer::DheOnly, ..Default::default() };
+        let g = s.grab(&cdn.name, 1000, &opts);
+        assert!(
+            matches!(g.outcome, Err(GrabFailure::TlsFailed(_))),
+            "no common suite: {:?}",
+            g.outcome
+        );
+    }
+
+    #[test]
+    fn ticket_resumption_via_grab() {
+        let p = pop();
+        let mut s = Scanner::new(p, "resume-test");
+        let g1 = s.grab("yahoo.sim", 2000, &GrabOptions::default());
+        let obs1 = g1.ok().expect("first grab").clone();
+        let nst = obs1.ticket.expect("ticket issued");
+        let opts = GrabOptions {
+            resume_ticket: Some((nst.ticket, obs1.session.clone())),
+            ..Default::default()
+        };
+        let g2 = s.grab("yahoo.sim", 2001, &opts);
+        let obs2 = g2.ok().expect("second grab");
+        assert_eq!(obs2.resumed, Some(ResumeKind::Ticket));
+    }
+
+    #[test]
+    fn session_resumption_via_grab() {
+        let p = pop();
+        let mut s = Scanner::new(p, "sid-resume-test");
+        let g1 = s.grab("netflix.sim", 2000, &GrabOptions::default());
+        let obs1 = g1.ok().expect("first grab").clone();
+        assert!(!obs1.session_id.is_empty());
+        let opts = GrabOptions {
+            resume_session: Some((obs1.session_id.clone(), obs1.session.clone())),
+            ..Default::default()
+        };
+        let g2 = s.grab("netflix.sim", 2001, &opts);
+        let obs2 = g2.ok().expect("second grab");
+        assert_eq!(obs2.resumed, Some(ResumeKind::SessionId));
+    }
+}

@@ -1,0 +1,124 @@
+//! Virtual time.
+//!
+//! One tick = one second. Day arithmetic matches the study's cadence:
+//! the 9-week campaign spans days 0..63, with daily scans at a fixed
+//! within-day offset.
+
+/// Seconds per virtual day.
+pub const DAY: u64 = 86_400;
+/// Seconds per hour.
+pub const HOUR: u64 = 3_600;
+/// Seconds per minute.
+pub const MINUTE: u64 = 60;
+/// The study length in days (March 2 – May 4, 2016 = 63 days).
+pub const STUDY_DAYS: u64 = 63;
+
+/// A virtual clock. Plain value type — the simulation threads one through
+/// explicitly rather than hiding global state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Clock {
+    now: u64,
+}
+
+impl Clock {
+    /// Start of time.
+    pub fn new() -> Self {
+        Clock { now: 0 }
+    }
+
+    /// A clock at an absolute second.
+    pub fn at(now: u64) -> Self {
+        Clock { now }
+    }
+
+    /// Current virtual second.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advance by `secs`.
+    pub fn advance(&mut self, secs: u64) {
+        self.now += secs;
+    }
+
+    /// Advance to an absolute time (no-op if already past).
+    pub fn advance_to(&mut self, t: u64) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Day index (0-based).
+    pub fn day(&self) -> u64 {
+        self.now / DAY
+    }
+
+    /// Seconds since local midnight.
+    pub fn time_of_day(&self) -> u64 {
+        self.now % DAY
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Render a duration in the paper's figure units ("5 minutes", "24 hours",
+/// "63 days") for report output.
+pub fn human_duration(secs: u64) -> String {
+    if secs == 0 {
+        return "0s".into();
+    }
+    if secs % DAY == 0 {
+        return format!("{}d", secs / DAY);
+    }
+    if secs % HOUR == 0 {
+        return format!("{}h", secs / HOUR);
+    }
+    if secs % MINUTE == 0 {
+        return format!("{}m", secs / MINUTE);
+    }
+    format!("{secs}s")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_and_day_math() {
+        let mut c = Clock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.day(), 0);
+        c.advance(DAY - 1);
+        assert_eq!(c.day(), 0);
+        c.advance(1);
+        assert_eq!(c.day(), 1);
+        assert_eq!(c.time_of_day(), 0);
+        c.advance(HOUR * 3 + 30);
+        assert_eq!(c.time_of_day(), HOUR * 3 + 30);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let mut c = Clock::at(100);
+        c.advance_to(50);
+        assert_eq!(c.now(), 100);
+        c.advance_to(200);
+        assert_eq!(c.now(), 200);
+    }
+
+    #[test]
+    fn human_durations() {
+        assert_eq!(human_duration(0), "0s");
+        assert_eq!(human_duration(45), "45s");
+        assert_eq!(human_duration(300), "5m");
+        assert_eq!(human_duration(HOUR), "1h");
+        assert_eq!(human_duration(18 * HOUR), "18h");
+        assert_eq!(human_duration(DAY), "1d");
+        assert_eq!(human_duration(63 * DAY), "63d");
+        assert_eq!(human_duration(90061), "90061s");
+    }
+}

@@ -1,0 +1,247 @@
+//! Server-side session-ID caches (RFC 5246 resumption).
+//!
+//! The cache maps session IDs to [`SessionState`] with a configurable
+//! lifetime — the knob whose defaults (Apache/Nginx 5 min, IIS 10 h,
+//! Google >24 h) produce the discrete steps in the paper's Figure 1.
+//!
+//! A [`SharedSessionCache`] can be handed to many servers; that is exactly
+//! the SSL-terminator behaviour that creates the paper's §5.1 session-cache
+//! "service groups" (CloudFlare's 30,163-domain cache being the largest).
+
+use crate::session::SessionState;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A server-side session cache with TTL and capacity bounds.
+pub struct SessionCache {
+    entries: HashMap<Vec<u8>, CacheEntry>,
+    lifetime_secs: u64,
+    capacity: usize,
+}
+
+struct CacheEntry {
+    state: SessionState,
+    stored_at: u64,
+}
+
+impl SessionCache {
+    /// Create a cache holding entries for `lifetime_secs`, at most
+    /// `capacity` at a time.
+    pub fn new(lifetime_secs: u64, capacity: usize) -> Self {
+        SessionCache { entries: HashMap::new(), lifetime_secs, capacity }
+    }
+
+    /// The configured lifetime.
+    pub fn lifetime_secs(&self) -> u64 {
+        self.lifetime_secs
+    }
+
+    /// Store a session under `session_id` at virtual time `now`.
+    pub fn insert(&mut self, session_id: Vec<u8>, state: SessionState, now: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&session_id) {
+            // Evict the oldest entry — a simple approximation of the LRU
+            // behaviour real caches show under pressure.
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.stored_at)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(session_id, CacheEntry { state, stored_at: now });
+    }
+
+    /// Look up a session; returns it only if still within lifetime.
+    pub fn lookup(&self, session_id: &[u8], now: u64) -> Option<SessionState> {
+        let entry = self.entries.get(session_id)?;
+        if now.saturating_sub(entry.stored_at) <= self.lifetime_secs {
+            Some(entry.state.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Drop expired entries (servers do this opportunistically).
+    pub fn sweep(&mut self, now: u64) {
+        let lifetime = self.lifetime_secs;
+        self.entries
+            .retain(|_, e| now.saturating_sub(e.stored_at) <= lifetime);
+    }
+
+    /// Number of live + expired entries currently held.
+    ///
+    /// Expired-but-unswept entries matter to the attack model: their
+    /// secrets are still in memory even though resumption is refused.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Attacker's view (§6.2): every master secret currently in memory,
+    /// expired or not.
+    pub fn dump_secrets(&self) -> Vec<(Vec<u8>, SessionState)> {
+        self.entries
+            .iter()
+            .map(|(id, e)| (id.clone(), e.state.clone()))
+            .collect()
+    }
+
+    /// Securely erase everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// A session cache shareable across servers (an SSL terminator's cache).
+#[derive(Clone)]
+pub struct SharedSessionCache(Arc<Mutex<SessionCache>>);
+
+impl SharedSessionCache {
+    /// Wrap a new cache.
+    pub fn new(lifetime_secs: u64, capacity: usize) -> Self {
+        SharedSessionCache(Arc::new(Mutex::new(SessionCache::new(lifetime_secs, capacity))))
+    }
+
+    /// Insert (see [`SessionCache::insert`]).
+    pub fn insert(&self, session_id: Vec<u8>, state: SessionState, now: u64) {
+        self.0.lock().insert(session_id, state, now);
+    }
+
+    /// Lookup (see [`SessionCache::lookup`]).
+    pub fn lookup(&self, session_id: &[u8], now: u64) -> Option<SessionState> {
+        self.0.lock().lookup(session_id, now)
+    }
+
+    /// Configured lifetime.
+    pub fn lifetime_secs(&self) -> u64 {
+        self.0.lock().lifetime_secs()
+    }
+
+    /// Sweep expired entries.
+    pub fn sweep(&self, now: u64) {
+        self.0.lock().sweep(now);
+    }
+
+    /// Entry count.
+    pub fn len(&self) -> usize {
+        self.0.lock().len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.lock().is_empty()
+    }
+
+    /// Attacker dump (§6.2).
+    pub fn dump_secrets(&self) -> Vec<(Vec<u8>, SessionState)> {
+        self.0.lock().dump_secrets()
+    }
+
+    /// Secure erase.
+    pub fn clear(&self) {
+        self.0.lock().clear();
+    }
+
+    /// Two handles to the same underlying cache?
+    pub fn same_cache(&self, other: &SharedSessionCache) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suites::CipherSuite;
+
+    fn state(tag: u8) -> SessionState {
+        SessionState {
+            master_secret: [tag; 48],
+            cipher_suite: CipherSuite::EcdheRsaAes128CbcSha256,
+            established_at: 0,
+            server_name: "s.sim".into(),
+        }
+    }
+
+    #[test]
+    fn insert_lookup_within_lifetime() {
+        let mut c = SessionCache::new(300, 100);
+        c.insert(vec![1], state(1), 1000);
+        assert_eq!(c.lookup(&[1], 1000), Some(state(1)));
+        assert_eq!(c.lookup(&[1], 1300), Some(state(1)), "at exactly lifetime");
+        assert_eq!(c.lookup(&[1], 1301), None, "past lifetime");
+        assert_eq!(c.lookup(&[2], 1000), None, "unknown id");
+    }
+
+    #[test]
+    fn expired_entries_remain_until_sweep() {
+        let mut c = SessionCache::new(300, 100);
+        c.insert(vec![1], state(1), 0);
+        assert_eq!(c.lookup(&[1], 1000), None);
+        // Secret still recoverable by an attacker until swept.
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.dump_secrets().len(), 1);
+        c.sweep(1000);
+        assert_eq!(c.len(), 0);
+        assert!(c.dump_secrets().is_empty());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut c = SessionCache::new(1000, 2);
+        c.insert(vec![1], state(1), 10);
+        c.insert(vec![2], state(2), 20);
+        c.insert(vec![3], state(3), 30);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lookup(&[1], 30), None, "oldest evicted");
+        assert!(c.lookup(&[2], 30).is_some());
+        assert!(c.lookup(&[3], 30).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_cache() {
+        let mut c = SessionCache::new(300, 0);
+        c.insert(vec![1], state(1), 0);
+        assert!(c.is_empty());
+        assert_eq!(c.lookup(&[1], 0), None);
+    }
+
+    #[test]
+    fn reinsert_same_id_updates() {
+        let mut c = SessionCache::new(300, 10);
+        c.insert(vec![1], state(1), 0);
+        c.insert(vec![1], state(2), 100);
+        assert_eq!(c.lookup(&[1], 350), Some(state(2)), "refreshed timestamp");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn shared_cache_is_shared() {
+        let a = SharedSessionCache::new(300, 10);
+        let b = a.clone();
+        a.insert(vec![7], state(7), 0);
+        assert_eq!(b.lookup(&[7], 10), Some(state(7)));
+        assert!(a.same_cache(&b));
+        let c = SharedSessionCache::new(300, 10);
+        assert!(!a.same_cache(&c));
+        assert_eq!(c.lookup(&[7], 10), None);
+    }
+
+    #[test]
+    fn clear_erases_secrets() {
+        let a = SharedSessionCache::new(300, 10);
+        a.insert(vec![7], state(7), 0);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.lookup(&[7], 0), None);
+    }
+}

@@ -1,0 +1,591 @@
+//! The client-side TLS 1.2 state machine — also the scanner's probe.
+//!
+//! Beyond a normal client, this connection records everything the study
+//! measures: the ServerHello session ID, issued tickets (and their STEK
+//! identifiers), the server's key-exchange public value, the certificate
+//! chain and its trust verdict, and — because the stack is white-box — the
+//! master secret itself.
+
+use crate::alert::{Alert, AlertDescription};
+use crate::config::ClientConfig;
+use crate::error::TlsError;
+use crate::keys::{key_block, master_secret, verify_data, ConnectionKeys, Transcript};
+use crate::server::{kex_signed_content, ResumeKind};
+use crate::session::SessionState;
+use crate::suites::{CipherSuite, KeyExchange};
+use crate::wire::extensions::Extension;
+use crate::wire::handshake::{
+    CertificateMsg, ClientHello, ClientKeyExchange, Finished, HandshakeMessage,
+    HandshakeReassembler, NewSessionTicket, ServerHello, ServerKeyExchange, ServerKexParams,
+};
+use crate::wire::record::{ContentType, RecordLayer};
+use ts_crypto::bignum::Ub;
+use ts_crypto::dh::{validate_public, DhGroup, DhKeyPair};
+use ts_crypto::drbg::HmacDrbg;
+use ts_crypto::x25519::X25519KeyPair;
+use ts_x509::{Certificate, TrustError};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    AwaitServerHello,
+    AwaitServerFlight,
+    AwaitServerKexOrDone,
+    AwaitCcsAbbrev,
+    AwaitFinishedAbbrev,
+    AwaitNstOrCcsFull,
+    AwaitFinishedFull,
+    Established,
+    Failed,
+}
+
+/// Everything the scanner extracts from one connection.
+#[derive(Debug, Clone)]
+pub struct HandshakeSummary {
+    /// `None` = full handshake; otherwise how resumption happened.
+    pub resumed: Option<ResumeKind>,
+    /// Negotiated suite.
+    pub cipher_suite: CipherSuite,
+    /// Session ID from ServerHello (empty if none).
+    pub server_session_id: Vec<u8>,
+    /// NewSessionTicket received, if any.
+    pub new_ticket: Option<NewSessionTicket>,
+    /// The server's (EC)DHE public value, if a PFS exchange ran.
+    pub server_kex_public: Option<Vec<u8>>,
+    /// Raw DER chain the server presented.
+    pub chain_der: Vec<Vec<u8>>,
+    /// Trust verdict (None when no chain was presented — resumption).
+    pub trust: Option<Result<(), TrustError>>,
+    /// The session state usable for future resumption offers.
+    pub session: SessionState,
+}
+
+/// A client-side TLS connection.
+pub struct ClientConn {
+    config: ClientConfig,
+    rng: HmacDrbg,
+    records: RecordLayer,
+    reasm: HandshakeReassembler,
+    transcript: Transcript,
+    out: Vec<u8>,
+    state: State,
+    suite: Option<CipherSuite>,
+    client_random: [u8; 32],
+    server_random: [u8; 32],
+    offered_session_id: Vec<u8>,
+    offered_ticket_state: Option<SessionState>,
+    server_session_id: Vec<u8>,
+    master: Option<[u8; 48]>,
+    resumed: Option<ResumeKind>,
+    new_ticket: Option<NewSessionTicket>,
+    server_kex_public: Option<Vec<u8>>,
+    chain_der: Vec<Vec<u8>>,
+    leaf: Option<Certificate>,
+    trust: Option<Result<(), TrustError>>,
+    dh_group_hint: DhGroup,
+    pending_keys: Option<ConnectionKeys>,
+    app_in: Vec<u8>,
+}
+
+impl ClientConn {
+    /// Create a connection and immediately queue the ClientHello.
+    pub fn new(config: ClientConfig, mut rng: HmacDrbg) -> Self {
+        let mut client_random = [0u8; 32];
+        rng.fill_bytes(&mut client_random);
+        let offered_session_id = config
+            .resumption
+            .session
+            .as_ref()
+            .map(|(id, _)| id.clone())
+            .unwrap_or_default();
+        let offered_ticket_state = config.resumption.ticket.as_ref().map(|(_, s)| s.clone());
+
+        let mut extensions = vec![Extension::ServerName(config.server_name.clone())];
+        if let Some((ticket, _)) = &config.resumption.ticket {
+            extensions.push(Extension::SessionTicket(ticket.clone()));
+        } else if config.offer_ticket_support {
+            extensions.push(Extension::SessionTicket(Vec::new()));
+        }
+        extensions.push(Extension::SupportedGroups(vec![29]));
+
+        let ch = HandshakeMessage::ClientHello(ClientHello {
+            random: client_random,
+            session_id: offered_session_id.clone(),
+            cipher_suites: config.suites.iter().map(|s| s.id()).collect(),
+            extensions,
+        });
+
+        let mut conn = ClientConn {
+            config,
+            rng,
+            records: RecordLayer::new(),
+            reasm: HandshakeReassembler::new(),
+            transcript: Transcript::new(),
+            out: Vec::new(),
+            state: State::AwaitServerHello,
+            suite: None,
+            client_random,
+            server_random: [0; 32],
+            offered_session_id,
+            offered_ticket_state,
+            server_session_id: Vec::new(),
+            master: None,
+            resumed: None,
+            new_ticket: None,
+            server_kex_public: None,
+            chain_der: Vec::new(),
+            leaf: None,
+            trust: None,
+            dh_group_hint: DhGroup::Sim256,
+            pending_keys: None,
+            app_in: Vec::new(),
+        };
+        conn.send_handshake(&ch);
+        conn
+    }
+
+    /// Drain bytes to ship to the server.
+    pub fn take_output(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// True once the handshake completed.
+    pub fn is_established(&self) -> bool {
+        self.state == State::Established
+    }
+
+    /// True if the connection failed.
+    pub fn is_failed(&self) -> bool {
+        self.state == State::Failed
+    }
+
+    /// Scanner-facing summary; available once established.
+    pub fn summary(&self) -> Result<HandshakeSummary, TlsError> {
+        if self.state != State::Established {
+            return Err(TlsError::NotReady);
+        }
+        let suite = self.suite.expect("established");
+        Ok(HandshakeSummary {
+            resumed: self.resumed,
+            cipher_suite: suite,
+            server_session_id: self.server_session_id.clone(),
+            new_ticket: self.new_ticket.clone(),
+            server_kex_public: self.server_kex_public.clone(),
+            chain_der: self.chain_der.clone(),
+            trust: self.trust.clone(),
+            session: SessionState {
+                master_secret: self.master.expect("established"),
+                cipher_suite: suite,
+                established_at: self.resumed_original_time(),
+                server_name: self.config.server_name.clone(),
+            },
+        })
+    }
+
+    fn resumed_original_time(&self) -> u64 {
+        match self.resumed {
+            Some(ResumeKind::SessionId) => self
+                .config
+                .resumption
+                .session
+                .as_ref()
+                .map(|(_, s)| s.established_at)
+                .unwrap_or(self.config.now),
+            Some(ResumeKind::Ticket) => self
+                .offered_ticket_state
+                .as_ref()
+                .map(|s| s.established_at)
+                .unwrap_or(self.config.now),
+            None => self.config.now,
+        }
+    }
+
+    /// Queue application data (post-handshake).
+    pub fn send_app_data(&mut self, data: &[u8]) -> Result<(), TlsError> {
+        if self.state != State::Established {
+            return Err(TlsError::NotReady);
+        }
+        self.records
+            .write_record(ContentType::ApplicationData, data, &mut self.out);
+        Ok(())
+    }
+
+    /// Take decrypted application data received so far.
+    pub fn take_app_data(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.app_in)
+    }
+
+    /// Feed transport bytes from the server.
+    pub fn input(&mut self, data: &[u8]) -> Result<(), TlsError> {
+        if self.state == State::Failed {
+            return Err(TlsError::ConnectionClosed);
+        }
+        self.records.feed(data);
+        loop {
+            let record = match self.records.next_record() {
+                Ok(Some(r)) => r,
+                Ok(None) => return Ok(()),
+                Err(e) => return self.fail(e, AlertDescription::DecodeError),
+            };
+            match record.content_type {
+                ContentType::Handshake => {
+                    self.reasm.feed(&record.payload);
+                    loop {
+                        match self.reasm.next(self.suite) {
+                            Ok(Some(msg)) => {
+                                if let Err(e) = self.handle_handshake(msg) {
+                                    let desc = alert_for(&e);
+                                    return self.fail(e, desc);
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(e) => return self.fail(e, AlertDescription::DecodeError),
+                        }
+                    }
+                }
+                ContentType::ChangeCipherSpec => {
+                    if record.payload != [1] {
+                        return self.fail(
+                            TlsError::Decode("bad ChangeCipherSpec"),
+                            AlertDescription::DecodeError,
+                        );
+                    }
+                    if let Err(e) = self.on_server_ccs() {
+                        let desc = alert_for(&e);
+                        return self.fail(e, desc);
+                    }
+                }
+                ContentType::Alert => {
+                    if let Some(alert) = Alert::decode(&record.payload) {
+                        if alert.description != AlertDescription::CloseNotify {
+                            self.state = State::Failed;
+                            return Err(TlsError::PeerAlert(alert.description));
+                        }
+                    }
+                    self.state = State::Failed;
+                    return Ok(());
+                }
+                ContentType::ApplicationData => {
+                    if self.state != State::Established {
+                        return self.fail(
+                            TlsError::UnexpectedMessage {
+                                expected: "handshake completion",
+                                got: "ApplicationData",
+                            },
+                            AlertDescription::UnexpectedMessage,
+                        );
+                    }
+                    self.app_in.extend_from_slice(&record.payload);
+                }
+            }
+        }
+    }
+
+    fn fail(&mut self, err: TlsError, desc: AlertDescription) -> Result<(), TlsError> {
+        self.state = State::Failed;
+        let alert = Alert::fatal(desc);
+        self.records
+            .write_record(ContentType::Alert, &alert.encode(), &mut self.out);
+        Err(err)
+    }
+
+    fn send_handshake(&mut self, msg: &HandshakeMessage) {
+        let encoded = msg.encode();
+        self.transcript.add(&encoded);
+        self.records
+            .write_record(ContentType::Handshake, &encoded, &mut self.out);
+    }
+
+    fn on_server_ccs(&mut self) -> Result<(), TlsError> {
+        match self.state {
+            State::AwaitServerFlight | State::AwaitCcsAbbrev => {
+                // Abbreviated handshake: server went straight to CCS.
+                self.begin_abbreviated_keys()?;
+                self.state = State::AwaitFinishedAbbrev;
+                Ok(())
+            }
+            State::AwaitNstOrCcsFull => {
+                let keys = self.pending_keys.as_ref().expect("keys derived");
+                self.records.set_read_keys(keys.server_write.clone());
+                self.state = State::AwaitFinishedFull;
+                Ok(())
+            }
+            _ => Err(TlsError::UnexpectedMessage {
+                expected: state_expectation(self.state),
+                got: "ChangeCipherSpec",
+            }),
+        }
+    }
+
+    /// Derive abbreviated-handshake keys from the stored session state and
+    /// activate the read direction.
+    fn begin_abbreviated_keys(&mut self) -> Result<(), TlsError> {
+        if self.master.is_none() {
+            // Ticket-based resumption: the server signalled acceptance.
+            let state = self
+                .offered_ticket_state
+                .as_ref()
+                .ok_or(TlsError::UnexpectedMessage {
+                    expected: "Certificate (no resumption offered)",
+                    got: "abbreviated handshake",
+                })?;
+            if state.cipher_suite != self.suite.expect("suite set") {
+                return Err(TlsError::Decode("resumed suite mismatch"));
+            }
+            self.master = Some(state.master_secret);
+            self.resumed = Some(ResumeKind::Ticket);
+        }
+        let master = self.master.expect("set above");
+        let suite = self.suite.expect("suite set");
+        let keys = key_block(&master, &self.client_random, &self.server_random, suite);
+        self.records.set_read_keys(keys.server_write.clone());
+        self.pending_keys = Some(keys);
+        Ok(())
+    }
+
+    fn handle_handshake(&mut self, msg: HandshakeMessage) -> Result<(), TlsError> {
+        match (self.state, msg) {
+            (State::AwaitServerHello, HandshakeMessage::ServerHello(sh)) => {
+                self.transcript.add(&HandshakeMessage::ServerHello(sh.clone()).encode());
+                self.on_server_hello(sh)
+            }
+            (State::AwaitServerFlight, HandshakeMessage::Certificate(c)) => {
+                self.transcript.add(&HandshakeMessage::Certificate(c.clone()).encode());
+                self.on_certificate(c)
+            }
+            (State::AwaitServerFlight | State::AwaitCcsAbbrev, HandshakeMessage::NewSessionTicket(nst)) => {
+                // Ticket reissue during abbreviated handshake.
+                self.transcript
+                    .add(&HandshakeMessage::NewSessionTicket(nst.clone()).encode());
+                if self.resumed.is_none() {
+                    // NST before CCS signals ticket acceptance.
+                    self.resumed = Some(ResumeKind::Ticket);
+                    let state = self.offered_ticket_state.as_ref().ok_or(
+                        TlsError::UnexpectedMessage {
+                            expected: "Certificate",
+                            got: "NewSessionTicket",
+                        },
+                    )?;
+                    self.master = Some(state.master_secret);
+                }
+                self.new_ticket = Some(nst);
+                self.state = State::AwaitCcsAbbrev;
+                Ok(())
+            }
+            (State::AwaitServerKexOrDone, HandshakeMessage::ServerKeyExchange(ske)) => {
+                self.transcript
+                    .add(&HandshakeMessage::ServerKeyExchange(ske.clone()).encode());
+                self.on_server_kex(ske)
+            }
+            (State::AwaitServerKexOrDone, HandshakeMessage::ServerHelloDone) => {
+                self.transcript.add(&HandshakeMessage::ServerHelloDone.encode());
+                self.on_server_hello_done()
+            }
+            (State::AwaitNstOrCcsFull, HandshakeMessage::NewSessionTicket(nst)) => {
+                self.transcript
+                    .add(&HandshakeMessage::NewSessionTicket(nst.clone()).encode());
+                self.new_ticket = Some(nst);
+                Ok(())
+            }
+            (State::AwaitFinishedFull | State::AwaitFinishedAbbrev, HandshakeMessage::Finished(f)) => {
+                self.on_server_finished(f)
+            }
+            (_, other) => Err(TlsError::UnexpectedMessage {
+                expected: state_expectation(self.state),
+                got: other.name(),
+            }),
+        }
+    }
+
+    fn on_server_hello(&mut self, sh: ServerHello) -> Result<(), TlsError> {
+        let suite = CipherSuite::from_id(sh.cipher_suite)
+            .ok_or(TlsError::Decode("server chose unknown suite"))?;
+        if !self.config.suites.contains(&suite) {
+            return Err(TlsError::Decode("server chose unoffered suite"));
+        }
+        self.suite = Some(suite);
+        self.server_random = sh.random;
+        self.server_session_id = sh.session_id.clone();
+
+        if !self.offered_session_id.is_empty() && sh.session_id == self.offered_session_id {
+            // Session-ID resumption accepted.
+            let state = self
+                .config
+                .resumption
+                .session
+                .as_ref()
+                .map(|(_, s)| s.clone())
+                .expect("offered id implies stored state");
+            if state.cipher_suite != suite {
+                return Err(TlsError::Decode("resumed suite mismatch"));
+            }
+            self.master = Some(state.master_secret);
+            self.resumed = Some(ResumeKind::SessionId);
+            self.state = State::AwaitCcsAbbrev;
+        } else {
+            self.state = State::AwaitServerFlight;
+        }
+        Ok(())
+    }
+
+    fn on_certificate(&mut self, msg: CertificateMsg) -> Result<(), TlsError> {
+        self.chain_der = msg.chain.clone();
+        let mut parsed = Vec::with_capacity(msg.chain.len());
+        for der in &msg.chain {
+            parsed.push(
+                Certificate::parse(der).map_err(|_| TlsError::Decode("unparseable certificate"))?,
+            );
+        }
+        let verdict =
+            self.config
+                .root_store
+                .validate(&parsed, &self.config.server_name, self.config.now);
+        self.leaf = parsed.into_iter().next();
+        let failed = verdict.is_err();
+        self.trust = Some(verdict.clone());
+        if self.config.verify_certs && failed {
+            return Err(TlsError::Trust(verdict.expect_err("checked")));
+        }
+        if self.leaf.is_none() {
+            return Err(TlsError::Decode("empty certificate chain"));
+        }
+        self.state = State::AwaitServerKexOrDone;
+        Ok(())
+    }
+
+    fn on_server_kex(&mut self, ske: ServerKeyExchange) -> Result<(), TlsError> {
+        let suite = self.suite.expect("suite set");
+        // Signature check against the leaf key.
+        let leaf = self.leaf.as_ref().expect("certificate processed");
+        let signed = kex_signed_content(&self.client_random, &self.server_random, &ske.params);
+        leaf.public_key
+            .verify(&signed, &ske.signature)
+            .map_err(TlsError::from)?;
+        match (&ske.params, suite.key_exchange()) {
+            (ServerKexParams::Dhe { p, .. }, KeyExchange::Dhe) => {
+                // Identify the group by its prime (we only accept named
+                // groups — freeform parameters would need subgroup checks).
+                let prime = Ub::from_bytes_be(p);
+                let group = DhGroup::all()
+                    .into_iter()
+                    .find(|g| g.prime() == prime)
+                    .ok_or(TlsError::Decode("unknown DH group"))?;
+                self.dh_group_hint = group;
+            }
+            (ServerKexParams::Ecdhe { .. }, KeyExchange::Ecdhe) => {}
+            _ => return Err(TlsError::Decode("kex params do not match suite")),
+        }
+        self.server_kex_public = Some(ske.params.public_value().to_vec());
+        Ok(())
+    }
+
+    fn on_server_hello_done(&mut self) -> Result<(), TlsError> {
+        let suite = self.suite.expect("suite set");
+        let premaster: Vec<u8>;
+        let cke = match suite.key_exchange() {
+            KeyExchange::Rsa => {
+                let mut pm = vec![0u8; 48];
+                self.rng.fill_bytes(&mut pm);
+                pm[0] = 3;
+                pm[1] = 3;
+                let leaf = self.leaf.as_ref().expect("certificate processed");
+                let ct = leaf.public_key.encrypt(&pm, &mut self.rng)?;
+                premaster = pm;
+                ClientKeyExchange::Rsa { encrypted_premaster: ct }
+            }
+            KeyExchange::Dhe => {
+                let server_pub = self
+                    .server_kex_public
+                    .as_ref()
+                    .ok_or(TlsError::Decode("missing ServerKeyExchange"))?;
+                let ys = Ub::from_bytes_be(server_pub);
+                validate_public(self.dh_group_hint, &ys)?;
+                let kp = DhKeyPair::generate(self.dh_group_hint, &mut self.rng);
+                premaster = kp.shared_secret(&ys)?;
+                ClientKeyExchange::Dhe { yc: kp.public_bytes() }
+            }
+            KeyExchange::Ecdhe => {
+                let server_pub = self
+                    .server_kex_public
+                    .as_ref()
+                    .ok_or(TlsError::Decode("missing ServerKeyExchange"))?;
+                let point: [u8; 32] = server_pub
+                    .as_slice()
+                    .try_into()
+                    .map_err(|_| TlsError::Decode("bad server point length"))?;
+                let kp = X25519KeyPair::generate(&mut self.rng);
+                premaster = kp.shared_secret(&point).to_vec();
+                ClientKeyExchange::Ecdhe { point: kp.public.to_vec() }
+            }
+        };
+        self.send_handshake(&HandshakeMessage::ClientKeyExchange(cke));
+        let master = master_secret(&premaster, &self.client_random, &self.server_random);
+        self.master = Some(master);
+        let keys = key_block(&master, &self.client_random, &self.server_random, suite);
+        self.records
+            .write_record(ContentType::ChangeCipherSpec, &[1], &mut self.out);
+        self.records.set_write_keys(keys.client_write.clone());
+        let vd = verify_data(&master, &self.transcript.hash(), true);
+        self.send_handshake(&HandshakeMessage::Finished(Finished { verify_data: vd }));
+        self.pending_keys = Some(keys);
+        self.state = State::AwaitNstOrCcsFull;
+        Ok(())
+    }
+
+    fn on_server_finished(&mut self, f: Finished) -> Result<(), TlsError> {
+        let master = self.master.expect("master derived");
+        let expected = verify_data(&master, &self.transcript.hash(), false);
+        if !ts_crypto::ct::ct_eq(&expected, &f.verify_data) {
+            return Err(TlsError::BadFinished);
+        }
+        self.transcript.add(&HandshakeMessage::Finished(f).encode());
+        match self.state {
+            State::AwaitFinishedFull => {
+                self.state = State::Established;
+                Ok(())
+            }
+            State::AwaitFinishedAbbrev => {
+                // Our turn: CCS + client Finished.
+                let keys = self.pending_keys.as_ref().expect("keys derived");
+                self.records
+                    .write_record(ContentType::ChangeCipherSpec, &[1], &mut self.out);
+                self.records.set_write_keys(keys.client_write.clone());
+                let vd = verify_data(&master, &self.transcript.hash(), true);
+                self.send_handshake(&HandshakeMessage::Finished(Finished { verify_data: vd }));
+                self.state = State::Established;
+                Ok(())
+            }
+            _ => unreachable!("guarded by caller"),
+        }
+    }
+
+    /// White-box access: the master secret (attacker/verification use).
+    pub fn master_secret(&self) -> Option<[u8; 48]> {
+        self.master
+    }
+}
+
+fn state_expectation(state: State) -> &'static str {
+    match state {
+        State::AwaitServerHello => "ServerHello",
+        State::AwaitServerFlight => "Certificate or abbreviated handshake",
+        State::AwaitServerKexOrDone => "ServerKeyExchange or ServerHelloDone",
+        State::AwaitCcsAbbrev => "ChangeCipherSpec (abbreviated)",
+        State::AwaitFinishedAbbrev => "Finished (abbreviated)",
+        State::AwaitNstOrCcsFull => "NewSessionTicket or ChangeCipherSpec",
+        State::AwaitFinishedFull => "Finished",
+        State::Established => "ApplicationData",
+        State::Failed => "nothing (failed)",
+    }
+}
+
+fn alert_for(err: &TlsError) -> AlertDescription {
+    match err {
+        TlsError::Trust(TrustError::UnknownRoot) => AlertDescription::UnknownCa,
+        TlsError::Trust(TrustError::Expired { .. }) => AlertDescription::CertificateExpired,
+        TlsError::Trust(_) => AlertDescription::BadCertificate,
+        TlsError::BadFinished | TlsError::Crypto(_) => AlertDescription::DecryptError,
+        TlsError::UnexpectedMessage { .. } => AlertDescription::UnexpectedMessage,
+        TlsError::NoCommonSuite => AlertDescription::HandshakeFailure,
+        _ => AlertDescription::DecodeError,
+    }
+}

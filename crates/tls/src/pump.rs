@@ -1,0 +1,81 @@
+//! Drives a client and a server connection against each other.
+//!
+//! The state machines are sans-io; the pump shuttles bytes until both
+//! sides are established (or one fails), optionally recording everything
+//! on the wire — the "passive collection" an on-path adversary performs
+//! (paper §7.1).
+
+use crate::client::ClientConn;
+use crate::error::TlsError;
+use crate::server::ServerConn;
+
+/// A captured connection: every byte each direction sent, in order.
+#[derive(Debug, Clone, Default)]
+pub struct WireCapture {
+    /// Bytes the client sent.
+    pub client_to_server: Vec<u8>,
+    /// Bytes the server sent.
+    pub server_to_client: Vec<u8>,
+}
+
+/// Outcome of pumping a handshake to completion.
+pub struct PumpResult {
+    /// The passive capture of the whole exchange so far.
+    pub capture: WireCapture,
+}
+
+/// Shuttle bytes between the two endpoints until neither produces more
+/// output or either side fails. Returns the capture on success; on
+/// failure returns the error from whichever side failed first.
+pub fn pump(client: &mut ClientConn, server: &mut ServerConn) -> Result<PumpResult, TlsError> {
+    let mut capture = WireCapture::default();
+    // A handshake needs only a handful of rounds; a generous bound guards
+    // against ping-pong bugs.
+    for _ in 0..32 {
+        let mut progressed = false;
+        let c2s = client.take_output();
+        if !c2s.is_empty() {
+            progressed = true;
+            capture.client_to_server.extend_from_slice(&c2s);
+            server.input(&c2s)?;
+        }
+        let s2c = server.take_output();
+        if !s2c.is_empty() {
+            progressed = true;
+            capture.server_to_client.extend_from_slice(&s2c);
+            client.input(&s2c)?;
+        }
+        if !progressed {
+            break;
+        }
+    }
+    Ok(PumpResult { capture })
+}
+
+/// Pump an already-connected pair after queuing application data, until
+/// quiescent. Extends the provided capture.
+pub fn pump_app_data(
+    client: &mut ClientConn,
+    server: &mut ServerConn,
+    capture: &mut WireCapture,
+) -> Result<(), TlsError> {
+    for _ in 0..32 {
+        let mut progressed = false;
+        let c2s = client.take_output();
+        if !c2s.is_empty() {
+            progressed = true;
+            capture.client_to_server.extend_from_slice(&c2s);
+            server.input(&c2s)?;
+        }
+        let s2c = server.take_output();
+        if !s2c.is_empty() {
+            progressed = true;
+            capture.server_to_client.extend_from_slice(&s2c);
+            client.input(&s2c)?;
+        }
+        if !progressed {
+            return Ok(());
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,553 @@
+//! The server-side TLS 1.2 state machine.
+//!
+//! Sans-io: callers feed transport bytes with [`ServerConn::input`] and
+//! drain responses with [`ServerConn::take_output`]. The connection is
+//! pinned to the virtual time passed at construction (a TLS handshake is
+//! instantaneous at simulation granularity).
+
+use crate::alert::{Alert, AlertDescription};
+use crate::config::ServerConfig;
+use crate::error::TlsError;
+use crate::keys::{key_block, master_secret, verify_data, ConnectionKeys, Transcript};
+use crate::session::SessionState;
+use crate::suites::{CipherSuite, KeyExchange};
+use crate::wire::extensions::{find_server_name, find_session_ticket, Extension};
+use crate::wire::handshake::{
+    CertificateMsg, ClientHello, ClientKeyExchange, Finished, HandshakeMessage,
+    HandshakeReassembler, NewSessionTicket, ServerHello, ServerKeyExchange, ServerKexParams,
+};
+use crate::wire::record::{ContentType, RecordLayer};
+use ts_crypto::bignum::Ub;
+use ts_crypto::dh::{validate_public, DhKeyPair};
+use ts_crypto::drbg::HmacDrbg;
+use ts_crypto::x25519::X25519KeyPair;
+
+/// How the connection was (or wasn't) resumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumeKind {
+    /// Abbreviated handshake via session-ID cache hit.
+    SessionId,
+    /// Abbreviated handshake via an accepted session ticket.
+    Ticket,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    AwaitClientHello,
+    AwaitClientKex,
+    AwaitCcs,
+    AwaitFinished,
+    Established,
+    Failed,
+}
+
+/// A server-side TLS connection.
+pub struct ServerConn {
+    config: ServerConfig,
+    rng: HmacDrbg,
+    now: u64,
+    records: RecordLayer,
+    reasm: HandshakeReassembler,
+    transcript: Transcript,
+    out: Vec<u8>,
+    state: State,
+    suite: Option<CipherSuite>,
+    client_random: [u8; 32],
+    server_random: [u8; 32],
+    session_id: Vec<u8>,
+    master: Option<[u8; 48]>,
+    resumed: Option<ResumeKind>,
+    resumed_established_at: u64,
+    dhe_kp: Option<DhKeyPair>,
+    ecdhe_kp: Option<X25519KeyPair>,
+    sni: String,
+    client_offered_ticket_ext: bool,
+    pending_keys: Option<ConnectionKeys>,
+    app_in: Vec<u8>,
+}
+
+impl ServerConn {
+    /// Create a connection bound to `config` at virtual time `now`.
+    pub fn new(config: ServerConfig, rng: HmacDrbg, now: u64) -> Self {
+        ServerConn {
+            config,
+            rng,
+            now,
+            records: RecordLayer::new(),
+            reasm: HandshakeReassembler::new(),
+            transcript: Transcript::new(),
+            out: Vec::new(),
+            state: State::AwaitClientHello,
+            suite: None,
+            client_random: [0; 32],
+            server_random: [0; 32],
+            session_id: Vec::new(),
+            master: None,
+            resumed: None,
+            resumed_established_at: 0,
+            dhe_kp: None,
+            ecdhe_kp: None,
+            sni: String::new(),
+            client_offered_ticket_ext: false,
+            pending_keys: None,
+            app_in: Vec::new(),
+        }
+    }
+
+    /// Drain bytes to ship to the client.
+    pub fn take_output(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// True once the handshake completed.
+    pub fn is_established(&self) -> bool {
+        self.state == State::Established
+    }
+
+    /// True if the connection failed.
+    pub fn is_failed(&self) -> bool {
+        self.state == State::Failed
+    }
+
+    /// How the handshake resumed, if it did.
+    pub fn resumed(&self) -> Option<ResumeKind> {
+        self.resumed
+    }
+
+    /// The negotiated suite (after ServerHello).
+    pub fn cipher_suite(&self) -> Option<CipherSuite> {
+        self.suite
+    }
+
+    /// The SNI hostname the client sent.
+    pub fn sni(&self) -> &str {
+        &self.sni
+    }
+
+    /// Queue application data (handshake must be complete).
+    pub fn send_app_data(&mut self, data: &[u8]) -> Result<(), TlsError> {
+        if self.state != State::Established {
+            return Err(TlsError::NotReady);
+        }
+        self.records
+            .write_record(ContentType::ApplicationData, data, &mut self.out);
+        Ok(())
+    }
+
+    /// Take decrypted application data received so far.
+    pub fn take_app_data(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.app_in)
+    }
+
+    /// Feed transport bytes; may queue output.
+    pub fn input(&mut self, data: &[u8]) -> Result<(), TlsError> {
+        if self.state == State::Failed {
+            return Err(TlsError::ConnectionClosed);
+        }
+        self.records.feed(data);
+        loop {
+            let record = match self.records.next_record() {
+                Ok(Some(r)) => r,
+                Ok(None) => return Ok(()),
+                Err(e) => return self.fail(e, AlertDescription::DecodeError),
+            };
+            match record.content_type {
+                ContentType::Handshake => {
+                    self.reasm.feed(&record.payload);
+                    loop {
+                        let hint = self.suite;
+                        match self.reasm.next(hint) {
+                            Ok(Some(msg)) => {
+                                if let Err(e) = self.handle_handshake(msg) {
+                                    let desc = alert_for(&e);
+                                    return self.fail(e, desc);
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(e) => return self.fail(e, AlertDescription::DecodeError),
+                        }
+                    }
+                }
+                ContentType::ChangeCipherSpec => {
+                    if self.state != State::AwaitCcs || record.payload != [1] {
+                        return self.fail(
+                            TlsError::UnexpectedMessage {
+                                expected: "orderly ChangeCipherSpec",
+                                got: "ChangeCipherSpec",
+                            },
+                            AlertDescription::UnexpectedMessage,
+                        );
+                    }
+                    let keys = self.pending_keys.as_ref().expect("keys derived before CCS");
+                    self.records.set_read_keys(keys.client_write.clone());
+                    self.state = State::AwaitFinished;
+                }
+                ContentType::Alert => {
+                    if let Some(alert) = Alert::decode(&record.payload) {
+                        if alert.description != AlertDescription::CloseNotify {
+                            self.state = State::Failed;
+                            return Err(TlsError::PeerAlert(alert.description));
+                        }
+                    }
+                    self.state = State::Failed;
+                    return Ok(());
+                }
+                ContentType::ApplicationData => {
+                    if self.state != State::Established {
+                        return self.fail(
+                            TlsError::UnexpectedMessage {
+                                expected: "handshake completion",
+                                got: "ApplicationData",
+                            },
+                            AlertDescription::UnexpectedMessage,
+                        );
+                    }
+                    self.app_in.extend_from_slice(&record.payload);
+                }
+            }
+        }
+    }
+
+    fn fail(&mut self, err: TlsError, desc: AlertDescription) -> Result<(), TlsError> {
+        self.state = State::Failed;
+        let alert = Alert::fatal(desc);
+        self.records
+            .write_record(ContentType::Alert, &alert.encode(), &mut self.out);
+        Err(err)
+    }
+
+    fn send_handshake(&mut self, msg: &HandshakeMessage) {
+        let encoded = msg.encode();
+        self.transcript.add(&encoded);
+        self.records
+            .write_record(ContentType::Handshake, &encoded, &mut self.out);
+    }
+
+    fn handle_handshake(&mut self, msg: HandshakeMessage) -> Result<(), TlsError> {
+        match (self.state, msg) {
+            (State::AwaitClientHello, HandshakeMessage::ClientHello(ch)) => {
+                self.transcript.add(&HandshakeMessage::ClientHello(ch.clone()).encode());
+                self.on_client_hello(ch)
+            }
+            (State::AwaitClientKex, HandshakeMessage::ClientKeyExchange(cke)) => {
+                self.transcript
+                    .add(&HandshakeMessage::ClientKeyExchange(cke.clone()).encode());
+                self.on_client_kex(cke)
+            }
+            (State::AwaitFinished, HandshakeMessage::Finished(f)) => self.on_client_finished(f),
+            (_, other) => Err(TlsError::UnexpectedMessage {
+                expected: state_expectation(self.state),
+                got: other.name(),
+            }),
+        }
+    }
+
+    fn on_client_hello(&mut self, ch: ClientHello) -> Result<(), TlsError> {
+        self.client_random = ch.random;
+        self.rng.fill_bytes(&mut self.server_random);
+        self.sni = find_server_name(&ch.extensions).unwrap_or("").to_string();
+        let offered_ticket = find_session_ticket(&ch.extensions);
+        self.client_offered_ticket_ext = offered_ticket.is_some();
+
+        // Suite selection: server preference order.
+        let suite = self
+            .config
+            .suites
+            .iter()
+            .copied()
+            .find(|s| ch.cipher_suites.contains(&s.id()))
+            .ok_or(TlsError::NoCommonSuite)?;
+
+        // --- Resumption decision (ticket first, then session ID). ---
+        if let (Some(manager), Some(ticket)) = (&self.config.tickets, offered_ticket) {
+            if !ticket.is_empty() {
+                if let Ok(state) = manager.accept(ticket, self.now) {
+                    let fresh_enough = self
+                        .now
+                        .saturating_sub(state.established_at)
+                        <= self.config.ticket_accept_window;
+                    let suite_ok = ch.cipher_suites.contains(&state.cipher_suite.id())
+                        && self.config.suites.contains(&state.cipher_suite);
+                    if fresh_enough && suite_ok {
+                        return self.resume(state, ResumeKind::Ticket, Vec::new());
+                    }
+                }
+            }
+        }
+        if let Some(cache) = &self.config.session_cache {
+            if !ch.session_id.is_empty() {
+                if let Some(state) = cache.lookup(&ch.session_id, self.now) {
+                    let suite_ok = ch.cipher_suites.contains(&state.cipher_suite.id())
+                        && self.config.suites.contains(&state.cipher_suite);
+                    if suite_ok {
+                        let sid = ch.session_id.clone();
+                        return self.resume(state, ResumeKind::SessionId, sid);
+                    }
+                }
+            }
+        }
+
+        // --- Full handshake. ---
+        self.suite = Some(suite);
+        self.session_id = if self.config.issue_session_ids {
+            self.rng.bytes(32)
+        } else {
+            Vec::new()
+        };
+        let mut extensions = Vec::new();
+        let will_ticket = self.config.tickets.is_some() && self.client_offered_ticket_ext;
+        if will_ticket {
+            extensions.push(Extension::SessionTicket(Vec::new()));
+        }
+        let sh = HandshakeMessage::ServerHello(ServerHello {
+            random: self.server_random,
+            session_id: self.session_id.clone(),
+            cipher_suite: suite.id(),
+            extensions,
+        });
+        self.send_handshake(&sh);
+
+        let chain: Vec<Vec<u8>> = self
+            .config
+            .identity
+            .chain
+            .iter()
+            .map(|c| c.der.clone())
+            .collect();
+        self.send_handshake(&HandshakeMessage::Certificate(CertificateMsg { chain }));
+
+        match suite.key_exchange() {
+            KeyExchange::Rsa => {}
+            KeyExchange::Dhe => {
+                let kp = self.config.ephemeral.dhe_keypair(self.now);
+                let group = kp.group;
+                let params = ServerKexParams::Dhe {
+                    p: group.prime().to_bytes_be(),
+                    g: group.generator().to_bytes_be(),
+                    ys: kp.public_bytes(),
+                };
+                let ske = self.signed_kex(params)?;
+                self.dhe_kp = Some(kp);
+                self.send_handshake(&ske);
+            }
+            KeyExchange::Ecdhe => {
+                let kp = self.config.ephemeral.ecdhe_keypair(self.now);
+                let params = ServerKexParams::Ecdhe { point: kp.public.to_vec() };
+                let ske = self.signed_kex(params)?;
+                self.ecdhe_kp = Some(kp);
+                self.send_handshake(&ske);
+            }
+        }
+        self.send_handshake(&HandshakeMessage::ServerHelloDone);
+        self.state = State::AwaitClientKex;
+        Ok(())
+    }
+
+    /// Sign cr || sr || params and build the ServerKeyExchange message.
+    fn signed_kex(&mut self, params: ServerKexParams) -> Result<HandshakeMessage, TlsError> {
+        let signed_content =
+            kex_signed_content(&self.client_random, &self.server_random, &params);
+        let signature = self.config.identity.key.sign(&signed_content)?;
+        Ok(HandshakeMessage::ServerKeyExchange(ServerKeyExchange { params, signature }))
+    }
+
+    fn resume(
+        &mut self,
+        state: SessionState,
+        kind: ResumeKind,
+        echo_session_id: Vec<u8>,
+    ) -> Result<(), TlsError> {
+        let suite = state.cipher_suite;
+        self.suite = Some(suite);
+        self.resumed = Some(kind);
+        self.resumed_established_at = state.established_at;
+        self.master = Some(state.master_secret);
+        self.session_id = echo_session_id;
+
+        let reissue = kind == ResumeKind::Ticket
+            && self.config.reissue_ticket_on_resumption
+            && self.config.tickets.is_some();
+        let mut extensions = Vec::new();
+        if reissue {
+            extensions.push(Extension::SessionTicket(Vec::new()));
+        }
+        let sh = HandshakeMessage::ServerHello(ServerHello {
+            random: self.server_random,
+            session_id: self.session_id.clone(),
+            cipher_suite: suite.id(),
+            extensions,
+        });
+        self.send_handshake(&sh);
+
+        if reissue {
+            // Fresh ticket over the SAME session state (keys constant,
+            // original establishment time preserved — §2.2).
+            let manager = self.config.tickets.as_ref().expect("checked").clone();
+            let ticket = manager.issue(&state, self.now);
+            self.send_handshake(&HandshakeMessage::NewSessionTicket(NewSessionTicket {
+                lifetime_hint: self.config.ticket_lifetime_hint,
+                ticket,
+            }));
+        }
+
+        let master = state.master_secret;
+        let keys = key_block(&master, &self.client_random, &self.server_random, suite);
+        // Server speaks first in an abbreviated handshake.
+        self.records
+            .write_record(ContentType::ChangeCipherSpec, &[1], &mut self.out);
+        self.records.set_write_keys(keys.server_write.clone());
+        let vd = verify_data(&master, &self.transcript.hash(), false);
+        self.send_handshake(&HandshakeMessage::Finished(Finished { verify_data: vd }));
+        self.pending_keys = Some(keys);
+        self.state = State::AwaitCcs;
+        Ok(())
+    }
+
+    fn on_client_kex(&mut self, cke: ClientKeyExchange) -> Result<(), TlsError> {
+        let suite = self.suite.expect("suite chosen");
+        let premaster: Vec<u8> = match (suite.key_exchange(), cke) {
+            (KeyExchange::Rsa, ClientKeyExchange::Rsa { encrypted_premaster }) => {
+                let pm = self.config.identity.key.decrypt(&encrypted_premaster)?;
+                if pm.len() != 48 || pm[0] != 3 || pm[1] != 3 {
+                    return Err(TlsError::Decode("bad RSA premaster"));
+                }
+                pm
+            }
+            (KeyExchange::Dhe, ClientKeyExchange::Dhe { yc }) => {
+                let kp = self.dhe_kp.as_ref().expect("DHE keypair generated");
+                let y = Ub::from_bytes_be(&yc);
+                validate_public(kp.group, &y)?;
+                kp.shared_secret(&y)?
+            }
+            (KeyExchange::Ecdhe, ClientKeyExchange::Ecdhe { point }) => {
+                let kp = self.ecdhe_kp.as_ref().expect("ECDHE keypair generated");
+                let point: [u8; 32] = point
+                    .as_slice()
+                    .try_into()
+                    .map_err(|_| TlsError::Decode("bad X25519 point length"))?;
+                kp.shared_secret(&point).to_vec()
+            }
+            _ => return Err(TlsError::Decode("key exchange type mismatch")),
+        };
+        let master = master_secret(&premaster, &self.client_random, &self.server_random);
+        self.master = Some(master);
+        self.pending_keys = Some(key_block(
+            &master,
+            &self.client_random,
+            &self.server_random,
+            suite,
+        ));
+        self.state = State::AwaitCcs;
+        Ok(())
+    }
+
+    fn on_client_finished(&mut self, f: Finished) -> Result<(), TlsError> {
+        let master = self.master.expect("master derived");
+        let expected = verify_data(&master, &self.transcript.hash(), true);
+        if !ts_crypto::ct::ct_eq(&expected, &f.verify_data) {
+            return Err(TlsError::BadFinished);
+        }
+        self.transcript
+            .add(&HandshakeMessage::Finished(f).encode());
+
+        if self.resumed.is_some() {
+            // Abbreviated handshake: we already sent our Finished.
+            self.state = State::Established;
+            return Ok(());
+        }
+
+        // Full handshake tail: store session, maybe issue ticket, then
+        // CCS + Finished.
+        let suite = self.suite.expect("suite chosen");
+        let state = SessionState {
+            master_secret: master,
+            cipher_suite: suite,
+            established_at: self.now,
+            server_name: self.sni.clone(),
+        };
+        if let Some(cache) = &self.config.session_cache {
+            if !self.session_id.is_empty() {
+                cache.insert(self.session_id.clone(), state.clone(), self.now);
+            }
+        }
+        if self.config.tickets.is_some() && self.client_offered_ticket_ext {
+            let manager = self.config.tickets.as_ref().expect("checked").clone();
+            let ticket = manager.issue(&state, self.now);
+            self.send_handshake(&HandshakeMessage::NewSessionTicket(NewSessionTicket {
+                lifetime_hint: self.config.ticket_lifetime_hint,
+                ticket,
+            }));
+        }
+        let keys = self.pending_keys.as_ref().expect("keys derived");
+        self.records
+            .write_record(ContentType::ChangeCipherSpec, &[1], &mut self.out);
+        self.records.set_write_keys(keys.server_write.clone());
+        let vd = verify_data(&master, &self.transcript.hash(), false);
+        self.send_handshake(&HandshakeMessage::Finished(Finished { verify_data: vd }));
+        self.state = State::Established;
+        Ok(())
+    }
+
+    /// White-box access for the attacker model: the master secret.
+    pub fn master_secret(&self) -> Option<[u8; 48]> {
+        self.master
+    }
+
+    /// For resumed connections, when the original session was established
+    /// (the anchor of the ticket acceptance window).
+    pub fn resumed_original_establishment(&self) -> Option<u64> {
+        self.resumed.map(|_| self.resumed_established_at)
+    }
+}
+
+/// The bytes an RSA signature covers in ServerKeyExchange:
+/// client_random || server_random || encoded params.
+pub fn kex_signed_content(
+    client_random: &[u8; 32],
+    server_random: &[u8; 32],
+    params: &ServerKexParams,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128);
+    out.extend_from_slice(client_random);
+    out.extend_from_slice(server_random);
+    match params {
+        ServerKexParams::Dhe { p, g, ys } => {
+            out.push(0);
+            out.extend_from_slice(&(p.len() as u16).to_be_bytes());
+            out.extend_from_slice(p);
+            out.extend_from_slice(&(g.len() as u16).to_be_bytes());
+            out.extend_from_slice(g);
+            out.extend_from_slice(&(ys.len() as u16).to_be_bytes());
+            out.extend_from_slice(ys);
+        }
+        ServerKexParams::Ecdhe { point } => {
+            out.push(3);
+            out.extend_from_slice(&29u16.to_be_bytes());
+            out.push(point.len() as u8);
+            out.extend_from_slice(point);
+        }
+    }
+    out
+}
+
+fn state_expectation(state: State) -> &'static str {
+    match state {
+        State::AwaitClientHello => "ClientHello",
+        State::AwaitClientKex => "ClientKeyExchange",
+        State::AwaitCcs => "ChangeCipherSpec",
+        State::AwaitFinished => "Finished",
+        State::Established => "ApplicationData",
+        State::Failed => "nothing (failed)",
+    }
+}
+
+fn alert_for(err: &TlsError) -> AlertDescription {
+    match err {
+        TlsError::NoCommonSuite => AlertDescription::HandshakeFailure,
+        TlsError::BadFinished => AlertDescription::DecryptError,
+        TlsError::Crypto(_) => AlertDescription::DecryptError,
+        TlsError::Trust(_) => AlertDescription::BadCertificate,
+        TlsError::UnexpectedMessage { .. } => AlertDescription::UnexpectedMessage,
+        _ => AlertDescription::DecodeError,
+    }
+}

@@ -1,0 +1,101 @@
+//! Resumable session state.
+
+use crate::keys::MASTER_SECRET_LEN;
+use crate::suites::CipherSuite;
+
+/// Everything both sides must retain to resume a session — the exact
+/// secret whose *lifetime* the paper measures. Held in the server's session
+/// cache (session-ID resumption) or encrypted into a ticket under the STEK
+/// (ticket resumption).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionState {
+    /// The 48-byte master secret.
+    pub master_secret: [u8; MASTER_SECRET_LEN],
+    /// Negotiated cipher suite (resumption must reuse it — RFC 5077 §3.4).
+    pub cipher_suite: CipherSuite,
+    /// Virtual time the original full handshake completed.
+    pub established_at: u64,
+    /// SNI hostname of the original connection (diagnostics / affinity).
+    pub server_name: String,
+}
+
+impl SessionState {
+    /// Serialize for ticket encryption (fixed layout, no DER needed).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(MASTER_SECRET_LEN + 2 + 8 + 2 + self.server_name.len());
+        out.extend_from_slice(&self.master_secret);
+        out.extend_from_slice(&self.cipher_suite.id().to_be_bytes());
+        out.extend_from_slice(&self.established_at.to_be_bytes());
+        out.extend_from_slice(&(self.server_name.len() as u16).to_be_bytes());
+        out.extend_from_slice(self.server_name.as_bytes());
+        out
+    }
+
+    /// Parse the [`to_bytes`](Self::to_bytes) layout.
+    pub fn from_bytes(data: &[u8]) -> Option<SessionState> {
+        if data.len() < MASTER_SECRET_LEN + 2 + 8 + 2 {
+            return None;
+        }
+        let master_secret: [u8; MASTER_SECRET_LEN] =
+            data[..MASTER_SECRET_LEN].try_into().ok()?;
+        let mut off = MASTER_SECRET_LEN;
+        let suite_id = u16::from_be_bytes([data[off], data[off + 1]]);
+        off += 2;
+        let cipher_suite = CipherSuite::from_id(suite_id)?;
+        let established_at = u64::from_be_bytes(data[off..off + 8].try_into().ok()?);
+        off += 8;
+        let name_len = u16::from_be_bytes([data[off], data[off + 1]]) as usize;
+        off += 2;
+        if data.len() != off + name_len {
+            return None;
+        }
+        let server_name = String::from_utf8(data[off..].to_vec()).ok()?;
+        Some(SessionState { master_secret, cipher_suite, established_at, server_name })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SessionState {
+        SessionState {
+            master_secret: [0x5a; 48],
+            cipher_suite: CipherSuite::EcdheRsaChaCha20Poly1305,
+            established_at: 1_234_567,
+            server_name: "mail.example.sim".into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = sample();
+        assert_eq!(SessionState::from_bytes(&s.to_bytes()), Some(s));
+    }
+
+    #[test]
+    fn roundtrip_empty_name() {
+        let mut s = sample();
+        s.server_name = String::new();
+        assert_eq!(SessionState::from_bytes(&s.to_bytes()), Some(s));
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing() {
+        let bytes = sample().to_bytes();
+        for cut in [0, 10, 47, bytes.len() - 1] {
+            assert_eq!(SessionState::from_bytes(&bytes[..cut]), None, "cut {cut}");
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert_eq!(SessionState::from_bytes(&extended), None);
+    }
+
+    #[test]
+    fn rejects_unknown_suite() {
+        let mut bytes = sample().to_bytes();
+        bytes[48] = 0xff;
+        bytes[49] = 0xff;
+        assert_eq!(SessionState::from_bytes(&bytes), None);
+    }
+}

@@ -1,0 +1,13 @@
+//! TLS wire format: records, handshake messages, extensions.
+//!
+//! Style follows smoltcp: typed message structs with explicit `encode` /
+//! `decode`, strict length checking, and no hidden state. All multi-byte
+//! integers are big-endian as in RFC 5246.
+
+pub mod extensions;
+pub mod handshake;
+pub mod record;
+
+pub use extensions::Extension;
+pub use handshake::HandshakeMessage;
+pub use record::{ContentType, Record, RecordLayer, MAX_FRAGMENT_LEN, PROTOCOL_VERSION};

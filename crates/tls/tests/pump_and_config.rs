@@ -1,0 +1,169 @@
+//! Coverage for the pump driver and configuration surfaces that the
+//! handshake tests exercise only implicitly.
+
+use std::sync::Arc;
+use ts_crypto::drbg::HmacDrbg;
+use ts_crypto::rsa::RsaPrivateKey;
+use ts_tls::config::{ClientConfig, ServerConfig, ServerIdentity};
+use ts_tls::ephemeral::{EphemeralCache, EphemeralPolicy};
+use ts_tls::pump::{pump, pump_app_data, WireCapture};
+use ts_tls::suites::CipherSuite;
+use ts_tls::{ClientConn, ServerConn, TlsError};
+use ts_x509::{Certificate, CertificateParams, DistinguishedName, RootStore, Validity};
+
+fn env(seed: &[u8]) -> (Arc<RootStore>, ServerConfig) {
+    let mut rng = HmacDrbg::new(seed);
+    let ca_key = RsaPrivateKey::generate(512, &mut rng).unwrap();
+    let ca_name = DistinguishedName::cn("Pump CA");
+    let ca = Certificate::issue(
+        &CertificateParams {
+            serial: 1,
+            subject: ca_name.clone(),
+            validity: Validity { not_before: 0, not_after: u32::MAX as u64 },
+            dns_names: vec![],
+            is_ca: true,
+        },
+        &ca_key.public,
+        &ca_name,
+        &ca_key,
+    );
+    let key = RsaPrivateKey::generate(512, &mut rng).unwrap();
+    let leaf = Certificate::issue(
+        &CertificateParams {
+            serial: 2,
+            subject: DistinguishedName::cn("pump.sim"),
+            validity: Validity { not_before: 0, not_after: u32::MAX as u64 },
+            dns_names: vec!["pump.sim".into()],
+            is_ca: false,
+        },
+        &key.public,
+        &ca_name,
+        &ca_key,
+    );
+    let mut store = RootStore::new();
+    store.add_root(ca);
+    let identity = Arc::new(ServerIdentity { chain: vec![leaf], key });
+    let eph = EphemeralCache::new(
+        EphemeralPolicy::FreshPerHandshake,
+        ts_crypto::dh::DhGroup::Sim256,
+        HmacDrbg::new(&[seed, b"-e"].concat()),
+    );
+    (Arc::new(store), ServerConfig::new(identity, eph))
+}
+
+#[test]
+fn capture_contains_full_wire_traffic() {
+    let (store, cfg) = env(b"pump-capture");
+    let mut client = ClientConn::new(
+        ClientConfig::new(store, "pump.sim", 100),
+        HmacDrbg::new(b"c"),
+    );
+    let mut server = ServerConn::new(cfg, HmacDrbg::new(b"s"), 100);
+    let result = pump(&mut client, &mut server).unwrap();
+    // The capture starts with the TLS record header of the ClientHello:
+    // handshake(22), version 3.3.
+    assert_eq!(&result.capture.client_to_server[..3], &[22, 3, 3]);
+    assert_eq!(&result.capture.server_to_client[..3], &[22, 3, 3]);
+    assert!(result.capture.client_to_server.len() > 100);
+    assert!(result.capture.server_to_client.len() > 300, "cert flight is big");
+}
+
+#[test]
+fn pump_surfaces_handshake_failures() {
+    let (store, mut cfg) = env(b"pump-fail");
+    cfg.suites = vec![CipherSuite::EcdheRsaChaCha20Poly1305];
+    let mut ccfg = ClientConfig::new(store, "pump.sim", 100);
+    ccfg.suites = vec![CipherSuite::RsaAes128CbcSha256];
+    let mut client = ClientConn::new(ccfg, HmacDrbg::new(b"c"));
+    let mut server = ServerConn::new(cfg, HmacDrbg::new(b"s"), 100);
+    let err = pump(&mut client, &mut server).map(|_| ()).unwrap_err();
+    assert!(matches!(err, TlsError::NoCommonSuite | TlsError::PeerAlert(_)));
+    assert!(server.is_failed());
+}
+
+#[test]
+fn pump_app_data_is_incremental() {
+    let (store, cfg) = env(b"pump-incr");
+    let mut client = ClientConn::new(
+        ClientConfig::new(store, "pump.sim", 100),
+        HmacDrbg::new(b"c"),
+    );
+    let mut server = ServerConn::new(cfg, HmacDrbg::new(b"s"), 100);
+    let result = pump(&mut client, &mut server).unwrap();
+    let mut capture = result.capture;
+    let before = capture.client_to_server.len();
+    // Multiple rounds of app data extend the same capture.
+    for i in 0..3 {
+        client.send_app_data(format!("msg {i}").as_bytes()).unwrap();
+        pump_app_data(&mut client, &mut server, &mut capture).unwrap();
+    }
+    assert_eq!(server.take_app_data(), b"msg 0msg 1msg 2");
+    assert!(capture.client_to_server.len() > before);
+}
+
+#[test]
+fn app_data_before_establishment_rejected() {
+    let (store, cfg) = env(b"pump-early");
+    let mut client = ClientConn::new(
+        ClientConfig::new(store, "pump.sim", 100),
+        HmacDrbg::new(b"c"),
+    );
+    assert_eq!(client.send_app_data(b"too soon"), Err(TlsError::NotReady));
+    let mut server = ServerConn::new(cfg, HmacDrbg::new(b"s"), 100);
+    assert_eq!(server.send_app_data(b"too soon"), Err(TlsError::NotReady));
+    assert!(client.summary().is_err(), "summary gated on establishment");
+}
+
+#[test]
+fn default_configs_are_sane() {
+    let (store, cfg) = env(b"pump-defaults");
+    // Server defaults: all suites, session IDs on, 5-minute cache, no
+    // tickets until configured.
+    assert_eq!(cfg.suites.len(), 5);
+    assert!(cfg.issue_session_ids);
+    assert!(cfg.tickets.is_none());
+    assert_eq!(cfg.session_cache.as_ref().unwrap().lifetime_secs(), 300);
+    // Client defaults: ticket support advertised, verification on.
+    let ccfg = ClientConfig::new(store, "pump.sim", 42);
+    assert!(ccfg.offer_ticket_support);
+    assert!(ccfg.verify_certs);
+    assert_eq!(ccfg.now, 42);
+    assert!(ccfg.resumption.session.is_none());
+    assert!(ccfg.resumption.ticket.is_none());
+}
+
+#[test]
+fn wire_capture_default_is_empty() {
+    let c = WireCapture::default();
+    assert!(c.client_to_server.is_empty());
+    assert!(c.server_to_client.is_empty());
+}
+
+#[test]
+fn tampered_wire_fails_cleanly() {
+    // Flip a byte of the server's Finished (encrypted) in flight: the
+    // client must fail with a MAC error, not panic or hang.
+    let (store, cfg) = env(b"pump-tamper");
+    let mut client = ClientConn::new(
+        ClientConfig::new(store, "pump.sim", 100),
+        HmacDrbg::new(b"c"),
+    );
+    let mut server = ServerConn::new(cfg, HmacDrbg::new(b"s"), 100);
+    // Run the flights manually so we can tamper mid-way.
+    let ch = client.take_output();
+    server.input(&ch).unwrap();
+    let flight = server.take_output();
+    client.input(&flight).unwrap();
+    let cke_ccs_fin = client.take_output();
+    server.input(&cke_ccs_fin).unwrap();
+    let mut server_fin = server.take_output();
+    // Tamper with the LAST byte (inside the encrypted Finished record).
+    let last = server_fin.len() - 1;
+    server_fin[last] ^= 0xff;
+    let err = client.input(&server_fin).unwrap_err();
+    assert!(
+        matches!(err, TlsError::Crypto(_) | TlsError::BadFinished),
+        "{err:?}"
+    );
+    assert!(client.is_failed());
+}

@@ -1,0 +1,26 @@
+//! # ts-x509 — minimal X.509 certificates over a real DER codec
+//!
+//! The study restricts every measurement to HTTPS sites that present
+//! *browser-trusted* certificates chaining to the NSS root store. This crate
+//! provides the certificate machinery the simulated ecosystem needs:
+//!
+//! * [`der`] — an ASN.1 DER encoder/decoder subset (the types X.509 uses)
+//! * [`cert`] — a minimal X.509 v3 profile with RSA-SHA256 signatures,
+//!   subjectAltName DNS entries (including wildcards, which CDNs lean on),
+//!   and basicConstraints
+//! * [`store`] — a root store ("NSS-sim"), chain building/validation, and
+//!   the institutional blacklist the paper's scans honour
+//!
+//! The profile is deliberately small: the measurements only require that
+//! trust decisions (trusted / untrusted / blacklisted) behave like the real
+//! ecosystem's, not that every X.509 corner case exists.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cert;
+pub mod der;
+pub mod store;
+
+pub use cert::{hostname_matches, Certificate, CertificateParams, DistinguishedName, Validity};
+pub use store::{Blacklist, RootStore, TrustError};

@@ -1,0 +1,372 @@
+//! Root store and chain validation.
+//!
+//! Models the paper's trust filter: scans only count domains whose
+//! certificate chains to the NSS root store. The simulated ecosystem issues
+//! from a handful of "SimCA" roots (the trusted set), a non-trusted CA (for
+//! the ~"self-signed / invalid" population) and supports an institutional
+//! blacklist of domains the scanner must skip.
+
+use crate::cert::Certificate;
+use std::collections::HashSet;
+
+/// Why a chain failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrustError {
+    /// The presented chain was empty.
+    EmptyChain,
+    /// No root in the store matches the top of the chain.
+    UnknownRoot,
+    /// A signature in the chain failed to verify.
+    BadSignature {
+        /// Index of the certificate whose signature failed (0 = leaf).
+        index: usize,
+    },
+    /// A certificate is outside its validity window.
+    Expired {
+        /// Index of the expired certificate.
+        index: usize,
+    },
+    /// An intermediate lacks the CA flag.
+    NotACa {
+        /// Index of the offending certificate.
+        index: usize,
+    },
+    /// Issuer/subject names do not chain.
+    NameChainBroken {
+        /// Index whose issuer does not match the next subject.
+        index: usize,
+    },
+    /// The leaf does not cover the requested hostname.
+    HostnameMismatch,
+}
+
+impl std::fmt::Display for TrustError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrustError::EmptyChain => write!(f, "empty certificate chain"),
+            TrustError::UnknownRoot => write!(f, "chain does not reach a trusted root"),
+            TrustError::BadSignature { index } => write!(f, "bad signature at chain index {index}"),
+            TrustError::Expired { index } => write!(f, "certificate {index} outside validity"),
+            TrustError::NotACa { index } => write!(f, "certificate {index} is not a CA"),
+            TrustError::NameChainBroken { index } => write!(f, "name chain broken at {index}"),
+            TrustError::HostnameMismatch => write!(f, "hostname not covered by leaf"),
+        }
+    }
+}
+
+impl std::error::Error for TrustError {}
+
+/// A set of trusted root certificates ("NSS-sim").
+#[derive(Debug, Clone, Default)]
+pub struct RootStore {
+    roots: Vec<Certificate>,
+}
+
+impl RootStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        RootStore { roots: Vec::new() }
+    }
+
+    /// Add a trusted root.
+    pub fn add_root(&mut self, root: Certificate) {
+        self.roots.push(root);
+    }
+
+    /// Number of roots.
+    pub fn len(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// True if no roots are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Validate `chain` (leaf first) for `hostname` at virtual time `now`.
+    ///
+    /// Rules: every certificate in-validity; each cert's signature verifies
+    /// under the next cert's key (or a root's key at the top); each
+    /// non-leaf is a CA; names chain issuer→subject; and the leaf covers
+    /// `hostname`.
+    pub fn validate(
+        &self,
+        chain: &[Certificate],
+        hostname: &str,
+        now: u64,
+    ) -> Result<(), TrustError> {
+        let leaf = chain.first().ok_or(TrustError::EmptyChain)?;
+        for (i, cert) in chain.iter().enumerate() {
+            if !cert.validity.contains(now) {
+                return Err(TrustError::Expired { index: i });
+            }
+            if i > 0 && !cert.is_ca {
+                return Err(TrustError::NotACa { index: i });
+            }
+        }
+        // Verify signatures up the chain.
+        for i in 0..chain.len() {
+            let cert = &chain[i];
+            if i + 1 < chain.len() {
+                let issuer = &chain[i + 1];
+                if cert.issuer != issuer.subject {
+                    return Err(TrustError::NameChainBroken { index: i });
+                }
+                if !cert.verify_signature(&issuer.public_key) {
+                    return Err(TrustError::BadSignature { index: i });
+                }
+            } else {
+                // Top of the presented chain: must be signed by (or be) a
+                // trusted root.
+                let root = self
+                    .roots
+                    .iter()
+                    .find(|r| r.subject == cert.issuer)
+                    .ok_or(TrustError::UnknownRoot)?;
+                if !root.validity.contains(now) {
+                    return Err(TrustError::UnknownRoot);
+                }
+                if !cert.verify_signature(&root.public_key) {
+                    return Err(TrustError::BadSignature { index: i });
+                }
+            }
+        }
+        if !leaf.matches_hostname(hostname) {
+            return Err(TrustError::HostnameMismatch);
+        }
+        Ok(())
+    }
+}
+
+/// The institutional blacklist the scanning methodology honours
+/// (paper §3: "followed the institutional blacklist").
+#[derive(Debug, Clone, Default)]
+pub struct Blacklist {
+    entries: HashSet<String>,
+}
+
+impl Blacklist {
+    /// Empty blacklist.
+    pub fn new() -> Self {
+        Blacklist { entries: HashSet::new() }
+    }
+
+    /// Add a domain.
+    pub fn add(&mut self, domain: &str) {
+        self.entries.insert(domain.to_ascii_lowercase());
+    }
+
+    /// True if `domain` must not be scanned.
+    pub fn contains(&self, domain: &str) -> bool {
+        self.entries.contains(&domain.to_ascii_lowercase())
+    }
+
+    /// Number of blacklisted domains.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::{CertificateParams, DistinguishedName, Validity};
+    use ts_crypto::drbg::HmacDrbg;
+    use ts_crypto::rsa::RsaPrivateKey;
+
+    struct TestPki {
+        store: RootStore,
+        root_key: RsaPrivateKey,
+        root_name: DistinguishedName,
+        inter_key: RsaPrivateKey,
+        inter_cert: Certificate,
+    }
+
+    fn build_pki() -> TestPki {
+        let mut rng = HmacDrbg::new(b"pki");
+        let root_key = RsaPrivateKey::generate(512, &mut rng).unwrap();
+        let root_name = DistinguishedName::cn("SimCA Root");
+        let root_cert = Certificate::issue(
+            &CertificateParams {
+                serial: 1,
+                subject: root_name.clone(),
+                validity: Validity { not_before: 0, not_after: 1_000_000_000 },
+                dns_names: vec![],
+                is_ca: true,
+            },
+            &root_key.public,
+            &root_name,
+            &root_key,
+        );
+        let inter_key = RsaPrivateKey::generate(512, &mut rng).unwrap();
+        let inter_name = DistinguishedName::cn("SimCA Intermediate");
+        let inter_cert = Certificate::issue(
+            &CertificateParams {
+                serial: 2,
+                subject: inter_name,
+                validity: Validity { not_before: 0, not_after: 1_000_000_000 },
+                dns_names: vec![],
+                is_ca: true,
+            },
+            &inter_key.public,
+            &root_name,
+            &root_key,
+        );
+        let mut store = RootStore::new();
+        store.add_root(root_cert);
+        TestPki { store, root_key, root_name, inter_key, inter_cert }
+    }
+
+    fn leaf(pki: &TestPki, host: &str, not_after: u64) -> Certificate {
+        let mut rng = HmacDrbg::new(host.as_bytes());
+        let key = RsaPrivateKey::generate(512, &mut rng).unwrap();
+        Certificate::issue(
+            &CertificateParams {
+                serial: 99,
+                subject: DistinguishedName::cn(host),
+                validity: Validity { not_before: 0, not_after },
+                dns_names: vec![host.to_string()],
+                is_ca: false,
+            },
+            &key.public,
+            &pki.inter_cert.subject,
+            &pki.inter_key,
+        )
+    }
+
+    #[test]
+    fn valid_chain_accepted() {
+        let pki = build_pki();
+        let leaf = leaf(&pki, "site.sim", 500_000);
+        let chain = vec![leaf, pki.inter_cert.clone()];
+        pki.store.validate(&chain, "site.sim", 100).unwrap();
+    }
+
+    #[test]
+    fn direct_root_issued_leaf_accepted() {
+        let pki = build_pki();
+        let mut rng = HmacDrbg::new(b"direct");
+        let key = RsaPrivateKey::generate(512, &mut rng).unwrap();
+        let leaf = Certificate::issue(
+            &CertificateParams {
+                serial: 7,
+                subject: DistinguishedName::cn("direct.sim"),
+                validity: Validity { not_before: 0, not_after: 500_000 },
+                dns_names: vec!["direct.sim".into()],
+                is_ca: false,
+            },
+            &key.public,
+            &pki.root_name,
+            &pki.root_key,
+        );
+        pki.store.validate(&[leaf], "direct.sim", 100).unwrap();
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        let pki = build_pki();
+        assert_eq!(pki.store.validate(&[], "x.sim", 0), Err(TrustError::EmptyChain));
+    }
+
+    #[test]
+    fn unknown_root_rejected() {
+        let pki = build_pki();
+        let mut rng = HmacDrbg::new(b"rogue");
+        let rogue_key = RsaPrivateKey::generate(512, &mut rng).unwrap();
+        let rogue_name = DistinguishedName::cn("Rogue CA");
+        let key = RsaPrivateKey::generate(512, &mut rng).unwrap();
+        let leaf = Certificate::issue(
+            &CertificateParams {
+                serial: 66,
+                subject: DistinguishedName::cn("evil.sim"),
+                validity: Validity { not_before: 0, not_after: 500_000 },
+                dns_names: vec!["evil.sim".into()],
+                is_ca: false,
+            },
+            &key.public,
+            &rogue_name,
+            &rogue_key,
+        );
+        assert_eq!(
+            pki.store.validate(&[leaf], "evil.sim", 100),
+            Err(TrustError::UnknownRoot)
+        );
+    }
+
+    #[test]
+    fn expired_leaf_rejected() {
+        let pki = build_pki();
+        let leaf = leaf(&pki, "old.sim", 50);
+        let chain = vec![leaf, pki.inter_cert.clone()];
+        assert_eq!(
+            pki.store.validate(&chain, "old.sim", 100),
+            Err(TrustError::Expired { index: 0 })
+        );
+    }
+
+    #[test]
+    fn hostname_mismatch_rejected() {
+        let pki = build_pki();
+        let leaf = leaf(&pki, "a.sim", 500_000);
+        let chain = vec![leaf, pki.inter_cert.clone()];
+        assert_eq!(
+            pki.store.validate(&chain, "b.sim", 100),
+            Err(TrustError::HostnameMismatch)
+        );
+    }
+
+    #[test]
+    fn non_ca_intermediate_rejected() {
+        let pki = build_pki();
+        // Build a "chain" where the intermediate position holds a non-CA.
+        let fake_inter = leaf(&pki, "notaca.sim", 500_000);
+        let end = leaf(&pki, "site.sim", 500_000);
+        let chain = vec![end, fake_inter];
+        assert_eq!(
+            pki.store.validate(&chain, "site.sim", 100),
+            Err(TrustError::NotACa { index: 1 })
+        );
+    }
+
+    #[test]
+    fn broken_name_chain_rejected() {
+        let pki = build_pki();
+        let mut rng = HmacDrbg::new(b"second-root");
+        let other_key = RsaPrivateKey::generate(512, &mut rng).unwrap();
+        let other_name = DistinguishedName::cn("Other CA");
+        let other_ca = Certificate::issue(
+            &CertificateParams {
+                serial: 5,
+                subject: other_name.clone(),
+                validity: Validity { not_before: 0, not_after: 1_000_000_000 },
+                dns_names: vec![],
+                is_ca: true,
+            },
+            &other_key.public,
+            &pki.root_name,
+            &pki.root_key,
+        );
+        let end = leaf(&pki, "site.sim", 500_000); // issued by SimCA Intermediate
+        let chain = vec![end, other_ca];
+        assert_eq!(
+            pki.store.validate(&chain, "site.sim", 100),
+            Err(TrustError::NameChainBroken { index: 0 })
+        );
+    }
+
+    #[test]
+    fn blacklist_behaviour() {
+        let mut bl = Blacklist::new();
+        assert!(bl.is_empty());
+        bl.add("Badsite.SIM");
+        assert!(bl.contains("badsite.sim"));
+        assert!(bl.contains("BADSITE.sim"));
+        assert!(!bl.contains("goodsite.sim"));
+        assert_eq!(bl.len(), 1);
+    }
+}

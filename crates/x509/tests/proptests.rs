@@ -1,0 +1,119 @@
+//! Property-based tests for the DER codec and certificate machinery.
+
+use proptest::prelude::*;
+use ts_x509::der::{self, Reader};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn integers_roundtrip(v in any::<u64>()) {
+        let enc = der::integer_u64(v);
+        let mut r = Reader::new(&enc);
+        prop_assert_eq!(r.read_integer_u64().unwrap(), v);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn big_integers_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        use ts_crypto::bignum::Ub;
+        let n = Ub::from_bytes_be(&bytes);
+        let enc = der::integer(&n);
+        let mut r = Reader::new(&enc);
+        prop_assert_eq!(r.read_integer().unwrap(), n);
+    }
+
+    #[test]
+    fn octet_and_utf8_strings_roundtrip(
+        bytes in proptest::collection::vec(any::<u8>(), 0..300),
+        text in "[ -~]{0,100}",
+    ) {
+        let enc = der::octet_string(&bytes);
+        let mut r = Reader::new(&enc);
+        prop_assert_eq!(r.read_octet_string().unwrap(), &bytes[..]);
+
+        let enc = der::utf8_string(&text);
+        let mut r = Reader::new(&enc);
+        prop_assert_eq!(r.read_utf8_string().unwrap(), text);
+    }
+
+    #[test]
+    fn bit_strings_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let enc = der::bit_string(&bytes);
+        let mut r = Reader::new(&enc);
+        prop_assert_eq!(r.read_bit_string().unwrap(), &bytes[..]);
+    }
+
+    #[test]
+    fn oids_roundtrip(
+        first in 0u64..3,
+        second in 0u64..40,
+        rest in proptest::collection::vec(any::<u32>(), 0..8),
+    ) {
+        let mut arcs = vec![first, second];
+        arcs.extend(rest.iter().map(|&x| x as u64));
+        let enc = der::oid(&arcs);
+        let mut r = Reader::new(&enc);
+        prop_assert_eq!(r.read_oid().unwrap(), arcs);
+    }
+
+    #[test]
+    fn generalized_time_roundtrips_and_orders(
+        a in 0u64..(700 * 86_400),
+        b in 0u64..(700 * 86_400),
+    ) {
+        let ea = der::generalized_time(a);
+        let eb = der::generalized_time(b);
+        let mut ra = Reader::new(&ea);
+        prop_assert_eq!(ra.read_generalized_time().unwrap(), a);
+        // Encoding preserves order (validity comparisons depend on it).
+        prop_assert_eq!(ea.cmp(&eb), a.cmp(&b));
+    }
+
+    #[test]
+    fn nested_sequences_roundtrip(
+        ints in proptest::collection::vec(any::<u64>(), 0..10),
+    ) {
+        let children: Vec<Vec<u8>> = ints.iter().map(|&v| der::integer_u64(v)).collect();
+        let seq = der::sequence(&children);
+        let outer = der::sequence(&[seq.clone(), der::null()]);
+        let mut r = Reader::new(&outer);
+        let mut o = r.read_sequence().unwrap();
+        let mut inner = o.read_sequence().unwrap();
+        for &v in &ints {
+            prop_assert_eq!(inner.read_integer_u64().unwrap(), v);
+        }
+        inner.finish().unwrap();
+        o.read_null().unwrap();
+        o.finish().unwrap();
+    }
+
+    #[test]
+    fn random_bytes_never_panic_the_reader(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+        // Fuzz: whatever bytes arrive, parsing returns Ok or Err — never
+        // panics, never reads out of bounds.
+        let mut r = Reader::new(&data);
+        let _ = r.read_any();
+        let mut r = Reader::new(&data);
+        let _ = r.read_sequence().map(|mut s| {
+            let _ = s.read_integer();
+            let _ = s.read_oid();
+        });
+        let mut r = Reader::new(&data);
+        let _ = r.read_integer();
+        let _ = der::parse_generalized_time(&data);
+    }
+
+    #[test]
+    fn hostname_matching_never_panics_and_wildcards_behave(
+        label in "[a-z0-9-]{1,12}",
+        domain in "[a-z0-9.-]{1,30}",
+    ) {
+        use ts_x509::hostname_matches;
+        let pattern = format!("*.{domain}");
+        let host = format!("{label}.{domain}");
+        prop_assert!(hostname_matches(&pattern, &host));
+        prop_assert!(!hostname_matches(&pattern, &domain), "wildcard never matches the apex");
+        prop_assert!(hostname_matches(&host, &host), "exact always matches");
+    }
+}

@@ -1,0 +1,52 @@
+//! # tls-shortcuts — *Measuring the Security Harm of TLS Crypto Shortcuts*
+//!
+//! A full reproduction of Springall, Durumeric & Halderman's IMC 2016
+//! measurement study as a Rust workspace: a from-scratch TLS 1.2 stack
+//! with white-box access to resumption state, a deterministic simulated
+//! HTTPS ecosystem calibrated to the paper's Alexa Top Million findings,
+//! the modified-ZMap scan toolchain, the analysis pipeline for every table
+//! and figure, and the §6/§7 attacker who retroactively decrypts
+//! "forward-secret" traffic from stolen STEKs, session caches, and reused
+//! Diffie-Hellman values.
+//!
+//! ## Crate map
+//!
+//! | Re-export | Crate | Role |
+//! |---|---|---|
+//! | [`crypto`] | `ts-crypto` | primitives: SHA-256, HMAC, TLS PRF, AES-CBC, ChaCha20-Poly1305, bignum/DH, X25519, RSA, DRBG |
+//! | [`x509`] | `ts-x509` | DER, minimal X.509, root store, blacklist |
+//! | [`tls`] | `ts-tls` | TLS 1.2 wire + state machines, session caches, RFC 5077 tickets/STEKs, ephemeral reuse, TLS 1.3 PSK model |
+//! | [`simnet`] | `ts-simnet` | virtual time, ASes/IPs, DNS, the in-memory network |
+//! | [`population`] | `ts-population` | the synthetic, calibrated Top-Million analogue |
+//! | [`scanner`] | `ts-scanner` | burst scans, resumption probes, daily campaigns, cross-domain probing |
+//! | [`core`] | `ts-core` | span estimators, CDFs, service groups, vulnerability windows, reports |
+//! | [`attacker`] | `ts-attacker` | passive capture + STEK/cache/DH theft decryption, target analysis |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tls_shortcuts::population::{Population, PopulationConfig};
+//! use tls_shortcuts::scanner::{GrabOptions, Scanner};
+//!
+//! // A deterministic 300-domain Internet.
+//! let pop = Population::build(PopulationConfig::new(1, 300));
+//! let mut scanner = Scanner::new(&pop, "quickstart");
+//! let grab = scanner.grab("yahoo.sim", 1_000, &GrabOptions::default());
+//! let obs = grab.ok().expect("handshake succeeds");
+//! assert!(obs.trusted);
+//! assert!(obs.stek_id.is_some(), "ticket carries its STEK identifier");
+//! ```
+//!
+//! See `examples/` for the paper's headline experiments and
+//! `crates/bench/src/bin/repro.rs` for the per-table/figure harness.
+
+#![forbid(unsafe_code)]
+
+pub use ts_attacker as attacker;
+pub use ts_core as core;
+pub use ts_crypto as crypto;
+pub use ts_population as population;
+pub use ts_scanner as scanner;
+pub use ts_simnet as simnet;
+pub use ts_tls as tls;
+pub use ts_x509 as x509;

@@ -1,0 +1,226 @@
+//! §8.2 — the paper's operator recommendations, validated executably:
+//! each mitigation measurably shrinks the attack surface in the simulation.
+
+use std::sync::Arc;
+use tls_shortcuts::attacker::cache::{decrypt_with_cache_dump, steal_cache};
+use tls_shortcuts::attacker::passive::CapturedConnection;
+use tls_shortcuts::attacker::stek::{bulk_decrypt, decrypt_with_stolen_steks};
+use tls_shortcuts::crypto::drbg::HmacDrbg;
+use tls_shortcuts::crypto::rsa::RsaPrivateKey;
+use tls_shortcuts::tls::cache::SharedSessionCache;
+use tls_shortcuts::tls::config::{ClientConfig, ServerConfig, ServerIdentity};
+use tls_shortcuts::tls::ephemeral::{EphemeralCache, EphemeralPolicy};
+use tls_shortcuts::tls::pump::{pump, pump_app_data, WireCapture};
+use tls_shortcuts::tls::ticket::{RotationPolicy, SharedStekManager, StekManager, TicketFormat};
+use tls_shortcuts::tls::{ClientConn, ServerConn};
+use tls_shortcuts::x509::{
+    Certificate, CertificateParams, DistinguishedName, RootStore, Validity,
+};
+
+const DAY: u64 = 86_400;
+const HOUR: u64 = 3_600;
+
+struct Site {
+    store: Arc<RootStore>,
+    config: ServerConfig,
+}
+
+fn site(seed: &[u8], rotation: RotationPolicy) -> Site {
+    let mut rng = HmacDrbg::new(seed);
+    let ca_key = RsaPrivateKey::generate(512, &mut rng).unwrap();
+    let ca_name = DistinguishedName::cn("Rec CA");
+    let ca = Certificate::issue(
+        &CertificateParams {
+            serial: 1,
+            subject: ca_name.clone(),
+            validity: Validity { not_before: 0, not_after: u32::MAX as u64 },
+            dns_names: vec![],
+            is_ca: true,
+        },
+        &ca_key.public,
+        &ca_name,
+        &ca_key,
+    );
+    let key = RsaPrivateKey::generate(512, &mut rng).unwrap();
+    let leaf = Certificate::issue(
+        &CertificateParams {
+            serial: 2,
+            subject: DistinguishedName::cn("site.sim"),
+            validity: Validity { not_before: 0, not_after: u32::MAX as u64 },
+            dns_names: vec!["site.sim".into()],
+            is_ca: false,
+        },
+        &key.public,
+        &ca_name,
+        &ca_key,
+    );
+    let mut store = RootStore::new();
+    store.add_root(ca);
+    let identity = Arc::new(ServerIdentity { chain: vec![leaf], key });
+    let eph = EphemeralCache::new(
+        EphemeralPolicy::FreshPerHandshake,
+        tls_shortcuts::crypto::dh::DhGroup::Sim256,
+        HmacDrbg::new(&[seed, b"-eph"].concat()),
+    );
+    let mut config = ServerConfig::new(identity, eph);
+    config.tickets = Some(SharedStekManager::new(StekManager::new(
+        rotation,
+        TicketFormat::Rfc5077,
+        HmacDrbg::new(&[seed, b"-stek"].concat()),
+        0,
+    )));
+    config.ticket_accept_window = 24 * HOUR;
+    config.ticket_lifetime_hint = (24 * HOUR) as u32;
+    Site { store: Arc::new(store), config }
+}
+
+fn connect_at(site: &Site, seed: &[u8], now: u64) -> (WireCapture, ClientConn, ServerConn) {
+    let ccfg = ClientConfig::new(site.store.clone(), "site.sim", now);
+    let mut client = ClientConn::new(ccfg, HmacDrbg::new(&[seed, b"-c"].concat()));
+    let mut server = ServerConn::new(site.config.clone(), HmacDrbg::new(&[seed, b"-s"].concat()), now);
+    let result = pump(&mut client, &mut server).expect("handshake");
+    let mut capture = result.capture;
+    client.send_app_data(b"private request").unwrap();
+    pump_app_data(&mut client, &mut server, &mut capture).unwrap();
+    server.send_app_data(b"private response").unwrap();
+    pump_app_data(&mut client, &mut server, &mut capture).unwrap();
+    (capture, client, server)
+}
+
+#[test]
+fn recommendation_rotate_steks_frequently() {
+    // 14 days of recorded traffic; a single compromise on day 14.
+    // Static STEK: everything falls. 6-hour rotation: at most the
+    // overlap window falls.
+    let static_site = site(b"rec-static", RotationPolicy::Static);
+    let rotating_site = site(
+        b"rec-rotating",
+        RotationPolicy::Periodic { period: 6 * HOUR, overlap: 6 * HOUR },
+    );
+    let mut static_caps = Vec::new();
+    let mut rot_caps = Vec::new();
+    for day in 0..14u64 {
+        let (cap, _c, _s) = connect_at(&static_site, format!("s{day}").as_bytes(), day * DAY);
+        static_caps.push(CapturedConnection::parse(&cap).unwrap());
+        let (cap, _c, _s) = connect_at(&rotating_site, format!("r{day}").as_bytes(), day * DAY);
+        rot_caps.push(CapturedConnection::parse(&cap).unwrap());
+    }
+    // Advance the rotating site's manager to day 14, then steal both.
+    rotating_site
+        .config
+        .tickets
+        .as_ref()
+        .unwrap()
+        .active_key_name_at(14 * DAY);
+    let static_stolen = static_site.config.tickets.as_ref().unwrap().steal_keys();
+    let rot_stolen = rotating_site.config.tickets.as_ref().unwrap().steal_keys();
+
+    let static_fallen = bulk_decrypt(&static_caps, &static_stolen).len();
+    let rot_fallen = bulk_decrypt(&rot_caps, &rot_stolen).len();
+    assert_eq!(static_fallen, 14, "static STEK: whole fortnight decryptable");
+    assert_eq!(rot_fallen, 0, "6h rotation: nothing older than the overlap");
+}
+
+#[test]
+fn recommendation_reduce_session_cache_lifetimes() {
+    // Two sites, compromised at the same instant; the one with a short
+    // cache lifetime (and hygienic sweeping) exposes fewer sessions.
+    let long_site = site(b"rec-long-cache", RotationPolicy::Static);
+    long_site.config.session_cache.as_ref().unwrap(); // default 300s
+    let mut long_cfg = long_site.config.clone();
+    long_cfg.session_cache = Some(SharedSessionCache::new(24 * HOUR, 10_000));
+    let long_site = Site { store: long_site.store, config: long_cfg };
+
+    let short_site = site(b"rec-short-cache", RotationPolicy::Static);
+    let mut short_cfg = short_site.config.clone();
+    short_cfg.session_cache = Some(SharedSessionCache::new(5 * 60, 10_000));
+    let short_site = Site { store: short_site.store, config: short_cfg };
+
+    // Connections spread over 12 hours, plus one a minute before the
+    // compromise; both caches sweep at compromise.
+    let mut long_caps = Vec::new();
+    let mut short_caps = Vec::new();
+    let times: Vec<u64> = (0..12u64).map(|k| k * HOUR).chain([12 * HOUR - 60]).collect();
+    for (k, &t) in times.iter().enumerate() {
+        let (cap, _c, _s) = connect_at(&long_site, format!("l{k}").as_bytes(), t);
+        long_caps.push(CapturedConnection::parse(&cap).unwrap());
+        let (cap, _c, _s) = connect_at(&short_site, format!("h{k}").as_bytes(), t);
+        short_caps.push(CapturedConnection::parse(&cap).unwrap());
+    }
+    let now = 12 * HOUR;
+    long_site.config.session_cache.as_ref().unwrap().sweep(now);
+    short_site.config.session_cache.as_ref().unwrap().sweep(now);
+    let long_dump = steal_cache(long_site.config.session_cache.as_ref().unwrap());
+    let short_dump = steal_cache(short_site.config.session_cache.as_ref().unwrap());
+    let long_fallen = long_caps
+        .iter()
+        .filter(|c| decrypt_with_cache_dump(c, &long_dump).is_ok())
+        .count();
+    let short_fallen = short_caps
+        .iter()
+        .filter(|c| decrypt_with_cache_dump(c, &short_dump).is_ok())
+        .count();
+    assert_eq!(long_fallen, 13, "24h cache: every session still resident");
+    assert_eq!(short_fallen, 1, "5min cache: only the one-minute-old session survives");
+}
+
+#[test]
+fn recommendation_regional_steks_bound_blast_radius() {
+    // One global STEK vs per-region STEKs: compromising one region's key
+    // must not decrypt another region's traffic.
+    let region_a = site(b"rec-region-a", RotationPolicy::Static);
+    let region_b = site(b"rec-region-b", RotationPolicy::Static);
+    // Global deployment: both regions share region_a's manager.
+    let mut global_b_cfg = region_b.config.clone();
+    global_b_cfg.tickets = region_a.config.tickets.clone();
+    let global_b = Site { store: region_b.store.clone(), config: global_b_cfg };
+
+    let (cap_global, _c, _s) = connect_at(&global_b, b"gb", 1_000);
+    let parsed_global = CapturedConnection::parse(&cap_global).unwrap();
+    let stolen_a = region_a.config.tickets.as_ref().unwrap().steal_keys();
+    assert!(
+        decrypt_with_stolen_steks(&parsed_global, &stolen_a).is_ok(),
+        "global STEK: region A's key decrypts region B's traffic"
+    );
+
+    // Regional deployment: region B keeps its own key.
+    let (cap_regional, _c, _s) = connect_at(&region_b, b"rb", 1_000);
+    let parsed_regional = CapturedConnection::parse(&cap_regional).unwrap();
+    assert!(
+        decrypt_with_stolen_steks(&parsed_regional, &stolen_a).is_err(),
+        "regional STEKs: region A's key is useless against region B"
+    );
+}
+
+#[test]
+fn recommendation_disable_resumption_entirely() {
+    // The maximal setting: no cache, no tickets, fresh ephemerals — after
+    // the connection, nothing on the server decrypts it.
+    let base = site(b"rec-disable", RotationPolicy::Static);
+    let mut cfg = base.config.clone();
+    cfg.tickets = None;
+    cfg.session_cache = None;
+    cfg.issue_session_ids = false;
+    let hardened = Site { store: base.store.clone(), config: cfg };
+    let (capture, _client, server) = connect_at(&hardened, b"hard", 500);
+    let parsed = CapturedConnection::parse(&capture).unwrap();
+    assert!(parsed.issued_ticket.is_none());
+    assert!(parsed.server_session_id.is_empty());
+    // Nothing to steal: the only secret was the connection's own state.
+    let (dhe, ecdhe) = hardened.config.ephemeral.steal();
+    let ecdhe = ecdhe.expect("value cached during handshake");
+    // Fresh-per-handshake: the cached value is already superseded for the
+    // *next* connection, but a same-instant theft can still break the last
+    // handshake — forward secrecy begins once it is erased/regenerated.
+    let outcome = tls_shortcuts::attacker::dhe::decrypt_with_stolen_ecdhe(&parsed, &ecdhe);
+    assert!(outcome.is_ok(), "the window is the connection itself");
+    let _ = (dhe, server);
+    // After one more handshake the value is gone.
+    let (_cap2, _c2, _s2) = connect_at(&hardened, b"hard2", 600);
+    let (_, later) = hardened.config.ephemeral.steal();
+    let outcome = tls_shortcuts::attacker::dhe::decrypt_with_stolen_ecdhe(
+        &parsed,
+        &later.expect("cached"),
+    );
+    assert!(outcome.is_err(), "fresh value per handshake: old capture is safe");
+}
