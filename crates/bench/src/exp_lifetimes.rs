@@ -38,7 +38,11 @@ pub struct LifetimeFigure {
 
 struct ProbeState {
     domain: String,
+    // The ID and (encrypted) ticket blob are cleartext wire artifacts;
+    // only `state` below carries the master secret.
+    // ctlint: public
     session_id: Vec<u8>,
+    // ctlint: public
     ticket: Option<Vec<u8>>,
     state: SessionState,
     hint: Option<u32>,

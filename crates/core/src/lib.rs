@@ -5,6 +5,7 @@
 //! computes everything the paper's evaluation reports —
 //!
 //! * [`observations`] — the scan record types (sightings, probes, edges)
+//! * [`json`] — dependency-free JSON tree for archiving observations
 //! * [`unionfind`] — disjoint sets for transitive service-group closure
 //! * [`lifetime`] — first/last-seen span estimation for STEKs and
 //!   key-exchange values (§4.3's jitter-tolerant estimator)
@@ -27,6 +28,7 @@
 pub mod cdf;
 pub mod exposure;
 pub mod groups;
+pub mod json;
 pub mod lifetime;
 pub mod observations;
 pub mod report;

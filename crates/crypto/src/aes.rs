@@ -62,9 +62,28 @@ fn gmul(mut a: u8, mut b: u8) -> u8 {
 }
 
 /// An AES-128 cipher with a pre-expanded key schedule.
+///
+/// The schedule is pure key material (the first round key *is* the key),
+/// so the cipher wipes itself on drop.
+// ctlint: secret
 #[derive(Clone)]
 pub struct Aes128 {
     round_keys: [[u8; 16]; 11],
+}
+
+impl crate::wipe::Wipe for Aes128 {
+    fn wipe(&mut self) {
+        for rk in self.round_keys.iter_mut() {
+            crate::wipe::wipe_bytes(rk);
+        }
+    }
+}
+
+impl Drop for Aes128 {
+    fn drop(&mut self) {
+        use crate::wipe::Wipe;
+        self.wipe();
+    }
 }
 
 impl Aes128 {
@@ -134,12 +153,18 @@ fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
     }
 }
 
+// The cipher state is key-dependent from round 1 on. The S-box lookups
+// below are data-dependent table reads — the classic AES cache side
+// channel — kept deliberately (a bitsliced AES is out of scope for a
+// simulation) and declared in ctlint.toml.
+// ctlint: secret
 fn sub_bytes(state: &mut [u8; 16]) {
     for b in state.iter_mut() {
         *b = SBOX[*b as usize];
     }
 }
 
+// ctlint: secret
 fn inv_sub_bytes(state: &mut [u8; 16]) {
     let inv = inv_sbox();
     for b in state.iter_mut() {

@@ -24,6 +24,16 @@ impl std::fmt::Debug for Ub {
     }
 }
 
+impl crate::wipe::Wipe for Ub {
+    /// Volatile-zero the limbs, then leave the value as canonical zero.
+    /// `Ub` is used for both public and secret numbers, so wiping is not a
+    /// `Drop` — secret-bearing owners (e.g. `DhKeyPair`) call it.
+    fn wipe(&mut self) {
+        crate::wipe::wipe_u32s(&mut self.limbs);
+        self.limbs.clear();
+    }
+}
+
 impl Ub {
     /// Zero.
     pub fn zero() -> Self {
@@ -472,7 +482,7 @@ pub struct Montgomery {
     n: Ub,
     n0inv: u32,  // -n^{-1} mod 2^32
     rr: Ub,      // R^2 mod n, R = 2^(32*k)
-    k: usize,    // limb count of n
+    width: usize,  // limb count of n
 }
 
 impl Montgomery {
@@ -491,12 +501,12 @@ impl Montgomery {
         // R^2 mod n where R = 2^(32k).
         let r = Ub::one().shl(32 * k);
         let rr = r.mul(&r).rem(modulus);
-        Montgomery { n: modulus.clone(), n0inv, rr, k }
+        Montgomery { n: modulus.clone(), n0inv, rr, width: k }
     }
 
     /// Montgomery product: `a * b * R^{-1} mod n` (CIOS).
     fn mont_mul(&self, a: &[u32], b: &[u32]) -> Vec<u32> {
-        let k = self.k;
+        let k = self.width;
         let mut t = vec![0u32; k + 2];
         for i in 0..k {
             let ai = a.get(i).copied().unwrap_or(0) as u64;
@@ -537,7 +547,7 @@ impl Montgomery {
 
     /// `base^exp mod n` for `base < n`.
     pub fn modpow(&self, base: &Ub, exp: &Ub) -> Ub {
-        let k = self.k;
+        let k = self.width;
         let mut base_limbs = base.limbs.clone();
         base_limbs.resize(k, 0);
         let mut rr = self.rr.limbs.clone();

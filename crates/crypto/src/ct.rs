@@ -1,4 +1,8 @@
-//! Constant-time comparison helpers.
+//! Constant-time primitives: comparisons, selection, and ordering.
+//!
+//! Everything here avoids secret-dependent branches and secret-dependent
+//! memory access. The workspace's `ts-lint` analyzer flags `==`/`!=` on
+//! secret-tainted bytes; these helpers are the sanctioned replacements.
 
 /// Compare two byte slices in constant time (for equal lengths).
 ///
@@ -15,9 +19,47 @@ pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
     diff == 0
 }
 
+/// Compare two fixed-size byte arrays in constant time.
+///
+/// The const generic pins the lengths at compile time, so unlike [`ct_eq`]
+/// there is no early length exit at all: the comparison cost depends only
+/// on `N`.
+pub fn ct_eq_array<const N: usize>(a: &[u8; N], b: &[u8; N]) -> bool {
+    let mut diff = 0u8;
+    for i in 0..N {
+        diff |= a[i] ^ b[i];
+    }
+    diff == 0
+}
+
+/// Select `a` if `mask == 0xFF`, `b` if `mask == 0x00`, without branching.
+///
+/// `mask` must be exactly `0x00` or `0xFF` (as produced by [`ct_mask`] or
+/// [`ct_lt`]); any other value interleaves the operands' bits.
+pub fn ct_select(mask: u8, a: u8, b: u8) -> u8 {
+    (mask & a) | (!mask & b)
+}
+
+/// Branchless `0xFF` if `c != 0`, else `0x00`.
+pub fn ct_mask(c: u8) -> u8 {
+    // (c | -c) has its top bit set iff c != 0; arithmetic shift smears it.
+    let c = c as i8;
+    ((c | c.wrapping_neg()) >> 7) as u8
+}
+
+/// Branchless `0xFF` if `a < b`, else `0x00`, for 8-bit operands.
+///
+/// Used to validate secret-derived quantities (CBC padding lengths) without
+/// a data-dependent branch.
+pub fn ct_lt(a: u8, b: u8) -> u8 {
+    // Classic trick: the borrow out of (a - b) computed in 16 bits.
+    let diff = (a as i16) - (b as i16);
+    ((diff >> 15) & 0xFF) as u8
+}
+
 #[cfg(test)]
 mod tests {
-    use super::ct_eq;
+    use super::*;
 
     #[test]
     fn equal_slices() {
@@ -36,5 +78,45 @@ mod tests {
     fn first_and_last_byte_differences() {
         assert!(!ct_eq(b"xbc", b"abc"));
         assert!(!ct_eq(b"abx", b"abc"));
+    }
+
+    #[test]
+    fn array_comparison_matches_slice_comparison() {
+        let a = [1u8, 2, 3, 4];
+        let b = [1u8, 2, 3, 4];
+        let c = [1u8, 2, 3, 5];
+        assert!(ct_eq_array(&a, &b));
+        assert!(!ct_eq_array(&a, &c));
+        assert!(ct_eq_array::<0>(&[], &[]));
+        for i in 0..32 {
+            let mut x = [0xAAu8; 32];
+            let y = [0xAAu8; 32];
+            x[i] ^= 1;
+            assert!(!ct_eq_array(&x, &y), "difference at byte {i} missed");
+        }
+    }
+
+    #[test]
+    fn select_picks_by_mask() {
+        assert_eq!(ct_select(0xFF, 0x12, 0x34), 0x12);
+        assert_eq!(ct_select(0x00, 0x12, 0x34), 0x34);
+    }
+
+    #[test]
+    fn mask_is_all_or_nothing() {
+        assert_eq!(ct_mask(0), 0x00);
+        for c in 1..=255u8 {
+            assert_eq!(ct_mask(c), 0xFF, "c = {c}");
+        }
+    }
+
+    #[test]
+    fn lt_matches_operator_exhaustively() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                let want = if a < b { 0xFF } else { 0x00 };
+                assert_eq!(ct_lt(a, b), want, "a={a} b={b}");
+            }
+        }
     }
 }

@@ -10,10 +10,36 @@
 use crate::hmac::hmac_sha256;
 
 /// HMAC-SHA256 based deterministic random bit generator.
+///
+/// The `(K, V)` working state lets anyone who reads it re-derive every
+/// past and future output of the stream — including STEKs and ephemeral
+/// exponents — so the state is secret-marked and wiped on drop.
+// ctlint: secret
 #[derive(Clone)]
 pub struct HmacDrbg {
     k: [u8; 32],
     v: [u8; 32],
+}
+
+impl std::fmt::Debug for HmacDrbg {
+    /// Redacting: the working state is never printable.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("HmacDrbg(<redacted>)")
+    }
+}
+
+impl crate::wipe::Wipe for HmacDrbg {
+    fn wipe(&mut self) {
+        crate::wipe::wipe_bytes(&mut self.k);
+        crate::wipe::wipe_bytes(&mut self.v);
+    }
+}
+
+impl Drop for HmacDrbg {
+    fn drop(&mut self) {
+        use crate::wipe::Wipe;
+        self.wipe();
+    }
 }
 
 impl HmacDrbg {

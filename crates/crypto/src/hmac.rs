@@ -3,6 +3,10 @@
 use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
 
 /// Incremental HMAC-SHA256.
+///
+/// Both hash states absorbed the (padded) key, so the struct is
+/// secret-bearing: it wipes itself on drop.
+// ctlint: secret
 #[derive(Clone)]
 pub struct HmacSha256 {
     inner: Sha256,
@@ -30,6 +34,10 @@ impl HmacSha256 {
         inner.update(&ipad);
         let mut outer = Sha256::new();
         outer.update(&opad);
+        // The padded-key copies are as sensitive as the key itself.
+        crate::wipe::wipe_bytes(&mut k);
+        crate::wipe::wipe_bytes(&mut ipad);
+        crate::wipe::wipe_bytes(&mut opad);
         HmacSha256 { inner, outer }
     }
 
@@ -40,9 +48,26 @@ impl HmacSha256 {
 
     /// Finalize and return the 32-byte tag.
     pub fn finish(mut self) -> [u8; DIGEST_LEN] {
-        let inner_digest = self.inner.finish();
+        // `mem::take` rather than moving the fields out: `HmacSha256` has a
+        // `Drop` impl, and the taken-out blank states still get wiped by it.
+        let inner = std::mem::take(&mut self.inner);
+        let inner_digest = inner.finish();
         self.outer.update(&inner_digest);
-        self.outer.finish()
+        std::mem::take(&mut self.outer).finish()
+    }
+}
+
+impl crate::wipe::Wipe for HmacSha256 {
+    fn wipe(&mut self) {
+        self.inner.wipe();
+        self.outer.wipe();
+    }
+}
+
+impl Drop for HmacSha256 {
+    fn drop(&mut self) {
+        use crate::wipe::Wipe;
+        self.wipe();
     }
 }
 

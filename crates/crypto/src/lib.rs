@@ -32,7 +32,10 @@
 //! are written for a *measurement simulation*: they favour clarity over
 //! side-channel hardening. Do not lift them into production use.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// volatile-write zeroization primitive in [`wipe`], which opts back in with
+// a scoped `#[allow(unsafe_code)]` and a safety comment.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aead;
@@ -49,6 +52,7 @@ pub mod poly1305;
 pub mod prf;
 pub mod rsa;
 pub mod sha256;
+pub mod wipe;
 pub mod x25519;
 
 pub use error::CryptoError;

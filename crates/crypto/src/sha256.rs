@@ -49,6 +49,19 @@ impl Default for Sha256 {
     }
 }
 
+impl crate::wipe::Wipe for Sha256 {
+    /// Reset to the blank IV, volatile-zeroing the absorbed state first.
+    /// A `Sha256` that has absorbed key material (HMAC pads, PRF inputs)
+    /// is as sensitive as the key; owners like `HmacSha256` wipe on drop.
+    fn wipe(&mut self) {
+        crate::wipe::wipe_u32s(&mut self.state);
+        crate::wipe::wipe_bytes(&mut self.buf);
+        self.state = H0;
+        self.buf_len = 0;
+        self.total_len = 0;
+    }
+}
+
 impl Sha256 {
     /// Create a fresh hasher.
     pub fn new() -> Self {

@@ -1,0 +1,143 @@
+//! Best-effort zeroization of key material.
+//!
+//! The study's threat model (paper §2) is an adversary who records traffic
+//! and *later* compromises a server: any key material still readable in
+//! memory — freed or not — extends the compromise window. Every
+//! secret-bearing type in the workspace therefore wipes itself on drop,
+//! enforced by the `ts-lint` `missing-wipe` rule.
+//!
+//! [`wipe_bytes`] writes zeros through [`core::ptr::write_volatile`] and
+//! fences the compiler afterwards, so the stores cannot be elided as
+//! dead-before-free. This is the same construction the `zeroize` crate
+//! uses; it does not defend against OS paging or hardware remanence, which
+//! are out of scope here.
+
+use core::sync::atomic::{compiler_fence, Ordering};
+
+/// Overwrite a byte buffer with zeros through volatile stores.
+// SAFETY-scoped exception to the crate-wide `deny(unsafe_code)`: see the
+// crate docs. The pointer writes cover exactly `buf.len()` bytes of a live
+// unique borrow, so they are in-bounds, aligned (u8), and race-free.
+#[allow(unsafe_code)]
+pub fn wipe_bytes(buf: &mut [u8]) {
+    let ptr = buf.as_mut_ptr();
+    for i in 0..buf.len() {
+        // SAFETY: `i < buf.len()`, so `ptr.add(i)` is within the unique
+        // borrow; volatile keeps the store observable.
+        unsafe { core::ptr::write_volatile(ptr.add(i), 0) };
+    }
+    compiler_fence(Ordering::SeqCst);
+}
+
+/// Overwrite a `u32` buffer with zeros through volatile stores (bignum
+/// limbs, hash state words).
+#[allow(unsafe_code)]
+pub fn wipe_u32s(buf: &mut [u32]) {
+    let ptr = buf.as_mut_ptr();
+    for i in 0..buf.len() {
+        // SAFETY: as in `wipe_bytes`; u32 stores through a unique borrow.
+        unsafe { core::ptr::write_volatile(ptr.add(i), 0) };
+    }
+    compiler_fence(Ordering::SeqCst);
+}
+
+/// Types that can scrub their secret contents in place.
+///
+/// Implementors should wipe every byte of key material they own and leave
+/// the value in a harmless (all-zero / empty) state. Containers delegate to
+/// their fields. `wipe` is idempotent.
+///
+/// Implementing `Wipe` does not wipe automatically — pair it with a `Drop`
+/// impl (`fn drop(&mut self) { self.wipe() }`) unless every field already
+/// wipes itself on drop.
+pub trait Wipe {
+    /// Zero all secret material held by `self`.
+    fn wipe(&mut self);
+}
+
+impl Wipe for [u8] {
+    fn wipe(&mut self) {
+        wipe_bytes(self);
+    }
+}
+
+impl<const N: usize> Wipe for [u8; N] {
+    fn wipe(&mut self) {
+        wipe_bytes(self);
+    }
+}
+
+impl Wipe for Vec<u8> {
+    /// Zeros the *entire capacity* currently spanned by `len`, then
+    /// truncates. Bytes beyond `len` from earlier truncations are the
+    /// caller's responsibility (wipe before truncating).
+    fn wipe(&mut self) {
+        wipe_bytes(self.as_mut_slice());
+        self.clear();
+    }
+}
+
+impl<T: Wipe> Wipe for Option<T> {
+    fn wipe(&mut self) {
+        if let Some(inner) = self.as_mut() {
+            inner.wipe();
+        }
+    }
+}
+
+impl<T: Wipe> Wipe for Vec<T> {
+    fn wipe(&mut self) {
+        for item in self.iter_mut() {
+            item.wipe();
+        }
+        self.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wipes_arrays_and_vecs() {
+        let mut a = [0xAB_u8; 48];
+        a.wipe();
+        assert_eq!(a, [0u8; 48]);
+
+        let mut v = vec![0xCD_u8; 33];
+        let ptr = v.as_ptr();
+        v.wipe();
+        assert!(v.is_empty());
+        // The backing store was zeroed before the truncation. Reading via
+        // the retained capacity is safe through the vec itself:
+        v.resize(33, 0);
+        assert_eq!(v.as_ptr(), ptr, "wipe must not reallocate");
+        assert!(v.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn wipes_u32_words() {
+        let mut w = [0xDEADBEEF_u32; 8];
+        wipe_u32s(&mut w);
+        assert_eq!(w, [0u32; 8]);
+    }
+
+    #[test]
+    fn wipes_through_option_and_nested_vec() {
+        let mut o = Some([0xFF_u8; 16]);
+        o.wipe();
+        assert_eq!(o, Some([0u8; 16]));
+
+        let mut vv: Vec<Vec<u8>> = vec![vec![1, 2, 3], vec![4, 5]];
+        vv.wipe();
+        assert!(vv.is_empty());
+    }
+
+    #[test]
+    fn wipe_is_idempotent() {
+        let mut a = [7u8; 4];
+        a.wipe();
+        a.wipe();
+        assert_eq!(a, [0u8; 4]);
+    }
+}

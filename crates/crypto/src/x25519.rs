@@ -264,12 +264,36 @@ pub fn public_key(secret: &[u8; 32]) -> [u8; 32] {
 }
 
 /// An X25519 key pair.
+// ctlint: secret
 #[derive(Clone)]
 pub struct X25519KeyPair {
     /// The (clamped-on-use) secret scalar `d_A`.
     pub secret: [u8; 32],
     /// The public point `d_A · G`.
+    // ctlint: public
     pub public: [u8; 32],
+}
+
+impl std::fmt::Debug for X25519KeyPair {
+    /// Redacting: the scalar never reaches a formatter.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "X25519KeyPair(secret=<redacted>)")
+    }
+}
+
+impl crate::wipe::Wipe for X25519KeyPair {
+    fn wipe(&mut self) {
+        crate::wipe::wipe_bytes(&mut self.secret);
+    }
+}
+
+impl Drop for X25519KeyPair {
+    /// Cached ECDHE scalars are the paper's headline exposure; scrub on
+    /// eviction from the reuse pool (or any other drop).
+    fn drop(&mut self) {
+        use crate::wipe::Wipe;
+        self.wipe();
+    }
 }
 
 impl X25519KeyPair {

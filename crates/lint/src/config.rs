@@ -1,0 +1,336 @@
+//! Lint configuration: the built-in secret seed list plus `ctlint.toml`.
+//!
+//! `ctlint.toml` is parsed with a small hand-rolled reader (no external TOML
+//! crate in the offline build). Two table shapes are understood:
+//!
+//! ```toml
+//! # Extra secret marks, merged with the built-in seed list.
+//! [secrets]
+//! types = ["MySecretType"]
+//! functions = ["derive_my_secret"]
+//!
+//! # One [[allow]] block per deliberate exception. Every entry MUST match at
+//! # least one finding or the lint fails ("stale allow") — suppressions
+//! # cannot outlive the code they excuse.
+//! [[allow]]
+//! rule = "secret-index"        # one of the four rule ids
+//! file = "crates/crypto/src/aes.rs"   # suffix match on the path
+//! ident = "SBOX"               # the diagnostic's anchor identifier
+//! reason = "AES S-box lookups are deliberate; see DESIGN.md"
+//! ```
+//!
+//! `reason` is mandatory: an exception without a recorded justification is a
+//! config error.
+
+use crate::diag::{Diagnostic, Rule};
+
+/// One `[[allow]]` entry from `ctlint.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Rule id this entry silences.
+    pub rule: String,
+    /// Path suffix the finding's file must end with.
+    pub file: String,
+    /// Anchor identifier the finding must carry.
+    pub ident: String,
+    /// Mandatory one-line justification.
+    pub reason: String,
+}
+
+impl Allow {
+    /// Does this entry cover `d`?
+    pub fn matches(&self, d: &Diagnostic) -> bool {
+        self.rule == d.rule.id() && d.file.ends_with(&self.file) && self.ident == d.ident
+    }
+
+    /// Compact display form for stale-entry errors.
+    pub fn describe(&self) -> String {
+        format!("rule={} file={} ident={}", self.rule, self.file, self.ident)
+    }
+}
+
+/// Full analyzer configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Type names treated as secret-bearing even without a
+    /// `// ctlint: secret` annotation. Annotations in source extend this.
+    pub secret_types: Vec<String>,
+    /// Functions whose return value is secret-tainted wherever it lands.
+    pub secret_fns: Vec<String>,
+    /// Deliberate, justified exceptions.
+    pub allows: Vec<Allow>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            // The seed list: key-material types of the TLS stack under
+            // study. `// ctlint: secret` annotations in source add to it.
+            secret_types: [
+                "ConnectionKeys",
+                "DirectionKeys",
+                "Stek",
+                "DhKeyPair",
+                "X25519KeyPair",
+                "HmacDrbg",
+                "HmacSha256",
+                "SessionState",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            secret_fns: ["master_secret", "key_block", "shared_secret", "prf"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            allows: Vec::new(),
+        }
+    }
+}
+
+/// A `ctlint.toml` parse error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line in `ctlint.toml`.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ctlint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl Config {
+    /// Parse `ctlint.toml` text and merge it over the defaults.
+    pub fn from_toml(text: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        // Which table the cursor is inside: none, [secrets], or the index
+        // of the current [[allow]] entry.
+        enum Section {
+            None,
+            Secrets,
+            Allow(usize),
+        }
+        let mut section = Section::None;
+        let mut partial: Vec<PartialAllow> = Vec::new();
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                partial.push(PartialAllow::default());
+                section = Section::Allow(partial.len() - 1);
+            } else if line == "[secrets]" {
+                section = Section::Secrets;
+            } else if line.starts_with('[') {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("unknown table {line}"),
+                });
+            } else {
+                let (key, value) = split_kv(&line).ok_or_else(|| ConfigError {
+                    line: lineno,
+                    message: format!("expected `key = value`, got `{line}`"),
+                })?;
+                match &section {
+                    Section::None => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: "key outside any table".to_string(),
+                        });
+                    }
+                    Section::Secrets => {
+                        let items = parse_string_array(value).ok_or_else(|| ConfigError {
+                            line: lineno,
+                            message: format!("`{key}` must be an array of strings"),
+                        })?;
+                        match key {
+                            "types" => cfg.secret_types.extend(items),
+                            "functions" => cfg.secret_fns.extend(items),
+                            other => {
+                                return Err(ConfigError {
+                                    line: lineno,
+                                    message: format!("unknown [secrets] key `{other}`"),
+                                });
+                            }
+                        }
+                    }
+                    Section::Allow(i) => {
+                        let s = parse_string(value).ok_or_else(|| ConfigError {
+                            line: lineno,
+                            message: format!("`{key}` must be a quoted string"),
+                        })?;
+                        let p = &mut partial[*i];
+                        match key {
+                            "rule" => p.rule = Some((s, lineno)),
+                            "file" => p.file = Some(s),
+                            "ident" => p.ident = Some(s),
+                            "reason" => p.reason = Some(s),
+                            other => {
+                                return Err(ConfigError {
+                                    line: lineno,
+                                    message: format!("unknown [[allow]] key `{other}`"),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        for p in partial {
+            cfg.allows.push(p.finish()?);
+        }
+        Ok(cfg)
+    }
+
+    /// True if `name` is a configured secret type (seed list + toml).
+    pub fn is_secret_type(&self, name: &str) -> bool {
+        self.secret_types.iter().any(|t| t == name)
+    }
+}
+
+#[derive(Default)]
+struct PartialAllow {
+    rule: Option<(String, usize)>,
+    file: Option<String>,
+    ident: Option<String>,
+    reason: Option<String>,
+}
+
+impl PartialAllow {
+    fn finish(self) -> Result<Allow, ConfigError> {
+        let (rule, line) = self.rule.ok_or(ConfigError {
+            line: 0,
+            message: "[[allow]] entry missing `rule`".to_string(),
+        })?;
+        if !Rule::all().iter().any(|r| r.id() == rule) {
+            return Err(ConfigError { line, message: format!("unknown rule id `{rule}`") });
+        }
+        let missing = |field: &str| ConfigError {
+            line,
+            message: format!("[[allow]] entry for rule `{rule}` missing `{field}`"),
+        };
+        let reason = self.reason.ok_or_else(|| missing("reason"))?;
+        if reason.trim().is_empty() {
+            return Err(ConfigError {
+                line,
+                message: format!("[[allow]] entry for rule `{rule}` has an empty reason"),
+            });
+        }
+        let file = self.file.ok_or_else(|| missing("file"))?;
+        let ident = self.ident.ok_or_else(|| missing("ident"))?;
+        Ok(Allow { rule, file, ident, reason })
+    }
+}
+
+/// Drop a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn split_kv(line: &str) -> Option<(&str, &str)> {
+    let eq = line.find('=')?;
+    Some((line[..eq].trim(), line[eq + 1..].trim()))
+}
+
+fn parse_string(v: &str) -> Option<String> {
+    let v = v.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Some(v[1..v.len() - 1].to_string())
+    } else {
+        None
+    }
+}
+
+fn parse_string_array(v: &str) -> Option<Vec<String>> {
+    let v = v.trim();
+    let inner = v.strip_prefix('[')?.strip_suffix(']')?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        out.push(parse_string(part)?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_seed_list_has_the_stack_key_types() {
+        let cfg = Config::default();
+        assert!(cfg.is_secret_type("Stek"));
+        assert!(cfg.is_secret_type("ConnectionKeys"));
+        assert!(!cfg.is_secret_type("Cdf"));
+    }
+
+    #[test]
+    fn parses_allows_and_secrets() {
+        let cfg = Config::from_toml(
+            r#"
+            # comment
+            [secrets]
+            types = ["Extra"]          # inline comment
+            functions = ["hkdf_extract"]
+
+            [[allow]]
+            rule = "secret-index"
+            file = "crates/crypto/src/aes.rs"
+            ident = "SBOX"
+            reason = "table AES is deliberate"
+            "#,
+        )
+        .unwrap();
+        assert!(cfg.is_secret_type("Extra"));
+        assert!(cfg.is_secret_type("Stek"));
+        assert!(cfg.secret_fns.iter().any(|f| f == "hkdf_extract"));
+        assert_eq!(cfg.allows.len(), 1);
+        assert_eq!(cfg.allows[0].ident, "SBOX");
+    }
+
+    #[test]
+    fn allow_without_reason_is_an_error() {
+        let err = Config::from_toml(
+            "[[allow]]\nrule = \"secret-leak\"\nfile = \"x.rs\"\nident = \"K\"\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn unknown_rule_id_is_an_error() {
+        let err = Config::from_toml(
+            "[[allow]]\nrule = \"no-such\"\nfile = \"x\"\nident = \"y\"\nreason = \"z\"\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("unknown rule id"), "{err}");
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = Config::from_toml(
+            "[[allow]]\nrule = \"secret-leak\"\nfile = \"a#b.rs\"\nident = \"K\"\nreason = \"ok\"\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.allows[0].file, "a#b.rs");
+    }
+}

@@ -1,0 +1,109 @@
+//! Diagnostics and the analysis report.
+
+use std::fmt;
+
+/// The four diagnostic classes `ts-lint` reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// A `==` / `!=` comparison touching secret-tainted bytes instead of
+    /// `ts_crypto::ct::ct_eq` — a classic timing-oracle shape.
+    NonCtComparison,
+    /// A secret value can reach a formatter: `derive(Debug)` on a
+    /// secret-marked type, a manual `Display` impl for one, or a
+    /// `format!`/`println!`-family macro whose arguments mention a secret.
+    SecretLeak,
+    /// A secret-marked type has neither an `impl Drop` nor an `impl Wipe`,
+    /// so key material survives in freed memory.
+    MissingWipe,
+    /// A table lookup indexed by secret-derived data (cache-timing surface).
+    SecretIndex,
+}
+
+impl Rule {
+    /// Stable machine-readable rule id — this is what `ctlint.toml`
+    /// allowlist entries name.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::NonCtComparison => "non-ct-comparison",
+            Rule::SecretLeak => "secret-leak",
+            Rule::MissingWipe => "missing-wipe",
+            Rule::SecretIndex => "secret-index",
+        }
+    }
+
+    /// All rules, for iteration/tests.
+    pub fn all() -> [Rule; 4] {
+        [Rule::NonCtComparison, Rule::SecretLeak, Rule::MissingWipe, Rule::SecretIndex]
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// The identifier the finding is anchored on (type name, tainted
+    /// variable, indexed table). Allowlist entries match against this.
+    pub ident: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule.id(), self.message)
+    }
+}
+
+/// The outcome of analysing a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings not covered by any allowlist entry. Must be empty for the
+    /// workspace to be considered clean.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings matched (and silenced) by an allowlist entry.
+    pub suppressed: Vec<Diagnostic>,
+    /// Allowlist entries that matched nothing — stale suppressions are
+    /// themselves an error, so the allowlist can only shrink over time.
+    pub stale_allows: Vec<String>,
+    /// Number of `.rs` files analysed.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when there is nothing to fix: no live findings and no stale
+    /// allowlist entries.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty() && self.stale_allows.is_empty()
+    }
+
+    /// Render the report as human-readable text (used by the CLI and by
+    /// test failure messages).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!("{d}\n"));
+        }
+        for s in &self.stale_allows {
+            out.push_str(&format!("ctlint.toml: stale allowlist entry matched nothing: {s}\n"));
+        }
+        out.push_str(&format!(
+            "{} files scanned, {} finding(s), {} suppressed, {} stale allow(s)\n",
+            self.files_scanned,
+            self.diagnostics.len(),
+            self.suppressed.len(),
+            self.stale_allows.len()
+        ));
+        out
+    }
+}

@@ -1,0 +1,437 @@
+//! A hand-rolled Rust lexer.
+//!
+//! The build environment is fully offline, so `ts-lint` cannot depend on
+//! `syn`/`proc-macro2`. Instead this module tokenizes Rust source directly.
+//! It recognises exactly as much of the lexical grammar as the analyses in
+//! [`crate::index`] and [`crate::rules`] need:
+//!
+//! * identifiers (including raw `r#ident`) and keywords (as identifiers),
+//! * lifetimes (`'a`) vs. character literals (`'a'`),
+//! * string / raw-string / byte-string / char / numeric literals,
+//! * line and block comments (retained — `// ctlint:` annotations live in
+//!   line comments),
+//! * multi-character operators (`==`, `!=`, `->`, `::`, …) as single tokens.
+//!
+//! Design rule: the lexer **never panics**, whatever bytes it is fed.
+//! Malformed input (unterminated strings, stray quotes, non-UTF-8 handled
+//! upstream) degrades to best-effort tokens and then EOF. A property test in
+//! `tests/lexer_never_panics.rs` enforces this on arbitrary input.
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `fn`, `r#type`).
+    Ident,
+    /// Lifetime, without the quote (`'a` lexes as `Lifetime("a")`).
+    Lifetime,
+    /// Any numeric literal (`0x1f`, `1_000u64`, `1.5e3`).
+    Number,
+    /// String / raw-string / byte-string literal, quotes included.
+    Str,
+    /// Character or byte literal, quotes included.
+    Char,
+    /// Line comment (`// …`, text without the `//`) — block comments are
+    /// dropped, line comments are kept so `// ctlint:` annotations survive.
+    LineComment,
+    /// Operator or punctuation, possibly multi-character (`==`, `->`, `{`).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What class of token this is.
+    pub kind: TokKind,
+    /// The token text (see [`TokKind`] for per-kind conventions).
+    pub text: String,
+    /// 1-based line number where the token starts.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this is a punct token with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+
+    /// True if this is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// Multi-character operators, longest first so maximal-munch works.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Tokenize `src` into a flat token list. Never panics.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+            } else if is_ident_start(c) {
+                self.ident_or_prefixed(line);
+            } else if c.is_ascii_digit() {
+                self.number(line);
+            } else if c == '"' {
+                self.string('"', line);
+            } else if c == '\'' {
+                self.lifetime_or_char(line);
+            } else {
+                self.punct(line);
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // //
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump(); // /*
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: swallow to EOF
+            }
+        }
+    }
+
+    /// Identifier, or one of the prefixed literal forms: `r"…"`, `r#"…"#`,
+    /// `r#ident`, `b"…"`, `b'…'`, `br"…"`.
+    fn ident_or_prefixed(&mut self, line: u32) {
+        let c = self.peek(0).unwrap_or(' ');
+        // Raw strings / raw identifiers.
+        if c == 'r' || c == 'b' {
+            let mut hashes = 0usize;
+            let mut look = 1usize;
+            if c == 'b' && self.peek(1) == Some('r') {
+                look = 2;
+            }
+            while self.peek(look + hashes) == Some('#') {
+                hashes += 1;
+            }
+            match self.peek(look + hashes) {
+                Some('"') => {
+                    // consume prefix
+                    for _ in 0..(look + hashes + 1) {
+                        self.bump();
+                    }
+                    return self.raw_string_body(hashes, line);
+                }
+                Some('\'') if c == 'b' && look == 1 && hashes == 0 => {
+                    self.bump(); // b
+                    self.bump(); // '
+                    return self.char_body(line);
+                }
+                Some(d) if c == 'r' && hashes == 1 && is_ident_start(d) => {
+                    // raw identifier r#foo — strip the prefix, keep `foo`
+                    self.bump();
+                    self.bump();
+                    return self.plain_ident(line);
+                }
+                _ => {}
+            }
+        }
+        self.plain_ident(line);
+    }
+
+    fn plain_ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if text.is_empty() {
+            // Defensive: caller guaranteed an ident start, but never panic.
+            self.bump();
+            return;
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            // Good enough for analysis: digits, hex/underscores, type
+            // suffixes, exponents and a decimal point all glue together.
+            let take = c.is_ascii_alphanumeric()
+                || c == '_'
+                || c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit());
+            if take {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Number, text, line);
+    }
+
+    fn string(&mut self, quote: char, line: u32) {
+        let mut text = String::new();
+        text.push(quote);
+        self.bump();
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                text.push(c);
+                self.bump();
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+            } else if c == quote {
+                text.push(c);
+                self.bump();
+                break;
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn raw_string_body(&mut self, hashes: usize, line: u32) {
+        let mut text = String::from("\"");
+        loop {
+            match self.peek(0) {
+                None => break, // unterminated
+                Some('"') => {
+                    let mut ok = true;
+                    for i in 0..hashes {
+                        if self.peek(1 + i) != Some('#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        text.push('"');
+                        for _ in 0..=hashes {
+                            self.bump();
+                        }
+                        break;
+                    }
+                    text.push('"');
+                    self.bump();
+                }
+                Some(c) => {
+                    text.push(c);
+                    self.bump();
+                }
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// At a `'`: lifetime (`'a`), loop label, or char literal (`'a'`, `'\n'`).
+    fn lifetime_or_char(&mut self, line: u32) {
+        // `'x` followed by another `'` is a char literal; `'x` followed by
+        // anything else is a lifetime/label. `'\…'` is always a char.
+        match self.peek(1) {
+            Some(c) if is_ident_start(c) && self.peek(2) != Some('\'') => {
+                self.bump(); // '
+                let mut text = String::new();
+                while let Some(c) = self.peek(0) {
+                    if is_ident_continue(c) {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Lifetime, text, line);
+            }
+            _ => {
+                self.bump(); // '
+                self.char_body(line);
+            }
+        }
+    }
+
+    /// After the opening quote of a char/byte literal.
+    fn char_body(&mut self, line: u32) {
+        let mut text = String::from("'");
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                text.push(c);
+                self.bump();
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+            } else if c == '\'' {
+                text.push(c);
+                self.bump();
+                break;
+            } else if c == '\n' {
+                break; // stray quote, not a literal — stop at end of line
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::Char, text, line);
+    }
+
+    fn punct(&mut self, line: u32) {
+        for op in MULTI_PUNCT {
+            if self.starts_with(op) {
+                for _ in 0..op.chars().count() {
+                    self.bump();
+                }
+                self.push(TokKind::Punct, (*op).to_string(), line);
+                return;
+            }
+        }
+        if let Some(c) = self.bump() {
+            self.push(TokKind::Punct, c.to_string(), line);
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        s.chars().enumerate().all(|(i, c)| self.peek(i) == Some(c))
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("fn foo(a: &[u8]) -> bool { a == b }");
+        assert!(toks.contains(&(TokKind::Ident, "foo".into())));
+        assert!(toks.contains(&(TokKind::Punct, "->".into())));
+        assert!(toks.contains(&(TokKind::Punct, "==".into())));
+    }
+
+    #[test]
+    fn ne_is_one_token() {
+        let toks = kinds("a != b");
+        assert_eq!(toks[1], (TokKind::Punct, "!=".into()));
+    }
+
+    #[test]
+    fn line_comment_retained_with_line_numbers() {
+        let toks = lex("let x = 1;\n// ctlint: secret\nstruct K;");
+        let c = toks.iter().find(|t| t.kind == TokKind::LineComment).unwrap();
+        assert_eq!(c.text.trim(), "ctlint: secret");
+        assert_eq!(c.line, 2);
+        let k = toks.iter().find(|t| t.is_ident("K")).unwrap();
+        assert_eq!(k.line, 3);
+    }
+
+    #[test]
+    fn block_comments_nested_and_dropped() {
+        let toks = kinds("a /* x /* y */ z */ b");
+        assert_eq!(toks, vec![(TokKind::Ident, "a".into()), (TokKind::Ident, "b".into())]);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("&'a str, 'x', '\\n', b'q'");
+        assert!(toks.contains(&(TokKind::Lifetime, "a".into())));
+        assert!(toks.contains(&(TokKind::Char, "'x'".into())));
+        assert!(toks.contains(&(TokKind::Char, "'\\n'".into())));
+        assert!(toks.contains(&(TokKind::Char, "'q'".into())));
+    }
+
+    #[test]
+    fn strings_raw_and_escaped() {
+        let toks = kinds(r###"let s = "a\"b"; let r = r#"no " escape"#;"###);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[1].1.contains("no \" escape"));
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let toks = kinds("r#type");
+        assert_eq!(toks, vec![(TokKind::Ident, "type".into())]);
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"abc", "'a", "/* never closed", "r#\"open", "b'", "'"] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! # ts-lint — secret-hygiene and constant-time static analysis
+//!
+//! The crypto-shortcuts study handles live key material on purpose: STEKs,
+//! cached (EC)DHE private scalars, master secrets, connection keys. This
+//! crate is the workspace's guard rail — a dependency-free static analyzer
+//! (the offline build cannot use `syn`) that walks every `.rs` file and
+//! reports four classes of secret-hygiene violations:
+//!
+//! 1. **`non-ct-comparison`** — `==`/`!=` on secret-tainted bytes instead
+//!    of `ts_crypto::ct::ct_eq`,
+//! 2. **`secret-leak`** — `derive(Debug)`/`Display` on secret-marked types,
+//!    or a `format!`/`println!`-family macro mentioning a secret,
+//! 3. **`missing-wipe`** — secret-marked types without wipe-on-drop,
+//! 4. **`secret-index`** — table lookups indexed by secret-derived data.
+//!
+//! Secret marking combines a seed list of type names with `// ctlint:
+//! secret` / `// ctlint: public` annotations in source; taint propagates
+//! through struct fields and function signatures (see [`rules`]).
+//! Deliberate exceptions (the AES S-box) live in `ctlint.toml` at the
+//! workspace root; every entry needs a reason and must keep matching a
+//! real finding or the lint fails.
+//!
+//! Run it as `cargo run -p ts-lint` or, enforced, via the root-package
+//! integration test `tests/lint_clean.rs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod diag;
+pub mod index;
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use config::{Allow, Config, ConfigError};
+pub use diag::{Diagnostic, Report, Rule};
+
+/// Analyze in-memory sources (used by fixture tests). Applies the
+/// allowlist from `config` and reports stale entries.
+pub fn analyze_sources(files: &[(String, String)], config: &Config) -> Report {
+    let indexes: Vec<_> =
+        files.iter().map(|(path, src)| index::scan_file(path, src)).collect();
+    let raw = rules::analyze(&indexes, config);
+    apply_allowlist(raw, config, files.len())
+}
+
+/// Analyze every production `.rs` file under `root`, honouring
+/// `root/ctlint.toml` if present.
+///
+/// Skipped trees: `target/`, VCS metadata, `tests/` and `benches/`
+/// directories (test code legitimately compares and prints secrets — the
+/// same exemption `#[cfg(test)]` modules get), and the lint's own
+/// `tests/fixtures/` corpus of deliberately-bad snippets.
+pub fn check_workspace(root: &Path) -> Result<Report, ConfigError> {
+    let (files, config) = load_workspace(root)?;
+    Ok(analyze_sources(&files, &config))
+}
+
+/// The secret model the analyzer would use for `root` — what `ts-lint
+/// --model` prints. Lets a developer see *why* an identifier is tainted.
+pub fn workspace_model(root: &Path) -> Result<rules::SecretModel, ConfigError> {
+    let (files, config) = load_workspace(root)?;
+    let indexes: Vec<_> =
+        files.iter().map(|(path, src)| index::scan_file(path, src)).collect();
+    Ok(rules::SecretModel::build(&indexes, &config))
+}
+
+fn load_workspace(root: &Path) -> Result<(Vec<(String, String)>, Config), ConfigError> {
+    let config_path = root.join("ctlint.toml");
+    let config = match std::fs::read_to_string(&config_path) {
+        Ok(text) => Config::from_toml(&text)?,
+        Err(_) => Config::default(),
+    };
+    let mut paths = Vec::new();
+    collect_rs_files(root, root, &mut paths);
+    paths.sort();
+    let files: Vec<(String, String)> = paths
+        .into_iter()
+        .filter_map(|p| {
+            let rel = p.strip_prefix(root).unwrap_or(&p).to_string_lossy().replace('\\', "/");
+            std::fs::read_to_string(&p).ok().map(|src| (rel, src))
+        })
+        .collect();
+    Ok((files, config))
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().to_string();
+        if path.is_dir() {
+            if matches!(name.as_str(), "target" | ".git" | "tests" | "benches" | "examples") {
+                continue;
+            }
+            collect_rs_files(root, &path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn apply_allowlist(raw: Vec<Diagnostic>, config: &Config, files_scanned: usize) -> Report {
+    let mut report = Report { files_scanned, ..Report::default() };
+    let mut matched = vec![false; config.allows.len()];
+    for d in raw {
+        let mut hit = false;
+        for (i, a) in config.allows.iter().enumerate() {
+            if a.matches(&d) {
+                matched[i] = true;
+                hit = true;
+            }
+        }
+        if hit {
+            report.suppressed.push(d);
+        } else {
+            report.diagnostics.push(d);
+        }
+    }
+    for (i, a) in config.allows.iter().enumerate() {
+        if !matched[i] {
+            report.stale_allows.push(a.describe());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowlist_suppresses_and_detects_stale() {
+        let src = "// ctlint: secret\nfn sub(s: &mut [u8]) { s[0] = T[s[0] as usize]; }";
+        let mut cfg = Config::default();
+        cfg.allows.push(Allow {
+            rule: "secret-index".into(),
+            file: "aes.rs".into(),
+            ident: "T".into(),
+            reason: "test".into(),
+        });
+        cfg.allows.push(Allow {
+            rule: "secret-index".into(),
+            file: "gone.rs".into(),
+            ident: "OLD".into(),
+            reason: "stale".into(),
+        });
+        let report =
+            analyze_sources(&[("crates/x/src/aes.rs".into(), src.into())], &cfg);
+        assert!(report.diagnostics.is_empty(), "{}", report.render());
+        assert_eq!(report.suppressed.len(), 1);
+        assert_eq!(report.stale_allows.len(), 1);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn clean_sources_are_clean() {
+        let report = analyze_sources(
+            &[("lib.rs".into(), "fn ok(a: u32, b: u32) -> bool { a == b }".into())],
+            &Config::default(),
+        );
+        assert!(report.is_clean(), "{}", report.render());
+    }
+}

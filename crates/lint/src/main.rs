@@ -1,0 +1,60 @@
+//! CLI entry point: `cargo run -p ts-lint [workspace-root]`.
+//!
+//! Prints every finding (and stale allowlist entry) and exits non-zero if
+//! the workspace is not clean — the same check `tests/lint_clean.rs`
+//! enforces from `cargo test`.
+
+// The CLI's whole job is printing the report.
+#![allow(clippy::print_stdout)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let dump_model = args.iter().any(|a| a == "--model");
+    args.retain(|a| a != "--model");
+    let root = args.first().map(PathBuf::from).unwrap_or_else(|| {
+        // Default to the workspace root when run via `cargo run -p ts-lint`.
+        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        manifest.parent().and_then(|p| p.parent()).map(PathBuf::from).unwrap_or(manifest)
+    });
+    if !root.is_dir() {
+        // A typo'd root would otherwise scan zero files and "pass".
+        println!("error: workspace root {} is not a directory", root.display());
+        return ExitCode::FAILURE;
+    }
+    if dump_model {
+        return match ts_lint::workspace_model(&root) {
+            Ok(m) => {
+                let join = |s: &std::collections::BTreeSet<String>| {
+                    s.iter().cloned().collect::<Vec<_>>().join(" ")
+                };
+                println!("secret types:  {}", join(&m.secret_types));
+                println!("direct types:  {}", join(&m.direct_secret_types));
+                println!("secret fields: {}", join(&m.secret_fields));
+                println!("public fields: {}", join(&m.public_fields));
+                println!("secret fns:    {}", join(&m.secret_fns));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                println!("config error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match ts_lint::check_workspace(&root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            println!("config error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

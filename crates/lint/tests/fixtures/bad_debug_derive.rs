@@ -1,0 +1,16 @@
+// expect: secret-leak SessionTicketKey
+//
+// `#[derive(Debug)]` on a type holding raw key bytes prints them into any
+// log line that formats the struct.
+
+// ctlint: secret
+#[derive(Debug)]
+struct SessionTicketKey {
+    aes_key: [u8; 16],
+}
+
+impl Drop for SessionTicketKey {
+    fn drop(&mut self) {
+        self.aes_key = [0; 16];
+    }
+}

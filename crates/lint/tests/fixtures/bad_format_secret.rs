@@ -1,0 +1,19 @@
+// expect: secret-leak d
+//
+// A formatter-family macro whose arguments mention a secret value writes
+// key material to log output.
+
+// ctlint: secret
+struct Drbg {
+    k: Vec<u8>,
+}
+
+impl Drop for Drbg {
+    fn drop(&mut self) {
+        self.k.clear();
+    }
+}
+
+fn log_state(d: &Drbg) -> String {
+    format!("drbg key = {:02x?}", d.k)
+}

@@ -1,0 +1,9 @@
+// expect: missing-wipe ExportKey
+//
+// A secret-marked type with neither `Drop` nor `Wipe` leaves key bytes in
+// freed memory for the process lifetime.
+
+// ctlint: secret
+struct ExportKey {
+    bytes: Vec<u8>,
+}

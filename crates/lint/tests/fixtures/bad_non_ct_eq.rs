@@ -1,0 +1,19 @@
+// expect: non-ct-comparison a
+//
+// A byte-for-byte `==` on key material short-circuits at the first
+// mismatching byte — the classic MAC-check timing oracle.
+
+// ctlint: secret
+struct MacKey {
+    material: Vec<u8>,
+}
+
+impl Drop for MacKey {
+    fn drop(&mut self) {
+        self.material.clear();
+    }
+}
+
+fn verify(a: &MacKey, b: &MacKey) -> bool {
+    a.material == b.material
+}

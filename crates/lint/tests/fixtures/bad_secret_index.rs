@@ -1,0 +1,13 @@
+// expect: secret-index LOOKUP
+//
+// Indexing a table with secret-derived data leaks the secret through
+// cache-line timing (the AES T-table attack shape).
+
+const LOOKUP: [u8; 256] = [0; 256];
+
+// ctlint: secret
+fn substitute(state: &mut [u8]) {
+    for b in state.iter_mut() {
+        *b = LOOKUP[*b as usize];
+    }
+}

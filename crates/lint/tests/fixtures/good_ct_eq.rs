@@ -1,0 +1,17 @@
+// The constant-time comparison helper is the sanctioned way to compare
+// key material; mentioning secrets as *arguments* is not a finding.
+
+// ctlint: secret
+struct MacKey {
+    material: Vec<u8>,
+}
+
+impl Drop for MacKey {
+    fn drop(&mut self) {
+        self.material.clear();
+    }
+}
+
+fn verify(a: &MacKey, b: &MacKey) -> bool {
+    ts_crypto::ct::ct_eq(&a.material, &b.material)
+}

@@ -1,0 +1,17 @@
+// Comparing secret *sizes* is public: lengths are fixed by the cipher
+// suite, so `.len()` projections de-taint.
+
+// ctlint: secret
+struct MacKey {
+    material: Vec<u8>,
+}
+
+impl Drop for MacKey {
+    fn drop(&mut self) {
+        self.material.clear();
+    }
+}
+
+fn well_formed(a: &MacKey) -> bool {
+    a.material.len() == 32
+}

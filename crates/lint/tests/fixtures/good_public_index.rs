@@ -1,0 +1,9 @@
+// Table lookups indexed by public data (here: record lengths) are fine.
+
+fn histogram(lengths: &[usize]) -> [u32; 64] {
+    let mut bins = [0u32; 64];
+    for &l in lengths.iter() {
+        bins[l % 64] += 1;
+    }
+    bins
+}

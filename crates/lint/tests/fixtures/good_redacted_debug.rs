@@ -1,0 +1,19 @@
+// A *manual* Debug impl is the sanctioned redaction mechanism: the type
+// controls exactly what reaches the formatter.
+
+// ctlint: secret
+struct SessionTicketKey {
+    aes_key: [u8; 16],
+}
+
+impl Drop for SessionTicketKey {
+    fn drop(&mut self) {
+        self.aes_key = [0; 16];
+    }
+}
+
+impl std::fmt::Debug for SessionTicketKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SessionTicketKey(<redacted>)")
+    }
+}

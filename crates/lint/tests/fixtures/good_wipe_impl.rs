@@ -1,0 +1,19 @@
+// A `Wipe` impl (or `Drop`) satisfies the zeroization requirement.
+
+// ctlint: secret
+struct ExportKey {
+    bytes: Vec<u8>,
+}
+
+impl ts_crypto::wipe::Wipe for ExportKey {
+    fn wipe(&mut self) {
+        ts_crypto::wipe::wipe_bytes(&mut self.bytes);
+    }
+}
+
+impl Drop for ExportKey {
+    fn drop(&mut self) {
+        use ts_crypto::wipe::Wipe;
+        self.wipe();
+    }
+}

@@ -1,0 +1,34 @@
+//! The lexer (and the whole scan pipeline above it) must never panic:
+//! `ts-lint` reads every `.rs` file in the workspace, including half-typed
+//! code during development, so arbitrary byte soup has to tokenize.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Arbitrary (lossy-decoded) bytes: exercises unterminated strings,
+    // stray quotes, lone backslashes, non-ASCII, embedded NULs.
+    #[test]
+    fn lex_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let _ = ts_lint::lexer::lex(&src);
+    }
+
+    // Rust-shaped soup: dense in the constructs the scanner layer keys on
+    // (comments, strings, braces, lifetimes, char literals), so the deeper
+    // index/rules passes get driven too, via analyze_sources.
+    #[test]
+    fn scan_rust_shaped_soup(src in "[a-zA-Z0-9_ .:;,<>=!&|'\"/#\\[\\]{}()*-]{0,200}") {
+        let toks = ts_lint::lexer::lex(&src);
+        // Line numbers are monotonic — downstream rules rely on this.
+        for w in toks.windows(2) {
+            prop_assert!(w[0].line <= w[1].line);
+        }
+        let report = ts_lint::analyze_sources(
+            &[("soup.rs".to_string(), src.clone())],
+            &ts_lint::Config::default(),
+        );
+        let _ = report.render();
+    }
+}

@@ -90,7 +90,8 @@ pub struct Observation {
     pub cipher_suite: CipherSuite,
     /// Chain validated against the root store?
     pub trusted: bool,
-    /// ServerHello session ID (empty if none).
+    /// ServerHello session ID (empty if none; cleartext on the wire).
+    // ctlint: public
     pub session_id: Vec<u8>,
     /// How the handshake resumed, if it did.
     pub resumed: Option<ResumeKind>,

@@ -45,13 +45,16 @@ pub struct HandshakeSummary {
     pub resumed: Option<ResumeKind>,
     /// Negotiated suite.
     pub cipher_suite: CipherSuite,
-    /// Session ID from ServerHello (empty if none).
+    /// Session ID from ServerHello (empty if none; cleartext on the wire).
+    // ctlint: public
     pub server_session_id: Vec<u8>,
     /// NewSessionTicket received, if any.
     pub new_ticket: Option<NewSessionTicket>,
     /// The server's (EC)DHE public value, if a PFS exchange ran.
+    // ctlint: public
     pub server_kex_public: Option<Vec<u8>>,
-    /// Raw DER chain the server presented.
+    /// Raw DER chain the server presented (cleartext on the wire).
+    // ctlint: public
     pub chain_der: Vec<Vec<u8>>,
     /// Trust verdict (None when no chain was presented — resumption).
     pub trust: Option<Result<(), TrustError>>,
@@ -66,18 +69,27 @@ pub struct ClientConn {
     records: RecordLayer,
     reasm: HandshakeReassembler,
     transcript: Transcript,
+    // Outgoing wire bytes: anything here is already on the network.
+    // ctlint: public
     out: Vec<u8>,
     state: State,
     suite: Option<CipherSuite>,
+    // Randoms and session IDs travel cleartext in the hellos.
+    // ctlint: public
     client_random: [u8; 32],
+    // ctlint: public
     server_random: [u8; 32],
+    // ctlint: public
     offered_session_id: Vec<u8>,
     offered_ticket_state: Option<SessionState>,
+    // ctlint: public
     server_session_id: Vec<u8>,
     master: Option<[u8; 48]>,
     resumed: Option<ResumeKind>,
     new_ticket: Option<NewSessionTicket>,
+    // ctlint: public
     server_kex_public: Option<Vec<u8>>,
+    // ctlint: public
     chain_der: Vec<Vec<u8>>,
     leaf: Option<Certificate>,
     trust: Option<Result<(), TrustError>>,

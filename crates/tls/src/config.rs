@@ -74,9 +74,13 @@ impl ServerConfig {
 /// What a client offers for resumption.
 #[derive(Clone, Default)]
 pub struct ResumptionOffer {
-    /// Session-ID resumption: the ID and the saved state.
+    /// Session-ID resumption: the ID and the saved state. The ID (and the
+    /// encrypted ticket below) are cleartext wire artifacts; the secrecy
+    /// of the paired `SessionState` travels with its own field names.
+    // ctlint: public
     pub session: Option<(Vec<u8>, SessionState)>,
     /// Ticket resumption: the opaque ticket and the saved state.
+    // ctlint: public
     pub ticket: Option<(Vec<u8>, SessionState)>,
 }
 

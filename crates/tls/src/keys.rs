@@ -24,11 +24,23 @@ pub fn master_secret(
 }
 
 /// Both directions' record keys, derived from the key block.
+///
+/// No `Drop` impl of its own: both [`DirectionKeys`] fields wipe themselves
+/// on drop, and leaving `ConnectionKeys` free of `Drop` keeps its fields
+/// movable (the handshake layers clone directions into the record layer).
+// ctlint: secret
 pub struct ConnectionKeys {
     /// Keys for data the client writes.
     pub client_write: DirectionKeys,
     /// Keys for data the server writes.
     pub server_write: DirectionKeys,
+}
+
+impl ts_crypto::wipe::Wipe for ConnectionKeys {
+    fn wipe(&mut self) {
+        self.client_write.wipe();
+        self.server_write.wipe();
+    }
 }
 
 /// Expand the key block (note seed order: server_random || client_random,
@@ -44,7 +56,7 @@ pub fn key_block(
     let mut seed = Vec::with_capacity(64);
     seed.extend_from_slice(server_random);
     seed.extend_from_slice(client_random);
-    let block = prf(master, b"key expansion", &seed, total);
+    let mut block = prf(master, b"key expansion", &seed, total);
     let mut off = 0;
     let mut take = |n: usize| {
         let out = block[off..off + n].to_vec();
@@ -57,7 +69,7 @@ pub fn key_block(
     let server_key = take(sizes.enc_key);
     let client_iv = take(sizes.fixed_iv);
     let server_iv = take(sizes.fixed_iv);
-    ConnectionKeys {
+    let keys = ConnectionKeys {
         client_write: DirectionKeys {
             protection: suite.record_protection(),
             mac_key: client_mac,
@@ -70,7 +82,10 @@ pub fn key_block(
             enc_key: server_key,
             fixed_iv: server_iv,
         },
-    }
+    };
+    // The contiguous key block duplicates every key above; scrub it.
+    ts_crypto::wipe::wipe_bytes(&mut block);
+    keys
 }
 
 /// A running transcript hash of all handshake messages.

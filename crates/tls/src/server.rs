@@ -49,11 +49,17 @@ pub struct ServerConn {
     records: RecordLayer,
     reasm: HandshakeReassembler,
     transcript: Transcript,
+    // Outgoing records, the randoms, and the session ID are cleartext
+    // wire data; only `master` / the keypairs / `app_in` below are secret.
+    // ctlint: public
     out: Vec<u8>,
     state: State,
     suite: Option<CipherSuite>,
+    // ctlint: public
     client_random: [u8; 32],
+    // ctlint: public
     server_random: [u8; 32],
+    // ctlint: public
     session_id: Vec<u8>,
     master: Option<[u8; 48]>,
     resumed: Option<ResumeKind>,

@@ -7,16 +7,50 @@ use crate::suites::CipherSuite;
 /// secret whose *lifetime* the paper measures. Held in the server's session
 /// cache (session-ID resumption) or encrypted into a ticket under the STEK
 /// (ticket resumption).
-#[derive(Debug, Clone, PartialEq, Eq)]
+// ctlint: secret
+#[derive(Clone, PartialEq, Eq)]
 pub struct SessionState {
     /// The 48-byte master secret.
     pub master_secret: [u8; MASTER_SECRET_LEN],
     /// Negotiated cipher suite (resumption must reuse it — RFC 5077 §3.4).
+    /// Negotiated in cleartext; only the master secret above is sensitive.
+    // ctlint: public
     pub cipher_suite: CipherSuite,
     /// Virtual time the original full handshake completed.
+    // ctlint: public
     pub established_at: u64,
     /// SNI hostname of the original connection (diagnostics / affinity).
+    // ctlint: public
     pub server_name: String,
+}
+
+impl std::fmt::Debug for SessionState {
+    /// Redacting: everything except the master secret is printable (test
+    /// assertion failures still show which session mismatched).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionState")
+            .field("master_secret", &"<redacted>")
+            .field("cipher_suite", &self.cipher_suite)
+            .field("established_at", &self.established_at)
+            .field("server_name", &self.server_name)
+            .finish()
+    }
+}
+
+impl ts_crypto::wipe::Wipe for SessionState {
+    fn wipe(&mut self) {
+        ts_crypto::wipe::wipe_bytes(&mut self.master_secret);
+    }
+}
+
+impl Drop for SessionState {
+    /// Session caches and expired tickets hold master secrets long after
+    /// the connection closes — the very exposure window §6 of the paper
+    /// measures. Scrub on eviction.
+    fn drop(&mut self) {
+        use ts_crypto::wipe::Wipe;
+        self.wipe();
+    }
 }
 
 impl SessionState {

@@ -56,10 +56,16 @@ impl TicketFormat {
 }
 
 /// A Session Ticket Encryption Key.
+///
+/// A stolen STEK retroactively decrypts every ticket sealed under it
+/// (§6.1), so retired keys are wiped the moment they drop out of the
+/// acceptance window.
+// ctlint: secret
 #[derive(Clone)]
 pub struct Stek {
-    /// Public-ish identifier embedded in every ticket (the fingerprint the
-    /// scanner tracks).
+    /// Public identifier embedded cleartext in every ticket (the
+    /// fingerprint the scanner tracks) — not key material.
+    // ctlint: public
     pub key_name: [u8; KEY_NAME_LEN],
     /// AES-128 encryption key. **The** secret of §6.1.
     pub enc_key: [u8; 16],
@@ -67,6 +73,20 @@ pub struct Stek {
     pub mac_key: [u8; 32],
     /// Virtual time the key was generated.
     pub created_at: u64,
+}
+
+impl ts_crypto::wipe::Wipe for Stek {
+    fn wipe(&mut self) {
+        ts_crypto::wipe::wipe_bytes(&mut self.enc_key);
+        ts_crypto::wipe::wipe_bytes(&mut self.mac_key);
+    }
+}
+
+impl Drop for Stek {
+    fn drop(&mut self) {
+        use ts_crypto::wipe::Wipe;
+        self.wipe();
+    }
 }
 
 impl std::fmt::Debug for Stek {

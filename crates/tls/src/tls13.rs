@@ -43,7 +43,8 @@ pub enum PskMode {
 }
 
 /// The resumption secret TLS 1.3 derives after a handshake.
-#[derive(Debug, Clone, PartialEq, Eq)]
+// ctlint: secret
+#[derive(Clone, PartialEq, Eq)]
 pub struct ResumptionSecret {
     /// 32-byte secret.
     pub secret: [u8; 32],
@@ -53,6 +54,33 @@ pub struct ResumptionSecret {
     pub lifetime: u64,
     /// How the identity resolves.
     pub identity_kind: PskIdentityKind,
+}
+
+impl std::fmt::Debug for ResumptionSecret {
+    /// Redacting: metadata is printable, the PSK itself is not.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResumptionSecret")
+            .field("secret", &"<redacted>")
+            .field("issued_at", &self.issued_at)
+            .field("lifetime", &self.lifetime)
+            .field("identity_kind", &self.identity_kind)
+            .finish()
+    }
+}
+
+impl ts_crypto::wipe::Wipe for ResumptionSecret {
+    fn wipe(&mut self) {
+        ts_crypto::wipe::wipe_bytes(&mut self.secret);
+    }
+}
+
+impl Drop for ResumptionSecret {
+    /// A PSK outlives its connection by up to seven days; scrub it when
+    /// the holder lets go.
+    fn drop(&mut self) {
+        use ts_crypto::wipe::Wipe;
+        self.wipe();
+    }
 }
 
 /// Derive the resumption secret from a (TLS 1.3-style) master secret.
@@ -78,7 +106,8 @@ pub fn derive_resumption_secret(
 }
 
 /// Outcome of a modelled TLS 1.3 resumption.
-#[derive(Debug, Clone)]
+// ctlint: secret
+#[derive(Clone)]
 pub struct Tls13Resumption {
     /// Mode used.
     pub mode: PskMode,
@@ -88,6 +117,37 @@ pub struct Tls13Resumption {
     pub early_data_secret: Option<[u8; 32]>,
     /// The fresh DHE output (psk_dhe_ke only) — what forward-protects it.
     pub dhe_output: Option<[u8; 32]>,
+}
+
+impl std::fmt::Debug for Tls13Resumption {
+    /// Redacting: only the mode and which secrets exist are printable.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tls13Resumption")
+            .field("mode", &self.mode)
+            .field("traffic_secret", &"<redacted>")
+            .field("early_data_secret", &self.early_data_secret.as_ref().map(|_| "<redacted>"))
+            .field("dhe_output", &self.dhe_output.as_ref().map(|_| "<redacted>"))
+            .finish()
+    }
+}
+
+impl ts_crypto::wipe::Wipe for Tls13Resumption {
+    fn wipe(&mut self) {
+        ts_crypto::wipe::wipe_bytes(&mut self.traffic_secret);
+        if let Some(s) = self.early_data_secret.as_mut() {
+            ts_crypto::wipe::wipe_bytes(s);
+        }
+        if let Some(s) = self.dhe_output.as_mut() {
+            ts_crypto::wipe::wipe_bytes(s);
+        }
+    }
+}
+
+impl Drop for Tls13Resumption {
+    fn drop(&mut self) {
+        use ts_crypto::wipe::Wipe;
+        self.wipe();
+    }
 }
 
 /// Run a modelled resumption at `now`.
@@ -139,12 +199,12 @@ pub fn attacker_recoverable(
 ) -> RecoveredSecrets {
     let early = resumption.early_data_secret.as_ref().map(|real| {
         let candidate = derive_labeled(&stolen_psk.secret, b"early data", None);
-        candidate == *real
+        ts_crypto::ct::ct_eq_array(&candidate, real)
     });
     let traffic = match resumption.mode {
         PskMode::PskKe => {
             let candidate = derive_labeled(&stolen_psk.secret, b"psk_ke traffic", None);
-            candidate == resumption.traffic_secret
+            ts_crypto::ct::ct_eq_array(&candidate, &resumption.traffic_secret)
         }
         // Without the DHE output the attacker cannot derive the secret.
         PskMode::PskDheKe => false,

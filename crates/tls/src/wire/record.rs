@@ -62,6 +62,11 @@ pub struct Record {
 }
 
 /// Per-direction record protection keys.
+///
+/// Wipes itself on drop: connection teardown (and eviction of any
+/// [`crate::keys::ConnectionKeys`] holding a pair of these) scrubs the
+/// traffic keys rather than leaving them for a later memory compromise.
+// ctlint: secret
 #[derive(Clone)]
 pub struct DirectionKeys {
     /// Protection algorithm.
@@ -72,6 +77,21 @@ pub struct DirectionKeys {
     pub enc_key: Vec<u8>,
     /// Fixed IV.
     pub fixed_iv: Vec<u8>,
+}
+
+impl ts_crypto::wipe::Wipe for DirectionKeys {
+    fn wipe(&mut self) {
+        ts_crypto::wipe::wipe_bytes(&mut self.mac_key);
+        ts_crypto::wipe::wipe_bytes(&mut self.enc_key);
+        ts_crypto::wipe::wipe_bytes(&mut self.fixed_iv);
+    }
+}
+
+impl Drop for DirectionKeys {
+    fn drop(&mut self) {
+        use ts_crypto::wipe::Wipe;
+        self.wipe();
+    }
 }
 
 impl DirectionKeys {
@@ -157,6 +177,9 @@ pub fn decrypt_captured(
 
 /// Framing plus optional protection for one connection end.
 pub struct RecordLayer {
+    // Reassembly buffer of raw transport bytes — by definition what the
+    // network already carried.
+    // ctlint: public
     incoming: BytesMut,
     read_keys: Option<DirectionKeys>,
     write_keys: Option<DirectionKeys>,

@@ -1,0 +1,22 @@
+//! Enforce the secret-hygiene lint from `cargo test`.
+//!
+//! `ts-lint` walks every production `.rs` file in the workspace and fails
+//! this test on any unsuppressed finding — non-constant-time comparisons
+//! on key material, Debug/Display leak surfaces, missing zeroization, or
+//! secret-indexed table lookups — and equally on any *stale* `ctlint.toml`
+//! allowlist entry, so suppressions cannot outlive the code they excuse.
+
+use std::path::Path;
+
+#[test]
+fn workspace_passes_secret_hygiene_lint() {
+    // CARGO_MANIFEST_DIR of the root package IS the workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = ts_lint::check_workspace(root).expect("ctlint.toml parses");
+    assert!(
+        report.files_scanned > 50,
+        "scanned only {} files — workspace walk is broken",
+        report.files_scanned
+    );
+    assert!(report.is_clean(), "\n{}", report.render());
+}

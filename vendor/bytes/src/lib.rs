@@ -1,0 +1,186 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements exactly the subset the TLS wire layer uses: big-endian
+//! `put_*` writers on `Vec<u8>` via [`BufMut`], and a growable input
+//! buffer [`BytesMut`] with `advance`/`split_to` front-consumption. The
+//! backing store is a plain `Vec<u8>` plus a head offset; `advance` lazily
+//! compacts once the dead prefix outgrows the live payload, so long-lived
+//! record-layer buffers stay O(live bytes).
+
+use std::ops::Deref;
+
+/// Write access to a growable byte sink (big-endian integer encoders).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Read cursor over buffered bytes.
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+
+    /// Discard the next `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+}
+
+/// A growable byte buffer that supports cheap front-consumption.
+#[derive(Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    head: usize,
+}
+
+impl BytesMut {
+    /// New empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// New empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap), head: 0 }
+    }
+
+    /// Live byte count.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.head
+    }
+
+    /// True when no live bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append bytes at the tail.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Split off and return the first `at` live bytes.
+    ///
+    /// Panics if `at > self.len()`, matching `bytes::BytesMut::split_to`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds: {} > {}", at, self.len());
+        let front = self.data[self.head..self.head + at].to_vec();
+        self.advance(at);
+        BytesMut { data: front, head: 0 }
+    }
+
+    /// Copy the live bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self[..].to_vec()
+    }
+
+    fn compact_if_needed(&mut self) {
+        if self.head > 0 && self.head >= self.data.len() - self.head {
+            self.data.drain(..self.head);
+            self.head = 0;
+        }
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds: {} > {}", cnt, self.len());
+        self.head += cnt;
+        self.compact_if_needed();
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.head..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn putters_are_big_endian() {
+        let mut v = Vec::new();
+        v.put_u8(0x01);
+        v.put_u16(0x0203);
+        v.put_u32(0x04050607);
+        v.put_u64(0x08090a0b0c0d0e0f);
+        assert_eq!(v[..3], [1, 2, 3]);
+        assert_eq!(v[3..7], [4, 5, 6, 7]);
+        assert_eq!(v.len(), 15);
+    }
+
+    #[test]
+    fn split_and_advance_consume_front() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&[1, 2, 3, 4, 5]);
+        b.advance(1);
+        assert_eq!(&b[..], &[2, 3, 4, 5]);
+        let front = b.split_to(2);
+        assert_eq!(front.to_vec(), vec![2, 3]);
+        assert_eq!(&b[..], &[4, 5]);
+        b.extend_from_slice(&[6]);
+        assert_eq!(b.to_vec(), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn compaction_keeps_contents() {
+        let mut b = BytesMut::new();
+        for i in 0..100u8 {
+            b.extend_from_slice(&[i]);
+        }
+        b.advance(90);
+        assert_eq!(b.len(), 10);
+        assert_eq!(b[0], 90);
+    }
+}

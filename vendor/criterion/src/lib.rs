@@ -1,0 +1,259 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the `ts-bench` benchmark targets use —
+//! groups, throughput annotation, `iter`/`iter_batched`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! wall-clock timer. No statistics engine: each benchmark runs a warm-up
+//! pass, then a fixed sampling window, and reports the median per-iteration
+//! time (plus throughput when annotated) on stdout. Good enough to compare
+//! runs by eye and, more importantly, to keep `cargo test`/`cargo bench`
+//! compiling and running without the crates.io dependency.
+
+use std::time::{Duration, Instant};
+
+/// Re-exports measurement marker types (API compatibility).
+pub mod measurement {
+    /// Wall-clock time measurement (the only measurement supported).
+    pub struct WallTime;
+}
+
+/// Opaque hint to the optimizer that `x` is used.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Input bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// How much setup output `iter_batched` should amortize per batch.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small setup values; batch many per timing window.
+    SmallInput,
+    /// Large setup values; one per timing window.
+    LargeInput,
+    /// Exactly one setup call per iteration.
+    PerIteration,
+}
+
+/// Per-iteration timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, measurement_time: Duration) -> Self {
+        Bencher { samples: Vec::new(), sample_size, measurement_time }
+    }
+
+    /// Time `routine` repeatedly until the sampling budget is exhausted.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up / calibration pass.
+        let start = Instant::now();
+        black_box(routine());
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        if self.samples.is_empty() {
+            self.samples.push(one);
+        }
+    }
+
+    /// Time `routine` over fresh values from `setup`, excluding setup cost.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        if self.samples.is_empty() {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        self.samples.sort();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+fn report(name: &str, median: Duration, throughput: Option<Throughput>) {
+    let per_iter = median.as_secs_f64();
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!("  {:>10.1} MiB/s", n as f64 / per_iter / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  {:>10.1} elem/s", n as f64 / per_iter)
+        }
+        _ => String::new(),
+    };
+    println!("bench: {name:<48} {median:>12.3?}/iter{rate}");
+}
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, measurement_time: Duration::from_millis(500) }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _criterion: self,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut b);
+        report(&name.into(), b.median(), None);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<'a, M> BenchmarkGroup<'a, M> {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the warm-up duration (accepted for API compatibility; the
+    /// stand-in always does a single calibration iteration instead).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Cap the sampling window per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut b);
+        let full = format!("{}/{}", self.name, id.into());
+        report(&full, b.median(), self.throughput);
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a named runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` invokes harness=false bench binaries with
+            // test-runner flags; a bare `--test` run should be a fast no-op
+            // so plain `cargo test` doesn't pay for a full benchmark pass.
+            let args: Vec<String> = std::env::args().collect();
+            if args.iter().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.measurement_time(Duration::from_millis(10));
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 32], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        c.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+    }
+}

@@ -1,0 +1,77 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is used in this workspace; since Rust
+//! 1.63 the standard library provides the same guarantee (scoped threads
+//! that may borrow from the enclosing stack frame), so this shim forwards
+//! to `std::thread::scope` while keeping crossbeam's calling convention:
+//! the scope closure and every spawned closure receive a `&Scope`, and
+//! `scope()` returns a `Result` (always `Ok`; std propagates panics from
+//! unjoined threads by resumption, matching what callers here expect).
+
+/// Scoped-thread API surface, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope for spawning borrowing threads (wraps [`std::thread::Scope`]).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread (wraps [`std::thread::ScopedJoinHandle`]).
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish, returning its result or panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope again so it can spawn nested threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing threads can be spawned; all
+    /// spawned threads are joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_spawns_and_joins() {
+        let data = vec![1u32, 2, 3];
+        let sum: u32 = crate::thread::scope(|s| {
+            let handles: Vec<_> =
+                data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(sum, 60);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let r = crate::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7).join().unwrap()).join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 7);
+    }
+}

@@ -1,0 +1,121 @@
+//! Collection strategies: `vec` and `hash_set`, mirroring
+//! `proptest::collection` for the size-range forms this workspace uses.
+
+use crate::{Strategy, TestRng};
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+/// Inclusive bounds on a generated collection's size.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        let width = self.hi_inclusive - self.lo + 1;
+        self.lo + rng.below(width as u128) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi_inclusive: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range {}..{}", r.start, r.end);
+        SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generate vectors whose elements come from `element` and whose length
+/// falls in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `HashSet<S::Value>` with a size drawn from `size`.
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generate hash sets whose elements come from `element`; the target size is
+/// drawn from `size`, backing off when the element space is too small to
+/// reach it (the set may then be smaller than requested, never larger).
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    HashSetStrategy { element, size: size.into() }
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = self.size.sample(rng);
+        let mut out = HashSet::new();
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < target.saturating_mul(64) + 64 {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+
+    #[test]
+    fn vec_len_in_range() {
+        let strat = vec(any::<u8>(), 2..=5);
+        let mut rng = TestRng::for_test("vec_len");
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!((2..=5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn hash_set_backs_off_on_tiny_domains() {
+        // Only 2 possible values but we ask for up to 10.
+        let strat = hash_set(0u64..2, 1..10);
+        let mut rng = TestRng::for_test("hs");
+        let s = strat.generate(&mut rng);
+        assert!(!s.is_empty() && s.len() <= 2);
+    }
+}

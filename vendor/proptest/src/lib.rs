@@ -1,0 +1,485 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a self-contained property-testing harness that accepts the same source
+//! syntax the real proptest does for the subset these test suites use:
+//!
+//! - the `proptest! { #![proptest_config(..)] #[test] fn f(x in strat) {..} }`
+//!   block macro;
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`;
+//! - strategies: integer and float ranges, `any::<T>()`, `Just`,
+//!   `prop_oneof!`, tuples, regex-subset string literals, and
+//!   `proptest::collection::{vec, hash_set}`.
+//!
+//! Differences from real proptest, deliberately accepted: generation is
+//! driven by a fast deterministic RNG seeded from the test's module path
+//! (stable across runs — failures are reproducible), there is **no
+//! shrinking** (the failing inputs are printed instead), and `prop_assume!`
+//! rejections simply skip the case without a rejection-rate cap.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+pub mod string;
+
+/// Everything a proptest-based test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError, Union,
+    };
+    /// Alias module, mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::string;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic splitmix64 generator driving all value generation.
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed deterministically from a test identifier.
+    pub fn for_test(name: &str) -> Self {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        TestRng(h.finish() | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u128) -> u128 {
+        debug_assert!(n > 0);
+        let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        wide % n
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config and case errors
+// ---------------------------------------------------------------------------
+
+/// Per-block configuration (only `cases` is meaningful here).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the case out; not a failure.
+    Reject,
+    /// An assertion failed; aborts the whole test.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and primitive strategies
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Object-safe: `prop_oneof!` boxes strategies behind `dyn Strategy`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Types with a canonical "generate anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Mostly ASCII, occasionally any scalar value.
+        if rng.below(8) == 0 {
+            char::from_u32(rng.below(0x11_0000) as u32).unwrap_or('\u{fffd}')
+        } else {
+            (0x20 + rng.below(0x5f) as u8) as char
+        }
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The canonical strategy for `T` (`any::<u8>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy {}..{}", self.start, self.end);
+                let width = self.end as i128 - self.start as i128;
+                (self.start as i128 + rng.below(width as u128) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy {}..={}", lo, hi);
+                let width = hi as i128 - lo as i128 + 1;
+                (lo as i128 + rng.below(width as u128) as i128) as $t
+            }
+        }
+    )+};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+/// Constant strategy: always yields a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies (built by [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Build from a non-empty list of alternatives.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u128) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// String literals act as regex-subset strategies, as in real proptest.
+impl Strategy for &'_ str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::generate_from_pattern(self, rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let options: Vec<Box<dyn $crate::Strategy<Value = _>>> =
+            vec![$(Box::new($strategy)),+];
+        $crate::Union::new(options)
+    }};
+}
+
+/// Assert inside a proptest body; failure aborts with the generated inputs shown.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} (at {}:{})", stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} (at {}:{})", format!($($fmt)+), file!(), line!()
+            )));
+        }
+    };
+}
+
+/// Equality assert inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (at {}:{})",
+                stringify!($left), stringify!($right), file!(), line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}: {} (at {}:{})",
+                stringify!($left), stringify!($right), format!($($fmt)+), file!(), line!()
+            )));
+        }
+    }};
+}
+
+/// Inequality assert inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (at {}:{})",
+                stringify!($left), stringify!($right), file!(), line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}: {} (at {}:{})",
+                stringify!($left), stringify!($right), format!($($fmt)+), file!(), line!()
+            )));
+        }
+    }};
+}
+
+/// Filter out the current case when `cond` does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The proptest block macro: wraps `fn name(arg in strategy, ..) { body }`
+/// test definitions into case-generating `#[test]` functions.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    (@cfg ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng =
+                    $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    match (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    })() {
+                        Ok(()) => {}
+                        Err($crate::TestCaseError::Reject) => {}
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case {}/{} failed: {}", case + 1, config.cases, msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $(
+            $(#[$meta])*
+            fn $name($($arg in $strategy),+) $body
+        )*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::TestRng::for_test("x");
+        let mut b = crate::TestRng::for_test("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 10u64..20, y in 0usize..=4, f in 0.25f64..0.75) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y <= 4);
+            prop_assert!((0.25..0.75).contains(&f), "f out of range: {}", f);
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in crate::collection::vec(any::<u8>(), 3..6)) {
+            prop_assert!(v.len() >= 3 && v.len() < 6);
+        }
+
+        #[test]
+        fn oneof_and_just(k in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(k == 1 || k == 2);
+            prop_assume!(k == 1);
+            prop_assert_eq!(k, 1);
+        }
+
+        #[test]
+        fn string_patterns_match_shape(s in "[a-c][0-9]{2}") {
+            prop_assert_eq!(s.len(), 3);
+            let bytes = s.as_bytes();
+            prop_assert!((b'a'..=b'c').contains(&bytes[0]));
+            prop_assert!(bytes[1].is_ascii_digit() && bytes[2].is_ascii_digit());
+        }
+
+        #[test]
+        fn tuples_and_sets(
+            (a, b) in (any::<u8>(), 1u8..5),
+            set in crate::collection::hash_set(0u64..40, 1..10),
+        ) {
+            prop_assert!(b >= 1 && b < 5);
+            let _ = a;
+            prop_assert!(!set.is_empty() && set.len() < 10);
+            prop_assert_ne!(set.len(), 0);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Regex-subset string generation for `&str` strategies.
+//!
+//! Real proptest compiles the full regex syntax; this stand-in supports the
+//! subset the workspace's test patterns use — literal characters, `\x`
+//! escapes, character classes with ranges (`[a-z0-9.-]`), and the
+//! quantifiers `{n}`, `{m,n}`, `?`, `+`, `*` (the open-ended ones capped at
+//! 8 repetitions). Unsupported constructs panic with the offending pattern
+//! so a new test pattern fails loudly rather than generating junk.
+
+use crate::TestRng;
+
+enum Element {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+struct Quantified {
+    element: Element,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Quantified> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let element = match chars[i] {
+            '\\' => {
+                i += 1;
+                let c = *chars.get(i).unwrap_or_else(|| {
+                    panic!("dangling escape in pattern {pattern:?}")
+                });
+                i += 1;
+                match c {
+                    'd' => Element::Class(vec![('0', '9')]),
+                    'w' => Element::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    _ => Element::Literal(c),
+                }
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if lo == '\\' {
+                        i += 1;
+                        ranges.push((chars[i], chars[i]));
+                        i += 1;
+                        continue;
+                    }
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+                i += 1; // consume ']'
+                Element::Class(ranges)
+            }
+            '.' => {
+                i += 1;
+                // Any printable ASCII, close enough for test identifiers.
+                Element::Class(vec![(' ', '~')])
+            }
+            '(' | ')' | '|' => panic!(
+                "unsupported regex construct {:?} in pattern {pattern:?} \
+                 (vendored proptest stand-in supports literals, classes, and quantifiers)",
+                chars[i]
+            ),
+            c => {
+                i += 1;
+                Element::Literal(c)
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().unwrap_or_else(|_| panic!("bad quantifier in {pattern:?}")),
+                        hi.parse().unwrap_or_else(|_| panic!("bad quantifier in {pattern:?}")),
+                    ),
+                    None => {
+                        let n = body
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier in {pattern:?}"));
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+        out.push(Quantified { element, min, max });
+    }
+    out
+}
+
+fn sample_element(e: &Element, rng: &mut TestRng) -> char {
+    match e {
+        Element::Literal(c) => *c,
+        Element::Class(ranges) => {
+            let total: u64 = ranges.iter().map(|(lo, hi)| *hi as u64 - *lo as u64 + 1).sum();
+            let mut pick = rng.below(total as u128) as u64;
+            for (lo, hi) in ranges {
+                let span = *hi as u64 - *lo as u64 + 1;
+                if pick < span {
+                    return char::from_u32(*lo as u32 + pick as u32).unwrap();
+                }
+                pick -= span;
+            }
+            unreachable!()
+        }
+    }
+}
+
+/// Generate one string matching `pattern` (see module docs for the subset).
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let elements = parse(pattern);
+    let mut out = String::new();
+    for q in &elements {
+        let n = q.min + rng.below((q.max - q.min + 1) as u128) as usize;
+        for _ in 0..n {
+            out.push(sample_element(&q.element, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_patterns_generate_plausible_values() {
+        let mut rng = TestRng::for_test("patterns");
+        for _ in 0..200 {
+            let host = generate_from_pattern("[a-z][a-z0-9-]{0,30}\\.sim", &mut rng);
+            assert!(host.ends_with(".sim"), "{host}");
+            assert!(host.chars().next().unwrap().is_ascii_lowercase());
+
+            let domain = generate_from_pattern("[a-z0-9.-]{1,30}", &mut rng);
+            assert!((1..=30).contains(&domain.len()));
+
+            let name = generate_from_pattern("[a-e][0-9]", &mut rng);
+            assert_eq!(name.len(), 2);
+        }
+    }
+
+    #[test]
+    fn quantifiers() {
+        let mut rng = TestRng::for_test("quant");
+        for _ in 0..50 {
+            let s = generate_from_pattern("a{2,4}b?c", &mut rng);
+            assert!(s.starts_with("aa"));
+            assert!(s.ends_with('c'));
+            assert!(s.len() <= 6);
+        }
+    }
+}
