@@ -49,7 +49,7 @@ pub fn run_daily_campaign(ctx: &Context) -> Campaign {
     for day in 0..days {
         let day_results = parallel_map(domains, crate::default_workers(), |chunk_id, chunk| {
             let mut scanner = Scanner::new(&pop, &format!("daily-campaign-{day}-{chunk_id}"));
-            let options = CampaignOptions { days: day..day + 1, ..Default::default() };
+            let options = CampaignOptions::new().days(day..day + 1);
             let chunk_vec: Vec<String> = chunk.to_vec();
             vec![run_campaign(&mut scanner, &options, |_day| chunk_vec.clone())]
         });

@@ -68,7 +68,7 @@ fn lockstep_probes(
             chunk
                 .iter()
                 .map(|domain| {
-                    let g = scanner.grab(domain, t0, &GrabOptions::default());
+                    let g = scanner.grab(domain, t0, &GrabOptions::new());
                     g.ok().map(|obs| {
                         let supported = match mechanism {
                             ResumptionMechanism::SessionId => !obs.session_id.is_empty(),
@@ -111,18 +111,13 @@ fn lockstep_probes(
                     .map(|&i| {
                         let s = &states[i];
                         let opts = match mechanism {
-                            ResumptionMechanism::SessionId => GrabOptions {
-                                resume_session: Some((s.session_id.clone(), s.state.clone())),
-                                ..Default::default()
-                            },
-                            ResumptionMechanism::Ticket => GrabOptions {
-                                // Always the ORIGINAL ticket (§4.2).
-                                resume_ticket: Some((
-                                    s.ticket.clone().expect("alive implies ticket"),
-                                    s.state.clone(),
-                                )),
-                                ..Default::default()
-                            },
+                            ResumptionMechanism::SessionId => GrabOptions::new()
+                                .resume_session(s.session_id.clone(), s.state.clone()),
+                            // Always the ORIGINAL ticket (§4.2).
+                            ResumptionMechanism::Ticket => GrabOptions::new().resume_ticket(
+                                s.ticket.clone().expect("alive implies ticket"),
+                                s.state.clone(),
+                            ),
                         };
                         let g = scanner.grab(&s.domain, t0 + delay, &opts);
                         let want = match mechanism {
@@ -137,7 +132,7 @@ fn lockstep_probes(
             });
         for (i, resumed) in results {
             if resumed {
-                if delay == schedule.first {
+                if delay == schedule.first_delay() {
                     states[i].resumed_1s = true;
                 }
                 states[i].max_delay = Some(delay);

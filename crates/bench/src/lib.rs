@@ -74,61 +74,14 @@ impl Context {
     }
 }
 
-/// Deterministic parallel map: split `items` into chunks, run `f(chunk_id,
-/// chunk)` on worker threads, concatenate in chunk order.
-pub fn parallel_map<T: Sync, R: Send>(
-    items: &[T],
-    workers: usize,
-    f: impl Fn(usize, &[T]) -> Vec<R> + Sync,
-) -> Vec<R> {
-    let workers = workers.max(1);
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let chunk_size = items.len().div_ceil(workers);
-    let chunks: Vec<(usize, &[T])> = items.chunks(chunk_size).enumerate().collect();
-    let mut out: Vec<(usize, Vec<R>)> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|(id, chunk)| {
-                let f = &f;
-                let id = *id;
-                let chunk = *chunk;
-                scope.spawn(move |_| (id, f(id, chunk)))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
-    })
-    .expect("scope");
-    out.sort_by_key(|(id, _)| *id);
-    out.into_iter().flat_map(|(_, v)| v).collect()
-}
-
-/// Default worker count.
-pub fn default_workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-}
+// The fan-out primitives moved to ts-core so every crate (and the
+// telemetry determinism tests) can share them; re-exported here for
+// source compatibility with existing callers.
+pub use ts_core::par::{default_workers, parallel_map};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn parallel_map_preserves_order() {
-        let items: Vec<u32> = (0..100).collect();
-        let doubled = parallel_map(&items, 7, |_id, chunk| {
-            chunk.iter().map(|x| x * 2).collect()
-        });
-        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<u32>>());
-    }
-
-    #[test]
-    fn parallel_map_empty_and_single() {
-        let empty: Vec<u32> = vec![];
-        assert!(parallel_map(&empty, 4, |_, c| c.to_vec()).is_empty());
-        let one = vec![9u32];
-        assert_eq!(parallel_map(&one, 16, |_, c| c.to_vec()), vec![9]);
-    }
 
     #[test]
     fn context_builds_and_caches_campaign() {

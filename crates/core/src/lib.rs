@@ -6,6 +6,7 @@
 //!
 //! * [`observations`] — the scan record types (sightings, probes, edges)
 //! * [`json`] — dependency-free JSON tree for archiving observations
+//! * [`par`] — deterministic chunked fan-out (`parallel_map`)
 //! * [`unionfind`] — disjoint sets for transitive service-group closure
 //! * [`lifetime`] — first/last-seen span estimation for STEKs and
 //!   key-exchange values (§4.3's jitter-tolerant estimator)
@@ -31,6 +32,7 @@ pub mod groups;
 pub mod json;
 pub mod lifetime;
 pub mod observations;
+pub mod par;
 pub mod report;
 pub mod tiers;
 pub mod treemap;

@@ -1,0 +1,73 @@
+//! Deterministic fan-out shared by the scan and bench layers.
+//!
+//! Moved here from `ts-bench` so `ts-scanner` and future subsystems can
+//! share one implementation (`ts-bench` re-exports these for
+//! compatibility). The contract is the one the experiment harness relies
+//! on: results are concatenated in *chunk order*, so a run is a pure
+//! function of `(items, workers, f)` no matter how the OS schedules the
+//! worker threads.
+
+/// Deterministic parallel map: split `items` into chunks, run `f(chunk_id,
+/// chunk)` on worker threads, concatenate in chunk order.
+pub fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    workers: usize,
+    f: impl Fn(usize, &[T]) -> Vec<R> + Sync,
+) -> Vec<R> {
+    let workers = workers.max(1);
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let chunk_size = items.len().div_ceil(workers);
+    let chunks: Vec<(usize, &[T])> = items.chunks(chunk_size).enumerate().collect();
+    let mut out: Vec<(usize, Vec<R>)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|(id, chunk)| {
+                let f = &f;
+                let id = *id;
+                let chunk = *chunk;
+                scope.spawn(move |_| (id, f(id, chunk)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    })
+    .expect("scope");
+    out.sort_by_key(|(id, _)| *id);
+    out.into_iter().flat_map(|(_, v)| v).collect()
+}
+
+/// Default worker count.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u32> = (0..100).collect();
+        let doubled = parallel_map(&items, 7, |_id, chunk| {
+            chunk.iter().map(|x| x * 2).collect()
+        });
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, 4, |_, c| c.to_vec()).is_empty());
+        let one = vec![9u32];
+        assert_eq!(parallel_map(&one, 16, |_, c| c.to_vec()), vec![9]);
+    }
+
+    #[test]
+    fn chunk_ids_cover_all_workers() {
+        let items: Vec<u32> = (0..64).collect();
+        let ids = parallel_map(&items, 4, |id, chunk| vec![id; chunk.len()]);
+        let distinct: std::collections::BTreeSet<usize> = ids.iter().copied().collect();
+        assert_eq!(distinct.len(), 4);
+    }
+}

@@ -9,6 +9,12 @@
 //! types = ["MySecretType"]
 //! functions = ["derive_my_secret"]
 //!
+//! # Extra telemetry sink names (merged with the built-in
+//! # observe/emit/record list). A secret-tainted argument reaching any of
+//! # these fires `telemetry-sink`.
+//! [telemetry]
+//! sinks = ["count_outcome"]
+//!
 //! # One [[allow]] block per deliberate exception. Every entry MUST match at
 //! # least one finding or the lint fails ("stale allow") — suppressions
 //! # cannot outlive the code they excuse.
@@ -57,6 +63,11 @@ pub struct Config {
     pub secret_types: Vec<String>,
     /// Functions whose return value is secret-tainted wherever it lands.
     pub secret_fns: Vec<String>,
+    /// Call names treated as telemetry sinks: a secret-tainted argument
+    /// reaching one of these fires [`Rule::TelemetrySink`]. Counters,
+    /// histograms and event streams only ever carry public scalars and
+    /// `&'static str` labels (the no-secret-bytes rule in ts-telemetry).
+    pub telemetry_sinks: Vec<String>,
     /// Deliberate, justified exceptions.
     pub allows: Vec<Allow>,
 }
@@ -80,6 +91,13 @@ impl Default for Config {
             .map(|s| s.to_string())
             .collect(),
             secret_fns: ["master_secret", "key_block", "shared_secret", "prf"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            // The ts-telemetry entry points. Deliberately NOT `inc`/`add`:
+            // those names collide with bignum limb arithmetic, which is
+            // tainted by design.
+            telemetry_sinks: ["observe", "emit", "record"]
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),
@@ -112,6 +130,7 @@ impl Config {
         enum Section {
             None,
             Secrets,
+            Telemetry,
             Allow(usize),
         }
         let mut section = Section::None;
@@ -128,6 +147,8 @@ impl Config {
                 section = Section::Allow(partial.len() - 1);
             } else if line == "[secrets]" {
                 section = Section::Secrets;
+            } else if line == "[telemetry]" {
+                section = Section::Telemetry;
             } else if line.starts_with('[') {
                 return Err(ConfigError {
                     line: lineno,
@@ -157,6 +178,21 @@ impl Config {
                                 return Err(ConfigError {
                                     line: lineno,
                                     message: format!("unknown [secrets] key `{other}`"),
+                                });
+                            }
+                        }
+                    }
+                    Section::Telemetry => {
+                        let items = parse_string_array(value).ok_or_else(|| ConfigError {
+                            line: lineno,
+                            message: format!("`{key}` must be an array of strings"),
+                        })?;
+                        match key {
+                            "sinks" => cfg.telemetry_sinks.extend(items),
+                            other => {
+                                return Err(ConfigError {
+                                    line: lineno,
+                                    message: format!("unknown [telemetry] key `{other}`"),
                                 });
                             }
                         }
@@ -305,6 +341,21 @@ mod tests {
         assert!(cfg.secret_fns.iter().any(|f| f == "hkdf_extract"));
         assert_eq!(cfg.allows.len(), 1);
         assert_eq!(cfg.allows[0].ident, "SBOX");
+    }
+
+    #[test]
+    fn telemetry_sinks_extend_the_builtin_list() {
+        let cfg = Config::from_toml("[telemetry]\nsinks = [\"count_outcome\"]\n").unwrap();
+        for builtin in ["observe", "emit", "record"] {
+            assert!(cfg.telemetry_sinks.iter().any(|s| s == builtin), "{builtin}");
+        }
+        assert!(cfg.telemetry_sinks.iter().any(|s| s == "count_outcome"));
+    }
+
+    #[test]
+    fn unknown_telemetry_key_is_an_error() {
+        let err = Config::from_toml("[telemetry]\nsink = [\"x\"]\n").unwrap_err();
+        assert!(err.message.contains("unknown [telemetry] key"), "{err}");
     }
 
     #[test]

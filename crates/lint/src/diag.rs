@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-/// The four diagnostic classes `ts-lint` reports.
+/// The five diagnostic classes `ts-lint` reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     /// A `==` / `!=` comparison touching secret-tainted bytes instead of
@@ -17,6 +17,11 @@ pub enum Rule {
     MissingWipe,
     /// A table lookup indexed by secret-derived data (cache-timing surface).
     SecretIndex,
+    /// A secret-tainted value passed to a telemetry sink call
+    /// (`observe` / `emit` / `record` and anything added via
+    /// `[telemetry] sinks`). Metric snapshots are exported and diffed, so
+    /// key material reaching one is an exfiltration channel.
+    TelemetrySink,
 }
 
 impl Rule {
@@ -28,12 +33,19 @@ impl Rule {
             Rule::SecretLeak => "secret-leak",
             Rule::MissingWipe => "missing-wipe",
             Rule::SecretIndex => "secret-index",
+            Rule::TelemetrySink => "telemetry-sink",
         }
     }
 
     /// All rules, for iteration/tests.
-    pub fn all() -> [Rule; 4] {
-        [Rule::NonCtComparison, Rule::SecretLeak, Rule::MissingWipe, Rule::SecretIndex]
+    pub fn all() -> [Rule; 5] {
+        [
+            Rule::NonCtComparison,
+            Rule::SecretLeak,
+            Rule::MissingWipe,
+            Rule::SecretIndex,
+            Rule::TelemetrySink,
+        ]
     }
 }
 

@@ -1,4 +1,4 @@
-//! The four secret-hygiene rules, plus the taint model they share.
+//! The five secret-hygiene rules, plus the taint model they share.
 //!
 //! ## Taint model
 //!
@@ -50,6 +50,10 @@ pub struct SecretModel {
     pub public_fields: BTreeSet<String>,
     /// Functions whose return value is secret.
     pub secret_fns: BTreeSet<String>,
+    /// Call names that ship their arguments into exported telemetry
+    /// (counters, histograms, the event stream). Tainted arguments to
+    /// these fire [`Rule::TelemetrySink`].
+    pub telemetry_sinks: BTreeSet<String>,
 }
 
 impl SecretModel {
@@ -130,6 +134,7 @@ impl SecretModel {
             secret_fields: fields,
             public_fields,
             secret_fns: fns,
+            telemetry_sinks: config.telemetry_sinks.iter().cloned().collect(),
         }
     }
 }
@@ -340,6 +345,12 @@ fn analyze_body(f: &FileIndex, func: &FnDef, model: &SecretModel, diags: &mut Ve
         } else if t.is_punct("[") && is_index_open(toks, i) {
             check_index(f, toks, i, &env, diags);
             i += 1;
+        } else if t.kind == TokKind::Ident
+            && model.telemetry_sinks.contains(&t.text)
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && !(i > 0 && toks[i - 1].is_ident("fn"))
+        {
+            i = check_sink_call(f, toks, i, &env, diags);
         } else {
             i += 1;
         }
@@ -608,6 +619,38 @@ fn check_fmt_macro(
     name_idx + 1
 }
 
+/// Check the argument tokens of a telemetry sink call (`observe(..)`,
+/// `emit(..)`, `.record(..)`, plus configured names). Returns the index
+/// to resume scanning from.
+fn check_sink_call(
+    f: &FileIndex,
+    toks: &[Token],
+    name_idx: usize,
+    env: &TaintEnv<'_>,
+    diags: &mut Vec<Diagnostic>,
+) -> usize {
+    let open = name_idx + 1;
+    let close = matching(toks, open, toks.len());
+    if let Some(ident) = env.first_tainted(&toks[open + 1..close]) {
+        let message = format!(
+            "telemetry sink `{}` receives secret-tainted `{}`; metrics are \
+             exported, so only public scalars and static labels may reach a \
+             sink — record a length, count, or class label instead",
+            toks[name_idx].text, ident
+        );
+        diags.push(Diagnostic {
+            rule: Rule::TelemetrySink,
+            file: f.path.clone(),
+            line: toks[name_idx].line,
+            ident,
+            message,
+        });
+        // one finding per sink call is enough
+        return close + 1;
+    }
+    name_idx + 1
+}
+
 fn check_index(
     f: &FileIndex,
     toks: &[Token],
@@ -742,6 +785,53 @@ mod tests {
             "#[cfg(test)]\nmod tests {\n fn t(k: &Stek) { assert!(k.enc_key == [0u8; 16]); }\n}",
         );
         assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn tainted_arg_to_sink_fires() {
+        let d = run("fn leak(keys: &Stek) { HANDSHAKES.observe(keys.enc_key[0] as u64); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::TelemetrySink);
+        assert_eq!(d[0].ident, "keys");
+    }
+
+    #[test]
+    fn tainted_arg_to_free_fn_sink_fires() {
+        let d = run(
+            "fn leak(state: &SessionState) { let ms = state.master_secret; emit(ms[0] as u64); }",
+        );
+        assert!(d.iter().any(|x| x.rule == Rule::TelemetrySink && x.ident == "ms"), "{d:?}");
+    }
+
+    #[test]
+    fn public_projections_through_sinks_are_clean() {
+        // Lengths of secrets are public; so are unrelated scalars.
+        let d = run(
+            "fn sample(keys: &Stek, n: usize) {\
+                 HIST.observe(keys.enc_key.len() as u64);\
+                 SPAN.record(n as u64, 7);\
+             }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn sink_definitions_do_not_fire() {
+        // A nested `fn record(...)` is a definition, not a call.
+        let d = run("fn outer(keys: &Stek) { fn record(v: u64) { let _ = v; } record(3); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn configured_extra_sink_fires() {
+        let mut cfg = Config::default();
+        cfg.telemetry_sinks.push("count_outcome".to_string());
+        let idx = scan_file(
+            "fix.rs",
+            "fn leak(keys: &Stek) { count_outcome(keys.enc_key[0]); }",
+        );
+        let d = analyze(&[idx], &cfg);
+        assert!(d.iter().any(|x| x.rule == Rule::TelemetrySink), "{d:?}");
     }
 
     #[test]

@@ -1,0 +1,16 @@
+// A secret-tainted value flowing into a telemetry sink: metric snapshots
+// are exported and diffed, so this is an exfiltration channel even though
+// nothing is "printed".
+// expect: telemetry-sink keys
+// expect: telemetry-sink ms
+
+static HANDSHAKE_COST: Histogram = Histogram::new("tls.handshake.cost", &[1, 10]);
+
+fn leak_via_histogram(keys: &Stek) {
+    HANDSHAKE_COST.observe(keys.enc_key[0] as u64);
+}
+
+fn leak_via_event(state: &SessionState) {
+    let ms = state.master_secret;
+    emit(ms[0] as u64);
+}

@@ -1,0 +1,10 @@
+// Telemetry over public facts about secrets is fine: lengths, counts and
+// static class labels never reveal key bytes.
+
+static TICKET_SIZE: Histogram = Histogram::new("tls.ticket.size", &[64, 128]);
+
+fn sample(keys: &Stek, attempts: u32) {
+    TICKET_SIZE.observe(keys.enc_key.len() as u64);
+    SPAN.record(attempts as u64, 7);
+    emit(attempts as u64);
+}

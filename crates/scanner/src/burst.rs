@@ -7,6 +7,10 @@
 use crate::grab::{GrabFailure, GrabOptions, Scanner, SuiteOffer};
 use std::collections::HashSet;
 use ts_core::observations::BurstSummary;
+use ts_telemetry::Counter;
+
+static BURST_DOMAINS: Counter = Counter::new("scanner.burst.domains");
+static BURST_CONNECTIONS: Counter = Counter::new("scanner.burst.connections");
 
 /// The Table 1 funnel for one restricted offer.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -56,20 +60,22 @@ pub fn burst_scan(
         funnel.non_blacklisted += 1;
         // Trust is established with a full (browser-like) offer first, as
         // the paper separates "browser-trusted TLS" from per-offer support.
-        let trust_probe = scanner.grab(domain, now, &GrabOptions::default());
+        let trust_probe = scanner.grab(domain, now, &GrabOptions::new());
         let trusted = trust_probe.ok().map(|o| o.trusted).unwrap_or(false);
         if !trusted {
             continue;
         }
         funnel.trusted_tls += 1;
+        BURST_DOMAINS.inc();
 
-        let opts = GrabOptions { suites: offer, ..Default::default() };
+        let opts = GrabOptions::new().suites(offer);
         let mut successes = 0u32;
         let mut tickets = 0u32;
         let mut kex_values: HashSet<String> = HashSet::new();
         let mut stek_ids: HashSet<String> = HashSet::new();
         for i in 0..connections {
             // "In quick succession": a few seconds apart.
+            BURST_CONNECTIONS.inc();
             let g = scanner.grab(domain, now + i as u64, &opts);
             match g.outcome {
                 Ok(obs) => {

@@ -69,10 +69,8 @@ pub fn session_cache_groups(
             _ => continue,
         };
         // Verify the domain resumes its own session at all.
-        let self_opts = GrabOptions {
-            resume_session: Some((obs.session_id.clone(), obs.session.clone())),
-            ..Default::default()
-        };
+        let self_opts =
+            GrabOptions::new().resume_session(obs.session_id.clone(), obs.session.clone());
         let self_resumes = scanner
             .grab(&t.domain, now + 1, &self_opts)
             .ok()
@@ -109,10 +107,8 @@ pub fn session_cache_groups(
             let sibling = &targets[j];
             // Offering a foreign session ID is harmless: the server falls
             // back to a full handshake on a miss (§5.1).
-            let opts = GrabOptions {
-                resume_session: Some((obs.session_id.clone(), obs.session.clone())),
-                ..Default::default()
-            };
+            let opts =
+                GrabOptions::new().resume_session(obs.session_id.clone(), obs.session.clone());
             let g = scanner.grab_ip(&sibling.domain, sibling.ip, now + 2, &opts);
             let resumed = g
                 .ok()
@@ -191,7 +187,7 @@ pub fn dh_sharing_scan(
         ] {
             for k in 0..connections {
                 let at = now + (window_secs * k as u64) / connections.max(1) as u64;
-                let opts = GrabOptions { suites: offer, ..Default::default() };
+                let opts = GrabOptions::new().suites(offer);
                 let g = scanner.grab(&t.domain, at, &opts);
                 if let Some(obs) = g.ok() {
                     if let (true, Some(fp)) = (obs.trusted, &obs.kex_value_fp) {

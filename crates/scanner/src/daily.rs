@@ -7,24 +7,32 @@
 use crate::grab::{GrabOptions, Scanner, SuiteOffer};
 use ts_core::observations::{KexKind, KexSighting, TicketSighting};
 use ts_simnet::clock::{Clock, DAY, MINUTE};
+use ts_telemetry::{emit, Counter, Event};
+
+static CAMPAIGN_DAYS: Counter = Counter::new("scanner.campaign.days");
+static CAMPAIGN_ATTEMPTS: Counter = Counter::new("scanner.campaign.attempts");
 
 /// Options for a daily campaign.
+///
+/// Construct with [`CampaignOptions::new`] and chain setters:
+///
+/// ```
+/// use ts_scanner::CampaignOptions;
+/// let opts = CampaignOptions::new().days(0..7).dhe(false);
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct CampaignOptions {
-    /// Days to scan (typically `0..63`).
-    pub days: std::ops::Range<u64>,
-    /// Seconds after midnight the daily scan fires.
-    pub scan_time_of_day: u64,
-    /// Collect ticket sightings?
-    pub tickets: bool,
-    /// Collect DHE sightings?
-    pub dhe: bool,
-    /// Collect ECDHE sightings?
-    pub ecdhe: bool,
+    pub(crate) days: std::ops::Range<u64>,
+    pub(crate) scan_time_of_day: u64,
+    pub(crate) tickets: bool,
+    pub(crate) dhe: bool,
+    pub(crate) ecdhe: bool,
 }
 
-impl Default for CampaignOptions {
-    fn default() -> Self {
+impl CampaignOptions {
+    /// The paper's campaign: 63 days, scans at 06:00, all three grabs.
+    pub fn new() -> Self {
         CampaignOptions {
             days: 0..63,
             scan_time_of_day: 6 * 3_600,
@@ -32,6 +40,47 @@ impl Default for CampaignOptions {
             dhe: true,
             ecdhe: true,
         }
+    }
+
+    /// Days to scan (typically `0..63`).
+    #[must_use]
+    pub fn days(mut self, days: std::ops::Range<u64>) -> Self {
+        self.days = days;
+        self
+    }
+
+    /// Seconds after midnight the daily scan fires.
+    #[must_use]
+    pub fn scan_time_of_day(mut self, secs: u64) -> Self {
+        self.scan_time_of_day = secs;
+        self
+    }
+
+    /// Collect ticket sightings?
+    #[must_use]
+    pub fn tickets(mut self, on: bool) -> Self {
+        self.tickets = on;
+        self
+    }
+
+    /// Collect DHE sightings?
+    #[must_use]
+    pub fn dhe(mut self, on: bool) -> Self {
+        self.dhe = on;
+        self
+    }
+
+    /// Collect ECDHE sightings?
+    #[must_use]
+    pub fn ecdhe(mut self, on: bool) -> Self {
+        self.ecdhe = on;
+        self
+    }
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -64,7 +113,7 @@ pub fn run_campaign(
         for domain in domains_for_day(day) {
             if options.tickets {
                 data.attempts += 1;
-                let g = scanner.grab(&domain, now, &GrabOptions::default());
+                let g = scanner.grab(&domain, now, &GrabOptions::new());
                 if let Some(obs) = g.ok() {
                     if obs.trusted {
                         if let (Some(stek_id), Some(nst)) = (&obs.stek_id, &obs.ticket) {
@@ -80,7 +129,7 @@ pub fn run_campaign(
             }
             if options.dhe {
                 data.attempts += 1;
-                let opts = GrabOptions { suites: SuiteOffer::DheOnly, ..Default::default() };
+                let opts = GrabOptions::new().suites(SuiteOffer::DheOnly);
                 let g = scanner.grab(&domain, now + MINUTE, &opts);
                 if let Some(obs) = g.ok() {
                     if obs.trusted {
@@ -97,8 +146,7 @@ pub fn run_campaign(
             }
             if options.ecdhe {
                 data.attempts += 1;
-                let opts =
-                    GrabOptions { suites: SuiteOffer::EcdheThenRsa, ..Default::default() };
+                let opts = GrabOptions::new().suites(SuiteOffer::EcdheThenRsa);
                 let g = scanner.grab(&domain, now + 2 * MINUTE, &opts);
                 if let Some(obs) = g.ok() {
                     if obs.trusted {
@@ -116,7 +164,10 @@ pub fn run_campaign(
                 }
             }
         }
+        CAMPAIGN_DAYS.inc();
+        emit(Event::CampaignDay { day });
     }
+    CAMPAIGN_ATTEMPTS.add(data.attempts);
     data
 }
 
@@ -140,7 +191,7 @@ mod tests {
     fn mini_campaign(days: std::ops::Range<u64>, targets: Vec<String>) -> CampaignData {
         let p = pop();
         let mut s = Scanner::new(p, "daily-test");
-        let options = CampaignOptions { days, ..Default::default() };
+        let options = CampaignOptions::new().days(days);
         run_campaign(&mut s, &options, move |_day| targets.clone())
     }
 
@@ -162,7 +213,7 @@ mod tests {
         cfg.flakiness = 0.0;
         let p = Population::build(cfg);
         let mut s = Scanner::new(&p, "daily-rotate");
-        let options = CampaignOptions { days: 0..6, ..Default::default() };
+        let options = CampaignOptions::new().days(0..6);
         let data = run_campaign(&mut s, &options, |_day| vec!["twitter.sim".into()]);
         let mut est = SpanEstimator::new();
         est.record_tickets(&data.tickets);

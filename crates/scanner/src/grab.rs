@@ -4,12 +4,51 @@ use ts_core::observations::fingerprint_hex;
 use ts_crypto::drbg::HmacDrbg;
 use ts_population::Population;
 use ts_simnet::{ConnectError, Ip};
+use ts_telemetry::{emit, Counter, Event, Histogram};
 use ts_tls::config::{ClientConfig, ResumptionOffer};
 use ts_tls::server::ResumeKind;
 use ts_tls::session::SessionState;
 use ts_tls::suites::CipherSuite;
 use ts_tls::ticket::{extract_stek_id, sniff_format};
 use ts_tls::wire::handshake::NewSessionTicket;
+use ts_tls::TlsError;
+
+static GRAB_OK: Counter = Counter::new("scanner.grab.ok");
+static GRAB_BLACKLISTED: Counter = Counter::new("scanner.grab.blacklisted");
+static GRAB_NO_DNS: Counter = Counter::new("scanner.grab.no_dns");
+static GRAB_REFUSED: Counter = Counter::new("scanner.grab.refused");
+static GRAB_TIMEOUT: Counter = Counter::new("scanner.grab.timeout");
+static GRAB_UNKNOWN_HOST: Counter = Counter::new("scanner.grab.unknown_host");
+static GRAB_TLS_FAILED: Counter = Counter::new("scanner.grab.tls_failed");
+static GRAB_RETRIES: Counter = Counter::new("scanner.grab.retries");
+static GRAB_ATTEMPTS: Histogram = Histogram::new("scanner.grab.attempts", &[1, 2, 3, 4, 8]);
+
+/// Count one concluded grab under its class counter and fire the event.
+fn record_grab(outcome: &Result<Observation, GrabFailure>, attempts: u32) {
+    let (counter, class): (&'static Counter, &'static str) = match outcome {
+        Ok(_) => (&GRAB_OK, "ok"),
+        Err(f) => (
+            match f {
+                GrabFailure::Blacklisted => &GRAB_BLACKLISTED,
+                GrabFailure::NoDns => &GRAB_NO_DNS,
+                GrabFailure::Refused => &GRAB_REFUSED,
+                GrabFailure::Timeout => &GRAB_TIMEOUT,
+                GrabFailure::UnknownHost => &GRAB_UNKNOWN_HOST,
+                GrabFailure::TlsFailed(_) => &GRAB_TLS_FAILED,
+            },
+            f.class(),
+        ),
+    };
+    counter.inc();
+    if attempts > 1 {
+        GRAB_RETRIES.add(u64::from(attempts - 1));
+    }
+    if attempts > 0 {
+        // Blacklisted / no-DNS grabs never touch the network.
+        GRAB_ATTEMPTS.observe(u64::from(attempts));
+    }
+    emit(Event::GrabOutcome { class, attempts });
+}
 
 /// Which cipher suites the grabber offers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,29 +79,80 @@ impl SuiteOffer {
 }
 
 /// Options for one grab.
+///
+/// Construct with [`GrabOptions::new`] and chain setters; the struct is
+/// `#[non_exhaustive]` so new knobs can land without breaking callers:
+///
+/// ```
+/// use ts_scanner::{GrabOptions, SuiteOffer};
+/// let opts = GrabOptions::new().suites(SuiteOffer::DheOnly).retries(0);
+/// ```
 #[derive(Clone)]
+#[non_exhaustive]
 pub struct GrabOptions {
+    pub(crate) suites: SuiteOffer,
+    // Field names deliberately differ from the `resume_session` /
+    // `resume_ticket` builder methods: ts-lint treats the byteish fields
+    // of a secret-bearing struct as tainted projections by name, and a
+    // chained `.resume_session(..)` call must not read as one.
+    pub(crate) sid_resume: Option<(Vec<u8>, SessionState)>,
+    pub(crate) ticket_resume: Option<(Vec<u8>, SessionState)>,
+    pub(crate) permissive: bool,
+    pub(crate) retries: u32,
+}
+
+impl GrabOptions {
+    /// The defaults: offer every suite, no resumption, permissive trust
+    /// handling (record failures instead of aborting), two retries.
+    pub fn new() -> Self {
+        GrabOptions {
+            suites: SuiteOffer::All,
+            sid_resume: None,
+            ticket_resume: None,
+            permissive: true,
+            retries: 2,
+        }
+    }
+
     /// Cipher suites to offer.
-    pub suites: SuiteOffer,
-    /// Offer a session ID for resumption.
-    pub resume_session: Option<(Vec<u8>, SessionState)>,
-    /// Offer a session ticket for resumption.
-    pub resume_ticket: Option<(Vec<u8>, SessionState)>,
+    #[must_use]
+    pub fn suites(mut self, offer: SuiteOffer) -> Self {
+        self.suites = offer;
+        self
+    }
+
+    /// Offer a session ID (and its cached state) for resumption.
+    #[must_use]
+    pub fn resume_session(mut self, session_id: Vec<u8>, state: SessionState) -> Self {
+        self.sid_resume = Some((session_id, state));
+        self
+    }
+
+    /// Offer a session ticket (and its cached state) for resumption.
+    #[must_use]
+    pub fn resume_ticket(mut self, ticket: Vec<u8>, state: SessionState) -> Self {
+        self.ticket_resume = Some((ticket, state));
+        self
+    }
+
     /// Record trust failures instead of aborting the handshake.
-    pub permissive: bool,
+    #[must_use]
+    pub fn permissive(mut self, on: bool) -> Self {
+        self.permissive = on;
+        self
+    }
+
     /// Transport retries on transient timeouts.
-    pub retries: u32,
+    #[must_use]
+    pub fn retries(mut self, n: u32) -> Self {
+        self.retries = n;
+        self
+    }
 }
 
 impl Default for GrabOptions {
     fn default() -> Self {
-        GrabOptions {
-            suites: SuiteOffer::All,
-            resume_session: None,
-            resume_ticket: None,
-            permissive: true,
-            retries: 2,
-        }
+        Self::new()
     }
 }
 
@@ -79,8 +169,44 @@ pub enum GrabFailure {
     Timeout,
     /// SNI unknown at the endpoint.
     UnknownHost,
-    /// TLS handshake failed.
-    TlsFailed(String),
+    /// TLS handshake failed (the structured cause is preserved).
+    TlsFailed(TlsError),
+}
+
+impl GrabFailure {
+    /// Stable label for this failure class (telemetry / report keys).
+    pub fn class(&self) -> &'static str {
+        match self {
+            GrabFailure::Blacklisted => "blacklisted",
+            GrabFailure::NoDns => "no-dns",
+            GrabFailure::Refused => "refused",
+            GrabFailure::Timeout => "timeout",
+            GrabFailure::UnknownHost => "unknown-host",
+            GrabFailure::TlsFailed(_) => "tls-failed",
+        }
+    }
+}
+
+impl std::fmt::Display for GrabFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GrabFailure::Blacklisted => write!(f, "domain blacklisted"),
+            GrabFailure::NoDns => write!(f, "no DNS A record"),
+            GrabFailure::Refused => write!(f, "connection refused"),
+            GrabFailure::Timeout => write!(f, "timed out after retries"),
+            GrabFailure::UnknownHost => write!(f, "endpoint does not serve this SNI"),
+            GrabFailure::TlsFailed(e) => write!(f, "TLS handshake failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GrabFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GrabFailure::TlsFailed(e) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 /// Everything one successful connection reveals.
@@ -146,12 +272,16 @@ impl<'a> Scanner<'a> {
     /// Perform one grab of `domain` at virtual time `now`.
     pub fn grab(&mut self, domain: &str, now: u64, options: &GrabOptions) -> Grab {
         if self.pop.blacklist.contains(domain) {
-            return Grab { domain: domain.into(), ip: None, outcome: Err(GrabFailure::Blacklisted) };
+            let outcome = Err(GrabFailure::Blacklisted);
+            record_grab(&outcome, 0);
+            return Grab { domain: domain.into(), ip: None, outcome };
         }
         let ip = match self.pop.dns.resolve(domain, &mut self.rng) {
             Some(ip) => ip,
             None => {
-                return Grab { domain: domain.into(), ip: None, outcome: Err(GrabFailure::NoDns) }
+                let outcome = Err(GrabFailure::NoDns);
+                record_grab(&outcome, 0);
+                return Grab { domain: domain.into(), ip: None, outcome };
             }
         };
         self.grab_ip(domain, ip, now, options)
@@ -160,26 +290,25 @@ impl<'a> Scanner<'a> {
     /// Grab a specific IP with a given SNI (the cross-domain experiments
     /// pick the address explicitly).
     pub fn grab_ip(&mut self, sni: &str, ip: Ip, now: u64, options: &GrabOptions) -> Grab {
-        let mut last_err = GrabFailure::Timeout;
+        let mut attempts = 0u32;
+        let finish = |outcome: Result<Observation, GrabFailure>, attempts: u32| {
+            record_grab(&outcome, attempts);
+            Grab { domain: sni.into(), ip: Some(ip), outcome }
+        };
         for _attempt in 0..=options.retries {
+            attempts += 1;
             let mut cfg = ClientConfig::new(self.pop.root_store.clone(), sni, now);
             cfg.suites = options.suites.suites();
             cfg.verify_certs = !options.permissive;
             cfg.resumption = ResumptionOffer {
-                session: options.resume_session.clone(),
-                ticket: options.resume_ticket.clone(),
+                session: options.sid_resume.clone(),
+                ticket: options.ticket_resume.clone(),
             };
             match self.pop.net.connect(ip, cfg, now, &mut self.rng) {
                 Ok(conn) => {
                     let summary = match conn.client.summary() {
                         Ok(s) => s,
-                        Err(e) => {
-                            return Grab {
-                                domain: sni.into(),
-                                ip: Some(ip),
-                                outcome: Err(GrabFailure::TlsFailed(e.to_string())),
-                            }
-                        }
+                        Err(e) => return finish(Err(GrabFailure::TlsFailed(e)), attempts),
                     };
                     let trusted = matches!(summary.trust, Some(Ok(()))) || summary.resumed.is_some();
                     let stek_id = summary.new_ticket.as_ref().map(|nst| {
@@ -190,10 +319,8 @@ impl<'a> Scanner<'a> {
                     });
                     let kex_value_fp =
                         summary.server_kex_public.as_ref().map(|v| fingerprint_hex(v));
-                    return Grab {
-                        domain: sni.into(),
-                        ip: Some(ip),
-                        outcome: Ok(Observation {
+                    return finish(
+                        Ok(Observation {
                             cipher_suite: summary.cipher_suite,
                             trusted,
                             session_id: summary.server_session_id.clone(),
@@ -203,32 +330,22 @@ impl<'a> Scanner<'a> {
                             kex_value_fp,
                             session: summary.session.clone(),
                         }),
-                    };
+                        attempts,
+                    );
                 }
-                Err(ConnectError::Timeout) => {
-                    last_err = GrabFailure::Timeout;
-                    continue;
-                }
+                Err(ConnectError::Timeout) => continue,
                 Err(ConnectError::Refused) => {
-                    return Grab { domain: sni.into(), ip: Some(ip), outcome: Err(GrabFailure::Refused) }
+                    return finish(Err(GrabFailure::Refused), attempts);
                 }
                 Err(ConnectError::UnknownHost) => {
-                    return Grab {
-                        domain: sni.into(),
-                        ip: Some(ip),
-                        outcome: Err(GrabFailure::UnknownHost),
-                    }
+                    return finish(Err(GrabFailure::UnknownHost), attempts);
                 }
                 Err(ConnectError::Tls(e)) => {
-                    return Grab {
-                        domain: sni.into(),
-                        ip: Some(ip),
-                        outcome: Err(GrabFailure::TlsFailed(e.to_string())),
-                    }
+                    return finish(Err(GrabFailure::TlsFailed(e)), attempts);
                 }
             }
         }
-        Grab { domain: sni.into(), ip: Some(ip), outcome: Err(last_err) }
+        finish(Err(GrabFailure::Timeout), attempts)
     }
 }
 
@@ -315,7 +432,7 @@ mod tests {
             .find(|t| t.operator.as_deref() == Some("cirrusflare"))
             .expect("cdn domain");
         let mut s = Scanner::new(p, "dhe-test");
-        let opts = GrabOptions { suites: SuiteOffer::DheOnly, ..Default::default() };
+        let opts = GrabOptions::new().suites(SuiteOffer::DheOnly);
         let g = s.grab(&cdn.name, 1000, &opts);
         assert!(
             matches!(g.outcome, Err(GrabFailure::TlsFailed(_))),
@@ -331,10 +448,7 @@ mod tests {
         let g1 = s.grab("yahoo.sim", 2000, &GrabOptions::default());
         let obs1 = g1.ok().expect("first grab").clone();
         let nst = obs1.ticket.expect("ticket issued");
-        let opts = GrabOptions {
-            resume_ticket: Some((nst.ticket, obs1.session.clone())),
-            ..Default::default()
-        };
+        let opts = GrabOptions::new().resume_ticket(nst.ticket, obs1.session.clone());
         let g2 = s.grab("yahoo.sim", 2001, &opts);
         let obs2 = g2.ok().expect("second grab");
         assert_eq!(obs2.resumed, Some(ResumeKind::Ticket));
@@ -347,10 +461,8 @@ mod tests {
         let g1 = s.grab("netflix.sim", 2000, &GrabOptions::default());
         let obs1 = g1.ok().expect("first grab").clone();
         assert!(!obs1.session_id.is_empty());
-        let opts = GrabOptions {
-            resume_session: Some((obs1.session_id.clone(), obs1.session.clone())),
-            ..Default::default()
-        };
+        let opts =
+            GrabOptions::new().resume_session(obs1.session_id.clone(), obs1.session.clone());
         let g2 = s.grab("netflix.sim", 2001, &opts);
         let obs2 = g2.ok().expect("second grab");
         assert_eq!(obs2.resumed, Some(ResumeKind::SessionId));

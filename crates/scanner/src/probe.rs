@@ -7,29 +7,72 @@
 
 use crate::grab::{GrabOptions, Scanner};
 use ts_core::observations::{ResumptionMechanism, ResumptionProbe};
+use ts_telemetry::{Counter, Histogram};
 use ts_tls::server::ResumeKind;
 
+static PROBE_SESSION_ID: Counter = Counter::new("scanner.probe.session_id");
+static PROBE_TICKET: Counter = Counter::new("scanner.probe.ticket");
+static PROBE_MAX_DELAY: Histogram =
+    Histogram::new("scanner.probe.max_delay_secs", &[1, 300, 3_600, 21_600, 86_400]);
+
 /// Probe schedule. The paper's: 1 s, then every 300 s to 86,400 s.
+///
+/// Construct with [`ProbeSchedule::new`] (paper defaults) or
+/// [`ProbeSchedule::coarse`], then chain setters:
+///
+/// ```
+/// use ts_scanner::ProbeSchedule;
+/// let fast = ProbeSchedule::new().step(600).horizon(3_600);
+/// ```
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct ProbeSchedule {
-    /// First retry offset (seconds).
-    pub first: u64,
-    /// Step between subsequent retries.
-    pub step: u64,
-    /// Stop once delays exceed this horizon.
-    pub horizon: u64,
+    pub(crate) first: u64,
+    pub(crate) step: u64,
+    pub(crate) horizon: u64,
 }
 
 impl Default for ProbeSchedule {
     fn default() -> Self {
-        ProbeSchedule { first: 1, step: 300, horizon: 86_400 }
+        Self::new()
     }
 }
 
 impl ProbeSchedule {
+    /// The paper's schedule: 1 s, then every 300 s up to 86,400 s.
+    pub fn new() -> Self {
+        ProbeSchedule { first: 1, step: 300, horizon: 86_400 }
+    }
+
     /// A coarse schedule for tests / fast runs.
     pub fn coarse(step: u64, horizon: u64) -> Self {
         ProbeSchedule { first: 1, step, horizon }
+    }
+
+    /// First retry offset (seconds).
+    #[must_use]
+    pub fn first(mut self, secs: u64) -> Self {
+        self.first = secs;
+        self
+    }
+
+    /// Step between subsequent retries (seconds).
+    #[must_use]
+    pub fn step(mut self, secs: u64) -> Self {
+        self.step = secs;
+        self
+    }
+
+    /// Stop once delays exceed this horizon (seconds).
+    #[must_use]
+    pub fn horizon(mut self, secs: u64) -> Self {
+        self.horizon = secs;
+        self
+    }
+
+    /// The first retry offset (the `resumed_at_1s` delay).
+    pub fn first_delay(&self) -> u64 {
+        self.first
     }
 
     /// The delays probed, in order.
@@ -52,7 +95,8 @@ pub fn probe_session_id(
     t0: u64,
     schedule: &ProbeSchedule,
 ) -> ResumptionProbe {
-    let initial = scanner.grab(domain, t0, &GrabOptions::default());
+    PROBE_SESSION_ID.inc();
+    let initial = scanner.grab(domain, t0, &GrabOptions::new());
     let obs = match initial.ok() {
         Some(o) => o.clone(),
         None => {
@@ -71,10 +115,8 @@ pub fn probe_session_id(
     let mut resumed_at_1s = false;
     if supported {
         for delay in schedule.delays() {
-            let opts = GrabOptions {
-                resume_session: Some((obs.session_id.clone(), obs.session.clone())),
-                ..Default::default()
-            };
+            let opts =
+                GrabOptions::new().resume_session(obs.session_id.clone(), obs.session.clone());
             let g = scanner.grab(domain, t0 + delay, &opts);
             let resumed = g
                 .ok()
@@ -89,6 +131,9 @@ pub fn probe_session_id(
                 break;
             }
         }
+    }
+    if let Some(d) = max_delay {
+        PROBE_MAX_DELAY.observe(d);
     }
     ResumptionProbe {
         domain: domain.into(),
@@ -107,7 +152,8 @@ pub fn probe_ticket(
     t0: u64,
     schedule: &ProbeSchedule,
 ) -> ResumptionProbe {
-    let initial = scanner.grab(domain, t0, &GrabOptions::default());
+    PROBE_TICKET.inc();
+    let initial = scanner.grab(domain, t0, &GrabOptions::new());
     let obs = match initial.ok() {
         Some(o) => o.clone(),
         None => {
@@ -138,10 +184,8 @@ pub fn probe_ticket(
     let mut resumed_at_1s = false;
     for delay in schedule.delays() {
         // Always the ORIGINAL ticket, ignoring reissues (§4.2).
-        let opts = GrabOptions {
-            resume_ticket: Some((original_ticket.ticket.clone(), obs.session.clone())),
-            ..Default::default()
-        };
+        let opts =
+            GrabOptions::new().resume_ticket(original_ticket.ticket.clone(), obs.session.clone());
         let g = scanner.grab(domain, t0 + delay, &opts);
         let resumed = g
             .ok()
@@ -155,6 +199,9 @@ pub fn probe_ticket(
         } else {
             break;
         }
+    }
+    if let Some(d) = max_delay {
+        PROBE_MAX_DELAY.observe(d);
     }
     ResumptionProbe {
         domain: domain.into(),

@@ -10,6 +10,10 @@
 use crate::addr::Ip;
 use std::collections::HashMap;
 use ts_crypto::drbg::HmacDrbg;
+use ts_telemetry::{emit, Counter, Event};
+
+static DNS_HIT: Counter = Counter::new("simnet.dns.hit");
+static DNS_MISS: Counter = Counter::new("simnet.dns.miss");
 
 /// The simulation's DNS zone.
 #[derive(Debug, Default)]
@@ -45,7 +49,18 @@ impl Dns {
 
     /// Resolve one A record, picking uniformly — the per-query jitter.
     pub fn resolve(&self, domain: &str, rng: &mut HmacDrbg) -> Option<Ip> {
-        let ips = self.lookup_all(domain)?;
+        let ips = match self.lookup_all(domain) {
+            Some(ips) => {
+                DNS_HIT.inc();
+                emit(Event::DnsLookup { hit: true });
+                ips
+            }
+            None => {
+                DNS_MISS.inc();
+                emit(Event::DnsLookup { hit: false });
+                return None;
+            }
+        };
         Some(ips[rng.gen_range(ips.len() as u64) as usize])
     }
 

@@ -11,9 +11,22 @@ use crate::addr::Ip;
 use std::collections::HashMap;
 use std::sync::Arc;
 use ts_crypto::drbg::HmacDrbg;
+use ts_telemetry::{emit, Counter, Event};
 use ts_tls::config::{ClientConfig, ServerConfig};
 use ts_tls::pump::{pump, WireCapture};
 use ts_tls::{ClientConn, ServerConn, TlsError};
+
+static CONNECT_ATTEMPTS: Counter = Counter::new("simnet.connect.attempts");
+static CONNECT_OK: Counter = Counter::new("simnet.connect.ok");
+static CONNECT_REFUSED: Counter = Counter::new("simnet.connect.refused");
+static CONNECT_FLAKY_DROP: Counter = Counter::new("simnet.connect.flaky_drop");
+static CONNECT_UNKNOWN_SNI: Counter = Counter::new("simnet.connect.unknown_sni");
+static CONNECT_TLS_FAIL: Counter = Counter::new("simnet.connect.tls_fail");
+
+fn count_outcome(counter: &'static Counter, outcome: &'static str) {
+    counter.inc();
+    emit(Event::ConnectAttempt { outcome });
+}
 
 /// Something listening on TCP/443 at an IP.
 pub trait TlsResponder: Send + Sync {
@@ -126,26 +139,46 @@ impl SimNet {
         now: u64,
         rng: &mut HmacDrbg,
     ) -> Result<Connection, ConnectError> {
-        let responder = self.responders.get(&ip).ok_or(ConnectError::Refused)?;
+        CONNECT_ATTEMPTS.inc();
+        let responder = match self.responders.get(&ip) {
+            Some(r) => r,
+            None => {
+                count_outcome(&CONNECT_REFUSED, "refused");
+                return Err(ConnectError::Refused);
+            }
+        };
         let p_fail = self
             .flakiness
             .get(&ip)
             .copied()
             .unwrap_or(self.default_flakiness);
         if p_fail > 0.0 && rng.gen_bool(p_fail) {
+            count_outcome(&CONNECT_FLAKY_DROP, "flaky-drop");
             return Err(ConnectError::Timeout);
         }
-        let server_config = responder
-            .server_config(&client_config.server_name, now)
-            .ok_or(ConnectError::UnknownHost)?;
+        let server_config = match responder.server_config(&client_config.server_name, now) {
+            Some(cfg) => cfg,
+            None => {
+                count_outcome(&CONNECT_UNKNOWN_SNI, "unknown-sni");
+                return Err(ConnectError::UnknownHost);
+            }
+        };
         let client_rng = rng.fork("client");
         let server_rng = rng.fork("server");
         let mut client = ClientConn::new(client_config, client_rng);
         let mut server = ServerConn::new(server_config, server_rng, now);
-        let result = pump(&mut client, &mut server).map_err(ConnectError::Tls)?;
+        let result = match pump(&mut client, &mut server) {
+            Ok(r) => r,
+            Err(e) => {
+                count_outcome(&CONNECT_TLS_FAIL, "tls-fail");
+                return Err(ConnectError::Tls(e));
+            }
+        };
         if !client.is_established() || !server.is_established() {
+            count_outcome(&CONNECT_TLS_FAIL, "tls-fail");
             return Err(ConnectError::Tls(TlsError::NotReady));
         }
+        count_outcome(&CONNECT_OK, "ok");
         Ok(Connection { client, server, capture: result.capture })
     }
 }

@@ -1,0 +1,146 @@
+//! Snapshot (de)serialization through `ts_core::json`.
+//!
+//! Two forms: the *deterministic* form (no wall-clock data) used by
+//! `repro --telemetry-json` — byte-identical across runs at the same seed
+//! — and the *full* form carrying wall nanoseconds for perf trajectories.
+
+use ts_core::json::{Json, JsonError};
+
+use crate::registry::{CounterSnapshot, HistogramSnapshot, Snapshot, SpanSnapshot};
+
+fn uints(values: &[u64]) -> Json {
+    Json::Array(values.iter().map(|&v| Json::uint(v)).collect())
+}
+
+fn parse_uints(v: &Json) -> Result<Vec<u64>, JsonError> {
+    v.as_array()?.iter().map(|x| x.as_u64()).collect()
+}
+
+impl Snapshot {
+    /// Serialize. `include_wall` adds the nondeterministic wall-clock
+    /// totals; leave it `false` for byte-identical archives.
+    pub fn to_json(&self, include_wall: bool) -> Json {
+        let counters = Json::Array(
+            self.counters
+                .iter()
+                .map(|c| {
+                    Json::obj(vec![
+                        ("name", Json::str(&c.name)),
+                        ("value", Json::uint(c.value)),
+                    ])
+                })
+                .collect(),
+        );
+        let histograms = Json::Array(
+            self.histograms
+                .iter()
+                .map(|h| {
+                    Json::obj(vec![
+                        ("name", Json::str(&h.name)),
+                        ("bounds", uints(&h.bounds)),
+                        ("buckets", uints(&h.buckets)),
+                        ("count", Json::uint(h.count)),
+                        ("sum", Json::uint(h.sum)),
+                    ])
+                })
+                .collect(),
+        );
+        let spans = Json::Array(
+            self.spans
+                .iter()
+                .map(|s| {
+                    let mut pairs = vec![
+                        ("name", Json::str(&s.name)),
+                        ("count", Json::uint(s.count)),
+                        ("virtual_secs", Json::uint(s.virtual_secs)),
+                    ];
+                    if include_wall {
+                        pairs.push(("wall_nanos", Json::uint(s.wall_nanos)));
+                    }
+                    Json::obj(pairs)
+                })
+                .collect(),
+        );
+        Json::obj(vec![
+            ("counters", counters),
+            ("histograms", histograms),
+            ("spans", spans),
+        ])
+    }
+
+    /// Parse a snapshot back (wall totals default to 0 when absent, as in
+    /// the deterministic form).
+    pub fn from_json(v: &Json) -> Result<Snapshot, JsonError> {
+        let mut snap = Snapshot::default();
+        for c in v.field("counters")?.as_array()? {
+            snap.counters.push(CounterSnapshot {
+                name: c.field("name")?.as_str()?.to_string(),
+                value: c.field("value")?.as_u64()?,
+            });
+        }
+        for h in v.field("histograms")?.as_array()? {
+            snap.histograms.push(HistogramSnapshot {
+                name: h.field("name")?.as_str()?.to_string(),
+                bounds: parse_uints(h.field("bounds")?)?,
+                buckets: parse_uints(h.field("buckets")?)?,
+                count: h.field("count")?.as_u64()?,
+                sum: h.field("sum")?.as_u64()?,
+            });
+        }
+        for s in v.field("spans")?.as_array()? {
+            snap.spans.push(SpanSnapshot {
+                name: s.field("name")?.as_str()?.to_string(),
+                count: s.field("count")?.as_u64()?,
+                virtual_secs: s.field("virtual_secs")?.as_u64()?,
+                wall_nanos: match s.get("wall_nanos") {
+                    Some(w) => w.as_u64()?,
+                    None => 0,
+                },
+            });
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            counters: vec![CounterSnapshot { name: "a.ok".into(), value: 7 }],
+            histograms: vec![HistogramSnapshot {
+                name: "a.delays".into(),
+                bounds: vec![1, 300],
+                buckets: vec![2, 1, 0],
+                count: 3,
+                sum: 302,
+            }],
+            spans: vec![SpanSnapshot {
+                name: "a.scan".into(),
+                count: 1,
+                virtual_secs: 3_600,
+                wall_nanos: 123_456,
+            }],
+        }
+    }
+
+    #[test]
+    fn full_form_round_trips() {
+        let snap = sample();
+        let text = snap.to_json(true).to_json_string();
+        let back = Snapshot::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn deterministic_form_omits_wall() {
+        let snap = sample();
+        let text = snap.to_json(false).to_json_string();
+        assert!(!text.contains("wall_nanos"));
+        let back = Snapshot::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.spans[0].wall_nanos, 0);
+        assert_eq!(back.spans[0].virtual_secs, 3_600);
+        assert_eq!(back.counters, snap.counters);
+    }
+}

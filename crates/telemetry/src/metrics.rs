@@ -1,0 +1,264 @@
+//! Sharded counters and fixed-bucket histograms.
+//!
+//! Both metric kinds keep one atomic cell (or cell row) per *shard*;
+//! threads are assigned shards round-robin, so `parallel_map` workers
+//! rarely touch the same cache line. All writes are `Relaxed` — the
+//! values are tallies, not synchronization — and reads merge the shards.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use crate::registry::{self, MetricRef};
+
+/// Number of write shards per metric. Small enough that merging is cheap,
+/// large enough that a typical worker pool spreads out.
+pub const SHARDS: usize = 8;
+
+/// Cache-line-sized counter cell so neighbouring shards don't false-share.
+#[repr(align(64))]
+struct PaddedCell(AtomicU64);
+
+impl PaddedCell {
+    const fn zero() -> Self {
+        PaddedCell(AtomicU64::new(0))
+    }
+}
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static MY_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// The shard this thread writes to (assigned round-robin on first use).
+fn shard_index() -> usize {
+    MY_SHARD.with(|s| {
+        let mut idx = s.get();
+        if idx == usize::MAX {
+            idx = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            s.set(idx);
+        }
+        idx
+    })
+}
+
+/// A static-named monotonic counter.
+///
+/// Declare as a `static` and bump with [`Counter::inc`] / [`Counter::add`]:
+///
+/// ```
+/// use ts_telemetry::Counter;
+/// static CONNECTS: Counter = Counter::new("example.connects");
+/// CONNECTS.inc();
+/// assert_eq!(CONNECTS.value(), 1);
+/// ```
+pub struct Counter {
+    name: &'static str,
+    registered: AtomicBool,
+    cells: [PaddedCell; SHARDS],
+}
+
+impl Counter {
+    /// A new zeroed counter (const, so it can initialize a `static`).
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            registered: AtomicBool::new(false),
+            cells: [const { PaddedCell::zero() }; SHARDS],
+        }
+    }
+
+    /// The counter's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&'static self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        self.ensure_registered();
+        self.cells[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total, merged across shards.
+    pub fn value(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|c| c.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn ensure_registered(&'static self) {
+        if !self.registered.load(Ordering::Relaxed)
+            && !self.registered.swap(true, Ordering::AcqRel)
+        {
+            registry::register(MetricRef::Counter(self));
+        }
+    }
+}
+
+/// Maximum number of bucket bounds a histogram may declare (the per-shard
+/// bucket rows are fixed-size arrays; slot `bounds.len()` is the overflow
+/// bucket).
+pub(crate) const MAX_BOUNDS: usize = 15;
+
+struct HistShard {
+    // buckets[i] counts observations <= bounds[i]; buckets[bounds.len()]
+    // is the overflow bucket.
+    buckets: [AtomicU64; MAX_BOUNDS + 1],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistShard {
+    const fn zero() -> Self {
+        HistShard {
+            buckets: [const { AtomicU64::new(0) }; MAX_BOUNDS + 1],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A static-named fixed-bucket histogram over `u64` values.
+///
+/// Bounds are inclusive upper edges in ascending order; values above the
+/// last bound land in an implicit overflow bucket.
+///
+/// ```
+/// use ts_telemetry::Histogram;
+/// static DELAYS: Histogram = Histogram::new("example.delays", &[1, 300, 3_600]);
+/// DELAYS.observe(250);
+/// ```
+pub struct Histogram {
+    name: &'static str,
+    bounds: &'static [u64],
+    registered: AtomicBool,
+    cells: [HistShard; SHARDS],
+}
+
+impl Histogram {
+    /// A new zeroed histogram (const; panics at compile time when used to
+    /// initialize a `static` with too many or unsorted bounds).
+    pub const fn new(name: &'static str, bounds: &'static [u64]) -> Self {
+        assert!(bounds.len() <= MAX_BOUNDS, "too many histogram bounds");
+        let mut i = 1;
+        while i < bounds.len() {
+            assert!(bounds[i - 1] < bounds[i], "histogram bounds must ascend");
+            i += 1;
+        }
+        Histogram {
+            name,
+            bounds,
+            registered: AtomicBool::new(false),
+            cells: [const { HistShard::zero() }; SHARDS],
+        }
+    }
+
+    /// The histogram's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The configured bucket bounds.
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+
+    /// Record one observation.
+    pub fn observe(&'static self, v: u64) {
+        self.ensure_registered();
+        let shard = &self.cells[shard_index()];
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        shard.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        shard.count.fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total observations, merged across shards.
+    pub fn count(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|c| c.count.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Sum of observed values, merged across shards.
+    pub fn sum(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|c| c.sum.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Per-bucket counts (`bounds.len() + 1` entries; last is overflow).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        (0..=self.bounds.len())
+            .map(|i| {
+                self.cells
+                    .iter()
+                    .map(|c| c.buckets[i].load(Ordering::Relaxed))
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn ensure_registered(&'static self) {
+        if !self.registered.load(Ordering::Relaxed)
+            && !self.registered.swap(true, Ordering::AcqRel)
+        {
+            registry::register(MetricRef::Histogram(self));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        static C: Counter = Counter::new("test.metrics.counter_threads");
+        let before = C.value();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1_000 {
+                        C.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(C.value() - before, 4_000);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        static H: Histogram = Histogram::new("test.metrics.hist", &[10, 100]);
+        H.observe(5);
+        H.observe(10);
+        H.observe(99);
+        H.observe(1_000);
+        assert_eq!(H.count(), 4);
+        assert_eq!(H.sum(), 5 + 10 + 99 + 1_000);
+        assert_eq!(H.bucket_counts(), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn counter_add_bulk() {
+        static C: Counter = Counter::new("test.metrics.counter_add");
+        C.add(41);
+        C.inc();
+        assert_eq!(C.value(), 42);
+    }
+}

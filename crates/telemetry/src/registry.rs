@@ -1,0 +1,221 @@
+//! The global metric registry and point-in-time snapshots.
+//!
+//! Metrics self-register on first touch, so a snapshot contains exactly
+//! the metrics the run exercised. Snapshots sort by name and merge all
+//! shards, making them a pure function of the work performed — the basis
+//! of the byte-identical `repro --telemetry-json` guarantee.
+
+use std::sync::Mutex;
+
+use crate::metrics::{Counter, Histogram};
+use crate::span::SpanStat;
+
+/// A registered metric (statics only, hence `'static`).
+pub(crate) enum MetricRef {
+    Counter(&'static Counter),
+    Histogram(&'static Histogram),
+    Span(&'static SpanStat),
+}
+
+static REGISTRY: Mutex<Vec<MetricRef>> = Mutex::new(Vec::new());
+
+pub(crate) fn register(m: MetricRef) {
+    REGISTRY.lock().expect("telemetry registry poisoned").push(m);
+}
+
+/// One counter's merged state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Registry name.
+    pub name: String,
+    /// Merged total.
+    pub value: u64,
+}
+
+/// One histogram's merged state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Registry name.
+    pub name: String,
+    /// Inclusive upper bucket edges.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; `bounds.len() + 1` entries, last is overflow.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+/// One span timer's merged state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Registry name.
+    pub name: String,
+    /// Completed spans.
+    pub count: u64,
+    /// Total virtual-clock seconds across spans (deterministic).
+    pub virtual_secs: u64,
+    /// Total wall-clock nanoseconds across spans (NOT deterministic; never
+    /// part of the deterministic JSON form).
+    pub wall_nanos: u64,
+}
+
+/// A point-in-time merge of every registered metric, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// All touched counters.
+    pub counters: Vec<CounterSnapshot>,
+    /// All touched histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// All touched span timers.
+    pub spans: Vec<SpanSnapshot>,
+}
+
+/// Capture the current state of every registered metric.
+pub fn snapshot() -> Snapshot {
+    let reg = REGISTRY.lock().expect("telemetry registry poisoned");
+    let mut snap = Snapshot::default();
+    for m in reg.iter() {
+        match m {
+            MetricRef::Counter(c) => snap.counters.push(CounterSnapshot {
+                name: c.name().to_string(),
+                value: c.value(),
+            }),
+            MetricRef::Histogram(h) => snap.histograms.push(HistogramSnapshot {
+                name: h.name().to_string(),
+                bounds: h.bounds().to_vec(),
+                buckets: h.bucket_counts(),
+                count: h.count(),
+                sum: h.sum(),
+            }),
+            MetricRef::Span(s) => snap.spans.push(SpanSnapshot {
+                name: s.name().to_string(),
+                count: s.count(),
+                virtual_secs: s.virtual_secs(),
+                wall_nanos: s.wall_nanos(),
+            }),
+        }
+    }
+    drop(reg);
+    snap.counters.sort_by(|a, b| a.name.cmp(&b.name));
+    snap.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    snap.spans.sort_by(|a, b| a.name.cmp(&b.name));
+    snap
+}
+
+impl Snapshot {
+    /// Lookup a counter total by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+            .unwrap_or(0)
+    }
+
+    /// The difference `self - base`, dropping metrics that did not move.
+    ///
+    /// Metrics are global and monotone, so tests isolate their own
+    /// contribution by snapshotting before and after and diffing.
+    pub fn delta_since(&self, base: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|c| CounterSnapshot {
+                name: c.name.clone(),
+                value: c.value - base.counter(&c.name),
+            })
+            .filter(|c| c.value != 0)
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .filter_map(|h| {
+                let base_h = base.histograms.iter().find(|b| b.name == h.name);
+                let (bc, bs, bb) = match base_h {
+                    Some(b) => (b.count, b.sum, b.buckets.as_slice()),
+                    None => (0, 0, &[] as &[u64]),
+                };
+                let buckets: Vec<u64> = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| v - bb.get(i).copied().unwrap_or(0))
+                    .collect();
+                (h.count != bc).then(|| HistogramSnapshot {
+                    name: h.name.clone(),
+                    bounds: h.bounds.clone(),
+                    buckets,
+                    count: h.count - bc,
+                    sum: h.sum - bs,
+                })
+            })
+            .collect();
+        let spans = self
+            .spans
+            .iter()
+            .filter_map(|s| {
+                let base_s = base.spans.iter().find(|b| b.name == s.name);
+                let (bc, bv, bw) = match base_s {
+                    Some(b) => (b.count, b.virtual_secs, b.wall_nanos),
+                    None => (0, 0, 0),
+                };
+                (s.count != bc).then(|| SpanSnapshot {
+                    name: s.name.clone(),
+                    count: s.count - bc,
+                    virtual_secs: s.virtual_secs - bv,
+                    wall_nanos: s.wall_nanos.saturating_sub(bw),
+                })
+            })
+            .collect();
+        Snapshot { counters, histograms, spans }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Counter, Histogram};
+
+    #[test]
+    fn snapshot_sees_touched_metrics_sorted() {
+        static B: Counter = Counter::new("test.sorted.b");
+        static A: Counter = Counter::new("test.sorted.a");
+        B.inc();
+        A.inc();
+        let snap = snapshot();
+        let names: Vec<&str> = snap
+            .counters
+            .iter()
+            .map(|c| c.name.as_str())
+            .filter(|n| n.starts_with("test.sorted."))
+            .collect();
+        assert_eq!(names, vec!["test.sorted.a", "test.sorted.b"]);
+        assert!(snap.counter("test.sorted.a") >= 1);
+        assert_eq!(snap.counter("test.sorted.never-touched"), 0);
+    }
+
+    #[test]
+    fn delta_drops_unmoved_metrics() {
+        static C: Counter = Counter::new("test.registry.delta");
+        static H: Histogram = Histogram::new("test.registry.delta_hist", &[10]);
+        C.inc(); // ensure registered
+        H.observe(3);
+        let base = snapshot();
+        let quiet = snapshot().delta_since(&base);
+        assert!(quiet.counters.iter().all(|c| c.name != "test.registry.delta"));
+        C.add(5);
+        H.observe(42);
+        let moved = snapshot().delta_since(&base);
+        assert_eq!(moved.counter("test.registry.delta"), 5);
+        let h = moved
+            .histograms
+            .iter()
+            .find(|h| h.name == "test.registry.delta_hist")
+            .expect("histogram delta present");
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 42);
+        assert_eq!(h.buckets, vec![0, 1]);
+    }
+}

@@ -1,0 +1,153 @@
+//! The per-connection event stream.
+//!
+//! Counters answer "how many"; the sink answers "what happened, in
+//! order". Nothing is installed by default, and the disabled path is a
+//! single relaxed atomic load, so instrumented code pays nothing unless a
+//! consumer opts in (the Sy et al. style resumption-tracking studies in
+//! PAPERS.md are exactly such consumers).
+//!
+//! Events carry only `Copy` scalars and `&'static str` labels — the
+//! no-secret-bytes rule. Session IDs, tickets, and key material never
+//! enter an [`Event`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One observable moment in the scan pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Event {
+    /// `SimNet::connect` resolved to an outcome
+    /// (`ok` / `refused` / `flaky-drop` / `unknown-sni` / `tls-fail`).
+    ConnectAttempt {
+        /// Outcome label.
+        outcome: &'static str,
+    },
+    /// A DNS A-record query resolved (or not).
+    DnsLookup {
+        /// Did the zone know the name?
+        hit: bool,
+    },
+    /// The server accepted a resumption offer.
+    ResumptionHit {
+        /// `"ticket"` or `"session-id"`.
+        kind: &'static str,
+    },
+    /// The server declined a resumption offer and fell back to a full
+    /// handshake.
+    ResumptionMiss {
+        /// `"ticket"` or `"session-id"`.
+        kind: &'static str,
+    },
+    /// The server issued a NewSessionTicket.
+    TicketIssued {
+        /// True when issued during an (already resumed) handshake.
+        reissue: bool,
+        /// The advertised lifetime hint (cleartext on the wire).
+        lifetime_hint: u32,
+    },
+    /// A STEK manager rotated to a fresh key.
+    StekRotation {
+        /// Virtual time of the rotation.
+        now: u64,
+    },
+    /// The server sent a fatal alert.
+    AlertSent {
+        /// TLS alert description code (cleartext on the wire).
+        code: u8,
+    },
+    /// One scanner grab concluded.
+    GrabOutcome {
+        /// `"ok"` or the `GrabFailure` class label.
+        class: &'static str,
+        /// Connection attempts spent (1 + retries used).
+        attempts: u32,
+    },
+    /// One campaign day finished scanning.
+    CampaignDay {
+        /// The day index.
+        day: u64,
+    },
+}
+
+/// A consumer of [`Event`]s. Implementations must be cheap and
+/// thread-safe: events fire from inside `parallel_map` workers.
+pub trait TelemetrySink: Send + Sync {
+    /// Observe one event. The default is a no-op, so implementations can
+    /// subscribe to just the variants they care about.
+    fn record(&self, event: Event) {
+        let _ = event;
+    }
+}
+
+/// The do-nothing sink (what you get semantically when none is installed).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TelemetrySink for NoopSink {}
+
+static SINK_ACTIVE: AtomicBool = AtomicBool::new(false);
+static SINK: RwLock<Option<Arc<dyn TelemetrySink>>> = RwLock::new(None);
+
+/// Deliver an event to the installed sink, if any.
+#[inline]
+pub fn emit(event: Event) {
+    if SINK_ACTIVE.load(Ordering::Relaxed) {
+        if let Ok(guard) = SINK.read() {
+            if let Some(sink) = guard.as_ref() {
+                sink.record(event);
+            }
+        }
+    }
+}
+
+/// Install a global sink (replaces any previous one).
+pub fn set_sink(sink: Arc<dyn TelemetrySink>) {
+    *SINK.write().expect("telemetry sink lock") = Some(sink);
+    SINK_ACTIVE.store(true, Ordering::SeqCst);
+}
+
+/// Remove the installed sink, restoring the free disabled path.
+pub fn clear_sink() {
+    SINK_ACTIVE.store(false, Ordering::SeqCst);
+    *SINK.write().expect("telemetry sink lock") = None;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    struct Recorder(Mutex<Vec<Event>>);
+
+    impl TelemetrySink for Recorder {
+        fn record(&self, event: Event) {
+            self.0.lock().unwrap().push(event);
+        }
+    }
+
+    #[test]
+    fn events_reach_installed_sink_and_stop_after_clear() {
+        let rec = Arc::new(Recorder(Mutex::new(Vec::new())));
+        emit(Event::DnsLookup { hit: true }); // no sink: dropped
+        set_sink(rec.clone());
+        emit(Event::ConnectAttempt { outcome: "ok" });
+        emit(Event::StekRotation { now: 86_400 });
+        clear_sink();
+        emit(Event::DnsLookup { hit: false }); // dropped again
+        let seen = rec.0.lock().unwrap().clone();
+        assert_eq!(
+            seen,
+            vec![
+                Event::ConnectAttempt { outcome: "ok" },
+                Event::StekRotation { now: 86_400 },
+            ]
+        );
+    }
+
+    #[test]
+    fn default_trait_method_is_noop() {
+        // NoopSink relies entirely on the default method body.
+        NoopSink.record(Event::CampaignDay { day: 1 });
+    }
+}

@@ -1,0 +1,138 @@
+//! Span timers: wall-clock *and* virtual-clock durations.
+//!
+//! The simulation runs on a virtual clock (`u64` seconds), so an
+//! experiment has two durations: how long the simulated world took
+//! (deterministic — part of snapshots' comparable payload) and how long
+//! the host machine took (useful, but excluded from deterministic
+//! serialization).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::registry::{self, MetricRef};
+
+/// A static-named span timer.
+///
+/// ```
+/// use ts_telemetry::SpanStat;
+/// static SCAN: SpanStat = SpanStat::new("example.scan");
+/// let span = SCAN.start(1_000); // virtual start time
+/// // ... do the work ...
+/// span.finish(4_600); // virtual end time: records 3600 virtual seconds
+/// ```
+pub struct SpanStat {
+    name: &'static str,
+    registered: AtomicBool,
+    count: AtomicU64,
+    virtual_secs: AtomicU64,
+    wall_nanos: AtomicU64,
+}
+
+impl SpanStat {
+    /// A new zeroed span timer (const, for `static` initializers).
+    pub const fn new(name: &'static str) -> Self {
+        SpanStat {
+            name,
+            registered: AtomicBool::new(false),
+            count: AtomicU64::new(0),
+            virtual_secs: AtomicU64::new(0),
+            wall_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// The timer's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Begin a span at virtual time `virtual_now`.
+    pub fn start(&'static self, virtual_now: u64) -> SpanGuard {
+        SpanGuard {
+            stat: self,
+            wall_start: Instant::now(),
+            virtual_start: virtual_now,
+            finished: false,
+        }
+    }
+
+    /// Record one completed span directly.
+    pub fn record(&'static self, virtual_elapsed: u64, wall_nanos: u64) {
+        if !self.registered.load(Ordering::Relaxed)
+            && !self.registered.swap(true, Ordering::AcqRel)
+        {
+            registry::register(MetricRef::Span(self));
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.virtual_secs.fetch_add(virtual_elapsed, Ordering::Relaxed);
+        self.wall_nanos.fetch_add(wall_nanos, Ordering::Relaxed);
+    }
+
+    /// Completed span count.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Total virtual seconds across completed spans.
+    pub fn virtual_secs(&self) -> u64 {
+        self.virtual_secs.load(Ordering::Relaxed)
+    }
+
+    /// Total wall nanoseconds across completed spans.
+    pub fn wall_nanos(&self) -> u64 {
+        self.wall_nanos.load(Ordering::Relaxed)
+    }
+}
+
+/// An in-flight span. [`SpanGuard::finish`] records both clocks; dropping
+/// without finishing records wall time with zero virtual progress (the
+/// span ended where it started, e.g. on an early return).
+pub struct SpanGuard {
+    stat: &'static SpanStat,
+    wall_start: Instant,
+    virtual_start: u64,
+    finished: bool,
+}
+
+impl SpanGuard {
+    /// End the span at virtual time `virtual_now`.
+    pub fn finish(mut self, virtual_now: u64) {
+        self.finished = true;
+        self.stat.record(
+            virtual_now.saturating_sub(self.virtual_start),
+            self.wall_start.elapsed().as_nanos() as u64,
+        );
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.stat
+                .record(0, self.wall_start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_records_virtual_elapsed() {
+        static S: SpanStat = SpanStat::new("test.span.finish");
+        let g = S.start(100);
+        g.finish(4_100);
+        assert_eq!(S.count(), 1);
+        assert_eq!(S.virtual_secs(), 4_000);
+    }
+
+    #[test]
+    fn drop_without_finish_still_counts() {
+        static S: SpanStat = SpanStat::new("test.span.drop");
+        {
+            let _g = S.start(50);
+        }
+        assert_eq!(S.count(), 1);
+        assert_eq!(S.virtual_secs(), 0);
+    }
+}

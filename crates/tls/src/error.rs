@@ -62,7 +62,15 @@ impl std::fmt::Display for TlsError {
     }
 }
 
-impl std::error::Error for TlsError {}
+impl std::error::Error for TlsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TlsError::Crypto(e) => Some(e),
+            TlsError::Trust(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -75,6 +83,16 @@ mod tests {
         let e = TlsError::UnexpectedMessage { expected: "ServerHello", got: "Finished" };
         assert!(e.to_string().contains("ServerHello"));
         assert!(e.to_string().contains("Finished"));
+    }
+
+    #[test]
+    fn source_chains_reach_inner_errors() {
+        use std::error::Error;
+        let e = TlsError::Crypto(CryptoError::BadMac);
+        assert!(e.source().is_some(), "crypto cause exposed");
+        let e = TlsError::Trust(TrustError::EmptyChain);
+        assert!(e.source().is_some(), "trust cause exposed");
+        assert!(TlsError::NoCommonSuite.source().is_none());
     }
 
     #[test]

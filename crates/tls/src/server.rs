@@ -21,6 +21,16 @@ use ts_crypto::bignum::Ub;
 use ts_crypto::dh::{validate_public, DhKeyPair};
 use ts_crypto::drbg::HmacDrbg;
 use ts_crypto::x25519::X25519KeyPair;
+use ts_telemetry::{emit, Counter, Event};
+
+static HANDSHAKE_FULL: Counter = Counter::new("tls.server.handshake.full");
+static RESUME_TICKET_HIT: Counter = Counter::new("tls.server.resume.ticket.hit");
+static RESUME_TICKET_MISS: Counter = Counter::new("tls.server.resume.ticket.miss");
+static RESUME_SID_HIT: Counter = Counter::new("tls.server.resume.session_id.hit");
+static RESUME_SID_MISS: Counter = Counter::new("tls.server.resume.session_id.miss");
+static TICKET_ISSUED: Counter = Counter::new("tls.server.ticket.issued");
+static TICKET_REISSUED: Counter = Counter::new("tls.server.ticket.reissued");
+static ALERT_SENT: Counter = Counter::new("tls.server.alert.sent");
 
 /// How the connection was (or wasn't) resumed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -216,6 +226,8 @@ impl ServerConn {
 
     fn fail(&mut self, err: TlsError, desc: AlertDescription) -> Result<(), TlsError> {
         self.state = State::Failed;
+        ALERT_SENT.inc();
+        emit(Event::AlertSent { code: desc.to_byte() });
         let alert = Alert::fatal(desc);
         self.records
             .write_record(ContentType::Alert, &alert.encode(), &mut self.out);
@@ -267,6 +279,7 @@ impl ServerConn {
         // --- Resumption decision (ticket first, then session ID). ---
         if let (Some(manager), Some(ticket)) = (&self.config.tickets, offered_ticket) {
             if !ticket.is_empty() {
+                let mut accepted = None;
                 if let Ok(state) = manager.accept(ticket, self.now) {
                     let fresh_enough = self
                         .now
@@ -275,25 +288,45 @@ impl ServerConn {
                     let suite_ok = ch.cipher_suites.contains(&state.cipher_suite.id())
                         && self.config.suites.contains(&state.cipher_suite);
                     if fresh_enough && suite_ok {
+                        accepted = Some(state);
+                    }
+                }
+                match accepted {
+                    Some(state) => {
+                        RESUME_TICKET_HIT.inc();
+                        emit(Event::ResumptionHit { kind: "ticket" });
                         return self.resume(state, ResumeKind::Ticket, Vec::new());
+                    }
+                    None => {
+                        RESUME_TICKET_MISS.inc();
+                        emit(Event::ResumptionMiss { kind: "ticket" });
                     }
                 }
             }
         }
         if let Some(cache) = &self.config.session_cache {
             if !ch.session_id.is_empty() {
-                if let Some(state) = cache.lookup(&ch.session_id, self.now) {
-                    let suite_ok = ch.cipher_suites.contains(&state.cipher_suite.id())
-                        && self.config.suites.contains(&state.cipher_suite);
-                    if suite_ok {
+                let hit = cache.lookup(&ch.session_id, self.now).filter(|state| {
+                    ch.cipher_suites.contains(&state.cipher_suite.id())
+                        && self.config.suites.contains(&state.cipher_suite)
+                });
+                match hit {
+                    Some(state) => {
+                        RESUME_SID_HIT.inc();
+                        emit(Event::ResumptionHit { kind: "session-id" });
                         let sid = ch.session_id.clone();
                         return self.resume(state, ResumeKind::SessionId, sid);
+                    }
+                    None => {
+                        RESUME_SID_MISS.inc();
+                        emit(Event::ResumptionMiss { kind: "session-id" });
                     }
                 }
             }
         }
 
         // --- Full handshake. ---
+        HANDSHAKE_FULL.inc();
         self.suite = Some(suite);
         self.session_id = if self.config.issue_session_ids {
             self.rng.bytes(32)
@@ -390,6 +423,11 @@ impl ServerConn {
             // original establishment time preserved — §2.2).
             let manager = self.config.tickets.as_ref().expect("checked").clone();
             let ticket = manager.issue(&state, self.now);
+            TICKET_REISSUED.inc();
+            emit(Event::TicketIssued {
+                reissue: true,
+                lifetime_hint: self.config.ticket_lifetime_hint,
+            });
             self.send_handshake(&HandshakeMessage::NewSessionTicket(NewSessionTicket {
                 lifetime_hint: self.config.ticket_lifetime_hint,
                 ticket,
@@ -479,6 +517,11 @@ impl ServerConn {
         if self.config.tickets.is_some() && self.client_offered_ticket_ext {
             let manager = self.config.tickets.as_ref().expect("checked").clone();
             let ticket = manager.issue(&state, self.now);
+            TICKET_ISSUED.inc();
+            emit(Event::TicketIssued {
+                reissue: false,
+                lifetime_hint: self.config.ticket_lifetime_hint,
+            });
             self.send_handshake(&HandshakeMessage::NewSessionTicket(NewSessionTicket {
                 lifetime_hint: self.config.ticket_lifetime_hint,
                 ticket,

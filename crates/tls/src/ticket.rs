@@ -28,6 +28,9 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use ts_crypto::aead::{cbc_hmac_open, cbc_hmac_seal};
 use ts_crypto::drbg::HmacDrbg;
+use ts_telemetry::Counter;
+
+static STEK_ROTATIONS: Counter = Counter::new("tls.stek.rotations");
 
 /// Standard STEK identifier ("key_name") length.
 pub const KEY_NAME_LEN: usize = 16;
@@ -376,6 +379,8 @@ impl StekManager {
                 self.retired.push(old);
             }
             self.history.push(self.active.clone());
+            STEK_ROTATIONS.inc();
+            ts_telemetry::emit(ts_telemetry::Event::StekRotation { now: new_created });
         }
         // Drop retired keys past their acceptance overlap. Their
         // retirement moment is the creation of their successor, i.e.

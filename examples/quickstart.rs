@@ -27,7 +27,7 @@ fn main() {
 
     // --- A full handshake, observed like the paper's modified zgrab. ---
     let domain = "yahoo.sim"; // the Table 2 headliner: 63 days on one STEK
-    let grab = scanner.grab(domain, 10_000, &GrabOptions::default());
+    let grab = scanner.grab(domain, 10_000, &GrabOptions::new());
     let obs = grab.ok().expect("handshake succeeds").clone();
     println!("full handshake with {domain}:");
     println!("  cipher suite : {:?} (forward secret: {})",
@@ -43,10 +43,7 @@ fn main() {
     );
 
     // --- Session-ID resumption one second later. ---
-    let opts = GrabOptions {
-        resume_session: Some((obs.session_id.clone(), obs.session.clone())),
-        ..Default::default()
-    };
+    let opts = GrabOptions::new().resume_session(obs.session_id.clone(), obs.session.clone());
     let g2 = scanner.grab(domain, 10_001, &opts);
     let obs2 = g2.ok().expect("resumption works");
     println!(
@@ -55,10 +52,7 @@ fn main() {
     );
 
     // --- Ticket resumption ten minutes later. ---
-    let opts = GrabOptions {
-        resume_ticket: Some((nst.ticket.clone(), obs.session.clone())),
-        ..Default::default()
-    };
+    let opts = GrabOptions::new().resume_ticket(nst.ticket.clone(), obs.session.clone());
     let g3 = scanner.grab(domain, 10_600, &opts);
     let obs3 = g3.ok().expect("connects");
     println!(
@@ -70,7 +64,7 @@ fn main() {
     let day = 86_400;
     let mut ids = Vec::new();
     for d in [0u64, 7, 30, 62] {
-        let g = scanner.grab(domain, d * day + 3_600, &GrabOptions::default());
+        let g = scanner.grab(domain, d * day + 3_600, &GrabOptions::new());
         if let Some(o) = g.ok() {
             ids.push((d, o.stek_id.clone().unwrap()));
         }

@@ -37,7 +37,7 @@ fn main() {
     println!("\nrunning 63 daily scans (ticket + DHE + ECDHE grabs per domain)...");
     let mut scanner = Scanner::new(&pop, "campaign");
     let targets = core.clone();
-    let data = run_campaign(&mut scanner, &CampaignOptions::default(), move |_d| {
+    let data = run_campaign(&mut scanner, &CampaignOptions::new(), move |_d| {
         targets.clone()
     });
     println!("  {} handshake attempts, {} ticket sightings", data.attempts, data.tickets.len());

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [EXPERIMENT] [--size N] [--seed S] [--days D] [--step SECS]
+//!       [--telemetry-json PATH]
 //!
 //! EXPERIMENT: all (default) | table1 | table2 | table3 | table4 |
 //!             table5 | table6 | table7 | fig1 | fig2 | fig3 | fig4 |
@@ -10,13 +11,38 @@
 //!
 //! Absolute counts scale with `--size`; the percentages, orderings and
 //! crossovers are the reproduction targets (see EXPERIMENTS.md).
+//!
+//! `--telemetry-json PATH` writes the merged telemetry snapshot (counters,
+//! histograms, span timers) in its deterministic form — byte-identical
+//! across runs for a fixed (seed, size, experiment) regardless of worker
+//! count, because wall-clock durations are excluded.
 
 use std::time::Instant;
 use ts_bench::{
     exp_ablation, exp_campaign, exp_exposure, exp_lifetimes, exp_sharing, exp_support,
-    exp_target, exp_tls13, Context,
+    exp_target, exp_tls13, Context, DAY,
 };
 use ts_scanner::probe::ProbeSchedule;
+use ts_telemetry::SpanStat;
+
+static SPAN_BUILD: SpanStat = SpanStat::new("repro.build_population");
+static SPAN_TABLE1: SpanStat = SpanStat::new("repro.table1");
+static SPAN_FIG1: SpanStat = SpanStat::new("repro.fig1");
+static SPAN_FIG2: SpanStat = SpanStat::new("repro.fig2");
+static SPAN_CAMPAIGN: SpanStat = SpanStat::new("repro.campaign");
+static SPAN_TABLE5: SpanStat = SpanStat::new("repro.table5");
+static SPAN_TABLE6: SpanStat = SpanStat::new("repro.table6");
+static SPAN_TABLE7: SpanStat = SpanStat::new("repro.table7");
+static SPAN_FIG8: SpanStat = SpanStat::new("repro.fig8");
+
+/// Run `f`, recording wall time and the experiment's virtual-time window
+/// under `span`.
+fn timed<T>(span: &'static SpanStat, virtual_secs: u64, f: impl FnOnce() -> T) -> T {
+    let t = Instant::now();
+    let out = f();
+    span.record(virtual_secs, t.elapsed().as_nanos() as u64);
+    out
+}
 
 struct Args {
     experiment: String,
@@ -24,6 +50,7 @@ struct Args {
     seed: u64,
     days: u64,
     step: u64,
+    telemetry_json: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -33,6 +60,7 @@ fn parse_args() -> Args {
         seed: 2016,
         days: 63,
         step: 300, // the paper's probe cadence
+        telemetry_json: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -54,9 +82,14 @@ fn parse_args() -> Args {
                 i += 1;
                 args.step = argv[i].parse().expect("--step SECS");
             }
+            "--telemetry-json" => {
+                i += 1;
+                args.telemetry_json = Some(argv[i].clone());
+            }
             "--help" | "-h" => {
                 println!(
-                    "repro [EXPERIMENT] [--size N] [--seed S] [--days D] [--step SECS]\n\
+                    "repro [EXPERIMENT] [--size N] [--seed S] [--days D] [--step SECS] \
+                     [--telemetry-json PATH]\n\
                      experiments: all table1..table7 fig1..fig8 google demo tls13 ablation"
                 );
                 std::process::exit(0);
@@ -77,7 +110,7 @@ fn main() {
     );
     let mut cfg = ts_population::PopulationConfig::new(args.seed, args.size);
     cfg.study_days = args.days;
-    let ctx = Context::from_config(cfg);
+    let ctx = timed(&SPAN_BUILD, 0, || Context::from_config(cfg));
     eprintln!(
         "[repro] population ready in {:.1}s: {} core domains, {} trusted, {} terminators",
         t0.elapsed().as_secs_f64(),
@@ -99,21 +132,33 @@ fn main() {
         ran = true;
         let t = Instant::now();
         section("TABLE 1");
-        println!("{}", exp_support::table1_support(&ctx).report);
+        println!("{}", timed(&SPAN_TABLE1, 0, || exp_support::table1_support(&ctx)).report);
         eprintln!("[repro] table1 in {:.1}s", t.elapsed().as_secs_f64());
     }
     if run("fig1") {
         ran = true;
         let t = Instant::now();
         section("FIGURE 1");
-        println!("{}", exp_lifetimes::fig1_session_id_lifetime(&ctx, &schedule).report);
+        println!(
+            "{}",
+            timed(&SPAN_FIG1, 24 * 3_600, || exp_lifetimes::fig1_session_id_lifetime(
+                &ctx, &schedule
+            ))
+            .report
+        );
         eprintln!("[repro] fig1 in {:.1}s", t.elapsed().as_secs_f64());
     }
     if run("fig2") {
         ran = true;
         let t = Instant::now();
         section("FIGURE 2");
-        println!("{}", exp_lifetimes::fig2_ticket_lifetime(&ctx, &schedule).report);
+        println!(
+            "{}",
+            timed(&SPAN_FIG2, 24 * 3_600, || exp_lifetimes::fig2_ticket_lifetime(
+                &ctx, &schedule
+            ))
+            .report
+        );
         eprintln!("[repro] fig2 in {:.1}s", t.elapsed().as_secs_f64());
     }
     let campaign_needed =
@@ -122,7 +167,7 @@ fn main() {
             .any(|e| run(e));
     if campaign_needed {
         let t = Instant::now();
-        let campaign = ctx.campaign();
+        let campaign = timed(&SPAN_CAMPAIGN, args.days * DAY, || ctx.campaign());
         eprintln!(
             "[repro] daily campaign: {} attempts over {} days in {:.1}s",
             campaign.attempts,
@@ -164,21 +209,21 @@ fn main() {
         ran = true;
         let t = Instant::now();
         section("TABLE 5");
-        println!("{}", exp_sharing::table5_cache_groups(&ctx).report);
+        println!("{}", timed(&SPAN_TABLE5, 0, || exp_sharing::table5_cache_groups(&ctx)).report);
         eprintln!("[repro] table5 in {:.1}s", t.elapsed().as_secs_f64());
     }
     if run("table6") {
         ran = true;
         let t = Instant::now();
         section("TABLE 6");
-        println!("{}", exp_sharing::table6_stek_groups(&ctx).report);
+        println!("{}", timed(&SPAN_TABLE6, 0, || exp_sharing::table6_stek_groups(&ctx)).report);
         eprintln!("[repro] table6 in {:.1}s", t.elapsed().as_secs_f64());
     }
     if run("table7") {
         ran = true;
         let t = Instant::now();
         section("TABLE 7");
-        println!("{}", exp_sharing::table7_dh_groups(&ctx).report);
+        println!("{}", timed(&SPAN_TABLE7, 0, || exp_sharing::table7_dh_groups(&ctx)).report);
         eprintln!("[repro] table7 in {:.1}s", t.elapsed().as_secs_f64());
     }
     if run("fig6") || run("fig7") {
@@ -190,7 +235,11 @@ fn main() {
         ran = true;
         let t = Instant::now();
         section("FIGURE 8");
-        println!("{}", exp_exposure::fig8_exposure(&ctx, &schedule).report);
+        println!(
+            "{}",
+            timed(&SPAN_FIG8, 24 * 3_600, || exp_exposure::fig8_exposure(&ctx, &schedule))
+                .report
+        );
         eprintln!("[repro] fig8 in {:.1}s", t.elapsed().as_secs_f64());
     }
     if run("google") {
@@ -221,6 +270,25 @@ fn main() {
     if !ran {
         eprintln!("unknown experiment '{}'; try --help", args.experiment);
         std::process::exit(2);
+    }
+
+    let snap = ts_telemetry::snapshot();
+    let handshakes = snap.counter("simnet.connect.ok");
+    let resumptions = snap.counter("tls.server.resume.ticket.hit")
+        + snap.counter("tls.server.resume.session_id.hit");
+    eprintln!(
+        "[repro] telemetry: {handshakes} successful handshakes ({resumptions} resumed), \
+         {} full, {} STEK rotations — the paper's full-scale runs totalled \
+         33.6M successful handshakes",
+        snap.counter("tls.server.handshake.full"),
+        snap.counter("tls.stek.rotations"),
+    );
+    if let Some(path) = &args.telemetry_json {
+        // Deterministic form: wall-clock durations excluded, so the file
+        // is byte-identical for a fixed (seed, size, experiment).
+        let json = snap.to_json(false).to_json_string();
+        std::fs::write(path, json).expect("write telemetry json");
+        eprintln!("[repro] telemetry snapshot written to {path}");
     }
     eprintln!("[repro] total {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -31,14 +31,14 @@
 //! // A deterministic 300-domain Internet.
 //! let pop = Population::build(PopulationConfig::new(1, 300));
 //! let mut scanner = Scanner::new(&pop, "quickstart");
-//! let grab = scanner.grab("yahoo.sim", 1_000, &GrabOptions::default());
+//! let grab = scanner.grab("yahoo.sim", 1_000, &GrabOptions::new());
 //! let obs = grab.ok().expect("handshake succeeds");
 //! assert!(obs.trusted);
 //! assert!(obs.stek_id.is_some(), "ticket carries its STEK identifier");
 //! ```
 //!
 //! See `examples/` for the paper's headline experiments and
-//! `crates/bench/src/bin/repro.rs` for the per-table/figure harness.
+//! `src/bin/repro.rs` for the per-table/figure harness.
 
 #![forbid(unsafe_code)]
 

@@ -28,7 +28,7 @@ fn campaign_spans_match_ground_truth_for_every_measured_domain() {
     let pop = world(100, 500, 12);
     let core = pop.core_trusted();
     let mut scanner = Scanner::new(&pop, "e2e-campaign");
-    let options = CampaignOptions { days: 0..12, ..Default::default() };
+    let options = CampaignOptions::new().days(0..12);
     let targets = core.clone();
     let data = run_campaign(&mut scanner, &options, move |_| targets.clone());
 
@@ -70,7 +70,7 @@ fn kex_reuse_detected_only_where_configured() {
     let pop = world(101, 500, 8);
     let core = pop.core_trusted();
     let mut scanner = Scanner::new(&pop, "e2e-kex");
-    let options = CampaignOptions { days: 0..8, ..Default::default() };
+    let options = CampaignOptions::new().days(0..8);
     let targets = core.clone();
     let data = run_campaign(&mut scanner, &options, move |_| targets.clone());
     let mut ecdhe = SpanEstimator::new();
@@ -132,7 +132,7 @@ fn full_pipeline_capture_to_decryption() {
     // The scanner notices yahoo.sim never rotates (5 daily sightings, 1 id).
     let mut ids = std::collections::HashSet::new();
     for day in 0..5u64 {
-        let g = scanner.grab("yahoo.sim", day * DAY + 3_600, &GrabOptions::default());
+        let g = scanner.grab("yahoo.sim", day * DAY + 3_600, &GrabOptions::new());
         if let Some(obs) = g.ok() {
             ids.insert(obs.stek_id.clone().unwrap());
         }
@@ -170,7 +170,7 @@ fn whole_study_is_deterministic() {
         let pop = world(104, 300, 4);
         let core = pop.core_trusted();
         let mut scanner = Scanner::new(&pop, "e2e-det");
-        let options = CampaignOptions { days: 0..4, ..Default::default() };
+        let options = CampaignOptions::new().days(0..4);
         let targets = core.clone();
         let data = run_campaign(&mut scanner, &options, move |_| targets.clone());
         let mut tickets = data.tickets;
@@ -196,7 +196,7 @@ fn blacklisted_domains_never_scanned() {
         return; // seed produced no blacklist entries at this size
     }
     let mut scanner = Scanner::new(&pop, "e2e-blacklist");
-    let options = CampaignOptions { days: 0..3, ..Default::default() };
+    let options = CampaignOptions::new().days(0..3);
     let targets = blacklisted.clone();
     let data = run_campaign(&mut scanner, &options, move |_| targets.clone());
     assert!(data.tickets.is_empty(), "no observations from blacklisted domains");

@@ -2,9 +2,10 @@
 //!
 //! `ts-lint` walks every production `.rs` file in the workspace and fails
 //! this test on any unsuppressed finding — non-constant-time comparisons
-//! on key material, Debug/Display leak surfaces, missing zeroization, or
-//! secret-indexed table lookups — and equally on any *stale* `ctlint.toml`
-//! allowlist entry, so suppressions cannot outlive the code they excuse.
+//! on key material, Debug/Display leak surfaces, missing zeroization,
+//! secret-indexed table lookups, or secret-tainted values reaching a
+//! telemetry sink — and equally on any *stale* `ctlint.toml` allowlist
+//! entry, so suppressions cannot outlive the code they excuse.
 
 use std::path::Path;
 
@@ -19,4 +20,22 @@ fn workspace_passes_secret_hygiene_lint() {
         report.files_scanned
     );
     assert!(report.is_clean(), "\n{}", report.render());
+}
+
+#[test]
+fn telemetry_sink_rule_is_armed_for_the_workspace_scan() {
+    // The clean verdict above must include the telemetry-sink rule: the
+    // built-in sink names and the extra `[telemetry] sinks` entries from
+    // ctlint.toml have to survive config parsing, or the rule silently
+    // checks nothing.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let toml = std::fs::read_to_string(root.join("ctlint.toml")).expect("ctlint.toml");
+    let config = ts_lint::Config::from_toml(&toml).expect("ctlint.toml parses");
+    for sink in ["observe", "emit", "record", "count_outcome"] {
+        assert!(
+            config.telemetry_sinks.iter().any(|s| s == sink),
+            "telemetry sink `{sink}` missing from the effective config"
+        );
+    }
+    assert!(ts_lint::Rule::all().iter().any(|r| r.id() == "telemetry-sink"));
 }

@@ -1,0 +1,63 @@
+//! Telemetry determinism: counter totals are a pure function of the work
+//! performed, independent of how `parallel_map` partitions that work.
+//!
+//! This lives in its own integration-test binary on purpose: telemetry
+//! metrics are global and monotone, so the measurement below isolates its
+//! own contribution with before/after snapshot deltas — which only works
+//! if no other test in the same process is grabbing concurrently.
+
+use ts_core::par::parallel_map;
+use ts_population::{Population, PopulationConfig};
+use ts_scanner::{GrabOptions, Scanner};
+use ts_telemetry::{snapshot, Snapshot};
+
+/// Grab every domain once, fanned out over `workers` threads, and return
+/// the telemetry delta attributable to those grabs.
+///
+/// Each domain gets a *fresh* scanner seeded by its own name, so the RNG
+/// stream a domain sees does not depend on which chunk it landed in.
+fn scan_with_workers(pop: &Population, domains: &[String], workers: usize) -> Snapshot {
+    let base = snapshot();
+    let _done: Vec<()> = parallel_map(domains, workers, |_chunk_id, chunk| {
+        chunk
+            .iter()
+            .map(|domain| {
+                let mut scanner = Scanner::new(pop, &format!("det-{domain}"));
+                let _ = scanner.grab(domain, 5_000, &GrabOptions::new());
+            })
+            .collect()
+    });
+    snapshot().delta_since(&base)
+}
+
+#[test]
+fn worker_count_does_not_change_counter_totals() {
+    let pop = Population::build(PopulationConfig::new(17, 300));
+    let domains: Vec<String> = pop.churn.core().iter().take(120).cloned().collect();
+    assert!(!domains.is_empty());
+
+    let single = scan_with_workers(&pop, &domains, 1);
+    let fanned = scan_with_workers(&pop, &domains, 8);
+
+    // The same work produced the same merged counters, histograms and
+    // spans, bucket by bucket.
+    assert_eq!(single, fanned, "1-worker vs 8-worker telemetry deltas");
+
+    // And the work actually moved the needle.
+    let grabs = single.counter("scanner.grab.ok")
+        + single.counter("scanner.grab.refused")
+        + single.counter("scanner.grab.timeout")
+        + single.counter("scanner.grab.tls_failed")
+        + single.counter("scanner.grab.blacklisted")
+        + single.counter("scanner.grab.no_dns");
+    assert_eq!(grabs, domains.len() as u64, "every domain concluded");
+    assert!(single.counter("simnet.connect.ok") > 0, "handshakes happened");
+
+    // The delta snapshot round-trips through ts_core::json unchanged.
+    let back = Snapshot::from_json(&single.to_json(true)).expect("parses");
+    assert_eq!(back, single);
+    // The deterministic form differs only in dropping wall-clock time.
+    let det = Snapshot::from_json(&single.to_json(false)).expect("parses");
+    assert_eq!(det.counters, single.counters);
+    assert_eq!(det.histograms, single.histograms);
+}
