@@ -129,7 +129,9 @@ mod tests {
         // Much later: entry expired for resumption purposes...
         let cache = w.config.session_cache.as_ref().unwrap();
         let parsed = CapturedConnection::parse(&capture).unwrap();
-        assert!(cache.lookup(&parsed.server_session_id, 10_000_000).is_none());
+        assert!(cache
+            .lookup(&parsed.server_session_id, 10_000_000)
+            .is_none());
         // ...but memory still holds it until a sweep.
         let dump = steal_cache(cache);
         assert!(decrypt_with_cache_dump(&parsed, &dump).is_ok());

@@ -97,7 +97,11 @@ fn finish(
     let (c2s, s2c) = capture
         .decrypt_with_master(&master)
         .map_err(|e| DhAttackError::RecordFailure(e.to_string()))?;
-    Ok(RecoveredTraffic { client_to_server: c2s, server_to_client: s2c, master_secret: master })
+    Ok(RecoveredTraffic {
+        client_to_server: c2s,
+        server_to_client: s2c,
+        master_secret: master,
+    })
 }
 
 #[cfg(test)]
@@ -120,7 +124,11 @@ mod tests {
         let mut ccfg = ClientConfig::new(w.store.clone(), "victim.sim", 100);
         ccfg.suites = suites;
         let mut client = ClientConn::new(ccfg, HmacDrbg::new(&[seed, b"-c"].concat()));
-        let mut server = ServerConn::new(w.config.clone(), HmacDrbg::new(&[seed, b"-s"].concat()), 100);
+        let mut server = ServerConn::new(
+            w.config.clone(),
+            HmacDrbg::new(&[seed, b"-s"].concat()),
+            100,
+        );
         let result = pump(&mut client, &mut server).unwrap();
         let mut capture = result.capture;
         client.send_app_data(req).unwrap();
@@ -143,7 +151,10 @@ mod tests {
         let parsed = CapturedConnection::parse(&capture).unwrap();
         let (stolen_dhe, _) = w.config.ephemeral.steal();
         let stolen = stolen_dhe.expect("server cached its DHE value");
-        assert!(value_matches_capture(&parsed, &stolen.keypair.public_bytes()));
+        assert!(value_matches_capture(
+            &parsed,
+            &stolen.keypair.public_bytes()
+        ));
         let recovered = decrypt_with_stolen_dhe(&parsed, &stolen).unwrap();
         assert_eq!(recovered.client_to_server, b"dhe request");
         assert_eq!(recovered.server_to_client, b"dhe response");
@@ -193,8 +204,13 @@ mod tests {
     #[test]
     fn wrong_value_fails() {
         let w = world(b"dhe-wrong");
-        let capture =
-            run_with_suites(&w, CipherSuite::ecdhe_only().to_vec(), b"w1", b"req", b"resp");
+        let capture = run_with_suites(
+            &w,
+            CipherSuite::ecdhe_only().to_vec(),
+            b"w1",
+            b"req",
+            b"resp",
+        );
         let parsed = CapturedConnection::parse(&capture).unwrap();
         // A fresh unrelated keypair.
         let mut rng = HmacDrbg::new(b"unrelated-ec");
@@ -212,8 +228,13 @@ mod tests {
     #[test]
     fn kex_mismatch_detected() {
         let w = world(b"dhe-mismatch");
-        let capture =
-            run_with_suites(&w, CipherSuite::ecdhe_only().to_vec(), b"m1", b"req", b"resp");
+        let capture = run_with_suites(
+            &w,
+            CipherSuite::ecdhe_only().to_vec(),
+            b"m1",
+            b"req",
+            b"resp",
+        );
         let parsed = CapturedConnection::parse(&capture).unwrap();
         let (stolen_dhe, _) = w.config.ephemeral.steal();
         // Force-generate a DHE value to have something to try.

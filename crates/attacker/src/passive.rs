@@ -1,10 +1,10 @@
 //! Passive capture parsing — what an on-path observer sees without keys.
 
+use ts_tls::pump::WireCapture;
 use ts_tls::suites::CipherSuite;
 use ts_tls::wire::extensions::find_session_ticket;
 use ts_tls::wire::handshake::{ClientKeyExchange, HandshakeMessage, HandshakeReassembler};
 use ts_tls::wire::record::{ContentType, RecordLayer};
-use ts_tls::pump::WireCapture;
 
 /// Parsing failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,7 +89,9 @@ fn parse_direction(
             Err(e) => return Err(PassiveParseError::BadRecord(e.to_string())),
         };
         if after_ccs {
-            encrypted.records.push((record.content_type, record.payload));
+            encrypted
+                .records
+                .push((record.content_type, record.payload));
             continue;
         }
         match record.content_type {
@@ -112,7 +114,10 @@ fn parse_direction(
             }
         }
     }
-    Ok(DirectionParse { messages, encrypted })
+    Ok(DirectionParse {
+        messages,
+        encrypted,
+    })
 }
 
 impl CapturedConnection {
@@ -130,8 +135,7 @@ impl CapturedConnection {
             .ok_or(PassiveParseError::Missing("ServerHello"))?;
         let cipher_suite = CipherSuite::from_id(sh.cipher_suite)
             .ok_or(PassiveParseError::Missing("known cipher suite"))?;
-        let client =
-            parse_direction(&capture.client_to_server, move |_own| Some(cipher_suite))?;
+        let client = parse_direction(&capture.client_to_server, move |_own| Some(cipher_suite))?;
         let ch = client
             .messages
             .iter()
@@ -153,16 +157,16 @@ impl CapturedConnection {
             .any(|m| matches!(m, HandshakeMessage::Certificate(_)));
         let client_kex_public = client.messages.iter().find_map(|m| match m {
             HandshakeMessage::ClientKeyExchange(cke) => Some(match cke {
-                ClientKeyExchange::Rsa { encrypted_premaster } => encrypted_premaster.clone(),
+                ClientKeyExchange::Rsa {
+                    encrypted_premaster,
+                } => encrypted_premaster.clone(),
                 ClientKeyExchange::Dhe { yc } => yc.clone(),
                 ClientKeyExchange::Ecdhe { point } => point.clone(),
             }),
             _ => None,
         });
         let server_kex_public = server.messages.iter().find_map(|m| match m {
-            HandshakeMessage::ServerKeyExchange(ske) => {
-                Some(ske.params.public_value().to_vec())
-            }
+            HandshakeMessage::ServerKeyExchange(ske) => Some(ske.params.public_value().to_vec()),
             _ => None,
         });
         Ok(CapturedConnection {
@@ -242,7 +246,10 @@ pub(crate) mod testutil {
             &CertificateParams {
                 serial: 1,
                 subject: ca_name.clone(),
-                validity: Validity { not_before: 0, not_after: u32::MAX as u64 },
+                validity: Validity {
+                    not_before: 0,
+                    not_after: u32::MAX as u64,
+                },
                 dns_names: vec![],
                 is_ca: true,
             },
@@ -255,7 +262,10 @@ pub(crate) mod testutil {
             &CertificateParams {
                 serial: 2,
                 subject: DistinguishedName::cn("victim.sim"),
-                validity: Validity { not_before: 0, not_after: u32::MAX as u64 },
+                validity: Validity {
+                    not_before: 0,
+                    not_after: u32::MAX as u64,
+                },
                 dns_names: vec!["victim.sim".into()],
                 is_ca: false,
             },
@@ -265,7 +275,10 @@ pub(crate) mod testutil {
         );
         let mut store = RootStore::new();
         store.add_root(ca);
-        let identity = Arc::new(ServerIdentity { chain: vec![leaf], key: leaf_key });
+        let identity = Arc::new(ServerIdentity {
+            chain: vec![leaf],
+            key: leaf_key,
+        });
         let eph = EphemeralCache::new(
             EphemeralPolicy::ReuseForever,
             ts_crypto::dh::DhGroup::Sim256,
@@ -280,7 +293,10 @@ pub(crate) mod testutil {
         )));
         config.ticket_accept_window = 86_400;
         config.ticket_lifetime_hint = 86_400;
-        World { store: Arc::new(store), config }
+        World {
+            store: Arc::new(store),
+            config,
+        }
     }
 
     pub(crate) fn run_connection(
@@ -294,8 +310,11 @@ pub(crate) mod testutil {
         let mut ccfg = ClientConfig::new(w.store.clone(), "victim.sim", now);
         ccfg.resumption.ticket = resume_ticket;
         let mut client = ClientConn::new(ccfg, HmacDrbg::new(&[seed, b"-c"].concat()));
-        let mut server =
-            ServerConn::new(w.config.clone(), HmacDrbg::new(&[seed, b"-s"].concat()), now);
+        let mut server = ServerConn::new(
+            w.config.clone(),
+            HmacDrbg::new(&[seed, b"-s"].concat()),
+            now,
+        );
         let result = pump(&mut client, &mut server).expect("handshake");
         let mut capture = result.capture;
         client.send_app_data(request).unwrap();
@@ -318,7 +337,10 @@ mod tests {
             run_connection(&w, b"c1", 100, b"GET /secret", b"200 OK", None);
         let parsed = CapturedConnection::parse(&capture).unwrap();
         assert!(!parsed.abbreviated);
-        assert!(parsed.issued_ticket.is_some(), "NST is plaintext on the wire");
+        assert!(
+            parsed.issued_ticket.is_some(),
+            "NST is plaintext on the wire"
+        );
         assert!(parsed.offered_ticket.is_none());
         assert!(parsed.client_kex_public.is_some());
         assert!(parsed.server_kex_public.is_some());

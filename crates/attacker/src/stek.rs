@@ -103,8 +103,14 @@ mod tests {
     #[test]
     fn stolen_stek_decrypts_initial_connection() {
         let w = world(b"stek-initial");
-        let (capture, _client, _server) =
-            run_connection(&w, b"c1", 100, b"POST /login user=alice", b"welcome alice", None);
+        let (capture, _client, _server) = run_connection(
+            &w,
+            b"c1",
+            100,
+            b"POST /login user=alice",
+            b"welcome alice",
+            None,
+        );
         let parsed = CapturedConnection::parse(&capture).unwrap();
         let stolen = w.config.tickets.as_ref().unwrap().steal_keys();
         let recovered = decrypt_with_stolen_steks(&parsed, &stolen).unwrap();
@@ -167,8 +173,7 @@ mod tests {
         let mut ccfg = ts_tls::config::ClientConfig::new(w.store.clone(), "victim.sim", 100);
         ccfg.offer_ticket_support = false;
         let mut client = ts_tls::ClientConn::new(ccfg, HmacDrbg::new(b"nt-c"));
-        let mut server =
-            ts_tls::ServerConn::new(w.config.clone(), HmacDrbg::new(b"nt-s"), 100);
+        let mut server = ts_tls::ServerConn::new(w.config.clone(), HmacDrbg::new(b"nt-s"), 100);
         let result = ts_tls::pump::pump(&mut client, &mut server).unwrap();
         let parsed = CapturedConnection::parse(&result.capture).unwrap();
         let stolen = w.config.tickets.as_ref().unwrap().steal_keys();

@@ -95,7 +95,13 @@ pub fn analyze_goggle(pop: &Population, stek_group: &ServiceGroup) -> TargetAnal
         .find(|t| t.operator.as_deref() == Some("goggle"))
         .expect("goggle domains exist");
     let period = truth.stek_period.unwrap_or(u64::MAX);
-    analyze_provider("goggle (Google analogue)", stek_group, period, 28 * 3_600 - period, mx)
+    analyze_provider(
+        "goggle (Google analogue)",
+        stek_group,
+        period,
+        28 * 3_600 - period,
+        mx,
+    )
 }
 
 #[cfg(test)]
@@ -118,7 +124,10 @@ mod tests {
         assert!((a.keys_per_day - 86_400.0 / 50_400.0).abs() < 1e-9);
         // Keys per 28h window = keys_per_day * 28/24 = 2.0.
         let per_28h = a.keys_per_day * 28.0 / 24.0;
-        assert!((per_28h - 2.0).abs() < 1e-9, "two keys per 28 hours: {per_28h}");
+        assert!(
+            (per_28h - 2.0).abs() < 1e-9,
+            "two keys per 28 hours: {per_28h}"
+        );
         assert_eq!(a.retrospective_window, 28 * 3_600);
         assert_eq!(a.stek_domains, 8973);
     }

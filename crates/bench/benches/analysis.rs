@@ -104,11 +104,7 @@ fn bench_cdf(c: &mut Criterion) {
     let samples: Vec<u64> = (0..1_000_000u64).map(|i| (i * 7919) % 86_400).collect();
     g.throughput(Throughput::Elements(samples.len() as u64));
     g.bench_function("build_1m_samples", |b| {
-        b.iter_batched(
-            || samples.clone(),
-            Cdf::from_samples,
-            BatchSize::LargeInput,
-        )
+        b.iter_batched(|| samples.clone(), Cdf::from_samples, BatchSize::LargeInput)
     });
     let cdf = Cdf::from_samples(samples);
     g.bench_function("query_series", |b| {

@@ -85,10 +85,16 @@ fn bench_rsa(c: &mut Criterion) {
     let mut rng = HmacDrbg::new(b"bench-rsa");
     let key512 = RsaPrivateKey::generate(512, &mut rng).unwrap();
     let key1024 = RsaPrivateKey::generate(1024, &mut rng).unwrap();
-    g.bench_function("sign_512", |b| b.iter(|| key512.sign(b"server key exchange")));
-    g.bench_function("sign_1024", |b| b.iter(|| key1024.sign(b"server key exchange")));
+    g.bench_function("sign_512", |b| {
+        b.iter(|| key512.sign(b"server key exchange"))
+    });
+    g.bench_function("sign_1024", |b| {
+        b.iter(|| key1024.sign(b"server key exchange"))
+    });
     let sig = key512.sign(b"msg").unwrap();
-    g.bench_function("verify_512", |b| b.iter(|| key512.public.verify(b"msg", &sig)));
+    g.bench_function("verify_512", |b| {
+        b.iter(|| key512.public.verify(b"msg", &sig))
+    });
     g.finish();
 }
 

@@ -5,9 +5,11 @@
 //! binary runs the same functions at full scale).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use std::sync::OnceLock;
-use ts_bench::{exp_campaign, exp_exposure, exp_lifetimes, exp_sharing, exp_support, exp_target, Context};
+use std::time::Duration;
+use ts_bench::{
+    exp_campaign, exp_exposure, exp_lifetimes, exp_sharing, exp_support, exp_target, Context,
+};
 use ts_scanner::probe::ProbeSchedule;
 
 /// One shared small world; experiments read it concurrently.
@@ -37,13 +39,27 @@ fn bench_tables(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(Duration::from_millis(500));
     g.measurement_time(Duration::from_secs(3));
-    g.bench_function("table1_support", |b| b.iter(|| exp_support::table1_support(ctx)));
-    g.bench_function("table2_stek_reuse", |b| b.iter(|| exp_campaign::table2_stek_reuse(ctx)));
-    g.bench_function("table3_dhe_reuse", |b| b.iter(|| exp_campaign::table3_dhe_reuse(ctx)));
-    g.bench_function("table4_ecdhe_reuse", |b| b.iter(|| exp_campaign::table4_ecdhe_reuse(ctx)));
-    g.bench_function("table5_cache_groups", |b| b.iter(|| exp_sharing::table5_cache_groups(ctx)));
-    g.bench_function("table6_stek_groups", |b| b.iter(|| exp_sharing::table6_stek_groups(ctx)));
-    g.bench_function("table7_dh_groups", |b| b.iter(|| exp_sharing::table7_dh_groups(ctx)));
+    g.bench_function("table1_support", |b| {
+        b.iter(|| exp_support::table1_support(ctx))
+    });
+    g.bench_function("table2_stek_reuse", |b| {
+        b.iter(|| exp_campaign::table2_stek_reuse(ctx))
+    });
+    g.bench_function("table3_dhe_reuse", |b| {
+        b.iter(|| exp_campaign::table3_dhe_reuse(ctx))
+    });
+    g.bench_function("table4_ecdhe_reuse", |b| {
+        b.iter(|| exp_campaign::table4_ecdhe_reuse(ctx))
+    });
+    g.bench_function("table5_cache_groups", |b| {
+        b.iter(|| exp_sharing::table5_cache_groups(ctx))
+    });
+    g.bench_function("table6_stek_groups", |b| {
+        b.iter(|| exp_sharing::table6_stek_groups(ctx))
+    });
+    g.bench_function("table7_dh_groups", |b| {
+        b.iter(|| exp_sharing::table7_dh_groups(ctx))
+    });
     g.finish();
 }
 
@@ -60,11 +76,21 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("fig2_ticket_lifetime", |b| {
         b.iter(|| exp_lifetimes::fig2_ticket_lifetime(ctx, &sched))
     });
-    g.bench_function("fig3_stek_lifetime", |b| b.iter(|| exp_campaign::fig3_stek_lifetime(ctx)));
-    g.bench_function("fig4_stek_by_rank", |b| b.iter(|| exp_campaign::fig4_stek_by_rank(ctx)));
-    g.bench_function("fig5_kex_reuse", |b| b.iter(|| exp_campaign::fig5_kex_reuse(ctx)));
-    g.bench_function("fig6_fig7_treemaps", |b| b.iter(|| exp_sharing::fig6_fig7_treemaps(ctx)));
-    g.bench_function("fig8_exposure", |b| b.iter(|| exp_exposure::fig8_exposure(ctx, &sched)));
+    g.bench_function("fig3_stek_lifetime", |b| {
+        b.iter(|| exp_campaign::fig3_stek_lifetime(ctx))
+    });
+    g.bench_function("fig4_stek_by_rank", |b| {
+        b.iter(|| exp_campaign::fig4_stek_by_rank(ctx))
+    });
+    g.bench_function("fig5_kex_reuse", |b| {
+        b.iter(|| exp_campaign::fig5_kex_reuse(ctx))
+    });
+    g.bench_function("fig6_fig7_treemaps", |b| {
+        b.iter(|| exp_sharing::fig6_fig7_treemaps(ctx))
+    });
+    g.bench_function("fig8_exposure", |b| {
+        b.iter(|| exp_exposure::fig8_exposure(ctx, &sched))
+    });
     g.finish();
 }
 
@@ -77,7 +103,9 @@ fn bench_target_analysis(c: &mut Criterion) {
     g.bench_function("google_target_analysis", |b| {
         b.iter(|| exp_target::google_target_analysis(ctx))
     });
-    g.bench_function("stek_theft_demo", |b| b.iter(|| exp_target::stek_theft_demo(ctx)));
+    g.bench_function("stek_theft_demo", |b| {
+        b.iter(|| exp_target::stek_theft_demo(ctx))
+    });
     g.finish();
 }
 
@@ -97,5 +125,11 @@ fn bench_campaign(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tables, bench_figures, bench_target_analysis, bench_campaign);
+criterion_group!(
+    benches,
+    bench_tables,
+    bench_figures,
+    bench_target_analysis,
+    bench_campaign
+);
 criterion_main!(benches);

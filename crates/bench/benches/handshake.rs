@@ -7,8 +7,8 @@
 //! reproduce the incentive.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use std::sync::Arc;
+use std::time::Duration;
 use ts_crypto::drbg::HmacDrbg;
 use ts_crypto::rsa::RsaPrivateKey;
 use ts_tls::config::{ClientConfig, ResumptionOffer, ServerConfig, ServerIdentity};
@@ -32,7 +32,10 @@ fn world(eph_policy: EphemeralPolicy) -> World {
         &CertificateParams {
             serial: 1,
             subject: ca_name.clone(),
-            validity: Validity { not_before: 0, not_after: u32::MAX as u64 },
+            validity: Validity {
+                not_before: 0,
+                not_after: u32::MAX as u64,
+            },
             dns_names: vec![],
             is_ca: true,
         },
@@ -45,7 +48,10 @@ fn world(eph_policy: EphemeralPolicy) -> World {
         &CertificateParams {
             serial: 2,
             subject: DistinguishedName::cn("bench.sim"),
-            validity: Validity { not_before: 0, not_after: u32::MAX as u64 },
+            validity: Validity {
+                not_before: 0,
+                not_after: u32::MAX as u64,
+            },
             dns_names: vec!["bench.sim".into()],
             is_ca: false,
         },
@@ -55,7 +61,10 @@ fn world(eph_policy: EphemeralPolicy) -> World {
     );
     let mut store = RootStore::new();
     store.add_root(ca);
-    let identity = Arc::new(ServerIdentity { chain: vec![leaf], key });
+    let identity = Arc::new(ServerIdentity {
+        chain: vec![leaf],
+        key,
+    });
     let eph = EphemeralCache::new(
         eph_policy,
         ts_crypto::dh::DhGroup::Sim256,
@@ -69,15 +78,17 @@ fn world(eph_policy: EphemeralPolicy) -> World {
         0,
     )));
     config.ticket_accept_window = 86_400;
-    World { store: Arc::new(store), config }
+    World {
+        store: Arc::new(store),
+        config,
+    }
 }
 
 fn full_handshake(w: &World, suite: CipherSuite, seed: u64) -> (ClientConn, ServerConn) {
     let mut ccfg = ClientConfig::new(w.store.clone(), "bench.sim", 100);
     ccfg.suites = vec![suite];
     let mut client = ClientConn::new(ccfg, HmacDrbg::from_seed_label(seed, "c"));
-    let mut server =
-        ServerConn::new(w.config.clone(), HmacDrbg::from_seed_label(seed, "s"), 100);
+    let mut server = ServerConn::new(w.config.clone(), HmacDrbg::from_seed_label(seed, "s"), 100);
     pump(&mut client, &mut server).expect("handshake");
     (client, server)
 }

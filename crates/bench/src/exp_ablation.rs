@@ -32,7 +32,10 @@ fn one_site(seed: &[u8], rotation: RotationPolicy) -> (Arc<RootStore>, ServerCon
         &CertificateParams {
             serial: 1,
             subject: ca_name.clone(),
-            validity: Validity { not_before: 0, not_after: u32::MAX as u64 },
+            validity: Validity {
+                not_before: 0,
+                not_after: u32::MAX as u64,
+            },
             dns_names: vec![],
             is_ca: true,
         },
@@ -45,7 +48,10 @@ fn one_site(seed: &[u8], rotation: RotationPolicy) -> (Arc<RootStore>, ServerCon
         &CertificateParams {
             serial: 2,
             subject: DistinguishedName::cn("ablate.sim"),
-            validity: Validity { not_before: 0, not_after: u32::MAX as u64 },
+            validity: Validity {
+                not_before: 0,
+                not_after: u32::MAX as u64,
+            },
             dns_names: vec!["ablate.sim".into()],
             is_ca: false,
         },
@@ -55,7 +61,10 @@ fn one_site(seed: &[u8], rotation: RotationPolicy) -> (Arc<RootStore>, ServerCon
     );
     let mut store = RootStore::new();
     store.add_root(ca);
-    let identity = Arc::new(ServerIdentity { chain: vec![leaf], key });
+    let identity = Arc::new(ServerIdentity {
+        chain: vec![leaf],
+        key,
+    });
     let eph = EphemeralCache::new(
         EphemeralPolicy::FreshPerHandshake,
         ts_crypto::dh::DhGroup::Sim256,
@@ -86,11 +95,41 @@ pub fn rotation_sweep(ctx: &Context) -> String {
     );
     let mut t = TextTable::new(&["rotation", "keys stolen", "connections fallen", "fraction"]);
     let policies: [(&str, RotationPolicy); 6] = [
-        ("1h", RotationPolicy::Periodic { period: HOUR, overlap: HOUR }),
-        ("6h", RotationPolicy::Periodic { period: 6 * HOUR, overlap: 6 * HOUR }),
-        ("1d", RotationPolicy::Periodic { period: DAY, overlap: DAY }),
-        ("7d", RotationPolicy::Periodic { period: 7 * DAY, overlap: 7 * DAY }),
-        ("30d", RotationPolicy::Periodic { period: 30 * DAY, overlap: 30 * DAY }),
+        (
+            "1h",
+            RotationPolicy::Periodic {
+                period: HOUR,
+                overlap: HOUR,
+            },
+        ),
+        (
+            "6h",
+            RotationPolicy::Periodic {
+                period: 6 * HOUR,
+                overlap: 6 * HOUR,
+            },
+        ),
+        (
+            "1d",
+            RotationPolicy::Periodic {
+                period: DAY,
+                overlap: DAY,
+            },
+        ),
+        (
+            "7d",
+            RotationPolicy::Periodic {
+                period: 7 * DAY,
+                overlap: 7 * DAY,
+            },
+        ),
+        (
+            "30d",
+            RotationPolicy::Periodic {
+                period: 30 * DAY,
+                overlap: 30 * DAY,
+            },
+        ),
         ("never", RotationPolicy::Static),
     ];
     for (label, rotation) in policies {
@@ -187,9 +226,16 @@ mod tests {
             .collect();
         assert_eq!(fracs.len(), 6, "{report}");
         for w in fracs.windows(2) {
-            assert!(w[1] >= w[0] - 1e-9, "monotone in rotation period: {fracs:?}");
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "monotone in rotation period: {fracs:?}"
+            );
         }
-        assert_eq!(*fracs.last().unwrap(), 100.0, "never-rotate loses everything");
+        assert_eq!(
+            *fracs.last().unwrap(),
+            100.0,
+            "never-rotate loses everything"
+        );
         assert!(fracs[0] < 2.0, "hourly rotation saves almost everything");
     }
 

@@ -4,7 +4,7 @@
 //! prolonged reuse).
 
 use crate::{parallel_map, Context, DAY};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use ts_core::cdf::Cdf;
 use ts_core::lifetime::SpanEstimator;
 use ts_core::observations::{KexKind, KexSighting, TicketSighting};
@@ -51,7 +51,9 @@ pub fn run_daily_campaign(ctx: &Context) -> Campaign {
             let mut scanner = Scanner::new(&pop, &format!("daily-campaign-{day}-{chunk_id}"));
             let options = CampaignOptions::new().days(day..day + 1);
             let chunk_vec: Vec<String> = chunk.to_vec();
-            vec![run_campaign(&mut scanner, &options, |_day| chunk_vec.clone())]
+            vec![run_campaign(&mut scanner, &options, |_day| {
+                chunk_vec.clone()
+            })]
         });
         for data in day_results {
             tickets.extend(data.tickets);
@@ -59,7 +61,12 @@ pub fn run_daily_campaign(ctx: &Context) -> Campaign {
             attempts += data.attempts;
         }
     }
-    Campaign { tickets, kex, attempts, days }
+    Campaign {
+        tickets,
+        kex,
+        attempts,
+        days,
+    }
 }
 
 /// Span analysis bundles for the campaign.
@@ -114,13 +121,31 @@ pub fn fig3_stek_lifetime(ctx: &Context) -> Fig3 {
     }
     report.push_str(&t.render());
     report.push('\n');
-    report.push_str(&compare_line("fresh STEK daily (of issuers)", "~53%", &pct(daily_fraction)));
+    report.push_str(&compare_line(
+        "fresh STEK daily (of issuers)",
+        "~53%",
+        &pct(daily_fraction),
+    ));
     report.push('\n');
-    report.push_str(&compare_line("STEK span ≥ 7d (of issuers)", "~28%", &pct(ge7)));
+    report.push_str(&compare_line(
+        "STEK span ≥ 7d (of issuers)",
+        "~28%",
+        &pct(ge7),
+    ));
     report.push('\n');
-    report.push_str(&compare_line("STEK span ≥ 30d (of issuers)", "~13%", &pct(ge30)));
+    report.push_str(&compare_line(
+        "STEK span ≥ 30d (of issuers)",
+        "~13%",
+        &pct(ge30),
+    ));
     report.push('\n');
-    Fig3 { cdf, daily_fraction, ge7_fraction: ge7, ge30_fraction: ge30, report }
+    Fig3 {
+        cdf,
+        daily_fraction,
+        ge7_fraction: ge7,
+        ge30_fraction: ge30,
+        report,
+    }
 }
 
 /// Figure 4: STEK lifetime by rank tier.
@@ -149,7 +174,9 @@ pub fn fig4_stek_by_rank(ctx: &Context) -> String {
             cdf.len().to_string(),
             pct(cdf.fraction_ge(7)),
             pct(cdf.fraction_ge(30)),
-            cdf.median().map(|m| format!("{m}d")).unwrap_or_else(|| "-".into()),
+            cdf.median()
+                .map(|m| format!("{m}d"))
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     report.push_str(&t.render());
@@ -179,7 +206,13 @@ pub fn fig5_kex_reuse(ctx: &Context) -> Fig5 {
     let ecdhe_cdf = Cdf::from_samples(s.ecdhe.max_spans());
     let mut report = String::new();
     report.push_str("Figure 5 — Ephemeral Exchange Value Reuse (span CDFs)\n");
-    let mut t = TextTable::new(&["span ≥", "DHE domains", "DHE %core", "ECDHE domains", "ECDHE %core"]);
+    let mut t = TextTable::new(&[
+        "span ≥",
+        "DHE domains",
+        "DHE %core",
+        "ECDHE domains",
+        "ECDHE %core",
+    ]);
     for bp in [2u64, 7, 30] {
         let d = dhe_cdf.count_ge(bp);
         let e = ecdhe_cdf.count_ge(bp);
@@ -205,7 +238,11 @@ pub fn fig5_kex_reuse(ctx: &Context) -> Fig5 {
         &pct(ecdhe_cdf.count_ge(7) as f64 / denominator),
     ));
     report.push('\n');
-    Fig5 { dhe_cdf, ecdhe_cdf, report }
+    Fig5 {
+        dhe_cdf,
+        ecdhe_cdf,
+        report,
+    }
 }
 
 /// Tables 2, 3, 4: top domains (by rank) with ≥7-day reuse.
@@ -220,9 +257,7 @@ pub fn top_reuse_table(
     // Order by rank (most popular first), as the paper's tables do.
     let mut ranked: Vec<(usize, String, u64)> = long
         .into_iter()
-        .filter_map(|(domain, span)| {
-            ctx.pop.truth.get(&domain).map(|t| (t.rank, domain, span))
-        })
+        .filter_map(|(domain, span)| ctx.pop.truth.get(&domain).map(|t| (t.rank, domain, span)))
         .collect();
     ranked.sort();
     let mut report = String::new();
@@ -308,12 +343,14 @@ pub fn validate_against_truth(ctx: &Context) -> (usize, usize) {
 
 /// Ticket lifetime *hints* observed (feeds Figure 2's hint series and the
 /// fantabob-style outlier hunt).
-pub fn hint_distribution(campaign: &Campaign) -> HashMap<u32, usize> {
-    let mut per_domain: HashMap<&str, u32> = HashMap::new();
+pub fn hint_distribution(campaign: &Campaign) -> BTreeMap<u32, usize> {
+    // Ordered maps end to end: the hint histogram feeds Figure 2's rendered
+    // series, so its iteration order is part of the repro's output.
+    let mut per_domain: BTreeMap<&str, u32> = BTreeMap::new();
     for s in &campaign.tickets {
         per_domain.insert(&s.domain, s.lifetime_hint);
     }
-    let mut out: HashMap<u32, usize> = HashMap::new();
+    let mut out: BTreeMap<u32, usize> = BTreeMap::new();
     for (_, hint) in per_domain {
         *out.entry(hint).or_default() += 1;
     }
@@ -357,15 +394,36 @@ mod tests {
         // scale notables crowd the top ranks, so assert membership on the
         // full ≥7-day lists and rendering separately.
         let s = spans(ctx.campaign());
-        let stek_long: Vec<String> =
-            s.stek.domains_with_span_at_least(7).into_iter().map(|(d, _)| d).collect();
-        assert!(stek_long.contains(&"yahoo.sim".to_string()), "{stek_long:?}");
-        let dhe_long: Vec<String> =
-            s.dhe.domains_with_span_at_least(7).into_iter().map(|(d, _)| d).collect();
-        assert!(dhe_long.contains(&"cookpad.sim".to_string()), "{dhe_long:?}");
-        let ecdhe_long: Vec<String> =
-            s.ecdhe.domains_with_span_at_least(7).into_iter().map(|(d, _)| d).collect();
-        assert!(ecdhe_long.contains(&"whatsapp.sim".to_string()), "{ecdhe_long:?}");
+        let stek_long: Vec<String> = s
+            .stek
+            .domains_with_span_at_least(7)
+            .into_iter()
+            .map(|(d, _)| d)
+            .collect();
+        assert!(
+            stek_long.contains(&"yahoo.sim".to_string()),
+            "{stek_long:?}"
+        );
+        let dhe_long: Vec<String> = s
+            .dhe
+            .domains_with_span_at_least(7)
+            .into_iter()
+            .map(|(d, _)| d)
+            .collect();
+        assert!(
+            dhe_long.contains(&"cookpad.sim".to_string()),
+            "{dhe_long:?}"
+        );
+        let ecdhe_long: Vec<String> = s
+            .ecdhe
+            .domains_with_span_at_least(7)
+            .into_iter()
+            .map(|(d, _)| d)
+            .collect();
+        assert!(
+            ecdhe_long.contains(&"whatsapp.sim".to_string()),
+            "{ecdhe_long:?}"
+        );
         assert!(table2_stek_reuse(&ctx).contains("Table 2"));
         assert!(table3_dhe_reuse(&ctx).contains("Table 3"));
         assert!(table4_ecdhe_reuse(&ctx).contains("Table 4"));

@@ -77,10 +77,17 @@ pub fn fig8_exposure(ctx: &Context, probe_schedule: &ProbeSchedule) -> Fig8 {
     report.push_str(&format!(
         "dominant mechanism: tickets {} / caches {} / DH {} (paper: tickets dominate)\n",
         counts.get(&ExposureKind::Ticket).copied().unwrap_or(0),
-        counts.get(&ExposureKind::SessionCache).copied().unwrap_or(0),
+        counts
+            .get(&ExposureKind::SessionCache)
+            .copied()
+            .unwrap_or(0),
         counts.get(&ExposureKind::DhReuse).copied().unwrap_or(0),
     ));
-    Fig8 { table, headline, report }
+    Fig8 {
+        table,
+        headline,
+        report,
+    }
 }
 
 #[cfg(test)]

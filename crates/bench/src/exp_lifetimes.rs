@@ -104,8 +104,7 @@ fn lockstep_probes(
         }
         let results: Vec<(usize, bool)> =
             parallel_map(&alive_idx, crate::default_workers(), |chunk_id, chunk| {
-                let mut scanner =
-                    Scanner::new(pop, &format!("{label}-d{step}-{chunk_id}"));
+                let mut scanner = Scanner::new(pop, &format!("{label}-d{step}-{chunk_id}"));
                 chunk
                     .iter()
                     .map(|&i| {
@@ -124,8 +123,7 @@ fn lockstep_probes(
                             ResumptionMechanism::SessionId => ResumeKind::SessionId,
                             ResumptionMechanism::Ticket => ResumeKind::Ticket,
                         };
-                        let resumed =
-                            g.ok().map(|o| o.resumed == Some(want)).unwrap_or(false);
+                        let resumed = g.ok().map(|o| o.resumed == Some(want)).unwrap_or(false);
                         (i, resumed)
                     })
                     .collect()
@@ -260,10 +258,7 @@ pub fn fig2_ticket_lifetime(ctx: &Context, schedule: &ProbeSchedule) -> Lifetime
         .filter(|&h| h > 0)
         .map(|h| h as u64)
         .collect();
-    let unspecified = probes
-        .iter()
-        .filter(|p| p.lifetime_hint == Some(0))
-        .count();
+    let unspecified = probes.iter().filter(|p| p.lifetime_hint == Some(0)).count();
     let hint_cdf = Cdf::from_samples(hints);
     fig.report.push_str(&format!(
         "advertised hint: median {}, unspecified hints: {} domains (paper: 14,663 unspecified; \
@@ -292,8 +287,16 @@ mod tests {
         let ctx = ctx();
         // Coarse schedule keeps the test fast; spikes at 5m and 10h remain.
         let fig = fig1_session_id_lifetime(&ctx, &ProbeSchedule::coarse(30 * 60, 24 * HOUR));
-        assert!(fig.support_fraction > 0.9, "support {}", fig.support_fraction);
-        assert!(fig.resumed_1s_fraction > 0.6, "resumed {}", fig.resumed_1s_fraction);
+        assert!(
+            fig.support_fraction > 0.9,
+            "support {}",
+            fig.support_fraction
+        );
+        assert!(
+            fig.resumed_1s_fraction > 0.6,
+            "resumed {}",
+            fig.resumed_1s_fraction
+        );
         // The bulk of resuming domains honour ≤1h (Fig 1's left mass);
         // with a 30-minute step the 5-minute spike lands in the first bin.
         assert!(fig.cdf.fraction_le(HOUR) > 0.6);

@@ -1,7 +1,7 @@
 //! Tables 5–7 and Figures 6–7 — cross-domain secret sharing.
 
 use crate::{parallel_map, Context};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use ts_core::groups::{stats, top_groups, ServiceGroup};
 use ts_core::report::{compare_line, fmt_duration, pct, TextTable};
 use ts_core::treemap::{build_cells, red_cells, LongevityBucket};
@@ -18,11 +18,7 @@ pub struct SharingResult {
     pub report: String,
 }
 
-fn render_groups(
-    title: &str,
-    groups: &[ServiceGroup],
-    paper_note: &str,
-) -> String {
+fn render_groups(title: &str, groups: &[ServiceGroup], paper_note: &str) -> String {
     let s = stats(groups);
     let mut report = String::new();
     report.push_str(title);
@@ -104,7 +100,11 @@ pub fn table6_stek_groups(ctx: &Context) -> SharingResult {
     for k in 0..=connections {
         // Connections 0..10 across the 6-hour window, plus the 30-minute
         // snapshot scan joined at the end (§5.2).
-        let at = if k < connections { t0 + window * k / connections } else { t0 + window + 30 * 60 };
+        let at = if k < connections {
+            t0 + window * k / connections
+        } else {
+            t0 + window + 30 * 60
+        };
         let step: Vec<ts_core::observations::TicketSighting> =
             parallel_map(&targets, crate::default_workers(), |chunk_id, chunk| {
                 let mut scanner = Scanner::new(&pop, &format!("t6-{k}-{chunk_id}"));
@@ -158,7 +158,7 @@ pub fn fig6_fig7_treemaps(ctx: &Context) -> String {
     // STEK treemap (Figure 6): groups from the whole campaign's sightings,
     // coloured by per-domain max STEK span.
     let stek_groups = ts_core::groups::stek_groups(&campaign.tickets);
-    let stek_longevity: HashMap<String, u64> = spans
+    let stek_longevity: BTreeMap<String, u64> = spans
         .stek
         .domain_spans()
         .into_iter()
@@ -168,7 +168,7 @@ pub fn fig6_fig7_treemaps(ctx: &Context) -> String {
 
     // DH treemap (Figure 7 right).
     let dh_groups = ts_core::groups::dh_groups(&campaign.kex);
-    let mut dh_longevity: HashMap<String, u64> = HashMap::new();
+    let mut dh_longevity: BTreeMap<String, u64> = BTreeMap::new();
     for (d, s) in spans.dhe.domain_spans() {
         dh_longevity.insert(d, s.max_span_days * 86_400);
     }
@@ -221,7 +221,9 @@ pub fn fig6_fig7_treemaps(ctx: &Context) -> String {
         red.len(),
     ));
     // Largest-bucket sanity note.
-    let reds_exist = stek_cells.iter().any(|c| c.bucket == LongevityBucket::Red30Plus);
+    let reds_exist = stek_cells
+        .iter()
+        .any(|c| c.bucket == LongevityBucket::Red30Plus);
     report.push_str(&compare_line(
         "≥30d shared-STEK groups exist",
         "yes (TMall, Fastly, banks)",
@@ -248,7 +250,11 @@ mod tests {
         let ctx = ctx();
         let t6 = table6_stek_groups(&ctx);
         // Largest STEK group is the CDN analogue and dwarfs the rest.
-        assert!(t6.groups[0].label.contains("cirrusflare"), "{}", t6.groups[0].label);
+        assert!(
+            t6.groups[0].label.contains("cirrusflare"),
+            "{}",
+            t6.groups[0].label
+        );
         let cdn = t6.groups[0].size();
         assert!(cdn >= 40, "cdn group size {cdn}");
         let s6 = stats(&t6.groups);
@@ -259,7 +265,10 @@ mod tests {
 
         let t7 = table7_dh_groups(&ctx);
         // DH groups far smaller and fewer than STEK groups.
-        assert!(t7.groups[0].size() < cdn, "DH sharing smaller than STEK sharing");
+        assert!(
+            t7.groups[0].size() < cdn,
+            "DH sharing smaller than STEK sharing"
+        );
         let s7 = stats(&t7.groups);
         assert!(
             s7.singleton_count as f64 / s7.group_count as f64

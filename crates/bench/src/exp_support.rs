@@ -60,12 +60,25 @@ fn scan(
 /// virtual time in shared STEK managers only moves forward).
 pub fn table1_support(ctx: &Context) -> Table1 {
     let pop = ctx.fresh_pop();
-    let dhe = scan(&pop, "t1-dhe", SuiteOffer::DheOnly, BurstMetric::KexValues, 1);
-    let ecdhe = scan(&pop, "t1-ecdhe", SuiteOffer::EcdheOnly, BurstMetric::KexValues, 2);
+    let dhe = scan(
+        &pop,
+        "t1-dhe",
+        SuiteOffer::DheOnly,
+        BurstMetric::KexValues,
+        1,
+    );
+    let ecdhe = scan(
+        &pop,
+        "t1-ecdhe",
+        SuiteOffer::EcdheOnly,
+        BurstMetric::KexValues,
+        2,
+    );
     let tickets = scan(&pop, "t1-tickets", SuiteOffer::All, BurstMetric::StekIds, 4);
 
     let mut report = String::new();
-    report.push_str("Table 1 — Support for Forward Secrecy and Resumption (10-connection bursts)\n");
+    report
+        .push_str("Table 1 — Support for Forward Secrecy and Resumption (10-connection bursts)\n");
     let mut t = TextTable::new(&["funnel row", "DHE", "ECDHE", "Tickets"]);
     let rows: [(&str, fn(&BurstFunnel) -> usize); 6] = [
         ("domains listed", |f| f.listed),
@@ -122,7 +135,12 @@ pub fn table1_support(ctx: &Context) -> Table1 {
         &pct(frac(tickets.repeat_twice, tickets.supported)),
     ));
     report.push('\n');
-    Table1 { dhe, ecdhe, tickets, report }
+    Table1 {
+        dhe,
+        ecdhe,
+        tickets,
+        report,
+    }
 }
 
 #[cfg(test)]
@@ -148,7 +166,10 @@ mod tests {
         }
         // Orderings the paper reports.
         assert!(t1.ecdhe.supported > t1.dhe.supported, "ECDHE support > DHE");
-        assert!(t1.tickets.supported > t1.dhe.supported, "tickets widespread");
+        assert!(
+            t1.tickets.supported > t1.dhe.supported,
+            "tickets widespread"
+        );
         // Within-burst STEK repetition near-universal; KEX reuse rare.
         let stek_rate = t1.tickets.repeat_twice as f64 / t1.tickets.supported.max(1) as f64;
         let dhe_rate = t1.dhe.repeat_twice as f64 / t1.dhe.supported.max(1) as f64;

@@ -6,11 +6,11 @@ use ts_attacker::passive::CapturedConnection;
 use ts_attacker::stek::{bulk_decrypt, decrypt_with_stolen_steks};
 use ts_attacker::target::analyze_goggle;
 use ts_core::report::{compare_line, TextTable};
+use ts_crypto::drbg::HmacDrbg;
 use ts_scanner::Scanner;
 use ts_tls::config::ClientConfig;
 use ts_tls::pump::pump_app_data;
 use ts_tls::{ClientConn, ServerConn};
-use ts_crypto::drbg::HmacDrbg;
 
 /// Run the Google-analogue target analysis.
 pub fn google_target_analysis(ctx: &Context) -> String {
@@ -35,14 +35,26 @@ pub fn google_target_analysis(ctx: &Context) -> String {
     let mut report = String::new();
     report.push_str("§7.2 — Target Analysis: the Google analogue\n");
     let mut t = TextTable::new(&["metric", "value"]);
-    t.row(&["rotation period".into(), ts_core::report::fmt_duration(analysis.rotation_period)]);
+    t.row(&[
+        "rotation period".into(),
+        ts_core::report::fmt_duration(analysis.rotation_period),
+    ]);
     t.row(&[
         "acceptance window (rotation + overlap)".into(),
         ts_core::report::fmt_duration(analysis.rotation_period + analysis.acceptance_window),
     ]);
-    t.row(&["keys to steal per day".into(), format!("{:.2}", analysis.keys_per_day)]);
-    t.row(&["web domains behind one STEK".into(), analysis.stek_domains.to_string()]);
-    t.row(&["hosted-mail domains (MX census)".into(), analysis.mx_domains.to_string()]);
+    t.row(&[
+        "keys to steal per day".into(),
+        format!("{:.2}", analysis.keys_per_day),
+    ]);
+    t.row(&[
+        "web domains behind one STEK".into(),
+        analysis.stek_domains.to_string(),
+    ]);
+    t.row(&[
+        "hosted-mail domains (MX census)".into(),
+        analysis.mx_domains.to_string(),
+    ]);
     report.push_str(&t.render());
     report.push('\n');
     let per_28h = analysis.keys_per_day * 28.0 / 24.0;
@@ -138,7 +150,11 @@ pub fn stek_theft_demo(ctx: &Context) -> String {
     report.push_str(&compare_line(
         "week-old PFS traffic decrypted with one 16-byte key",
         "yes (§6.1)",
-        if recovered.len() == captures.len() { "yes — all of it" } else { "partially" },
+        if recovered.len() == captures.len() {
+            "yes — all of it"
+        } else {
+            "partially"
+        },
     ));
     report.push('\n');
 
@@ -180,7 +196,11 @@ pub fn stek_theft_demo(ctx: &Context) -> String {
         report.push_str(&compare_line(
             "daily-rotating CDN, key stolen 30 days later",
             "traffic safe",
-            if outcome.is_err() { "traffic safe — no key matches" } else { "DECRYPTED (bug!)" },
+            if outcome.is_err() {
+                "traffic safe — no key matches"
+            } else {
+                "DECRYPTED (bug!)"
+            },
         ));
         report.push('\n');
     }

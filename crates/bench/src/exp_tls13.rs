@@ -79,7 +79,8 @@ pub fn tls13_outlook(ctx: &Context) -> String {
     let cdf12 = ts_core::cdf::Cdf::from_samples(tls12_windows);
     let cdf13 = ts_core::cdf::Cdf::from_samples(tls13_windows);
     let mut report = String::new();
-    report.push_str("§8.1 — TLS 1.3 PSK Outlook (measured STEK behaviour replayed under draft-15)\n");
+    report
+        .push_str("§8.1 — TLS 1.3 PSK Outlook (measured STEK behaviour replayed under draft-15)\n");
     let mut t = TextTable::new(&["metric", "TLS 1.2 (measured)", "TLS 1.3 (7-day PSK cap)"]);
     t.row(&[
         "ticket window > 24h".into(),

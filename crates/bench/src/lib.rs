@@ -58,7 +58,12 @@ impl Context {
     pub fn from_config(cfg: PopulationConfig) -> Self {
         let pop = Population::build(cfg.clone());
         let core_trusted = pop.core_trusted();
-        Context { config: cfg, pop, core_trusted, campaign: OnceLock::new() }
+        Context {
+            config: cfg,
+            pop,
+            core_trusted,
+            campaign: OnceLock::new(),
+        }
     }
 
     /// A pristine, byte-identical world for one experiment's exclusive use.

@@ -67,7 +67,10 @@ impl Cdf {
     /// The CDF evaluated at each breakpoint: `(x, fraction ≤ x)` rows —
     /// the series a figure plots.
     pub fn series(&self, breakpoints: &[u64]) -> Vec<(u64, f64)> {
-        breakpoints.iter().map(|&x| (x, self.fraction_le(x))).collect()
+        breakpoints
+            .iter()
+            .map(|&x| (x, self.fraction_le(x)))
+            .collect()
     }
 
     /// Minimum sample.

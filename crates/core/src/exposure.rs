@@ -7,10 +7,10 @@
 //! maximum (§6.4).
 
 use crate::cdf::Cdf;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Which shortcut created a window.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ExposureKind {
     /// Session tickets: the STEK's observed lifetime.
     Ticket,
@@ -56,7 +56,9 @@ impl DomainExposure {
 /// Accumulates per-domain windows from the separate analyses.
 #[derive(Debug, Default)]
 pub struct ExposureTable {
-    domains: HashMap<String, DomainExposure>,
+    // Ordered: `combined_cdf` and `dominant_counts` iterate this map and
+    // feed Figure 8 directly, so visit order must be seed-independent.
+    domains: BTreeMap<String, DomainExposure>,
 }
 
 impl ExposureTable {
@@ -117,8 +119,8 @@ impl ExposureTable {
     }
 
     /// Count of domains whose dominant mechanism is `kind`.
-    pub fn dominant_counts(&self) -> HashMap<ExposureKind, usize> {
-        let mut out = HashMap::new();
+    pub fn dominant_counts(&self) -> BTreeMap<ExposureKind, usize> {
+        let mut out = BTreeMap::new();
         for e in self.domains.values() {
             if let Some(k) = e.dominant() {
                 *out.entry(k).or_insert(0) += 1;

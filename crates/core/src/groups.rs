@@ -66,6 +66,8 @@ pub fn groups_from_shared_ids<'a>(
     pairs: impl IntoIterator<Item = (&'a str, &'a str)>, // (domain, id)
 ) -> Vec<ServiceGroup> {
     let mut ds = DisjointSets::new();
+    // Lookup-only hash map (get/insert, never iterated): group membership
+    // comes out of `ds.groups()`, which sorts, so hash order never escapes.
     let mut first_holder: HashMap<String, String> = HashMap::new();
     for (domain, id) in pairs {
         ds.add(domain);
@@ -104,7 +106,10 @@ pub fn dh_groups(sightings: &[KexSighting]) -> Vec<ServiceGroup> {
 fn finalize(groups: Vec<Vec<String>>) -> Vec<ServiceGroup> {
     let mut out: Vec<ServiceGroup> = groups
         .into_iter()
-        .map(|members| ServiceGroup { label: infer_label(&members), members })
+        .map(|members| ServiceGroup {
+            label: infer_label(&members),
+            members,
+        })
         .collect();
     out.sort_by(|a, b| b.size().cmp(&a.size()).then(a.label.cmp(&b.label)));
     out
@@ -120,7 +125,12 @@ pub fn stats(groups: &[ServiceGroup]) -> GroupStats {
         .filter(|g| g.size() >= 2)
         .map(|g| g.size())
         .sum();
-    GroupStats { group_count, singleton_count, domain_count, shared_domain_count }
+    GroupStats {
+        group_count,
+        singleton_count,
+        domain_count,
+        shared_domain_count,
+    }
 }
 
 /// Label a group by its members' longest common name prefix (trimmed at a
@@ -136,7 +146,8 @@ pub fn infer_label(members: &[String]) -> String {
                 len = len.min(common_prefix_len(first, m));
             }
             let prefix = &first[..len];
-            let trimmed = prefix.trim_end_matches(|c: char| c == '-' || c == '.' || c.is_ascii_digit());
+            let trimmed =
+                prefix.trim_end_matches(|c: char| c == '-' || c == '.' || c.is_ascii_digit());
             if trimmed.len() >= 3 {
                 trimmed.to_string()
             } else {
@@ -165,7 +176,12 @@ mod tests {
     use crate::observations::{KexKind, SharingKind};
 
     fn sighting(domain: &str, id: &str) -> TicketSighting {
-        TicketSighting { domain: domain.into(), day: 0, stek_id: id.into(), lifetime_hint: 0 }
+        TicketSighting {
+            domain: domain.into(),
+            day: 0,
+            stek_id: id.into(),
+            lifetime_hint: 0,
+        }
     }
 
     #[test]
@@ -202,8 +218,16 @@ mod tests {
     #[test]
     fn edges_grouping_with_universe() {
         let edges = vec![
-            SharingEdge { a: "a.sim".into(), b: "b.sim".into(), kind: SharingKind::SessionCache },
-            SharingEdge { a: "b.sim".into(), b: "c.sim".into(), kind: SharingKind::SessionCache },
+            SharingEdge {
+                a: "a.sim".into(),
+                b: "b.sim".into(),
+                kind: SharingKind::SessionCache,
+            },
+            SharingEdge {
+                a: "b.sim".into(),
+                b: "c.sim".into(),
+                kind: SharingKind::SessionCache,
+            },
         ];
         let groups = groups_from_edges(["a.sim", "b.sim", "c.sim", "d.sim"], &edges);
         assert_eq!(groups[0].members, vec!["a.sim", "b.sim", "c.sim"]);
@@ -213,8 +237,18 @@ mod tests {
     #[test]
     fn dh_grouping_mixes_flavours() {
         let sightings = vec![
-            KexSighting { domain: "x.sim".into(), day: 0, kex: KexKind::Dhe, value_fp: "v".into() },
-            KexSighting { domain: "y.sim".into(), day: 1, kex: KexKind::Ecdhe, value_fp: "v".into() },
+            KexSighting {
+                domain: "x.sim".into(),
+                day: 0,
+                kex: KexKind::Dhe,
+                value_fp: "v".into(),
+            },
+            KexSighting {
+                domain: "y.sim".into(),
+                day: 1,
+                kex: KexKind::Ecdhe,
+                value_fp: "v".into(),
+            },
         ];
         let groups = dh_groups(&sightings);
         assert_eq!(groups[0].size(), 2);

@@ -70,7 +70,8 @@ impl Json {
 
     /// Required-field lookup, as an error rather than an Option.
     pub fn field(&self, key: &str) -> Result<&Json, JsonError> {
-        self.get(key).ok_or_else(|| JsonError(format!("missing field {key:?}")))
+        self.get(key)
+            .ok_or_else(|| JsonError(format!("missing field {key:?}")))
     }
 
     /// The value as a string slice.
@@ -384,7 +385,9 @@ mod tests {
 
     #[test]
     fn roundtrip_scalars() {
-        for doc in ["null", "true", "false", "0", "-17", "3.5", "\"hi\"", "[]", "{}"] {
+        for doc in [
+            "null", "true", "false", "0", "-17", "3.5", "\"hi\"", "[]", "{}",
+        ] {
             let v = Json::parse(doc).unwrap();
             assert_eq!(Json::parse(&v.to_json_string()).unwrap(), v, "{doc}");
         }
@@ -420,7 +423,15 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        for doc in ["", "{", "[1,]", "{\"a\":1,\"a\":2}", "01x", "\"\\q\"", "nulls"] {
+        for doc in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":1,\"a\":2}",
+            "01x",
+            "\"\\q\"",
+            "nulls",
+        ] {
             assert!(Json::parse(doc).is_err(), "{doc:?} should fail");
         }
     }

@@ -8,7 +8,7 @@
 //! identifiers don't collide.
 
 use crate::observations::{KexKind, KexSighting, TicketSighting};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Span statistics for one domain.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,10 +24,12 @@ pub struct DomainSpans {
 /// Accumulates sightings and computes per-domain spans.
 #[derive(Debug, Default)]
 pub struct SpanEstimator {
-    // (domain, id) -> (first_day, last_day)
-    ranges: HashMap<(String, String), (u64, u64)>,
+    // (domain, id) -> (first_day, last_day). Ordered maps: the spans feed
+    // report output directly, so iteration order must not depend on the
+    // process's hash seed.
+    ranges: BTreeMap<(String, String), (u64, u64)>,
     // domain -> set of days sighted (small sorted vec)
-    days: HashMap<String, Vec<u64>>,
+    days: BTreeMap<String, Vec<u64>>,
 }
 
 impl SpanEstimator {
@@ -70,9 +72,9 @@ impl SpanEstimator {
         }
     }
 
-    /// Per-domain span statistics.
-    pub fn domain_spans(&self) -> HashMap<String, DomainSpans> {
-        let mut per_domain: HashMap<String, (u64, usize)> = HashMap::new();
+    /// Per-domain span statistics, keyed in domain order.
+    pub fn domain_spans(&self) -> BTreeMap<String, DomainSpans> {
+        let mut per_domain: BTreeMap<String, (u64, usize)> = BTreeMap::new();
         for ((domain, _id), &(first, last)) in &self.ranges {
             let span = last - first + 1;
             let entry = per_domain.entry(domain.clone()).or_insert((0, 0));
@@ -83,7 +85,14 @@ impl SpanEstimator {
             .into_iter()
             .map(|(domain, (max_span_days, distinct_ids))| {
                 let days_seen = self.days.get(&domain).map(|d| d.len()).unwrap_or(0);
-                (domain, DomainSpans { max_span_days, distinct_ids, days_seen })
+                (
+                    domain,
+                    DomainSpans {
+                        max_span_days,
+                        distinct_ids,
+                        days_seen,
+                    },
+                )
             })
             .collect()
     }
@@ -110,7 +119,10 @@ impl SpanEstimator {
 
     /// All per-domain max spans (for CDF building).
     pub fn max_spans(&self) -> Vec<u64> {
-        self.domain_spans().values().map(|s| s.max_span_days).collect()
+        self.domain_spans()
+            .values()
+            .map(|s| s.max_span_days)
+            .collect()
     }
 
     /// Number of (domain, id) pairs tracked.
@@ -190,7 +202,10 @@ mod tests {
         e.record("mid.sim", "k", 9);
         e.record("short.sim", "k", 0);
         let v = e.domains_with_span_at_least(7);
-        assert_eq!(v, vec![("long.sim".to_string(), 63), ("mid.sim".to_string(), 10)]);
+        assert_eq!(
+            v,
+            vec![("long.sim".to_string(), 63), ("mid.sim".to_string(), 10)]
+        );
         assert_eq!(e.domains_with_span_at_least(64), vec![]);
     }
 
@@ -209,12 +224,32 @@ mod tests {
     fn ingest_helpers() {
         use crate::observations::{KexKind, KexSighting, TicketSighting};
         let tickets = vec![
-            TicketSighting { domain: "t.sim".into(), day: 0, stek_id: "aa".into(), lifetime_hint: 0 },
-            TicketSighting { domain: "t.sim".into(), day: 4, stek_id: "aa".into(), lifetime_hint: 0 },
+            TicketSighting {
+                domain: "t.sim".into(),
+                day: 0,
+                stek_id: "aa".into(),
+                lifetime_hint: 0,
+            },
+            TicketSighting {
+                domain: "t.sim".into(),
+                day: 4,
+                stek_id: "aa".into(),
+                lifetime_hint: 0,
+            },
         ];
         let kex = vec![
-            KexSighting { domain: "k.sim".into(), day: 0, kex: KexKind::Dhe, value_fp: "ff".into() },
-            KexSighting { domain: "k.sim".into(), day: 2, kex: KexKind::Ecdhe, value_fp: "ff".into() },
+            KexSighting {
+                domain: "k.sim".into(),
+                day: 0,
+                kex: KexKind::Dhe,
+                value_fp: "ff".into(),
+            },
+            KexSighting {
+                domain: "k.sim".into(),
+                day: 2,
+                kex: KexKind::Ecdhe,
+                value_fp: "ff".into(),
+            },
         ];
         let mut e = SpanEstimator::new();
         e.record_tickets(&tickets);

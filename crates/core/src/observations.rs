@@ -254,7 +254,8 @@ impl ResumptionProbe {
             ("max_delay", self.max_delay.map_or(Json::Null, Json::uint)),
             (
                 "lifetime_hint",
-                self.lifetime_hint.map_or(Json::Null, |h| Json::uint(h as u64)),
+                self.lifetime_hint
+                    .map_or(Json::Null, |h| Json::uint(h as u64)),
             ),
         ])
     }
@@ -302,11 +303,13 @@ impl BurstSummary {
             ("trusted", Json::Bool(self.trusted)),
             (
                 "distinct_kex_values",
-                self.distinct_kex_values.map_or(Json::Null, |d| Json::uint(d as u64)),
+                self.distinct_kex_values
+                    .map_or(Json::Null, |d| Json::uint(d as u64)),
             ),
             (
                 "distinct_stek_ids",
-                self.distinct_stek_ids.map_or(Json::Null, |d| Json::uint(d as u64)),
+                self.distinct_stek_ids
+                    .map_or(Json::Null, |d| Json::uint(d as u64)),
             ),
             ("tickets_issued", Json::uint(self.tickets_issued as u64)),
         ])
@@ -351,11 +354,17 @@ mod tests {
         assert!(base.repeats_stek());
         assert!(base.all_same_stek());
 
-        let reuser = BurstSummary { distinct_kex_values: Some(3), ..base.clone() };
+        let reuser = BurstSummary {
+            distinct_kex_values: Some(3),
+            ..base.clone()
+        };
         assert!(reuser.repeats_kex());
         assert!(!reuser.all_same_kex());
 
-        let always = BurstSummary { distinct_kex_values: Some(1), ..base.clone() };
+        let always = BurstSummary {
+            distinct_kex_values: Some(1),
+            ..base.clone()
+        };
         assert!(always.all_same_kex());
 
         let single = BurstSummary {
@@ -378,7 +387,10 @@ mod tests {
             lifetime_hint: 300,
         };
         let json = s.to_json().to_json_string();
-        assert_eq!(TicketSighting::from_json(&Json::parse(&json).unwrap()).unwrap(), s);
+        assert_eq!(
+            TicketSighting::from_json(&Json::parse(&json).unwrap()).unwrap(),
+            s
+        );
         let p = ResumptionProbe {
             domain: "a.sim".into(),
             mechanism: ResumptionMechanism::Ticket,
@@ -388,9 +400,16 @@ mod tests {
             lifetime_hint: Some(300),
         };
         let json = p.to_json().to_json_string();
-        assert_eq!(ResumptionProbe::from_json(&Json::parse(&json).unwrap()).unwrap(), p);
+        assert_eq!(
+            ResumptionProbe::from_json(&Json::parse(&json).unwrap()).unwrap(),
+            p
+        );
 
-        let none_probe = ResumptionProbe { max_delay: None, lifetime_hint: None, ..p };
+        let none_probe = ResumptionProbe {
+            max_delay: None,
+            lifetime_hint: None,
+            ..p
+        };
         let json = none_probe.to_json().to_json_string();
         assert_eq!(
             ResumptionProbe::from_json(&Json::parse(&json).unwrap()).unwrap(),
@@ -404,11 +423,21 @@ mod tests {
             value_fp: "0011".into(),
         };
         let json = k.to_json().to_json_string();
-        assert_eq!(KexSighting::from_json(&Json::parse(&json).unwrap()).unwrap(), k);
+        assert_eq!(
+            KexSighting::from_json(&Json::parse(&json).unwrap()).unwrap(),
+            k
+        );
 
-        let e = SharingEdge { a: "a.sim".into(), b: "b.sim".into(), kind: SharingKind::Stek };
+        let e = SharingEdge {
+            a: "a.sim".into(),
+            b: "b.sim".into(),
+            kind: SharingKind::Stek,
+        };
         let json = e.to_json().to_json_string();
-        assert_eq!(SharingEdge::from_json(&Json::parse(&json).unwrap()).unwrap(), e);
+        assert_eq!(
+            SharingEdge::from_json(&Json::parse(&json).unwrap()).unwrap(),
+            e
+        );
     }
 
     #[test]

@@ -2,44 +2,84 @@
 //!
 //! Moved here from `ts-bench` so `ts-scanner` and future subsystems can
 //! share one implementation (`ts-bench` re-exports these for
-//! compatibility). The contract is the one the experiment harness relies
-//! on: results are concatenated in *chunk order*, so a run is a pure
-//! function of `(items, workers, f)` no matter how the OS schedules the
-//! worker threads.
+//! compatibility). The contract is stronger than "concatenate in chunk
+//! order": the *chunk layout itself* is a pure function of the item count.
+//! Callers derive DRBG seeds from chunk ids (`daily-campaign-{day}-{id}`),
+//! so if the layout followed the worker count, a 4-core laptop and a
+//! 64-core server would seed different scanners and print different
+//! tables. Instead the input is always split into [`DETERMINISTIC_CHUNKS`]
+//! slices and worker threads pull chunk indices from a shared queue —
+//! workers only change wall-clock time, never results.
 
-/// Deterministic parallel map: split `items` into chunks, run `f(chunk_id,
-/// chunk)` on worker threads, concatenate in chunk order.
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Fixed chunk count: every input is split into at most this many chunks,
+/// regardless of how many worker threads execute them.
+pub const DETERMINISTIC_CHUNKS: usize = 64;
+
+/// Worker-count override (0 = use [`available_parallelism`]), settable once
+/// by the binary's `--workers` flag.
+///
+/// [`available_parallelism`]: std::thread::available_parallelism
+static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Deterministic parallel map: split `items` into [`DETERMINISTIC_CHUNKS`]
+/// chunks, run `f(chunk_id, chunk)` on `workers` threads, concatenate in
+/// chunk order. Both the chunk boundaries and the ids passed to `f` depend
+/// only on `items.len()`, so the result is a pure function of
+/// `(items, f)` — `workers` affects only how fast it finishes.
 pub fn parallel_map<T: Sync, R: Send>(
     items: &[T],
     workers: usize,
     f: impl Fn(usize, &[T]) -> Vec<R> + Sync,
 ) -> Vec<R> {
-    let workers = workers.max(1);
     if items.is_empty() {
         return Vec::new();
     }
-    let chunk_size = items.len().div_ceil(workers);
+    let chunk_size = items.len().div_ceil(DETERMINISTIC_CHUNKS).max(1);
     let chunks: Vec<(usize, &[T])> = items.chunks(chunk_size).enumerate().collect();
-    let mut out: Vec<(usize, Vec<R>)> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|(id, chunk)| {
-                let f = &f;
-                let id = *id;
-                let chunk = *chunk;
-                scope.spawn(move |_| (id, f(id, chunk)))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    let workers = workers.max(1).min(chunks.len());
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(chunks.len()));
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            let f = &f;
+            let next = &next;
+            let done = &done;
+            let chunks = &chunks;
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(id, chunk)) = chunks.get(i) else {
+                    break;
+                };
+                let result = f(id, chunk);
+                done.lock().expect("result sink").push((id, result));
+            });
+        }
     })
     .expect("scope");
+    let mut out = done.into_inner().expect("result sink");
     out.sort_by_key(|(id, _)| *id);
     out.into_iter().flat_map(|(_, v)| v).collect()
 }
 
-/// Default worker count.
+/// Default worker count: the `--workers` override when set, otherwise the
+/// machine's available parallelism.
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    match WORKER_OVERRIDE.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+        n => n,
+    }
+}
+
+/// Pin [`default_workers`] to `n` (0 restores the hardware default). Used
+/// by `repro --workers N`, and by the determinism harness to prove that
+/// worker count cannot reach the output.
+pub fn set_default_workers(n: usize) {
+    WORKER_OVERRIDE.store(n, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -64,10 +104,35 @@ mod tests {
     }
 
     #[test]
-    fn chunk_ids_cover_all_workers() {
-        let items: Vec<u32> = (0..64).collect();
+    fn chunk_layout_ignores_worker_count() {
+        // The determinism contract: chunk ids and boundaries are a pure
+        // function of the item count, so chunk-id-derived seeds match
+        // across machines with different core counts.
+        let items: Vec<u32> = (0..997).collect();
+        let layout = |workers| {
+            parallel_map(&items, workers, |id, chunk| {
+                vec![(id, chunk.first().copied(), chunk.len())]
+            })
+        };
+        let one = layout(1);
+        assert_eq!(one, layout(3));
+        assert_eq!(one, layout(8));
+        assert_eq!(one, layout(61));
+    }
+
+    #[test]
+    fn large_inputs_use_all_chunks() {
+        let items: Vec<u32> = (0..1024).collect();
         let ids = parallel_map(&items, 4, |id, chunk| vec![id; chunk.len()]);
         let distinct: std::collections::BTreeSet<usize> = ids.iter().copied().collect();
-        assert_eq!(distinct.len(), 4);
+        assert_eq!(distinct.len(), DETERMINISTIC_CHUNKS);
+    }
+
+    #[test]
+    fn worker_override_round_trips() {
+        set_default_workers(3);
+        assert_eq!(default_workers(), 3);
+        set_default_workers(0);
+        assert!(default_workers() >= 1);
     }
 }

@@ -1,7 +1,7 @@
 //! Rank tiers (Figure 4: STEK lifetime by Alexa rank).
 
 use crate::cdf::Cdf;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A rank tier: domains with rank ≤ `limit`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,20 +16,39 @@ pub struct Tier {
 /// simulation has no "Top 1M" tier distinct from "Top 20K").
 pub fn tiers_for_population(size: usize) -> Vec<Tier> {
     let all = [
-        Tier { label: "Top 100", limit: 100 },
-        Tier { label: "Top 1K", limit: 1_000 },
-        Tier { label: "Top 10K", limit: 10_000 },
-        Tier { label: "Top 100K", limit: 100_000 },
-        Tier { label: "Top 1M", limit: 1_000_000 },
+        Tier {
+            label: "Top 100",
+            limit: 100,
+        },
+        Tier {
+            label: "Top 1K",
+            limit: 1_000,
+        },
+        Tier {
+            label: "Top 10K",
+            limit: 10_000,
+        },
+        Tier {
+            label: "Top 100K",
+            limit: 100_000,
+        },
+        Tier {
+            label: "Top 1M",
+            limit: 1_000_000,
+        },
     ];
     let mut out: Vec<Tier> = all.into_iter().filter(|t| t.limit < size).collect();
-    out.push(Tier { label: "Whole list", limit: size });
+    out.push(Tier {
+        label: "Whole list",
+        limit: size,
+    });
     out
 }
 
 /// Per-tier CDFs from (rank, sample) pairs. Tiers are cumulative, as in
-/// the paper (Top 1K includes Top 100).
-pub fn tier_cdfs(samples: &[(usize, u64)], tiers: &[Tier]) -> HashMap<&'static str, Cdf> {
+/// the paper (Top 1K includes Top 100). Ordered map so any caller
+/// iterating the result renders tiers in a stable order.
+pub fn tier_cdfs(samples: &[(usize, u64)], tiers: &[Tier]) -> BTreeMap<&'static str, Cdf> {
     tiers
         .iter()
         .map(|tier| {

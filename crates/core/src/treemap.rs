@@ -9,7 +9,7 @@
 
 use crate::cdf::Cdf;
 use crate::groups::ServiceGroup;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Longevity colour buckets, mirroring the figures' legend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -70,7 +70,7 @@ pub struct TreemapCell {
 /// longevity sample are skipped for the median but still counted for size.
 pub fn build_cells(
     groups: &[ServiceGroup],
-    longevity: &HashMap<String, u64>,
+    longevity: &BTreeMap<String, u64>,
     min_size: usize,
 ) -> Vec<TreemapCell> {
     let mut cells: Vec<TreemapCell> = groups
@@ -135,7 +135,7 @@ mod tests {
             group("big", &["a", "b", "c"]),
             group("small-red", &["x", "y"]),
         ];
-        let mut longevity = HashMap::new();
+        let mut longevity = BTreeMap::new();
         longevity.insert("a".to_string(), 300);
         longevity.insert("b".to_string(), 400);
         longevity.insert("c".to_string(), 500);
@@ -155,7 +155,7 @@ mod tests {
     #[test]
     fn min_size_filters() {
         let groups = vec![group("solo", &["a"]), group("duo", &["b", "c"])];
-        let longevity = HashMap::new();
+        let longevity = BTreeMap::new();
         let cells = build_cells(&groups, &longevity, 2);
         assert_eq!(cells.len(), 1);
         assert_eq!(cells[0].label, "duo");

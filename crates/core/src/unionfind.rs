@@ -4,7 +4,7 @@
 //! if `id_a` resumes on `b` and `id_b` resumes on `c`, then a, b, c share
 //! a cache. That closure is exactly union-find.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Union-find over `usize` indices.
 #[derive(Debug, Clone)]
@@ -16,7 +16,10 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n).collect(), size: vec![1; n] }
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
     }
 
     /// Number of elements.
@@ -72,7 +75,10 @@ impl UnionFind {
 
     /// All sets, each as a sorted vector of member indices, largest first.
     pub fn sets(&mut self) -> Vec<Vec<usize>> {
-        let mut by_root: HashMap<usize, Vec<usize>> = HashMap::new();
+        // Ordered map: the grouping escapes into report tables, and the
+        // sorts below only order *within* and *between* sets by content —
+        // a deterministic source ordering keeps the whole path stable.
+        let mut by_root: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for i in 0..self.parent.len() {
             let r = self.find(i);
             by_root.entry(r).or_default().push(i);
@@ -89,6 +95,8 @@ impl UnionFind {
 /// Union-find keyed by arbitrary (hashable) values — domains, here.
 #[derive(Debug, Clone, Default)]
 pub struct DisjointSets {
+    // Lookup-only hash map (get/insert; never iterated): insertion order
+    // is captured by `names`, so the hash seed cannot leak into results.
     indices: HashMap<String, usize>,
     names: Vec<String>,
     uf: Option<UnionFind>,

@@ -125,11 +125,10 @@ mod tests {
     // RFC 7539 §2.8.2 AEAD test vector.
     #[test]
     fn rfc7539_aead_vector() {
-        let key: [u8; 32] = unhex(
-            "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] =
+            unhex("808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f")
+                .try_into()
+                .unwrap();
         let nonce: [u8; 12] = unhex("070000004041424344454647").try_into().unwrap();
         let aad = unhex("50515253c0c1c2c3c4c5c6c7");
         let pt = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
@@ -178,7 +177,10 @@ mod tests {
         let nonce = [8u8; 12];
         let sealed = chacha20poly1305_seal(&key, &nonce, b"", b"");
         assert_eq!(sealed.len(), 16);
-        assert_eq!(chacha20poly1305_open(&key, &nonce, b"", &sealed).unwrap(), b"");
+        assert_eq!(
+            chacha20poly1305_open(&key, &nonce, b"", &sealed).unwrap(),
+            b""
+        );
     }
 
     #[test]
@@ -209,8 +211,14 @@ mod tests {
         );
         let mut bad = sealed.clone();
         bad[20] ^= 0xff;
-        assert_eq!(cbc_hmac_open(&ek, &mk, b"hdr", &bad), Err(CryptoError::BadMac));
-        assert!(cbc_hmac_open(&ek, &mk, b"hdr", &sealed[..40]).is_err(), "too short");
+        assert_eq!(
+            cbc_hmac_open(&ek, &mk, b"hdr", &bad),
+            Err(CryptoError::BadMac)
+        );
+        assert!(
+            cbc_hmac_open(&ek, &mk, b"hdr", &sealed[..40]).is_err(),
+            "too short"
+        );
         // Note: the *encryption* key is not authenticated by the MAC — a
         // wrong enc key with a correct MAC key yields garbage or padding
         // failure, mirroring real CBC+HMAC deployments.

@@ -47,7 +47,9 @@ impl Ub {
 
     /// Construct from a `u64`.
     pub fn from_u64(v: u64) -> Self {
-        let mut n = Ub { limbs: vec![v as u32, (v >> 32) as u32] };
+        let mut n = Ub {
+            limbs: vec![v as u32, (v >> 32) as u32],
+        };
         n.normalize();
         n
     }
@@ -283,7 +285,11 @@ impl Ub {
         } else {
             for i in 0..src.len() {
                 let lo = src[i] >> bit_shift;
-                let hi = if i + 1 < src.len() { src[i + 1] << (32 - bit_shift) } else { 0 };
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (32 - bit_shift)
+                } else {
+                    0
+                };
                 out.push(lo | hi);
             }
         }
@@ -330,9 +336,7 @@ impl Ub {
             let top = ((un[j + n] as u64) << 32) | un[j + n - 1] as u64;
             let mut qhat = top / vn[n - 1] as u64;
             let mut rhat = top % vn[n - 1] as u64;
-            while qhat >= b
-                || qhat * vn[n - 2] as u64 > (rhat << 32) + un[j + n - 2] as u64
-            {
+            while qhat >= b || qhat * vn[n - 2] as u64 > (rhat << 32) + un[j + n - 2] as u64 {
                 qhat -= 1;
                 rhat += vn[n - 1] as u64;
                 if rhat >= b {
@@ -366,7 +370,9 @@ impl Ub {
         }
         let mut quotient = Ub { limbs: q };
         quotient.normalize();
-        let mut rem = Ub { limbs: un[..n].to_vec() };
+        let mut rem = Ub {
+            limbs: un[..n].to_vec(),
+        };
         rem.normalize();
         (quotient, rem.shr(shift))
     }
@@ -480,9 +486,9 @@ fn sub_signed(a: &(Ub, bool), b: &(Ub, bool)) -> (Ub, bool) {
 /// Montgomery context for a fixed odd modulus.
 pub struct Montgomery {
     n: Ub,
-    n0inv: u32,  // -n^{-1} mod 2^32
-    rr: Ub,      // R^2 mod n, R = 2^(32*k)
-    width: usize,  // limb count of n
+    n0inv: u32,   // -n^{-1} mod 2^32
+    rr: Ub,       // R^2 mod n, R = 2^(32*k)
+    width: usize, // limb count of n
 }
 
 impl Montgomery {
@@ -501,7 +507,12 @@ impl Montgomery {
         // R^2 mod n where R = 2^(32k).
         let r = Ub::one().shl(32 * k);
         let rr = r.mul(&r).rem(modulus);
-        Montgomery { n: modulus.clone(), n0inv, rr, width: k }
+        Montgomery {
+            n: modulus.clone(),
+            n0inv,
+            rr,
+            width: k,
+        }
     }
 
     /// Montgomery product: `a * b * R^{-1} mod n` (CIOS).
@@ -580,7 +591,11 @@ pub fn random_below(bound: &Ub, mut fill: impl FnMut(&mut [u8])) -> Ub {
     assert!(!bound.is_zero(), "empty range");
     let byte_len = (bound.bit_len() + 7) / 8;
     let top_bits = bound.bit_len() % 8;
-    let mask = if top_bits == 0 { 0xff } else { (1u16 << top_bits) as u8 - 1 };
+    let mask = if top_bits == 0 {
+        0xff
+    } else {
+        (1u16 << top_bits) as u8 - 1
+    };
     let mut buf = vec![0u8; byte_len];
     loop {
         fill(&mut buf);
@@ -794,7 +809,10 @@ mod tests {
     fn modpow_exp_zero_and_mod_one() {
         let m = Ub::from_u64(97);
         assert_eq!(Ub::from_u64(42).modpow(&Ub::zero(), &m), Ub::one());
-        assert_eq!(Ub::from_u64(42).modpow(&Ub::from_u64(5), &Ub::one()), Ub::zero());
+        assert_eq!(
+            Ub::from_u64(42).modpow(&Ub::from_u64(5), &Ub::one()),
+            Ub::zero()
+        );
     }
 
     #[test]
@@ -836,7 +854,10 @@ mod tests {
         let b = Ub::from_u64(192);
         assert_eq!(a.gcd(&b), Ub::from_u64(6));
         // 3 * 7 = 21 ≡ 1 mod 10 → inverse of 3 mod 10 is 7.
-        assert_eq!(Ub::from_u64(3).modinv(&Ub::from_u64(10)).unwrap(), Ub::from_u64(7));
+        assert_eq!(
+            Ub::from_u64(3).modinv(&Ub::from_u64(10)).unwrap(),
+            Ub::from_u64(7)
+        );
         // 65537^{-1} mod a known prime round-trips.
         let p = Ub::from_hex("ffffffffffffffc5"); // large prime < 2^64
         let e = Ub::from_u64(65537);
@@ -860,10 +881,16 @@ mod tests {
     fn small_primes_recognized() {
         let mut fill = fill_counter();
         for p in [2u64, 3, 5, 7, 11, 13, 97, 65537, 1_000_003] {
-            assert!(is_probable_prime(&Ub::from_u64(p), 10, &mut fill), "{p} is prime");
+            assert!(
+                is_probable_prime(&Ub::from_u64(p), 10, &mut fill),
+                "{p} is prime"
+            );
         }
         for c in [0u64, 1, 4, 9, 15, 91, 561, 65535, 1_000_001] {
-            assert!(!is_probable_prime(&Ub::from_u64(c), 10, &mut fill), "{c} is composite");
+            assert!(
+                !is_probable_prime(&Ub::from_u64(c), 10, &mut fill),
+                "{c} is composite"
+            );
         }
     }
 

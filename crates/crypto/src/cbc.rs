@@ -79,15 +79,15 @@ mod tests {
     // vector has no padding, so we check our ciphertext prefix).
     #[test]
     fn sp800_38a_cbc_prefix() {
-        let key: [u8; 16] = unhex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
-        let iv: [u8; 16] = unhex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
-        let pt = unhex(
-            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51",
-        );
+        let key: [u8; 16] = unhex("2b7e151628aed2a6abf7158809cf4f3c")
+            .try_into()
+            .unwrap();
+        let iv: [u8; 16] = unhex("000102030405060708090a0b0c0d0e0f")
+            .try_into()
+            .unwrap();
+        let pt = unhex("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51");
         let ct = encrypt(&key, &iv, &pt);
-        let want = unhex(
-            "7649abac8119b246cee98e9b12e9197d5086cb9b507219ee95db113a917678b2",
-        );
+        let want = unhex("7649abac8119b246cee98e9b12e9197d5086cb9b507219ee95db113a917678b2");
         assert_eq!(&ct[..32], &want[..]);
         // With full-block plaintext, PKCS#7 adds one extra block.
         assert_eq!(ct.len(), 48);
@@ -139,8 +139,14 @@ mod tests {
     fn misaligned_ciphertext_rejected() {
         let key = [0u8; 16];
         let iv = [0u8; 16];
-        assert!(matches!(decrypt(&key, &iv, &[0u8; 15]), Err(CryptoError::BadLength(_))));
-        assert!(matches!(decrypt(&key, &iv, &[]), Err(CryptoError::BadLength(_))));
+        assert!(matches!(
+            decrypt(&key, &iv, &[0u8; 15]),
+            Err(CryptoError::BadLength(_))
+        ));
+        assert!(matches!(
+            decrypt(&key, &iv, &[]),
+            Err(CryptoError::BadLength(_))
+        ));
     }
 
     #[test]

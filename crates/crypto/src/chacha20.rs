@@ -81,11 +81,10 @@ mod tests {
     // RFC 7539 §2.3.2 block function test vector.
     #[test]
     fn rfc7539_block_vector() {
-        let key: [u8; 32] = unhex(
-            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] =
+            unhex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .try_into()
+                .unwrap();
         let nonce: [u8; 12] = unhex("000000090000004a00000000").try_into().unwrap();
         let ks = block(&key, 1, &nonce);
         assert_eq!(
@@ -98,11 +97,10 @@ mod tests {
     // RFC 7539 §2.4.2 encryption test vector ("sunscreen" plaintext).
     #[test]
     fn rfc7539_encrypt_vector() {
-        let key: [u8; 32] = unhex(
-            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] =
+            unhex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .try_into()
+                .unwrap();
         let nonce: [u8; 12] = unhex("000000000000004a00000000").try_into().unwrap();
         let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.".to_vec();
         xor_stream(&key, 1, &nonce, &mut data);

@@ -45,7 +45,10 @@ impl Drop for HmacDrbg {
 impl HmacDrbg {
     /// Instantiate from seed material (any length, any entropy).
     pub fn new(seed: &[u8]) -> Self {
-        let mut drbg = HmacDrbg { k: [0u8; 32], v: [1u8; 32] };
+        let mut drbg = HmacDrbg {
+            k: [0u8; 32],
+            v: [1u8; 32],
+        };
         drbg.update(Some(seed));
         drbg
     }
@@ -196,7 +199,10 @@ mod tests {
         for _ in 0..200 {
             seen[d.gen_range(5) as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all values of a small range appear");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all values of a small range appear"
+        );
     }
 
     #[test]

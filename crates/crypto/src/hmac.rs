@@ -131,7 +131,10 @@ mod tests {
     fn rfc4231_case6_long_key() {
         let key = [0xaau8; 131];
         assert_eq!(
-            hex(&hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First")),
+            hex(&hmac_sha256(
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
         );
     }
@@ -157,7 +160,10 @@ mod tests {
         assert!(!verify_hmac_sha256(b"k", b"m", &bad));
         assert!(!verify_hmac_sha256(b"k", b"m2", &tag));
         assert!(!verify_hmac_sha256(b"k2", b"m", &tag));
-        assert!(!verify_hmac_sha256(b"k", b"m", &tag[..8]), "too-short tag rejected");
+        assert!(
+            !verify_hmac_sha256(b"k", b"m", &tag[..8]),
+            "too-short tag rejected"
+        );
     }
 
     #[test]

@@ -176,11 +176,10 @@ mod tests {
     // RFC 7539 §2.5.2 test vector.
     #[test]
     fn rfc7539_vector() {
-        let key: [u8; 32] = unhex(
-            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] =
+            unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
+                .try_into()
+                .unwrap();
         let tag = poly1305(&key, b"Cryptographic Forum Research Group");
         assert_eq!(hex(&tag), "a8061dc1305136c6c22b8baf0c0127a9");
     }
@@ -190,7 +189,10 @@ mod tests {
     fn rfc7539_a3_vector1() {
         let key = [0u8; 32];
         let msg = [0u8; 64];
-        assert_eq!(hex(&poly1305(&key, &msg)), "00000000000000000000000000000000");
+        assert_eq!(
+            hex(&poly1305(&key, &msg)),
+            "00000000000000000000000000000000"
+        );
     }
 
     // RFC 7539 Appendix A.3 test vector #2.
@@ -199,7 +201,10 @@ mod tests {
         let mut key = [0u8; 32];
         key[16..].copy_from_slice(&unhex("36e5f6b5c5e06070f0efca96227a863e"));
         let msg = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
-        assert_eq!(hex(&poly1305(&key, msg)), "36e5f6b5c5e06070f0efca96227a863e");
+        assert_eq!(
+            hex(&poly1305(&key, msg)),
+            "36e5f6b5c5e06070f0efca96227a863e"
+        );
     }
 
     // RFC 7539 Appendix A.3 test vector #3 (r = key part, s = 0).
@@ -208,7 +213,10 @@ mod tests {
         let mut key = [0u8; 32];
         key[..16].copy_from_slice(&unhex("36e5f6b5c5e06070f0efca96227a863e"));
         let msg = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
-        assert_eq!(hex(&poly1305(&key, msg)), "f3477e7cd95417af89a6b8794c310cf0");
+        assert_eq!(
+            hex(&poly1305(&key, msg)),
+            "f3477e7cd95417af89a6b8794c310cf0"
+        );
     }
 
     #[test]

@@ -13,8 +13,8 @@ use crate::sha256::sha256;
 
 /// The DER-encoded DigestInfo prefix for SHA-256 (RFC 8017 §9.2 note 1).
 const SHA256_DIGEST_INFO: [u8; 19] = [
-    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
-    0x05, 0x00, 0x04, 0x20,
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01, 0x05,
+    0x00, 0x04, 0x20,
 ];
 
 /// An RSA public key `(n, e)`.
@@ -62,7 +62,9 @@ impl RsaPublicKey {
         if s.cmp_to(&self.n) != std::cmp::Ordering::Less {
             return Err(CryptoError::BadSignature);
         }
-        let em = s.modpow(&self.e, &self.n).to_bytes_be_padded(self.modulus_len());
+        let em = s
+            .modpow(&self.e, &self.n)
+            .to_bytes_be_padded(self.modulus_len());
         let expected = pkcs1_v15_encode(msg, self.modulus_len())?;
         if crate::ct::ct_eq(&em, &expected) {
             Ok(())
@@ -120,7 +122,10 @@ impl RsaPrivateKey {
                 Ok(d) => d,
                 Err(_) => continue, // gcd(e, phi) != 1; rare
             };
-            return Ok(RsaPrivateKey { public: RsaPublicKey { n, e }, d });
+            return Ok(RsaPrivateKey {
+                public: RsaPublicKey { n, e },
+                d,
+            });
         }
         Err(CryptoError::KeygenFailure)
     }
@@ -199,7 +204,9 @@ mod tests {
         let key = test_key(1024, b"rsa-1024");
         let sig = key.sign(b"server key exchange params").unwrap();
         assert_eq!(sig.len(), 128);
-        key.public.verify(b"server key exchange params", &sig).unwrap();
+        key.public
+            .verify(b"server key exchange params", &sig)
+            .unwrap();
     }
 
     #[test]

@@ -65,7 +65,12 @@ impl crate::wipe::Wipe for Sha256 {
 impl Sha256 {
     /// Create a fresh hasher.
     pub fn new() -> Self {
-        Sha256 { state: H0, buf: [0; BLOCK_LEN], buf_len: 0, total_len: 0 }
+        Sha256 {
+            state: H0,
+            buf: [0; BLOCK_LEN],
+            buf_len: 0,
+            total_len: 0,
+        }
     }
 
     /// Absorb `data` into the hash state.
@@ -112,7 +117,11 @@ impl Sha256 {
         let mut pad = [0u8; BLOCK_LEN * 2];
         pad[0] = 0x80;
         // Number of padding bytes so that (buf_len + pad_len + 8) % 64 == 0.
-        let pad_len = if self.buf_len < 56 { 56 - self.buf_len } else { 120 - self.buf_len };
+        let pad_len = if self.buf_len < 56 {
+            56 - self.buf_len
+        } else {
+            120 - self.buf_len
+        };
         pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
         // Bypass total_len accounting: feed blocks directly.
         let mut input = &pad[..pad_len + 8];
@@ -212,7 +221,9 @@ mod tests {
     #[test]
     fn fips_two_block() {
         assert_eq!(
-            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
     }

@@ -18,12 +18,8 @@ impl Fe {
 
     fn from_bytes(bytes: &[u8; 32]) -> Fe {
         // Little-endian; top bit masked per RFC 7748.
-        let load3 = |b: &[u8]| -> i64 {
-            b[0] as i64 | (b[1] as i64) << 8 | (b[2] as i64) << 16
-        };
-        let load4 = |b: &[u8]| -> i64 {
-            load3(b) | (b[3] as i64) << 24
-        };
+        let load3 = |b: &[u8]| -> i64 { b[0] as i64 | (b[1] as i64) << 8 | (b[2] as i64) << 16 };
+        let load4 = |b: &[u8]| -> i64 { load3(b) | (b[3] as i64) << 24 };
         let mut h = [0i64; 10];
         h[0] = load4(&bytes[0..4]) & 0x3ffffff;
         h[1] = (load4(&bytes[3..7]) >> 2) & 0x1ffffff;
@@ -92,8 +88,8 @@ impl Fe {
     fn sub(&self, other: &Fe) -> Fe {
         // Add a multiple of p before subtracting to keep limbs positive.
         const P2: [i64; 10] = [
-            0x7ffffda, 0x3fffffe, 0x7fffffe, 0x3fffffe, 0x7fffffe, 0x3fffffe, 0x7fffffe,
-            0x3fffffe, 0x7fffffe, 0x3fffffe,
+            0x7ffffda, 0x3fffffe, 0x7fffffe, 0x3fffffe, 0x7fffffe, 0x3fffffe, 0x7fffffe, 0x3fffffe,
+            0x7fffffe, 0x3fffffe,
         ]; // 2p in this radix
         let mut out = [0i64; 10];
         for i in 0..10 {
@@ -422,8 +418,8 @@ mod tests {
             let mut b = [0u8; 32];
             rng.fill_bytes(&mut b);
             b[31] &= 0x7f; // < 2^255
-            // Values ≥ p don't round-trip (they reduce); skip unlikely case
-            // by masking the top byte down further.
+                           // Values ≥ p don't round-trip (they reduce); skip unlikely case
+                           // by masking the top byte down further.
             b[31] &= 0x3f;
             let fe = Fe::from_bytes(&b);
             assert_eq!(fe.to_bytes(), b);

@@ -15,24 +15,38 @@
 //! [telemetry]
 //! sinks = ["count_outcome"]
 //!
-//! # One [[allow]] block per deliberate exception. Every entry MUST match at
-//! # least one finding or the lint fails ("stale allow") — suppressions
-//! # cannot outlive the code they excuse.
+//! # One [[allow]] block per deliberate secret-hygiene exception. Every
+//! # entry MUST match at least one finding or the lint fails ("stale
+//! # allow") — suppressions cannot outlive the code they excuse.
 //! [[allow]]
-//! rule = "secret-index"        # one of the four rule ids
+//! rule = "secret-index"        # a hygiene-family rule id
 //! file = "crates/crypto/src/aes.rs"   # suffix match on the path
 //! ident = "SBOX"               # the diagnostic's anchor identifier
 //! reason = "AES S-box lookups are deliberate; see DESIGN.md"
+//!
+//! # [[determinism]] blocks excuse determinism-family findings (wall-clock
+//! # boundaries, order-insensitive hash-map drains, …) with the exact same
+//! # mandatory-reason / stale-entry-fails semantics. The two sections are
+//! # deliberately separate: a determinism waiver can never silence a
+//! # secret-hygiene finding and vice versa.
+//! [[determinism]]
+//! rule = "wall-clock"
+//! file = "crates/telemetry/src/span.rs"
+//! ident = "Instant"
+//! reason = "the sanctioned wall-timer boundary"
 //! ```
 //!
 //! `reason` is mandatory: an exception without a recorded justification is a
 //! config error.
 
-use crate::diag::{Diagnostic, Rule};
+use crate::diag::{Diagnostic, Rule, RuleFamily};
 
-/// One `[[allow]]` entry from `ctlint.toml`.
+/// One `[[allow]]` or `[[determinism]]` entry from `ctlint.toml`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Allow {
+    /// Which config section this entry came from. The entry may only
+    /// silence rules of the matching family.
+    pub section: RuleFamily,
     /// Rule id this entry silences.
     pub rule: String,
     /// Path suffix the finding's file must end with.
@@ -49,9 +63,16 @@ impl Allow {
         self.rule == d.rule.id() && d.file.ends_with(&self.file) && self.ident == d.ident
     }
 
-    /// Compact display form for stale-entry errors.
+    /// Compact display form for stale-entry errors — names the section so
+    /// a dead entry is findable in `ctlint.toml` without grepping both.
     pub fn describe(&self) -> String {
-        format!("rule={} file={} ident={}", self.rule, self.file, self.ident)
+        format!(
+            "{} rule={} file={} ident={}",
+            self.section.section(),
+            self.rule,
+            self.file,
+            self.ident
+        )
     }
 }
 
@@ -143,7 +164,10 @@ impl Config {
                 continue;
             }
             if line == "[[allow]]" {
-                partial.push(PartialAllow::default());
+                partial.push(PartialAllow::new(RuleFamily::Hygiene));
+                section = Section::Allow(partial.len() - 1);
+            } else if line == "[[determinism]]" {
+                partial.push(PartialAllow::new(RuleFamily::Determinism));
                 section = Section::Allow(partial.len() - 1);
             } else if line == "[secrets]" {
                 section = Section::Secrets;
@@ -211,7 +235,10 @@ impl Config {
                             other => {
                                 return Err(ConfigError {
                                     line: lineno,
-                                    message: format!("unknown [[allow]] key `{other}`"),
+                                    message: format!(
+                                        "unknown {} key `{other}`",
+                                        p.section.section()
+                                    ),
                                 });
                             }
                         }
@@ -232,8 +259,8 @@ impl Config {
     }
 }
 
-#[derive(Default)]
 struct PartialAllow {
+    section: RuleFamily,
     rule: Option<(String, usize)>,
     file: Option<String>,
     ident: Option<String>,
@@ -241,28 +268,64 @@ struct PartialAllow {
 }
 
 impl PartialAllow {
+    fn new(section: RuleFamily) -> Self {
+        PartialAllow {
+            section,
+            rule: None,
+            file: None,
+            ident: None,
+            reason: None,
+        }
+    }
+
     fn finish(self) -> Result<Allow, ConfigError> {
-        let (rule, line) = self.rule.ok_or(ConfigError {
+        let sec = self.section.section();
+        let (rule, line) = self.rule.ok_or_else(|| ConfigError {
             line: 0,
-            message: "[[allow]] entry missing `rule`".to_string(),
+            message: format!("{sec} entry missing `rule`"),
         })?;
-        if !Rule::all().iter().any(|r| r.id() == rule) {
-            return Err(ConfigError { line, message: format!("unknown rule id `{rule}`") });
+        let known = Rule::all().iter().copied().find(|r| r.id() == rule);
+        let known = match known {
+            Some(r) => r,
+            None => {
+                return Err(ConfigError {
+                    line,
+                    message: format!("unknown rule id `{rule}`"),
+                })
+            }
+        };
+        // Family check: `[[allow]]` may only name hygiene rules,
+        // `[[determinism]]` only determinism rules. Cross-section entries
+        // would otherwise silently work, eroding the split.
+        if known.family() != self.section {
+            return Err(ConfigError {
+                line,
+                message: format!(
+                    "rule `{rule}` belongs in {}, not {sec}",
+                    known.family().section()
+                ),
+            });
         }
         let missing = |field: &str| ConfigError {
             line,
-            message: format!("[[allow]] entry for rule `{rule}` missing `{field}`"),
+            message: format!("{sec} entry for rule `{rule}` missing `{field}`"),
         };
         let reason = self.reason.ok_or_else(|| missing("reason"))?;
         if reason.trim().is_empty() {
             return Err(ConfigError {
                 line,
-                message: format!("[[allow]] entry for rule `{rule}` has an empty reason"),
+                message: format!("{sec} entry for rule `{rule}` has an empty reason"),
             });
         }
         let file = self.file.ok_or_else(|| missing("file"))?;
         let ident = self.ident.ok_or_else(|| missing("ident"))?;
-        Ok(Allow { rule, file, ident, reason })
+        Ok(Allow {
+            section: self.section,
+            rule,
+            file,
+            ident,
+            reason,
+        })
     }
 }
 
@@ -347,7 +410,10 @@ mod tests {
     fn telemetry_sinks_extend_the_builtin_list() {
         let cfg = Config::from_toml("[telemetry]\nsinks = [\"count_outcome\"]\n").unwrap();
         for builtin in ["observe", "emit", "record"] {
-            assert!(cfg.telemetry_sinks.iter().any(|s| s == builtin), "{builtin}");
+            assert!(
+                cfg.telemetry_sinks.iter().any(|s| s == builtin),
+                "{builtin}"
+            );
         }
         assert!(cfg.telemetry_sinks.iter().any(|s| s == "count_outcome"));
     }
@@ -374,6 +440,64 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.message.contains("unknown rule id"), "{err}");
+    }
+
+    #[test]
+    fn parses_determinism_section() {
+        let cfg = Config::from_toml(
+            "[[determinism]]\nrule = \"wall-clock\"\nfile = \"span.rs\"\nident = \"Instant\"\nreason = \"wall timer boundary\"\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.allows.len(), 1);
+        assert_eq!(cfg.allows[0].section, RuleFamily::Determinism);
+        assert_eq!(cfg.allows[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn determinism_rule_in_allow_section_is_an_error() {
+        let err = Config::from_toml(
+            "[[allow]]\nrule = \"wall-clock\"\nfile = \"x.rs\"\nident = \"Instant\"\nreason = \"r\"\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("belongs in [[determinism]]"), "{err}");
+    }
+
+    #[test]
+    fn hygiene_rule_in_determinism_section_is_an_error() {
+        let err = Config::from_toml(
+            "[[determinism]]\nrule = \"secret-leak\"\nfile = \"x.rs\"\nident = \"K\"\nreason = \"r\"\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("belongs in [[allow]]"), "{err}");
+    }
+
+    #[test]
+    fn determinism_entry_without_reason_is_an_error() {
+        let err = Config::from_toml(
+            "[[determinism]]\nrule = \"wall-clock\"\nfile = \"x.rs\"\nident = \"Instant\"\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("[[determinism]]"), "{err}");
+        assert!(err.message.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn stale_describe_names_the_originating_section() {
+        let cfg = Config::from_toml(
+            "[[allow]]\nrule = \"secret-index\"\nfile = \"a.rs\"\nident = \"T\"\nreason = \"r\"\n\
+             [[determinism]]\nrule = \"unordered-iteration\"\nfile = \"b.rs\"\nident = \"m\"\nreason = \"r\"\n",
+        )
+        .unwrap();
+        assert!(
+            cfg.allows[0].describe().starts_with("[[allow]] "),
+            "{}",
+            cfg.allows[0].describe()
+        );
+        assert!(
+            cfg.allows[1].describe().starts_with("[[determinism]] "),
+            "{}",
+            cfg.allows[1].describe()
+        );
     }
 
     #[test]

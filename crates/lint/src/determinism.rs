@@ -1,0 +1,1085 @@
+//! The determinism rule family.
+//!
+//! The repro's scientific claim is that every table, figure, and
+//! `--telemetry-json` snapshot is a *pure function of the seed*: two runs
+//! with the same `(seed, size, experiment)` — on different machines, with
+//! different worker counts, under different ASLR/`HashMap` randomization —
+//! must produce byte-identical output. These rules prove the property
+//! statically instead of hoping for it:
+//!
+//! * **`unordered-iteration`** — a `HashMap`/`HashSet` (std's hash
+//!   collections randomize iteration order per process via `RandomState`)
+//!   is iterated, drained, or collected such that the visit order can
+//!   escape into the surrounding computation. Lookups (`get`, `insert`,
+//!   `entry`, indexing, …) never fire: hash maps are fine — even
+//!   encouraged, they are the fast path — as long as order never escapes.
+//!   Escapes are excused by an explicit sort of the collected result or by
+//!   re-keying into another map/set (insertion into a keyed collection is
+//!   order-insensitive).
+//! * **`wall-clock`** — `Instant::now`/`SystemTime::now` anywhere outside
+//!   the sanctioned boundary (the telemetry wall timers and `repro`'s
+//!   stderr progress lines, excused via `[[determinism]]` entries in
+//!   `ctlint.toml`). Experiment logic must use the simnet virtual clock.
+//! * **`ambient-entropy`** — `thread_rng`, `RandomState::new`,
+//!   `from_entropy`, `env::var`-derived seeds, `process::id`: any entropy
+//!   source that is not a seeded `HmacDrbg` stream.
+//! * **`unordered-reduction`** — mutating captured state from inside a
+//!   `ts_core::par::parallel_map` closure. Worker threads drain chunks in
+//!   real-time order, so cross-chunk accumulation (pushes, string concat,
+//!   first-wins inserts, `+=` on floats) depends on the worker count; the
+//!   closure must *return* per-chunk values instead (the runtime
+//!   re-concatenates them in chunk order).
+//!
+//! Like the secret-hygiene rules, the analysis is token-based and
+//! per-function, with `#[cfg(test)]` code exempt (tests may freely iterate
+//! hash maps — they assert on contents, not order). Hash-ness propagates
+//! through the workspace type index: a field or function whose declared
+//! type mentions `HashMap`/`HashSet` taints the values read from it.
+
+use std::collections::{BTreeSet, HashSet};
+
+use crate::diag::{Diagnostic, Rule};
+use crate::index::{matching, FileIndex, FnDef};
+use crate::lexer::{TokKind, Token};
+
+/// Std collections with randomized iteration order.
+fn is_hash_type(name: &str) -> bool {
+    name == "HashMap" || name == "HashSet"
+}
+
+/// Ordered (or order-insensitive keyed) collect targets: collecting a hash
+/// iterator *into* one of these re-keys the elements, and keyed insertion
+/// is order-insensitive.
+const ORDERED_COLLECT_TARGETS: &[&str] = &["BTreeMap", "BTreeSet", "HashMap", "HashSet"];
+
+/// Projections that de-taint: point lookups and order-insensitive whole-map
+/// operations. A hash map used only through these is deterministic.
+const LOOKUP_METHODS: &[&str] = &[
+    "get",
+    "get_mut",
+    "get_key_value",
+    "contains_key",
+    "contains",
+    "insert",
+    "remove",
+    "remove_entry",
+    "entry",
+    "len",
+    "is_empty",
+    "clear",
+    "retain",
+    "reserve",
+    "shrink_to_fit",
+    "capacity",
+    "extend",
+    "append",
+    "take",
+    "replace",
+];
+
+/// Projections that preserve hash-ness without iterating: smart-pointer /
+/// lock / Result unwrapping and cloning.
+const TRANSPARENT_METHODS: &[&str] = &[
+    "clone",
+    "to_owned",
+    "as_ref",
+    "as_mut",
+    "borrow",
+    "borrow_mut",
+    "read",
+    "write",
+    "lock",
+    "unwrap",
+    "expect",
+];
+
+/// Methods that start iterating the collection — from here on, order is
+/// live and something must neutralize it.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Iterator adapters that pass order through unchanged.
+const ITER_ADAPTERS: &[&str] = &[
+    "map",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "flatten",
+    "cloned",
+    "copied",
+    "enumerate",
+    "zip",
+    "chain",
+    "take",
+    "skip",
+    "step_by",
+    "inspect",
+    "by_ref",
+];
+
+/// Order-insensitive terminal consumers: the result is the same whatever
+/// order the elements arrive in.
+const ORDER_INSENSITIVE_CONSUMERS: &[&str] = &["count", "len", "sum", "min", "max", "all", "any"];
+
+/// Sorting calls that neutralize a `collect` into an ordered container.
+const SORT_METHODS: &[&str] = &[
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "sort_by_cached_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+];
+
+/// Mutating calls that, applied to a *captured* binding inside a
+/// `parallel_map` closure, accumulate cross-chunk state in worker order.
+const CAPTURE_MUT_METHODS: &[&str] = &[
+    "push", "push_str", "insert", "extend", "append", "remove", "drain", "entry", "clear",
+    "truncate", "sort", "swap",
+];
+
+/// Compound-assignment operators — `acc += x` on a captured float/string
+/// is the classic unordered reduction.
+const COMPOUND_ASSIGN: &[&str] = &["+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="];
+
+/// The workspace-wide hash-collection model: which field and function
+/// names resolve to a hash-keyed collection. Printed by `ts-lint --model`.
+pub struct DeterminismModel {
+    /// Struct fields whose declared type mentions `HashMap`/`HashSet`
+    /// (possibly behind `RwLock`, `Arc`, …). Reading one of these yields a
+    /// hash-tainted value.
+    pub hash_fields: BTreeSet<String>,
+    /// Functions whose return type mentions `HashMap`/`HashSet`; their
+    /// call results are hash-tainted at the call site.
+    pub hash_fns: BTreeSet<String>,
+}
+
+impl DeterminismModel {
+    /// Build the model from the file indexes. Vendored code is excluded:
+    /// matching is by bare name, and e.g. proptest's `generate` (returns a
+    /// `HashSet` strategy value) must not taint the workspace's unrelated
+    /// `generate` functions.
+    pub fn build(files: &[FileIndex]) -> DeterminismModel {
+        let mut hash_fields = BTreeSet::new();
+        let mut hash_fns = BTreeSet::new();
+        for f in files {
+            if is_vendored(&f.path) {
+                continue;
+            }
+            for t in &f.types {
+                if t.in_test {
+                    continue;
+                }
+                for fd in &t.fields {
+                    if fd.type_idents.iter().any(|n| is_hash_type(n)) {
+                        hash_fields.insert(fd.name.clone());
+                    }
+                }
+            }
+            for func in &f.fns {
+                if func.in_test {
+                    continue;
+                }
+                if func.return_idents.iter().any(|n| is_hash_type(n)) {
+                    hash_fns.insert(func.name.clone());
+                }
+            }
+        }
+        DeterminismModel {
+            hash_fields,
+            hash_fns,
+        }
+    }
+}
+
+fn is_vendored(path: &str) -> bool {
+    path.starts_with("vendor/") || path.contains("/vendor/")
+}
+
+/// Run the determinism family over all files, appending raw diagnostics.
+pub fn check(files: &[FileIndex], diags: &mut Vec<Diagnostic>) {
+    let model = DeterminismModel::build(files);
+    for f in files {
+        for func in &f.fns {
+            if func.in_test {
+                continue;
+            }
+            let toks = &f.tokens[func.body.0..func.body.1];
+            check_wall_clock(f, toks, diags);
+            check_ambient_entropy(f, toks, diags);
+            check_unordered_iteration(f, func, toks, &model, diags);
+            check_unordered_reduction(f, toks, diags);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// wall-clock
+// ---------------------------------------------------------------------------
+
+fn check_wall_clock(f: &FileIndex, toks: &[Token], diags: &mut Vec<Diagnostic>) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || (t.text != "Instant" && t.text != "SystemTime") {
+            continue;
+        }
+        let calls_now = toks.get(i + 1).is_some_and(|x| x.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|x| x.is_ident("now"))
+            && toks.get(i + 3).is_some_and(|x| x.is_punct("("));
+        if calls_now {
+            diags.push(Diagnostic {
+                rule: Rule::WallClock,
+                file: f.path.clone(),
+                line: t.line,
+                ident: t.text.clone(),
+                message: format!(
+                    "`{}::now()` reads the wall clock; experiment logic must use the \
+                     simnet virtual clock so results are a pure function of the seed — \
+                     timing boundaries need a `[[determinism]]` entry in ctlint.toml",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ambient-entropy
+// ---------------------------------------------------------------------------
+
+fn check_ambient_entropy(f: &FileIndex, toks: &[Token], diags: &mut Vec<Diagnostic>) {
+    let mut flag = |i: usize, ident: &str, what: &str| {
+        diags.push(Diagnostic {
+            rule: Rule::AmbientEntropy,
+            file: f.path.clone(),
+            line: toks[i].line,
+            ident: ident.to_string(),
+            message: format!(
+                "{what} injects ambient entropy; every random draw must come from a \
+                 seeded `HmacDrbg` stream or the run stops being reproducible"
+            ),
+        });
+    };
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let next_is_call = toks.get(i + 1).is_some_and(|x| x.is_punct("("));
+        match t.text.as_str() {
+            "thread_rng" | "from_entropy" if next_is_call => {
+                flag(i, &t.text, "`thread_rng`/`from_entropy`")
+            }
+            "RandomState" => flag(i, "RandomState", "`RandomState` (per-process hasher seed)"),
+            "process" | "env" => {
+                let path_call = toks.get(i + 1).is_some_and(|x| x.is_punct("::"))
+                    && toks.get(i + 3).is_some_and(|x| x.is_punct("("));
+                if !path_call {
+                    continue;
+                }
+                let member = &toks[i + 2];
+                if t.text == "process" && member.is_ident("id") {
+                    flag(i, "process", "`process::id()`");
+                } else if t.text == "env" && (member.is_ident("var") || member.is_ident("var_os")) {
+                    flag(i, "env", "an environment-variable read (`env::var`)");
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iteration
+// ---------------------------------------------------------------------------
+
+/// What a projection chain rooted at a hash-tainted mention resolves to.
+enum ChainOutcome {
+    /// De-tainted: a point lookup, an order-insensitive consumer, or a
+    /// re-keying collect. Nothing to report.
+    Clean,
+    /// No projection at all — order only escapes if the bare mention is a
+    /// `for`-loop iterable.
+    Bare,
+    /// Iteration started and the chain ended (or hit an order-sensitive
+    /// consumer) without neutralizing the order.
+    Escapes { line: u32, via: String },
+    /// `collect()` into an ordered container — deterministic only if the
+    /// bound result is sorted later in the function.
+    CollectUnordered { line: u32 },
+}
+
+fn check_unordered_iteration(
+    f: &FileIndex,
+    func: &FnDef,
+    toks: &[Token],
+    model: &DeterminismModel,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let tainted = hash_bindings(toks, func, model);
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let after_dot = i > 0 && toks[i - 1].is_punct(".");
+        let next_is_call = toks.get(i + 1).is_some_and(|x| x.is_punct("("));
+        let is_fn_def = i > 0 && toks[i - 1].is_ident("fn");
+        let is_call_root = model.hash_fns.contains(&t.text) && next_is_call && !is_fn_def;
+        let is_value_root = if after_dot {
+            model.hash_fields.contains(&t.text)
+        } else {
+            tainted.contains(&t.text)
+        };
+        if !is_call_root && !is_value_root {
+            continue;
+        }
+        let chain_start = if is_call_root && !is_value_root {
+            matching(toks, i + 1, toks.len()) + 1
+        } else {
+            i + 1
+        };
+        match walk_chain(toks, chain_start) {
+            ChainOutcome::Clean => {}
+            ChainOutcome::Bare => {
+                if for_loop_iterable(toks, i) {
+                    diags.push(iteration_diag(
+                        f,
+                        t.line,
+                        &t.text,
+                        "a `for` loop iterates it directly",
+                    ));
+                }
+            }
+            ChainOutcome::Escapes { line, via } => {
+                diags.push(iteration_diag(f, line, &t.text, &via));
+            }
+            ChainOutcome::CollectUnordered { line } => {
+                if !collect_is_neutralized(toks, i) {
+                    diags.push(iteration_diag(
+                        f,
+                        line,
+                        &t.text,
+                        "it is collected into an ordered container with no later sort",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn iteration_diag(f: &FileIndex, line: u32, ident: &str, via: &str) -> Diagnostic {
+    Diagnostic {
+        rule: Rule::UnorderedIteration,
+        file: f.path.clone(),
+        line,
+        ident: ident.to_string(),
+        message: format!(
+            "hash-backed `{ident}` leaks its randomized iteration order: {via} — use \
+             `BTreeMap`/`BTreeSet`, sort the collected result, or keep the map \
+             lookup-only"
+        ),
+    }
+}
+
+/// The set of local bindings holding a hash collection: parameters whose
+/// declared type mentions one, plus `let` bindings whose statement names a
+/// hash type or calls a hash-returning function. Single forward pass —
+/// bindings precede uses.
+fn hash_bindings(toks: &[Token], func: &FnDef, model: &DeterminismModel) -> HashSet<String> {
+    let mut tainted: HashSet<String> = HashSet::new();
+    for (name, type_idents) in &func.params {
+        if type_idents.iter().any(|n| is_hash_type(n)) {
+            tainted.insert(name.clone());
+        }
+    }
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        // pattern [: annotation] = initialiser ;   (depth-0 `=` and `;`)
+        let mut j = i + 1;
+        let mut depth = 0usize;
+        let mut eq = None;
+        while j < toks.len() {
+            let x = &toks[j];
+            if x.kind == TokKind::Punct {
+                match x.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    "=" if depth == 0 => {
+                        eq = Some(j);
+                        break;
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let Some(eq) = eq else {
+            i = j + 1;
+            continue;
+        };
+        let mut end = eq + 1;
+        let mut depth = 0usize;
+        while end < toks.len() {
+            let x = &toks[end];
+            if x.kind == TokKind::Punct {
+                match x.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            end += 1;
+        }
+        let stmt = &toks[i..end];
+        let names_hash_type = stmt
+            .iter()
+            .any(|x| x.kind == TokKind::Ident && is_hash_type(&x.text));
+        let calls_hash_fn = stmt.windows(2).any(|w| {
+            w[0].kind == TokKind::Ident && model.hash_fns.contains(&w[0].text) && w[1].is_punct("(")
+        });
+        // `let m2 = m1;` / `let guard = self.vhosts.read().unwrap();` — the
+        // initialiser *is* the hash collection (a tainted root projected
+        // only through transparent steps).
+        let alias = init_resolves_to_hash(&toks[eq + 1..end], &tainted, model);
+        if names_hash_type || calls_hash_fn || alias {
+            for x in &toks[i + 1..eq] {
+                // pattern idents only — stop at a type annotation so
+                // `let n: usize = map_like();` doesn't taint `usize`.
+                if x.is_punct(":") {
+                    break;
+                }
+                if x.kind == TokKind::Ident
+                    && !matches!(x.text.as_str(), "mut" | "ref" | "_" | "box")
+                    && !x.text.starts_with(char::is_uppercase)
+                {
+                    tainted.insert(x.text.clone());
+                }
+            }
+        }
+        i = eq + 1;
+    }
+    tainted
+}
+
+/// Does an initialiser expression evaluate to a hash collection itself —
+/// a tainted binding / hash field / hash-fn call whose remaining chain is
+/// only transparent projections (`&m`, `m.clone()`,
+/// `self.vhosts.read().unwrap()`)? Such a `let` aliases the collection and
+/// the binding inherits the taint.
+fn init_resolves_to_hash(
+    init: &[Token],
+    tainted: &HashSet<String>,
+    model: &DeterminismModel,
+) -> bool {
+    // Find the hash root inside the expression.
+    let mut root = None;
+    for (p, t) in init.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let after_dot = p > 0 && init[p - 1].is_punct(".");
+        let next_is_call = init.get(p + 1).is_some_and(|x| x.is_punct("("));
+        let hit = if after_dot {
+            model.hash_fields.contains(&t.text)
+        } else {
+            tainted.contains(&t.text) || (model.hash_fns.contains(&t.text) && next_is_call)
+        };
+        if hit {
+            root = Some((p, !after_dot && !tainted.contains(&t.text) && next_is_call));
+            break;
+        }
+    }
+    let Some((p, is_call)) = root else {
+        return false;
+    };
+    let mut j = p + 1;
+    if is_call {
+        j = matching(init, j, init.len()) + 1;
+    }
+    // Every remaining step must be transparent.
+    while j < init.len() {
+        if init[j].is_punct("?") {
+            j += 1;
+            continue;
+        }
+        if !init[j].is_punct(".") {
+            return false;
+        }
+        let Some((name, _, after)) = chain_step(init, j) else {
+            return false;
+        };
+        if !TRANSPARENT_METHODS.contains(&name.as_str()) {
+            return false;
+        }
+        j = after;
+    }
+    true
+}
+
+/// Walk the projection chain starting at `j` (the first token after the
+/// tainted root mention, with call arguments already skipped).
+fn walk_chain(toks: &[Token], mut j: usize) -> ChainOutcome {
+    let mut iterated = false;
+    let mut iter_line = 0u32;
+    loop {
+        let Some(t) = toks.get(j) else {
+            return end_of_chain(iterated, iter_line);
+        };
+        if t.is_punct("?") {
+            j += 1;
+            continue;
+        }
+        if !iterated && t.is_punct("[") {
+            // indexing is a point lookup
+            return ChainOutcome::Clean;
+        }
+        if !t.is_punct(".") {
+            return end_of_chain(iterated, iter_line);
+        }
+        let Some((name, name_idx, after)) = chain_step(toks, j) else {
+            return end_of_chain(iterated, iter_line);
+        };
+        let n = name.as_str();
+        if !iterated {
+            if LOOKUP_METHODS.contains(&n) {
+                return ChainOutcome::Clean;
+            }
+            if TRANSPARENT_METHODS.contains(&n) {
+                j = after;
+                continue;
+            }
+            if ITER_METHODS.contains(&n) {
+                iterated = true;
+                iter_line = toks[name_idx].line;
+                j = after;
+                continue;
+            }
+            // Unknown pre-iteration projection (a domain method returning
+            // something else): assume it de-taints.
+            return ChainOutcome::Clean;
+        }
+        if ITER_ADAPTERS.contains(&n) || TRANSPARENT_METHODS.contains(&n) {
+            j = after;
+            continue;
+        }
+        if ORDER_INSENSITIVE_CONSUMERS.contains(&n) {
+            return ChainOutcome::Clean;
+        }
+        if n == "collect" {
+            let targets = turbofish_idents(toks, name_idx + 1);
+            if targets
+                .iter()
+                .any(|t| ORDERED_COLLECT_TARGETS.contains(&t.as_str()))
+            {
+                // re-keying into a map/set: insertion order never matters
+                return ChainOutcome::Clean;
+            }
+            if !targets.is_empty() {
+                return ChainOutcome::CollectUnordered {
+                    line: toks[name_idx].line,
+                };
+            }
+            // No turbofish: the target lives in the `let` annotation —
+            // resolved by the caller via collect_is_neutralized.
+            return ChainOutcome::CollectUnordered {
+                line: toks[name_idx].line,
+            };
+        }
+        // Order-sensitive consumer: next/find/position/fold/min_by_key/…
+        return ChainOutcome::Escapes {
+            line: toks[name_idx].line,
+            via: format!("`.{n}(..)` consumes elements in visit order"),
+        };
+    }
+}
+
+fn end_of_chain(iterated: bool, iter_line: u32) -> ChainOutcome {
+    if iterated {
+        ChainOutcome::Escapes {
+            line: iter_line,
+            via: "the iterator escapes the projection chain (e.g. a `for` loop or a \
+                  callee receives it)"
+                .to_string(),
+        }
+    } else {
+        ChainOutcome::Bare
+    }
+}
+
+/// One `.method` step: returns `(name, name index, index after the
+/// optional turbofish + argument list)`. `j` must point at the `.`.
+fn chain_step(toks: &[Token], j: usize) -> Option<(String, usize, usize)> {
+    let name_tok = toks.get(j + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    let mut k = j + 2;
+    if toks.get(k).is_some_and(|t| t.is_punct("::"))
+        && toks.get(k + 1).is_some_and(|t| t.is_punct("<"))
+    {
+        k = skip_angles(toks, k + 1);
+    }
+    if toks.get(k).is_some_and(|t| t.is_punct("(")) {
+        k = matching(toks, k, toks.len()) + 1;
+    }
+    Some((name_tok.text.clone(), j + 1, k))
+}
+
+/// Skip a `<...>` group starting at `open` (pointing at `<`); returns the
+/// index just past the matching close, handling `>>` shift tokens.
+fn skip_angles(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Punct {
+            match toks[i].text.as_str() {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                _ => {}
+            }
+        }
+        i += 1;
+        if depth <= 0 {
+            break;
+        }
+    }
+    i
+}
+
+/// The identifiers inside a `::<...>` turbofish at `at` (pointing at the
+/// `::`), or empty when there is none.
+fn turbofish_idents(toks: &[Token], at: usize) -> Vec<String> {
+    if !toks.get(at).is_some_and(|t| t.is_punct("::"))
+        || !toks.get(at + 1).is_some_and(|t| t.is_punct("<"))
+    {
+        return Vec::new();
+    }
+    let end = skip_angles(toks, at + 1);
+    toks[at + 1..end.min(toks.len())]
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+        .collect()
+}
+
+/// Is the tainted mention at `i` the iterable of a `for` loop
+/// (`for pat in map { … }` / `for pat in &map { … }`)?
+fn for_loop_iterable(toks: &[Token], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        let prev = &toks[j - 1];
+        if prev.is_punct("&") || prev.is_punct("*") || prev.is_ident("mut") {
+            j -= 1;
+            continue;
+        }
+        return prev.is_ident("in");
+    }
+    false
+}
+
+/// A `collect()` with no (or an unordered) turbofish target is still
+/// deterministic when (a) the enclosing `let` annotation names an ordered
+/// collect target, or (b) the bound result is sorted later in the body.
+fn collect_is_neutralized(toks: &[Token], mention: usize) -> bool {
+    // Walk back to the statement's `let` (stopping at any statement or
+    // block boundary).
+    let mut j = mention;
+    let mut let_idx = None;
+    while j > 0 {
+        let t = &toks[j - 1];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            break;
+        }
+        if t.is_ident("let") {
+            let_idx = Some(j - 1);
+            break;
+        }
+        j -= 1;
+    }
+    let Some(let_idx) = let_idx else { return false };
+    // Annotation check: idents between `:` and `=` at depth 0.
+    let mut k = let_idx + 1;
+    let mut colon = None;
+    let mut eq = None;
+    let mut depth = 0i64;
+    while k < toks.len() && k <= mention {
+        let t = &toks[k];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" | "<" => depth += 1,
+                "<<" => depth += 2,
+                ")" | "]" | "}" | ">" => depth -= 1,
+                ">>" => depth -= 2,
+                ":" if depth == 0 && colon.is_none() => colon = Some(k),
+                "=" if depth == 0 => {
+                    eq = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    let Some(eq) = eq else { return false };
+    if let Some(colon) = colon {
+        let ordered = toks[colon + 1..eq].iter().any(|t| {
+            t.kind == TokKind::Ident && ORDERED_COLLECT_TARGETS.contains(&t.text.as_str())
+        });
+        if ordered {
+            return true;
+        }
+    }
+    // Sort-suppression: the bound ident gets `.sort*()`-ed somewhere after
+    // this statement.
+    let binding = toks[let_idx + 1..colon.unwrap_or(eq)]
+        .iter()
+        .rev()
+        .find(|t| {
+            t.kind == TokKind::Ident && !matches!(t.text.as_str(), "mut" | "ref" | "_" | "box")
+        })
+        .map(|t| t.text.clone());
+    let Some(binding) = binding else { return false };
+    let mut m = mention;
+    while m + 2 < toks.len() {
+        if toks[m].is_ident(&binding)
+            && toks[m + 1].is_punct(".")
+            && toks[m + 2].kind == TokKind::Ident
+            && SORT_METHODS.contains(&toks[m + 2].text.as_str())
+        {
+            return true;
+        }
+        m += 1;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// unordered-reduction
+// ---------------------------------------------------------------------------
+
+fn check_unordered_reduction(f: &FileIndex, toks: &[Token], diags: &mut Vec<Diagnostic>) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        let is_call = t.is_ident("parallel_map")
+            && toks.get(i + 1).is_some_and(|x| x.is_punct("("))
+            && !(i > 0 && toks[i - 1].is_ident("fn"));
+        if !is_call {
+            i += 1;
+            continue;
+        }
+        let open = i + 1;
+        let close = matching(toks, open, toks.len());
+        check_reduction_closure(f, &toks[open + 1..close], diags);
+        i = close + 1;
+    }
+}
+
+/// Inspect the closure argument of one `parallel_map(..)` call: flag
+/// mutations of identifiers the closure does not bind itself.
+fn check_reduction_closure(f: &FileIndex, args: &[Token], diags: &mut Vec<Diagnostic>) {
+    // Find the top-level closure start: a `|` or `||` at depth 0.
+    let mut depth = 0usize;
+    let mut start = None;
+    for (j, t) in args.iter().enumerate() {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                "|" | "||" if depth == 0 => {
+                    start = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+    let Some(start) = start else { return };
+    let mut bound: HashSet<String> = HashSet::new();
+    let body_start = if args[start].is_punct("||") {
+        start + 1
+    } else {
+        // idents between the `|`s are the closure parameters
+        let mut j = start + 1;
+        while j < args.len() && !args[j].is_punct("|") {
+            if args[j].kind == TokKind::Ident && !matches!(args[j].text.as_str(), "mut" | "ref") {
+                bound.insert(args[j].text.clone());
+            }
+            j += 1;
+        }
+        j + 1
+    };
+    let body = &args[body_start.min(args.len())..];
+    // Bindings introduced inside the body: let / for patterns and nested
+    // closure parameters.
+    let mut j = 0usize;
+    while j < body.len() {
+        let t = &body[j];
+        if t.is_ident("let") {
+            let mut k = j + 1;
+            while k < body.len() && !body[k].is_punct("=") && !body[k].is_punct(";") {
+                if body[k].is_punct(":") {
+                    break;
+                }
+                if body[k].kind == TokKind::Ident
+                    && !matches!(body[k].text.as_str(), "mut" | "ref" | "_" | "box")
+                    && !body[k].text.starts_with(char::is_uppercase)
+                {
+                    bound.insert(body[k].text.clone());
+                }
+                k += 1;
+            }
+            j = k;
+        } else if t.is_ident("for") {
+            let mut k = j + 1;
+            while k < body.len() && !body[k].is_ident("in") {
+                if body[k].kind == TokKind::Ident && !body[k].text.starts_with(char::is_uppercase) {
+                    bound.insert(body[k].text.clone());
+                }
+                k += 1;
+            }
+            j = k;
+        } else if t.is_punct("|") {
+            // nested closure params
+            let mut k = j + 1;
+            while k < body.len() && !body[k].is_punct("|") {
+                if body[k].kind == TokKind::Ident && !matches!(body[k].text.as_str(), "mut" | "ref")
+                {
+                    bound.insert(body[k].text.clone());
+                }
+                k += 1;
+            }
+            j = k + 1;
+        } else {
+            j += 1;
+        }
+    }
+    // Mutation scan.
+    for j in 0..body.len() {
+        let t = &body[j];
+        if t.kind != TokKind::Ident
+            || t.text.starts_with(char::is_uppercase)
+            || crate::rules::is_keyword(&t.text)
+            || bound.contains(&t.text)
+            || (j > 0 && body[j - 1].is_punct("."))
+        {
+            continue;
+        }
+        let method_mut = body.get(j + 1).is_some_and(|x| x.is_punct("."))
+            && body.get(j + 2).is_some_and(|x| {
+                x.kind == TokKind::Ident && CAPTURE_MUT_METHODS.contains(&x.text.as_str())
+            })
+            && body.get(j + 3).is_some_and(|x| x.is_punct("("));
+        let compound = body.get(j + 1).is_some_and(|x| {
+            x.kind == TokKind::Punct && COMPOUND_ASSIGN.contains(&x.text.as_str())
+        });
+        if method_mut || compound {
+            let how = if compound {
+                "a compound assignment".to_string()
+            } else {
+                format!("`.{}(..)`", body[j + 2].text)
+            };
+            diags.push(Diagnostic {
+                rule: Rule::UnorderedReduction,
+                file: f.path.clone(),
+                line: t.line,
+                ident: t.text.clone(),
+                message: format!(
+                    "captured `{}` is mutated ({how}) inside a `parallel_map` closure; \
+                     worker threads drain chunks in real-time order, so cross-chunk \
+                     accumulation depends on the worker count — return per-chunk values \
+                     and combine them in chunk order instead",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::index::scan_file;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let idx = scan_file("fix.rs", src);
+        crate::rules::analyze(&[idx], &Config::default())
+            .into_iter()
+            .filter(|d| d.rule.family() == crate::diag::RuleFamily::Determinism)
+            .collect()
+    }
+
+    #[test]
+    fn for_loop_over_hash_map_fires() {
+        let d = run(
+            "fn t() { let mut m: HashMap<u32, u32> = HashMap::new(); m.insert(1, 2); \
+             for (k, v) in &m { println!(\"{k}{v}\"); } }",
+        );
+        assert!(
+            d.iter()
+                .any(|x| x.rule == Rule::UnorderedIteration && x.ident == "m"),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn lookups_on_hash_map_are_clean() {
+        let d = run("fn t(m: &HashMap<u32, u32>) -> u32 { \
+             let a = m.get(&1).copied().unwrap_or(0); a + m.len() as u32 + m[&2] }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn collect_then_sort_is_clean_but_unsorted_collect_fires() {
+        let good = run("fn t(m: &HashMap<String, u32>) -> Vec<String> { \
+             let mut v: Vec<String> = m.keys().cloned().collect(); v.sort(); v }");
+        assert!(good.is_empty(), "{good:?}");
+        let bad = run("fn t(m: &HashMap<String, u32>) -> Vec<String> { \
+             let v: Vec<String> = m.keys().cloned().collect(); v }");
+        assert!(
+            bad.iter().any(|x| x.rule == Rule::UnorderedIteration),
+            "{bad:?}"
+        );
+    }
+
+    #[test]
+    fn turbofish_collect_into_btreemap_is_clean() {
+        let d = run("fn t(m: &HashMap<String, u32>) -> usize { \
+             m.iter().map(|(k, v)| (k.clone(), *v)).collect::<BTreeMap<String, u32>>().len() }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn order_insensitive_consumers_are_clean() {
+        let d = run(
+            "fn t(m: &HashMap<String, u32>) -> u32 { m.values().sum::<u32>() + \
+             m.values().count() as u32 }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn min_by_key_on_hash_iter_fires() {
+        let d = run("struct C { entries: HashMap<u32, u64> }\n\
+             impl C { fn evict(&self) -> Option<u32> { \
+             self.entries.iter().min_by_key(|(_, at)| **at).map(|(k, _)| *k) } }");
+        assert!(
+            d.iter()
+                .any(|x| x.rule == Rule::UnorderedIteration && x.ident == "entries"),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn hash_fn_result_iteration_fires() {
+        let d = run("fn spans() -> HashMap<String, u32> { HashMap::new() }\n\
+             fn t() { for (k, v) in spans() { println!(\"{k}{v}\"); } }");
+        assert!(
+            d.iter()
+                .any(|x| x.rule == Rule::UnorderedIteration && x.ident == "spans"),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn wall_clock_fires_outside_tests_only() {
+        let d = run("fn t() -> u64 { let t0 = Instant::now(); t0.elapsed().as_nanos() as u64 }");
+        assert!(
+            d.iter()
+                .any(|x| x.rule == Rule::WallClock && x.ident == "Instant"),
+            "{d:?}"
+        );
+        let in_test = run(
+            "#[cfg(test)]\nmod tests { fn t() -> bool { Instant::now().elapsed().as_nanos() > 0 } }",
+        );
+        assert!(in_test.is_empty(), "{in_test:?}");
+    }
+
+    #[test]
+    fn ambient_entropy_sources_fire() {
+        let d = run("fn a() { let r = thread_rng(); let _ = r; }\n\
+             fn b() -> u32 { std::process::id() }\n\
+             fn c() -> String { std::env::var(\"SEED\").unwrap_or_default() }");
+        assert!(
+            d.iter()
+                .any(|x| x.rule == Rule::AmbientEntropy && x.ident == "thread_rng"),
+            "{d:?}"
+        );
+        assert!(
+            d.iter()
+                .any(|x| x.rule == Rule::AmbientEntropy && x.ident == "process"),
+            "{d:?}"
+        );
+        assert!(
+            d.iter()
+                .any(|x| x.rule == Rule::AmbientEntropy && x.ident == "env"),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn captured_mutation_in_parallel_map_fires() {
+        let d = run("fn t(items: &[u32]) { let mut acc = Vec::new(); \
+             parallel_map(items, 4, |chunk_id, chunk| { acc.push(chunk_id); chunk.len() }); \
+             acc.sort(); }");
+        assert!(
+            d.iter()
+                .any(|x| x.rule == Rule::UnorderedReduction && x.ident == "acc"),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn pure_parallel_map_closure_is_clean() {
+        let d = run(
+            "fn t(items: &[u32]) -> Vec<u64> { \
+             parallel_map(items, 4, |chunk_id, chunk| { \
+             let mut out = Vec::new(); for x in chunk { out.push(*x as u64 + chunk_id as u64); } out }) }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn vendored_files_do_not_contribute_hash_fns() {
+        let vendor = scan_file(
+            "vendor/proptest/src/lib.rs",
+            "pub fn generate() -> HashSet<u32> { HashSet::new() }",
+        );
+        let ours = scan_file(
+            "crates/crypto/src/rsa.rs",
+            "fn t() { let k = generate(); for x in k.iter() { let _ = x; } }",
+        );
+        let model = DeterminismModel::build(&[vendor, ours]);
+        assert!(!model.hash_fns.contains("generate"), "{:?}", model.hash_fns);
+    }
+}

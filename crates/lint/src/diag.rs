@@ -2,7 +2,8 @@
 
 use std::fmt;
 
-/// The five diagnostic classes `ts-lint` reports.
+/// The diagnostic classes `ts-lint` reports: five secret-hygiene rules
+/// plus the determinism family (the repro's byte-identical-output claim).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     /// A `==` / `!=` comparison touching secret-tainted bytes instead of
@@ -22,6 +23,29 @@ pub enum Rule {
     /// `[telemetry] sinks`). Metric snapshots are exported and diffed, so
     /// key material reaching one is an exfiltration channel.
     TelemetrySink,
+    /// Iterating / draining / collecting a `HashMap`/`HashSet` (or any
+    /// value whose type-index entry resolves to one) where the visit order
+    /// can escape into output. Hash iteration order varies per process
+    /// (`RandomState`), so reports and telemetry built from it are not a
+    /// pure function of the seed. Use `BTreeMap`/`BTreeSet`, sort the
+    /// result, or keep the map lookup-only.
+    UnorderedIteration,
+    /// `Instant::now` / `SystemTime::now` outside the sanctioned boundary
+    /// (telemetry wall timers, repro progress messages on stderr).
+    /// Experiment logic must use the simnet virtual clock.
+    WallClock,
+    /// Ambient entropy reaching the simulation: `thread_rng`,
+    /// `RandomState::new`, `from_entropy`, env-var-derived seeds,
+    /// `process::id`. Every random draw must come from a seeded
+    /// `HmacDrbg` stream.
+    AmbientEntropy,
+    /// Mutating captured state from inside a `parallel_map` closure.
+    /// Workers drain chunks in a nondeterministic real-time order, so
+    /// accumulating order-sensitive state (floats, string concat,
+    /// first-wins maps) across them breaks worker-count independence —
+    /// return values from the closure instead (they are re-concatenated
+    /// in chunk order).
+    UnorderedReduction,
 }
 
 impl Rule {
@@ -34,18 +58,64 @@ impl Rule {
             Rule::MissingWipe => "missing-wipe",
             Rule::SecretIndex => "secret-index",
             Rule::TelemetrySink => "telemetry-sink",
+            Rule::UnorderedIteration => "unordered-iteration",
+            Rule::WallClock => "wall-clock",
+            Rule::AmbientEntropy => "ambient-entropy",
+            Rule::UnorderedReduction => "unordered-reduction",
+        }
+    }
+
+    /// Which `ctlint.toml` section may suppress this rule: `[[allow]]`
+    /// for the secret-hygiene family, `[[determinism]]` for the
+    /// determinism family.
+    pub fn family(self) -> RuleFamily {
+        match self {
+            Rule::NonCtComparison
+            | Rule::SecretLeak
+            | Rule::MissingWipe
+            | Rule::SecretIndex
+            | Rule::TelemetrySink => RuleFamily::Hygiene,
+            Rule::UnorderedIteration
+            | Rule::WallClock
+            | Rule::AmbientEntropy
+            | Rule::UnorderedReduction => RuleFamily::Determinism,
         }
     }
 
     /// All rules, for iteration/tests.
-    pub fn all() -> [Rule; 5] {
+    pub fn all() -> [Rule; 9] {
         [
             Rule::NonCtComparison,
             Rule::SecretLeak,
             Rule::MissingWipe,
             Rule::SecretIndex,
             Rule::TelemetrySink,
+            Rule::UnorderedIteration,
+            Rule::WallClock,
+            Rule::AmbientEntropy,
+            Rule::UnorderedReduction,
         ]
+    }
+}
+
+/// The two rule families, each with its own `ctlint.toml` exception
+/// section. Keeping them separate means a determinism waiver can never
+/// silently silence a secret-hygiene finding (or vice versa).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleFamily {
+    /// Secret hygiene: suppressed by `[[allow]]`.
+    Hygiene,
+    /// Determinism: suppressed by `[[determinism]]`.
+    Determinism,
+}
+
+impl RuleFamily {
+    /// The `ctlint.toml` section header that suppresses this family.
+    pub fn section(self) -> &'static str {
+        match self {
+            RuleFamily::Hygiene => "[[allow]]",
+            RuleFamily::Determinism => "[[determinism]]",
+        }
     }
 }
 
@@ -73,7 +143,14 @@ pub struct Diagnostic {
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule.id(), self.message)
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.message
+        )
     }
 }
 
@@ -107,7 +184,9 @@ impl Report {
             out.push_str(&format!("{d}\n"));
         }
         for s in &self.stale_allows {
-            out.push_str(&format!("ctlint.toml: stale allowlist entry matched nothing: {s}\n"));
+            out.push_str(&format!(
+                "ctlint.toml: stale allowlist entry matched nothing: {s}\n"
+            ));
         }
         out.push_str(&format!(
             "{} files scanned, {} finding(s), {} suppressed, {} stale allow(s)\n",

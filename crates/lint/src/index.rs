@@ -8,7 +8,7 @@
 //! bracket matching. Anything it cannot make sense of is ignored rather
 //! than reported, so the scanner is robust to arbitrary input.
 
-use crate::lexer::{Token, TokKind};
+use crate::lexer::{TokKind, Token};
 
 /// A struct or enum definition.
 #[derive(Debug, Clone)]
@@ -99,7 +99,10 @@ pub struct FileIndex {
 /// Scan one file.
 pub fn scan_file(path: &str, src: &str) -> FileIndex {
     let tokens = crate::lexer::lex(src);
-    let mut idx = FileIndex { path: path.to_string(), ..FileIndex::default() };
+    let mut idx = FileIndex {
+        path: path.to_string(),
+        ..FileIndex::default()
+    };
     let end = tokens.len();
     scan_items(&tokens, 0, end, false, &mut idx);
     idx.tokens = tokens;
@@ -385,8 +388,9 @@ fn scan_fields(toks: &[Token], lo: usize, hi: usize, def: &mut TypeDef) {
                         .filter(|t| t.kind == TokKind::Ident)
                         .map(|t| t.text.clone())
                         .collect();
-                    let byteish =
-                        type_idents.iter().any(|n| n == "u8" || n == "Ub" || n == "BytesMut");
+                    let byteish = type_idents
+                        .iter()
+                        .any(|n| n == "u8" || n == "Ub" || n == "BytesMut");
                     def.fields.push(FieldDef {
                         name,
                         type_idents,
@@ -441,14 +445,19 @@ fn scan_impl(
         i += 1;
     }
     let body_open = i;
-    let body_close = if body_open < hi { matching(toks, body_open, hi) } else { hi };
+    let body_close = if body_open < hi {
+        matching(toks, body_open, hi)
+    } else {
+        hi
+    };
 
     // Split the header at a top-level `for` (trait impls).
     let for_pos = header.iter().position(|&j| toks[j].is_ident("for"));
     let (trait_name, type_name) = match for_pos {
-        Some(p) => {
-            (path_final_ident(toks, &header[..p]), path_final_ident(toks, &header[p + 1..]))
-        }
+        Some(p) => (
+            path_final_ident(toks, &header[..p]),
+            path_final_ident(toks, &header[p + 1..]),
+        ),
         None => (None, path_final_ident(toks, &header)),
     };
 
@@ -714,8 +723,11 @@ mod tests {
             impl<T: Clone> Wrapper<T> { }
         "#;
         let idx = scan_file("t.rs", src);
-        let names: Vec<_> =
-            idx.impls.iter().map(|i| (i.trait_name.clone(), i.type_name.clone())).collect();
+        let names: Vec<_> = idx
+            .impls
+            .iter()
+            .map(|i| (i.trait_name.clone(), i.type_name.clone()))
+            .collect();
         assert!(names.contains(&(None, "Keys".into())));
         assert!(names.contains(&(Some("Debug".into()), "Keys".into())));
         assert!(names.contains(&(Some("Drop".into()), "Keys".into())));
@@ -724,7 +736,8 @@ mod tests {
 
     #[test]
     fn fn_params_and_return() {
-        let src = "fn derive_keys(master: &SessionState, mut label: &[u8]) -> ConnectionKeys { body() }";
+        let src =
+            "fn derive_keys(master: &SessionState, mut label: &[u8]) -> ConnectionKeys { body() }";
         let idx = scan_file("t.rs", src);
         assert_eq!(idx.fns.len(), 1);
         let f = &idx.fns[0];
@@ -749,7 +762,13 @@ mod tests {
         let idx = scan_file("t.rs", src);
         assert!(!idx.fns.iter().find(|f| f.name == "prod").unwrap().in_test);
         assert!(idx.fns.iter().find(|f| f.name == "helper").unwrap().in_test);
-        assert!(idx.types.iter().find(|t| t.name == "Fixture").unwrap().in_test);
+        assert!(
+            idx.types
+                .iter()
+                .find(|t| t.name == "Fixture")
+                .unwrap()
+                .in_test
+        );
     }
 
     #[test]

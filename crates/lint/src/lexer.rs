@@ -68,7 +68,13 @@ const MULTI_PUNCT: &[&str] = &[
 
 /// Tokenize `src` into a flat token list. Never panics.
 pub fn lex(src: &str) -> Vec<Token> {
-    Lexer { chars: src.chars().collect(), pos: 0, line: 1, out: Vec::new() }.run()
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
 }
 
 struct Lexer {
@@ -392,7 +398,10 @@ mod tests {
     #[test]
     fn line_comment_retained_with_line_numbers() {
         let toks = lex("let x = 1;\n// ctlint: secret\nstruct K;");
-        let c = toks.iter().find(|t| t.kind == TokKind::LineComment).unwrap();
+        let c = toks
+            .iter()
+            .find(|t| t.kind == TokKind::LineComment)
+            .unwrap();
         assert_eq!(c.text.trim(), "ctlint: secret");
         assert_eq!(c.line, 2);
         let k = toks.iter().find(|t| t.is_ident("K")).unwrap();
@@ -402,7 +411,10 @@ mod tests {
     #[test]
     fn block_comments_nested_and_dropped() {
         let toks = kinds("a /* x /* y */ z */ b");
-        assert_eq!(toks, vec![(TokKind::Ident, "a".into()), (TokKind::Ident, "b".into())]);
+        assert_eq!(
+            toks,
+            vec![(TokKind::Ident, "a".into()), (TokKind::Ident, "b".into())]
+        );
     }
 
     #[test]

@@ -16,9 +16,24 @@
 //! Secret marking combines a seed list of type names with `// ctlint:
 //! secret` / `// ctlint: public` annotations in source; taint propagates
 //! through struct fields and function signatures (see [`rules`]).
-//! Deliberate exceptions (the AES S-box) live in `ctlint.toml` at the
-//! workspace root; every entry needs a reason and must keep matching a
-//! real finding or the lint fails.
+//!
+//! A second family guards the repro's *determinism* claim — that every
+//! table, figure, and `--telemetry-json` snapshot is a pure function of
+//! the seed (see [`determinism`]):
+//!
+//! 5. **`unordered-iteration`** — `HashMap`/`HashSet` visit order escaping
+//!    into output (iterate/drain/collect without a sort),
+//! 6. **`wall-clock`** — `Instant::now`/`SystemTime::now` outside the
+//!    sanctioned telemetry/progress boundary,
+//! 7. **`ambient-entropy`** — `thread_rng`, `RandomState::new`,
+//!    `from_entropy`, env-derived seeds, `process::id`,
+//! 8. **`unordered-reduction`** — mutating captured state from inside a
+//!    `parallel_map` closure (worker-order dependent).
+//!
+//! Deliberate exceptions (the AES S-box, the telemetry wall timers) live
+//! in `ctlint.toml` at the workspace root — hygiene waivers under
+//! `[[allow]]`, determinism waivers under `[[determinism]]`; every entry
+//! needs a reason and must keep matching a real finding or the lint fails.
 //!
 //! Run it as `cargo run -p ts-lint` or, enforced, via the root-package
 //! integration test `tests/lint_clean.rs`.
@@ -27,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod determinism;
 pub mod diag;
 pub mod index;
 pub mod lexer;
@@ -35,13 +51,15 @@ pub mod rules;
 use std::path::{Path, PathBuf};
 
 pub use config::{Allow, Config, ConfigError};
-pub use diag::{Diagnostic, Report, Rule};
+pub use diag::{Diagnostic, Report, Rule, RuleFamily};
 
 /// Analyze in-memory sources (used by fixture tests). Applies the
 /// allowlist from `config` and reports stale entries.
 pub fn analyze_sources(files: &[(String, String)], config: &Config) -> Report {
-    let indexes: Vec<_> =
-        files.iter().map(|(path, src)| index::scan_file(path, src)).collect();
+    let indexes: Vec<_> = files
+        .iter()
+        .map(|(path, src)| index::scan_file(path, src))
+        .collect();
     let raw = rules::analyze(&indexes, config);
     apply_allowlist(raw, config, files.len())
 }
@@ -62,9 +80,24 @@ pub fn check_workspace(root: &Path) -> Result<Report, ConfigError> {
 /// --model` prints. Lets a developer see *why* an identifier is tainted.
 pub fn workspace_model(root: &Path) -> Result<rules::SecretModel, ConfigError> {
     let (files, config) = load_workspace(root)?;
-    let indexes: Vec<_> =
-        files.iter().map(|(path, src)| index::scan_file(path, src)).collect();
+    let indexes: Vec<_> = files
+        .iter()
+        .map(|(path, src)| index::scan_file(path, src))
+        .collect();
     Ok(rules::SecretModel::build(&indexes, &config))
+}
+
+/// The hash-collection model the determinism rules would use for `root` —
+/// the `hash fields` / `hash fns` lines of `ts-lint --model`.
+pub fn workspace_determinism_model(
+    root: &Path,
+) -> Result<determinism::DeterminismModel, ConfigError> {
+    let (files, _config) = load_workspace(root)?;
+    let indexes: Vec<_> = files
+        .iter()
+        .map(|(path, src)| index::scan_file(path, src))
+        .collect();
+    Ok(determinism::DeterminismModel::build(&indexes))
 }
 
 fn load_workspace(root: &Path) -> Result<(Vec<(String, String)>, Config), ConfigError> {
@@ -79,7 +112,11 @@ fn load_workspace(root: &Path) -> Result<(Vec<(String, String)>, Config), Config
     let files: Vec<(String, String)> = paths
         .into_iter()
         .filter_map(|p| {
-            let rel = p.strip_prefix(root).unwrap_or(&p).to_string_lossy().replace('\\', "/");
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/");
             std::fs::read_to_string(&p).ok().map(|src| (rel, src))
         })
         .collect();
@@ -87,12 +124,17 @@ fn load_workspace(root: &Path) -> Result<(Vec<(String, String)>, Config), Config
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
     for entry in entries.flatten() {
         let path = entry.path();
         let name = entry.file_name().to_string_lossy().to_string();
         if path.is_dir() {
-            if matches!(name.as_str(), "target" | ".git" | "tests" | "benches" | "examples") {
+            if matches!(
+                name.as_str(),
+                "target" | ".git" | "tests" | "benches" | "examples"
+            ) {
                 continue;
             }
             collect_rs_files(root, &path, out);
@@ -103,7 +145,10 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
 }
 
 fn apply_allowlist(raw: Vec<Diagnostic>, config: &Config, files_scanned: usize) -> Report {
-    let mut report = Report { files_scanned, ..Report::default() };
+    let mut report = Report {
+        files_scanned,
+        ..Report::default()
+    };
     let mut matched = vec![false; config.allows.len()];
     for d in raw {
         let mut hit = false;
@@ -136,19 +181,20 @@ mod tests {
         let src = "// ctlint: secret\nfn sub(s: &mut [u8]) { s[0] = T[s[0] as usize]; }";
         let mut cfg = Config::default();
         cfg.allows.push(Allow {
+            section: diag::RuleFamily::Hygiene,
             rule: "secret-index".into(),
             file: "aes.rs".into(),
             ident: "T".into(),
             reason: "test".into(),
         });
         cfg.allows.push(Allow {
+            section: diag::RuleFamily::Hygiene,
             rule: "secret-index".into(),
             file: "gone.rs".into(),
             ident: "OLD".into(),
             reason: "stale".into(),
         });
-        let report =
-            analyze_sources(&[("crates/x/src/aes.rs".into(), src.into())], &cfg);
+        let report = analyze_sources(&[("crates/x/src/aes.rs".into(), src.into())], &cfg);
         assert!(report.diagnostics.is_empty(), "{}", report.render());
         assert_eq!(report.suppressed.len(), 1);
         assert_eq!(report.stale_allows.len(), 1);
@@ -158,7 +204,10 @@ mod tests {
     #[test]
     fn clean_sources_are_clean() {
         let report = analyze_sources(
-            &[("lib.rs".into(), "fn ok(a: u32, b: u32) -> bool { a == b }".into())],
+            &[(
+                "lib.rs".into(),
+                "fn ok(a: u32, b: u32) -> bool { a == b }".into(),
+            )],
             &Config::default(),
         );
         assert!(report.is_clean(), "{}", report.render());

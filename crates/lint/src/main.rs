@@ -17,27 +17,39 @@ fn main() -> ExitCode {
     let root = args.first().map(PathBuf::from).unwrap_or_else(|| {
         // Default to the workspace root when run via `cargo run -p ts-lint`.
         let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-        manifest.parent().and_then(|p| p.parent()).map(PathBuf::from).unwrap_or(manifest)
+        manifest
+            .parent()
+            .and_then(|p| p.parent())
+            .map(PathBuf::from)
+            .unwrap_or(manifest)
     });
     if !root.is_dir() {
         // A typo'd root would otherwise scan zero files and "pass".
-        println!("error: workspace root {} is not a directory", root.display());
+        println!(
+            "error: workspace root {} is not a directory",
+            root.display()
+        );
         return ExitCode::FAILURE;
     }
     if dump_model {
-        return match ts_lint::workspace_model(&root) {
-            Ok(m) => {
-                let join = |s: &std::collections::BTreeSet<String>| {
-                    s.iter().cloned().collect::<Vec<_>>().join(" ")
-                };
+        let join = |s: &std::collections::BTreeSet<String>| {
+            s.iter().cloned().collect::<Vec<_>>().join(" ")
+        };
+        return match (
+            ts_lint::workspace_model(&root),
+            ts_lint::workspace_determinism_model(&root),
+        ) {
+            (Ok(m), Ok(dm)) => {
                 println!("secret types:  {}", join(&m.secret_types));
                 println!("direct types:  {}", join(&m.direct_secret_types));
                 println!("secret fields: {}", join(&m.secret_fields));
                 println!("public fields: {}", join(&m.public_fields));
                 println!("secret fns:    {}", join(&m.secret_fns));
+                println!("hash fields:   {}", join(&dm.hash_fields));
+                println!("hash fns:      {}", join(&dm.hash_fns));
                 ExitCode::SUCCESS
             }
-            Err(e) => {
+            (Err(e), _) | (_, Err(e)) => {
                 println!("config error: {e}");
                 ExitCode::FAILURE
             }

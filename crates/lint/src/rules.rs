@@ -31,9 +31,29 @@ use crate::lexer::{TokKind, Token};
 
 /// Formatter-family macros whose arguments must never mention a secret.
 const FMT_MACROS: &[&str] = &[
-    "format", "print", "println", "eprint", "eprintln", "write", "writeln", "dbg", "panic",
-    "todo", "unimplemented", "unreachable", "trace", "debug", "info", "warn", "error", "assert",
-    "assert_eq", "assert_ne", "debug_assert", "debug_assert_eq", "debug_assert_ne",
+    "format",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+    "write",
+    "writeln",
+    "dbg",
+    "panic",
+    "todo",
+    "unimplemented",
+    "unreachable",
+    "trace",
+    "debug",
+    "info",
+    "warn",
+    "error",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
 ];
 
 /// The workspace-wide secret model derived from all file indexes.
@@ -80,8 +100,7 @@ impl SecretModel {
                         continue;
                     }
                     let inherits = t.fields.iter().any(|fd| {
-                        !fd.annotated_public
-                            && fd.type_idents.iter().any(|n| secret.contains(n))
+                        !fd.annotated_public && fd.type_idents.iter().any(|n| secret.contains(n))
                     });
                     if inherits {
                         secret.insert(t.name.clone());
@@ -121,9 +140,7 @@ impl SecretModel {
                 if func.in_test {
                     continue;
                 }
-                if func.annotated_secret
-                    || func.return_idents.iter().any(|n| secret.contains(n))
-                {
+                if func.annotated_secret || func.return_idents.iter().any(|n| secret.contains(n)) {
                     fns.insert(func.name.clone());
                 }
             }
@@ -168,9 +185,7 @@ pub fn analyze(files: &[FileIndex], config: &Config) -> Vec<Diagnostic> {
             // secret-typed field format that field through its own
             // (manual, redacting) impl, so the derive composes safely.
             let holds_raw_bytes = model.direct_secret_types.contains(&t.name)
-                || t.fields
-                    .iter()
-                    .any(|fd| fd.byteish && !fd.annotated_public);
+                || t.fields.iter().any(|fd| fd.byteish && !fd.annotated_public);
             if holds_raw_bytes && t.derives.iter().any(|d| d == "Debug") {
                 diags.push(Diagnostic {
                     rule: Rule::SecretLeak,
@@ -232,6 +247,10 @@ pub fn analyze(files: &[FileIndex], config: &Config) -> Vec<Diagnostic> {
         }
     }
 
+    // The determinism family shares the indexes but has its own model
+    // (hash-collection fields/fns instead of secrets).
+    crate::determinism::check(files, &mut diags);
+
     diags.sort_by(|a, b| {
         (&a.file, a.line, a.rule.id(), &a.ident).cmp(&(&b.file, b.line, b.rule.id(), &b.ident))
     });
@@ -282,7 +301,13 @@ impl TaintEnv<'_> {
     /// `fill_bytes` stay tainted), or a `// ctlint: public` field?
     fn projection_public(&self, toks: &[Token], i: usize) -> bool {
         const PUBLIC_CALLS: &[&str] = &[
-            "len", "is_empty", "bit_len", "gen_range", "gen_bool", "gen_f64", "next_u32",
+            "len",
+            "is_empty",
+            "bit_len",
+            "gen_range",
+            "gen_bool",
+            "gen_f64",
+            "next_u32",
             "next_u64",
         ];
         // Walk the whole chain: `a.material.len()` is public even though
@@ -312,7 +337,10 @@ impl TaintEnv<'_> {
 
 fn analyze_body(f: &FileIndex, func: &FnDef, model: &SecretModel, diags: &mut Vec<Diagnostic>) {
     let toks = &f.tokens[func.body.0..func.body.1];
-    let mut env = TaintEnv { idents: HashSet::new(), model };
+    let mut env = TaintEnv {
+        idents: HashSet::new(),
+        model,
+    };
 
     // Only *direct* secret types (seed list + `// ctlint: secret`) taint a
     // whole parameter: those are the actual key-material holders. An
@@ -322,7 +350,9 @@ fn analyze_body(f: &FileIndex, func: &FnDef, model: &SecretModel, diags: &mut Ve
     // rules (`.master`, `.k`, ...).
     for (name, type_idents) in &func.params {
         let secret_param = func.annotated_secret
-            || type_idents.iter().any(|n| model.direct_secret_types.contains(n));
+            || type_idents
+                .iter()
+                .any(|n| model.direct_secret_types.contains(n));
         if secret_param {
             env.idents.insert(name.clone());
         }
@@ -478,14 +508,47 @@ fn is_index_open(toks: &[Token], i: usize) -> bool {
         || prev.is_punct(")")
 }
 
-fn is_keyword(s: &str) -> bool {
+pub(crate) fn is_keyword(s: &str) -> bool {
     matches!(
         s,
-        "let" | "mut" | "ref" | "return" | "if" | "else" | "match" | "in" | "for" | "while"
-            | "loop" | "break" | "continue" | "as" | "move" | "fn" | "impl" | "where" | "use"
-            | "pub" | "struct" | "enum" | "const" | "static" | "type" | "trait" | "mod"
-            | "unsafe" | "dyn" | "box" | "await" | "async" | "crate" | "self" | "Self"
-            | "super" | "true" | "false"
+        "let"
+            | "mut"
+            | "ref"
+            | "return"
+            | "if"
+            | "else"
+            | "match"
+            | "in"
+            | "for"
+            | "while"
+            | "loop"
+            | "break"
+            | "continue"
+            | "as"
+            | "move"
+            | "fn"
+            | "impl"
+            | "where"
+            | "use"
+            | "pub"
+            | "struct"
+            | "enum"
+            | "const"
+            | "static"
+            | "type"
+            | "trait"
+            | "mod"
+            | "unsafe"
+            | "dyn"
+            | "box"
+            | "await"
+            | "async"
+            | "crate"
+            | "self"
+            | "Self"
+            | "super"
+            | "true"
+            | "false"
     )
 }
 
@@ -499,7 +562,9 @@ fn check_comparison(
 ) {
     let left = operand_left(toks, op);
     let right = operand_right(toks, op);
-    let hit = env.first_tainted(&toks[left..op]).or_else(|| env.first_tainted(&toks[op + 1..right]));
+    let hit = env
+        .first_tainted(&toks[left..op])
+        .or_else(|| env.first_tainted(&toks[op + 1..right]));
     if let Some(ident) = hit {
         let message = format!(
             "`{}` on secret-tainted `{}` is a timing oracle; use \
@@ -596,7 +661,10 @@ fn check_fmt_macro(
     diags: &mut Vec<Diagnostic>,
 ) -> usize {
     let open = name_idx + 2;
-    if !toks.get(open).is_some_and(|t| t.is_punct("(") || t.is_punct("[") || t.is_punct("{")) {
+    if !toks
+        .get(open)
+        .is_some_and(|t| t.is_punct("(") || t.is_punct("[") || t.is_punct("{"))
+    {
         return name_idx + 1;
     }
     let close = matching(toks, open, toks.len());
@@ -714,10 +782,8 @@ mod tests {
 
     #[test]
     fn let_binding_propagates_taint() {
-        let d = run(
-            "fn check(state: &SessionState, x: &[u8]) -> bool {\
-                 let ms = state.master_secret; ms != *x }",
-        );
+        let d = run("fn check(state: &SessionState, x: &[u8]) -> bool {\
+                 let ms = state.master_secret; ms != *x }");
         assert_eq!(d.len(), 1, "{d:?}");
         assert_eq!(d[0].rule, Rule::NonCtComparison);
     }
@@ -755,7 +821,11 @@ mod tests {
         let d = run(
             "// ctlint: secret\nfn sub(state: &mut [u8]) { for b in state.iter_mut() { *b = TABLE[*b as usize]; } }",
         );
-        assert!(d.iter().any(|x| x.rule == Rule::SecretIndex && x.ident == "TABLE"), "{d:?}");
+        assert!(
+            d.iter()
+                .any(|x| x.rule == Rule::SecretIndex && x.ident == "TABLE"),
+            "{d:?}"
+        );
     }
 
     #[test]
@@ -772,15 +842,13 @@ mod tests {
     fn taint_propagates_through_containing_struct() {
         // Wrapper has a DhKeyPair field → Wrapper is secret → its byteish
         // sibling field is a secret field.
-        let d = run(
-            "struct Wrapper { kp: DhKeyPair, salt: Vec<u8> }\n\
-             fn cmp(w: &Wrapper, x: &[u8]) -> bool { w.salt == *x }",
-        );
+        let d = run("struct Wrapper { kp: DhKeyPair, salt: Vec<u8> }\n\
+             fn cmp(w: &Wrapper, x: &[u8]) -> bool { w.salt == *x }");
         assert!(d.iter().any(|x| x.rule == Rule::NonCtComparison), "{d:?}");
     }
 
     #[test]
-    fn test_code_is_exempt(){
+    fn test_code_is_exempt() {
         let d = run(
             "#[cfg(test)]\nmod tests {\n fn t(k: &Stek) { assert!(k.enc_key == [0u8; 16]); }\n}",
         );
@@ -800,18 +868,20 @@ mod tests {
         let d = run(
             "fn leak(state: &SessionState) { let ms = state.master_secret; emit(ms[0] as u64); }",
         );
-        assert!(d.iter().any(|x| x.rule == Rule::TelemetrySink && x.ident == "ms"), "{d:?}");
+        assert!(
+            d.iter()
+                .any(|x| x.rule == Rule::TelemetrySink && x.ident == "ms"),
+            "{d:?}"
+        );
     }
 
     #[test]
     fn public_projections_through_sinks_are_clean() {
         // Lengths of secrets are public; so are unrelated scalars.
-        let d = run(
-            "fn sample(keys: &Stek, n: usize) {\
+        let d = run("fn sample(keys: &Stek, n: usize) {\
                  HIST.observe(keys.enc_key.len() as u64);\
                  SPAN.record(n as u64, 7);\
-             }",
-        );
+             }");
         assert!(d.is_empty(), "{d:?}");
     }
 
@@ -836,11 +906,9 @@ mod tests {
 
     #[test]
     fn secret_fn_call_taints_binding() {
-        let d = run(
-            "fn handshake(pre: &[u8]) -> bool {\
+        let d = run("fn handshake(pre: &[u8]) -> bool {\
                let ms = master_secret(pre, b\"x\", b\"y\");\
-               ms == [0u8; 48] }",
-        );
+               ms == [0u8; 48] }");
         assert!(d.iter().any(|x| x.rule == Rule::NonCtComparison), "{d:?}");
     }
 }

@@ -25,7 +25,11 @@ fn fixture_files() -> Vec<(String, String)> {
     paths
         .into_iter()
         .map(|p| {
-            let name = p.file_name().expect("file name").to_string_lossy().to_string();
+            let name = p
+                .file_name()
+                .expect("file name")
+                .to_string_lossy()
+                .to_string();
             let src = std::fs::read_to_string(&p).expect("readable fixture");
             (name, src)
         })
@@ -47,20 +51,28 @@ fn expectations(src: &str) -> Vec<(String, String)> {
 #[test]
 fn fixtures_produce_exactly_their_expected_diagnostics() {
     let files = fixture_files();
-    assert!(files.len() >= 10, "fixture corpus went missing ({} files)", files.len());
+    assert!(
+        files.len() >= 10,
+        "fixture corpus went missing ({} files)",
+        files.len()
+    );
     for (name, src) in &files {
         let mut expected = expectations(src);
         if name.starts_with("bad_") {
-            assert!(!expected.is_empty(), "{name}: bad fixture declares no expectations");
+            assert!(
+                !expected.is_empty(),
+                "{name}: bad fixture declares no expectations"
+            );
         } else if name.starts_with("good_") {
-            assert!(expected.is_empty(), "{name}: good fixture declares expectations");
+            assert!(
+                expected.is_empty(),
+                "{name}: good fixture declares expectations"
+            );
         } else {
             panic!("{name}: fixture names must start with bad_ or good_");
         }
-        let report = ts_lint::analyze_sources(
-            &[(name.clone(), src.clone())],
-            &ts_lint::Config::default(),
-        );
+        let report =
+            ts_lint::analyze_sources(&[(name.clone(), src.clone())], &ts_lint::Config::default());
         let mut got: Vec<(String, String)> = report
             .diagnostics
             .iter()
@@ -68,7 +80,12 @@ fn fixtures_produce_exactly_their_expected_diagnostics() {
             .collect();
         expected.sort();
         got.sort();
-        assert_eq!(got, expected, "{name} diagnostics diverge:\n{}", report.render());
+        assert_eq!(
+            got,
+            expected,
+            "{name} diagnostics diverge:\n{}",
+            report.render()
+        );
     }
 }
 
@@ -81,8 +98,18 @@ fn every_rule_has_a_firing_and_a_clean_fixture() {
         .map(|(rule, _)| rule)
         .collect();
     for rule in ts_lint::Rule::all() {
-        assert!(fired.contains(rule.id()), "no firing fixture for {}", rule.id());
+        assert!(
+            fired.contains(rule.id()),
+            "no firing fixture for {}",
+            rule.id()
+        );
     }
-    let clean = files.iter().filter(|(name, _)| name.starts_with("good_")).count();
-    assert!(clean >= 4, "want at least one clean fixture per rule, have {clean}");
+    let clean = files
+        .iter()
+        .filter(|(name, _)| name.starts_with("good_"))
+        .count();
+    assert!(
+        clean >= 4,
+        "want at least one clean fixture per rule, have {clean}"
+    );
 }

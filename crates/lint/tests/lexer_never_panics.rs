@@ -31,4 +31,66 @@ proptest! {
         );
         let _ = report.render();
     }
+
+    // Turbofish drains: whatever the identifier spelling or spacing, a
+    // hash-map drain collected through `::<Vec<..>>` must flag exactly one
+    // unordered-iteration, while `::<BTreeMap<..>>` re-keys clean. Also
+    // pins the lexer contract the chain walker relies on: `::` is one
+    // token and never fuses with the following `<` into a `::<` composite.
+    #[test]
+    fn turbofish_drain_classification(
+        stem in "[a-z][a-z0-9_]{0,10}",
+        ws in " {0,3}",
+    ) {
+        let n = format!("m_{stem}");
+        let flagged = format!(
+            "fn f(mut {n}: std::collections::HashMap<String, u64>) -> Vec<(String, u64)> {{\n    \
+             {n}.drain(){ws}.collect{ws}::<Vec<(String, u64)>>()\n}}\n"
+        );
+        for tok in ts_lint::lexer::lex(&flagged) {
+            prop_assert_ne!(tok.text.as_str(), "::<", "lexer must not fuse ::<");
+        }
+        let report = ts_lint::analyze_sources(
+            &[("turbofish.rs".to_string(), flagged)],
+            &ts_lint::Config::default(),
+        );
+        prop_assert_eq!(report.diagnostics.len(), 1, "{}", report.render());
+        prop_assert_eq!(report.diagnostics[0].rule.id(), "unordered-iteration");
+        prop_assert_eq!(&report.diagnostics[0].ident, &n);
+
+        let rekeyed = format!(
+            "fn f(mut {n}: std::collections::HashMap<String, u64>) \
+             -> std::collections::BTreeMap<String, u64> {{\n    \
+             {n}.drain(){ws}.collect{ws}::<std::collections::BTreeMap<String, u64>>()\n}}\n"
+        );
+        let report = ts_lint::analyze_sources(
+            &[("turbofish.rs".to_string(), rekeyed)],
+            &ts_lint::Config::default(),
+        );
+        prop_assert!(report.is_clean(), "{}", report.render());
+    }
+
+    // `for (k, v) in map` destructuring: the rule must anchor the finding
+    // on the map, never on the pattern bindings, for any ident spelling.
+    #[test]
+    fn for_loop_destructuring_anchors_on_the_map(
+        map_stem in "[a-z][a-z0-9_]{0,10}",
+        key_stem in "[a-z][a-z0-9_]{0,10}",
+        val_stem in "[a-z][a-z0-9_]{0,10}",
+    ) {
+        let (n, k, v) = (format!("m_{map_stem}"), format!("k_{key_stem}"), format!("v_{val_stem}"));
+        let src = format!(
+            "fn g({n}: std::collections::HashMap<String, u64>) -> u64 {{\n    \
+             let mut acc = 0;\n    \
+             for ({k}, {v}) in &{n} {{\n        acc += *{v} + {k}.len() as u64;\n    }}\n    \
+             acc\n}}\n"
+        );
+        let report = ts_lint::analyze_sources(
+            &[("destructure.rs".to_string(), src)],
+            &ts_lint::Config::default(),
+        );
+        prop_assert_eq!(report.diagnostics.len(), 1, "{}", report.render());
+        prop_assert_eq!(report.diagnostics[0].rule.id(), "unordered-iteration");
+        prop_assert_eq!(&report.diagnostics[0].ident, &n);
+    }
 }

@@ -24,9 +24,7 @@ use ts_tls::config::ServerIdentity;
 use ts_tls::ephemeral::{EphemeralCache, EphemeralPolicy};
 use ts_tls::suites::CipherSuite;
 use ts_tls::ticket::{RotationPolicy, SharedStekManager, StekManager, TicketFormat};
-use ts_x509::{
-    Blacklist, Certificate, CertificateParams, DistinguishedName, RootStore, Validity,
-};
+use ts_x509::{Blacklist, Certificate, CertificateParams, DistinguishedName, RootStore, Validity};
 
 const DAY: u64 = 86_400;
 const HOUR: u64 = 3_600;
@@ -121,6 +119,8 @@ struct Builder {
     rogue_name: DistinguishedName,
     next_serial: u64,
     next_unit: usize,
+    // Lookup-only hash map (get/insert, never iterated): purely a
+    // memoization cache, so its hash order cannot reach any output.
     identity_cache: HashMap<(usize, String, bool), Arc<ServerIdentity>>,
 }
 
@@ -143,7 +143,10 @@ impl Builder {
         let params = CertificateParams {
             serial: self.next_serial,
             subject: DistinguishedName::cn(domain),
-            validity: Validity { not_before: 0, not_after: 10 * 360 * DAY },
+            validity: Validity {
+                not_before: 0,
+                not_after: 10 * 360 * DAY,
+            },
             dns_names: vec![domain.to_string()],
             is_ca: false,
         };
@@ -157,7 +160,10 @@ impl Builder {
         } else {
             vec![cert]
         };
-        let id = Arc::new(ServerIdentity { chain, key: (*key).clone() });
+        let id = Arc::new(ServerIdentity {
+            chain,
+            key: (*key).clone(),
+        });
         self.identity_cache.insert(cache_key, id.clone());
         id
     }
@@ -194,10 +200,19 @@ impl Builder {
         ecdhe_policy: EphemeralPolicy,
         label: &str,
     ) -> EphemeralCache {
-        EphemeralCache::with_policies(dhe_policy, ecdhe_policy, DhGroup::Sim256, self.rng.fork(label))
+        EphemeralCache::with_policies(
+            dhe_policy,
+            ecdhe_policy,
+            DhGroup::Sim256,
+            self.rng.fork(label),
+        )
     }
 
-    fn stek_manager(&mut self, rotation: RotationPolicy, format: TicketFormat) -> SharedStekManager {
+    fn stek_manager(
+        &mut self,
+        rotation: RotationPolicy,
+        format: TicketFormat,
+    ) -> SharedStekManager {
         let rng = self.rng.fork("stek");
         SharedStekManager::new(StekManager::new(rotation, format, rng, 0))
     }
@@ -210,7 +225,9 @@ fn rotation_from_spec(spec: RotationSpec, accept_window: u64) -> RotationPolicy 
             overlap: accept_window.max(HOUR),
         },
         RotationSpec::Periodic { period, overlap } => RotationPolicy::Periodic { period, overlap },
-        RotationSpec::RestartDays(d) => RotationPolicy::OnRestart { restart_interval: d * DAY },
+        RotationSpec::RestartDays(d) => RotationPolicy::OnRestart {
+            restart_interval: d * DAY,
+        },
         RotationSpec::Never => RotationPolicy::Static,
     }
 }
@@ -228,7 +245,9 @@ fn span_to_policy(span_days: u64) -> EphemeralPolicy {
     if span_days >= 63 {
         EphemeralPolicy::ReuseForever
     } else {
-        EphemeralPolicy::ReuseFor { secs: span_days * DAY }
+        EphemeralPolicy::ReuseFor {
+            secs: span_days * DAY,
+        }
     }
 }
 
@@ -253,7 +272,10 @@ impl Population {
             &CertificateParams {
                 serial: 1,
                 subject: root_name.clone(),
-                validity: Validity { not_before: 0, not_after: 20 * 360 * DAY },
+                validity: Validity {
+                    not_before: 0,
+                    not_after: 20 * 360 * DAY,
+                },
                 dns_names: vec![],
                 is_ca: true,
             },
@@ -267,7 +289,10 @@ impl Population {
             &CertificateParams {
                 serial: 2,
                 subject: inter_name.clone(),
-                validity: Validity { not_before: 0, not_after: 20 * 360 * DAY },
+                validity: Validity {
+                    not_before: 0,
+                    not_after: 20 * 360 * DAY,
+                },
                 dns_names: vec![],
                 is_ca: true,
             },
@@ -316,6 +341,8 @@ impl Population {
         // else draws from the shuffled remainder.
         let notable_list = notables(cfg.size as f64 / 1_000_000.0);
         let mut taken: Vec<bool> = vec![false; cfg.size + 1];
+        // Lookup-only hash map: rank assignment below walks `notable_list`
+        // (a fixed slice), never this map, so hash order cannot leak.
         let mut notable_ranks: HashMap<&str, usize> = HashMap::new();
         for n in &notable_list {
             let mut r = n.rank.min(cfg.size).max(1);
@@ -365,8 +392,7 @@ impl Population {
 
         // --- Long tail (stable core) ---
         let remaining = cfg.size.saturating_sub(core_domains.len());
-        let tail_names: Vec<String> =
-            (0..remaining).map(|i| format!("site-{i:06}.sim")).collect();
+        let tail_names: Vec<String> = (0..remaining).map(|i| format!("site-{i:06}.sim")).collect();
         build_long_tail(&mut b, &tail_names, true);
         for name in &tail_names {
             let rank = take_rank(&free_ranks, &mut rank_cursor);
@@ -378,8 +404,9 @@ impl Population {
 
         // --- Transients ---
         let transient_count = (cfg.size as f64 * cfg.transient_frac) as usize;
-        let transient_names: Vec<String> =
-            (0..transient_count).map(|i| format!("churn-{i:06}.sim")).collect();
+        let transient_names: Vec<String> = (0..transient_count)
+            .map(|i| format!("churn-{i:06}.sim"))
+            .collect();
         build_long_tail(&mut b, &transient_names, false);
         for name in &transient_names {
             if let Some(t) = b.truth.by_name_mut(name) {
@@ -461,12 +488,22 @@ fn build_notable(b: &mut Builder, n: &NotableDomain, rank: usize, as_id: AsId) {
     let accept = (hint as u64).min(24 * HOUR);
     let rotation = match n.stek_span_days {
         Some(d) if d >= 63 => RotationPolicy::Static,
-        Some(d) => RotationPolicy::OnRestart { restart_interval: d * DAY },
-        None => RotationPolicy::Periodic { period: 12 * HOUR, overlap: accept.max(HOUR) },
+        Some(d) => RotationPolicy::OnRestart {
+            restart_interval: d * DAY,
+        },
+        None => RotationPolicy::Periodic {
+            period: 12 * HOUR,
+            overlap: accept.max(HOUR),
+        },
     };
-    let dhe_policy = n.dhe_span_days.map(span_to_policy).unwrap_or(EphemeralPolicy::FreshPerHandshake);
-    let ecdhe_policy =
-        n.ecdhe_span_days.map(span_to_policy).unwrap_or(EphemeralPolicy::FreshPerHandshake);
+    let dhe_policy = n
+        .dhe_span_days
+        .map(span_to_policy)
+        .unwrap_or(EphemeralPolicy::FreshPerHandshake);
+    let ecdhe_policy = n
+        .ecdhe_span_days
+        .map(span_to_policy)
+        .unwrap_or(EphemeralPolicy::FreshPerHandshake);
 
     let mut suites: Vec<CipherSuite> = Vec::new();
     suites.extend(CipherSuite::ecdhe_only());
@@ -474,7 +511,9 @@ fn build_notable(b: &mut Builder, n: &NotableDomain, rank: usize, as_id: AsId) {
         suites.extend(CipherSuite::dhe_only());
     }
     suites.push(CipherSuite::RsaAes128CbcSha256);
-    let supports_dhe = suites.iter().any(|s| s.key_exchange() == ts_tls::suites::KeyExchange::Dhe);
+    let supports_dhe = suites
+        .iter()
+        .any(|s| s.key_exchange() == ts_tls::suites::KeyExchange::Dhe);
 
     let cache_lifetime = 5 * 60;
     let cache_unit = b.next_unit();
@@ -488,7 +527,11 @@ fn build_notable(b: &mut Builder, n: &NotableDomain, rank: usize, as_id: AsId) {
     let behavior = DomainBehavior {
         software: Software::Custom,
         suites,
-        cache: profile::CachePolicy { issue_ids: true, resume: true, lifetime: cache_lifetime },
+        cache: profile::CachePolicy {
+            issue_ids: true,
+            resume: true,
+            lifetime: cache_lifetime,
+        },
         tickets: profile::TicketPolicy {
             enabled: has_tickets,
             lifetime_hint: hint,
@@ -537,11 +580,7 @@ fn build_operator(
     let rotation = rotation_from_spec(op.stek_rotation, accept);
 
     // Shared units (contiguous assignment).
-    let cache_bounds: Vec<usize> = op
-        .cache_groups_ppm
-        .iter()
-        .map(|&ppm| scale(ppm))
-        .collect();
+    let cache_bounds: Vec<usize> = op.cache_groups_ppm.iter().map(|&ppm| scale(ppm)).collect();
     let stek_bounds: Vec<usize> = op.stek_groups_ppm.iter().map(|&ppm| scale(ppm)).collect();
     let dh_bounds: Vec<usize> = op.dh_groups_ppm.iter().map(|&ppm| scale(ppm)).collect();
 
@@ -597,12 +636,20 @@ fn build_operator(
 
     let pod_size = 40usize;
     let mut names = Vec::with_capacity(n);
-    let mut pod_state: Option<(usize, (Option<usize>, Option<usize>, Option<usize>), Vec<Ip>, usize)> =
-        None;
+    let mut pod_state: Option<(
+        usize,
+        (Option<usize>, Option<usize>, Option<usize>),
+        Vec<Ip>,
+        usize,
+    )> = None;
 
     for i in 0..n {
         let name = format!("{}-c{:05}.sim", op.name, i);
-        let key = (assign(&cache_bounds, i), assign(&stek_bounds, i), assign(&dh_bounds, i));
+        let key = (
+            assign(&cache_bounds, i),
+            assign(&stek_bounds, i),
+            assign(&dh_bounds, i),
+        );
         // Start a new pod at boundaries or when the pod is full.
         let need_new = match &pod_state {
             Some((_, k, _, count)) => *k != key || *count >= pod_size,
@@ -676,7 +723,11 @@ fn build_operator(
                 rotation,
                 reissue: true,
             },
-            dhe_policy: if key.2.is_some() { op_dhe_policy } else { EphemeralPolicy::FreshPerHandshake },
+            dhe_policy: if key.2.is_some() {
+                op_dhe_policy
+            } else {
+                EphemeralPolicy::FreshPerHandshake
+            },
             ecdhe_policy: if key.2.is_some() {
                 op_ecdhe_policy
             } else {
@@ -799,9 +850,10 @@ fn build_long_tail(b: &mut Builder, names: &[String], stable: bool) {
         let mut stek_unit = None;
         let mut dh_unit = 0;
         for r in 0..replicas {
-            let cache = behavior.cache.resume.then(|| {
-                SharedSessionCache::new(behavior.cache.lifetime, 10_000)
-            });
+            let cache = behavior
+                .cache
+                .resume
+                .then(|| SharedSessionCache::new(behavior.cache.lifetime, 10_000));
             let stek = behavior
                 .tickets
                 .enabled
@@ -830,7 +882,13 @@ fn build_long_tail(b: &mut Builder, names: &[String], stable: bool) {
                 let identity = b.identity(name, trusted);
                 for r in 0..replicas {
                     let t = &b.terminators[pod + r];
-                    t.add_vhost(name, VHost { identity: identity.clone(), behavior: behavior.clone() });
+                    t.add_vhost(
+                        name,
+                        VHost {
+                            identity: identity.clone(),
+                            behavior: behavior.clone(),
+                        },
+                    );
                 }
                 b.dns.set_a(name, ips.clone());
             } else {
@@ -853,8 +911,7 @@ fn build_long_tail(b: &mut Builder, names: &[String], stable: bool) {
                         RotationPolicy::Periodic { period, .. } => period,
                     }
                 }),
-                cache_lifetime: (https && behavior.cache.resume)
-                    .then_some(behavior.cache.lifetime),
+                cache_lifetime: (https && behavior.cache.resume).then_some(behavior.cache.lifetime),
                 dhe_reuse: (https && behavior.supports_dhe())
                     .then(|| policy_secs(behavior.dhe_policy)),
                 ecdhe_reuse: (https && behavior.supports_ecdhe())
@@ -1038,7 +1095,10 @@ mod tests {
     fn smtp_host_shares_goggle_stek() {
         let p = small();
         let mut rng = HmacDrbg::new(b"smtp");
-        let ip = p.dns.resolve(&p.goggle_smtp_host, &mut rng).expect("smtp resolves");
+        let ip = p
+            .dns
+            .resolve(&p.goggle_smtp_host, &mut rng)
+            .expect("smtp resolves");
         let cfg = ts_tls::config::ClientConfig::new(p.root_store.clone(), &p.goggle_smtp_host, 500);
         let mut attempt = p.net.connect(ip, cfg, 500, &mut rng);
         for _ in 0..5 {

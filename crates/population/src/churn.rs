@@ -50,10 +50,18 @@ impl ChurnModel {
                 let latest_start = study_days.saturating_sub(1);
                 let start_day = rng.gen_range(latest_start + 1);
                 let end_day = (start_day + len - 1).min(study_days - 1);
-                TransientWindow { name, start_day, end_day }
+                TransientWindow {
+                    name,
+                    start_day,
+                    end_day,
+                }
             })
             .collect();
-        ChurnModel { core, transients, study_days }
+        ChurnModel {
+            core,
+            transients,
+            study_days,
+        }
     }
 
     /// Domains in the list on `day` (core first, then active transients).

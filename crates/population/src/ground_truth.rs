@@ -5,7 +5,7 @@
 //! estimators (e.g. the first/last-seen STEK-span estimator against the
 //! real rotation period).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The configured truth for one domain.
 #[derive(Debug, Clone)]
@@ -46,7 +46,9 @@ pub struct DomainTruth {
 /// Ground truth for the whole population.
 #[derive(Debug, Default)]
 pub struct GroundTruth {
-    by_name: HashMap<String, DomainTruth>,
+    // Ordered: `iter()` escapes to validation sweeps and report tables, so
+    // the walk must be name-ordered rather than hash-seed-ordered.
+    by_name: BTreeMap<String, DomainTruth>,
 }
 
 impl GroundTruth {
@@ -92,8 +94,7 @@ impl GroundTruth {
         unit: usize,
         select: impl Fn(&DomainTruth) -> Option<usize>,
     ) -> Vec<&DomainTruth> {
-        let mut v: Vec<&DomainTruth> =
-            self.iter().filter(|t| select(t) == Some(unit)).collect();
+        let mut v: Vec<&DomainTruth> = self.iter().filter(|t| select(t) == Some(unit)).collect();
         v.sort_by(|a, b| a.name.cmp(&b.name));
         v
     }

@@ -97,7 +97,10 @@ pub fn operators() -> Vec<OperatorSpec> {
             cache_groups_ppm: &[1_000, 849, 743, 732, 648, 561],
             cache_lifetime: 24 * HOUR,
             stek_groups_ppm: &[8_973],
-            stek_rotation: RotationSpec::Periodic { period: 14 * HOUR, overlap: 14 * HOUR },
+            stek_rotation: RotationSpec::Periodic {
+                period: 14 * HOUR,
+                overlap: 14 * HOUR,
+            },
             ticket_hint: (28 * HOUR) as u32,
             ticket_accept: 28 * HOUR,
             dh_groups_ppm: &[],
@@ -498,7 +501,10 @@ mod tests {
         // Small scales thin the bulk families.
         let small = notables(0.003); // a 3,000-domain world
         assert!(small.len() < n.len());
-        assert!(small.iter().any(|d| d.name == "yahoo.sim"), "headliners stay");
+        assert!(
+            small.iter().any(|d| d.name == "yahoo.sim"),
+            "headliners stay"
+        );
     }
 
     #[test]

@@ -166,9 +166,17 @@ pub fn sample_cache_policy(rng: &mut HmacDrbg, software: Software) -> CachePolic
                     (0.05, 10 * HOUR),
                 ],
             );
-            CachePolicy { issue_ids: true, resume: true, lifetime }
+            CachePolicy {
+                issue_ids: true,
+                resume: true,
+                lifetime,
+            }
         }
-        Software::Iis => CachePolicy { issue_ids: true, resume: true, lifetime: 10 * HOUR },
+        Software::Iis => CachePolicy {
+            issue_ids: true,
+            resume: true,
+            lifetime: 10 * HOUR,
+        },
         Software::Nginx => {
             // Nginx resumes only when the admin configured a cache; most
             // deployments do, at the 5-minute default.
@@ -182,9 +190,17 @@ pub fn sample_cache_policy(rng: &mut HmacDrbg, software: Software) -> CachePolic
                         (0.05, 4 * HOUR),
                     ],
                 );
-                CachePolicy { issue_ids: true, resume: true, lifetime }
+                CachePolicy {
+                    issue_ids: true,
+                    resume: true,
+                    lifetime,
+                }
             } else {
-                CachePolicy { issue_ids: true, resume: false, lifetime: 0 }
+                CachePolicy {
+                    issue_ids: true,
+                    resume: false,
+                    lifetime: 0,
+                }
             }
         }
         Software::Custom => {
@@ -200,9 +216,17 @@ pub fn sample_cache_policy(rng: &mut HmacDrbg, software: Software) -> CachePolic
                         (0.03, 24 * HOUR),
                     ],
                 );
-                CachePolicy { issue_ids: true, resume: true, lifetime }
+                CachePolicy {
+                    issue_ids: true,
+                    resume: true,
+                    lifetime,
+                }
             } else {
-                CachePolicy { issue_ids: rng.gen_bool(0.5), resume: false, lifetime: 0 }
+                CachePolicy {
+                    issue_ids: rng.gen_bool(0.5),
+                    resume: false,
+                    lifetime: 0,
+                }
             }
         }
     }
@@ -292,7 +316,11 @@ pub fn sample_ticket_policy(rng: &mut HmacDrbg, software: Software) -> TicketPol
     let hint_unspecified = rng.gen_bool(0.04);
     TicketPolicy {
         enabled: true,
-        lifetime_hint: if hint_unspecified { 0 } else { accept_window as u32 },
+        lifetime_hint: if hint_unspecified {
+            0
+        } else {
+            accept_window as u32
+        },
         accept_window,
         rotation: sample_stek_rotation(rng),
         reissue: rng.gen_bool(0.3),
@@ -323,9 +351,15 @@ pub fn sample_dhe_policy(rng: &mut HmacDrbg) -> EphemeralPolicy {
     );
     match b {
         B::Fresh => EphemeralPolicy::FreshPerHandshake,
-        B::Hours => EphemeralPolicy::ReuseFor { secs: 10 * MINUTE + rng.gen_range(12 * HOUR) },
-        B::Days => EphemeralPolicy::ReuseFor { secs: (1 + rng.gen_range(6)) * DAY },
-        B::Weeks => EphemeralPolicy::ReuseFor { secs: (7 + rng.gen_range(23)) * DAY },
+        B::Hours => EphemeralPolicy::ReuseFor {
+            secs: 10 * MINUTE + rng.gen_range(12 * HOUR),
+        },
+        B::Days => EphemeralPolicy::ReuseFor {
+            secs: (1 + rng.gen_range(6)) * DAY,
+        },
+        B::Weeks => EphemeralPolicy::ReuseFor {
+            secs: (7 + rng.gen_range(23)) * DAY,
+        },
         B::Forever => EphemeralPolicy::ReuseForever,
     }
 }
@@ -353,9 +387,15 @@ pub fn sample_ecdhe_policy(rng: &mut HmacDrbg) -> EphemeralPolicy {
     );
     match b {
         B::Fresh => EphemeralPolicy::FreshPerHandshake,
-        B::Hours => EphemeralPolicy::ReuseFor { secs: 10 * MINUTE + rng.gen_range(12 * HOUR) },
-        B::Days => EphemeralPolicy::ReuseFor { secs: (1 + rng.gen_range(6)) * DAY },
-        B::Weeks => EphemeralPolicy::ReuseFor { secs: (7 + rng.gen_range(23)) * DAY },
+        B::Hours => EphemeralPolicy::ReuseFor {
+            secs: 10 * MINUTE + rng.gen_range(12 * HOUR),
+        },
+        B::Days => EphemeralPolicy::ReuseFor {
+            secs: (1 + rng.gen_range(6)) * DAY,
+        },
+        B::Weeks => EphemeralPolicy::ReuseFor {
+            secs: (7 + rng.gen_range(23)) * DAY,
+        },
         B::Forever => EphemeralPolicy::ReuseForever,
     }
 }
@@ -368,7 +408,14 @@ pub fn sample_long_tail(rng: &mut HmacDrbg) -> DomainBehavior {
     let tickets = sample_ticket_policy(rng, software);
     let dhe_policy = sample_dhe_policy(rng);
     let ecdhe_policy = sample_ecdhe_policy(rng);
-    DomainBehavior { software, suites, cache, tickets, dhe_policy, ecdhe_policy }
+    DomainBehavior {
+        software,
+        suites,
+        cache,
+        tickets,
+        dhe_policy,
+        ecdhe_policy,
+    }
 }
 
 #[cfg(test)]
@@ -399,7 +446,11 @@ mod tests {
             let d = DomainBehavior {
                 software: Software::Apache,
                 suites: b,
-                cache: CachePolicy { issue_ids: true, resume: true, lifetime: 1 },
+                cache: CachePolicy {
+                    issue_ids: true,
+                    resume: true,
+                    lifetime: 1,
+                },
                 tickets: TicketPolicy {
                     enabled: false,
                     lifetime_hint: 0,

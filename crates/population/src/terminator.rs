@@ -9,7 +9,7 @@
 
 use crate::profile::DomainBehavior;
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use ts_crypto::dh::DhGroup;
 use ts_simnet::TlsResponder;
@@ -38,7 +38,10 @@ pub struct Terminator {
     pub ephemeral: EphemeralCache,
     /// DH group served by DHE suites here.
     pub dh_group: DhGroup,
-    vhosts: RwLock<HashMap<String, Arc<VHost>>>,
+    // Ordered: wildcard routing scans this map with `find`, so when two
+    // wildcard patterns both match an SNI the winner must not depend on
+    // the process's hash seed.
+    vhosts: RwLock<BTreeMap<String, Arc<VHost>>>,
 }
 
 impl Terminator {
@@ -53,7 +56,7 @@ impl Terminator {
             stek,
             ephemeral,
             dh_group: DhGroup::Sim256,
-            vhosts: RwLock::new(HashMap::new()),
+            vhosts: RwLock::new(BTreeMap::new()),
         }
     }
 
@@ -70,11 +73,9 @@ impl Terminator {
         self.vhosts.read().len()
     }
 
-    /// The domains served here (sorted, for determinism).
+    /// The domains served here (in name order — the map is ordered).
     pub fn domains(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.vhosts.read().keys().cloned().collect();
-        v.sort();
-        v
+        self.vhosts.read().keys().cloned().collect()
     }
 
     fn lookup(&self, sni: &str) -> Option<Arc<VHost>> {
@@ -86,9 +87,7 @@ impl Terminator {
         // Wildcard routing: "*.customer.sim" vhost keys.
         vhosts
             .iter()
-            .find(|(pattern, _)| {
-                pattern.starts_with("*.") && hostname_matches(pattern, &key)
-            })
+            .find(|(pattern, _)| pattern.starts_with("*.") && hostname_matches(pattern, &key))
             .map(|(_, v)| v.clone())
     }
 }
@@ -108,7 +107,11 @@ impl TlsResponder for Terminator {
             } else {
                 None
             },
-            tickets: if b.tickets.enabled { self.stek.clone() } else { None },
+            tickets: if b.tickets.enabled {
+                self.stek.clone()
+            } else {
+                None
+            },
             ticket_lifetime_hint: b.tickets.lifetime_hint,
             ticket_accept_window: b.tickets.accept_window,
             reissue_ticket_on_resumption: b.tickets.reissue,
@@ -133,7 +136,11 @@ mod tests {
         DomainBehavior {
             software: Software::Nginx,
             suites: CipherSuite::all().to_vec(),
-            cache: CachePolicy { issue_ids: true, resume: true, lifetime: 300 },
+            cache: CachePolicy {
+                issue_ids: true,
+                resume: true,
+                lifetime: 300,
+            },
             tickets: TicketPolicy {
                 enabled: ticket_enabled,
                 lifetime_hint: 300,
@@ -154,7 +161,10 @@ mod tests {
             &CertificateParams {
                 serial: 1,
                 subject: name.clone(),
-                validity: Validity { not_before: 0, not_after: u32::MAX as u64 },
+                validity: Validity {
+                    not_before: 0,
+                    not_after: u32::MAX as u64,
+                },
                 dns_names: vec![host.to_string()],
                 is_ca: false,
             },
@@ -162,7 +172,10 @@ mod tests {
             &name,
             &key,
         );
-        Arc::new(ServerIdentity { chain: vec![cert], key })
+        Arc::new(ServerIdentity {
+            chain: vec![cert],
+            key,
+        })
     }
 
     fn terminator() -> Terminator {
@@ -186,10 +199,19 @@ mod tests {
     #[test]
     fn vhost_routing_exact_and_wildcard() {
         let t = terminator();
-        t.add_vhost("a.sim", VHost { identity: identity("a.sim"), behavior: behavior(true) });
+        t.add_vhost(
+            "a.sim",
+            VHost {
+                identity: identity("a.sim"),
+                behavior: behavior(true),
+            },
+        );
         t.add_vhost(
             "*.pages.sim",
-            VHost { identity: identity("*.pages.sim"), behavior: behavior(true) },
+            VHost {
+                identity: identity("*.pages.sim"),
+                behavior: behavior(true),
+            },
         );
         assert!(t.server_config("a.sim", 0).is_some());
         assert!(t.server_config("A.SIM", 0).is_some());
@@ -197,14 +219,29 @@ mod tests {
         assert!(t.server_config("deep.blog.pages.sim", 0).is_none());
         assert!(t.server_config("b.sim", 0).is_none());
         assert_eq!(t.vhost_count(), 2);
-        assert_eq!(t.domains(), vec!["*.pages.sim".to_string(), "a.sim".to_string()]);
+        assert_eq!(
+            t.domains(),
+            vec!["*.pages.sim".to_string(), "a.sim".to_string()]
+        );
     }
 
     #[test]
     fn shared_state_flows_into_configs() {
         let t = terminator();
-        t.add_vhost("a.sim", VHost { identity: identity("a.sim"), behavior: behavior(true) });
-        t.add_vhost("b.sim", VHost { identity: identity("b.sim"), behavior: behavior(true) });
+        t.add_vhost(
+            "a.sim",
+            VHost {
+                identity: identity("a.sim"),
+                behavior: behavior(true),
+            },
+        );
+        t.add_vhost(
+            "b.sim",
+            VHost {
+                identity: identity("b.sim"),
+                behavior: behavior(true),
+            },
+        );
         let ca = t.server_config("a.sim", 0).unwrap();
         let cb = t.server_config("b.sim", 0).unwrap();
         assert!(ca
@@ -212,17 +249,24 @@ mod tests {
             .as_ref()
             .unwrap()
             .same_cache(cb.session_cache.as_ref().unwrap()));
-        assert!(ca.tickets.as_ref().unwrap().same_manager(cb.tickets.as_ref().unwrap()));
+        assert!(ca
+            .tickets
+            .as_ref()
+            .unwrap()
+            .same_manager(cb.tickets.as_ref().unwrap()));
         assert!(ca.ephemeral.same_cache(&cb.ephemeral));
     }
 
     #[test]
     fn ticket_disabled_vhost_gets_no_manager() {
         let t = terminator();
-        t.add_vhost("no-tickets.sim", VHost {
-            identity: identity("no-tickets.sim"),
-            behavior: behavior(false),
-        });
+        t.add_vhost(
+            "no-tickets.sim",
+            VHost {
+                identity: identity("no-tickets.sim"),
+                behavior: behavior(false),
+            },
+        );
         let cfg = t.server_config("no-tickets.sim", 0).unwrap();
         assert!(cfg.tickets.is_none());
         assert!(cfg.session_cache.is_some());
@@ -233,7 +277,13 @@ mod tests {
         let t = terminator();
         let mut b = behavior(true);
         b.cache.resume = false;
-        t.add_vhost("no-cache.sim", VHost { identity: identity("no-cache.sim"), behavior: b });
+        t.add_vhost(
+            "no-cache.sim",
+            VHost {
+                identity: identity("no-cache.sim"),
+                behavior: b,
+            },
+        );
         let cfg = t.server_config("no-cache.sim", 0).unwrap();
         assert!(cfg.session_cache.is_none());
         assert!(cfg.issue_session_ids);

@@ -5,7 +5,7 @@
 //! of key-exchange values and STEK identifiers.
 
 use crate::grab::{GrabFailure, GrabOptions, Scanner, SuiteOffer};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use ts_core::observations::BurstSummary;
 use ts_telemetry::Counter;
 
@@ -51,7 +51,10 @@ pub fn burst_scan(
     metric: BurstMetric,
     connections: u32,
 ) -> (Vec<BurstSummary>, BurstFunnel) {
-    let mut funnel = BurstFunnel { listed: domains.len(), ..Default::default() };
+    let mut funnel = BurstFunnel {
+        listed: domains.len(),
+        ..Default::default()
+    };
     let mut summaries = Vec::with_capacity(domains.len());
     for domain in domains {
         if scanner.population().blacklist.contains(domain) {
@@ -71,8 +74,8 @@ pub fn burst_scan(
         let opts = GrabOptions::new().suites(offer);
         let mut successes = 0u32;
         let mut tickets = 0u32;
-        let mut kex_values: HashSet<String> = HashSet::new();
-        let mut stek_ids: HashSet<String> = HashSet::new();
+        let mut kex_values: BTreeSet<String> = BTreeSet::new();
+        let mut stek_ids: BTreeSet<String> = BTreeSet::new();
         for i in 0..connections {
             // "In quick succession": a few seconds apart.
             BURST_CONNECTIONS.inc();

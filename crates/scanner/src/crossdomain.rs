@@ -8,7 +8,7 @@
 //!   offers; group domains sharing any key-exchange value.
 
 use crate::grab::{GrabOptions, Scanner, SuiteOffer};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use ts_core::groups::{self, ServiceGroup};
 use ts_core::observations::{KexKind, KexSighting, SharingEdge, SharingKind, TicketSighting};
 use ts_simnet::Ip;
@@ -36,7 +36,11 @@ pub fn build_targets(scanner: &Scanner, domains: &[String]) -> Vec<Target> {
             }
             let ips = pop.dns.lookup_all(d)?;
             let ip = *ips.first()?;
-            Some(Target { domain: d.clone(), ip, as_id: pop.as_plan.as_of(ip).map(|a| a.0) })
+            Some(Target {
+                domain: d.clone(),
+                ip,
+                as_id: pop.as_plan.as_of(ip).map(|a| a.0),
+            })
         })
         .collect()
 }
@@ -49,9 +53,10 @@ pub fn session_cache_groups(
     now: u64,
     per_domain_samples: usize,
 ) -> (Vec<ServiceGroup>, Vec<SharingEdge>) {
-    // Index by AS and by IP.
-    let mut by_as: HashMap<u32, Vec<usize>> = HashMap::new();
-    let mut by_ip: HashMap<Ip, Vec<usize>> = HashMap::new();
+    // Index by AS and by IP. Ordered maps: `take(N)` below samples the
+    // first N candidates, so the sampling frame must be stable.
+    let mut by_as: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    let mut by_ip: BTreeMap<Ip, Vec<usize>> = BTreeMap::new();
     for (i, t) in targets.iter().enumerate() {
         if let Some(a) = t.as_id {
             by_as.entry(a).or_default().push(i);
@@ -285,7 +290,9 @@ mod tests {
             stek_sharing_scan(&mut s, &targets, 20_000, 6 * 3_600, 10, 30 * 60);
         assert!(!sightings.is_empty());
         assert_eq!(groups[0].size(), 3, "teemall shares one STEK");
-        assert!(groups.iter().any(|g| g.members == vec!["yahoo.sim".to_string()]));
+        assert!(groups
+            .iter()
+            .any(|g| g.members == vec!["yahoo.sim".to_string()]));
     }
 
     #[test]

@@ -274,14 +274,22 @@ impl<'a> Scanner<'a> {
         if self.pop.blacklist.contains(domain) {
             let outcome = Err(GrabFailure::Blacklisted);
             record_grab(&outcome, 0);
-            return Grab { domain: domain.into(), ip: None, outcome };
+            return Grab {
+                domain: domain.into(),
+                ip: None,
+                outcome,
+            };
         }
         let ip = match self.pop.dns.resolve(domain, &mut self.rng) {
             Some(ip) => ip,
             None => {
                 let outcome = Err(GrabFailure::NoDns);
                 record_grab(&outcome, 0);
-                return Grab { domain: domain.into(), ip: None, outcome };
+                return Grab {
+                    domain: domain.into(),
+                    ip: None,
+                    outcome,
+                };
             }
         };
         self.grab_ip(domain, ip, now, options)
@@ -293,7 +301,11 @@ impl<'a> Scanner<'a> {
         let mut attempts = 0u32;
         let finish = |outcome: Result<Observation, GrabFailure>, attempts: u32| {
             record_grab(&outcome, attempts);
-            Grab { domain: sni.into(), ip: Some(ip), outcome }
+            Grab {
+                domain: sni.into(),
+                ip: Some(ip),
+                outcome,
+            }
         };
         for _attempt in 0..=options.retries {
             attempts += 1;
@@ -310,15 +322,18 @@ impl<'a> Scanner<'a> {
                         Ok(s) => s,
                         Err(e) => return finish(Err(GrabFailure::TlsFailed(e)), attempts),
                     };
-                    let trusted = matches!(summary.trust, Some(Ok(()))) || summary.resumed.is_some();
+                    let trusted =
+                        matches!(summary.trust, Some(Ok(()))) || summary.resumed.is_some();
                     let stek_id = summary.new_ticket.as_ref().map(|nst| {
                         let format = sniff_format(&nst.ticket);
                         extract_stek_id(&nst.ticket, format)
                             .map(|id| fingerprint_hex(&id))
                             .unwrap_or_else(|_| "unparseable".into())
                     });
-                    let kex_value_fp =
-                        summary.server_kex_public.as_ref().map(|v| fingerprint_hex(v));
+                    let kex_value_fp = summary
+                        .server_kex_public
+                        .as_ref()
+                        .map(|v| fingerprint_hex(v));
                     return finish(
                         Ok(Observation {
                             cipher_suite: summary.cipher_suite,
@@ -461,8 +476,7 @@ mod tests {
         let g1 = s.grab("netflix.sim", 2000, &GrabOptions::default());
         let obs1 = g1.ok().expect("first grab").clone();
         assert!(!obs1.session_id.is_empty());
-        let opts =
-            GrabOptions::new().resume_session(obs1.session_id.clone(), obs1.session.clone());
+        let opts = GrabOptions::new().resume_session(obs1.session_id.clone(), obs1.session.clone());
         let g2 = s.grab("netflix.sim", 2001, &opts);
         let obs2 = g2.ok().expect("second grab");
         assert_eq!(obs2.resumed, Some(ResumeKind::SessionId));

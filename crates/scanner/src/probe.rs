@@ -12,8 +12,10 @@ use ts_tls::server::ResumeKind;
 
 static PROBE_SESSION_ID: Counter = Counter::new("scanner.probe.session_id");
 static PROBE_TICKET: Counter = Counter::new("scanner.probe.ticket");
-static PROBE_MAX_DELAY: Histogram =
-    Histogram::new("scanner.probe.max_delay_secs", &[1, 300, 3_600, 21_600, 86_400]);
+static PROBE_MAX_DELAY: Histogram = Histogram::new(
+    "scanner.probe.max_delay_secs",
+    &[1, 300, 3_600, 21_600, 86_400],
+);
 
 /// Probe schedule. The paper's: 1 s, then every 300 s to 86,400 s.
 ///
@@ -41,12 +43,20 @@ impl Default for ProbeSchedule {
 impl ProbeSchedule {
     /// The paper's schedule: 1 s, then every 300 s up to 86,400 s.
     pub fn new() -> Self {
-        ProbeSchedule { first: 1, step: 300, horizon: 86_400 }
+        ProbeSchedule {
+            first: 1,
+            step: 300,
+            horizon: 86_400,
+        }
     }
 
     /// A coarse schedule for tests / fast runs.
     pub fn coarse(step: u64, horizon: u64) -> Self {
-        ProbeSchedule { first: 1, step, horizon }
+        ProbeSchedule {
+            first: 1,
+            step,
+            horizon,
+        }
     }
 
     /// First retry offset (seconds).
@@ -242,8 +252,12 @@ mod tests {
         let p = pop();
         // Notables have a 5-minute session cache.
         let mut s = Scanner::new(p, "probe-sid");
-        let probe =
-            probe_session_id(&mut s, "yahoo.sim", 10_000, &ProbeSchedule::coarse(150, 1_200));
+        let probe = probe_session_id(
+            &mut s,
+            "yahoo.sim",
+            10_000,
+            &ProbeSchedule::coarse(150, 1_200),
+        );
         assert!(probe.supported);
         assert!(probe.resumed_at_1s);
         // Lifetime 300 s: the 150 s and 300 s probes pass, 450 fails.
@@ -276,8 +290,7 @@ mod tests {
             .find(|t| !t.https && t.stable && !t.blacklisted)
             .expect("non-https domain");
         let mut s = Scanner::new(p, "probe-dead");
-        let probe =
-            probe_session_id(&mut s, &dead.name, 10_000, &ProbeSchedule::coarse(300, 600));
+        let probe = probe_session_id(&mut s, &dead.name, 10_000, &ProbeSchedule::coarse(300, 600));
         assert!(!probe.supported);
         assert_eq!(probe.max_delay, None);
     }

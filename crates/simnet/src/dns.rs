@@ -8,7 +8,7 @@
 //! a provider's SMTP endpoints.
 
 use crate::addr::Ip;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use ts_crypto::drbg::HmacDrbg;
 use ts_telemetry::{emit, Counter, Event};
 
@@ -18,8 +18,10 @@ static DNS_MISS: Counter = Counter::new("simnet.dns.miss");
 /// The simulation's DNS zone.
 #[derive(Debug, Default)]
 pub struct Dns {
-    a_records: HashMap<String, Vec<Ip>>,
-    mx_records: HashMap<String, String>,
+    // Ordered: `domains_with_mx` scans mx_records for the §7.2 census, so
+    // the zone's walk order must not depend on the hash seed.
+    a_records: BTreeMap<String, Vec<Ip>>,
+    mx_records: BTreeMap<String, String>,
 }
 
 impl Dns {
@@ -71,17 +73,15 @@ impl Dns {
             .map(|s| s.as_str())
     }
 
-    /// Domains whose MX points at `mail_host` (the §7.2 census).
+    /// Domains whose MX points at `mail_host` (the §7.2 census), in name
+    /// order — the zone map is ordered, so no explicit sort is needed.
     pub fn domains_with_mx(&self, mail_host: &str) -> Vec<&str> {
         let needle = mail_host.to_ascii_lowercase();
-        let mut out: Vec<&str> = self
-            .mx_records
+        self.mx_records
             .iter()
             .filter(|(_, target)| **target == needle)
             .map(|(d, _)| d.as_str())
-            .collect();
-        out.sort_unstable();
-        out
+            .collect()
     }
 
     /// Number of registered domains (A records).
@@ -137,7 +137,10 @@ mod tests {
         dns.set_mx("b.sim", "smtp.bigmail.sim");
         dns.set_mx("c.sim", "mail.other.sim");
         assert_eq!(dns.lookup_mx("a.sim"), Some("smtp.bigmail.sim"));
-        assert_eq!(dns.domains_with_mx("smtp.bigmail.sim"), vec!["a.sim", "b.sim"]);
+        assert_eq!(
+            dns.domains_with_mx("smtp.bigmail.sim"),
+            vec!["a.sim", "b.sim"]
+        );
         assert_eq!(dns.domains_with_mx("SMTP.BIGMAIL.SIM").len(), 2);
         assert!(dns.domains_with_mx("none.sim").is_empty());
     }

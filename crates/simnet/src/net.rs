@@ -179,7 +179,11 @@ impl SimNet {
             return Err(ConnectError::Tls(TlsError::NotReady));
         }
         count_outcome(&CONNECT_OK, "ok");
-        Ok(Connection { client, server, capture: result.capture })
+        Ok(Connection {
+            client,
+            server,
+            capture: result.capture,
+        })
     }
 }
 
@@ -211,7 +215,10 @@ mod tests {
             &CertificateParams {
                 serial: 1,
                 subject: ca_name.clone(),
-                validity: Validity { not_before: 0, not_after: u32::MAX as u64 },
+                validity: Validity {
+                    not_before: 0,
+                    not_after: u32::MAX as u64,
+                },
                 dns_names: vec![],
                 is_ca: true,
             },
@@ -224,7 +231,10 @@ mod tests {
             &CertificateParams {
                 serial: 2,
                 subject: DistinguishedName::cn("host.sim"),
-                validity: Validity { not_before: 0, not_after: u32::MAX as u64 },
+                validity: Validity {
+                    not_before: 0,
+                    not_after: u32::MAX as u64,
+                },
                 dns_names: vec!["host.sim".into()],
                 is_ca: false,
             },
@@ -234,7 +244,10 @@ mod tests {
         );
         let mut store = RootStore::new();
         store.add_root(ca);
-        let identity = Arc::new(ServerIdentity { chain: vec![leaf], key: leaf_key });
+        let identity = Arc::new(ServerIdentity {
+            chain: vec![leaf],
+            key: leaf_key,
+        });
         let eph = EphemeralCache::new(
             EphemeralPolicy::FreshPerHandshake,
             ts_crypto::dh::DhGroup::Sim256,
@@ -244,7 +257,10 @@ mod tests {
         let mut net = SimNet::new();
         net.bind(
             Ip(100),
-            Arc::new(FixedResponder { config, host: "host.sim".into() }),
+            Arc::new(FixedResponder {
+                config,
+                host: "host.sim".into(),
+            }),
         );
         (net, Arc::new(store))
     }

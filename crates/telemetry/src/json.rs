@@ -108,7 +108,10 @@ mod tests {
 
     fn sample() -> Snapshot {
         Snapshot {
-            counters: vec![CounterSnapshot { name: "a.ok".into(), value: 7 }],
+            counters: vec![CounterSnapshot {
+                name: "a.ok".into(),
+                value: 7,
+            }],
             histograms: vec![HistogramSnapshot {
                 name: "a.delays".into(),
                 bounds: vec![1, 300],

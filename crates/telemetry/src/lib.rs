@@ -46,8 +46,6 @@ mod sink;
 mod span;
 
 pub use metrics::{Counter, Histogram, SHARDS};
-pub use registry::{
-    snapshot, CounterSnapshot, HistogramSnapshot, Snapshot, SpanSnapshot,
-};
+pub use registry::{snapshot, CounterSnapshot, HistogramSnapshot, Snapshot, SpanSnapshot};
 pub use sink::{clear_sink, emit, set_sink, Event, NoopSink, TelemetrySink};
 pub use span::{SpanGuard, SpanStat};

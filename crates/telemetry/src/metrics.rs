@@ -88,15 +88,11 @@ impl Counter {
 
     /// Current total, merged across shards.
     pub fn value(&self) -> u64 {
-        self.cells
-            .iter()
-            .map(|c| c.0.load(Ordering::Relaxed))
-            .sum()
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
     }
 
     fn ensure_registered(&'static self) {
-        if !self.registered.load(Ordering::Relaxed)
-            && !self.registered.swap(true, Ordering::AcqRel)
+        if !self.registered.load(Ordering::Relaxed) && !self.registered.swap(true, Ordering::AcqRel)
         {
             registry::register(MetricRef::Counter(self));
         }
@@ -214,8 +210,7 @@ impl Histogram {
     }
 
     fn ensure_registered(&'static self) {
-        if !self.registered.load(Ordering::Relaxed)
-            && !self.registered.swap(true, Ordering::AcqRel)
+        if !self.registered.load(Ordering::Relaxed) && !self.registered.swap(true, Ordering::AcqRel)
         {
             registry::register(MetricRef::Histogram(self));
         }

@@ -20,7 +20,10 @@ pub(crate) enum MetricRef {
 static REGISTRY: Mutex<Vec<MetricRef>> = Mutex::new(Vec::new());
 
 pub(crate) fn register(m: MetricRef) {
-    REGISTRY.lock().expect("telemetry registry poisoned").push(m);
+    REGISTRY
+        .lock()
+        .expect("telemetry registry poisoned")
+        .push(m);
 }
 
 /// One counter's merged state.
@@ -169,7 +172,11 @@ impl Snapshot {
                 })
             })
             .collect();
-        Snapshot { counters, histograms, spans }
+        Snapshot {
+            counters,
+            histograms,
+            spans,
+        }
     }
 }
 
@@ -204,7 +211,10 @@ mod tests {
         H.observe(3);
         let base = snapshot();
         let quiet = snapshot().delta_since(&base);
-        assert!(quiet.counters.iter().all(|c| c.name != "test.registry.delta"));
+        assert!(quiet
+            .counters
+            .iter()
+            .all(|c| c.name != "test.registry.delta"));
         C.add(5);
         H.observe(42);
         let moved = snapshot().delta_since(&base);

@@ -57,13 +57,13 @@ impl SpanStat {
 
     /// Record one completed span directly.
     pub fn record(&'static self, virtual_elapsed: u64, wall_nanos: u64) {
-        if !self.registered.load(Ordering::Relaxed)
-            && !self.registered.swap(true, Ordering::AcqRel)
+        if !self.registered.load(Ordering::Relaxed) && !self.registered.swap(true, Ordering::AcqRel)
         {
             registry::register(MetricRef::Span(self));
         }
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.virtual_secs.fetch_add(virtual_elapsed, Ordering::Relaxed);
+        self.virtual_secs
+            .fetch_add(virtual_elapsed, Ordering::Relaxed);
         self.wall_nanos.fetch_add(wall_nanos, Ordering::Relaxed);
     }
 

@@ -103,12 +103,18 @@ pub struct Alert {
 impl Alert {
     /// A fatal alert.
     pub fn fatal(description: AlertDescription) -> Self {
-        Alert { level: AlertLevel::Fatal, description }
+        Alert {
+            level: AlertLevel::Fatal,
+            description,
+        }
     }
 
     /// The close_notify warning.
     pub fn close_notify() -> Self {
-        Alert { level: AlertLevel::Warning, description: AlertDescription::CloseNotify }
+        Alert {
+            level: AlertLevel::Warning,
+            description: AlertDescription::CloseNotify,
+        }
     }
 
     /// Encode to two bytes.

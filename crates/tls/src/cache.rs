@@ -10,12 +10,15 @@
 
 use crate::session::SessionState;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A server-side session cache with TTL and capacity bounds.
 pub struct SessionCache {
-    entries: HashMap<Vec<u8>, CacheEntry>,
+    // Ordered: eviction breaks stored_at ties by scan order and
+    // `dump_secrets` feeds the §6.2 attacker analysis, so both must be
+    // independent of the hash seed.
+    entries: BTreeMap<Vec<u8>, CacheEntry>,
     lifetime_secs: u64,
     capacity: usize,
 }
@@ -29,7 +32,11 @@ impl SessionCache {
     /// Create a cache holding entries for `lifetime_secs`, at most
     /// `capacity` at a time.
     pub fn new(lifetime_secs: u64, capacity: usize) -> Self {
-        SessionCache { entries: HashMap::new(), lifetime_secs, capacity }
+        SessionCache {
+            entries: BTreeMap::new(),
+            lifetime_secs,
+            capacity,
+        }
     }
 
     /// The configured lifetime.
@@ -54,7 +61,13 @@ impl SessionCache {
                 self.entries.remove(&oldest);
             }
         }
-        self.entries.insert(session_id, CacheEntry { state, stored_at: now });
+        self.entries.insert(
+            session_id,
+            CacheEntry {
+                state,
+                stored_at: now,
+            },
+        );
     }
 
     /// Look up a session; returns it only if still within lifetime.
@@ -109,7 +122,10 @@ pub struct SharedSessionCache(Arc<Mutex<SessionCache>>);
 impl SharedSessionCache {
     /// Wrap a new cache.
     pub fn new(lifetime_secs: u64, capacity: usize) -> Self {
-        SharedSessionCache(Arc::new(Mutex::new(SessionCache::new(lifetime_secs, capacity))))
+        SharedSessionCache(Arc::new(Mutex::new(SessionCache::new(
+            lifetime_secs,
+            capacity,
+        ))))
     }
 
     /// Insert (see [`SessionCache::insert`]).

@@ -16,7 +16,7 @@ use crate::suites::{CipherSuite, KeyExchange};
 use crate::wire::extensions::Extension;
 use crate::wire::handshake::{
     CertificateMsg, ClientHello, ClientKeyExchange, Finished, HandshakeMessage,
-    HandshakeReassembler, NewSessionTicket, ServerHello, ServerKeyExchange, ServerKexParams,
+    HandshakeReassembler, NewSessionTicket, ServerHello, ServerKexParams, ServerKeyExchange,
 };
 use crate::wire::record::{ContentType, RecordLayer};
 use ts_crypto::bignum::Ub;
@@ -357,26 +357,32 @@ impl ClientConn {
     fn handle_handshake(&mut self, msg: HandshakeMessage) -> Result<(), TlsError> {
         match (self.state, msg) {
             (State::AwaitServerHello, HandshakeMessage::ServerHello(sh)) => {
-                self.transcript.add(&HandshakeMessage::ServerHello(sh.clone()).encode());
+                self.transcript
+                    .add(&HandshakeMessage::ServerHello(sh.clone()).encode());
                 self.on_server_hello(sh)
             }
             (State::AwaitServerFlight, HandshakeMessage::Certificate(c)) => {
-                self.transcript.add(&HandshakeMessage::Certificate(c.clone()).encode());
+                self.transcript
+                    .add(&HandshakeMessage::Certificate(c.clone()).encode());
                 self.on_certificate(c)
             }
-            (State::AwaitServerFlight | State::AwaitCcsAbbrev, HandshakeMessage::NewSessionTicket(nst)) => {
+            (
+                State::AwaitServerFlight | State::AwaitCcsAbbrev,
+                HandshakeMessage::NewSessionTicket(nst),
+            ) => {
                 // Ticket reissue during abbreviated handshake.
                 self.transcript
                     .add(&HandshakeMessage::NewSessionTicket(nst.clone()).encode());
                 if self.resumed.is_none() {
                     // NST before CCS signals ticket acceptance.
                     self.resumed = Some(ResumeKind::Ticket);
-                    let state = self.offered_ticket_state.as_ref().ok_or(
-                        TlsError::UnexpectedMessage {
-                            expected: "Certificate",
-                            got: "NewSessionTicket",
-                        },
-                    )?;
+                    let state =
+                        self.offered_ticket_state
+                            .as_ref()
+                            .ok_or(TlsError::UnexpectedMessage {
+                                expected: "Certificate",
+                                got: "NewSessionTicket",
+                            })?;
                     self.master = Some(state.master_secret);
                 }
                 self.new_ticket = Some(nst);
@@ -389,7 +395,8 @@ impl ClientConn {
                 self.on_server_kex(ske)
             }
             (State::AwaitServerKexOrDone, HandshakeMessage::ServerHelloDone) => {
-                self.transcript.add(&HandshakeMessage::ServerHelloDone.encode());
+                self.transcript
+                    .add(&HandshakeMessage::ServerHelloDone.encode());
                 self.on_server_hello_done()
             }
             (State::AwaitNstOrCcsFull, HandshakeMessage::NewSessionTicket(nst)) => {
@@ -398,9 +405,10 @@ impl ClientConn {
                 self.new_ticket = Some(nst);
                 Ok(())
             }
-            (State::AwaitFinishedFull | State::AwaitFinishedAbbrev, HandshakeMessage::Finished(f)) => {
-                self.on_server_finished(f)
-            }
+            (
+                State::AwaitFinishedFull | State::AwaitFinishedAbbrev,
+                HandshakeMessage::Finished(f),
+            ) => self.on_server_finished(f),
             (_, other) => Err(TlsError::UnexpectedMessage {
                 expected: state_expectation(self.state),
                 got: other.name(),
@@ -502,7 +510,9 @@ impl ClientConn {
                 let leaf = self.leaf.as_ref().expect("certificate processed");
                 let ct = leaf.public_key.encrypt(&pm, &mut self.rng)?;
                 premaster = pm;
-                ClientKeyExchange::Rsa { encrypted_premaster: ct }
+                ClientKeyExchange::Rsa {
+                    encrypted_premaster: ct,
+                }
             }
             KeyExchange::Dhe => {
                 let server_pub = self
@@ -513,7 +523,9 @@ impl ClientConn {
                 validate_public(self.dh_group_hint, &ys)?;
                 let kp = DhKeyPair::generate(self.dh_group_hint, &mut self.rng);
                 premaster = kp.shared_secret(&ys)?;
-                ClientKeyExchange::Dhe { yc: kp.public_bytes() }
+                ClientKeyExchange::Dhe {
+                    yc: kp.public_bytes(),
+                }
             }
             KeyExchange::Ecdhe => {
                 let server_pub = self
@@ -526,7 +538,9 @@ impl ClientConn {
                     .map_err(|_| TlsError::Decode("bad server point length"))?;
                 let kp = X25519KeyPair::generate(&mut self.rng);
                 premaster = kp.shared_secret(&point).to_vec();
-                ClientKeyExchange::Ecdhe { point: kp.public.to_vec() }
+                ClientKeyExchange::Ecdhe {
+                    point: kp.public.to_vec(),
+                }
             }
         };
         self.send_handshake(&HandshakeMessage::ClientKeyExchange(cke));

@@ -122,7 +122,10 @@ impl EphemeralCache {
         if !reuse {
             let group = inner.dh_group;
             let kp = DhKeyPair::generate(group, &mut inner.rng);
-            inner.dhe = Some(CachedDhe { keypair: kp, created_at: now });
+            inner.dhe = Some(CachedDhe {
+                keypair: kp,
+                created_at: now,
+            });
             inner.dhe_generations += 1;
         }
         inner.dhe.as_ref().expect("just set").keypair.clone()
@@ -138,7 +141,10 @@ impl EphemeralCache {
             .unwrap_or(false);
         if !reuse {
             let kp = X25519KeyPair::generate(&mut inner.rng);
-            inner.ecdhe = Some(CachedEcdhe { keypair: kp, created_at: now });
+            inner.ecdhe = Some(CachedEcdhe {
+                keypair: kp,
+                created_at: now,
+            });
             inner.ecdhe_generations += 1;
         }
         inner.ecdhe.as_ref().expect("just set").keypair.clone()

@@ -80,7 +80,10 @@ mod tests {
     fn display_formats() {
         let e = TlsError::Decode("bad length");
         assert!(e.to_string().contains("bad length"));
-        let e = TlsError::UnexpectedMessage { expected: "ServerHello", got: "Finished" };
+        let e = TlsError::UnexpectedMessage {
+            expected: "ServerHello",
+            got: "Finished",
+        };
         assert!(e.to_string().contains("ServerHello"));
         assert!(e.to_string().contains("Finished"));
     }

@@ -97,7 +97,9 @@ pub struct Transcript {
 impl Transcript {
     /// Start an empty transcript.
     pub fn new() -> Self {
-        Transcript { hasher: Some(Sha256::new()) }
+        Transcript {
+            hasher: Some(Sha256::new()),
+        }
     }
 
     /// Absorb an encoded handshake message (header included).
@@ -120,7 +122,11 @@ pub fn verify_data(
     transcript_hash: &[u8; 32],
     from_client: bool,
 ) -> Vec<u8> {
-    let label: &[u8] = if from_client { b"client finished" } else { b"server finished" };
+    let label: &[u8] = if from_client {
+        b"client finished"
+    } else {
+        b"server finished"
+    };
     prf(master, label, transcript_hash, VERIFY_DATA_LEN)
 }
 
@@ -150,11 +156,21 @@ mod tests {
     #[test]
     fn key_block_sizes_per_suite() {
         let master = [7u8; 48];
-        let keys = key_block(&master, &[1; 32], &[2; 32], CipherSuite::EcdheRsaAes128CbcSha256);
+        let keys = key_block(
+            &master,
+            &[1; 32],
+            &[2; 32],
+            CipherSuite::EcdheRsaAes128CbcSha256,
+        );
         assert_eq!(keys.client_write.mac_key.len(), 32);
         assert_eq!(keys.client_write.enc_key.len(), 16);
         assert_eq!(keys.client_write.fixed_iv.len(), 16);
-        let keys = key_block(&master, &[1; 32], &[2; 32], CipherSuite::EcdheRsaChaCha20Poly1305);
+        let keys = key_block(
+            &master,
+            &[1; 32],
+            &[2; 32],
+            CipherSuite::EcdheRsaChaCha20Poly1305,
+        );
         assert_eq!(keys.client_write.mac_key.len(), 0);
         assert_eq!(keys.client_write.enc_key.len(), 32);
         assert_eq!(keys.client_write.fixed_iv.len(), 12);
@@ -162,7 +178,12 @@ mod tests {
 
     #[test]
     fn directions_have_distinct_keys() {
-        let keys = key_block(&[7; 48], &[1; 32], &[2; 32], CipherSuite::EcdheRsaChaCha20Poly1305);
+        let keys = key_block(
+            &[7; 48],
+            &[1; 32],
+            &[2; 32],
+            CipherSuite::EcdheRsaChaCha20Poly1305,
+        );
         assert_ne!(keys.client_write.enc_key, keys.server_write.enc_key);
         assert_ne!(keys.client_write.fixed_iv, keys.server_write.fixed_iv);
     }
@@ -172,8 +193,18 @@ mod tests {
         // Same master secret + fresh randoms → fresh keys. This is exactly
         // what an abbreviated handshake does.
         let master = [5u8; 48];
-        let k1 = key_block(&master, &[1; 32], &[2; 32], CipherSuite::EcdheRsaChaCha20Poly1305);
-        let k2 = key_block(&master, &[3; 32], &[4; 32], CipherSuite::EcdheRsaChaCha20Poly1305);
+        let k1 = key_block(
+            &master,
+            &[1; 32],
+            &[2; 32],
+            CipherSuite::EcdheRsaChaCha20Poly1305,
+        );
+        let k2 = key_block(
+            &master,
+            &[3; 32],
+            &[4; 32],
+            CipherSuite::EcdheRsaChaCha20Poly1305,
+        );
         assert_ne!(k1.client_write.enc_key, k2.client_write.enc_key);
     }
 

@@ -14,7 +14,7 @@ use crate::suites::{CipherSuite, KeyExchange};
 use crate::wire::extensions::{find_server_name, find_session_ticket, Extension};
 use crate::wire::handshake::{
     CertificateMsg, ClientHello, ClientKeyExchange, Finished, HandshakeMessage,
-    HandshakeReassembler, NewSessionTicket, ServerHello, ServerKeyExchange, ServerKexParams,
+    HandshakeReassembler, NewSessionTicket, ServerHello, ServerKexParams, ServerKeyExchange,
 };
 use crate::wire::record::{ContentType, RecordLayer};
 use ts_crypto::bignum::Ub;
@@ -227,7 +227,9 @@ impl ServerConn {
     fn fail(&mut self, err: TlsError, desc: AlertDescription) -> Result<(), TlsError> {
         self.state = State::Failed;
         ALERT_SENT.inc();
-        emit(Event::AlertSent { code: desc.to_byte() });
+        emit(Event::AlertSent {
+            code: desc.to_byte(),
+        });
         let alert = Alert::fatal(desc);
         self.records
             .write_record(ContentType::Alert, &alert.encode(), &mut self.out);
@@ -244,7 +246,8 @@ impl ServerConn {
     fn handle_handshake(&mut self, msg: HandshakeMessage) -> Result<(), TlsError> {
         match (self.state, msg) {
             (State::AwaitClientHello, HandshakeMessage::ClientHello(ch)) => {
-                self.transcript.add(&HandshakeMessage::ClientHello(ch.clone()).encode());
+                self.transcript
+                    .add(&HandshakeMessage::ClientHello(ch.clone()).encode());
                 self.on_client_hello(ch)
             }
             (State::AwaitClientKex, HandshakeMessage::ClientKeyExchange(cke)) => {
@@ -281,9 +284,7 @@ impl ServerConn {
             if !ticket.is_empty() {
                 let mut accepted = None;
                 if let Ok(state) = manager.accept(ticket, self.now) {
-                    let fresh_enough = self
-                        .now
-                        .saturating_sub(state.established_at)
+                    let fresh_enough = self.now.saturating_sub(state.established_at)
                         <= self.config.ticket_accept_window;
                     let suite_ok = ch.cipher_suites.contains(&state.cipher_suite.id())
                         && self.config.suites.contains(&state.cipher_suite);
@@ -371,7 +372,9 @@ impl ServerConn {
             }
             KeyExchange::Ecdhe => {
                 let kp = self.config.ephemeral.ecdhe_keypair(self.now);
-                let params = ServerKexParams::Ecdhe { point: kp.public.to_vec() };
+                let params = ServerKexParams::Ecdhe {
+                    point: kp.public.to_vec(),
+                };
                 let ske = self.signed_kex(params)?;
                 self.ecdhe_kp = Some(kp);
                 self.send_handshake(&ske);
@@ -384,10 +387,12 @@ impl ServerConn {
 
     /// Sign cr || sr || params and build the ServerKeyExchange message.
     fn signed_kex(&mut self, params: ServerKexParams) -> Result<HandshakeMessage, TlsError> {
-        let signed_content =
-            kex_signed_content(&self.client_random, &self.server_random, &params);
+        let signed_content = kex_signed_content(&self.client_random, &self.server_random, &params);
         let signature = self.config.identity.key.sign(&signed_content)?;
-        Ok(HandshakeMessage::ServerKeyExchange(ServerKeyExchange { params, signature }))
+        Ok(HandshakeMessage::ServerKeyExchange(ServerKeyExchange {
+            params,
+            signature,
+        }))
     }
 
     fn resume(
@@ -450,7 +455,12 @@ impl ServerConn {
     fn on_client_kex(&mut self, cke: ClientKeyExchange) -> Result<(), TlsError> {
         let suite = self.suite.expect("suite chosen");
         let premaster: Vec<u8> = match (suite.key_exchange(), cke) {
-            (KeyExchange::Rsa, ClientKeyExchange::Rsa { encrypted_premaster }) => {
+            (
+                KeyExchange::Rsa,
+                ClientKeyExchange::Rsa {
+                    encrypted_premaster,
+                },
+            ) => {
                 let pm = self.config.identity.key.decrypt(&encrypted_premaster)?;
                 if pm.len() != 48 || pm[0] != 3 || pm[1] != 3 {
                     return Err(TlsError::Decode("bad RSA premaster"));
@@ -491,8 +501,7 @@ impl ServerConn {
         if !ts_crypto::ct::ct_eq(&expected, &f.verify_data) {
             return Err(TlsError::BadFinished);
         }
-        self.transcript
-            .add(&HandshakeMessage::Finished(f).encode());
+        self.transcript.add(&HandshakeMessage::Finished(f).encode());
 
         if self.resumed.is_some() {
             // Abbreviated handshake: we already sent our Finished.

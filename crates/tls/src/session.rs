@@ -70,8 +70,7 @@ impl SessionState {
         if data.len() < MASTER_SECRET_LEN + 2 + 8 + 2 {
             return None;
         }
-        let master_secret: [u8; MASTER_SECRET_LEN] =
-            data[..MASTER_SECRET_LEN].try_into().ok()?;
+        let master_secret: [u8; MASTER_SECRET_LEN] = data[..MASTER_SECRET_LEN].try_into().ok()?;
         let mut off = MASTER_SECRET_LEN;
         let suite_id = u16::from_be_bytes([data[off], data[off + 1]]);
         off += 2;
@@ -84,7 +83,12 @@ impl SessionState {
             return None;
         }
         let server_name = String::from_utf8(data[off..].to_vec()).ok()?;
-        Some(SessionState { master_secret, cipher_suite, established_at, server_name })
+        Some(SessionState {
+            master_secret,
+            cipher_suite,
+            established_at,
+            server_name,
+        })
     }
 }
 

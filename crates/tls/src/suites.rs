@@ -111,12 +111,18 @@ impl CipherSuite {
 
     /// Suites whose key exchange is DHE (for cipher-restricted scans).
     pub fn dhe_only() -> [CipherSuite; 2] {
-        [CipherSuite::DheRsaChaCha20Poly1305, CipherSuite::DheRsaAes128CbcSha256]
+        [
+            CipherSuite::DheRsaChaCha20Poly1305,
+            CipherSuite::DheRsaAes128CbcSha256,
+        ]
     }
 
     /// Suites whose key exchange is ECDHE.
     pub fn ecdhe_only() -> [CipherSuite; 2] {
-        [CipherSuite::EcdheRsaChaCha20Poly1305, CipherSuite::EcdheRsaAes128CbcSha256]
+        [
+            CipherSuite::EcdheRsaChaCha20Poly1305,
+            CipherSuite::EcdheRsaAes128CbcSha256,
+        ]
     }
 }
 
@@ -135,12 +141,16 @@ impl RecordProtection {
     /// Required key material sizes.
     pub fn sizes(self) -> KeyMaterialSizes {
         match self {
-            RecordProtection::CbcHmacSha256 => {
-                KeyMaterialSizes { mac_key: 32, enc_key: 16, fixed_iv: 16 }
-            }
-            RecordProtection::ChaCha20Poly1305 => {
-                KeyMaterialSizes { mac_key: 0, enc_key: 32, fixed_iv: 12 }
-            }
+            RecordProtection::CbcHmacSha256 => KeyMaterialSizes {
+                mac_key: 32,
+                enc_key: 16,
+                fixed_iv: 16,
+            },
+            RecordProtection::ChaCha20Poly1305 => KeyMaterialSizes {
+                mac_key: 0,
+                enc_key: 32,
+                fixed_iv: 12,
+            },
         }
     }
 }

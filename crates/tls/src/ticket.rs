@@ -95,7 +95,12 @@ impl Drop for Stek {
 impl std::fmt::Debug for Stek {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print key material.
-        write!(f, "Stek(name={}, created_at={})", hex(&self.key_name[..4]), self.created_at)
+        write!(
+            f,
+            "Stek(name={}, created_at={})",
+            hex(&self.key_name[..4]),
+            self.created_at
+        )
     }
 }
 
@@ -112,7 +117,12 @@ impl Stek {
         rng.fill_bytes(&mut enc_key);
         let mut mac_key = [0u8; 32];
         rng.fill_bytes(&mut mac_key);
-        Stek { key_name, enc_key, mac_key, created_at: now }
+        Stek {
+            key_name,
+            enc_key,
+            mac_key,
+            created_at: now,
+        }
     }
 
     /// Load a STEK from a 48-byte key file (the Apache/Nginx
@@ -125,7 +135,12 @@ impl Stek {
         enc_key.copy_from_slice(&bytes[16..32]);
         // Expand the 16-byte MAC seed to 32 via HMAC for a full-strength key.
         let mac_key = ts_crypto::hmac::hmac_sha256(&bytes[32..48], b"stek mac key");
-        Stek { key_name, enc_key, mac_key, created_at: now }
+        Stek {
+            key_name,
+            enc_key,
+            mac_key,
+            created_at: now,
+        }
     }
 
     /// Encrypt session state into a ticket in the given format.
@@ -332,7 +347,14 @@ impl StekManager {
     pub fn new(policy: RotationPolicy, format: TicketFormat, mut rng: HmacDrbg, now: u64) -> Self {
         let active = Stek::generate(&mut rng, now);
         let history = vec![active.clone()];
-        StekManager { policy, format, active, retired: Vec::new(), rng, history }
+        StekManager {
+            policy,
+            format,
+            active,
+            retired: Vec::new(),
+            rng,
+            history,
+        }
     }
 
     /// Create from a synchronized 48-byte key file (Static policy).
@@ -499,7 +521,11 @@ mod tests {
     #[test]
     fn seal_open_roundtrip_all_formats() {
         let mut r = rng(b"fmt");
-        for format in [TicketFormat::Rfc5077, TicketFormat::MbedTls, TicketFormat::SChannel] {
+        for format in [
+            TicketFormat::Rfc5077,
+            TicketFormat::MbedTls,
+            TicketFormat::SChannel,
+        ] {
             let stek = Stek::generate(&mut r, 0);
             let ticket = stek.seal(&state(), format, &mut r);
             assert_eq!(stek.open(&ticket, format).unwrap(), state(), "{format:?}");
@@ -511,11 +537,20 @@ mod tests {
         let mut r = rng(b"extract");
         let stek = Stek::generate(&mut r, 0);
         let t = stek.seal(&state(), TicketFormat::Rfc5077, &mut r);
-        assert_eq!(extract_stek_id(&t, TicketFormat::Rfc5077).unwrap(), stek.key_name.to_vec());
+        assert_eq!(
+            extract_stek_id(&t, TicketFormat::Rfc5077).unwrap(),
+            stek.key_name.to_vec()
+        );
         let t = stek.seal(&state(), TicketFormat::MbedTls, &mut r);
-        assert_eq!(extract_stek_id(&t, TicketFormat::MbedTls).unwrap(), stek.key_name[..4].to_vec());
+        assert_eq!(
+            extract_stek_id(&t, TicketFormat::MbedTls).unwrap(),
+            stek.key_name[..4].to_vec()
+        );
         let t = stek.seal(&state(), TicketFormat::SChannel, &mut r);
-        assert_eq!(extract_stek_id(&t, TicketFormat::SChannel).unwrap(), stek.key_name.to_vec());
+        assert_eq!(
+            extract_stek_id(&t, TicketFormat::SChannel).unwrap(),
+            stek.key_name.to_vec()
+        );
     }
 
     #[test]
@@ -597,7 +632,9 @@ mod tests {
     #[test]
     fn restart_policy_rotates_without_overlap() {
         let mut m = StekManager::new(
-            RotationPolicy::OnRestart { restart_interval: 1000 },
+            RotationPolicy::OnRestart {
+                restart_interval: 1000,
+            },
             TicketFormat::Rfc5077,
             rng(b"restart"),
             0,
@@ -611,7 +648,10 @@ mod tests {
     #[test]
     fn rotation_catches_up_over_long_gaps() {
         let mut m = StekManager::new(
-            RotationPolicy::Periodic { period: 100, overlap: 0 },
+            RotationPolicy::Periodic {
+                period: 100,
+                overlap: 0,
+            },
             TicketFormat::Rfc5077,
             rng(b"gap"),
             0,
@@ -624,7 +664,10 @@ mod tests {
     #[test]
     fn steal_keys_exposes_active_and_retired() {
         let mut m = StekManager::new(
-            RotationPolicy::Periodic { period: 100, overlap: 100 },
+            RotationPolicy::Periodic {
+                period: 100,
+                overlap: 100,
+            },
             TicketFormat::Rfc5077,
             rng(b"steal"),
             0,

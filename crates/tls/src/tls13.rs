@@ -125,8 +125,14 @@ impl std::fmt::Debug for Tls13Resumption {
         f.debug_struct("Tls13Resumption")
             .field("mode", &self.mode)
             .field("traffic_secret", &"<redacted>")
-            .field("early_data_secret", &self.early_data_secret.as_ref().map(|_| "<redacted>"))
-            .field("dhe_output", &self.dhe_output.as_ref().map(|_| "<redacted>"))
+            .field(
+                "early_data_secret",
+                &self.early_data_secret.as_ref().map(|_| "<redacted>"),
+            )
+            .field(
+                "dhe_output",
+                &self.dhe_output.as_ref().map(|_| "<redacted>"),
+            )
             .finish()
     }
 }
@@ -209,7 +215,10 @@ pub fn attacker_recoverable(
         // Without the DHE output the attacker cannot derive the secret.
         PskMode::PskDheKe => false,
     };
-    RecoveredSecrets { early_data_decryptable: early.unwrap_or(false), traffic_decryptable: traffic }
+    RecoveredSecrets {
+        early_data_decryptable: early.unwrap_or(false),
+        traffic_decryptable: traffic,
+    }
 }
 
 /// What a PSK thief can decrypt.
@@ -239,12 +248,16 @@ mod tests {
 
     #[test]
     fn derivation_is_deterministic_and_input_sensitive() {
-        let a = derive_resumption_secret(&[7; 48], &[1; 32], 0, 100, PskIdentityKind::SelfContained);
-        let b = derive_resumption_secret(&[7; 48], &[1; 32], 0, 100, PskIdentityKind::SelfContained);
+        let a =
+            derive_resumption_secret(&[7; 48], &[1; 32], 0, 100, PskIdentityKind::SelfContained);
+        let b =
+            derive_resumption_secret(&[7; 48], &[1; 32], 0, 100, PskIdentityKind::SelfContained);
         assert_eq!(a.secret, b.secret);
-        let c = derive_resumption_secret(&[8; 48], &[1; 32], 0, 100, PskIdentityKind::SelfContained);
+        let c =
+            derive_resumption_secret(&[8; 48], &[1; 32], 0, 100, PskIdentityKind::SelfContained);
         assert_ne!(a.secret, c.secret);
-        let d = derive_resumption_secret(&[7; 48], &[2; 32], 0, 100, PskIdentityKind::SelfContained);
+        let d =
+            derive_resumption_secret(&[7; 48], &[2; 32], 0, 100, PskIdentityKind::SelfContained);
         assert_ne!(a.secret, d.secret);
     }
 
@@ -264,8 +277,22 @@ mod tests {
     fn expired_psk_rejected() {
         let p = psk(PskIdentityKind::DatabaseLookup);
         let mut rng = HmacDrbg::new(b"x");
-        assert!(resume(&p, PskMode::PskKe, false, p.issued_at + p.lifetime, &mut rng).is_ok());
-        assert!(resume(&p, PskMode::PskKe, false, p.issued_at + p.lifetime + 1, &mut rng).is_err());
+        assert!(resume(
+            &p,
+            PskMode::PskKe,
+            false,
+            p.issued_at + p.lifetime,
+            &mut rng
+        )
+        .is_ok());
+        assert!(resume(
+            &p,
+            PskMode::PskKe,
+            false,
+            p.issued_at + p.lifetime + 1,
+            &mut rng
+        )
+        .is_err());
     }
 
     #[test]

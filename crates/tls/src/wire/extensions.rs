@@ -102,7 +102,10 @@ impl Extension {
                 Ok(Extension::SupportedGroups(groups))
             }
             35 => Ok(Extension::SessionTicket(data.to_vec())),
-            other => Ok(Extension::Unknown { ext_type: other, data: data.to_vec() }),
+            other => Ok(Extension::Unknown {
+                ext_type: other,
+                data: data.to_vec(),
+            }),
         }
     }
 }
@@ -204,7 +207,10 @@ mod tests {
 
     #[test]
     fn unknown_preserved() {
-        let exts = vec![Extension::Unknown { ext_type: 0xff01, data: vec![9, 9] }];
+        let exts = vec![Extension::Unknown {
+            ext_type: 0xff01,
+            data: vec![9, 9],
+        }];
         assert_eq!(roundtrip(exts.clone()), exts);
     }
 
@@ -214,7 +220,10 @@ mod tests {
             Extension::ServerName("a.sim".into()),
             Extension::SessionTicket(vec![]),
             Extension::SupportedGroups(vec![29]),
-            Extension::Unknown { ext_type: 1234, data: vec![] },
+            Extension::Unknown {
+                ext_type: 1234,
+                data: vec![],
+            },
         ];
         assert_eq!(roundtrip(exts.clone()), exts);
     }
@@ -234,7 +243,10 @@ mod tests {
     #[test]
     fn malformed_blocks_rejected() {
         assert!(decode_extensions(&[0]).is_err(), "1-byte block");
-        assert!(decode_extensions(&[0, 10, 0, 0]).is_err(), "length mismatch");
+        assert!(
+            decode_extensions(&[0, 10, 0, 0]).is_err(),
+            "length mismatch"
+        );
         // Truncated extension body.
         let mut buf = Vec::new();
         encode_extensions(&[Extension::SessionTicket(vec![1, 2, 3])], &mut buf);

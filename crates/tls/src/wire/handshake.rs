@@ -288,7 +288,9 @@ impl HandshakeMessage {
             }
             HandshakeMessage::ServerHelloDone => {}
             HandshakeMessage::ClientKeyExchange(cke) => match cke {
-                ClientKeyExchange::Rsa { encrypted_premaster } => {
+                ClientKeyExchange::Rsa {
+                    encrypted_premaster,
+                } => {
                     out.put_u16(encrypted_premaster.len() as u16);
                     out.extend_from_slice(encrypted_premaster);
                 }
@@ -438,7 +440,9 @@ impl HandshakeMessage {
                             return Err(TlsError::Decode("unsupported named curve"));
                         }
                         let len = r.u8()? as usize;
-                        ServerKexParams::Ecdhe { point: r.take(len)?.to_vec() }
+                        ServerKexParams::Ecdhe {
+                            point: r.take(len)?.to_vec(),
+                        }
                     }
                     _ => return Err(TlsError::Decode("unknown curve_type")),
                 };
@@ -458,15 +462,21 @@ impl HandshakeMessage {
                 let cke = match suite.key_exchange() {
                     KeyExchange::Rsa => {
                         let len = r.u16()? as usize;
-                        ClientKeyExchange::Rsa { encrypted_premaster: r.take(len)?.to_vec() }
+                        ClientKeyExchange::Rsa {
+                            encrypted_premaster: r.take(len)?.to_vec(),
+                        }
                     }
                     KeyExchange::Dhe => {
                         let len = r.u16()? as usize;
-                        ClientKeyExchange::Dhe { yc: r.take(len)?.to_vec() }
+                        ClientKeyExchange::Dhe {
+                            yc: r.take(len)?.to_vec(),
+                        }
                     }
                     KeyExchange::Ecdhe => {
                         let len = r.u8()? as usize;
-                        ClientKeyExchange::Ecdhe { point: r.take(len)?.to_vec() }
+                        ClientKeyExchange::Ecdhe {
+                            point: r.take(len)?.to_vec(),
+                        }
                     }
                 };
                 r.expect_empty()?;
@@ -477,7 +487,10 @@ impl HandshakeMessage {
                 let len = r.u16()? as usize;
                 let ticket = r.take(len)?.to_vec();
                 r.expect_empty()?;
-                HandshakeMessage::NewSessionTicket(NewSessionTicket { lifetime_hint, ticket })
+                HandshakeMessage::NewSessionTicket(NewSessionTicket {
+                    lifetime_hint,
+                    ticket,
+                })
             }
             HandshakeType::Finished => {
                 let verify_data = r.rest().to_vec();
@@ -662,7 +675,10 @@ mod tests {
             }),
             None,
         );
-        roundtrip(HandshakeMessage::Certificate(CertificateMsg { chain: vec![] }), None);
+        roundtrip(
+            HandshakeMessage::Certificate(CertificateMsg { chain: vec![] }),
+            None,
+        );
     }
 
     #[test]
@@ -684,7 +700,9 @@ mod tests {
     fn ske_ecdhe_roundtrip() {
         roundtrip(
             HandshakeMessage::ServerKeyExchange(ServerKeyExchange {
-                params: ServerKexParams::Ecdhe { point: vec![0x42; 32] },
+                params: ServerKexParams::Ecdhe {
+                    point: vec![0x42; 32],
+                },
                 signature: vec![0xee; 64],
             }),
             None,
@@ -736,13 +754,21 @@ mod tests {
 
     #[test]
     fn finished_and_done_roundtrip() {
-        roundtrip(HandshakeMessage::Finished(Finished { verify_data: vec![1; 12] }), None);
+        roundtrip(
+            HandshakeMessage::Finished(Finished {
+                verify_data: vec![1; 12],
+            }),
+            None,
+        );
         roundtrip(HandshakeMessage::ServerHelloDone, None);
     }
 
     #[test]
     fn finished_wrong_length_rejected() {
-        let mut enc = HandshakeMessage::Finished(Finished { verify_data: vec![1; 12] }).encode();
+        let mut enc = HandshakeMessage::Finished(Finished {
+            verify_data: vec![1; 12],
+        })
+        .encode();
         enc[3] = 11; // shrink declared body length
         enc.truncate(4 + 11);
         assert!(HandshakeMessage::decode(&enc, None).is_err());
@@ -770,7 +796,10 @@ mod tests {
     #[test]
     fn reassembler_handles_split_messages() {
         let m1 = HandshakeMessage::ServerHelloDone.encode();
-        let m2 = HandshakeMessage::Finished(Finished { verify_data: vec![2; 12] }).encode();
+        let m2 = HandshakeMessage::Finished(Finished {
+            verify_data: vec![2; 12],
+        })
+        .encode();
         let mut all = m1.clone();
         all.extend_from_slice(&m2);
         let mut r = HandshakeReassembler::new();
@@ -778,10 +807,15 @@ mod tests {
         for chunk in all.chunks(3) {
             r.feed(chunk);
         }
-        assert_eq!(r.next(None).unwrap().unwrap(), HandshakeMessage::ServerHelloDone);
         assert_eq!(
             r.next(None).unwrap().unwrap(),
-            HandshakeMessage::Finished(Finished { verify_data: vec![2; 12] })
+            HandshakeMessage::ServerHelloDone
+        );
+        assert_eq!(
+            r.next(None).unwrap().unwrap(),
+            HandshakeMessage::Finished(Finished {
+                verify_data: vec![2; 12]
+            })
         );
         assert!(r.next(None).unwrap().is_none());
         assert!(r.is_empty());

@@ -279,7 +279,10 @@ impl RecordLayer {
             }
             None => body,
         };
-        Ok(Some(Record { content_type, payload }))
+        Ok(Some(Record {
+            content_type,
+            payload,
+        }))
     }
 }
 

@@ -30,7 +30,10 @@ fn build_env() -> TestEnv {
         &CertificateParams {
             serial: 1,
             subject: ca_name.clone(),
-            validity: Validity { not_before: 0, not_after: u32::MAX as u64 },
+            validity: Validity {
+                not_before: 0,
+                not_after: u32::MAX as u64,
+            },
             dns_names: vec![],
             is_ca: true,
         },
@@ -43,7 +46,10 @@ fn build_env() -> TestEnv {
         &CertificateParams {
             serial: 2,
             subject: DistinguishedName::cn(HOST),
-            validity: Validity { not_before: 0, not_after: u32::MAX as u64 },
+            validity: Validity {
+                not_before: 0,
+                not_after: u32::MAX as u64,
+            },
             dns_names: vec![HOST.into()],
             is_ca: false,
         },
@@ -55,7 +61,10 @@ fn build_env() -> TestEnv {
     store.add_root(ca_cert);
     TestEnv {
         root_store: Arc::new(store),
-        identity: Arc::new(ServerIdentity { chain: vec![leaf], key: leaf_key }),
+        identity: Arc::new(ServerIdentity {
+            chain: vec![leaf],
+            key: leaf_key,
+        }),
     }
 }
 
@@ -98,8 +107,14 @@ fn full_handshake_every_suite() {
     for suite in CipherSuite::all() {
         let mut ccfg = ClientConfig::new(env.root_store.clone(), HOST, 100);
         ccfg.suites = vec![suite];
-        let (client, server) =
-            connect(&env, &cfg, ccfg, 100, format!("s-{:x}", suite.id()).as_bytes()).unwrap();
+        let (client, server) = connect(
+            &env,
+            &cfg,
+            ccfg,
+            100,
+            format!("s-{:x}", suite.id()).as_bytes(),
+        )
+        .unwrap();
         assert!(client.is_established(), "{suite:?}");
         assert!(server.is_established(), "{suite:?}");
         let summary = client.summary().unwrap();
@@ -108,7 +123,10 @@ fn full_handshake_every_suite() {
         assert_eq!(summary.trust, Some(Ok(())));
         assert_eq!(client.master_secret(), server.master_secret());
         // PFS suites expose a server KEX value; RSA does not.
-        assert_eq!(summary.server_kex_public.is_some(), suite.is_forward_secret());
+        assert_eq!(
+            summary.server_kex_public.is_some(),
+            suite.is_forward_secret()
+        );
         // Ticket issued since both sides support it.
         assert!(summary.new_ticket.is_some(), "{suite:?}");
     }
@@ -124,14 +142,13 @@ fn application_data_flows_both_ways() {
     let mut cap = Default::default();
     pump_app_data(&mut client, &mut server, &mut cap).unwrap();
     assert_eq!(server.take_app_data(), b"GET / HTTP/1.1\r\n\r\n");
-    server.send_app_data(b"HTTP/1.1 200 OK\r\n\r\nhello").unwrap();
+    server
+        .send_app_data(b"HTTP/1.1 200 OK\r\n\r\nhello")
+        .unwrap();
     pump_app_data(&mut client, &mut server, &mut cap).unwrap();
     assert_eq!(client.take_app_data(), b"HTTP/1.1 200 OK\r\n\r\nhello");
     // The wire never shows plaintext.
-    assert!(!cap
-        .client_to_server
-        .windows(5)
-        .any(|w| w == b"GET /"));
+    assert!(!cap.client_to_server.windows(5).any(|w| w == b"GET /"));
     assert!(!cap.server_to_client.windows(5).any(|w| w == b"hello"));
 }
 
@@ -151,7 +168,10 @@ fn session_id_resumption_roundtrip() {
         ticket: None,
     };
     let (client2, server2) = connect(&env, &cfg, ccfg2, 200, b"sid2").unwrap();
-    assert_eq!(client2.summary().unwrap().resumed, Some(ResumeKind::SessionId));
+    assert_eq!(
+        client2.summary().unwrap().resumed,
+        Some(ResumeKind::SessionId)
+    );
     assert_eq!(server2.resumed(), Some(ResumeKind::SessionId));
     assert_eq!(client2.master_secret(), server2.master_secret());
     assert_eq!(
@@ -178,7 +198,11 @@ fn session_id_resumption_expires_with_cache_lifetime() {
         ticket: None,
     };
     let (client2, server2) = connect(&env, &cfg, ccfg2, 500, b"sid-exp2").unwrap();
-    assert_eq!(client2.summary().unwrap().resumed, None, "expired → full handshake");
+    assert_eq!(
+        client2.summary().unwrap().resumed,
+        None,
+        "expired → full handshake"
+    );
     assert!(server2.is_established());
 }
 
@@ -201,7 +225,10 @@ fn ticket_resumption_roundtrip() {
     assert_eq!(client2.summary().unwrap().resumed, Some(ResumeKind::Ticket));
     assert_eq!(server2.resumed(), Some(ResumeKind::Ticket));
     assert_eq!(client2.master_secret(), server2.master_secret());
-    assert_eq!(client2.master_secret().unwrap(), summary.session.master_secret);
+    assert_eq!(
+        client2.master_secret().unwrap(),
+        summary.session.master_secret
+    );
 }
 
 #[test]
@@ -237,8 +264,10 @@ fn ticket_reissue_on_resumption_keeps_master_constant() {
     let t1 = s1.new_ticket.clone().unwrap();
 
     let mut ccfg2 = ClientConfig::new(env.root_store.clone(), HOST, 150);
-    ccfg2.resumption =
-        ResumptionOffer { session: None, ticket: Some((t1.ticket.clone(), s1.session.clone())) };
+    ccfg2.resumption = ResumptionOffer {
+        session: None,
+        ticket: Some((t1.ticket.clone(), s1.session.clone())),
+    };
     let (client2, _server2) = connect(&env, &cfg, ccfg2, 150, b"re2").unwrap();
     let s2 = client2.summary().unwrap();
     assert_eq!(s2.resumed, Some(ResumeKind::Ticket));
@@ -253,7 +282,9 @@ fn stek_rotation_invalidates_old_tickets() {
     let env = build_env();
     let mut cfg = server_config(&env, b"rot");
     cfg.tickets = Some(SharedStekManager::new(StekManager::new(
-        RotationPolicy::OnRestart { restart_interval: 200 },
+        RotationPolicy::OnRestart {
+            restart_interval: 200,
+        },
         TicketFormat::Rfc5077,
         HmacDrbg::new(b"rot-stek"),
         0,
@@ -266,8 +297,10 @@ fn stek_rotation_invalidates_old_tickets() {
 
     // After the restart boundary the STEK is gone → full handshake.
     let mut ccfg2 = ClientConfig::new(env.root_store.clone(), HOST, 250);
-    ccfg2.resumption =
-        ResumptionOffer { session: None, ticket: Some((t1.ticket, s1.session.clone())) };
+    ccfg2.resumption = ResumptionOffer {
+        session: None,
+        ticket: Some((t1.ticket, s1.session.clone())),
+    };
     let (client2, _server2) = connect(&env, &cfg, ccfg2, 250, b"rot2").unwrap();
     assert_eq!(client2.summary().unwrap().resumed, None);
 }
@@ -279,7 +312,9 @@ fn untrusted_chain_fails_when_verifying() {
     // Client with an empty root store.
     let empty = Arc::new(RootStore::new());
     let ccfg = ClientConfig::new(empty, HOST, 100);
-    let err = connect(&env, &cfg, ccfg, 100, b"untrusted1").map(|_| ()).unwrap_err();
+    let err = connect(&env, &cfg, ccfg, 100, b"untrusted1")
+        .map(|_| ())
+        .unwrap_err();
     assert!(matches!(err, TlsError::Trust(_)), "{err:?}");
 }
 
@@ -301,7 +336,9 @@ fn hostname_mismatch_fails() {
     let env = build_env();
     let cfg = server_config(&env, b"hostname");
     let ccfg = ClientConfig::new(env.root_store.clone(), "other.sim", 100);
-    let err = connect(&env, &cfg, ccfg, 100, b"hostname1").map(|_| ()).unwrap_err();
+    let err = connect(&env, &cfg, ccfg, 100, b"hostname1")
+        .map(|_| ())
+        .unwrap_err();
     assert!(matches!(err, TlsError::Trust(_)));
 }
 
@@ -312,9 +349,14 @@ fn no_common_suite_fails_with_alert() {
     cfg.suites = vec![CipherSuite::EcdheRsaChaCha20Poly1305];
     let mut ccfg = ClientConfig::new(env.root_store.clone(), HOST, 100);
     ccfg.suites = vec![CipherSuite::RsaAes128CbcSha256];
-    let err = connect(&env, &cfg, ccfg, 100, b"nosuite1").map(|_| ()).unwrap_err();
+    let err = connect(&env, &cfg, ccfg, 100, b"nosuite1")
+        .map(|_| ())
+        .unwrap_err();
     // The client observes the server's fatal alert.
-    assert!(matches!(err, TlsError::NoCommonSuite | TlsError::PeerAlert(_)), "{err:?}");
+    assert!(
+        matches!(err, TlsError::NoCommonSuite | TlsError::PeerAlert(_)),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -370,7 +412,10 @@ fn shared_cache_resumes_across_servers() {
     };
     // Resume against server B.
     let (client2, server2) = connect(&env, &cfg_b, ccfg2, 200, b"sh2").unwrap();
-    assert_eq!(client2.summary().unwrap().resumed, Some(ResumeKind::SessionId));
+    assert_eq!(
+        client2.summary().unwrap().resumed,
+        Some(ResumeKind::SessionId)
+    );
     assert!(server2.is_established());
 }
 
@@ -394,8 +439,10 @@ fn shared_stek_resumes_across_servers() {
     let nst = s.new_ticket.clone().unwrap();
 
     let mut ccfg2 = ClientConfig::new(env.root_store.clone(), HOST, 150);
-    ccfg2.resumption =
-        ResumptionOffer { session: None, ticket: Some((nst.ticket, s.session.clone())) };
+    ccfg2.resumption = ResumptionOffer {
+        session: None,
+        ticket: Some((nst.ticket, s.session.clone())),
+    };
     let (client2, _server2) = connect(&env, &cfg_b, ccfg2, 150, b"stekc2").unwrap();
     assert_eq!(client2.summary().unwrap().resumed, Some(ResumeKind::Ticket));
 }

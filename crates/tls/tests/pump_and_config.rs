@@ -19,7 +19,10 @@ fn env(seed: &[u8]) -> (Arc<RootStore>, ServerConfig) {
         &CertificateParams {
             serial: 1,
             subject: ca_name.clone(),
-            validity: Validity { not_before: 0, not_after: u32::MAX as u64 },
+            validity: Validity {
+                not_before: 0,
+                not_after: u32::MAX as u64,
+            },
             dns_names: vec![],
             is_ca: true,
         },
@@ -32,7 +35,10 @@ fn env(seed: &[u8]) -> (Arc<RootStore>, ServerConfig) {
         &CertificateParams {
             serial: 2,
             subject: DistinguishedName::cn("pump.sim"),
-            validity: Validity { not_before: 0, not_after: u32::MAX as u64 },
+            validity: Validity {
+                not_before: 0,
+                not_after: u32::MAX as u64,
+            },
             dns_names: vec!["pump.sim".into()],
             is_ca: false,
         },
@@ -42,7 +48,10 @@ fn env(seed: &[u8]) -> (Arc<RootStore>, ServerConfig) {
     );
     let mut store = RootStore::new();
     store.add_root(ca);
-    let identity = Arc::new(ServerIdentity { chain: vec![leaf], key });
+    let identity = Arc::new(ServerIdentity {
+        chain: vec![leaf],
+        key,
+    });
     let eph = EphemeralCache::new(
         EphemeralPolicy::FreshPerHandshake,
         ts_crypto::dh::DhGroup::Sim256,
@@ -65,7 +74,10 @@ fn capture_contains_full_wire_traffic() {
     assert_eq!(&result.capture.client_to_server[..3], &[22, 3, 3]);
     assert_eq!(&result.capture.server_to_client[..3], &[22, 3, 3]);
     assert!(result.capture.client_to_server.len() > 100);
-    assert!(result.capture.server_to_client.len() > 300, "cert flight is big");
+    assert!(
+        result.capture.server_to_client.len() > 300,
+        "cert flight is big"
+    );
 }
 
 #[test]
@@ -77,7 +89,10 @@ fn pump_surfaces_handshake_failures() {
     let mut client = ClientConn::new(ccfg, HmacDrbg::new(b"c"));
     let mut server = ServerConn::new(cfg, HmacDrbg::new(b"s"), 100);
     let err = pump(&mut client, &mut server).map(|_| ()).unwrap_err();
-    assert!(matches!(err, TlsError::NoCommonSuite | TlsError::PeerAlert(_)));
+    assert!(matches!(
+        err,
+        TlsError::NoCommonSuite | TlsError::PeerAlert(_)
+    ));
     assert!(server.is_failed());
 }
 

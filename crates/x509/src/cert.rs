@@ -29,7 +29,9 @@ pub struct DistinguishedName {
 impl DistinguishedName {
     /// Construct from a CN string.
     pub fn cn(name: &str) -> Self {
-        DistinguishedName { common_name: name.to_string() }
+        DistinguishedName {
+            common_name: name.to_string(),
+        }
     }
 
     fn encode(&self) -> Vec<u8> {
@@ -184,7 +186,10 @@ struct ParsedExtensions {
 }
 
 fn decode_extensions(r: &mut Reader) -> Result<ParsedExtensions, DerError> {
-    let mut out = ParsedExtensions { dns_names: Vec::new(), is_ca: false };
+    let mut out = ParsedExtensions {
+        dns_names: Vec::new(),
+        is_ca: false,
+    };
     let ctx = match r.read_optional_context(3)? {
         Some(c) => c,
         None => return Ok(out),
@@ -196,14 +201,22 @@ fn decode_extensions(r: &mut Reader) -> Result<ParsedExtensions, DerError> {
         let mut ext = exts.read_sequence()?;
         let arcs = ext.read_oid()?;
         // Optional critical flag.
-        let _critical = if ext.peek_tag() == Some(0x01) { ext.read_boolean()? } else { false };
+        let _critical = if ext.peek_tag() == Some(0x01) {
+            ext.read_boolean()?
+        } else {
+            false
+        };
         let value = ext.read_octet_string()?;
         ext.finish()?;
         if arcs == oids::BASIC_CONSTRAINTS {
             let mut v = Reader::new(value);
             let mut seq = v.read_sequence()?;
             v.finish()?;
-            out.is_ca = if seq.is_empty() { false } else { seq.read_boolean()? };
+            out.is_ca = if seq.is_empty() {
+                false
+            } else {
+                seq.read_boolean()?
+            };
         } else if arcs == oids::SUBJECT_ALT_NAME {
             let mut v = Reader::new(value);
             let mut names = v.read_sequence()?;
@@ -317,7 +330,10 @@ impl Certificate {
             serial,
             issuer,
             subject,
-            validity: Validity { not_before, not_after },
+            validity: Validity {
+                not_before,
+                not_after,
+            },
             public_key,
             dns_names: exts.dns_names,
             is_ca: exts.is_ca,
@@ -373,7 +389,10 @@ mod tests {
         CertificateParams {
             serial: 42,
             subject: DistinguishedName::cn("www.example.sim"),
-            validity: Validity { not_before: 100, not_after: 1_000_000 },
+            validity: Validity {
+                not_before: 100,
+                not_after: 1_000_000,
+            },
             dns_names: vec!["www.example.sim".into(), "*.cdn.example.sim".into()],
             is_ca: false,
         }
@@ -390,8 +409,17 @@ mod tests {
         assert_eq!(parsed.subject.common_name, "www.example.sim");
         assert_eq!(parsed.issuer.common_name, "SimCA Root");
         assert_eq!(parsed.serial, Ub::from_u64(42));
-        assert_eq!(parsed.validity, Validity { not_before: 100, not_after: 1_000_000 });
-        assert_eq!(parsed.dns_names, vec!["www.example.sim", "*.cdn.example.sim"]);
+        assert_eq!(
+            parsed.validity,
+            Validity {
+                not_before: 100,
+                not_after: 1_000_000
+            }
+        );
+        assert_eq!(
+            parsed.dns_names,
+            vec!["www.example.sim", "*.cdn.example.sim"]
+        );
         assert!(!parsed.is_ca);
         assert_eq!(parsed.public_key, leaf_key.public);
     }
@@ -456,7 +484,10 @@ mod tests {
         let params = CertificateParams {
             serial: 1,
             subject: name.clone(),
-            validity: Validity { not_before: 0, not_after: u32::MAX as u64 },
+            validity: Validity {
+                not_before: 0,
+                not_after: u32::MAX as u64,
+            },
             dns_names: vec![],
             is_ca: true,
         };
@@ -495,13 +526,21 @@ mod tests {
         // No SANs → CN fallback.
         let mut p = sample_params();
         p.dns_names.clear();
-        let cert = Certificate::issue(&p, &leaf_key.public, &DistinguishedName::cn("SimCA"), &ca_key);
+        let cert = Certificate::issue(
+            &p,
+            &leaf_key.public,
+            &DistinguishedName::cn("SimCA"),
+            &ca_key,
+        );
         assert!(cert.matches_hostname("www.example.sim"));
     }
 
     #[test]
     fn validity_window() {
-        let v = Validity { not_before: 10, not_after: 20 };
+        let v = Validity {
+            not_before: 10,
+            not_after: 20,
+        };
         assert!(!v.contains(9));
         assert!(v.contains(10));
         assert!(v.contains(15));

@@ -78,7 +78,10 @@ impl std::fmt::Display for DerError {
         match self {
             DerError::Truncated => write!(f, "DER input truncated"),
             DerError::UnexpectedTag { expected, found } => {
-                write!(f, "unexpected DER tag {found:#04x} (wanted {expected:#04x})")
+                write!(
+                    f,
+                    "unexpected DER tag {found:#04x} (wanted {expected:#04x})"
+                )
             }
             DerError::BadLength => write!(f, "malformed DER length"),
             DerError::BadValue(what) => write!(f, "invalid DER value: {what}"),
@@ -315,7 +318,10 @@ impl<'a> Reader<'a> {
     pub fn read_tlv(&mut self, tag: Tag) -> Result<&'a [u8], DerError> {
         let found = *self.data.get(self.pos).ok_or(DerError::Truncated)?;
         if found != tag.byte() {
-            return Err(DerError::UnexpectedTag { expected: tag.byte(), found });
+            return Err(DerError::UnexpectedTag {
+                expected: tag.byte(),
+                found,
+            });
         }
         self.pos += 1;
         let len = self.read_len()?;
@@ -419,7 +425,10 @@ impl<'a> Reader<'a> {
         let mut acc: u64 = 0;
         let mut in_arc = false;
         for &b in &contents[1..] {
-            acc = acc.checked_shl(7).ok_or(DerError::BadValue("OID arc overflow"))? | (b & 0x7f) as u64;
+            acc = acc
+                .checked_shl(7)
+                .ok_or(DerError::BadValue("OID arc overflow"))?
+                | (b & 0x7f) as u64;
             in_arc = true;
             if b & 0x80 == 0 {
                 arcs.push(acc);

@@ -7,7 +7,7 @@
 //! blacklist of domains the scanner must skip.
 
 use crate::cert::Certificate;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Why a chain failed validation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -142,13 +142,15 @@ impl RootStore {
 /// (paper §3: "followed the institutional blacklist").
 #[derive(Debug, Clone, Default)]
 pub struct Blacklist {
-    entries: HashSet<String>,
+    entries: BTreeSet<String>,
 }
 
 impl Blacklist {
     /// Empty blacklist.
     pub fn new() -> Self {
-        Blacklist { entries: HashSet::new() }
+        Blacklist {
+            entries: BTreeSet::new(),
+        }
     }
 
     /// Add a domain.
@@ -195,7 +197,10 @@ mod tests {
             &CertificateParams {
                 serial: 1,
                 subject: root_name.clone(),
-                validity: Validity { not_before: 0, not_after: 1_000_000_000 },
+                validity: Validity {
+                    not_before: 0,
+                    not_after: 1_000_000_000,
+                },
                 dns_names: vec![],
                 is_ca: true,
             },
@@ -209,7 +214,10 @@ mod tests {
             &CertificateParams {
                 serial: 2,
                 subject: inter_name,
-                validity: Validity { not_before: 0, not_after: 1_000_000_000 },
+                validity: Validity {
+                    not_before: 0,
+                    not_after: 1_000_000_000,
+                },
                 dns_names: vec![],
                 is_ca: true,
             },
@@ -219,7 +227,13 @@ mod tests {
         );
         let mut store = RootStore::new();
         store.add_root(root_cert);
-        TestPki { store, root_key, root_name, inter_key, inter_cert }
+        TestPki {
+            store,
+            root_key,
+            root_name,
+            inter_key,
+            inter_cert,
+        }
     }
 
     fn leaf(pki: &TestPki, host: &str, not_after: u64) -> Certificate {
@@ -229,7 +243,10 @@ mod tests {
             &CertificateParams {
                 serial: 99,
                 subject: DistinguishedName::cn(host),
-                validity: Validity { not_before: 0, not_after },
+                validity: Validity {
+                    not_before: 0,
+                    not_after,
+                },
                 dns_names: vec![host.to_string()],
                 is_ca: false,
             },
@@ -256,7 +273,10 @@ mod tests {
             &CertificateParams {
                 serial: 7,
                 subject: DistinguishedName::cn("direct.sim"),
-                validity: Validity { not_before: 0, not_after: 500_000 },
+                validity: Validity {
+                    not_before: 0,
+                    not_after: 500_000,
+                },
                 dns_names: vec!["direct.sim".into()],
                 is_ca: false,
             },
@@ -270,7 +290,10 @@ mod tests {
     #[test]
     fn empty_chain_rejected() {
         let pki = build_pki();
-        assert_eq!(pki.store.validate(&[], "x.sim", 0), Err(TrustError::EmptyChain));
+        assert_eq!(
+            pki.store.validate(&[], "x.sim", 0),
+            Err(TrustError::EmptyChain)
+        );
     }
 
     #[test]
@@ -284,7 +307,10 @@ mod tests {
             &CertificateParams {
                 serial: 66,
                 subject: DistinguishedName::cn("evil.sim"),
-                validity: Validity { not_before: 0, not_after: 500_000 },
+                validity: Validity {
+                    not_before: 0,
+                    not_after: 500_000,
+                },
                 dns_names: vec!["evil.sim".into()],
                 is_ca: false,
             },
@@ -343,7 +369,10 @@ mod tests {
             &CertificateParams {
                 serial: 5,
                 subject: other_name.clone(),
-                validity: Validity { not_before: 0, not_after: 1_000_000_000 },
+                validity: Validity {
+                    not_before: 0,
+                    not_after: 1_000_000_000,
+                },
                 dns_names: vec![],
                 is_ca: true,
             },

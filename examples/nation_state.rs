@@ -103,7 +103,10 @@ fn main() {
         .clone();
     let rip = pop.dns.resolve(&rotator, &mut rng).unwrap();
     let ccfg = ClientConfig::new(pop.root_store.clone(), &rotator, 3_600);
-    let conn = pop.net.connect(rip, ccfg, 3_600, &mut rng).expect("connects");
+    let conn = pop
+        .net
+        .connect(rip, ccfg, 3_600, &mut rng)
+        .expect("connects");
     let early_capture = CapturedConnection::parse(&conn.capture).unwrap();
     let rot_pod = pop
         .terminators
@@ -111,9 +114,14 @@ fn main() {
         .find(|t| t.domains().contains(&rotator))
         .unwrap();
     // Compromise 30 days later; rotation has long since destroyed the key.
-    rot_pod.stek.as_ref().unwrap().active_key_name_at(30 * 86_400);
+    rot_pod
+        .stek
+        .as_ref()
+        .unwrap()
+        .active_key_name_at(30 * 86_400);
     let late_keys = rot_pod.stek.as_ref().unwrap().steal_keys();
-    let outcome = tls_shortcuts::attacker::stek::decrypt_with_stolen_steks(&early_capture, &late_keys);
+    let outcome =
+        tls_shortcuts::attacker::stek::decrypt_with_stolen_steks(&early_capture, &late_keys);
     println!(
         "\ncontrast — {rotator} (daily STEK rotation), key stolen 30 days after capture:\n  {}",
         match outcome {

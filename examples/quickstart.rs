@@ -30,13 +30,23 @@ fn main() {
     let grab = scanner.grab(domain, 10_000, &GrabOptions::new());
     let obs = grab.ok().expect("handshake succeeds").clone();
     println!("full handshake with {domain}:");
-    println!("  cipher suite : {:?} (forward secret: {})",
-        obs.cipher_suite, obs.cipher_suite.is_forward_secret());
+    println!(
+        "  cipher suite : {:?} (forward secret: {})",
+        obs.cipher_suite,
+        obs.cipher_suite.is_forward_secret()
+    );
     println!("  trusted chain: {}", obs.trusted);
     println!("  session ID   : {} bytes", obs.session_id.len());
     let nst = obs.ticket.clone().expect("server issues tickets");
-    println!("  ticket       : {} bytes, lifetime hint {}s", nst.ticket.len(), nst.lifetime_hint);
-    println!("  STEK id      : {}", obs.stek_id.clone().expect("parseable"));
+    println!(
+        "  ticket       : {} bytes, lifetime hint {}s",
+        nst.ticket.len(),
+        nst.lifetime_hint
+    );
+    println!(
+        "  STEK id      : {}",
+        obs.stek_id.clone().expect("parseable")
+    );
     println!(
         "  server KEX   : {}...\n",
         &obs.kex_value_fp.clone().expect("PFS exchange")[..16]

@@ -40,14 +40,21 @@ fn main() {
     let data = run_campaign(&mut scanner, &CampaignOptions::new(), move |_d| {
         targets.clone()
     });
-    println!("  {} handshake attempts, {} ticket sightings", data.attempts, data.tickets.len());
+    println!(
+        "  {} handshake attempts, {} ticket sightings",
+        data.attempts,
+        data.tickets.len()
+    );
 
     // --- STEK lifetimes (Figure 3's shape). ---
     let mut stek = SpanEstimator::new();
     stek.record_tickets(&data.tickets);
     let cdf = Cdf::from_samples(stek.max_spans());
     println!("\nSTEK lifetime over {} ticket-issuing domains:", cdf.len());
-    println!("  fresh daily : {} (paper ~53% of issuers)", pct(cdf.fraction_le(1)));
+    println!(
+        "  fresh daily : {} (paper ~53% of issuers)",
+        pct(cdf.fraction_le(1))
+    );
     println!("  span ≥ 7d   : {} (paper ~28%)", pct(cdf.fraction_ge(7)));
     println!("  span ≥ 30d  : {} (paper ~13%)", pct(cdf.fraction_ge(30)));
 
@@ -59,8 +66,14 @@ fn main() {
     let d7 = dhe.domains_with_span_at_least(7).len();
     let e7 = ecdhe.domains_with_span_at_least(7).len();
     println!("\nephemeral value reuse ≥7 days:");
-    println!("  DHE  : {d7} domains ({})", pct(d7 as f64 / core.len() as f64));
-    println!("  ECDHE: {e7} domains ({})", pct(e7 as f64 / core.len() as f64));
+    println!(
+        "  DHE  : {d7} domains ({})",
+        pct(d7 as f64 / core.len() as f64)
+    );
+    println!(
+        "  ECDHE: {e7} domains ({})",
+        pct(e7 as f64 / core.len() as f64)
+    );
 
     // --- STEK service groups (Table 6's shape). ---
     println!("\ninferring STEK service groups from a one-day sharing scan...");

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [EXPERIMENT] [--size N] [--seed S] [--days D] [--step SECS]
-//!       [--telemetry-json PATH]
+//!       [--workers N] [--telemetry-json PATH]
 //!
 //! EXPERIMENT: all (default) | table1 | table2 | table3 | table4 |
 //!             table5 | table6 | table7 | fig1 | fig2 | fig3 | fig4 |
@@ -16,11 +16,15 @@
 //! histograms, span timers) in its deterministic form — byte-identical
 //! across runs for a fixed (seed, size, experiment) regardless of worker
 //! count, because wall-clock durations are excluded.
+//!
+//! `--workers N` pins the fan-out thread count. It exists to *prove* it
+//! doesn't matter: `tests/repro_determinism.rs` runs `--workers 1` and
+//! `--workers 8` and asserts byte-identical stdout and telemetry.
 
 use std::time::Instant;
 use ts_bench::{
-    exp_ablation, exp_campaign, exp_exposure, exp_lifetimes, exp_sharing, exp_support,
-    exp_target, exp_tls13, Context, DAY,
+    exp_ablation, exp_campaign, exp_exposure, exp_lifetimes, exp_sharing, exp_support, exp_target,
+    exp_tls13, Context, DAY,
 };
 use ts_scanner::probe::ProbeSchedule;
 use ts_telemetry::SpanStat;
@@ -50,6 +54,7 @@ struct Args {
     seed: u64,
     days: u64,
     step: u64,
+    workers: usize,
     telemetry_json: Option<String>,
 }
 
@@ -59,7 +64,8 @@ fn parse_args() -> Args {
         size: 8_000,
         seed: 2016,
         days: 63,
-        step: 300, // the paper's probe cadence
+        step: 300,  // the paper's probe cadence
+        workers: 0, // 0 = hardware default
         telemetry_json: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -82,6 +88,10 @@ fn parse_args() -> Args {
                 i += 1;
                 args.step = argv[i].parse().expect("--step SECS");
             }
+            "--workers" => {
+                i += 1;
+                args.workers = argv[i].parse().expect("--workers N");
+            }
             "--telemetry-json" => {
                 i += 1;
                 args.telemetry_json = Some(argv[i].clone());
@@ -89,7 +99,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "repro [EXPERIMENT] [--size N] [--seed S] [--days D] [--step SECS] \
-                     [--telemetry-json PATH]\n\
+                     [--workers N] [--telemetry-json PATH]\n\
                      experiments: all table1..table7 fig1..fig8 google demo tls13 ablation"
                 );
                 std::process::exit(0);
@@ -103,6 +113,7 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    ts_core::par::set_default_workers(args.workers);
     let t0 = Instant::now();
     eprintln!(
         "[repro] building population: size={} seed={} days={}",
@@ -132,7 +143,10 @@ fn main() {
         ran = true;
         let t = Instant::now();
         section("TABLE 1");
-        println!("{}", timed(&SPAN_TABLE1, 0, || exp_support::table1_support(&ctx)).report);
+        println!(
+            "{}",
+            timed(&SPAN_TABLE1, 0, || exp_support::table1_support(&ctx)).report
+        );
         eprintln!("[repro] table1 in {:.1}s", t.elapsed().as_secs_f64());
     }
     if run("fig1") {
@@ -141,9 +155,9 @@ fn main() {
         section("FIGURE 1");
         println!(
             "{}",
-            timed(&SPAN_FIG1, 24 * 3_600, || exp_lifetimes::fig1_session_id_lifetime(
-                &ctx, &schedule
-            ))
+            timed(&SPAN_FIG1, 24 * 3_600, || {
+                exp_lifetimes::fig1_session_id_lifetime(&ctx, &schedule)
+            })
             .report
         );
         eprintln!("[repro] fig1 in {:.1}s", t.elapsed().as_secs_f64());
@@ -154,17 +168,18 @@ fn main() {
         section("FIGURE 2");
         println!(
             "{}",
-            timed(&SPAN_FIG2, 24 * 3_600, || exp_lifetimes::fig2_ticket_lifetime(
-                &ctx, &schedule
-            ))
+            timed(&SPAN_FIG2, 24 * 3_600, || {
+                exp_lifetimes::fig2_ticket_lifetime(&ctx, &schedule)
+            })
             .report
         );
         eprintln!("[repro] fig2 in {:.1}s", t.elapsed().as_secs_f64());
     }
-    let campaign_needed =
-        ["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table2", "table3", "table4", "tls13"]
-            .iter()
-            .any(|e| run(e));
+    let campaign_needed = [
+        "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table2", "table3", "table4", "tls13",
+    ]
+    .iter()
+    .any(|e| run(e));
     if campaign_needed {
         let t = Instant::now();
         let campaign = timed(&SPAN_CAMPAIGN, args.days * DAY, || ctx.campaign());
@@ -209,21 +224,30 @@ fn main() {
         ran = true;
         let t = Instant::now();
         section("TABLE 5");
-        println!("{}", timed(&SPAN_TABLE5, 0, || exp_sharing::table5_cache_groups(&ctx)).report);
+        println!(
+            "{}",
+            timed(&SPAN_TABLE5, 0, || exp_sharing::table5_cache_groups(&ctx)).report
+        );
         eprintln!("[repro] table5 in {:.1}s", t.elapsed().as_secs_f64());
     }
     if run("table6") {
         ran = true;
         let t = Instant::now();
         section("TABLE 6");
-        println!("{}", timed(&SPAN_TABLE6, 0, || exp_sharing::table6_stek_groups(&ctx)).report);
+        println!(
+            "{}",
+            timed(&SPAN_TABLE6, 0, || exp_sharing::table6_stek_groups(&ctx)).report
+        );
         eprintln!("[repro] table6 in {:.1}s", t.elapsed().as_secs_f64());
     }
     if run("table7") {
         ran = true;
         let t = Instant::now();
         section("TABLE 7");
-        println!("{}", timed(&SPAN_TABLE7, 0, || exp_sharing::table7_dh_groups(&ctx)).report);
+        println!(
+            "{}",
+            timed(&SPAN_TABLE7, 0, || exp_sharing::table7_dh_groups(&ctx)).report
+        );
         eprintln!("[repro] table7 in {:.1}s", t.elapsed().as_secs_f64());
     }
     if run("fig6") || run("fig7") {
@@ -237,8 +261,10 @@ fn main() {
         section("FIGURE 8");
         println!(
             "{}",
-            timed(&SPAN_FIG8, 24 * 3_600, || exp_exposure::fig8_exposure(&ctx, &schedule))
-                .report
+            timed(&SPAN_FIG8, 24 * 3_600, || exp_exposure::fig8_exposure(
+                &ctx, &schedule
+            ))
+            .report
         );
         eprintln!("[repro] fig8 in {:.1}s", t.elapsed().as_secs_f64());
     }

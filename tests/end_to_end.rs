@@ -61,8 +61,14 @@ fn campaign_spans_match_ground_truth_for_every_measured_domain() {
             _ => {}
         }
     }
-    assert!(static_checked >= 3, "static STEK domains measured: {static_checked}");
-    assert!(daily_checked >= 10, "daily rotators measured: {daily_checked}");
+    assert!(
+        static_checked >= 3,
+        "static STEK domains measured: {static_checked}"
+    );
+    assert!(
+        daily_checked >= 10,
+        "daily rotators measured: {daily_checked}"
+    );
 }
 
 #[test]
@@ -113,7 +119,10 @@ fn stek_groups_match_configured_units() {
         assert_eq!(units.len(), 1, "group {} spans units {units:?}", g.label);
         multi_checked += 1;
     }
-    assert!(multi_checked >= 3, "multi-domain groups found: {multi_checked}");
+    assert!(
+        multi_checked >= 3,
+        "multi-domain groups found: {multi_checked}"
+    );
     // And the largest group is the CDN analogue.
     assert!(
         groups[0].label.contains("cirrusflare"),
@@ -143,7 +152,10 @@ fn full_pipeline_capture_to_decryption() {
     let mut rng = HmacDrbg::new(b"e2e-victim");
     let ip = pop.dns.resolve("yahoo.sim", &mut rng).unwrap();
     let ccfg = ClientConfig::new(pop.root_store.clone(), "yahoo.sim", 5 * DAY);
-    let conn = pop.net.connect(ip, ccfg, 5 * DAY, &mut rng).expect("connects");
+    let conn = pop
+        .net
+        .connect(ip, ccfg, 5 * DAY, &mut rng)
+        .expect("connects");
     let (mut client, mut server, mut capture) = (conn.client, conn.server, conn.capture);
     client.send_app_data(b"GET /mail/inbox").unwrap();
     pump_app_data(&mut client, &mut server, &mut capture).unwrap();
@@ -199,6 +211,9 @@ fn blacklisted_domains_never_scanned() {
     let options = CampaignOptions::new().days(0..3);
     let targets = blacklisted.clone();
     let data = run_campaign(&mut scanner, &options, move |_| targets.clone());
-    assert!(data.tickets.is_empty(), "no observations from blacklisted domains");
+    assert!(
+        data.tickets.is_empty(),
+        "no observations from blacklisted domains"
+    );
     assert!(data.kex.is_empty());
 }

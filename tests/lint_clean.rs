@@ -37,5 +37,7 @@ fn telemetry_sink_rule_is_armed_for_the_workspace_scan() {
             "telemetry sink `{sink}` missing from the effective config"
         );
     }
-    assert!(ts_lint::Rule::all().iter().any(|r| r.id() == "telemetry-sink"));
+    assert!(ts_lint::Rule::all()
+        .iter()
+        .any(|r| r.id() == "telemetry-sink"));
 }

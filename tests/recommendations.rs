@@ -13,9 +13,7 @@ use tls_shortcuts::tls::ephemeral::{EphemeralCache, EphemeralPolicy};
 use tls_shortcuts::tls::pump::{pump, pump_app_data, WireCapture};
 use tls_shortcuts::tls::ticket::{RotationPolicy, SharedStekManager, StekManager, TicketFormat};
 use tls_shortcuts::tls::{ClientConn, ServerConn};
-use tls_shortcuts::x509::{
-    Certificate, CertificateParams, DistinguishedName, RootStore, Validity,
-};
+use tls_shortcuts::x509::{Certificate, CertificateParams, DistinguishedName, RootStore, Validity};
 
 const DAY: u64 = 86_400;
 const HOUR: u64 = 3_600;
@@ -33,7 +31,10 @@ fn site(seed: &[u8], rotation: RotationPolicy) -> Site {
         &CertificateParams {
             serial: 1,
             subject: ca_name.clone(),
-            validity: Validity { not_before: 0, not_after: u32::MAX as u64 },
+            validity: Validity {
+                not_before: 0,
+                not_after: u32::MAX as u64,
+            },
             dns_names: vec![],
             is_ca: true,
         },
@@ -46,7 +47,10 @@ fn site(seed: &[u8], rotation: RotationPolicy) -> Site {
         &CertificateParams {
             serial: 2,
             subject: DistinguishedName::cn("site.sim"),
-            validity: Validity { not_before: 0, not_after: u32::MAX as u64 },
+            validity: Validity {
+                not_before: 0,
+                not_after: u32::MAX as u64,
+            },
             dns_names: vec!["site.sim".into()],
             is_ca: false,
         },
@@ -56,7 +60,10 @@ fn site(seed: &[u8], rotation: RotationPolicy) -> Site {
     );
     let mut store = RootStore::new();
     store.add_root(ca);
-    let identity = Arc::new(ServerIdentity { chain: vec![leaf], key });
+    let identity = Arc::new(ServerIdentity {
+        chain: vec![leaf],
+        key,
+    });
     let eph = EphemeralCache::new(
         EphemeralPolicy::FreshPerHandshake,
         tls_shortcuts::crypto::dh::DhGroup::Sim256,
@@ -71,13 +78,20 @@ fn site(seed: &[u8], rotation: RotationPolicy) -> Site {
     )));
     config.ticket_accept_window = 24 * HOUR;
     config.ticket_lifetime_hint = (24 * HOUR) as u32;
-    Site { store: Arc::new(store), config }
+    Site {
+        store: Arc::new(store),
+        config,
+    }
 }
 
 fn connect_at(site: &Site, seed: &[u8], now: u64) -> (WireCapture, ClientConn, ServerConn) {
     let ccfg = ClientConfig::new(site.store.clone(), "site.sim", now);
     let mut client = ClientConn::new(ccfg, HmacDrbg::new(&[seed, b"-c"].concat()));
-    let mut server = ServerConn::new(site.config.clone(), HmacDrbg::new(&[seed, b"-s"].concat()), now);
+    let mut server = ServerConn::new(
+        site.config.clone(),
+        HmacDrbg::new(&[seed, b"-s"].concat()),
+        now,
+    );
     let result = pump(&mut client, &mut server).expect("handshake");
     let mut capture = result.capture;
     client.send_app_data(b"private request").unwrap();
@@ -95,7 +109,10 @@ fn recommendation_rotate_steks_frequently() {
     let static_site = site(b"rec-static", RotationPolicy::Static);
     let rotating_site = site(
         b"rec-rotating",
-        RotationPolicy::Periodic { period: 6 * HOUR, overlap: 6 * HOUR },
+        RotationPolicy::Periodic {
+            period: 6 * HOUR,
+            overlap: 6 * HOUR,
+        },
     );
     let mut static_caps = Vec::new();
     let mut rot_caps = Vec::new();
@@ -117,7 +134,10 @@ fn recommendation_rotate_steks_frequently() {
 
     let static_fallen = bulk_decrypt(&static_caps, &static_stolen).len();
     let rot_fallen = bulk_decrypt(&rot_caps, &rot_stolen).len();
-    assert_eq!(static_fallen, 14, "static STEK: whole fortnight decryptable");
+    assert_eq!(
+        static_fallen, 14,
+        "static STEK: whole fortnight decryptable"
+    );
     assert_eq!(rot_fallen, 0, "6h rotation: nothing older than the overlap");
 }
 
@@ -129,18 +149,27 @@ fn recommendation_reduce_session_cache_lifetimes() {
     long_site.config.session_cache.as_ref().unwrap(); // default 300s
     let mut long_cfg = long_site.config.clone();
     long_cfg.session_cache = Some(SharedSessionCache::new(24 * HOUR, 10_000));
-    let long_site = Site { store: long_site.store, config: long_cfg };
+    let long_site = Site {
+        store: long_site.store,
+        config: long_cfg,
+    };
 
     let short_site = site(b"rec-short-cache", RotationPolicy::Static);
     let mut short_cfg = short_site.config.clone();
     short_cfg.session_cache = Some(SharedSessionCache::new(5 * 60, 10_000));
-    let short_site = Site { store: short_site.store, config: short_cfg };
+    let short_site = Site {
+        store: short_site.store,
+        config: short_cfg,
+    };
 
     // Connections spread over 12 hours, plus one a minute before the
     // compromise; both caches sweep at compromise.
     let mut long_caps = Vec::new();
     let mut short_caps = Vec::new();
-    let times: Vec<u64> = (0..12u64).map(|k| k * HOUR).chain([12 * HOUR - 60]).collect();
+    let times: Vec<u64> = (0..12u64)
+        .map(|k| k * HOUR)
+        .chain([12 * HOUR - 60])
+        .collect();
     for (k, &t) in times.iter().enumerate() {
         let (cap, _c, _s) = connect_at(&long_site, format!("l{k}").as_bytes(), t);
         long_caps.push(CapturedConnection::parse(&cap).unwrap());
@@ -161,7 +190,10 @@ fn recommendation_reduce_session_cache_lifetimes() {
         .filter(|c| decrypt_with_cache_dump(c, &short_dump).is_ok())
         .count();
     assert_eq!(long_fallen, 13, "24h cache: every session still resident");
-    assert_eq!(short_fallen, 1, "5min cache: only the one-minute-old session survives");
+    assert_eq!(
+        short_fallen, 1,
+        "5min cache: only the one-minute-old session survives"
+    );
 }
 
 #[test]
@@ -173,7 +205,10 @@ fn recommendation_regional_steks_bound_blast_radius() {
     // Global deployment: both regions share region_a's manager.
     let mut global_b_cfg = region_b.config.clone();
     global_b_cfg.tickets = region_a.config.tickets.clone();
-    let global_b = Site { store: region_b.store.clone(), config: global_b_cfg };
+    let global_b = Site {
+        store: region_b.store.clone(),
+        config: global_b_cfg,
+    };
 
     let (cap_global, _c, _s) = connect_at(&global_b, b"gb", 1_000);
     let parsed_global = CapturedConnection::parse(&cap_global).unwrap();
@@ -201,7 +236,10 @@ fn recommendation_disable_resumption_entirely() {
     cfg.tickets = None;
     cfg.session_cache = None;
     cfg.issue_session_ids = false;
-    let hardened = Site { store: base.store.clone(), config: cfg };
+    let hardened = Site {
+        store: base.store.clone(),
+        config: cfg,
+    };
     let (capture, _client, server) = connect_at(&hardened, b"hard", 500);
     let parsed = CapturedConnection::parse(&capture).unwrap();
     assert!(parsed.issued_ticket.is_none());
@@ -218,9 +256,10 @@ fn recommendation_disable_resumption_entirely() {
     // After one more handshake the value is gone.
     let (_cap2, _c2, _s2) = connect_at(&hardened, b"hard2", 600);
     let (_, later) = hardened.config.ephemeral.steal();
-    let outcome = tls_shortcuts::attacker::dhe::decrypt_with_stolen_ecdhe(
-        &parsed,
-        &later.expect("cached"),
+    let outcome =
+        tls_shortcuts::attacker::dhe::decrypt_with_stolen_ecdhe(&parsed, &later.expect("cached"));
+    assert!(
+        outcome.is_err(),
+        "fresh value per handshake: old capture is safe"
     );
-    assert!(outcome.is_err(), "fresh value per handshake: old capture is safe");
 }

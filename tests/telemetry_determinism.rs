@@ -51,7 +51,10 @@ fn worker_count_does_not_change_counter_totals() {
         + single.counter("scanner.grab.blacklisted")
         + single.counter("scanner.grab.no_dns");
     assert_eq!(grabs, domains.len() as u64, "every domain concluded");
-    assert!(single.counter("simnet.connect.ok") > 0, "handshakes happened");
+    assert!(
+        single.counter("simnet.connect.ok") > 0,
+        "handshakes happened"
+    );
 
     // The delta snapshot round-trips through ts_core::json unchanged.
     let back = Snapshot::from_json(&single.to_json(true)).expect("parses");

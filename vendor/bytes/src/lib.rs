@@ -65,7 +65,10 @@ impl BytesMut {
 
     /// New empty buffer with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { data: Vec::with_capacity(cap), head: 0 }
+        BytesMut {
+            data: Vec::with_capacity(cap),
+            head: 0,
+        }
     }
 
     /// Live byte count.
@@ -87,10 +90,18 @@ impl BytesMut {
     ///
     /// Panics if `at > self.len()`, matching `bytes::BytesMut::split_to`.
     pub fn split_to(&mut self, at: usize) -> BytesMut {
-        assert!(at <= self.len(), "split_to out of bounds: {} > {}", at, self.len());
+        assert!(
+            at <= self.len(),
+            "split_to out of bounds: {} > {}",
+            at,
+            self.len()
+        );
         let front = self.data[self.head..self.head + at].to_vec();
         self.advance(at);
-        BytesMut { data: front, head: 0 }
+        BytesMut {
+            data: front,
+            head: 0,
+        }
     }
 
     /// Copy the live bytes into a fresh `Vec`.
@@ -112,7 +123,12 @@ impl Buf for BytesMut {
     }
 
     fn advance(&mut self, cnt: usize) {
-        assert!(cnt <= self.len(), "advance out of bounds: {} > {}", cnt, self.len());
+        assert!(
+            cnt <= self.len(),
+            "advance out of bounds: {} > {}",
+            cnt,
+            self.len()
+        );
         self.head += cnt;
         self.compact_if_needed();
     }

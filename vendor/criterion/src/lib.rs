@@ -51,7 +51,11 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(sample_size: usize, measurement_time: Duration) -> Self {
-        Bencher { samples: Vec::new(), sample_size, measurement_time }
+        Bencher {
+            samples: Vec::new(),
+            sample_size,
+            measurement_time,
+        }
     }
 
     /// Time `routine` repeatedly until the sampling budget is exhausted.
@@ -126,13 +130,19 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20, measurement_time: Duration::from_millis(500) }
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+        }
     }
 }
 
 impl Criterion {
     /// Open a named group of benchmarks.
-    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_, measurement::WallTime> {
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
         BenchmarkGroup {
             name: name.into(),
             sample_size: self.sample_size,

@@ -38,7 +38,9 @@ pub mod thread {
             T: Send + 'scope,
         {
             let inner = self.inner;
-            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
         }
     }
 
@@ -58,8 +60,7 @@ mod tests {
     fn scope_spawns_and_joins() {
         let data = vec![1u32, 2, 3];
         let sum: u32 = crate::thread::scope(|s| {
-            let handles: Vec<_> =
-                data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum()
         })
         .unwrap();
@@ -69,7 +70,9 @@ mod tests {
     #[test]
     fn nested_spawn_through_scope_arg() {
         let r = crate::thread::scope(|s| {
-            s.spawn(|inner| inner.spawn(|_| 7).join().unwrap()).join().unwrap()
+            s.spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
         })
         .unwrap();
         assert_eq!(r, 7);

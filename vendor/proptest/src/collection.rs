@@ -22,21 +22,30 @@ impl SizeRange {
 
 impl From<usize> for SizeRange {
     fn from(n: usize) -> Self {
-        SizeRange { lo: n, hi_inclusive: n }
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
     }
 }
 
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty size range {}..{}", r.start, r.end);
-        SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
         assert!(r.start() <= r.end(), "empty size range");
-        SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
     }
 }
 
@@ -49,7 +58,10 @@ pub struct VecStrategy<S> {
 /// Generate vectors whose elements come from `element` and whose length
 /// falls in `size`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -74,7 +86,10 @@ where
     S: Strategy,
     S::Value: Eq + Hash,
 {
-    HashSetStrategy { element, size: size.into() }
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 impl<S> Strategy for HashSetStrategy<S>

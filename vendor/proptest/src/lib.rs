@@ -249,7 +249,10 @@ pub struct Union<T> {
 impl<T> Union<T> {
     /// Build from a non-empty list of alternatives.
     pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
-        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
         Union { options }
     }
 }

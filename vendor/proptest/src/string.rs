@@ -28,9 +28,9 @@ fn parse(pattern: &str) -> Vec<Quantified> {
         let element = match chars[i] {
             '\\' => {
                 i += 1;
-                let c = *chars.get(i).unwrap_or_else(|| {
-                    panic!("dangling escape in pattern {pattern:?}")
-                });
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
                 i += 1;
                 match c {
                     'd' => Element::Class(vec![('0', '9')]),
@@ -87,8 +87,10 @@ fn parse(pattern: &str) -> Vec<Quantified> {
                 i = close + 1;
                 match body.split_once(',') {
                     Some((lo, hi)) => (
-                        lo.parse().unwrap_or_else(|_| panic!("bad quantifier in {pattern:?}")),
-                        hi.parse().unwrap_or_else(|_| panic!("bad quantifier in {pattern:?}")),
+                        lo.parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier in {pattern:?}")),
+                        hi.parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier in {pattern:?}")),
                     ),
                     None => {
                         let n = body
@@ -122,7 +124,10 @@ fn sample_element(e: &Element, rng: &mut TestRng) -> char {
     match e {
         Element::Literal(c) => *c,
         Element::Class(ranges) => {
-            let total: u64 = ranges.iter().map(|(lo, hi)| *hi as u64 - *lo as u64 + 1).sum();
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u64 - *lo as u64 + 1)
+                .sum();
             let mut pick = rng.below(total as u128) as u64;
             for (lo, hi) in ranges {
                 let span = *hi as u64 - *lo as u64 + 1;
