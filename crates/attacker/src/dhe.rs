@@ -215,7 +215,7 @@ mod tests {
         // A fresh unrelated keypair.
         let mut rng = HmacDrbg::new(b"unrelated-ec");
         let wrong = ts_tls::ephemeral::CachedEcdhe {
-            keypair: ts_crypto::x25519::X25519KeyPair::generate(&mut rng),
+            keypair: std::sync::Arc::new(ts_crypto::x25519::X25519KeyPair::generate(&mut rng)),
             created_at: 0,
         };
         assert!(!value_matches_capture(&parsed, &wrong.keypair.public));

@@ -105,7 +105,11 @@ fn bench_bignum(c: &mut Criterion) {
     let base = Ub::from_u64(2);
     let exp = Ub::from_hex("deadbeefcafebabe0123456789abcdef");
     g.bench_function("modpow_1024bit_mod_128bit_exp", |b| {
-        b.iter(|| base.modpow(&exp, &p))
+        b.iter(|| base.modpow(&exp, p))
+    });
+    g.bench_function("modpow_1024bit_cached_context", |b| {
+        let mont = DhGroup::Modp1024.montgomery();
+        b.iter(|| mont.modpow(&base, &exp))
     });
     let a = Ub::from_hex(&"f1e2d3c4".repeat(16));
     let d = Ub::from_hex(&"abcdef01".repeat(8));

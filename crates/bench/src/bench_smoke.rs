@@ -1,0 +1,205 @@
+//! `repro --bench-smoke` — a seconds-scale performance regression probe.
+//!
+//! Runs a fixed batch of full handshakes per key-exchange family and
+//! reports throughput as JSON with a **deterministic schema**: the key
+//! set, ordering, iteration counts and telemetry counter values depend
+//! only on the workload (fixed seeds, fixed batch sizes), while the
+//! `*_per_sec` rates carry the wall-clock measurement. `BENCH_5.json` at
+//! the repo root archives the before/after rates for the PR that rebuilt
+//! the multiprecision hot path (u64 limbs, cached Montgomery contexts,
+//! windowed exponentiation, RSA-CRT).
+
+use std::sync::Arc;
+use ts_crypto::drbg::HmacDrbg;
+use ts_crypto::rsa::RsaPrivateKey;
+use ts_tls::config::{ClientConfig, ServerConfig, ServerIdentity};
+use ts_tls::ephemeral::{EphemeralCache, EphemeralPolicy};
+use ts_tls::pump::pump;
+use ts_tls::suites::CipherSuite;
+use ts_tls::{ClientConn, ServerConn};
+use ts_x509::{Certificate, CertificateParams, DistinguishedName, RootStore, Validity};
+
+/// Handshakes per suite. Small enough that the whole probe finishes in a
+/// couple of seconds, large enough to average out scheduler noise.
+const ITERS: u64 = 24;
+
+/// The three key-exchange families the paper's cost model distinguishes.
+const SUITES: [CipherSuite; 3] = [
+    CipherSuite::DheRsaAes128CbcSha256,
+    CipherSuite::EcdheRsaChaCha20Poly1305,
+    CipherSuite::RsaAes128CbcSha256,
+];
+
+struct SmokeWorld {
+    store: Arc<RootStore>,
+    config: ServerConfig,
+}
+
+/// A minimal CA + leaf + server world with per-handshake-fresh ephemerals,
+/// so every iteration pays the full key-exchange cost being measured.
+fn smoke_world() -> SmokeWorld {
+    let mut rng = HmacDrbg::new(b"bench-smoke-world");
+    let ca_key = RsaPrivateKey::generate(512, &mut rng).expect("ca key");
+    let ca_name = DistinguishedName::cn("Smoke CA");
+    let ca = Certificate::issue(
+        &CertificateParams {
+            serial: 1,
+            subject: ca_name.clone(),
+            validity: Validity {
+                not_before: 0,
+                not_after: u32::MAX as u64,
+            },
+            dns_names: vec![],
+            is_ca: true,
+        },
+        &ca_key.public,
+        &ca_name,
+        &ca_key,
+    );
+    let key = RsaPrivateKey::generate(512, &mut rng).expect("leaf key");
+    let leaf = Certificate::issue(
+        &CertificateParams {
+            serial: 2,
+            subject: DistinguishedName::cn("smoke.sim"),
+            validity: Validity {
+                not_before: 0,
+                not_after: u32::MAX as u64,
+            },
+            dns_names: vec!["smoke.sim".into()],
+            is_ca: false,
+        },
+        &key.public,
+        &ca_name,
+        &ca_key,
+    );
+    let mut store = RootStore::new();
+    store.add_root(ca);
+    let identity = Arc::new(ServerIdentity {
+        chain: vec![leaf],
+        key,
+    });
+    let eph = EphemeralCache::new(
+        EphemeralPolicy::FreshPerHandshake,
+        ts_crypto::dh::DhGroup::Sim256,
+        HmacDrbg::new(b"bench-smoke-eph"),
+    );
+    let config = ServerConfig::new(identity, eph);
+    SmokeWorld {
+        store: Arc::new(store),
+        config,
+    }
+}
+
+fn one_handshake(w: &SmokeWorld, suite: CipherSuite, seed: u64) {
+    let mut ccfg = ClientConfig::new(w.store.clone(), "smoke.sim", 100);
+    ccfg.suites = vec![suite];
+    let mut client = ClientConn::new(ccfg, HmacDrbg::from_seed_label(seed, "smoke-c"));
+    let mut server = ServerConn::new(
+        w.config.clone(),
+        HmacDrbg::from_seed_label(seed, "smoke-s"),
+        100,
+    );
+    pump(&mut client, &mut server).expect("smoke handshake");
+}
+
+/// Render a rate with one decimal, avoiding float formatting surprises in
+/// the degenerate zero-elapsed case.
+fn rate(count: u64, secs: f64) -> String {
+    if secs <= 0.0 {
+        return "0.0".into();
+    }
+    format!("{:.1}", count as f64 / secs)
+}
+
+/// Run the smoke probe and return the JSON report.
+///
+/// `now_nanos` supplies monotonic elapsed nanoseconds — injected by the
+/// caller (the `repro` binary passes `Instant`-based time) so this crate
+/// itself stays free of wall-clock reads under the ts-lint determinism
+/// rules; everything here except the two rate fields is a pure function
+/// of the workload.
+///
+/// Schema (`bench-smoke/v1`): `suites[]` carries, per key-exchange family,
+/// the deterministic work counts (`handshakes`, `modexps`,
+/// `mont_cache_hits`) and the measured `handshakes_per_sec` /
+/// `modexps_per_sec`; `totals` aggregates across families.
+pub fn run(now_nanos: &dyn Fn() -> u64) -> String {
+    let w = smoke_world();
+    let mut suite_lines = Vec::new();
+    let mut total_hs = 0u64;
+    let mut total_modexp = 0u64;
+    let mut total_secs = 0f64;
+    for (si, suite) in SUITES.iter().enumerate() {
+        // Warm the per-process caches (Montgomery contexts, group
+        // constants) outside the timed region: steady-state throughput is
+        // the regression signal, not first-hit initialisation.
+        one_handshake(&w, *suite, 1_000 * si as u64);
+        let before = ts_telemetry::snapshot();
+        let t0 = now_nanos();
+        for i in 0..ITERS {
+            one_handshake(&w, *suite, 1_000 * si as u64 + 1 + i);
+        }
+        let secs = now_nanos().saturating_sub(t0) as f64 / 1e9;
+        let after = ts_telemetry::snapshot();
+        let modexps = after.counter("crypto.modexp.total") - before.counter("crypto.modexp.total");
+        let mont_hits =
+            after.counter("crypto.mont.cache.hit") - before.counter("crypto.mont.cache.hit");
+        total_hs += ITERS;
+        total_modexp += modexps;
+        total_secs += secs;
+        suite_lines.push(format!(
+            "    {{\"suite\": \"{suite:?}\", \"handshakes\": {ITERS}, \
+             \"modexps\": {modexps}, \"mont_cache_hits\": {mont_hits}, \
+             \"handshakes_per_sec\": {}, \"modexps_per_sec\": {}}}",
+            rate(ITERS, secs),
+            rate(modexps, secs),
+        ));
+    }
+    format!(
+        "{{\n  \"schema\": \"bench-smoke/v1\",\n  \"suites\": [\n{}\n  ],\n  \
+         \"totals\": {{\"handshakes\": {total_hs}, \"modexps\": {total_modexp}, \
+         \"handshakes_per_sec\": {}, \"modexps_per_sec\": {}}}\n}}",
+        suite_lines.join(",\n"),
+        rate(total_hs, total_secs),
+        rate(total_modexp, total_secs),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fake monotonic clock: 1ms per read. Keeps the test free of wall
+    /// time and makes even the rate fields reproducible.
+    fn fake_clock() -> impl Fn() -> u64 {
+        let ticks = std::cell::Cell::new(0u64);
+        move || {
+            ticks.set(ticks.get() + 1);
+            ticks.get() * 1_000_000
+        }
+    }
+
+    #[test]
+    fn smoke_report_has_deterministic_schema_and_counts() {
+        let clock = fake_clock();
+        let report = run(&clock);
+        assert!(report.contains("\"schema\": \"bench-smoke/v1\""));
+        for suite in SUITES {
+            assert!(report.contains(&format!("\"suite\": \"{suite:?}\"")));
+        }
+        assert!(report.contains(&format!("\"handshakes\": {ITERS}")));
+        // Counter-derived fields are pure functions of the workload: a
+        // second run must report identical counts (rates may differ).
+        let clock2 = fake_clock();
+        let report2 = run(&clock2);
+        let counts = |r: &str| -> Vec<String> {
+            r.lines()
+                .flat_map(|l| l.split(", "))
+                .filter(|f| f.contains("\"modexps\":") || f.contains("\"mont_cache_hits\":"))
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(counts(&report), counts(&report2));
+        assert!(!counts(&report).is_empty());
+    }
+}

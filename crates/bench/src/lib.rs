@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_smoke;
 pub mod exp_ablation;
 pub mod exp_campaign;
 pub mod exp_exposure;

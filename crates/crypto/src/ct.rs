@@ -47,6 +47,24 @@ pub fn ct_mask(c: u8) -> u8 {
     ((c | c.wrapping_neg()) >> 7) as u8
 }
 
+/// Select `a` if `mask == u64::MAX`, `b` if `mask == 0`, without branching.
+///
+/// The limb-width sibling of [`ct_select`]: the windowed Montgomery
+/// exponentiation in [`crate::bignum`] scans its whole precomputed table
+/// with masks from [`ct_eq_u64_mask`] so the secret window value never
+/// selects a memory address.
+pub fn ct_select_u64(mask: u64, a: u64, b: u64) -> u64 {
+    (mask & a) | (!mask & b)
+}
+
+/// Branchless `u64::MAX` if `a == b`, else `0`.
+pub fn ct_eq_u64_mask(a: u64, b: u64) -> u64 {
+    // (d | -d) has its top bit set iff d != 0; shift it down and subtract
+    // from 0/1 to smear into an all-or-nothing mask.
+    let d = a ^ b;
+    ((d | d.wrapping_neg()) >> 63).wrapping_sub(1)
+}
+
 /// Branchless `0xFF` if `a < b`, else `0x00`, for 8-bit operands.
 ///
 /// Used to validate secret-derived quantities (CBC padding lengths) without
@@ -107,6 +125,24 @@ mod tests {
         assert_eq!(ct_mask(0), 0x00);
         for c in 1..=255u8 {
             assert_eq!(ct_mask(c), 0xFF, "c = {c}");
+        }
+    }
+
+    #[test]
+    fn select_u64_picks_by_mask() {
+        assert_eq!(ct_select_u64(u64::MAX, 0x12, 0x34), 0x12);
+        assert_eq!(ct_select_u64(0, 0x12, 0x34), 0x34);
+    }
+
+    #[test]
+    fn eq_u64_mask_is_all_or_nothing() {
+        assert_eq!(ct_eq_u64_mask(0, 0), u64::MAX);
+        assert_eq!(ct_eq_u64_mask(u64::MAX, u64::MAX), u64::MAX);
+        assert_eq!(ct_eq_u64_mask(5, 6), 0);
+        assert_eq!(ct_eq_u64_mask(1 << 63, 0), 0);
+        for i in 0..64 {
+            assert_eq!(ct_eq_u64_mask(1 << i, 0), 0, "bit {i}");
+            assert_eq!(ct_eq_u64_mask(1 << i, 1 << i), u64::MAX, "bit {i}");
         }
     }
 

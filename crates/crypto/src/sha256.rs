@@ -143,6 +143,15 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        #[cfg(target_arch = "x86_64")]
+        if ni::available() {
+            ni::compress(&mut self.state, block);
+            return;
+        }
+        self.compress_scalar(block);
+    }
+
+    fn compress_scalar(&mut self, block: &[u8; BLOCK_LEN]) {
         let mut w = [0u32; 64];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
             w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
@@ -156,26 +165,44 @@ impl Sha256 {
                 .wrapping_add(s1);
         }
         let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let t1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
+        // Fully unrolled rounds with rotating variable names: the eight
+        // per-round register shuffles of the loop form don't reliably
+        // optimize out, and this function carries every PRF, HMAC, DRBG
+        // and transcript byte in the workspace.
+        macro_rules! round {
+            ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident,
+             $i:expr) => {{
+                let t1 = $h
+                    .wrapping_add($e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25))
+                    .wrapping_add(($e & $f) ^ (!$e & $g))
+                    .wrapping_add(K[$i])
+                    .wrapping_add(w[$i]);
+                let t2 = ($a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22))
+                    .wrapping_add(($a & $b) ^ ($a & $c) ^ ($b & $c));
+                $d = $d.wrapping_add(t1);
+                $h = t1.wrapping_add(t2);
+            }};
         }
+        macro_rules! round8 {
+            ($base:expr) => {
+                round!(a, b, c, d, e, f, g, h, $base);
+                round!(h, a, b, c, d, e, f, g, $base + 1);
+                round!(g, h, a, b, c, d, e, f, $base + 2);
+                round!(f, g, h, a, b, c, d, e, $base + 3);
+                round!(e, f, g, h, a, b, c, d, $base + 4);
+                round!(d, e, f, g, h, a, b, c, $base + 5);
+                round!(c, d, e, f, g, h, a, b, $base + 6);
+                round!(b, c, d, e, f, g, h, a, $base + 7);
+            };
+        }
+        round8!(0);
+        round8!(8);
+        round8!(16);
+        round8!(24);
+        round8!(32);
+        round8!(40);
+        round8!(48);
+        round8!(56);
         self.state[0] = self.state[0].wrapping_add(a);
         self.state[1] = self.state[1].wrapping_add(b);
         self.state[2] = self.state[2].wrapping_add(c);
@@ -184,6 +211,130 @@ impl Sha256 {
         self.state[5] = self.state[5].wrapping_add(f);
         self.state[6] = self.state[6].wrapping_add(g);
         self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// SHA-NI hardware compression, used when CPUID reports support.
+///
+/// Every byte the workspace hashes — PRF, HMAC, DRBG, transcripts, ticket
+/// MACs — funnels through one compression function, so this is the single
+/// highest-leverage hardware hook. The instruction sequence is the
+/// standard Intel `sha256rnds2`/`sha256msg1`/`sha256msg2` ladder; output
+/// is bit-identical to [`Sha256::compress_scalar`] (the FIPS vectors below
+/// exercise whichever path the host selects, and
+/// `ni_and_scalar_paths_agree` pins them against each other).
+#[cfg(target_arch = "x86_64")]
+mod ni {
+    // The sanctioned unsafe exception (see lib.rs): scoped, behind runtime
+    // feature detection, with safety comments.
+    #![allow(unsafe_code)]
+
+    use super::{BLOCK_LEN, K};
+    use core::arch::x86_64::*;
+
+    /// Does this CPU have the SHA extensions (plus the SSSE3/SSE4.1 the
+    /// shuffle/blend steps need)? Detected once per process.
+    pub fn available() -> bool {
+        use std::sync::OnceLock;
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("sha")
+                && std::arch::is_x86_feature_detected!("ssse3")
+                && std::arch::is_x86_feature_detected!("sse4.1")
+        })
+    }
+
+    pub fn compress(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
+        // SAFETY: `available()` gates every call site on CPUID.
+        unsafe { compress_block(state, block) }
+    }
+
+    /// Four rounds: add the round constants to the schedule quad, then two
+    /// `sha256rnds2` (each consumes two constants from lanes 0-1).
+    macro_rules! rounds4 {
+        ($abef:ident, $cdgh:ident, $wk:expr, $i:expr) => {{
+            let kv = _mm_set_epi32(
+                K[4 * $i + 3] as i32,
+                K[4 * $i + 2] as i32,
+                K[4 * $i + 1] as i32,
+                K[4 * $i] as i32,
+            );
+            let t = _mm_add_epi32($wk, kv);
+            $cdgh = _mm_sha256rnds2_epu32($cdgh, $abef, t);
+            let t_hi = _mm_shuffle_epi32(t, 0x0E);
+            $abef = _mm_sha256rnds2_epu32($abef, $cdgh, t_hi);
+        }};
+    }
+
+    /// Extend the message schedule by one quad (w[i..i+4] from the four
+    /// preceding quads) and run its four rounds.
+    macro_rules! schedule_rounds4 {
+        ($abef:ident, $cdgh:ident,
+         $w0:ident, $w1:ident, $w2:ident, $w3:ident => $w4:ident, $i:expr) => {{
+            let t1 = _mm_sha256msg1_epu32($w0, $w1);
+            let t2 = _mm_alignr_epi8($w3, $w2, 4);
+            $w4 = _mm_sha256msg2_epu32(_mm_add_epi32(t1, t2), $w3);
+            rounds4!($abef, $cdgh, $w4, $i);
+        }};
+    }
+
+    #[target_feature(enable = "sha,sse2,ssse3,sse4.1")]
+    unsafe fn compress_block(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
+        // Big-endian word load mask for the message shuffle.
+        let be_mask = _mm_set_epi64x(0x0C0D_0E0F_0809_0A0B, 0x0405_0607_0001_0203);
+
+        // Repack (a,b,c,d),(e,f,g,h) into the ABEF/CDGH lane order the
+        // sha256rnds2 instruction works on.
+        let abcd = _mm_loadu_si128(state.as_ptr() as *const __m128i);
+        let efgh = _mm_loadu_si128(state.as_ptr().add(4) as *const __m128i);
+        let cdab = _mm_shuffle_epi32(abcd, 0xB1);
+        let hgfe = _mm_shuffle_epi32(efgh, 0x1B);
+        let mut abef = _mm_alignr_epi8(cdab, hgfe, 8);
+        let mut cdgh = _mm_blend_epi16(hgfe, cdab, 0xF0);
+        let abef_in = abef;
+        let cdgh_in = cdgh;
+
+        let load = |off: usize| {
+            // SAFETY: off+16 <= BLOCK_LEN; unaligned load.
+            _mm_shuffle_epi8(
+                _mm_loadu_si128(block.as_ptr().add(off) as *const __m128i),
+                be_mask,
+            )
+        };
+        let mut w0 = load(0);
+        let mut w1 = load(16);
+        let mut w2 = load(32);
+        let mut w3 = load(48);
+        let mut w4;
+
+        rounds4!(abef, cdgh, w0, 0);
+        rounds4!(abef, cdgh, w1, 1);
+        rounds4!(abef, cdgh, w2, 2);
+        rounds4!(abef, cdgh, w3, 3);
+        schedule_rounds4!(abef, cdgh, w0, w1, w2, w3 => w4, 4);
+        schedule_rounds4!(abef, cdgh, w1, w2, w3, w4 => w0, 5);
+        schedule_rounds4!(abef, cdgh, w2, w3, w4, w0 => w1, 6);
+        schedule_rounds4!(abef, cdgh, w3, w4, w0, w1 => w2, 7);
+        schedule_rounds4!(abef, cdgh, w4, w0, w1, w2 => w3, 8);
+        schedule_rounds4!(abef, cdgh, w0, w1, w2, w3 => w4, 9);
+        schedule_rounds4!(abef, cdgh, w1, w2, w3, w4 => w0, 10);
+        schedule_rounds4!(abef, cdgh, w2, w3, w4, w0 => w1, 11);
+        schedule_rounds4!(abef, cdgh, w3, w4, w0, w1 => w2, 12);
+        schedule_rounds4!(abef, cdgh, w4, w0, w1, w2 => w3, 13);
+        schedule_rounds4!(abef, cdgh, w0, w1, w2, w3 => w4, 14);
+        schedule_rounds4!(abef, cdgh, w1, w2, w3, w4 => w0, 15);
+        let _ = w0;
+
+        abef = _mm_add_epi32(abef, abef_in);
+        cdgh = _mm_add_epi32(cdgh, cdgh_in);
+
+        // Unpack ABEF/CDGH back to (a,b,c,d),(e,f,g,h).
+        let feba = _mm_shuffle_epi32(abef, 0x1B);
+        let dchg = _mm_shuffle_epi32(cdgh, 0xB1);
+        let abcd_out = _mm_blend_epi16(feba, dchg, 0xF0);
+        let efgh_out = _mm_alignr_epi8(dchg, feba, 8);
+        _mm_storeu_si128(state.as_mut_ptr() as *mut __m128i, abcd_out);
+        _mm_storeu_si128(state.as_mut_ptr().add(4) as *mut __m128i, efgh_out);
     }
 }
 
@@ -200,6 +351,45 @@ mod tests {
 
     fn hex(b: &[u8]) -> String {
         b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    /// Digest computed strictly through the scalar compression function,
+    /// padding done by hand — bypasses the hardware dispatch entirely.
+    fn scalar_only_digest(data: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut padded = data.to_vec();
+        padded.push(0x80);
+        while padded.len() % BLOCK_LEN != 56 {
+            padded.push(0);
+        }
+        padded.extend_from_slice(&((data.len() as u64) * 8).to_be_bytes());
+        let mut h = Sha256::new();
+        for block in padded.chunks_exact(BLOCK_LEN) {
+            let mut b = [0u8; BLOCK_LEN];
+            b.copy_from_slice(block);
+            h.compress_scalar(&b);
+        }
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in h.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    #[test]
+    fn hardware_and_scalar_paths_agree() {
+        // Every block-boundary crossing and varied bit patterns:
+        // deterministic pseudo-random bytes, lengths 0..=257. On hosts
+        // without SHA extensions this degenerates to scalar-vs-scalar.
+        let mut byte = 7u8;
+        for len in 0..=257usize {
+            let data: Vec<u8> = (0..len)
+                .map(|_| {
+                    byte = byte.wrapping_mul(167).wrapping_add(13);
+                    byte
+                })
+                .collect();
+            assert_eq!(scalar_only_digest(&data), sha256(&data), "len {len}");
+        }
     }
 
     #[test]

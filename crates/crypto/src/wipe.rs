@@ -41,6 +41,18 @@ pub fn wipe_u32s(buf: &mut [u32]) {
     compiler_fence(Ordering::SeqCst);
 }
 
+/// Overwrite a `u64` buffer with zeros through volatile stores (bignum
+/// limbs after the u64-limb migration, CRT exponents).
+#[allow(unsafe_code)]
+pub fn wipe_u64s(buf: &mut [u64]) {
+    let ptr = buf.as_mut_ptr();
+    for i in 0..buf.len() {
+        // SAFETY: as in `wipe_bytes`; u64 stores through a unique borrow.
+        unsafe { core::ptr::write_volatile(ptr.add(i), 0) };
+    }
+    compiler_fence(Ordering::SeqCst);
+}
+
 /// Types that can scrub their secret contents in place.
 ///
 /// Implementors should wipe every byte of key material they own and leave
@@ -120,6 +132,13 @@ mod tests {
         let mut w = [0xDEADBEEF_u32; 8];
         wipe_u32s(&mut w);
         assert_eq!(w, [0u32; 8]);
+    }
+
+    #[test]
+    fn wipes_u64_limbs() {
+        let mut w = [0xDEADBEEF_CAFEBABE_u64; 8];
+        wipe_u64s(&mut w);
+        assert_eq!(w, [0u64; 8]);
     }
 
     #[test]

@@ -1,69 +1,90 @@
 //! X25519 elliptic-curve Diffie-Hellman (RFC 7748).
 //!
 //! The ECDHE side of the study. Curve25519 is implemented with a
-//! Montgomery ladder over GF(2^255 - 19) using ten 26/25-bit limbs packed
-//! in `u64`s (the classic "ref10"-style radix-2^25.5 representation).
+//! Montgomery ladder over GF(2^255 - 19) using five 51-bit limbs in `u64`s
+//! with `u128` products (the "donna-64" representation) — half the limb
+//! count and a quarter of the inner-loop multiplies of the earlier
+//! radix-2^25.5 form, with no data-dependent branches in the limb loops.
 //! Pinned to the RFC 7748 §5.2 test vectors and the iterated-ladder vector.
+//!
+//! Limb-bound discipline (the invariants the carry chains rely on):
+//! reduced elements have limbs < 2^51 + ε; [`Fe::add`] and [`Fe::sub`]
+//! emit limbs < 2^53 without re-carrying; [`Fe::mul`]/[`Fe::square`]
+//! accept limbs < 2^53 and emit reduced elements.
 
 /// Length of scalars and public values.
 pub const KEY_LEN: usize = 32;
 
-/// Field element in GF(2^255 - 19): ten limbs, radix 2^25.5.
+/// 51-bit limb mask.
+const MASK: u64 = (1 << 51) - 1;
+
+/// Field element in GF(2^255 - 19): five limbs, radix 2^51.
 #[derive(Clone, Copy)]
-struct Fe([i64; 10]);
+struct Fe([u64; 5]);
+
+/// Full 64×64→128 product.
+#[inline(always)]
+fn m(a: u64, b: u64) -> u128 {
+    a as u128 * b as u128
+}
+
+/// Carry-reduce the five wide column sums of a product into a reduced
+/// element, folding the top carry back through 2^255 ≡ 19.
+#[inline(always)]
+fn carry_wide(r: [u128; 5]) -> Fe {
+    let mut out = [0u64; 5];
+    let mut c: u64 = 0;
+    for i in 0..5 {
+        let v = r[i] + c as u128;
+        out[i] = (v as u64) & MASK;
+        c = (v >> 51) as u64;
+    }
+    let t0 = out[0] + c * 19;
+    out[0] = t0 & MASK;
+    out[1] += t0 >> 51;
+    Fe(out)
+}
 
 impl Fe {
-    const ZERO: Fe = Fe([0; 10]);
-    const ONE: Fe = Fe([1, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+    const ZERO: Fe = Fe([0; 5]);
+    const ONE: Fe = Fe([1, 0, 0, 0, 0]);
 
     fn from_bytes(bytes: &[u8; 32]) -> Fe {
         // Little-endian; top bit masked per RFC 7748.
-        let load3 = |b: &[u8]| -> i64 { b[0] as i64 | (b[1] as i64) << 8 | (b[2] as i64) << 16 };
-        let load4 = |b: &[u8]| -> i64 { load3(b) | (b[3] as i64) << 24 };
-        let mut h = [0i64; 10];
-        h[0] = load4(&bytes[0..4]) & 0x3ffffff;
-        h[1] = (load4(&bytes[3..7]) >> 2) & 0x1ffffff;
-        h[2] = (load4(&bytes[6..10]) >> 3) & 0x3ffffff;
-        h[3] = (load4(&bytes[9..13]) >> 5) & 0x1ffffff;
-        h[4] = (load4(&bytes[12..16]) >> 6) & 0x3ffffff;
-        h[5] = load4(&bytes[16..20]) & 0x1ffffff;
-        h[6] = (load4(&bytes[19..23]) >> 1) & 0x3ffffff;
-        h[7] = (load4(&bytes[22..26]) >> 3) & 0x1ffffff;
-        h[8] = (load4(&bytes[25..29]) >> 4) & 0x3ffffff;
-        h[9] = (load4(&bytes[28..32]) >> 6) & 0x1ffffff; // top bit dropped
-        Fe(h)
+        let load = |b: &[u8]| -> u64 { u64::from_le_bytes(b.try_into().expect("8 bytes")) };
+        Fe([
+            load(&bytes[0..8]) & MASK,
+            (load(&bytes[6..14]) >> 3) & MASK,
+            (load(&bytes[12..20]) >> 6) & MASK,
+            (load(&bytes[19..27]) >> 1) & MASK,
+            (load(&bytes[24..32]) >> 12) & MASK, // top bit dropped
+        ])
     }
 
-    fn to_bytes(mut self) -> [u8; 32] {
-        self = self.carry();
-        // Reduce fully mod 2^255 - 19.
-        let mut h = self.0;
-        // q = floor(h / (2^255 - 19)) ∈ {0, 1}; compute via adding 19 and
-        // seeing if it overflows 2^255.
-        let mut q = (19 * h[9] + (1 << 24)) >> 25;
-        for i in 0..10 {
-            let shift = if i % 2 == 0 { 26 } else { 25 };
-            q = (h[i] + q) >> shift;
+    fn to_bytes(self) -> [u8; 32] {
+        // Bring limbs near-canonical, then subtract p exactly once if the
+        // value is ≥ p: q is the carry out of (value + 19) at bit 255.
+        let mut t = self.carry().0;
+        let mut q = (t[0] + 19) >> 51;
+        q = (t[1] + q) >> 51;
+        q = (t[2] + q) >> 51;
+        q = (t[3] + q) >> 51;
+        q = (t[4] + q) >> 51;
+        t[0] += 19 * q;
+        for i in 0..4 {
+            let c = t[i] >> 51;
+            t[i] &= MASK;
+            t[i + 1] += c;
         }
-        h[0] += 19 * q;
-        // Carry chain clearing each limb to canonical range.
-        for i in 0..9 {
-            let shift = if i % 2 == 0 { 26 } else { 25 };
-            let carry = h[i] >> shift;
-            h[i + 1] += carry;
-            h[i] -= carry << shift;
-        }
-        let carry = h[9] >> 25;
-        h[9] -= carry << 25;
-        // h is now canonical; pack little-endian.
+        t[4] &= MASK;
+        // t is now canonical; pack 5×51 bits little-endian.
         let mut out = [0u8; 32];
-        let mut acc: u64 = 0;
+        let mut acc: u128 = 0;
         let mut acc_bits = 0;
         let mut idx = 0;
-        for i in 0..10 {
-            let bits = if i % 2 == 0 { 26 } else { 25 };
-            acc |= (h[i] as u64) << acc_bits;
-            acc_bits += bits;
+        for &limb in t.iter() {
+            acc |= (limb as u128) << acc_bits;
+            acc_bits += 51;
             while acc_bits >= 8 {
                 out[idx] = acc as u8;
                 idx += 1;
@@ -78,116 +99,102 @@ impl Fe {
     }
 
     fn add(&self, other: &Fe) -> Fe {
-        let mut out = [0i64; 10];
-        for i in 0..10 {
+        let mut out = [0u64; 5];
+        for i in 0..5 {
             out[i] = self.0[i] + other.0[i];
         }
         Fe(out)
     }
 
     fn sub(&self, other: &Fe) -> Fe {
-        // Add a multiple of p before subtracting to keep limbs positive.
-        const P2: [i64; 10] = [
-            0x7ffffda, 0x3fffffe, 0x7fffffe, 0x3fffffe, 0x7fffffe, 0x3fffffe, 0x7fffffe, 0x3fffffe,
-            0x7fffffe, 0x3fffffe,
+        // Add 2p before subtracting to keep limbs non-negative; consumers
+        // tolerate the < 2^53 limbs without an extra carry pass.
+        const P2: [u64; 5] = [
+            0xfffffffffffda, // 2^52 - 38
+            0xffffffffffffe, // 2^52 - 2
+            0xffffffffffffe,
+            0xffffffffffffe,
+            0xffffffffffffe,
         ]; // 2p in this radix
-        let mut out = [0i64; 10];
-        for i in 0..10 {
+        let mut out = [0u64; 5];
+        for i in 0..5 {
             out[i] = self.0[i] + P2[i] - other.0[i];
         }
-        Fe(out).carry()
+        Fe(out)
     }
 
     fn carry(mut self) -> Fe {
         for _ in 0..2 {
-            for i in 0..9 {
-                let shift = if i % 2 == 0 { 26 } else { 25 };
-                let c = self.0[i] >> shift;
-                self.0[i] -= c << shift;
+            for i in 0..4 {
+                let c = self.0[i] >> 51;
+                self.0[i] &= MASK;
                 self.0[i + 1] += c;
             }
-            let c = self.0[9] >> 25;
-            self.0[9] -= c << 25;
+            let c = self.0[4] >> 51;
+            self.0[4] &= MASK;
             self.0[0] += 19 * c;
         }
         self
     }
 
     fn mul(&self, other: &Fe) -> Fe {
-        let a = &self.0;
-        let b = &other.0;
-        // Products with the 2^25.5 radix corrections: odd*odd limb pairs
-        // pick up a factor of 2; wraparound terms pick up 19.
-        let mut t = [0i128; 19];
-        for i in 0..10 {
-            for j in 0..10 {
-                let mut m = a[i] as i128 * b[j] as i128;
-                if i % 2 == 1 && j % 2 == 1 {
-                    m *= 2;
-                }
-                t[i + j] += m;
-            }
-        }
-        // Fold t[10..19] back with factor 19 (since 2^255 ≡ 19).
-        let mut h = [0i128; 10];
-        for i in 0..10 {
-            h[i] = t[i];
-        }
-        for i in 10..19 {
-            h[i - 10] += 19 * t[i];
-        }
-        // Carry to bring limbs into range.
-        let mut out = [0i64; 10];
-        let mut carry: i128 = 0;
-        for i in 0..10 {
-            let shift = if i % 2 == 0 { 26 } else { 25 };
-            let v = h[i] + carry;
-            carry = v >> shift;
-            out[i] = (v - (carry << shift)) as i64;
-        }
-        // carry * 2^255 ≡ carry * 19
-        let mut fe = Fe(out);
-        fe.0[0] += (carry * 19) as i64;
-        fe.carry()
+        let [a0, a1, a2, a3, a4] = self.0;
+        let [b0, b1, b2, b3, b4] = other.0;
+        // Wraparound columns pick up the 2^255 ≡ 19 factor; pre-scaling
+        // the ≤ 2^53 operands by 19 stays comfortably inside u64.
+        let b1_19 = b1 * 19;
+        let b2_19 = b2 * 19;
+        let b3_19 = b3 * 19;
+        let b4_19 = b4 * 19;
+        carry_wide([
+            m(a0, b0) + m(a1, b4_19) + m(a2, b3_19) + m(a3, b2_19) + m(a4, b1_19),
+            m(a0, b1) + m(a1, b0) + m(a2, b4_19) + m(a3, b3_19) + m(a4, b2_19),
+            m(a0, b2) + m(a1, b1) + m(a2, b0) + m(a3, b4_19) + m(a4, b3_19),
+            m(a0, b3) + m(a1, b2) + m(a2, b1) + m(a3, b0) + m(a4, b4_19),
+            m(a0, b4) + m(a1, b3) + m(a2, b2) + m(a3, b1) + m(a4, b0),
+        ])
     }
 
     fn square(&self) -> Fe {
-        self.mul(self)
+        let [a0, a1, a2, a3, a4] = self.0;
+        let a0_2 = a0 * 2;
+        let a1_2 = a1 * 2;
+        let a1_38 = a1 * 38;
+        let a2_38 = a2 * 38;
+        let a3_38 = a3 * 38;
+        let a3_19 = a3 * 19;
+        let a4_19 = a4 * 19;
+        carry_wide([
+            m(a0, a0) + m(a1_38, a4) + m(a2_38, a3),
+            m(a0_2, a1) + m(a2_38, a4) + m(a3_19, a3),
+            m(a0_2, a2) + m(a1, a1) + m(a3_38, a4),
+            m(a0_2, a3) + m(a1_2, a2) + m(a4_19, a4),
+            m(a0_2, a4) + m(a1_2, a3) + m(a2, a2),
+        ])
     }
 
-    fn mul_small(&self, k: i64) -> Fe {
-        let mut out = [0i64; 10];
-        for i in 0..10 {
-            out[i] = self.0[i] * k;
+    fn mul_small(&self, k: u64) -> Fe {
+        let mut out = [0u64; 5];
+        let mut c: u128 = 0;
+        for i in 0..5 {
+            let v = m(self.0[i], k) + c;
+            out[i] = (v as u64) & MASK;
+            c = v >> 51;
         }
-        Fe(out).carry()
+        let t0 = out[0] as u128 + c * 19;
+        out[0] = (t0 as u64) & MASK;
+        out[1] += (t0 >> 51) as u64;
+        Fe(out)
     }
 
     /// Inversion via Fermat: a^(p-2).
     fn invert(&self) -> Fe {
         let mut result = Fe::ONE;
         let mut base = *self;
-        // p - 2 = 2^255 - 21, binary: 253 ones, then 01011.
-        // Simple square-and-multiply over the fixed exponent bits.
-        let exp_bits: Vec<bool> = {
-            // Little-endian bits of 2^255 - 21.
-            // 2^255 - 21 = (2^255 - 19) - 2 ... compute directly:
-            // binary of p-2: bit 255 unset; bits 254..5 set? Use bignum-free
-            // approach: p - 2 = 2^255 - 21; -21 mod 2^255 flips low bits.
-            // 21 = 10101b. 2^255 - 21 = (2^255 - 32) + 11 =
-            // 0b0111...1101011 with 250 leading ones.
-            let mut bits = vec![true; 255];
-            // low 5 bits of (2^255 - 21): since 2^255 ≡ 0 mod 32, low 5
-            // bits are (32 - 21) = 11 = 01011.
-            bits[0] = true;
-            bits[1] = true;
-            bits[2] = false;
-            bits[3] = true;
-            bits[4] = false;
-            bits
-        };
-        for &bit in exp_bits.iter() {
-            if bit {
+        // p - 2 = 2^255 - 21: little-endian bits are 11010 then 250 ones
+        // (2^255 ≡ 0 mod 32, so the low 5 bits are 32 - 21 = 01011b).
+        for i in 0..255 {
+            if i != 2 && i != 4 {
                 result = result.mul(&base);
             }
             base = base.square();
@@ -197,8 +204,8 @@ impl Fe {
 }
 
 fn cswap(swap: u8, a: &mut Fe, b: &mut Fe) {
-    let mask = -(swap as i64);
-    for i in 0..10 {
+    let mask = (swap as u64).wrapping_neg();
+    for i in 0..5 {
         let x = mask & (a.0[i] ^ b.0[i]);
         a.0[i] ^= x;
         b.0[i] ^= x;

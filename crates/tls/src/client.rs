@@ -487,7 +487,7 @@ impl ClientConn {
                 let prime = Ub::from_bytes_be(p);
                 let group = DhGroup::all()
                     .into_iter()
-                    .find(|g| g.prime() == prime)
+                    .find(|g| *g.prime() == prime)
                     .ok_or(TlsError::Decode("unknown DH group"))?;
                 self.dh_group_hint = group;
             }

@@ -39,20 +39,23 @@ impl EphemeralPolicy {
     }
 }
 
-/// A cached DHE keypair with its creation time.
+/// A cached DHE keypair with its creation time. The keypair is held (and
+/// handed to handshakes) behind an `Arc` so a reused value is shared, not
+/// re-copied — cloning a `DhKeyPair` duplicates its secret exponent and
+/// multi-hundred-byte public value on every handshake.
 #[derive(Clone)]
 pub struct CachedDhe {
     /// The keypair.
-    pub keypair: DhKeyPair,
+    pub keypair: Arc<DhKeyPair>,
     /// When it was generated.
     pub created_at: u64,
 }
 
-/// A cached X25519 keypair with its creation time.
+/// A cached X25519 keypair with its creation time (shared like [`CachedDhe`]).
 #[derive(Clone)]
 pub struct CachedEcdhe {
     /// The keypair.
-    pub keypair: X25519KeyPair,
+    pub keypair: Arc<X25519KeyPair>,
     /// When it was generated.
     pub created_at: u64,
 }
@@ -111,8 +114,9 @@ impl EphemeralCache {
     }
 
     /// Get the DHE keypair to use for a handshake at `now`, regenerating
-    /// if the policy says the cached one is stale.
-    pub fn dhe_keypair(&self, now: u64) -> DhKeyPair {
+    /// if the policy says the cached one is stale. Returns a shared handle;
+    /// under a reuse policy this is a refcount bump, not a key copy.
+    pub fn dhe_keypair(&self, now: u64) -> Arc<DhKeyPair> {
         let mut inner = self.0.lock();
         let reuse = inner
             .dhe
@@ -123,16 +127,16 @@ impl EphemeralCache {
             let group = inner.dh_group;
             let kp = DhKeyPair::generate(group, &mut inner.rng);
             inner.dhe = Some(CachedDhe {
-                keypair: kp,
+                keypair: Arc::new(kp),
                 created_at: now,
             });
             inner.dhe_generations += 1;
         }
-        inner.dhe.as_ref().expect("just set").keypair.clone()
+        Arc::clone(&inner.dhe.as_ref().expect("just set").keypair)
     }
 
     /// Get the X25519 keypair for a handshake at `now` (same policy).
-    pub fn ecdhe_keypair(&self, now: u64) -> X25519KeyPair {
+    pub fn ecdhe_keypair(&self, now: u64) -> Arc<X25519KeyPair> {
         let mut inner = self.0.lock();
         let reuse = inner
             .ecdhe
@@ -142,12 +146,12 @@ impl EphemeralCache {
         if !reuse {
             let kp = X25519KeyPair::generate(&mut inner.rng);
             inner.ecdhe = Some(CachedEcdhe {
-                keypair: kp,
+                keypair: Arc::new(kp),
                 created_at: now,
             });
             inner.ecdhe_generations += 1;
         }
-        inner.ecdhe.as_ref().expect("just set").keypair.clone()
+        Arc::clone(&inner.ecdhe.as_ref().expect("just set").keypair)
     }
 
     /// How many distinct DHE values have been generated (ground truth for

@@ -17,6 +17,7 @@ use crate::wire::handshake::{
     HandshakeReassembler, NewSessionTicket, ServerHello, ServerKexParams, ServerKeyExchange,
 };
 use crate::wire::record::{ContentType, RecordLayer};
+use std::sync::Arc;
 use ts_crypto::bignum::Ub;
 use ts_crypto::dh::{validate_public, DhKeyPair};
 use ts_crypto::drbg::HmacDrbg;
@@ -74,8 +75,8 @@ pub struct ServerConn {
     master: Option<[u8; 48]>,
     resumed: Option<ResumeKind>,
     resumed_established_at: u64,
-    dhe_kp: Option<DhKeyPair>,
-    ecdhe_kp: Option<X25519KeyPair>,
+    dhe_kp: Option<Arc<DhKeyPair>>,
+    ecdhe_kp: Option<Arc<X25519KeyPair>>,
     sni: String,
     client_offered_ticket_ext: bool,
     pending_keys: Option<ConnectionKeys>,

@@ -148,7 +148,7 @@ fn decode_spki(r: &mut Reader) -> Result<RsaPublicKey, DerError> {
     let n = rsa.read_integer()?;
     let e = rsa.read_integer()?;
     rsa.finish()?;
-    Ok(RsaPublicKey { n, e })
+    Ok(RsaPublicKey::new(n, e))
 }
 
 fn encode_extensions(params: &CertificateParams) -> Vec<u8> {

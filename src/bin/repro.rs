@@ -56,6 +56,7 @@ struct Args {
     step: u64,
     workers: usize,
     telemetry_json: Option<String>,
+    bench_smoke: bool,
 }
 
 fn parse_args() -> Args {
@@ -67,6 +68,7 @@ fn parse_args() -> Args {
         step: 300,  // the paper's probe cadence
         workers: 0, // 0 = hardware default
         telemetry_json: None,
+        bench_smoke: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -96,11 +98,16 @@ fn parse_args() -> Args {
                 i += 1;
                 args.telemetry_json = Some(argv[i].clone());
             }
+            "--bench-smoke" => {
+                args.bench_smoke = true;
+            }
             "--help" | "-h" => {
                 println!(
                     "repro [EXPERIMENT] [--size N] [--seed S] [--days D] [--step SECS] \
-                     [--workers N] [--telemetry-json PATH]\n\
-                     experiments: all table1..table7 fig1..fig8 google demo tls13 ablation"
+                     [--workers N] [--telemetry-json PATH] [--bench-smoke]\n\
+                     experiments: all table1..table7 fig1..fig8 google demo tls13 ablation\n\
+                     --bench-smoke: skip experiments; print handshake/modexp \
+                     throughput JSON (schema bench-smoke/v1)"
                 );
                 std::process::exit(0);
             }
@@ -113,6 +120,16 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    if args.bench_smoke {
+        // Performance probe, not an experiment: no population build, JSON
+        // on stdout so CI can archive/diff it against BENCH_5.json. The
+        // clock is injected here so ts-bench stays wall-clock-free under
+        // the determinism lint.
+        let t0 = Instant::now();
+        let clock = move || t0.elapsed().as_nanos() as u64;
+        println!("{}", ts_bench::bench_smoke::run(&clock));
+        return;
+    }
     ts_core::par::set_default_workers(args.workers);
     let t0 = Instant::now();
     eprintln!(
