@@ -1,0 +1,235 @@
+//! Workspace-wide symbol table and call graph.
+//!
+//! Built once over every file's structural index, this is what turns the
+//! per-file lexical pass into an *interprocedural* analysis: each function
+//! body is scanned for call sites (`name(…)` and `.name(…)`), each call is
+//! resolved against the table of production function definitions, and the
+//! argument spans are kept so the flow engine ([`crate::flow`]) can decide
+//! per call which parameters receive tainted data.
+//!
+//! ## Resolution discipline
+//!
+//! Matching is by bare name — the scanner has no type inference — so a
+//! call edge is considered *resolved* only when the workspace defines
+//! exactly one production function of that name. Ambiguous names (`new`,
+//! `insert`, `len`, …) resolve to nothing: propagating taint into every
+//! same-named method would drown the analysis in false positives, and std
+//! methods are not in the table at all. Unique names are the ones that
+//! matter in practice (`derive_connection_keys`, `seal_ticket`, the hop
+//! helpers a leak hides behind), and for those the edge is exact.
+//!
+//! Everything is stored in deterministic order (file index, token
+//! position), so two builds over the same inputs — at any worker count —
+//! are identical. A property test pins this.
+
+use std::collections::BTreeMap;
+
+use crate::index::{matching, FileIndex};
+use crate::lexer::TokKind;
+use crate::rules::is_keyword;
+
+/// A function definition, addressed by file and position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FnId {
+    /// Index into the analyzed file slice.
+    pub file: usize,
+    /// Index into that file's `fns` vector.
+    pub fn_idx: usize,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Final path segment of the callee (`seal` for `Ticket::seal(…)`).
+    pub callee: String,
+    /// True for `.name(…)` method-call syntax (the receiver expression is
+    /// not part of the argument spans).
+    pub method: bool,
+    /// 1-based source line.
+    pub line: u32,
+    /// Absolute token ranges (into the file's token vector), one per
+    /// comma-separated argument.
+    pub args: Vec<(usize, usize)>,
+}
+
+/// The per-function call-site lists plus the name-resolution table.
+pub struct CallGraph {
+    /// `fn name → every production definition`, in (file, fn) order.
+    pub defs: BTreeMap<String, Vec<FnId>>,
+    /// Call sites per function, indexed like the file slice: outer = file,
+    /// inner = fn within that file.
+    pub calls: Vec<Vec<Vec<CallSite>>>,
+}
+
+impl CallGraph {
+    /// Build the symbol table and extract every call site. Test functions
+    /// get no symbol-table entry (a test helper must not receive workspace
+    /// taint) but their bodies are still scanned, cheaply, for totality.
+    pub fn build<F: AsRef<FileIndex>>(files: &[F]) -> CallGraph {
+        let mut defs: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        for (fi, f) in files.iter().enumerate() {
+            for (gi, func) in f.as_ref().fns.iter().enumerate() {
+                if func.in_test {
+                    continue;
+                }
+                defs.entry(func.name.clone()).or_default().push(FnId {
+                    file: fi,
+                    fn_idx: gi,
+                });
+            }
+        }
+        let calls = files
+            .iter()
+            .map(|f| {
+                let f = f.as_ref();
+                f.fns
+                    .iter()
+                    .map(|func| extract_calls(f, func.body.0, func.body.1))
+                    .collect()
+            })
+            .collect();
+        CallGraph { defs, calls }
+    }
+
+    /// The unique production definition of `name`, if exactly one exists.
+    pub fn resolve(&self, name: &str) -> Option<FnId> {
+        match self.defs.get(name).map(Vec::as_slice) {
+            Some([only]) => Some(*only),
+            _ => None,
+        }
+    }
+}
+
+/// Scan a body token range for call sites. A call site is an identifier
+/// followed by `(` that is neither a definition (`fn name(`), a macro
+/// (`name!(…)` — the formatter family has its own rule), nor a keyword
+/// head (`if (…)`, `match (…)`).
+fn extract_calls(f: &FileIndex, lo: usize, hi: usize) -> Vec<CallSite> {
+    let toks = &f.tokens;
+    let mut out = Vec::new();
+    let mut i = lo;
+    while i < hi {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident
+            || is_keyword(&t.text)
+            || !toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+        {
+            i += 1;
+            continue;
+        }
+        if i > lo && (toks[i - 1].is_ident("fn") || toks[i - 1].is_punct("!")) {
+            i += 1;
+            continue;
+        }
+        let open = i + 1;
+        let close = matching(toks, open, hi);
+        out.push(CallSite {
+            callee: t.text.clone(),
+            method: i > lo && toks[i - 1].is_punct("."),
+            line: t.line,
+            args: split_args(toks, open + 1, close),
+        });
+        // Arguments may contain further calls: continue *inside* the
+        // argument list, not after it.
+        i += 1;
+    }
+    out
+}
+
+/// Split `lo..hi` (the inside of an argument list) at depth-0 commas.
+fn split_args(toks: &[crate::lexer::Token], lo: usize, hi: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    if lo >= hi {
+        return out;
+    }
+    let mut start = lo;
+    let mut depth = 0usize;
+    let mut i = lo;
+    while i < hi {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                "," if depth == 0 => {
+                    out.push((start, i));
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    if start < hi {
+        out.push((start, hi));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::scan_file;
+
+    #[test]
+    fn free_and_method_calls_are_extracted() {
+        let idx = scan_file(
+            "t.rs",
+            "fn caller(x: u8) { helper(x, 2); obj.method(x); Path::seg(x); }",
+        );
+        let g = CallGraph::build(&[idx]);
+        let sites = &g.calls[0][0];
+        let names: Vec<&str> = sites.iter().map(|c| c.callee.as_str()).collect();
+        assert_eq!(names, vec!["helper", "method", "seg"]);
+        assert_eq!(sites[0].args.len(), 2);
+        assert!(sites[1].method);
+        assert!(!sites[2].method);
+    }
+
+    #[test]
+    fn definitions_and_macros_are_not_call_sites() {
+        let idx = scan_file(
+            "t.rs",
+            "fn outer() { fn inner(v: u8) {} inner(3); println!(\"x\"); }",
+        );
+        let g = CallGraph::build(&[idx]);
+        let outer = g.calls[0]
+            .iter()
+            .flatten()
+            .filter(|c| c.callee == "inner")
+            .count();
+        // `fn inner(` is a definition; only the invocation counts. The
+        // nested body produces its own FnDef whose (empty) call list also
+        // lives in the same file slot.
+        assert_eq!(outer, 1);
+        assert!(g.calls[0].iter().flatten().all(|c| c.callee != "println"));
+    }
+
+    #[test]
+    fn ambiguous_names_do_not_resolve() {
+        let a = scan_file("a.rs", "fn dup() {} fn uniq() {}");
+        let b = scan_file("b.rs", "fn dup() {}");
+        let g = CallGraph::build(&[a, b]);
+        assert!(g.resolve("dup").is_none());
+        assert!(g.resolve("uniq").is_some());
+        assert!(g.resolve("missing").is_none());
+    }
+
+    #[test]
+    fn test_fns_are_not_in_the_symbol_table() {
+        let idx = scan_file(
+            "t.rs",
+            "#[cfg(test)]\nmod tests { fn helper() {} }\nfn caller() { helper(); }",
+        );
+        let g = CallGraph::build(&[idx]);
+        assert!(g.resolve("helper").is_none());
+    }
+
+    #[test]
+    fn nested_call_arguments_are_scanned() {
+        let idx = scan_file("t.rs", "fn f(x: u8) { outer(inner(x), 1); }");
+        let g = CallGraph::build(&[idx]);
+        let names: Vec<&str> = g.calls[0][0].iter().map(|c| c.callee.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+    }
+}

@@ -26,7 +26,7 @@
 //!
 //! # [[determinism]] blocks excuse determinism-family findings (wall-clock
 //! # boundaries, order-insensitive hash-map drains, …) with the exact same
-//! # mandatory-reason / stale-entry-fails semantics. The two sections are
+//! # mandatory-reason / stale-entry-fails semantics. The sections are
 //! # deliberately separate: a determinism waiver can never silence a
 //! # secret-hygiene finding and vice versa.
 //! [[determinism]]
@@ -34,6 +34,16 @@
 //! file = "crates/telemetry/src/span.rs"
 //! ident = "Instant"
 //! reason = "the sanctioned wall-timer boundary"
+//!
+//! # [[lifetime]] blocks excuse `secret-lifetime` findings — the crypto
+//! # shortcuts (session caches, STEK history) the simulation deliberately
+//! # models because the paper measures their harm. Same contract: a
+//! # mandatory reason, and a stale entry fails the lint.
+//! [[lifetime]]
+//! rule = "secret-lifetime"
+//! file = "crates/tls/src/cache.rs"
+//! ident = "entries"
+//! reason = "session-ID resumption IS the measured shortcut"
 //! ```
 //!
 //! `reason` is mandatory: an exception without a recorded justification is a
@@ -168,6 +178,9 @@ impl Config {
                 section = Section::Allow(partial.len() - 1);
             } else if line == "[[determinism]]" {
                 partial.push(PartialAllow::new(RuleFamily::Determinism));
+                section = Section::Allow(partial.len() - 1);
+            } else if line == "[[lifetime]]" {
+                partial.push(PartialAllow::new(RuleFamily::Lifetime));
                 section = Section::Allow(partial.len() - 1);
             } else if line == "[secrets]" {
                 section = Section::Secrets;

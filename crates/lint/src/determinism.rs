@@ -169,10 +169,11 @@ impl DeterminismModel {
     /// matching is by bare name, and e.g. proptest's `generate` (returns a
     /// `HashSet` strategy value) must not taint the workspace's unrelated
     /// `generate` functions.
-    pub fn build(files: &[FileIndex]) -> DeterminismModel {
+    pub fn build<F: AsRef<FileIndex>>(files: &[F]) -> DeterminismModel {
         let mut hash_fields = BTreeSet::new();
         let mut hash_fns = BTreeSet::new();
         for f in files {
+            let f = f.as_ref();
             if is_vendored(&f.path) {
                 continue;
             }
@@ -207,9 +208,10 @@ fn is_vendored(path: &str) -> bool {
 }
 
 /// Run the determinism family over all files, appending raw diagnostics.
-pub fn check(files: &[FileIndex], diags: &mut Vec<Diagnostic>) {
+pub fn check<F: AsRef<FileIndex>>(files: &[F], diags: &mut Vec<Diagnostic>) {
     let model = DeterminismModel::build(files);
     for f in files {
+        let f = f.as_ref();
         for func in &f.fns {
             if func.in_test {
                 continue;

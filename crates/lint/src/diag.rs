@@ -46,6 +46,23 @@ pub enum Rule {
     /// return values from the closure instead (they are re-concatenated
     /// in chunk order).
     UnorderedReduction,
+    /// Ephemeral key material (a secret type whose declared lifetime class
+    /// is `connection`) stored into a type whose declared lifetime class is
+    /// longer (`epoch` / `process`) — the paper's crypto shortcut, caught
+    /// statically. Declared via `// ctlint: lifetime(connection|epoch|
+    /// process)` annotations; deliberate shortcuts (the simulation *models*
+    /// them) are waived under `[[lifetime]]` in ctlint.toml.
+    SecretLifetime,
+    /// A binding the function explicitly wipes (`x.wipe()` /
+    /// `wipe_bytes(&mut x)`) but with an early `return` / `?` between the
+    /// binding and the wipe, so at least one exit path leaves the key
+    /// material unscrubbed in memory.
+    WipeOnAllPaths,
+    /// An `unsafe` block without a `// SAFETY:` comment (immediately before
+    /// the block or as its first statement), or an `unsafe` block whose
+    /// body mentions secret-tainted data — raw-pointer code over key
+    /// material needs an individually justified waiver.
+    UnsafeAudit,
 }
 
 impl Rule {
@@ -62,6 +79,9 @@ impl Rule {
             Rule::WallClock => "wall-clock",
             Rule::AmbientEntropy => "ambient-entropy",
             Rule::UnorderedReduction => "unordered-reduction",
+            Rule::SecretLifetime => "secret-lifetime",
+            Rule::WipeOnAllPaths => "wipe-on-all-paths",
+            Rule::UnsafeAudit => "unsafe-audit",
         }
     }
 
@@ -74,16 +94,19 @@ impl Rule {
             | Rule::SecretLeak
             | Rule::MissingWipe
             | Rule::SecretIndex
-            | Rule::TelemetrySink => RuleFamily::Hygiene,
+            | Rule::TelemetrySink
+            | Rule::WipeOnAllPaths
+            | Rule::UnsafeAudit => RuleFamily::Hygiene,
             Rule::UnorderedIteration
             | Rule::WallClock
             | Rule::AmbientEntropy
             | Rule::UnorderedReduction => RuleFamily::Determinism,
+            Rule::SecretLifetime => RuleFamily::Lifetime,
         }
     }
 
     /// All rules, for iteration/tests.
-    pub fn all() -> [Rule; 9] {
+    pub fn all() -> [Rule; 12] {
         [
             Rule::NonCtComparison,
             Rule::SecretLeak,
@@ -94,19 +117,26 @@ impl Rule {
             Rule::WallClock,
             Rule::AmbientEntropy,
             Rule::UnorderedReduction,
+            Rule::SecretLifetime,
+            Rule::WipeOnAllPaths,
+            Rule::UnsafeAudit,
         ]
     }
 }
 
-/// The two rule families, each with its own `ctlint.toml` exception
+/// The rule families, each with its own `ctlint.toml` exception
 /// section. Keeping them separate means a determinism waiver can never
-/// silently silence a secret-hygiene finding (or vice versa).
+/// silently silence a secret-hygiene finding (or vice versa), and a
+/// lifetime waiver — which documents a *deliberate* crypto shortcut the
+/// simulation models — can silence nothing but `secret-lifetime`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RuleFamily {
     /// Secret hygiene: suppressed by `[[allow]]`.
     Hygiene,
     /// Determinism: suppressed by `[[determinism]]`.
     Determinism,
+    /// Key-material lifetime: suppressed by `[[lifetime]]`.
+    Lifetime,
 }
 
 impl RuleFamily {
@@ -115,6 +145,7 @@ impl RuleFamily {
         match self {
             RuleFamily::Hygiene => "[[allow]]",
             RuleFamily::Determinism => "[[determinism]]",
+            RuleFamily::Lifetime => "[[lifetime]]",
         }
     }
 }

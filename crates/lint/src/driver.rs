@@ -1,0 +1,165 @@
+//! Parallel, incremental analysis driver.
+//!
+//! Parsing is the lint's dominant cost: every `.rs` file in the workspace
+//! is lexed and item-scanned before any rule runs. The driver makes that
+//! phase cheap twice over:
+//!
+//! * **incremental** — parse results are cached process-wide, keyed by
+//!   path and FNV-1a content hash, so repeated scans in one process (the
+//!   integration tests run the workspace lint several times; a future
+//!   watch mode would too) re-parse only changed files;
+//! * **parallel** — cache misses are parsed via
+//!   [`ts_core::par::parallel_map`], fanning out across workers while
+//!   keeping chunk order, so the resulting index slice — and therefore
+//!   the lint output — is byte-identical at any worker count.
+//!
+//! The phases are strictly serial→parallel→serial: hashes and cache
+//! probes happen serially, the pure parse fans out, and the merge back
+//! into the cache is serial again. Nothing inside the parallel region
+//! mutates shared state — the same discipline the lint's own
+//! `unordered-reduction` rule enforces on the rest of the workspace.
+//!
+//! Cost telemetry flows through `ts-telemetry` counters (`crypto.lint.*`)
+//! so `ts-lint --telemetry-json` can report what a scan did.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use ts_telemetry::Counter;
+
+use crate::index::{scan_file, FileIndex};
+
+/// Files actually lexed + item-scanned (cache misses).
+pub static FILES_PARSED: Counter = Counter::new("crypto.lint.files_parsed");
+/// Files served from the content-hash cache.
+pub static CACHE_HITS: Counter = Counter::new("crypto.lint.cache_hits");
+/// Interprocedural fixpoint rounds executed across all analyses.
+pub static TAINT_ROUNDS: Counter = Counter::new("crypto.lint.taint_rounds");
+
+/// FNV-1a over the file contents. Hand-rolled on purpose: the std hashers
+/// are either randomly seeded (`RandomState` — the lint's own
+/// `ambient-entropy` rule forbids it) or unspecified across releases;
+/// FNV-1a is fixed forever and two lines long.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// `path → (content hash, parsed index)`, shared across all scans in the
+/// process. A `BTreeMap` keeps the cache itself deterministic to iterate,
+/// though only point lookups touch it.
+fn cache() -> &'static Mutex<BTreeMap<String, (u64, Arc<FileIndex>)>> {
+    static CACHE: OnceLock<Mutex<BTreeMap<String, (u64, Arc<FileIndex>)>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Parse `files` into indexes, reusing cached results where the content
+/// hash matches. The returned order matches the input order exactly.
+pub fn index_files(files: &[(String, String)], workers: usize) -> Vec<Arc<FileIndex>> {
+    let hashes: Vec<u64> = files
+        .iter()
+        .map(|(_, src)| content_hash(src.as_bytes()))
+        .collect();
+
+    // Serial phase: probe the cache.
+    let mut out: Vec<Option<Arc<FileIndex>>> = vec![None; files.len()];
+    let mut misses: Vec<usize> = Vec::new();
+    {
+        let cache = cache().lock().expect("lint cache poisoned");
+        for (i, (path, _)) in files.iter().enumerate() {
+            match cache.get(path) {
+                Some((h, idx)) if *h == hashes[i] => {
+                    out[i] = Some(Arc::clone(idx));
+                    CACHE_HITS.inc();
+                }
+                _ => misses.push(i),
+            }
+        }
+    }
+
+    // Parallel phase: pure parse of the misses, results in chunk order.
+    let parse = |_chunk: usize, ids: &[usize]| -> Vec<(usize, Arc<FileIndex>)> {
+        ids.iter()
+            .map(|&i| (i, Arc::new(scan_file(&files[i].0, &files[i].1))))
+            .collect()
+    };
+    let parsed = if workers > 1 {
+        ts_core::par::parallel_map(&misses, workers, parse)
+    } else {
+        parse(0, &misses)
+    };
+    FILES_PARSED.add(parsed.len() as u64);
+
+    // Serial phase: merge into the cache and the output slots.
+    let mut cache = cache().lock().expect("lint cache poisoned");
+    for (i, idx) in parsed {
+        cache.insert(files[i].0.clone(), (hashes[i], Arc::clone(&idx)));
+        out[i] = Some(idx);
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every file parsed or cached"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(content_hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(content_hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(content_hash(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn cache_serves_unchanged_files_and_reparses_changed_ones() {
+        let files = vec![
+            ("drv_test_a.rs".to_string(), "fn a() {}".to_string()),
+            ("drv_test_b.rs".to_string(), "fn b() {}".to_string()),
+        ];
+        let first = index_files(&files, 1);
+        let again = index_files(&files, 1);
+        // Identical content: the second scan returns the same Arcs.
+        assert!(Arc::ptr_eq(&first[0], &again[0]));
+        assert!(Arc::ptr_eq(&first[1], &again[1]));
+        // Changed content: a fresh parse for the changed file only.
+        let changed = vec![
+            ("drv_test_a.rs".to_string(), "fn a2() {}".to_string()),
+            files[1].clone(),
+        ];
+        let third = index_files(&changed, 1);
+        assert!(!Arc::ptr_eq(&first[0], &third[0]));
+        assert!(Arc::ptr_eq(&first[1], &third[1]));
+        assert_eq!(third[0].fns[0].name, "a2");
+    }
+
+    #[test]
+    fn worker_counts_produce_identical_indexes() {
+        let files: Vec<(String, String)> = (0..40)
+            .map(|i| {
+                (
+                    format!("drv_par_{i}.rs"),
+                    format!("fn f{i}(x: u8) -> u8 {{ x }}"),
+                )
+            })
+            .collect();
+        let serial = index_files(&files, 1);
+        // Force re-parse under parallelism by changing every file.
+        let files2: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.clone(), format!("{s} // v2")))
+            .collect();
+        let parallel = index_files(&files2, 8);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.path, b.path);
+            assert_eq!(a.fns[0].name, b.fns[0].name);
+        }
+    }
+}

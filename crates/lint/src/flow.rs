@@ -1,0 +1,336 @@
+//! Interprocedural secret-flow: a fixed-point worklist over the call graph.
+//!
+//! The per-file rules see taint that *starts* inside one function — a
+//! parameter of a secret type, a call to a secret-returning function. What
+//! they cannot see lexically is taint that crosses a function boundary
+//! through an innocently-typed channel: a `Vec<u8>` of key bytes passed
+//! down two helpers into a telemetry sink, or a helper whose `-> Vec<u8>`
+//! return is always the master secret. This module closes that gap with
+//! two workspace-wide fact sets, computed to a fixed point:
+//!
+//! * **parameter taint** — `FnId → {param positions}` that receive
+//!   secret-tainted arguments at some resolved call site, and
+//! * **return taint** — function names whose declared return value is fed
+//!   by tainted data on some path (`return expr` or tail expression).
+//!
+//! Both flow only through *byte-carrying* channels (`u8` buffers, `Ub`
+//! limbs, secret types): scalar derivatives of secrets — lengths, indexes,
+//! durations — are public here, exactly as the per-file `.len()` rule
+//! already judges them.
+//!
+//! Iteration is *round-synchronous* (Jacobi): every round evaluates all
+//! functions against the previous round's facts and merges the updates
+//! afterwards. That makes the result — and therefore the lint output — a
+//! pure function of the input files, independent of evaluation order and
+//! worker count. Rounds are bounded by the facts lattice height (every
+//! round must add a fact or the loop stops), and in practice converge in
+//! two or three.
+//!
+//! Resolution follows [`crate::callgraph`]: only uniquely-named production
+//! functions receive propagated facts, so a common method name can never
+//! smear taint across unrelated impls.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::callgraph::{CallGraph, FnId};
+use crate::index::{FileIndex, FnDef};
+use crate::lexer::TokKind;
+use crate::rules::{collect_bindings, SecretModel, TaintEnv};
+
+/// The converged interprocedural facts.
+pub struct FlowFacts {
+    /// Extra secret-tainted parameter positions, per function definition.
+    pub param_taint: BTreeMap<FnId, BTreeSet<usize>>,
+    /// Function names whose call result is secret-tainted: the model's
+    /// type/annotation-based set plus every flow-discovered one.
+    pub secret_fns: BTreeSet<String>,
+    /// Fixpoint rounds executed (reported through telemetry).
+    pub rounds: u64,
+}
+
+impl FlowFacts {
+    /// Facts with no interprocedural component (per-file fallback).
+    pub fn intraprocedural(model: &SecretModel) -> FlowFacts {
+        FlowFacts {
+            param_taint: BTreeMap::new(),
+            secret_fns: model.secret_fns.clone(),
+            rounds: 0,
+        }
+    }
+}
+
+/// Solve the flow facts to a fixed point.
+pub fn solve<F: AsRef<FileIndex> + Sync>(
+    files: &[F],
+    model: &SecretModel,
+    graph: &CallGraph,
+    workers: usize,
+) -> FlowFacts {
+    let mut facts = FlowFacts::intraprocedural(model);
+    // Every production fn, in deterministic (file, fn) order.
+    let fn_ids: Vec<FnId> = files
+        .iter()
+        .enumerate()
+        .flat_map(|(fi, f)| {
+            f.as_ref()
+                .fns
+                .iter()
+                .enumerate()
+                .filter(|(_, func)| !func.in_test)
+                .map(move |(gi, _)| FnId {
+                    file: fi,
+                    fn_idx: gi,
+                })
+        })
+        .collect();
+
+    loop {
+        facts.rounds += 1;
+        let eval = |_chunk: usize, ids: &[FnId]| -> Vec<Update> {
+            let mut out = Vec::new();
+            for &id in ids {
+                evaluate(files, model, graph, &facts, id, &mut out);
+            }
+            out
+        };
+        let updates = if workers > 1 {
+            ts_core::par::parallel_map(&fn_ids, workers, eval)
+        } else {
+            eval(0, &fn_ids)
+        };
+        let mut changed = false;
+        for u in updates {
+            match u {
+                Update::Param(id, pos) => {
+                    changed |= facts.param_taint.entry(id).or_default().insert(pos);
+                }
+                Update::Return(name) => {
+                    changed |= facts.secret_fns.insert(name);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    facts
+}
+
+/// One fact discovered during a round, applied after the round completes.
+enum Update {
+    Param(FnId, usize),
+    Return(String),
+}
+
+/// Can a value of this type span carry key *bytes*? Interprocedural taint
+/// only flows through byte-carrying channels — `u8` buffers, `Ub` bignum
+/// limbs, secret types. Scalar projections (lengths, indexes, durations,
+/// counts) are public in this protocol, the same judgement the per-file
+/// `.len()` rule makes; propagating them would smear taint across every
+/// helper that takes a `usize`.
+fn carries_bytes(type_idents: &[String], model: &SecretModel) -> bool {
+    type_idents
+        .iter()
+        .any(|n| n == "u8" || n == "Ub" || model.secret_types.contains(n))
+}
+
+/// Evaluate one function against the current facts: find call sites whose
+/// arguments are tainted, and decide whether the return value is.
+fn evaluate<F: AsRef<FileIndex>>(
+    files: &[F],
+    model: &SecretModel,
+    graph: &CallGraph,
+    facts: &FlowFacts,
+    id: FnId,
+    out: &mut Vec<Update>,
+) {
+    let f = files[id.file].as_ref();
+    let func = &f.fns[id.fn_idx];
+    let toks = &f.tokens[func.body.0..func.body.1];
+    let env = seed_env(model, facts, id, func, toks);
+
+    for call in &graph.calls[id.file][id.fn_idx] {
+        let Some(target) = graph.resolve(&call.callee) else {
+            continue;
+        };
+        let params = &files[target.file].as_ref().fns[target.fn_idx].params;
+        for (pos, &(lo, hi)) in call.args.iter().enumerate() {
+            if pos >= params.len() {
+                break;
+            }
+            if !carries_bytes(&params[pos].1, model) {
+                continue;
+            }
+            if env.span_tainted(&f.tokens[lo..hi]) {
+                let already = facts
+                    .param_taint
+                    .get(&target)
+                    .is_some_and(|s| s.contains(&pos));
+                if !already {
+                    out.push(Update::Param(target, pos));
+                }
+            }
+        }
+    }
+
+    // Return taint: only for fns whose declared return type carries bytes,
+    // and only when the name resolves uniquely — otherwise the name-keyed
+    // secret_fns set would taint unrelated same-named calls.
+    if carries_bytes(&func.return_idents, model)
+        && !facts.secret_fns.contains(&func.name)
+        && graph.resolve(&func.name) == Some(id)
+        && returns_tainted(toks, &env)
+    {
+        out.push(Update::Return(func.name.clone()));
+    }
+}
+
+/// Build the taint environment for `func` under the current facts: the
+/// type/annotation-based parameter seeds, the flow-discovered parameter
+/// positions, and one forward binding pass.
+pub(crate) fn seed_env<'m>(
+    model: &'m SecretModel,
+    facts: &'m FlowFacts,
+    id: FnId,
+    func: &FnDef,
+    body: &[crate::lexer::Token],
+) -> TaintEnv<'m> {
+    let mut env = TaintEnv::new(model, &facts.secret_fns);
+    for (pos, (name, type_idents)) in func.params.iter().enumerate() {
+        let type_secret = func.annotated_secret
+            || type_idents
+                .iter()
+                .any(|n| model.direct_secret_types.contains(n));
+        let flow_secret = facts.param_taint.get(&id).is_some_and(|s| s.contains(&pos));
+        if type_secret || flow_secret {
+            env.idents.insert(name.clone());
+        }
+    }
+    collect_bindings(body, &mut env);
+    env
+}
+
+/// Does any `return expr` / tail expression mention tainted data?
+fn returns_tainted(toks: &[crate::lexer::Token], env: &TaintEnv<'_>) -> bool {
+    let mut i = 0usize;
+    let mut last_semi = 0usize; // start of the candidate tail expression
+    let mut depth = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident("return") {
+            // span to the next `;` / block end at this depth
+            let mut j = i + 1;
+            let mut d = 0usize;
+            while j < toks.len() {
+                let x = &toks[j];
+                if x.kind == TokKind::Punct {
+                    match x.text.as_str() {
+                        "(" | "[" | "{" => d += 1,
+                        ")" | "]" | "}" => {
+                            if d == 0 {
+                                break;
+                            }
+                            d -= 1;
+                        }
+                        ";" if d == 0 => break,
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            if env.span_tainted(&toks[i + 1..j]) {
+                return true;
+            }
+            i = j;
+            continue;
+        }
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                ";" if depth == 0 => last_semi = i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    last_semi < toks.len() && env.span_tainted(&toks[last_semi..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::config::Config;
+    use crate::index::scan_file;
+
+    fn facts_for(sources: &[(&str, &str)]) -> (Vec<FileIndex>, FlowFacts) {
+        let files: Vec<FileIndex> = sources.iter().map(|(p, s)| scan_file(p, s)).collect();
+        let model = SecretModel::build(&files, &Config::default());
+        let graph = CallGraph::build(&files);
+        let facts = solve(&files, &model, &graph, 1);
+        (files, facts)
+    }
+
+    #[test]
+    fn taint_crosses_two_hops() {
+        let (_, facts) = facts_for(&[
+            ("a.rs", "fn hop1(s: &Stek) { hop2(s.enc_key.to_vec()); }"),
+            ("b.rs", "fn hop2(data: Vec<u8>) { hop3(data); }"),
+            ("c.rs", "fn hop3(payload: Vec<u8>) { let _ = payload; }"),
+        ]);
+        assert_eq!(facts.param_taint.len(), 2, "{:?}", facts.param_taint);
+        assert!(facts.rounds >= 2);
+    }
+
+    #[test]
+    fn flow_discovers_secret_returns() {
+        let (_, facts) = facts_for(&[(
+            "a.rs",
+            "fn expose(s: &SessionState) -> Vec<u8> { s.master_secret.to_vec() }",
+        )]);
+        assert!(facts.secret_fns.contains("expose"));
+    }
+
+    #[test]
+    fn public_projections_do_not_propagate() {
+        let (_, facts) = facts_for(&[
+            ("a.rs", "fn hop1(s: &Stek) { hop2(s.enc_key.len()); }"),
+            ("b.rs", "fn hop2(n: usize) { let _ = n; }"),
+        ]);
+        assert!(facts.param_taint.is_empty(), "{:?}", facts.param_taint);
+    }
+
+    #[test]
+    fn ambiguous_callees_stay_clean() {
+        let (_, facts) = facts_for(&[
+            ("a.rs", "fn go(s: &Stek) { dup(s.enc_key.to_vec()); }"),
+            ("b.rs", "fn dup(x: Vec<u8>) { let _ = x; }"),
+            ("c.rs", "fn dup(y: Vec<u8>) { let _ = y; }"),
+        ]);
+        assert!(facts.param_taint.is_empty(), "{:?}", facts.param_taint);
+    }
+
+    #[test]
+    fn worker_counts_agree() {
+        let srcs: Vec<(String, String)> = (0..20)
+            .map(|i| {
+                (
+                    format!("f{i}.rs"),
+                    format!(
+                        "fn start{i}(s: &Stek) {{ relay{i}(s.enc_key.to_vec()); }}\n\
+                         fn relay{i}(d: Vec<u8>) -> Vec<u8> {{ d }}"
+                    ),
+                )
+            })
+            .collect();
+        let files: Vec<FileIndex> = srcs.iter().map(|(p, s)| scan_file(p, s)).collect();
+        let model = SecretModel::build(&files, &Config::default());
+        let graph = CallGraph::build(&files);
+        let a = solve(&files, &model, &graph, 1);
+        let b = solve(&files, &model, &graph, 8);
+        assert_eq!(a.param_taint, b.param_taint);
+        assert_eq!(a.secret_fns, b.secret_fns);
+    }
+}

@@ -21,6 +21,10 @@ pub struct TypeDef {
     pub is_struct: bool,
     /// Marked `// ctlint: secret` at the definition site.
     pub annotated_secret: bool,
+    /// Declared lifetime class from `// ctlint: lifetime(connection)` /
+    /// `lifetime(epoch)` / `lifetime(process)` — how long values of this
+    /// type are allowed to live (see [`crate::lifetime`]).
+    pub lifetime_class: Option<String>,
     /// Traits named in `#[derive(...)]` attributes.
     pub derives: Vec<String>,
     /// Named fields (empty for enums / tuple structs).
@@ -79,6 +83,23 @@ pub struct FnDef {
     pub body: (usize, usize),
     /// Inside `#[cfg(test)]` code.
     pub in_test: bool,
+    /// The `impl` block's type name when this is a method (`impl Foo {
+    /// fn … }` records `Foo`); `None` for free functions.
+    pub self_type: Option<String>,
+}
+
+/// One `unsafe { … }` block found in a function body.
+#[derive(Debug, Clone)]
+pub struct UnsafeBlock {
+    /// 1-based line of the `unsafe` keyword.
+    pub line: u32,
+    /// Half-open token range of the block body (inside the braces).
+    pub body: (usize, usize),
+    /// A `// SAFETY:` line comment immediately precedes the block or opens
+    /// its body.
+    pub has_safety_comment: bool,
+    /// Inside `#[cfg(test)]` code.
+    pub in_test: bool,
 }
 
 /// Everything extracted from one file.
@@ -94,6 +115,16 @@ pub struct FileIndex {
     pub impls: Vec<ImplDef>,
     /// Function items.
     pub fns: Vec<FnDef>,
+    /// `unsafe { … }` expression blocks (audited by the `unsafe-audit`
+    /// rule). `unsafe fn` *declarations* are deliberately not listed: their
+    /// obligations are discharged at call sites, which are unsafe blocks.
+    pub unsafe_blocks: Vec<UnsafeBlock>,
+}
+
+impl AsRef<FileIndex> for FileIndex {
+    fn as_ref(&self) -> &FileIndex {
+        self
+    }
 }
 
 /// Scan one file.
@@ -105,8 +136,54 @@ pub fn scan_file(path: &str, src: &str) -> FileIndex {
     };
     let end = tokens.len();
     scan_items(&tokens, 0, end, false, &mut idx);
+    idx.unsafe_blocks = find_unsafe_blocks(&tokens, &idx.fns);
     idx.tokens = tokens;
     idx
+}
+
+/// Locate every `unsafe { … }` expression block and whether it carries a
+/// `// SAFETY:` justification — either in the contiguous comment run
+/// directly above the `unsafe` keyword, or as a comment inside the block.
+fn find_unsafe_blocks(toks: &[Token], fns: &[FnDef]) -> Vec<UnsafeBlock> {
+    let is_safety = |t: &Token| {
+        t.kind == TokKind::LineComment
+            && t.text
+                .trim_start_matches(['/', '!'])
+                .trim_start()
+                .starts_with("SAFETY")
+    };
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("unsafe") || !toks.get(i + 1).is_some_and(|t| t.is_punct("{")) {
+            continue;
+        }
+        let close = matching(toks, i + 1, toks.len());
+        // The comment run directly above: walk back over consecutive
+        // line comments (a multi-line SAFETY comment is several tokens).
+        let mut justified = false;
+        let mut j = i;
+        while j > 0 && toks[j - 1].kind == TokKind::LineComment {
+            j -= 1;
+            if is_safety(&toks[j]) {
+                justified = true;
+                break;
+            }
+        }
+        // Or the justification opens the block body itself.
+        if !justified {
+            justified = toks[i + 2..close].iter().any(is_safety);
+        }
+        let in_test = fns
+            .iter()
+            .any(|f| f.in_test && f.body.0 <= i && i < f.body.1);
+        out.push(UnsafeBlock {
+            line: toks[i].line,
+            body: (i + 2, close),
+            has_safety_comment: justified,
+            in_test,
+        });
+    }
+    out
 }
 
 /// Find the index of the close delimiter matching the open one at `open`
@@ -155,8 +232,27 @@ fn skip_generics(toks: &[Token], mut i: usize, hi: usize) -> usize {
 struct Pending {
     secret: bool,
     public: bool,
+    lifetime: Option<String>,
     derives: Vec<String>,
     cfg_test: bool,
+}
+
+/// Parse one `ctlint:` directive body (`secret`, `public`,
+/// `lifetime(connection)`) into the pending context.
+fn read_ctlint_directive(rest: &str, pend: &mut Pending) {
+    let rest = rest.trim();
+    match rest {
+        "secret" => pend.secret = true,
+        "public" => pend.public = true,
+        _ => {
+            if let Some(class) = rest
+                .strip_prefix("lifetime(")
+                .and_then(|r| r.strip_suffix(')'))
+            {
+                pend.lifetime = Some(class.trim().to_string());
+            }
+        }
+    }
 }
 
 fn scan_items(toks: &[Token], lo: usize, hi: usize, in_test: bool, out: &mut FileIndex) {
@@ -179,11 +275,7 @@ fn scan_items_with_self(
             TokKind::LineComment => {
                 let txt = t.text.trim();
                 if let Some(rest) = txt.strip_prefix("ctlint:") {
-                    match rest.trim() {
-                        "secret" => pend.secret = true,
-                        "public" => pend.public = true,
-                        _ => {}
-                    }
+                    read_ctlint_directive(rest, &mut pend);
                 }
                 i += 1;
             }
@@ -298,6 +390,7 @@ fn scan_type_def(
         line: toks[kw].line,
         is_struct,
         annotated_secret: pend.secret,
+        lifetime_class: pend.lifetime.take(),
         derives: std::mem::take(&mut pend.derives),
         fields: Vec::new(),
         in_test,
@@ -374,8 +467,13 @@ fn scan_fields(toks: &[Token], lo: usize, hi: usize, def: &mut TypeDef) {
                         let tx = toks[i].text.as_str();
                         if toks[i].kind == TokKind::Punct {
                             match tx {
-                                "(" | "[" | "{" => depth += 1,
-                                ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                                // Generic arguments nest too: the comma in
+                                // `BTreeMap<Vec<u8>, Entry>` must not end
+                                // the field. `>>` closes two levels (the
+                                // lexer max-munches it into one token).
+                                "(" | "[" | "{" | "<" => depth += 1,
+                                ")" | "]" | "}" | ">" => depth = depth.saturating_sub(1),
+                                ">>" => depth = depth.saturating_sub(2),
                                 "," if depth == 0 => break,
                                 _ => {}
                             }
@@ -504,7 +602,7 @@ fn scan_fn(
     kw: usize,
     hi: usize,
     in_test: bool,
-    _self_type: Option<&str>,
+    self_type: Option<&str>,
     pend: &mut Pending,
     out: &mut FileIndex,
 ) -> usize {
@@ -582,6 +680,7 @@ fn scan_fn(
         return_idents,
         body,
         in_test: in_test || pend.cfg_test,
+        self_type: self_type.map(|s| s.to_string()),
     });
     *pend = Pending::default();
     next
@@ -769,6 +868,24 @@ mod tests {
                 .unwrap()
                 .in_test
         );
+    }
+
+    #[test]
+    fn field_types_span_commas_inside_generics() {
+        // The comma in `BTreeMap<K, V>` separates generic arguments, not
+        // fields — `CacheEntry` must stay in the first field's type, and
+        // nested `Vec<Vec<u8>>` (lexed with one `>>` token) must close.
+        let src = "struct Cache {\n\
+                   entries: BTreeMap<Vec<u8>, CacheEntry>,\n\
+                   rows: Vec<Vec<u8>>,\n\
+                   n: usize,\n\
+                   }";
+        let idx = scan_file("t.rs", src);
+        let t = &idx.types[0];
+        assert_eq!(t.fields.len(), 3, "{:?}", t.fields);
+        assert!(t.fields[0].type_idents.contains(&"CacheEntry".to_string()));
+        assert!(t.fields[1].byteish);
+        assert_eq!(t.fields[2].name, "n");
     }
 
     #[test]

@@ -181,6 +181,13 @@ impl Lexer {
                 hashes += 1;
             }
             match self.peek(look + hashes) {
+                Some('"') if c == 'b' && look == 1 && hashes == 0 => {
+                    // `b"…"` is an *escaped* byte string, not a raw one:
+                    // `b"\""` must not terminate at the escaped quote, or
+                    // the rest of the file lexes shifted by one string.
+                    self.bump(); // b
+                    return self.string('"', line);
+                }
                 Some('"') => {
                     // consume prefix
                     for _ in 0..(look + hashes + 1) {
@@ -445,5 +452,63 @@ mod tests {
         for src in ["\"abc", "'a", "/* never closed", "r#\"open", "b'", "'"] {
             let _ = lex(src);
         }
+    }
+
+    // --- tokenization edge cases that would corrupt call-graph edges ----
+
+    #[test]
+    fn byte_string_escaped_quote_does_not_shift_the_stream() {
+        // Regression: `b"…"` used to lex as a *raw* string, so the escaped
+        // quote terminated it early and every later token — including call
+        // sites — came out of a phantom string context.
+        let toks = kinds(r#"let s = b"a\"b"; leak_key(s);"#);
+        assert!(toks.contains(&(TokKind::Str, "\"a\\\"b\"".into())));
+        assert!(toks.contains(&(TokKind::Ident, "leak_key".into())));
+        let parens = toks
+            .iter()
+            .filter(|(k, t)| *k == TokKind::Punct && t == "(")
+            .count();
+        assert_eq!(parens, 1, "{toks:?}");
+    }
+
+    #[test]
+    fn raw_string_containing_code_produces_no_phantom_tokens() {
+        // `fn`/idents inside a raw string must stay inside the Str token —
+        // otherwise the item scanner would see a phantom function item and
+        // the call graph would grow edges from string contents.
+        let toks = kinds(r###"let t = r#"fn fake() { phantom(); }"#; real();"###);
+        assert!(!toks.contains(&(TokKind::Ident, "phantom".into())));
+        assert!(toks.contains(&(TokKind::Ident, "real".into())));
+    }
+
+    #[test]
+    fn nested_block_comment_containing_code_is_fully_dropped() {
+        let toks = kinds("a(); /* fn ghost() { /* nested */ call(); } */ b();");
+        assert!(!toks.iter().any(|(_, t)| t == "ghost" || t == "call"));
+        assert!(toks.contains(&(TokKind::Ident, "a".into())));
+        assert!(toks.contains(&(TokKind::Ident, "b".into())));
+    }
+
+    #[test]
+    fn lifetime_ticks_do_not_swallow_following_tokens() {
+        // `'a` in generics must lex as a lifetime and leave `>`/idents
+        // intact; `'a'` stays a char literal. A confusion here would make
+        // the param parser mis-split and drop call-graph edges.
+        let toks = kinds("fn f<'a>(x: &'a [u8]) { g(x, 'a', '\\u{1}') }");
+        assert!(toks.contains(&(TokKind::Lifetime, "a".into())));
+        assert!(toks.contains(&(TokKind::Ident, "g".into())));
+        assert!(toks.contains(&(TokKind::Char, "'a'".into())));
+        let gts = toks
+            .iter()
+            .filter(|(k, t)| *k == TokKind::Punct && t == ">")
+            .count();
+        assert_eq!(gts, 1, "{toks:?}");
+    }
+
+    #[test]
+    fn label_and_static_lifetimes() {
+        let toks = kinds("'outer: loop { break 'outer; } let s: &'static str = x;");
+        assert!(toks.contains(&(TokKind::Lifetime, "outer".into())));
+        assert!(toks.contains(&(TokKind::Lifetime, "static".into())));
     }
 }

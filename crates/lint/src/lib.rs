@@ -15,7 +15,19 @@
 //!
 //! Secret marking combines a seed list of type names with `// ctlint:
 //! secret` / `// ctlint: public` annotations in source; taint propagates
-//! through struct fields and function signatures (see [`rules`]).
+//! through struct fields and function signatures (see [`rules`]) — and,
+//! interprocedurally, through call-site arguments and return values via a
+//! workspace call graph and fixed-point flow facts (see [`callgraph`] and
+//! [`flow`]). Three further families ride on those facts:
+//!
+//! * **`secret-lifetime`** — ephemeral key material stored into a type
+//!   whose `// ctlint: lifetime(connection|epoch|process)` class is
+//!   longer than the material's own (see [`lifetime`]); the crypto
+//!   shortcuts the paper measures, made visible in source,
+//! * **`wipe-on-all-paths`** — an explicit wipe that a `?`/`return`
+//!   between binding and wipe can skip,
+//! * **`unsafe-audit`** — `unsafe` blocks without a `// SAFETY:` comment,
+//!   or reading secret-tainted data.
 //!
 //! A second family guards the repro's *determinism* claim — that every
 //! table, figure, and `--telemetry-json` snapshot is a pure function of
@@ -30,22 +42,32 @@
 //! 8. **`unordered-reduction`** — mutating captured state from inside a
 //!    `parallel_map` closure (worker-order dependent).
 //!
-//! Deliberate exceptions (the AES S-box, the telemetry wall timers) live
-//! in `ctlint.toml` at the workspace root — hygiene waivers under
-//! `[[allow]]`, determinism waivers under `[[determinism]]`; every entry
-//! needs a reason and must keep matching a real finding or the lint fails.
+//! Deliberate exceptions (the AES S-box, the telemetry wall timers, the
+//! measured crypto-shortcut windows) live in `ctlint.toml` at the
+//! workspace root — hygiene waivers under `[[allow]]`, determinism waivers
+//! under `[[determinism]]`, lifetime waivers under `[[lifetime]]`; every
+//! entry needs a reason and must keep matching a real finding or the lint
+//! fails.
 //!
-//! Run it as `cargo run -p ts-lint` or, enforced, via the root-package
-//! integration test `tests/lint_clean.rs`.
+//! Scanning runs through the parallel incremental [`driver`]: parse
+//! results are cached by content hash and fan out over
+//! `ts_core::par::parallel_map`, with byte-identical output at any worker
+//! count. Run it as `cargo run -p ts-lint` (`--workers N`,
+//! `--telemetry-json PATH`) or, enforced, via the root-package integration
+//! test `tests/lint_clean.rs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod config;
 pub mod determinism;
 pub mod diag;
+pub mod driver;
+pub mod flow;
 pub mod index;
 pub mod lexer;
+pub mod lifetime;
 pub mod rules;
 
 use std::path::{Path, PathBuf};
@@ -56,34 +78,43 @@ pub use diag::{Diagnostic, Report, Rule, RuleFamily};
 /// Analyze in-memory sources (used by fixture tests). Applies the
 /// allowlist from `config` and reports stale entries.
 pub fn analyze_sources(files: &[(String, String)], config: &Config) -> Report {
-    let indexes: Vec<_> = files
-        .iter()
-        .map(|(path, src)| index::scan_file(path, src))
-        .collect();
-    let raw = rules::analyze(&indexes, config);
+    analyze_sources_with_workers(files, config, 1)
+}
+
+/// [`analyze_sources`] with an explicit worker count. The report is
+/// byte-identical at every worker count; workers only change wall time.
+pub fn analyze_sources_with_workers(
+    files: &[(String, String)],
+    config: &Config,
+    workers: usize,
+) -> Report {
+    let indexes = driver::index_files(files, workers);
+    let raw = rules::analyze_with_workers(&indexes, config, workers);
     apply_allowlist(raw, config, files.len())
 }
 
 /// Analyze every production `.rs` file under `root`, honouring
-/// `root/ctlint.toml` if present.
+/// `root/ctlint.toml` if present. Uses the default worker count.
 ///
 /// Skipped trees: `target/`, VCS metadata, `tests/` and `benches/`
 /// directories (test code legitimately compares and prints secrets — the
 /// same exemption `#[cfg(test)]` modules get), and the lint's own
 /// `tests/fixtures/` corpus of deliberately-bad snippets.
 pub fn check_workspace(root: &Path) -> Result<Report, ConfigError> {
+    check_workspace_with_workers(root, ts_core::par::default_workers())
+}
+
+/// [`check_workspace`] with an explicit worker count.
+pub fn check_workspace_with_workers(root: &Path, workers: usize) -> Result<Report, ConfigError> {
     let (files, config) = load_workspace(root)?;
-    Ok(analyze_sources(&files, &config))
+    Ok(analyze_sources_with_workers(&files, &config, workers))
 }
 
 /// The secret model the analyzer would use for `root` — what `ts-lint
 /// --model` prints. Lets a developer see *why* an identifier is tainted.
 pub fn workspace_model(root: &Path) -> Result<rules::SecretModel, ConfigError> {
     let (files, config) = load_workspace(root)?;
-    let indexes: Vec<_> = files
-        .iter()
-        .map(|(path, src)| index::scan_file(path, src))
-        .collect();
+    let indexes = driver::index_files(&files, 1);
     Ok(rules::SecretModel::build(&indexes, &config))
 }
 
@@ -93,10 +124,7 @@ pub fn workspace_determinism_model(
     root: &Path,
 ) -> Result<determinism::DeterminismModel, ConfigError> {
     let (files, _config) = load_workspace(root)?;
-    let indexes: Vec<_> = files
-        .iter()
-        .map(|(path, src)| index::scan_file(path, src))
-        .collect();
+    let indexes = driver::index_files(&files, 1);
     Ok(determinism::DeterminismModel::build(&indexes))
 }
 

@@ -1,0 +1,514 @@
+//! The `secret-lifetime` rule: crypto-shortcut lifetime classes.
+//!
+//! The paper's core observation is that performance shortcuts *extend the
+//! lifetime of key material*: a session ticket key that outlives its
+//! rotation epoch, a cached session secret that outlives its connection, a
+//! Diffie-Hellman exponent reused across handshakes. This rule makes those
+//! windows explicit in source. A type declares how long its values may
+//! live with an annotation above the definition:
+//!
+//! ```text
+//! // ctlint: lifetime(epoch)
+//! pub struct Stek { … }
+//! ```
+//!
+//! The classes are ordered `connection < epoch < process`. Secret types
+//! without an annotation default to `connection` — key material is
+//! per-connection unless something says otherwise. The rule fires when a
+//! type whose declared class is *longer* stores material of a *shorter*
+//! class:
+//!
+//! * **declaration site** — an annotated container has a field whose type
+//!   is shorter-lived (`SessionState` inside a `lifetime(process)` cache);
+//! * **store site** — a method of an annotated type moves a shorter-lived
+//!   parameter or local into `self` (an `insert`/`push`/assignment), or a
+//!   constructor packs one into the struct literal.
+//!
+//! Every finding marks a deliberate crypto shortcut (the thing this repo
+//! exists to measure) or a bug; the deliberate ones carry `[[lifetime]]`
+//! waivers in `ctlint.toml` whose reasons cite the measured window.
+
+use std::collections::BTreeMap;
+
+use crate::diag::{Diagnostic, Rule};
+use crate::index::{matching, FileIndex, FnDef};
+use crate::lexer::{TokKind, Token};
+use crate::rules::{is_keyword, SecretModel};
+
+/// How long values of a type are allowed to live, ordered shortest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LifetimeClass {
+    /// Dies with the TLS connection (keys, per-handshake secrets).
+    Connection,
+    /// Dies at a rotation epoch (STEKs, resumption windows).
+    Epoch,
+    /// Lives as long as the process (caches, managers, global state).
+    Process,
+}
+
+impl LifetimeClass {
+    /// Parse an annotation body (`connection` / `epoch` / `process`).
+    pub fn parse(s: &str) -> Option<LifetimeClass> {
+        match s {
+            "connection" => Some(LifetimeClass::Connection),
+            "epoch" => Some(LifetimeClass::Epoch),
+            "process" => Some(LifetimeClass::Process),
+            _ => None,
+        }
+    }
+
+    /// The annotation spelling of this class.
+    pub fn name(self) -> &'static str {
+        match self {
+            LifetimeClass::Connection => "connection",
+            LifetimeClass::Epoch => "epoch",
+            LifetimeClass::Process => "process",
+        }
+    }
+}
+
+/// Verbs that move an argument into the receiver's storage.
+const STORE_CALLS: &[&str] = &[
+    "insert",
+    "push",
+    "push_front",
+    "push_back",
+    "extend",
+    "replace",
+    "store",
+];
+
+/// The workspace lifetime-class map, from explicit annotations.
+pub struct LifetimeModel {
+    /// Types carrying `// ctlint: lifetime(…)`, by name.
+    pub declared: BTreeMap<String, LifetimeClass>,
+}
+
+impl LifetimeModel {
+    /// Collect every explicitly annotated production type.
+    pub fn build<F: AsRef<FileIndex>>(files: &[F]) -> LifetimeModel {
+        let mut declared = BTreeMap::new();
+        for f in files {
+            for t in &f.as_ref().types {
+                if t.in_test {
+                    continue;
+                }
+                if let Some(c) = t.lifetime_class.as_deref().and_then(LifetimeClass::parse) {
+                    declared.insert(t.name.clone(), c);
+                }
+            }
+        }
+        LifetimeModel { declared }
+    }
+
+    /// The class of type `name`: its annotation if present, else
+    /// `connection` for secret types (key material is per-connection by
+    /// default), else none — public types carry no class at all.
+    pub fn class_of(&self, name: &str, model: &SecretModel) -> Option<LifetimeClass> {
+        if let Some(c) = self.declared.get(name) {
+            return Some(*c);
+        }
+        if model.secret_types.contains(name) {
+            return Some(LifetimeClass::Connection);
+        }
+        None
+    }
+
+    /// The shortest class named by any identifier in a type span (a
+    /// `Vec<Stek>` is epoch-classed through `Stek`).
+    fn span_class(&self, idents: &[String], model: &SecretModel) -> Option<LifetimeClass> {
+        idents.iter().filter_map(|n| self.class_of(n, model)).min()
+    }
+}
+
+/// Declaration-site check for one file: annotated containers must not
+/// declare fields of a shorter class.
+pub fn check_decls(
+    f: &FileIndex,
+    model: &SecretModel,
+    ltm: &LifetimeModel,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for t in &f.types {
+        if t.in_test {
+            continue;
+        }
+        let Some(container) = ltm.declared.get(&t.name).copied() else {
+            continue;
+        };
+        for fd in &t.fields {
+            if fd.annotated_public {
+                continue;
+            }
+            let Some(cls) = ltm.span_class(&fd.type_idents, model) else {
+                continue;
+            };
+            if cls < container {
+                diags.push(Diagnostic {
+                    rule: Rule::SecretLifetime,
+                    file: f.path.clone(),
+                    line: t.line,
+                    ident: fd.name.clone(),
+                    message: format!(
+                        "field `{}` of `{}` holds {}-lifetime secret material but the \
+                         container is declared lifetime({}); the shortcut extends the \
+                         key's exposure window — shorten the container's class, \
+                         re-derive per {}, or waive under [[lifetime]] with the \
+                         measured window as the reason",
+                        fd.name,
+                        t.name,
+                        cls.name(),
+                        container.name(),
+                        cls.name(),
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Store-site check for one function: a method of an annotated type moving
+/// shorter-lived material into `self` (store verbs, struct literals, field
+/// assignment).
+pub fn check_stores(
+    f: &FileIndex,
+    func: &FnDef,
+    model: &SecretModel,
+    ltm: &LifetimeModel,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let Some(self_ty) = func.self_type.as_deref() else {
+        return;
+    };
+    let Some(container) = ltm.declared.get(self_ty).copied() else {
+        return;
+    };
+    let toks = &f.tokens[func.body.0..func.body.1];
+
+    // Shorter-lived values in scope: parameters of a shorter class, then
+    // `let` bindings whose initialiser mentions a shorter-classed type or
+    // an already-short binding (one forward pass — bindings precede uses).
+    let mut short: BTreeMap<String, LifetimeClass> = BTreeMap::new();
+    for (name, type_idents) in &func.params {
+        if let Some(c) = ltm.span_class(type_idents, model) {
+            if c < container {
+                short.insert(name.clone(), c);
+            }
+        }
+    }
+    collect_short_bindings(toks, model, ltm, container, &mut short);
+    if short.is_empty() {
+        return;
+    }
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        // `self.…….verb(args)` — a store verb whose receiver chain roots
+        // at `self`.
+        if t.kind == TokKind::Ident
+            && STORE_CALLS.contains(&t.text.as_str())
+            && i > 0
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+        {
+            let mut j = i - 1; // at the `.` before the verb
+            while j >= 2 && toks[j - 1].kind == TokKind::Ident && toks[j - 2].is_punct(".") {
+                j -= 2;
+            }
+            let rooted_at_self = j >= 1 && toks[j - 1].is_ident("self");
+            let close = matching(toks, i + 1, toks.len());
+            if rooted_at_self {
+                if let Some((name, cls)) = first_short(&toks[i + 2..close], &short) {
+                    diags.push(store_diag(
+                        f,
+                        toks[i].line,
+                        &name,
+                        cls,
+                        self_ty,
+                        container,
+                        &format!("`.{}(…)` stores it into `self`", t.text),
+                    ));
+                    i = close + 1;
+                    continue;
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // `TypeName { … }` / `Self { … }` constructor literal.
+        if t.kind == TokKind::Ident
+            && (t.text == self_ty || t.text == "Self")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("{"))
+            && !(i > 0
+                && (toks[i - 1].is_ident("struct")
+                    || toks[i - 1].is_ident("impl")
+                    || toks[i - 1].is_ident("for")))
+        {
+            let close = matching(toks, i + 1, toks.len());
+            if let Some((name, cls)) = first_short(&toks[i + 2..close], &short) {
+                diags.push(store_diag(
+                    f,
+                    toks[i].line,
+                    &name,
+                    cls,
+                    self_ty,
+                    container,
+                    "the constructor literal packs it into the value",
+                ));
+            }
+            i = close + 1;
+            continue;
+        }
+        // `self.field = <expr>;`
+        if t.is_punct("=")
+            && i >= 3
+            && toks[i - 1].kind == TokKind::Ident
+            && toks[i - 2].is_punct(".")
+            && toks[i - 3].is_ident("self")
+        {
+            let mut end = i + 1;
+            let mut depth = 0usize;
+            while end < toks.len() {
+                let x = &toks[end];
+                if x.kind == TokKind::Punct {
+                    match x.text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => {
+                            if depth == 0 {
+                                break;
+                            }
+                            depth -= 1;
+                        }
+                        ";" if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                end += 1;
+            }
+            if let Some((name, cls)) = first_short(&toks[i + 1..end], &short) {
+                diags.push(store_diag(
+                    f,
+                    toks[i].line,
+                    &name,
+                    cls,
+                    self_ty,
+                    container,
+                    &format!("it is assigned to `self.{}`", toks[i - 1].text),
+                ));
+            }
+            i = end + 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// One forward pass adding `let` bindings whose initialiser mentions a
+/// shorter-classed type name or an already-short binding.
+fn collect_short_bindings(
+    toks: &[Token],
+    model: &SecretModel,
+    ltm: &LifetimeModel,
+    container: LifetimeClass,
+    short: &mut BTreeMap<String, LifetimeClass>,
+) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        // pattern … = initialiser ;   (depth-0 `=` and `;`)
+        let mut j = i + 1;
+        let mut depth = 0usize;
+        let mut eq = None;
+        while j < toks.len() {
+            let x = &toks[j];
+            if x.kind == TokKind::Punct {
+                match x.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    "=" if depth == 0 => {
+                        eq = Some(j);
+                        break;
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let Some(eq) = eq else {
+            i = j + 1;
+            continue;
+        };
+        let mut end = eq + 1;
+        let mut depth = 0usize;
+        while end < toks.len() {
+            let x = &toks[end];
+            if x.kind == TokKind::Punct {
+                match x.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            end += 1;
+        }
+        let cls = toks[eq + 1..end]
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .filter_map(|t| {
+                ltm.class_of(&t.text, model)
+                    .or_else(|| short.get(&t.text).copied())
+            })
+            .min();
+        if let Some(cls) = cls {
+            if cls < container {
+                for x in &toks[i + 1..eq] {
+                    if x.is_punct(":") {
+                        break;
+                    }
+                    if x.kind == TokKind::Ident
+                        && !matches!(x.text.as_str(), "mut" | "ref" | "_" | "box")
+                        && !x.text.starts_with(char::is_uppercase)
+                    {
+                        short.insert(x.text.clone(), cls);
+                    }
+                }
+            }
+        }
+        i = eq + 1;
+    }
+}
+
+/// The first shorter-lived binding mentioned in a span (projections
+/// through `.len()` etc. do not matter here: storing any handle to the
+/// value extends its life).
+fn first_short(
+    toks: &[Token],
+    short: &BTreeMap<String, LifetimeClass>,
+) -> Option<(String, LifetimeClass)> {
+    for (p, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || is_keyword(&t.text) {
+            continue;
+        }
+        if p > 0 && toks[p - 1].is_punct(".") {
+            continue; // field/method name, not a binding mention
+        }
+        if let Some(c) = short.get(&t.text) {
+            return Some((t.text.clone(), *c));
+        }
+    }
+    None
+}
+
+fn store_diag(
+    f: &FileIndex,
+    line: u32,
+    name: &str,
+    cls: LifetimeClass,
+    self_ty: &str,
+    container: LifetimeClass,
+    how: &str,
+) -> Diagnostic {
+    Diagnostic {
+        rule: Rule::SecretLifetime,
+        file: f.path.clone(),
+        line,
+        ident: name.to_string(),
+        message: format!(
+            "{}-lifetime `{}` outlives its class: {} and `{}` is declared \
+             lifetime({}); the shortcut keeps the secret alive past its \
+             window — wipe and re-derive instead, or waive under [[lifetime]]",
+            cls.name(),
+            name,
+            how,
+            self_ty,
+            container.name(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::diag::Rule;
+    use crate::index::scan_file;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let idx = scan_file("fix.rs", src);
+        crate::rules::analyze(&[idx], &Config::default())
+            .into_iter()
+            .filter(|d| d.rule == Rule::SecretLifetime)
+            .collect()
+    }
+
+    #[test]
+    fn class_ordering() {
+        assert!(LifetimeClass::Connection < LifetimeClass::Epoch);
+        assert!(LifetimeClass::Epoch < LifetimeClass::Process);
+        assert_eq!(LifetimeClass::parse("epoch"), Some(LifetimeClass::Epoch));
+        assert_eq!(LifetimeClass::parse("forever"), None);
+    }
+
+    #[test]
+    fn decl_site_fires_on_shorter_field() {
+        let d = run("// ctlint: lifetime(process)\nstruct Cache { held: Vec<SessionState> }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].ident, "held");
+    }
+
+    #[test]
+    fn equal_or_no_class_is_clean() {
+        let d = run(
+            "// ctlint: lifetime(process)\nstruct Cache { counts: Vec<u64> }\n\
+             // ctlint: lifetime(connection)\nstruct Conn { keys: Option<ConnectionKeys> }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn store_site_fires_on_insert_of_param() {
+        let d = run(
+            "// ctlint: lifetime(process)\nstruct Cache { slots: Vec<u64> }\n\
+             impl Cache { fn put(&mut self, state: SessionState) { \
+             self.slots.push(hash(state)); } }",
+        );
+        assert!(d.iter().any(|x| x.ident == "state"), "{d:?}");
+    }
+
+    #[test]
+    fn store_site_tracks_local_bindings_into_literals() {
+        let d = run("// ctlint: lifetime(epoch)\nstruct Stek { k: [u8; 16] }\n\
+             impl Drop for Stek { fn drop(&mut self) {} }\n\
+             // ctlint: lifetime(process)\nstruct Mgr { id: u64 }\n\
+             impl Mgr { fn new() -> Mgr { let active = Stek { k: [0; 16] }; \
+             let held = prepare(active); Mgr { id: held } } }");
+        assert!(
+            d.iter().any(|x| x.ident == "held" || x.ident == "active"),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn unannotated_methods_are_clean() {
+        let d = run("struct Plain { slots: Vec<u64> }\n\
+             impl Plain { fn put(&mut self, state: SessionState) { \
+             self.slots.push(hash(state)); } }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -3,6 +3,11 @@
 //! Prints every finding (and stale allowlist entry) and exits non-zero if
 //! the workspace is not clean — the same check `tests/lint_clean.rs`
 //! enforces from `cargo test`.
+//!
+//! Flags: `--model` dumps the inferred secret/hash models instead of
+//! linting; `--workers N` sets the analysis worker count (output is
+//! byte-identical at any N); `--telemetry-json PATH` writes the
+//! `crypto.lint.*` cost counters as a deterministic JSON snapshot.
 
 // The CLI's whole job is printing the report.
 #![allow(clippy::print_stdout)]
@@ -10,10 +15,26 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// Pull the value of a `--flag VALUE` pair out of `args`, if present.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let at = args.iter().position(|a| a == flag)?;
+    if at + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(at + 1);
+    args.remove(at);
+    Some(value)
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let dump_model = args.iter().any(|a| a == "--model");
     args.retain(|a| a != "--model");
+    let workers = take_value(&mut args, "--workers")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(ts_core::par::default_workers)
+        .max(1);
+    let telemetry_json = take_value(&mut args, "--telemetry-json").map(PathBuf::from);
     let root = args.first().map(PathBuf::from).unwrap_or_else(|| {
         // Default to the workspace root when run via `cargo run -p ts-lint`.
         let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
@@ -55,7 +76,7 @@ fn main() -> ExitCode {
             }
         };
     }
-    match ts_lint::check_workspace(&root) {
+    let code = match ts_lint::check_workspace_with_workers(&root, workers) {
         Ok(report) => {
             print!("{}", report.render());
             if report.is_clean() {
@@ -68,5 +89,15 @@ fn main() -> ExitCode {
             println!("config error: {e}");
             ExitCode::FAILURE
         }
+    };
+    if let Some(path) = telemetry_json {
+        // The deterministic form (no wall-clock fields): scan cost counters
+        // (`crypto.lint.*`) for CI artifacts and regression tracking.
+        let text = ts_telemetry::snapshot().to_json(false).to_json_string();
+        if let Err(e) = std::fs::write(&path, text) {
+            println!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
     }
+    code
 }

@@ -1,4 +1,4 @@
-//! The five secret-hygiene rules, plus the taint model they share.
+//! The secret-hygiene rules, plus the taint model they share.
 //!
 //! ## Taint model
 //!
@@ -16,6 +16,13 @@
 //! Calls to secret-returning functions (configured names, annotated `fn`s,
 //! and anything returning a secret type) taint their result.
 //!
+//! On top of the per-function pass, the interprocedural facts from
+//! [`crate::flow`] seed extra taint: parameters that receive tainted
+//! arguments at some resolved call site elsewhere in the workspace, and
+//! functions whose returns were observed to carry secrets. That is what
+//! catches a master secret laundered through two innocently-typed helper
+//! hops into a telemetry sink.
+//!
 //! `.len()` / `.is_empty()` projections de-taint: lengths of secrets are
 //! public in this protocol (TLS key sizes are fixed by the cipher suite).
 //!
@@ -24,10 +31,13 @@
 
 use std::collections::{BTreeSet, HashSet};
 
+use crate::callgraph::{CallGraph, FnId};
 use crate::config::Config;
 use crate::diag::{Diagnostic, Rule};
+use crate::flow::FlowFacts;
 use crate::index::{matching, FileIndex, FnDef};
 use crate::lexer::{TokKind, Token};
+use crate::lifetime::LifetimeModel;
 
 /// Formatter-family macros whose arguments must never mention a secret.
 const FMT_MACROS: &[&str] = &[
@@ -78,11 +88,11 @@ pub struct SecretModel {
 
 impl SecretModel {
     /// Build the model: seed lists, annotations, then field-type fixpoint.
-    pub fn build(files: &[FileIndex], config: &Config) -> SecretModel {
+    pub fn build<F: AsRef<FileIndex>>(files: &[F], config: &Config) -> SecretModel {
         let mut secret: BTreeSet<String> = config.secret_types.iter().cloned().collect();
         let mut direct = secret.clone();
         for f in files {
-            for t in &f.types {
+            for t in &f.as_ref().types {
                 if t.annotated_secret && !t.in_test {
                     secret.insert(t.name.clone());
                     direct.insert(t.name.clone());
@@ -95,7 +105,7 @@ impl SecretModel {
         loop {
             let mut changed = false;
             for f in files {
-                for t in &f.types {
+                for t in &f.as_ref().types {
                     if t.in_test || secret.contains(&t.name) {
                         continue;
                     }
@@ -118,7 +128,7 @@ impl SecretModel {
         let mut fields = BTreeSet::new();
         let mut public_fields = BTreeSet::new();
         for f in files {
-            for t in &f.types {
+            for t in &f.as_ref().types {
                 if t.in_test || !secret.contains(&t.name) {
                     continue;
                 }
@@ -136,7 +146,7 @@ impl SecretModel {
         // Secret-returning functions.
         let mut fns: BTreeSet<String> = config.secret_fns.iter().cloned().collect();
         for f in files {
-            for func in &f.fns {
+            for func in &f.as_ref().fns {
                 if func.in_test {
                     continue;
                 }
@@ -158,14 +168,29 @@ impl SecretModel {
 
 /// Run all rules over the indexed files. Returns raw (pre-allowlist)
 /// diagnostics sorted by file/line.
-pub fn analyze(files: &[FileIndex], config: &Config) -> Vec<Diagnostic> {
+pub fn analyze<F: AsRef<FileIndex> + Sync>(files: &[F], config: &Config) -> Vec<Diagnostic> {
+    analyze_with_workers(files, config, 1)
+}
+
+/// [`analyze`] with an explicit worker count for the interprocedural
+/// fixpoint and the per-file rule pass. The output is byte-identical at
+/// every worker count: parallel stages return values re-assembled in
+/// chunk order, and the flow rounds are Jacobi-synchronous.
+pub fn analyze_with_workers<F: AsRef<FileIndex> + Sync>(
+    files: &[F],
+    config: &Config,
+    workers: usize,
+) -> Vec<Diagnostic> {
     let model = SecretModel::build(files, config);
-    let mut diags = Vec::new();
+    let graph = CallGraph::build(files);
+    let facts = crate::flow::solve(files, &model, &graph, workers);
+    crate::driver::TAINT_ROUNDS.add(facts.rounds);
+    let ltm = LifetimeModel::build(files);
 
     // Which types have a wipe story (Drop or Wipe impl anywhere)?
     let mut wiped: HashSet<&str> = HashSet::new();
     for f in files {
-        for im in &f.impls {
+        for im in &f.as_ref().impls {
             if let Some(tr) = &im.trait_name {
                 if tr == "Drop" || tr == "Wipe" {
                     wiped.insert(im.type_name.as_str());
@@ -174,7 +199,43 @@ pub fn analyze(files: &[FileIndex], config: &Config) -> Vec<Diagnostic> {
         }
     }
 
-    for f in files {
+    let ids: Vec<usize> = (0..files.len()).collect();
+    let scan = |_chunk: usize, chunk_ids: &[usize]| -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for &fi in chunk_ids {
+            check_file(files, fi, &model, &facts, &ltm, &wiped, &mut out);
+        }
+        out
+    };
+    let mut diags = if workers > 1 {
+        ts_core::par::parallel_map(&ids, workers, scan)
+    } else {
+        scan(0, &ids)
+    };
+
+    // The determinism family shares the indexes but has its own model
+    // (hash-collection fields/fns instead of secrets).
+    crate::determinism::check(files, &mut diags);
+
+    diags.sort_by(|a, b| {
+        (&a.file, a.line, a.rule.id(), &a.ident).cmp(&(&b.file, b.line, b.rule.id(), &b.ident))
+    });
+    diags.dedup();
+    diags
+}
+
+/// Run every per-file rule over `files[fi]`.
+fn check_file<F: AsRef<FileIndex>>(
+    files: &[F],
+    fi: usize,
+    model: &SecretModel,
+    facts: &FlowFacts,
+    ltm: &LifetimeModel,
+    wiped: &HashSet<&str>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let f = files[fi].as_ref();
+    {
         // Rule: secret-leak via derives, and missing-wipe on definitions.
         for t in &f.types {
             if t.in_test || !model.secret_types.contains(&t.name) {
@@ -238,43 +299,68 @@ pub fn analyze(files: &[FileIndex], config: &Config) -> Vec<Diagnostic> {
                 });
             }
         }
+        // Rule: secret-lifetime at declaration sites.
+        crate::lifetime::check_decls(f, model, ltm, diags);
+        // Rule: unsafe-audit — missing `// SAFETY:` justification.
+        for ub in &f.unsafe_blocks {
+            if !ub.in_test && !ub.has_safety_comment {
+                diags.push(Diagnostic {
+                    rule: Rule::UnsafeAudit,
+                    file: f.path.clone(),
+                    line: ub.line,
+                    ident: "unsafe".to_string(),
+                    message: "unsafe block has no `// SAFETY:` comment; every unsafe \
+                              block must state the invariant that makes it sound"
+                        .to_string(),
+                });
+            }
+        }
         // Body rules.
-        for func in &f.fns {
+        for (gi, func) in f.fns.iter().enumerate() {
             if func.in_test {
                 continue;
             }
-            analyze_body(f, func, &model, &mut diags);
+            let id = FnId {
+                file: fi,
+                fn_idx: gi,
+            };
+            analyze_body(f, func, id, model, facts, ltm, diags);
         }
     }
-
-    // The determinism family shares the indexes but has its own model
-    // (hash-collection fields/fns instead of secrets).
-    crate::determinism::check(files, &mut diags);
-
-    diags.sort_by(|a, b| {
-        (&a.file, a.line, a.rule.id(), &a.ident).cmp(&(&b.file, b.line, b.rule.id(), &b.ident))
-    });
-    diags.dedup();
-    diags
 }
 
 /// Per-function taint environment.
-struct TaintEnv<'m> {
-    idents: HashSet<String>,
-    model: &'m SecretModel,
+pub(crate) struct TaintEnv<'m> {
+    /// Tainted local bindings (seeded parameters plus `let`/`for` flow).
+    pub(crate) idents: HashSet<String>,
+    /// The workspace secret model.
+    pub(crate) model: &'m SecretModel,
+    /// Secret-returning function names — the model's set, possibly
+    /// extended with flow-discovered ones (see [`crate::flow`]).
+    secret_fns: &'m BTreeSet<String>,
 }
 
-impl TaintEnv<'_> {
+impl<'m> TaintEnv<'m> {
+    /// An environment with no tainted bindings yet, judging call results
+    /// against `secret_fns`.
+    pub(crate) fn new(model: &'m SecretModel, secret_fns: &'m BTreeSet<String>) -> TaintEnv<'m> {
+        TaintEnv {
+            idents: HashSet::new(),
+            model,
+            secret_fns,
+        }
+    }
+
     /// Is the expression spanned by `toks` secret-tainted?
     ///
     /// Mentions immediately projected through `.len()` / `.is_empty()` do
     /// not count — secret *sizes* are public in this protocol.
-    fn span_tainted(&self, toks: &[Token]) -> bool {
+    pub(crate) fn span_tainted(&self, toks: &[Token]) -> bool {
         self.first_tainted(toks).is_some()
     }
 
     /// The first tainted identifier mentioned in `toks`, if any.
-    fn first_tainted(&self, toks: &[Token]) -> Option<String> {
+    pub(crate) fn first_tainted(&self, toks: &[Token]) -> Option<String> {
         for (i, t) in toks.iter().enumerate() {
             if t.kind != TokKind::Ident {
                 continue;
@@ -284,7 +370,7 @@ impl TaintEnv<'_> {
                 self.model.secret_fields.contains(&t.text)
             } else {
                 self.idents.contains(&t.text)
-                    || (self.model.secret_fns.contains(&t.text)
+                    || (self.secret_fns.contains(&t.text)
                         && toks.get(i + 1).is_some_and(|n| n.is_punct("(")))
             };
             if mentions && !self.projection_public(toks, i) {
@@ -335,31 +421,22 @@ impl TaintEnv<'_> {
     }
 }
 
-fn analyze_body(f: &FileIndex, func: &FnDef, model: &SecretModel, diags: &mut Vec<Diagnostic>) {
+fn analyze_body(
+    f: &FileIndex,
+    func: &FnDef,
+    id: FnId,
+    model: &SecretModel,
+    facts: &FlowFacts,
+    ltm: &LifetimeModel,
+    diags: &mut Vec<Diagnostic>,
+) {
     let toks = &f.tokens[func.body.0..func.body.1];
-    let mut env = TaintEnv {
-        idents: HashSet::new(),
-        model,
-    };
-
-    // Only *direct* secret types (seed list + `// ctlint: secret`) taint a
-    // whole parameter: those are the actual key-material holders. An
-    // aggregate that is secret merely by containing one (Builder, Scanner,
-    // a connection) would poison every expression in every function it
-    // passes through; its secrets are still caught by the field projection
-    // rules (`.master`, `.k`, ...).
-    for (name, type_idents) in &func.params {
-        let secret_param = func.annotated_secret
-            || type_idents
-                .iter()
-                .any(|n| model.direct_secret_types.contains(n));
-        if secret_param {
-            env.idents.insert(name.clone());
-        }
-    }
-
-    // Forward pass: collect `let` / `for` bindings of tainted expressions.
-    collect_bindings(toks, &mut env);
+    // Seeding (see `flow::seed_env`): only *direct* secret types (seed
+    // list + `// ctlint: secret`) taint a whole parameter — those are the
+    // actual key-material holders — plus any parameter position the
+    // interprocedural fixpoint proved receives tainted arguments. Then one
+    // forward pass over `let` / `for` bindings.
+    let env = crate::flow::seed_env(model, facts, id, func, toks);
 
     let mut i = 0usize;
     while i < toks.len() {
@@ -385,10 +462,133 @@ fn analyze_body(f: &FileIndex, func: &FnDef, model: &SecretModel, diags: &mut Ve
             i += 1;
         }
     }
+
+    // Rule: wipe-on-all-paths — an explicit wipe that an early exit skips.
+    check_wipe_paths(f, toks, diags);
+    // Rule: secret-lifetime at store sites.
+    crate::lifetime::check_stores(f, func, model, ltm, diags);
+    // Rule: unsafe-audit — tainted reads inside this fn's unsafe blocks.
+    for ub in &f.unsafe_blocks {
+        if ub.in_test || ub.body.0 < func.body.0 || ub.body.1 > func.body.1 {
+            continue;
+        }
+        if let Some(ident) = env.first_tainted(&f.tokens[ub.body.0..ub.body.1]) {
+            diags.push(Diagnostic {
+                rule: Rule::UnsafeAudit,
+                file: f.path.clone(),
+                line: ub.line,
+                ident: ident.clone(),
+                message: format!(
+                    "unsafe block reads secret-tainted `{ident}`; raw-pointer access to \
+                     key material bypasses every other guard — keep secrets behind safe \
+                     APIs or waive with the audit rationale"
+                ),
+            });
+        }
+    }
+}
+
+/// Wipe verbs: `x.wipe()` method calls and the `ts_crypto::wipe` free
+/// functions. The rule checks that no `?` / `return` between a binding's
+/// initialising statement and its wipe can skip the wipe.
+const WIPE_FREE_FNS: &[&str] = &["wipe_bytes", "wipe_u32s", "wipe_u64s"];
+
+fn check_wipe_paths(f: &FileIndex, toks: &[Token], diags: &mut Vec<Diagnostic>) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        let mut target: Option<String> = None;
+        if t.is_ident("wipe")
+            && i >= 2
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && toks[i - 2].kind == TokKind::Ident
+            && !is_keyword(&toks[i - 2].text)
+            // A plain local only: `self.field.wipe()` chains are the
+            // owning type's lifecycle, not a local cleanup obligation.
+            && !(i >= 3 && toks[i - 3].is_punct("."))
+        {
+            target = Some(toks[i - 2].text.clone());
+        } else if t.kind == TokKind::Ident
+            && WIPE_FREE_FNS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && !(i > 0 && toks[i - 1].is_ident("fn"))
+        {
+            let close = matching(toks, i + 1, toks.len());
+            // The wiped binding: last plain ident of the argument
+            // (`&mut kb` → `kb`); a field access means it is not a local.
+            let span = &toks[i + 2..close];
+            if let Some(p) = span
+                .iter()
+                .rposition(|x| x.kind == TokKind::Ident && !is_keyword(&x.text))
+            {
+                if !(p > 0 && span[p - 1].is_punct(".")) {
+                    target = Some(span[p].text.clone());
+                }
+            }
+        }
+        if let Some(name) = target.filter(|n| n != "self") {
+            check_one_wipe(f, toks, &name, i, diags);
+        }
+        i += 1;
+    }
+}
+
+/// Is the explicit wipe of `name` at token `pos` reachable on all paths
+/// from its binding? Flags the first `?` / `return` in between.
+fn check_one_wipe(
+    f: &FileIndex,
+    toks: &[Token],
+    name: &str,
+    pos: usize,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let Some(first) = toks[..pos].iter().position(|t| t.is_ident(name)) else {
+        return;
+    };
+    // The end of the statement that introduces the binding: a `?` inside
+    // the initialiser itself cannot leak the value (it does not exist yet).
+    let mut j = first;
+    let mut depth = 0usize;
+    let mut stmt_end = pos;
+    while j < pos {
+        let x = &toks[j];
+        if x.kind == TokKind::Punct {
+            match x.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                ";" if depth == 0 => {
+                    stmt_end = j;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    for k in stmt_end..pos {
+        let x = &toks[k];
+        if x.is_punct("?") || x.is_ident("return") {
+            let how = if x.is_punct("?") { "`?`" } else { "`return`" };
+            diags.push(Diagnostic {
+                rule: Rule::WipeOnAllPaths,
+                file: f.path.clone(),
+                line: x.line,
+                ident: name.to_string(),
+                message: format!(
+                    "`{name}` is wiped at line {} but the {how} here exits first and \
+                     skips the wipe, leaving key material live in freed memory — wipe \
+                     before the fallible call or hold the buffer in a drop guard",
+                    toks[pos].line
+                ),
+            });
+            return; // one finding per wipe site
+        }
+    }
 }
 
 /// Seed and grow the binding taint set in one forward pass.
-fn collect_bindings(toks: &[Token], env: &mut TaintEnv<'_>) {
+pub(crate) fn collect_bindings(toks: &[Token], env: &mut TaintEnv<'_>) {
     let mut i = 0usize;
     while i < toks.len() {
         let t = &toks[i];

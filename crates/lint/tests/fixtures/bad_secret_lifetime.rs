@@ -1,0 +1,17 @@
+// A process-lifetime cache holding connection-lifetime session state:
+// the exact crypto shortcut the paper measures. Fires at the declaration
+// (the field's class is shorter than the container's) and at the store
+// site (a connection-class parameter pushed into `self`).
+// expect: secret-lifetime held
+// expect: secret-lifetime state
+
+// ctlint: lifetime(process)
+struct ResumptionCache {
+    held: Vec<SessionState>,
+}
+
+impl ResumptionCache {
+    fn put(&mut self, state: SessionState) {
+        self.held.push(state);
+    }
+}

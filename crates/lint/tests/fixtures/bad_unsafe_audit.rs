@@ -1,0 +1,18 @@
+// Two unsafe-audit failures: a block with no `// SAFETY:` justification,
+// and a (justified) block that reads secret-tainted key bytes through a
+// raw pointer — key material must stay behind safe APIs.
+// expect: unsafe-audit unsafe
+// expect: unsafe-audit keys
+
+fn copy_words(dst: &mut [u64], src: &[u64]) {
+    unsafe {
+        core::ptr::copy_nonoverlapping(src.as_ptr(), dst.as_mut_ptr(), src.len());
+    }
+}
+
+fn export(keys: &Stek, out: *mut u8) {
+    // SAFETY: caller guarantees `out` points at 16 writable bytes.
+    unsafe {
+        core::ptr::copy_nonoverlapping(keys.enc_key.as_ptr(), out, 16);
+    }
+}

@@ -1,0 +1,11 @@
+// The wipe is written, but the fallible transmit between binding and
+// wipe can exit first via `?` — on that path the key bytes survive in
+// freed memory unwiped.
+// expect: wipe-on-all-paths kb
+
+fn derive_and_send(seed: &[u8]) -> Result<(), Error> {
+    let mut kb = expand(seed);
+    transmit(&kb)?;
+    wipe_bytes(&mut kb);
+    Ok(())
+}

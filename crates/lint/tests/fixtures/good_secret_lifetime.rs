@@ -1,0 +1,19 @@
+// Lifetime classes lining up: a process-lifetime aggregate stores only
+// public digests, and a connection-lifetime slot holds connection-class
+// keys — equal classes, no shortcut.
+
+// ctlint: lifetime(process)
+struct HandshakeStats {
+    counts: Vec<u64>,
+}
+
+impl HandshakeStats {
+    fn bump(&mut self, outcome: u64) {
+        self.counts.push(outcome);
+    }
+}
+
+// ctlint: lifetime(connection)
+struct ConnSlot {
+    keys: Option<ConnectionKeys>,
+}

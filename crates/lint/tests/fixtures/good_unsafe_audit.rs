@@ -1,0 +1,9 @@
+// A sound unsafe block: it states the invariant that makes it safe and
+// touches only public buffers — no key material near the raw pointer.
+
+fn zero_words(buf: &mut [u64]) {
+    // SAFETY: the pointer and length come from the same live slice.
+    unsafe {
+        core::ptr::write_bytes(buf.as_mut_ptr(), 0, buf.len());
+    }
+}

@@ -1,0 +1,16 @@
+// Wipes that every path reaches: the buffer is erased before the first
+// fallible call, and the method-form wipe has no early exit between
+// binding and wipe.
+
+fn derive_and_send(seed: &[u8]) -> Result<(), Error> {
+    let mut kb = expand(seed);
+    let tag = seal(&kb);
+    wipe_bytes(&mut kb);
+    transmit(&tag)?;
+    Ok(())
+}
+
+fn rotate(mgr: &mut Mgr) {
+    let mut old = mgr.take_old();
+    old.wipe();
+}

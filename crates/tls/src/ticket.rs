@@ -64,6 +64,7 @@ impl TicketFormat {
 /// (§6.1), so retired keys are wiped the moment they drop out of the
 /// acceptance window.
 // ctlint: secret
+// ctlint: lifetime(epoch)
 #[derive(Clone)]
 pub struct Stek {
     /// Public identifier embedded cleartext in every ticket (the
@@ -330,6 +331,12 @@ pub enum RotationPolicy {
 }
 
 /// Owns the active STEK and retired-but-still-accepted STEKs.
+///
+/// Declared `lifetime(process)`: the manager lives as long as the server,
+/// and every epoch- or connection-class secret it holds (the active STEK,
+/// the retired acceptance window, the DRBG state) is a measured crypto
+/// shortcut — each carries a `[[lifetime]]` waiver citing the window.
+// ctlint: lifetime(process)
 pub struct StekManager {
     policy: RotationPolicy,
     format: TicketFormat,

@@ -3,9 +3,10 @@
 //! `ts-lint` walks every production `.rs` file in the workspace and fails
 //! this test on any unsuppressed finding — non-constant-time comparisons
 //! on key material, Debug/Display leak surfaces, missing zeroization,
-//! secret-indexed table lookups, or secret-tainted values reaching a
-//! telemetry sink — and equally on any *stale* `ctlint.toml` allowlist
-//! entry, so suppressions cannot outlive the code they excuse.
+//! secret-indexed table lookups, secret-tainted values reaching a
+//! telemetry sink, lifetime-class violations, skippable wipes, or
+//! unjustified `unsafe` — and equally on any *stale* `ctlint.toml`
+//! allowlist entry, so suppressions cannot outlive the code they excuse.
 
 use std::path::Path;
 
@@ -20,6 +21,50 @@ fn workspace_passes_secret_hygiene_lint() {
         report.files_scanned
     );
     assert!(report.is_clean(), "\n{}", report.render());
+}
+
+#[test]
+fn workspace_report_is_identical_at_any_worker_count() {
+    // The parallel driver and the Jacobi flow fixpoint promise
+    // byte-identical output regardless of fan-out — the property the
+    // determinism rules demand of everything else in this repo.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let serial = ts_lint::check_workspace_with_workers(root, 1)
+        .expect("ctlint.toml parses")
+        .render();
+    let parallel = ts_lint::check_workspace_with_workers(root, 8)
+        .expect("ctlint.toml parses")
+        .render();
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn stale_lifetime_waiver_fails_the_lint() {
+    // A `[[lifetime]]` entry that matches no finding must flip the report
+    // to not-clean, exactly like stale `[[allow]]`/`[[determinism]]`
+    // entries — shortcut waivers cannot outlive the shortcut they excuse.
+    let mut config = ts_lint::Config::default();
+    config.allows.push(ts_lint::Allow {
+        section: ts_lint::RuleFamily::Lifetime,
+        rule: "secret-lifetime".into(),
+        file: "crates/gone/src/cache.rs".into(),
+        ident: "held".into(),
+        reason: "a shortcut that no longer exists".into(),
+    });
+    let report = ts_lint::analyze_sources(
+        &[(
+            "lib.rs".into(),
+            "fn ok(a: u32, b: u32) -> bool { a == b }".into(),
+        )],
+        &config,
+    );
+    assert!(!report.is_clean(), "\n{}", report.render());
+    assert_eq!(report.stale_allows.len(), 1, "\n{}", report.render());
+    assert!(
+        report.stale_allows[0].starts_with("[[lifetime]]"),
+        "{}",
+        report.stale_allows[0]
+    );
 }
 
 #[test]
