@@ -130,7 +130,7 @@ mod tests {
         let cache = w.config.session_cache.as_ref().unwrap();
         let parsed = CapturedConnection::parse(&capture).unwrap();
         assert!(cache
-            .lookup(&parsed.server_session_id, 10_000_000)
+            .lookup("victim.sim", &parsed.server_session_id, 10_000_000)
             .is_none());
         // ...but memory still holds it until a sweep.
         let dump = steal_cache(cache);

@@ -34,14 +34,22 @@ impl Snapshot {
         let histograms = Json::Array(
             self.histograms
                 .iter()
+                // Wall-clock histograms are nondeterministic in toto
+                // (counts included — they depend on timer resolution), so
+                // the deterministic form drops them entirely.
+                .filter(|h| include_wall || !h.wall)
                 .map(|h| {
-                    Json::obj(vec![
+                    let mut pairs = vec![
                         ("name", Json::str(&h.name)),
                         ("bounds", uints(&h.bounds)),
                         ("buckets", uints(&h.buckets)),
                         ("count", Json::uint(h.count)),
                         ("sum", Json::uint(h.sum)),
-                    ])
+                    ];
+                    if h.wall {
+                        pairs.push(("wall", Json::uint(1)));
+                    }
+                    Json::obj(pairs)
                 })
                 .collect(),
         );
@@ -85,6 +93,7 @@ impl Snapshot {
                 buckets: parse_uints(h.field("buckets")?)?,
                 count: h.field("count")?.as_u64()?,
                 sum: h.field("sum")?.as_u64()?,
+                wall: h.get("wall").is_some(),
             });
         }
         for s in v.field("spans")?.as_array()? {
@@ -118,6 +127,7 @@ mod tests {
                 buckets: vec![2, 1, 0],
                 count: 3,
                 sum: 302,
+                wall: false,
             }],
             spans: vec![SpanSnapshot {
                 name: "a.scan".into(),
@@ -133,6 +143,26 @@ mod tests {
         let snap = sample();
         let text = snap.to_json(true).to_json_string();
         let back = Snapshot::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn deterministic_form_drops_wall_histograms() {
+        let mut snap = sample();
+        snap.histograms.push(HistogramSnapshot {
+            name: "a.latency_us".into(),
+            bounds: vec![100, 1_000],
+            buckets: vec![1, 1, 0],
+            count: 2,
+            sum: 600,
+            wall: true,
+        });
+        let det = snap.to_json(false).to_json_string();
+        assert!(!det.contains("a.latency_us"));
+        // The full form keeps it, flagged, and round-trips the flag.
+        let full = snap.to_json(true).to_json_string();
+        assert!(full.contains("a.latency_us"));
+        let back = Snapshot::from_json(&Json::parse(&full).unwrap()).unwrap();
         assert_eq!(back, snap);
     }
 

@@ -135,6 +135,9 @@ impl HistShard {
 pub struct Histogram {
     name: &'static str,
     bounds: &'static [u64],
+    /// Observations are wall-clock-derived: excluded from the
+    /// deterministic JSON form (like spans' `wall_nanos`).
+    wall: bool,
     registered: AtomicBool,
     cells: [HistShard; SHARDS],
 }
@@ -152,14 +155,30 @@ impl Histogram {
         Histogram {
             name,
             bounds,
+            wall: false,
             registered: AtomicBool::new(false),
             cells: [const { HistShard::zero() }; SHARDS],
         }
     }
 
+    /// A histogram whose observations come from the wall clock (latency
+    /// timers). Wall histograms are dropped from the deterministic JSON
+    /// form, the same way span `wall_nanos` are — so a load generator can
+    /// record real latencies without breaking byte-identical archives.
+    pub const fn new_wall(name: &'static str, bounds: &'static [u64]) -> Self {
+        let mut h = Histogram::new(name, bounds);
+        h.wall = true;
+        h
+    }
+
     /// The histogram's registry name.
     pub fn name(&self) -> &'static str {
         self.name
+    }
+
+    /// Whether observations are wall-clock-derived (nondeterministic).
+    pub fn is_wall(&self) -> bool {
+        self.wall
     }
 
     /// The configured bucket bounds.

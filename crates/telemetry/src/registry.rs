@@ -48,6 +48,42 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of observed values.
     pub sum: u64,
+    /// Observations are wall-clock-derived: excluded from the
+    /// deterministic JSON form.
+    pub wall: bool,
+}
+
+impl HistogramSnapshot {
+    /// Estimate the `p`-th percentile (0.0–100.0) by linear interpolation
+    /// within the owning bucket, Prometheus-style. The overflow bucket has
+    /// no upper edge, so estimates are clamped to the last bound. Returns
+    /// `None` when the histogram is empty.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 || self.bounds.is_empty() {
+            return None;
+        }
+        let rank = (p / 100.0).clamp(0.0, 1.0) * self.count as f64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = seen + n;
+            if (next as f64) >= rank {
+                // Rank falls in bucket i: interpolate between its edges.
+                let upper = match self.bounds.get(i) {
+                    Some(&b) => b,
+                    // Overflow bucket: no upper edge to interpolate to.
+                    None => return Some(*self.bounds.last().expect("bounds nonempty")),
+                };
+                let lower = if i == 0 { 0 } else { self.bounds[i - 1] };
+                let frac = ((rank - seen as f64) / n as f64).clamp(0.0, 1.0);
+                return Some(lower + ((upper - lower) as f64 * frac).round() as u64);
+            }
+            seen = next;
+        }
+        Some(*self.bounds.last().expect("bounds nonempty"))
+    }
 }
 
 /// One span timer's merged state.
@@ -91,6 +127,7 @@ pub fn snapshot() -> Snapshot {
                 buckets: h.bucket_counts(),
                 count: h.count(),
                 sum: h.sum(),
+                wall: h.is_wall(),
             }),
             MetricRef::Span(s) => snap.spans.push(SpanSnapshot {
                 name: s.name().to_string(),
@@ -152,6 +189,7 @@ impl Snapshot {
                     buckets,
                     count: h.count - bc,
                     sum: h.sum - bs,
+                    wall: h.wall,
                 })
             })
             .collect();
@@ -201,6 +239,57 @@ mod tests {
         assert_eq!(names, vec!["test.sorted.a", "test.sorted.b"]);
         assert!(snap.counter("test.sorted.a") >= 1);
         assert_eq!(snap.counter("test.sorted.never-touched"), 0);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        let h = HistogramSnapshot {
+            name: "t".into(),
+            bounds: vec![10, 100, 1_000],
+            // 10 obs <=10, 80 in (10,100], 10 in (100,1000], 0 overflow.
+            buckets: vec![10, 80, 10, 0],
+            count: 100,
+            sum: 0,
+            wall: false,
+        };
+        // p50: rank 50 → 40th of 80 obs in (10,100] → 10 + 90*(40/80) = 55.
+        assert_eq!(h.percentile(50.0), Some(55));
+        // p99: rank 99 → 9th of 10 obs in (100,1000] → 100 + 900*0.9 = 910.
+        assert_eq!(h.percentile(99.0), Some(910));
+        assert_eq!(h.percentile(0.0), Some(0));
+        assert_eq!(h.percentile(100.0), Some(1_000));
+        let empty = HistogramSnapshot {
+            name: "e".into(),
+            bounds: vec![10],
+            buckets: vec![0, 0],
+            count: 0,
+            sum: 0,
+            wall: false,
+        };
+        assert_eq!(empty.percentile(50.0), None);
+        // Overflow-heavy data clamps to the last bound.
+        let over = HistogramSnapshot {
+            name: "o".into(),
+            bounds: vec![10],
+            buckets: vec![0, 5],
+            count: 5,
+            sum: 0,
+            wall: false,
+        };
+        assert_eq!(over.percentile(99.0), Some(10));
+    }
+
+    #[test]
+    fn wall_histograms_are_flagged_in_snapshots() {
+        static W: Histogram = Histogram::new_wall("test.registry.wallhist", &[10]);
+        W.observe(3);
+        let snap = snapshot();
+        let h = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "test.registry.wallhist")
+            .expect("registered");
+        assert!(h.wall);
     }
 
     #[test]

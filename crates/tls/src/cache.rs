@@ -121,62 +121,119 @@ impl SessionCache {
     }
 }
 
+/// Number of independently locked shards in a [`SharedSessionCache`].
+pub const SHARD_COUNT: usize = 8;
+
+/// Deterministic FNV-1a over the SNI — shard selection must be a pure
+/// function of the hostname (no ambient hash seed), or the repro's
+/// eviction order would vary run to run.
+fn shard_for(sni: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in sni.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % SHARD_COUNT as u64) as usize
+}
+
 /// A session cache shareable across servers (an SSL terminator's cache).
+///
+/// Sharded by SNI hash with a lock per shard: concurrent handshakes for
+/// different hostnames never contend. A connection resuming under the
+/// hostname that stored the session (the overwhelmingly common case, and
+/// the whole loadgen hot path) touches exactly one shard. A home-shard
+/// miss falls back to scanning the remaining shards in fixed order — that
+/// is what keeps the §5.1 cross-domain probe working: a session stored
+/// under `a.example` still resumes when presented under `b.example`, and
+/// the extra scan is only paid on misses, where a full handshake (three
+/// orders of magnitude more work) was due anyway.
 #[derive(Clone)]
-pub struct SharedSessionCache(Arc<Mutex<SessionCache>>);
+pub struct SharedSessionCache {
+    shards: Arc<[Mutex<SessionCache>; SHARD_COUNT]>,
+    lifetime_secs: u64,
+}
 
 impl SharedSessionCache {
-    /// Wrap a new cache.
+    /// Wrap a new cache. `capacity` is the total bound, split evenly
+    /// across shards.
     pub fn new(lifetime_secs: u64, capacity: usize) -> Self {
-        SharedSessionCache(Arc::new(Mutex::new(SessionCache::new(
+        let per_shard = capacity.div_ceil(SHARD_COUNT);
+        SharedSessionCache {
+            shards: Arc::new(std::array::from_fn(|_| {
+                Mutex::new(SessionCache::new(lifetime_secs, per_shard))
+            })),
             lifetime_secs,
-            capacity,
-        ))))
+        }
     }
 
-    /// Insert (see [`SessionCache::insert`]).
-    pub fn insert(&self, session_id: Vec<u8>, state: SessionState, now: u64) {
-        self.0.lock().insert(session_id, state, now);
+    /// Insert under the shard of `sni` (see [`SessionCache::insert`]).
+    pub fn insert(&self, sni: &str, session_id: Vec<u8>, state: SessionState, now: u64) {
+        self.shards[shard_for(sni)]
+            .lock()
+            .insert(session_id, state, now);
     }
 
-    /// Lookup (see [`SessionCache::lookup`]).
-    pub fn lookup(&self, session_id: &[u8], now: u64) -> Option<SessionState> {
-        self.0.lock().lookup(session_id, now)
+    /// Lookup: home shard of `sni` first, then the cross-domain fallback
+    /// scan (see [`SessionCache::lookup`]).
+    pub fn lookup(&self, sni: &str, session_id: &[u8], now: u64) -> Option<SessionState> {
+        let home = shard_for(sni);
+        if let Some(state) = self.shards[home].lock().lookup(session_id, now) {
+            return Some(state);
+        }
+        for (i, shard) in self.shards.iter().enumerate() {
+            if i == home {
+                continue;
+            }
+            if let Some(state) = shard.lock().lookup(session_id, now) {
+                return Some(state);
+            }
+        }
+        None
     }
 
     /// Configured lifetime.
     pub fn lifetime_secs(&self) -> u64 {
-        self.0.lock().lifetime_secs()
+        self.lifetime_secs
     }
 
-    /// Sweep expired entries.
+    /// Sweep expired entries in every shard.
     pub fn sweep(&self, now: u64) {
-        self.0.lock().sweep(now);
+        for shard in self.shards.iter() {
+            shard.lock().sweep(now);
+        }
     }
 
-    /// Entry count.
+    /// Entry count across all shards.
     pub fn len(&self) -> usize {
-        self.0.lock().len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
-    /// True if empty.
+    /// True if every shard is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.lock().is_empty()
+        self.shards.iter().all(|s| s.lock().is_empty())
     }
 
-    /// Attacker dump (§6.2).
+    /// Attacker dump (§6.2), merged across shards and ordered by session
+    /// ID so the analysis is independent of shard layout.
     pub fn dump_secrets(&self) -> Vec<(Vec<u8>, SessionState)> {
-        self.0.lock().dump_secrets()
+        let mut out: Vec<(Vec<u8>, SessionState)> = Vec::new();
+        for shard in self.shards.iter() {
+            out.extend(shard.lock().dump_secrets());
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
-    /// Secure erase.
+    /// Secure erase of every shard.
     pub fn clear(&self) {
-        self.0.lock().clear();
+        for shard in self.shards.iter() {
+            shard.lock().clear();
+        }
     }
 
     /// Two handles to the same underlying cache?
     pub fn same_cache(&self, other: &SharedSessionCache) -> bool {
-        Arc::ptr_eq(&self.0, &other.0)
+        Arc::ptr_eq(&self.shards, &other.shards)
     }
 }
 
@@ -250,20 +307,108 @@ mod tests {
     fn shared_cache_is_shared() {
         let a = SharedSessionCache::new(300, 10);
         let b = a.clone();
-        a.insert(vec![7], state(7), 0);
-        assert_eq!(b.lookup(&[7], 10), Some(state(7)));
+        a.insert("x.sim", vec![7], state(7), 0);
+        assert_eq!(b.lookup("x.sim", &[7], 10), Some(state(7)));
         assert!(a.same_cache(&b));
         let c = SharedSessionCache::new(300, 10);
         assert!(!a.same_cache(&c));
-        assert_eq!(c.lookup(&[7], 10), None);
+        assert_eq!(c.lookup("x.sim", &[7], 10), None);
     }
 
     #[test]
     fn clear_erases_secrets() {
         let a = SharedSessionCache::new(300, 10);
-        a.insert(vec![7], state(7), 0);
+        a.insert("x.sim", vec![7], state(7), 0);
         a.clear();
         assert!(a.is_empty());
-        assert_eq!(a.lookup(&[7], 0), None);
+        assert_eq!(a.lookup("x.sim", &[7], 0), None);
+    }
+
+    #[test]
+    fn cross_domain_lookup_falls_back_across_shards() {
+        // §5.1: a session stored under one hostname must resume when the
+        // same cache is probed under any other hostname, regardless of
+        // which shard each hashes to.
+        let cache = SharedSessionCache::new(300, 100);
+        cache.insert("origin.sim", vec![42], state(1), 0);
+        for sni in ["a.sim", "b.sim", "c.sim", "d.sim", "e.sim", "f.sim"] {
+            assert_eq!(cache.lookup(sni, &[42], 10), Some(state(1)), "{sni}");
+        }
+        assert_eq!(cache.lookup("a.sim", &[43], 10), None, "unknown id");
+    }
+
+    #[test]
+    fn shard_layout_is_deterministic_and_spread() {
+        // The shard function is a pure function of the SNI...
+        assert_eq!(shard_for("host-0.sim"), shard_for("host-0.sim"));
+        // ...and a modest hostname population touches several shards.
+        let mut seen = [false; SHARD_COUNT];
+        for i in 0..64 {
+            seen[shard_for(&format!("host-{i}.sim"))] = true;
+        }
+        assert!(seen.iter().filter(|s| **s).count() >= SHARD_COUNT / 2);
+    }
+
+    #[test]
+    fn dump_merges_shards_in_session_id_order() {
+        let cache = SharedSessionCache::new(300, 100);
+        for i in (0u8..32).rev() {
+            cache.insert(&format!("host-{i}.sim"), vec![i], state(i), 0);
+        }
+        let dump = cache.dump_secrets();
+        assert_eq!(dump.len(), 32);
+        let ids: Vec<Vec<u8>> = dump.iter().map(|(id, _)| id.clone()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted, "dump ordered by session id, not shard");
+    }
+
+    /// Eight writer threads hammer the sharded cache concurrently; the
+    /// final population and every inserted entry must be exactly what a
+    /// serial execution would produce, regardless of interleaving.
+    #[test]
+    fn concurrent_inserts_and_lookups_are_linearizable_totals() {
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 64;
+        // Capacity is split per shard and the SNIs below collide onto a
+        // few shards, so size every shard for the full population.
+        let cache = SharedSessionCache::new(3_600, THREADS * PER_THREAD * SHARD_COUNT);
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let cache = cache.clone();
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Distinct ids per (thread, i); SNIs deliberately
+                        // collide across threads to contend on shards.
+                        let id = vec![t as u8, i as u8, 0xA5];
+                        let sni = format!("host-{}.sim", i % 5);
+                        cache.insert(&sni, id.clone(), state(t as u8), 100);
+                        // Read own write through the home shard...
+                        assert_eq!(
+                            cache.lookup(&sni, &id, 100),
+                            Some(state(t as u8)),
+                            "own write visible"
+                        );
+                        // ...and through the cross-shard fallback path.
+                        assert_eq!(
+                            cache.lookup("elsewhere.sim", &id, 100),
+                            Some(state(t as u8)),
+                            "cross-shard fallback"
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), THREADS * PER_THREAD);
+        for t in 0..THREADS {
+            for i in 0..PER_THREAD {
+                let id = vec![t as u8, i as u8, 0xA5];
+                assert_eq!(
+                    cache.lookup(&format!("host-{}.sim", i % 5), &id, 100),
+                    Some(state(t as u8))
+                );
+            }
+        }
+        assert_eq!(cache.dump_secrets().len(), THREADS * PER_THREAD);
     }
 }

@@ -5,20 +5,26 @@
 //! identifiers), the server's key-exchange public value, the certificate
 //! chain and its trust verdict, and — because the stack is white-box — the
 //! master secret itself.
+//!
+//! Sans-I/O: [`ClientConn`] derefs to [`ConnectionCommon`] for the byte
+//! ports (`read_tls` / `write_tls`) and readiness queries; call
+//! [`ClientConn::process_new_packets`] after feeding bytes.
 
-use crate::alert::{Alert, AlertDescription};
+use crate::alert::AlertDescription;
 use crate::config::ClientConfig;
+use crate::conn::{self, ConnectionCommon, IoState, Side, Status};
 use crate::error::TlsError;
-use crate::keys::{key_block, master_secret, verify_data, ConnectionKeys, Transcript};
+use crate::keys::{key_block, master_secret, verify_data};
 use crate::server::{kex_signed_content, ResumeKind};
 use crate::session::SessionState;
 use crate::suites::{CipherSuite, KeyExchange};
 use crate::wire::extensions::Extension;
 use crate::wire::handshake::{
-    CertificateMsg, ClientHello, ClientKeyExchange, Finished, HandshakeMessage,
-    HandshakeReassembler, NewSessionTicket, ServerHello, ServerKexParams, ServerKeyExchange,
+    CertificateMsg, ClientHello, ClientKeyExchange, Finished, HandshakeMessage, NewSessionTicket,
+    ServerHello, ServerKexParams, ServerKeyExchange,
 };
-use crate::wire::record::{ContentType, RecordLayer};
+use crate::wire::record::ContentType;
+use std::ops::{Deref, DerefMut};
 use ts_crypto::bignum::Ub;
 use ts_crypto::dh::{validate_public, DhGroup, DhKeyPair};
 use ts_crypto::drbg::HmacDrbg;
@@ -62,29 +68,18 @@ pub struct HandshakeSummary {
     pub session: SessionState,
 }
 
-/// A client-side TLS connection.
-pub struct ClientConn {
+/// The client's protocol half: hello/flight sequencing and the study's
+/// observation points. Keying material lives in [`ConnectionCommon`].
+struct ClientSide {
     config: ClientConfig,
     rng: HmacDrbg,
-    records: RecordLayer,
-    reasm: HandshakeReassembler,
-    transcript: Transcript,
-    // Outgoing wire bytes: anything here is already on the network.
-    // ctlint: public
-    out: Vec<u8>,
     state: State,
-    suite: Option<CipherSuite>,
-    // Randoms and session IDs travel cleartext in the hellos.
-    // ctlint: public
-    client_random: [u8; 32],
-    // ctlint: public
-    server_random: [u8; 32],
+    // Session IDs travel cleartext in the hellos.
     // ctlint: public
     offered_session_id: Vec<u8>,
     offered_ticket_state: Option<SessionState>,
     // ctlint: public
     server_session_id: Vec<u8>,
-    master: Option<[u8; 48]>,
     resumed: Option<ResumeKind>,
     new_ticket: Option<NewSessionTicket>,
     // ctlint: public
@@ -94,8 +89,25 @@ pub struct ClientConn {
     leaf: Option<Certificate>,
     trust: Option<Result<(), TrustError>>,
     dh_group_hint: DhGroup,
-    pending_keys: Option<ConnectionKeys>,
-    app_in: Vec<u8>,
+}
+
+/// A client-side TLS connection.
+pub struct ClientConn {
+    common: ConnectionCommon,
+    side: ClientSide,
+}
+
+impl Deref for ClientConn {
+    type Target = ConnectionCommon;
+    fn deref(&self) -> &ConnectionCommon {
+        &self.common
+    }
+}
+
+impl DerefMut for ClientConn {
+    fn deref_mut(&mut self) -> &mut ConnectionCommon {
+        &mut self.common
+    }
 }
 
 impl ClientConn {
@@ -126,21 +138,15 @@ impl ClientConn {
             extensions,
         });
 
-        let mut conn = ClientConn {
+        let mut common = ConnectionCommon::new();
+        common.client_random = client_random;
+        let side = ClientSide {
             config,
             rng,
-            records: RecordLayer::new(),
-            reasm: HandshakeReassembler::new(),
-            transcript: Transcript::new(),
-            out: Vec::new(),
             state: State::AwaitServerHello,
-            suite: None,
-            client_random,
-            server_random: [0; 32],
             offered_session_id,
             offered_ticket_state,
             server_session_id: Vec::new(),
-            master: None,
             resumed: None,
             new_ticket: None,
             server_kex_public: None,
@@ -148,51 +154,42 @@ impl ClientConn {
             leaf: None,
             trust: None,
             dh_group_hint: DhGroup::Sim256,
-            pending_keys: None,
-            app_in: Vec::new(),
         };
-        conn.send_handshake(&ch);
-        conn
+        common.send_handshake(&ch);
+        ClientConn { common, side }
     }
 
-    /// Drain bytes to ship to the server.
-    pub fn take_output(&mut self) -> Vec<u8> {
-        std::mem::take(&mut self.out)
-    }
-
-    /// True once the handshake completed.
-    pub fn is_established(&self) -> bool {
-        self.state == State::Established
-    }
-
-    /// True if the connection failed.
-    pub fn is_failed(&self) -> bool {
-        self.state == State::Failed
+    /// Decrypt and dispatch every complete record received so far.
+    pub fn process_new_packets(&mut self) -> Result<IoState, TlsError> {
+        let ClientConn { common, side } = self;
+        conn::process(common, side)
     }
 
     /// Scanner-facing summary; available once established.
     pub fn summary(&self) -> Result<HandshakeSummary, TlsError> {
-        if self.state != State::Established {
+        if !self.common.is_established() {
             return Err(TlsError::NotReady);
         }
-        let suite = self.suite.expect("established");
+        let suite = self.common.suite.expect("established");
         Ok(HandshakeSummary {
-            resumed: self.resumed,
+            resumed: self.side.resumed,
             cipher_suite: suite,
-            server_session_id: self.server_session_id.clone(),
-            new_ticket: self.new_ticket.clone(),
-            server_kex_public: self.server_kex_public.clone(),
-            chain_der: self.chain_der.clone(),
-            trust: self.trust.clone(),
+            server_session_id: self.side.server_session_id.clone(),
+            new_ticket: self.side.new_ticket.clone(),
+            server_kex_public: self.side.server_kex_public.clone(),
+            chain_der: self.side.chain_der.clone(),
+            trust: self.side.trust.clone(),
             session: SessionState {
-                master_secret: self.master.expect("established"),
+                master_secret: self.common.master.expect("established"),
                 cipher_suite: suite,
-                established_at: self.resumed_original_time(),
-                server_name: self.config.server_name.clone(),
+                established_at: self.side.resumed_original_time(),
+                server_name: self.side.config.server_name.clone(),
             },
         })
     }
+}
 
+impl ClientSide {
     fn resumed_original_time(&self) -> u64 {
         match self.resumed {
             Some(ResumeKind::SessionId) => self
@@ -211,127 +208,10 @@ impl ClientConn {
         }
     }
 
-    /// Queue application data (post-handshake).
-    pub fn send_app_data(&mut self, data: &[u8]) -> Result<(), TlsError> {
-        if self.state != State::Established {
-            return Err(TlsError::NotReady);
-        }
-        self.records
-            .write_record(ContentType::ApplicationData, data, &mut self.out);
-        Ok(())
-    }
-
-    /// Take decrypted application data received so far.
-    pub fn take_app_data(&mut self) -> Vec<u8> {
-        std::mem::take(&mut self.app_in)
-    }
-
-    /// Feed transport bytes from the server.
-    pub fn input(&mut self, data: &[u8]) -> Result<(), TlsError> {
-        if self.state == State::Failed {
-            return Err(TlsError::ConnectionClosed);
-        }
-        self.records.feed(data);
-        loop {
-            let record = match self.records.next_record() {
-                Ok(Some(r)) => r,
-                Ok(None) => return Ok(()),
-                Err(e) => return self.fail(e, AlertDescription::DecodeError),
-            };
-            match record.content_type {
-                ContentType::Handshake => {
-                    self.reasm.feed(&record.payload);
-                    loop {
-                        match self.reasm.next(self.suite) {
-                            Ok(Some(msg)) => {
-                                if let Err(e) = self.handle_handshake(msg) {
-                                    let desc = alert_for(&e);
-                                    return self.fail(e, desc);
-                                }
-                            }
-                            Ok(None) => break,
-                            Err(e) => return self.fail(e, AlertDescription::DecodeError),
-                        }
-                    }
-                }
-                ContentType::ChangeCipherSpec => {
-                    if record.payload != [1] {
-                        return self.fail(
-                            TlsError::Decode("bad ChangeCipherSpec"),
-                            AlertDescription::DecodeError,
-                        );
-                    }
-                    if let Err(e) = self.on_server_ccs() {
-                        let desc = alert_for(&e);
-                        return self.fail(e, desc);
-                    }
-                }
-                ContentType::Alert => {
-                    if let Some(alert) = Alert::decode(&record.payload) {
-                        if alert.description != AlertDescription::CloseNotify {
-                            self.state = State::Failed;
-                            return Err(TlsError::PeerAlert(alert.description));
-                        }
-                    }
-                    self.state = State::Failed;
-                    return Ok(());
-                }
-                ContentType::ApplicationData => {
-                    if self.state != State::Established {
-                        return self.fail(
-                            TlsError::UnexpectedMessage {
-                                expected: "handshake completion",
-                                got: "ApplicationData",
-                            },
-                            AlertDescription::UnexpectedMessage,
-                        );
-                    }
-                    self.app_in.extend_from_slice(&record.payload);
-                }
-            }
-        }
-    }
-
-    fn fail(&mut self, err: TlsError, desc: AlertDescription) -> Result<(), TlsError> {
-        self.state = State::Failed;
-        let alert = Alert::fatal(desc);
-        self.records
-            .write_record(ContentType::Alert, &alert.encode(), &mut self.out);
-        Err(err)
-    }
-
-    fn send_handshake(&mut self, msg: &HandshakeMessage) {
-        let encoded = msg.encode();
-        self.transcript.add(&encoded);
-        self.records
-            .write_record(ContentType::Handshake, &encoded, &mut self.out);
-    }
-
-    fn on_server_ccs(&mut self) -> Result<(), TlsError> {
-        match self.state {
-            State::AwaitServerFlight | State::AwaitCcsAbbrev => {
-                // Abbreviated handshake: server went straight to CCS.
-                self.begin_abbreviated_keys()?;
-                self.state = State::AwaitFinishedAbbrev;
-                Ok(())
-            }
-            State::AwaitNstOrCcsFull => {
-                let keys = self.pending_keys.as_ref().expect("keys derived");
-                self.records.set_read_keys(keys.server_write.clone());
-                self.state = State::AwaitFinishedFull;
-                Ok(())
-            }
-            _ => Err(TlsError::UnexpectedMessage {
-                expected: state_expectation(self.state),
-                got: "ChangeCipherSpec",
-            }),
-        }
-    }
-
     /// Derive abbreviated-handshake keys from the stored session state and
     /// activate the read direction.
-    fn begin_abbreviated_keys(&mut self) -> Result<(), TlsError> {
-        if self.master.is_none() {
+    fn begin_abbreviated_keys(&mut self, common: &mut ConnectionCommon) -> Result<(), TlsError> {
+        if common.master.is_none() {
             // Ticket-based resumption: the server signalled acceptance.
             let state = self
                 .offered_ticket_state
@@ -340,90 +220,32 @@ impl ClientConn {
                     expected: "Certificate (no resumption offered)",
                     got: "abbreviated handshake",
                 })?;
-            if state.cipher_suite != self.suite.expect("suite set") {
+            if state.cipher_suite != common.suite.expect("suite set") {
                 return Err(TlsError::Decode("resumed suite mismatch"));
             }
-            self.master = Some(state.master_secret);
+            common.master = Some(state.master_secret);
             self.resumed = Some(ResumeKind::Ticket);
         }
-        let master = self.master.expect("set above");
-        let suite = self.suite.expect("suite set");
-        let keys = key_block(&master, &self.client_random, &self.server_random, suite);
-        self.records.set_read_keys(keys.server_write.clone());
-        self.pending_keys = Some(keys);
+        let master = common.master.expect("set above");
+        let suite = common.suite.expect("suite set");
+        let keys = key_block(&master, &common.client_random, &common.server_random, suite);
+        common.records.set_read_keys(keys.server_write.clone());
+        common.pending_keys = Some(keys);
         Ok(())
     }
 
-    fn handle_handshake(&mut self, msg: HandshakeMessage) -> Result<(), TlsError> {
-        match (self.state, msg) {
-            (State::AwaitServerHello, HandshakeMessage::ServerHello(sh)) => {
-                self.transcript
-                    .add(&HandshakeMessage::ServerHello(sh.clone()).encode());
-                self.on_server_hello(sh)
-            }
-            (State::AwaitServerFlight, HandshakeMessage::Certificate(c)) => {
-                self.transcript
-                    .add(&HandshakeMessage::Certificate(c.clone()).encode());
-                self.on_certificate(c)
-            }
-            (
-                State::AwaitServerFlight | State::AwaitCcsAbbrev,
-                HandshakeMessage::NewSessionTicket(nst),
-            ) => {
-                // Ticket reissue during abbreviated handshake.
-                self.transcript
-                    .add(&HandshakeMessage::NewSessionTicket(nst.clone()).encode());
-                if self.resumed.is_none() {
-                    // NST before CCS signals ticket acceptance.
-                    self.resumed = Some(ResumeKind::Ticket);
-                    let state =
-                        self.offered_ticket_state
-                            .as_ref()
-                            .ok_or(TlsError::UnexpectedMessage {
-                                expected: "Certificate",
-                                got: "NewSessionTicket",
-                            })?;
-                    self.master = Some(state.master_secret);
-                }
-                self.new_ticket = Some(nst);
-                self.state = State::AwaitCcsAbbrev;
-                Ok(())
-            }
-            (State::AwaitServerKexOrDone, HandshakeMessage::ServerKeyExchange(ske)) => {
-                self.transcript
-                    .add(&HandshakeMessage::ServerKeyExchange(ske.clone()).encode());
-                self.on_server_kex(ske)
-            }
-            (State::AwaitServerKexOrDone, HandshakeMessage::ServerHelloDone) => {
-                self.transcript
-                    .add(&HandshakeMessage::ServerHelloDone.encode());
-                self.on_server_hello_done()
-            }
-            (State::AwaitNstOrCcsFull, HandshakeMessage::NewSessionTicket(nst)) => {
-                self.transcript
-                    .add(&HandshakeMessage::NewSessionTicket(nst.clone()).encode());
-                self.new_ticket = Some(nst);
-                Ok(())
-            }
-            (
-                State::AwaitFinishedFull | State::AwaitFinishedAbbrev,
-                HandshakeMessage::Finished(f),
-            ) => self.on_server_finished(f),
-            (_, other) => Err(TlsError::UnexpectedMessage {
-                expected: state_expectation(self.state),
-                got: other.name(),
-            }),
-        }
-    }
-
-    fn on_server_hello(&mut self, sh: ServerHello) -> Result<(), TlsError> {
+    fn on_server_hello(
+        &mut self,
+        common: &mut ConnectionCommon,
+        sh: ServerHello,
+    ) -> Result<(), TlsError> {
         let suite = CipherSuite::from_id(sh.cipher_suite)
             .ok_or(TlsError::Decode("server chose unknown suite"))?;
         if !self.config.suites.contains(&suite) {
             return Err(TlsError::Decode("server chose unoffered suite"));
         }
-        self.suite = Some(suite);
-        self.server_random = sh.random;
+        common.suite = Some(suite);
+        common.server_random = sh.random;
         self.server_session_id = sh.session_id.clone();
 
         if !self.offered_session_id.is_empty() && sh.session_id == self.offered_session_id {
@@ -438,7 +260,7 @@ impl ClientConn {
             if state.cipher_suite != suite {
                 return Err(TlsError::Decode("resumed suite mismatch"));
             }
-            self.master = Some(state.master_secret);
+            common.master = Some(state.master_secret);
             self.resumed = Some(ResumeKind::SessionId);
             self.state = State::AwaitCcsAbbrev;
         } else {
@@ -447,7 +269,11 @@ impl ClientConn {
         Ok(())
     }
 
-    fn on_certificate(&mut self, msg: CertificateMsg) -> Result<(), TlsError> {
+    fn on_certificate(
+        &mut self,
+        _common: &mut ConnectionCommon,
+        msg: CertificateMsg,
+    ) -> Result<(), TlsError> {
         self.chain_der = msg.chain.clone();
         let mut parsed = Vec::with_capacity(msg.chain.len());
         for der in &msg.chain {
@@ -472,11 +298,15 @@ impl ClientConn {
         Ok(())
     }
 
-    fn on_server_kex(&mut self, ske: ServerKeyExchange) -> Result<(), TlsError> {
-        let suite = self.suite.expect("suite set");
+    fn on_server_kex(
+        &mut self,
+        common: &mut ConnectionCommon,
+        ske: ServerKeyExchange,
+    ) -> Result<(), TlsError> {
+        let suite = common.suite.expect("suite set");
         // Signature check against the leaf key.
         let leaf = self.leaf.as_ref().expect("certificate processed");
-        let signed = kex_signed_content(&self.client_random, &self.server_random, &ske.params);
+        let signed = kex_signed_content(&common.client_random, &common.server_random, &ske.params);
         leaf.public_key
             .verify(&signed, &ske.signature)
             .map_err(TlsError::from)?;
@@ -498,8 +328,8 @@ impl ClientConn {
         Ok(())
     }
 
-    fn on_server_hello_done(&mut self) -> Result<(), TlsError> {
-        let suite = self.suite.expect("suite set");
+    fn on_server_hello_done(&mut self, common: &mut ConnectionCommon) -> Result<(), TlsError> {
+        let suite = common.suite.expect("suite set");
         let premaster: Vec<u8>;
         let cke = match suite.key_exchange() {
             KeyExchange::Rsa => {
@@ -543,50 +373,174 @@ impl ClientConn {
                 }
             }
         };
-        self.send_handshake(&HandshakeMessage::ClientKeyExchange(cke));
-        let master = master_secret(&premaster, &self.client_random, &self.server_random);
-        self.master = Some(master);
-        let keys = key_block(&master, &self.client_random, &self.server_random, suite);
-        self.records
-            .write_record(ContentType::ChangeCipherSpec, &[1], &mut self.out);
-        self.records.set_write_keys(keys.client_write.clone());
-        let vd = verify_data(&master, &self.transcript.hash(), true);
-        self.send_handshake(&HandshakeMessage::Finished(Finished { verify_data: vd }));
-        self.pending_keys = Some(keys);
+        common.send_handshake(&HandshakeMessage::ClientKeyExchange(cke));
+        let master = master_secret(&premaster, &common.client_random, &common.server_random);
+        common.master = Some(master);
+        let keys = key_block(&master, &common.client_random, &common.server_random, suite);
+        common.queue_record(ContentType::ChangeCipherSpec, &[1]);
+        common.records.set_write_keys(keys.client_write.clone());
+        let vd = verify_data(&master, &common.transcript.hash(), true);
+        common.send_handshake(&HandshakeMessage::Finished(Finished { verify_data: vd }));
+        common.pending_keys = Some(keys);
         self.state = State::AwaitNstOrCcsFull;
         Ok(())
     }
 
-    fn on_server_finished(&mut self, f: Finished) -> Result<(), TlsError> {
-        let master = self.master.expect("master derived");
-        let expected = verify_data(&master, &self.transcript.hash(), false);
+    fn on_server_finished(
+        &mut self,
+        common: &mut ConnectionCommon,
+        f: Finished,
+    ) -> Result<(), TlsError> {
+        let master = common.master.expect("master derived");
+        let expected = verify_data(&master, &common.transcript.hash(), false);
         if !ts_crypto::ct::ct_eq(&expected, &f.verify_data) {
             return Err(TlsError::BadFinished);
         }
-        self.transcript.add(&HandshakeMessage::Finished(f).encode());
+        common
+            .transcript
+            .add(&HandshakeMessage::Finished(f).encode());
         match self.state {
             State::AwaitFinishedFull => {
                 self.state = State::Established;
+                common.status = Status::Established;
                 Ok(())
             }
             State::AwaitFinishedAbbrev => {
                 // Our turn: CCS + client Finished.
-                let keys = self.pending_keys.as_ref().expect("keys derived");
-                self.records
-                    .write_record(ContentType::ChangeCipherSpec, &[1], &mut self.out);
-                self.records.set_write_keys(keys.client_write.clone());
-                let vd = verify_data(&master, &self.transcript.hash(), true);
-                self.send_handshake(&HandshakeMessage::Finished(Finished { verify_data: vd }));
+                let client_write = common
+                    .pending_keys
+                    .as_ref()
+                    .expect("keys derived")
+                    .client_write
+                    .clone();
+                common.queue_record(ContentType::ChangeCipherSpec, &[1]);
+                common.records.set_write_keys(client_write);
+                let vd = verify_data(&master, &common.transcript.hash(), true);
+                common.send_handshake(&HandshakeMessage::Finished(Finished { verify_data: vd }));
                 self.state = State::Established;
+                common.status = Status::Established;
                 Ok(())
             }
             _ => unreachable!("guarded by caller"),
         }
     }
+}
 
-    /// White-box access: the master secret (attacker/verification use).
-    pub fn master_secret(&self) -> Option<[u8; 48]> {
-        self.master
+impl Side for ClientSide {
+    fn handle_handshake(
+        &mut self,
+        common: &mut ConnectionCommon,
+        msg: HandshakeMessage,
+    ) -> Result<(), TlsError> {
+        match (self.state, msg) {
+            (State::AwaitServerHello, HandshakeMessage::ServerHello(sh)) => {
+                common
+                    .transcript
+                    .add(&HandshakeMessage::ServerHello(sh.clone()).encode());
+                self.on_server_hello(common, sh)
+            }
+            (State::AwaitServerFlight, HandshakeMessage::Certificate(c)) => {
+                common
+                    .transcript
+                    .add(&HandshakeMessage::Certificate(c.clone()).encode());
+                self.on_certificate(common, c)
+            }
+            (
+                State::AwaitServerFlight | State::AwaitCcsAbbrev,
+                HandshakeMessage::NewSessionTicket(nst),
+            ) => {
+                // Ticket reissue during abbreviated handshake.
+                common
+                    .transcript
+                    .add(&HandshakeMessage::NewSessionTicket(nst.clone()).encode());
+                if self.resumed.is_none() {
+                    // NST before CCS signals ticket acceptance.
+                    self.resumed = Some(ResumeKind::Ticket);
+                    let state =
+                        self.offered_ticket_state
+                            .as_ref()
+                            .ok_or(TlsError::UnexpectedMessage {
+                                expected: "Certificate",
+                                got: "NewSessionTicket",
+                            })?;
+                    common.master = Some(state.master_secret);
+                }
+                self.new_ticket = Some(nst);
+                self.state = State::AwaitCcsAbbrev;
+                Ok(())
+            }
+            (State::AwaitServerKexOrDone, HandshakeMessage::ServerKeyExchange(ske)) => {
+                common
+                    .transcript
+                    .add(&HandshakeMessage::ServerKeyExchange(ske.clone()).encode());
+                self.on_server_kex(common, ske)
+            }
+            (State::AwaitServerKexOrDone, HandshakeMessage::ServerHelloDone) => {
+                common
+                    .transcript
+                    .add(&HandshakeMessage::ServerHelloDone.encode());
+                self.on_server_hello_done(common)
+            }
+            (State::AwaitNstOrCcsFull, HandshakeMessage::NewSessionTicket(nst)) => {
+                common
+                    .transcript
+                    .add(&HandshakeMessage::NewSessionTicket(nst.clone()).encode());
+                self.new_ticket = Some(nst);
+                Ok(())
+            }
+            (
+                State::AwaitFinishedFull | State::AwaitFinishedAbbrev,
+                HandshakeMessage::Finished(f),
+            ) => self.on_server_finished(common, f),
+            (_, other) => Err(TlsError::UnexpectedMessage {
+                expected: state_expectation(self.state),
+                got: other.name(),
+            }),
+        }
+    }
+
+    fn on_peer_ccs(
+        &mut self,
+        common: &mut ConnectionCommon,
+        payload: &[u8],
+    ) -> Result<(), TlsError> {
+        if payload != [1] {
+            return Err(TlsError::Decode("bad ChangeCipherSpec"));
+        }
+        match self.state {
+            State::AwaitServerFlight | State::AwaitCcsAbbrev => {
+                // Abbreviated handshake: server went straight to CCS.
+                self.begin_abbreviated_keys(common)?;
+                self.state = State::AwaitFinishedAbbrev;
+                Ok(())
+            }
+            State::AwaitNstOrCcsFull => {
+                let keys = common.pending_keys.as_ref().expect("keys derived");
+                common.records.set_read_keys(keys.server_write.clone());
+                self.state = State::AwaitFinishedFull;
+                Ok(())
+            }
+            _ => Err(TlsError::UnexpectedMessage {
+                expected: state_expectation(self.state),
+                got: "ChangeCipherSpec",
+            }),
+        }
+    }
+
+    fn alert_for(&self, err: &TlsError) -> AlertDescription {
+        match err {
+            TlsError::Trust(TrustError::UnknownRoot) => AlertDescription::UnknownCa,
+            TlsError::Trust(TrustError::Expired { .. }) => AlertDescription::CertificateExpired,
+            TlsError::Trust(_) => AlertDescription::BadCertificate,
+            TlsError::BadFinished | TlsError::Crypto(_) => AlertDescription::DecryptError,
+            TlsError::UnexpectedMessage { .. } => AlertDescription::UnexpectedMessage,
+            TlsError::NoCommonSuite => AlertDescription::HandshakeFailure,
+            _ => AlertDescription::DecodeError,
+        }
+    }
+
+    fn set_failed(&mut self) {
+        self.state = State::Failed;
     }
 }
 
@@ -601,17 +555,5 @@ fn state_expectation(state: State) -> &'static str {
         State::AwaitFinishedFull => "Finished",
         State::Established => "ApplicationData",
         State::Failed => "nothing (failed)",
-    }
-}
-
-fn alert_for(err: &TlsError) -> AlertDescription {
-    match err {
-        TlsError::Trust(TrustError::UnknownRoot) => AlertDescription::UnknownCa,
-        TlsError::Trust(TrustError::Expired { .. }) => AlertDescription::CertificateExpired,
-        TlsError::Trust(_) => AlertDescription::BadCertificate,
-        TlsError::BadFinished | TlsError::Crypto(_) => AlertDescription::DecryptError,
-        TlsError::UnexpectedMessage { .. } => AlertDescription::UnexpectedMessage,
-        TlsError::NoCommonSuite => AlertDescription::HandshakeFailure,
-        _ => AlertDescription::DecodeError,
     }
 }

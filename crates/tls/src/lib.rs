@@ -20,8 +20,10 @@
 //!   SChannel/mbedTLS ticket-shape variants the scanner must parse
 //! * [`ephemeral`] — DHE/ECDHE value caching and reuse policies (§2.3)
 //! * [`config`] — client and server configuration
-//! * [`client`] / [`server`] — sans-io connection state machines
-//! * [`pump`] — a driver that shuttles bytes between two endpoints
+//! * [`conn`] — the sans-I/O connection core: `read_tls` / `write_tls`
+//!   byte ports, `process_new_packets()`, and readiness queries
+//! * [`client`] / [`server`] — the two protocol sides over that core
+//! * [`pump`] — an in-memory driver that polls two endpoints' readiness
 //! * [`alert`] / [`error`] — alerts and errors
 //! * [`tls13`] — the TLS 1.3 PSK / 0-RTT resumption model (§2.4)
 //!
@@ -40,6 +42,7 @@ pub mod alert;
 pub mod cache;
 pub mod client;
 pub mod config;
+pub mod conn;
 pub mod ephemeral;
 pub mod error;
 pub mod keys;
@@ -53,6 +56,7 @@ pub mod wire;
 
 pub use client::ClientConn;
 pub use config::{ClientConfig, ServerConfig};
+pub use conn::{ConnectionCommon, IoState};
 pub use error::TlsError;
 pub use server::ServerConn;
 pub use suites::CipherSuite;

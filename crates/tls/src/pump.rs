@@ -1,9 +1,10 @@
 //! Drives a client and a server connection against each other.
 //!
-//! The state machines are sans-io; the pump shuttles bytes until both
-//! sides are established (or one fails), optionally recording everything
-//! on the wire — the "passive collection" an on-path adversary performs
-//! (paper §7.1).
+//! The state machines are sans-I/O; the pump is a minimal event loop over
+//! the readiness API — poll [`crate::ConnectionCommon::wants_write`],
+//! drain with `write_tls`, feed the peer with `read_tls`, then let it
+//! `process_new_packets()`. It optionally records everything on the wire —
+//! the "passive collection" an on-path adversary performs (paper §7.1).
 
 use crate::client::ClientConn;
 use crate::error::TlsError;
@@ -24,31 +25,29 @@ pub struct PumpResult {
     pub capture: WireCapture,
 }
 
+/// Drain `src`'s queued TLS bytes into `buf` via `write_tls`.
+fn drain(src: &mut crate::ConnectionCommon, buf: &mut Vec<u8>) {
+    buf.clear();
+    while src.wants_write() {
+        // Writing to a Vec cannot fail or short-write.
+        src.write_tls(buf).expect("Vec write is infallible");
+    }
+}
+
+/// Feed `bytes` to `dst` via `read_tls` and process them.
+fn deliver(dst: &mut crate::ConnectionCommon, bytes: &[u8]) {
+    let mut rd: &[u8] = bytes;
+    while !rd.is_empty() {
+        dst.read_tls(&mut rd).expect("slice read is infallible");
+    }
+}
+
 /// Shuttle bytes between the two endpoints until neither produces more
 /// output or either side fails. Returns the capture on success; on
 /// failure returns the error from whichever side failed first.
 pub fn pump(client: &mut ClientConn, server: &mut ServerConn) -> Result<PumpResult, TlsError> {
     let mut capture = WireCapture::default();
-    // A handshake needs only a handful of rounds; a generous bound guards
-    // against ping-pong bugs.
-    for _ in 0..32 {
-        let mut progressed = false;
-        let c2s = client.take_output();
-        if !c2s.is_empty() {
-            progressed = true;
-            capture.client_to_server.extend_from_slice(&c2s);
-            server.input(&c2s)?;
-        }
-        let s2c = server.take_output();
-        if !s2c.is_empty() {
-            progressed = true;
-            capture.server_to_client.extend_from_slice(&s2c);
-            client.input(&s2c)?;
-        }
-        if !progressed {
-            break;
-        }
-    }
+    pump_app_data(client, server, &mut capture)?;
     Ok(PumpResult { capture })
 }
 
@@ -59,19 +58,24 @@ pub fn pump_app_data(
     server: &mut ServerConn,
     capture: &mut WireCapture,
 ) -> Result<(), TlsError> {
+    let mut buf = Vec::new();
+    // A handshake needs only a handful of rounds; a generous bound guards
+    // against ping-pong bugs.
     for _ in 0..32 {
         let mut progressed = false;
-        let c2s = client.take_output();
-        if !c2s.is_empty() {
+        drain(client, &mut buf);
+        if !buf.is_empty() {
             progressed = true;
-            capture.client_to_server.extend_from_slice(&c2s);
-            server.input(&c2s)?;
+            capture.client_to_server.extend_from_slice(&buf);
+            deliver(server, &buf);
+            server.process_new_packets()?;
         }
-        let s2c = server.take_output();
-        if !s2c.is_empty() {
+        drain(server, &mut buf);
+        if !buf.is_empty() {
             progressed = true;
-            capture.server_to_client.extend_from_slice(&s2c);
-            client.input(&s2c)?;
+            capture.server_to_client.extend_from_slice(&buf);
+            deliver(client, &buf);
+            client.process_new_packets()?;
         }
         if !progressed {
             return Ok(());

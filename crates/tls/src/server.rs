@@ -1,22 +1,31 @@
 //! The server-side TLS 1.2 state machine.
 //!
-//! Sans-io: callers feed transport bytes with [`ServerConn::input`] and
-//! drain responses with [`ServerConn::take_output`]. The connection is
-//! pinned to the virtual time passed at construction (a TLS handshake is
+//! Sans-I/O: callers move transport bytes with [`ConnectionCommon::read_tls`]
+//! / [`ConnectionCommon::write_tls`] (via deref) and advance the handshake
+//! with [`ServerConn::process_new_packets`]. The connection is pinned to
+//! the virtual time passed at construction (a TLS handshake is
 //! instantaneous at simulation granularity).
+//!
+//! On the resumption hot path the connection pins the published STEK
+//! snapshot ([`crate::ticket::PinnedStekSet`]) so ticket decryption runs
+//! without taking the shared manager lock — the redesign that lets a
+//! loadgen fleet scale past one core.
 
-use crate::alert::{Alert, AlertDescription};
+use crate::alert::AlertDescription;
 use crate::config::ServerConfig;
+use crate::conn::{self, ConnectionCommon, IoState, Side, Status};
 use crate::error::TlsError;
-use crate::keys::{key_block, master_secret, verify_data, ConnectionKeys, Transcript};
+use crate::keys::{key_block, master_secret, verify_data};
 use crate::session::SessionState;
 use crate::suites::{CipherSuite, KeyExchange};
+use crate::ticket::PinnedStekSet;
 use crate::wire::extensions::{find_server_name, find_session_ticket, Extension};
 use crate::wire::handshake::{
-    CertificateMsg, ClientHello, ClientKeyExchange, Finished, HandshakeMessage,
-    HandshakeReassembler, NewSessionTicket, ServerHello, ServerKexParams, ServerKeyExchange,
+    CertificateMsg, ClientHello, ClientKeyExchange, Finished, HandshakeMessage, NewSessionTicket,
+    ServerHello, ServerKexParams, ServerKeyExchange,
 };
-use crate::wire::record::{ContentType, RecordLayer};
+use crate::wire::record::ContentType;
+use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 use ts_crypto::bignum::Ub;
 use ts_crypto::dh::{validate_public, DhKeyPair};
@@ -52,221 +61,103 @@ enum State {
     Failed,
 }
 
-/// A server-side TLS connection.
-pub struct ServerConn {
+/// The server's protocol half: resumption decisions, flight assembly,
+/// ticket issuance. Keying material lives in [`ConnectionCommon`].
+struct ServerSide {
     config: ServerConfig,
     rng: HmacDrbg,
     now: u64,
-    records: RecordLayer,
-    reasm: HandshakeReassembler,
-    transcript: Transcript,
-    // Outgoing records, the randoms, and the session ID are cleartext
-    // wire data; only `master` / the keypairs / `app_in` below are secret.
-    // ctlint: public
-    out: Vec<u8>,
     state: State,
-    suite: Option<CipherSuite>,
-    // ctlint: public
-    client_random: [u8; 32],
-    // ctlint: public
-    server_random: [u8; 32],
     // ctlint: public
     session_id: Vec<u8>,
-    master: Option<[u8; 48]>,
     resumed: Option<ResumeKind>,
     resumed_established_at: u64,
     dhe_kp: Option<Arc<DhKeyPair>>,
     ecdhe_kp: Option<Arc<X25519KeyPair>>,
     sni: String,
     client_offered_ticket_ext: bool,
-    pending_keys: Option<ConnectionKeys>,
-    app_in: Vec<u8>,
+    // Epoch-pinned STEK snapshot: ticket decryption without the shared
+    // manager lock (see ticket.rs).
+    stek_pin: Option<PinnedStekSet>,
+}
+
+/// A server-side TLS connection.
+pub struct ServerConn {
+    common: ConnectionCommon,
+    side: ServerSide,
+}
+
+impl Deref for ServerConn {
+    type Target = ConnectionCommon;
+    fn deref(&self) -> &ConnectionCommon {
+        &self.common
+    }
+}
+
+impl DerefMut for ServerConn {
+    fn deref_mut(&mut self) -> &mut ConnectionCommon {
+        &mut self.common
+    }
 }
 
 impl ServerConn {
     /// Create a connection bound to `config` at virtual time `now`.
     pub fn new(config: ServerConfig, rng: HmacDrbg, now: u64) -> Self {
         ServerConn {
-            config,
-            rng,
-            now,
-            records: RecordLayer::new(),
-            reasm: HandshakeReassembler::new(),
-            transcript: Transcript::new(),
-            out: Vec::new(),
-            state: State::AwaitClientHello,
-            suite: None,
-            client_random: [0; 32],
-            server_random: [0; 32],
-            session_id: Vec::new(),
-            master: None,
-            resumed: None,
-            resumed_established_at: 0,
-            dhe_kp: None,
-            ecdhe_kp: None,
-            sni: String::new(),
-            client_offered_ticket_ext: false,
-            pending_keys: None,
-            app_in: Vec::new(),
+            common: ConnectionCommon::new(),
+            side: ServerSide {
+                config,
+                rng,
+                now,
+                state: State::AwaitClientHello,
+                session_id: Vec::new(),
+                resumed: None,
+                resumed_established_at: 0,
+                dhe_kp: None,
+                ecdhe_kp: None,
+                sni: String::new(),
+                client_offered_ticket_ext: false,
+                stek_pin: None,
+            },
         }
     }
 
-    /// Drain bytes to ship to the client.
-    pub fn take_output(&mut self) -> Vec<u8> {
-        std::mem::take(&mut self.out)
-    }
-
-    /// True once the handshake completed.
-    pub fn is_established(&self) -> bool {
-        self.state == State::Established
-    }
-
-    /// True if the connection failed.
-    pub fn is_failed(&self) -> bool {
-        self.state == State::Failed
+    /// Decrypt and dispatch every complete record received so far.
+    pub fn process_new_packets(&mut self) -> Result<IoState, TlsError> {
+        let ServerConn { common, side } = self;
+        conn::process(common, side)
     }
 
     /// How the handshake resumed, if it did.
     pub fn resumed(&self) -> Option<ResumeKind> {
-        self.resumed
+        self.side.resumed
     }
 
     /// The negotiated suite (after ServerHello).
     pub fn cipher_suite(&self) -> Option<CipherSuite> {
-        self.suite
+        self.common.suite
     }
 
     /// The SNI hostname the client sent.
     pub fn sni(&self) -> &str {
-        &self.sni
+        &self.side.sni
     }
 
-    /// Queue application data (handshake must be complete).
-    pub fn send_app_data(&mut self, data: &[u8]) -> Result<(), TlsError> {
-        if self.state != State::Established {
-            return Err(TlsError::NotReady);
-        }
-        self.records
-            .write_record(ContentType::ApplicationData, data, &mut self.out);
-        Ok(())
+    /// For resumed connections, when the original session was established
+    /// (the anchor of the ticket acceptance window).
+    pub fn resumed_original_establishment(&self) -> Option<u64> {
+        self.side.resumed.map(|_| self.side.resumed_established_at)
     }
+}
 
-    /// Take decrypted application data received so far.
-    pub fn take_app_data(&mut self) -> Vec<u8> {
-        std::mem::take(&mut self.app_in)
-    }
-
-    /// Feed transport bytes; may queue output.
-    pub fn input(&mut self, data: &[u8]) -> Result<(), TlsError> {
-        if self.state == State::Failed {
-            return Err(TlsError::ConnectionClosed);
-        }
-        self.records.feed(data);
-        loop {
-            let record = match self.records.next_record() {
-                Ok(Some(r)) => r,
-                Ok(None) => return Ok(()),
-                Err(e) => return self.fail(e, AlertDescription::DecodeError),
-            };
-            match record.content_type {
-                ContentType::Handshake => {
-                    self.reasm.feed(&record.payload);
-                    loop {
-                        let hint = self.suite;
-                        match self.reasm.next(hint) {
-                            Ok(Some(msg)) => {
-                                if let Err(e) = self.handle_handshake(msg) {
-                                    let desc = alert_for(&e);
-                                    return self.fail(e, desc);
-                                }
-                            }
-                            Ok(None) => break,
-                            Err(e) => return self.fail(e, AlertDescription::DecodeError),
-                        }
-                    }
-                }
-                ContentType::ChangeCipherSpec => {
-                    if self.state != State::AwaitCcs || record.payload != [1] {
-                        return self.fail(
-                            TlsError::UnexpectedMessage {
-                                expected: "orderly ChangeCipherSpec",
-                                got: "ChangeCipherSpec",
-                            },
-                            AlertDescription::UnexpectedMessage,
-                        );
-                    }
-                    let keys = self.pending_keys.as_ref().expect("keys derived before CCS");
-                    self.records.set_read_keys(keys.client_write.clone());
-                    self.state = State::AwaitFinished;
-                }
-                ContentType::Alert => {
-                    if let Some(alert) = Alert::decode(&record.payload) {
-                        if alert.description != AlertDescription::CloseNotify {
-                            self.state = State::Failed;
-                            return Err(TlsError::PeerAlert(alert.description));
-                        }
-                    }
-                    self.state = State::Failed;
-                    return Ok(());
-                }
-                ContentType::ApplicationData => {
-                    if self.state != State::Established {
-                        return self.fail(
-                            TlsError::UnexpectedMessage {
-                                expected: "handshake completion",
-                                got: "ApplicationData",
-                            },
-                            AlertDescription::UnexpectedMessage,
-                        );
-                    }
-                    self.app_in.extend_from_slice(&record.payload);
-                }
-            }
-        }
-    }
-
-    fn fail(&mut self, err: TlsError, desc: AlertDescription) -> Result<(), TlsError> {
-        self.state = State::Failed;
-        ALERT_SENT.inc();
-        emit(Event::AlertSent {
-            code: desc.to_byte(),
-        });
-        let alert = Alert::fatal(desc);
-        self.records
-            .write_record(ContentType::Alert, &alert.encode(), &mut self.out);
-        Err(err)
-    }
-
-    fn send_handshake(&mut self, msg: &HandshakeMessage) {
-        let encoded = msg.encode();
-        self.transcript.add(&encoded);
-        self.records
-            .write_record(ContentType::Handshake, &encoded, &mut self.out);
-    }
-
-    fn handle_handshake(&mut self, msg: HandshakeMessage) -> Result<(), TlsError> {
-        match (self.state, msg) {
-            (State::AwaitClientHello, HandshakeMessage::ClientHello(ch)) => {
-                self.transcript
-                    .add(&HandshakeMessage::ClientHello(ch.clone()).encode());
-                self.on_client_hello(ch)
-            }
-            (State::AwaitClientKex, HandshakeMessage::ClientKeyExchange(cke)) => {
-                self.transcript
-                    .add(&HandshakeMessage::ClientKeyExchange(cke.clone()).encode());
-                self.on_client_kex(cke)
-            }
-            (State::AwaitFinished, HandshakeMessage::Finished(f)) => self.on_client_finished(f),
-            (_, other) => Err(TlsError::UnexpectedMessage {
-                expected: state_expectation(self.state),
-                got: other.name(),
-            }),
-        }
-    }
-
-    fn on_client_hello(&mut self, ch: ClientHello) -> Result<(), TlsError> {
-        self.client_random = ch.random;
-        self.rng.fill_bytes(&mut self.server_random);
+impl ServerSide {
+    fn on_client_hello(
+        &mut self,
+        common: &mut ConnectionCommon,
+        ch: ClientHello,
+    ) -> Result<(), TlsError> {
+        common.client_random = ch.random;
+        self.rng.fill_bytes(&mut common.server_random);
         self.sni = find_server_name(&ch.extensions).unwrap_or("").to_string();
         let offered_ticket = find_session_ticket(&ch.extensions);
         self.client_offered_ticket_ext = offered_ticket.is_some();
@@ -284,7 +175,7 @@ impl ServerConn {
         if let (Some(manager), Some(ticket)) = (&self.config.tickets, offered_ticket) {
             if !ticket.is_empty() {
                 let mut accepted = None;
-                if let Ok(state) = manager.accept(ticket, self.now) {
+                if let Ok(state) = manager.accept_pinned(&mut self.stek_pin, ticket, self.now) {
                     let fresh_enough = self.now.saturating_sub(state.established_at)
                         <= self.config.ticket_accept_window;
                     let suite_ok = ch.cipher_suites.contains(&state.cipher_suite.id())
@@ -297,7 +188,7 @@ impl ServerConn {
                     Some(state) => {
                         RESUME_TICKET_HIT.inc();
                         emit(Event::ResumptionHit { kind: "ticket" });
-                        return self.resume(state, ResumeKind::Ticket, Vec::new());
+                        return self.resume(common, state, ResumeKind::Ticket, Vec::new());
                     }
                     None => {
                         RESUME_TICKET_MISS.inc();
@@ -308,16 +199,18 @@ impl ServerConn {
         }
         if let Some(cache) = &self.config.session_cache {
             if !ch.session_id.is_empty() {
-                let hit = cache.lookup(&ch.session_id, self.now).filter(|state| {
-                    ch.cipher_suites.contains(&state.cipher_suite.id())
-                        && self.config.suites.contains(&state.cipher_suite)
-                });
+                let hit = cache
+                    .lookup(&self.sni, &ch.session_id, self.now)
+                    .filter(|state| {
+                        ch.cipher_suites.contains(&state.cipher_suite.id())
+                            && self.config.suites.contains(&state.cipher_suite)
+                    });
                 match hit {
                     Some(state) => {
                         RESUME_SID_HIT.inc();
                         emit(Event::ResumptionHit { kind: "session-id" });
                         let sid = ch.session_id.clone();
-                        return self.resume(state, ResumeKind::SessionId, sid);
+                        return self.resume(common, state, ResumeKind::SessionId, sid);
                     }
                     None => {
                         RESUME_SID_MISS.inc();
@@ -329,7 +222,7 @@ impl ServerConn {
 
         // --- Full handshake. ---
         HANDSHAKE_FULL.inc();
-        self.suite = Some(suite);
+        common.suite = Some(suite);
         self.session_id = if self.config.issue_session_ids {
             self.rng.bytes(32)
         } else {
@@ -341,12 +234,12 @@ impl ServerConn {
             extensions.push(Extension::SessionTicket(Vec::new()));
         }
         let sh = HandshakeMessage::ServerHello(ServerHello {
-            random: self.server_random,
+            random: common.server_random,
             session_id: self.session_id.clone(),
             cipher_suite: suite.id(),
             extensions,
         });
-        self.send_handshake(&sh);
+        common.send_handshake(&sh);
 
         let chain: Vec<Vec<u8>> = self
             .config
@@ -355,7 +248,7 @@ impl ServerConn {
             .iter()
             .map(|c| c.der.clone())
             .collect();
-        self.send_handshake(&HandshakeMessage::Certificate(CertificateMsg { chain }));
+        common.send_handshake(&HandshakeMessage::Certificate(CertificateMsg { chain }));
 
         match suite.key_exchange() {
             KeyExchange::Rsa => {}
@@ -367,28 +260,33 @@ impl ServerConn {
                     g: group.generator().to_bytes_be(),
                     ys: kp.public_bytes(),
                 };
-                let ske = self.signed_kex(params)?;
+                let ske = self.signed_kex(common, params)?;
                 self.dhe_kp = Some(kp);
-                self.send_handshake(&ske);
+                common.send_handshake(&ske);
             }
             KeyExchange::Ecdhe => {
                 let kp = self.config.ephemeral.ecdhe_keypair(self.now);
                 let params = ServerKexParams::Ecdhe {
                     point: kp.public.to_vec(),
                 };
-                let ske = self.signed_kex(params)?;
+                let ske = self.signed_kex(common, params)?;
                 self.ecdhe_kp = Some(kp);
-                self.send_handshake(&ske);
+                common.send_handshake(&ske);
             }
         }
-        self.send_handshake(&HandshakeMessage::ServerHelloDone);
+        common.send_handshake(&HandshakeMessage::ServerHelloDone);
         self.state = State::AwaitClientKex;
         Ok(())
     }
 
     /// Sign cr || sr || params and build the ServerKeyExchange message.
-    fn signed_kex(&mut self, params: ServerKexParams) -> Result<HandshakeMessage, TlsError> {
-        let signed_content = kex_signed_content(&self.client_random, &self.server_random, &params);
+    fn signed_kex(
+        &mut self,
+        common: &ConnectionCommon,
+        params: ServerKexParams,
+    ) -> Result<HandshakeMessage, TlsError> {
+        let signed_content =
+            kex_signed_content(&common.client_random, &common.server_random, &params);
         let signature = self.config.identity.key.sign(&signed_content)?;
         Ok(HandshakeMessage::ServerKeyExchange(ServerKeyExchange {
             params,
@@ -398,15 +296,16 @@ impl ServerConn {
 
     fn resume(
         &mut self,
+        common: &mut ConnectionCommon,
         state: SessionState,
         kind: ResumeKind,
         echo_session_id: Vec<u8>,
     ) -> Result<(), TlsError> {
         let suite = state.cipher_suite;
-        self.suite = Some(suite);
+        common.suite = Some(suite);
         self.resumed = Some(kind);
         self.resumed_established_at = state.established_at;
-        self.master = Some(state.master_secret);
+        common.master = Some(state.master_secret);
         self.session_id = echo_session_id;
 
         let reissue = kind == ResumeKind::Ticket
@@ -417,12 +316,12 @@ impl ServerConn {
             extensions.push(Extension::SessionTicket(Vec::new()));
         }
         let sh = HandshakeMessage::ServerHello(ServerHello {
-            random: self.server_random,
+            random: common.server_random,
             session_id: self.session_id.clone(),
             cipher_suite: suite.id(),
             extensions,
         });
-        self.send_handshake(&sh);
+        common.send_handshake(&sh);
 
         if reissue {
             // Fresh ticket over the SAME session state (keys constant,
@@ -434,27 +333,30 @@ impl ServerConn {
                 reissue: true,
                 lifetime_hint: self.config.ticket_lifetime_hint,
             });
-            self.send_handshake(&HandshakeMessage::NewSessionTicket(NewSessionTicket {
+            common.send_handshake(&HandshakeMessage::NewSessionTicket(NewSessionTicket {
                 lifetime_hint: self.config.ticket_lifetime_hint,
                 ticket,
             }));
         }
 
         let master = state.master_secret;
-        let keys = key_block(&master, &self.client_random, &self.server_random, suite);
+        let keys = key_block(&master, &common.client_random, &common.server_random, suite);
         // Server speaks first in an abbreviated handshake.
-        self.records
-            .write_record(ContentType::ChangeCipherSpec, &[1], &mut self.out);
-        self.records.set_write_keys(keys.server_write.clone());
-        let vd = verify_data(&master, &self.transcript.hash(), false);
-        self.send_handshake(&HandshakeMessage::Finished(Finished { verify_data: vd }));
-        self.pending_keys = Some(keys);
+        common.queue_record(ContentType::ChangeCipherSpec, &[1]);
+        common.records.set_write_keys(keys.server_write.clone());
+        let vd = verify_data(&master, &common.transcript.hash(), false);
+        common.send_handshake(&HandshakeMessage::Finished(Finished { verify_data: vd }));
+        common.pending_keys = Some(keys);
         self.state = State::AwaitCcs;
         Ok(())
     }
 
-    fn on_client_kex(&mut self, cke: ClientKeyExchange) -> Result<(), TlsError> {
-        let suite = self.suite.expect("suite chosen");
+    fn on_client_kex(
+        &mut self,
+        common: &mut ConnectionCommon,
+        cke: ClientKeyExchange,
+    ) -> Result<(), TlsError> {
+        let suite = common.suite.expect("suite chosen");
         let premaster: Vec<u8> = match (suite.key_exchange(), cke) {
             (
                 KeyExchange::Rsa,
@@ -484,35 +386,42 @@ impl ServerConn {
             }
             _ => return Err(TlsError::Decode("key exchange type mismatch")),
         };
-        let master = master_secret(&premaster, &self.client_random, &self.server_random);
-        self.master = Some(master);
-        self.pending_keys = Some(key_block(
+        let master = master_secret(&premaster, &common.client_random, &common.server_random);
+        common.master = Some(master);
+        common.pending_keys = Some(key_block(
             &master,
-            &self.client_random,
-            &self.server_random,
+            &common.client_random,
+            &common.server_random,
             suite,
         ));
         self.state = State::AwaitCcs;
         Ok(())
     }
 
-    fn on_client_finished(&mut self, f: Finished) -> Result<(), TlsError> {
-        let master = self.master.expect("master derived");
-        let expected = verify_data(&master, &self.transcript.hash(), true);
+    fn on_client_finished(
+        &mut self,
+        common: &mut ConnectionCommon,
+        f: Finished,
+    ) -> Result<(), TlsError> {
+        let master = common.master.expect("master derived");
+        let expected = verify_data(&master, &common.transcript.hash(), true);
         if !ts_crypto::ct::ct_eq(&expected, &f.verify_data) {
             return Err(TlsError::BadFinished);
         }
-        self.transcript.add(&HandshakeMessage::Finished(f).encode());
+        common
+            .transcript
+            .add(&HandshakeMessage::Finished(f).encode());
 
         if self.resumed.is_some() {
             // Abbreviated handshake: we already sent our Finished.
             self.state = State::Established;
+            common.status = Status::Established;
             return Ok(());
         }
 
         // Full handshake tail: store session, maybe issue ticket, then
         // CCS + Finished.
-        let suite = self.suite.expect("suite chosen");
+        let suite = common.suite.expect("suite chosen");
         let state = SessionState {
             master_secret: master,
             cipher_suite: suite,
@@ -521,7 +430,7 @@ impl ServerConn {
         };
         if let Some(cache) = &self.config.session_cache {
             if !self.session_id.is_empty() {
-                cache.insert(self.session_id.clone(), state.clone(), self.now);
+                cache.insert(&self.sni, self.session_id.clone(), state.clone(), self.now);
             }
         }
         if self.config.tickets.is_some() && self.client_offered_ticket_ext {
@@ -532,30 +441,96 @@ impl ServerConn {
                 reissue: false,
                 lifetime_hint: self.config.ticket_lifetime_hint,
             });
-            self.send_handshake(&HandshakeMessage::NewSessionTicket(NewSessionTicket {
+            common.send_handshake(&HandshakeMessage::NewSessionTicket(NewSessionTicket {
                 lifetime_hint: self.config.ticket_lifetime_hint,
                 ticket,
             }));
         }
-        let keys = self.pending_keys.as_ref().expect("keys derived");
-        self.records
-            .write_record(ContentType::ChangeCipherSpec, &[1], &mut self.out);
-        self.records.set_write_keys(keys.server_write.clone());
-        let vd = verify_data(&master, &self.transcript.hash(), false);
-        self.send_handshake(&HandshakeMessage::Finished(Finished { verify_data: vd }));
+        let server_write = common
+            .pending_keys
+            .as_ref()
+            .expect("keys derived")
+            .server_write
+            .clone();
+        common.queue_record(ContentType::ChangeCipherSpec, &[1]);
+        common.records.set_write_keys(server_write);
+        let vd = verify_data(&master, &common.transcript.hash(), false);
+        common.send_handshake(&HandshakeMessage::Finished(Finished { verify_data: vd }));
         self.state = State::Established;
+        common.status = Status::Established;
+        Ok(())
+    }
+}
+
+impl Side for ServerSide {
+    fn handle_handshake(
+        &mut self,
+        common: &mut ConnectionCommon,
+        msg: HandshakeMessage,
+    ) -> Result<(), TlsError> {
+        match (self.state, msg) {
+            (State::AwaitClientHello, HandshakeMessage::ClientHello(ch)) => {
+                common
+                    .transcript
+                    .add(&HandshakeMessage::ClientHello(ch.clone()).encode());
+                self.on_client_hello(common, ch)
+            }
+            (State::AwaitClientKex, HandshakeMessage::ClientKeyExchange(cke)) => {
+                common
+                    .transcript
+                    .add(&HandshakeMessage::ClientKeyExchange(cke.clone()).encode());
+                self.on_client_kex(common, cke)
+            }
+            (State::AwaitFinished, HandshakeMessage::Finished(f)) => {
+                self.on_client_finished(common, f)
+            }
+            (_, other) => Err(TlsError::UnexpectedMessage {
+                expected: state_expectation(self.state),
+                got: other.name(),
+            }),
+        }
+    }
+
+    fn on_peer_ccs(
+        &mut self,
+        common: &mut ConnectionCommon,
+        payload: &[u8],
+    ) -> Result<(), TlsError> {
+        if self.state != State::AwaitCcs || payload != [1] {
+            return Err(TlsError::UnexpectedMessage {
+                expected: "orderly ChangeCipherSpec",
+                got: "ChangeCipherSpec",
+            });
+        }
+        let keys = common
+            .pending_keys
+            .as_ref()
+            .expect("keys derived before CCS");
+        common.records.set_read_keys(keys.client_write.clone());
+        self.state = State::AwaitFinished;
         Ok(())
     }
 
-    /// White-box access for the attacker model: the master secret.
-    pub fn master_secret(&self) -> Option<[u8; 48]> {
-        self.master
+    fn alert_for(&self, err: &TlsError) -> AlertDescription {
+        match err {
+            TlsError::NoCommonSuite => AlertDescription::HandshakeFailure,
+            TlsError::BadFinished => AlertDescription::DecryptError,
+            TlsError::Crypto(_) => AlertDescription::DecryptError,
+            TlsError::Trust(_) => AlertDescription::BadCertificate,
+            TlsError::UnexpectedMessage { .. } => AlertDescription::UnexpectedMessage,
+            _ => AlertDescription::DecodeError,
+        }
     }
 
-    /// For resumed connections, when the original session was established
-    /// (the anchor of the ticket acceptance window).
-    pub fn resumed_original_establishment(&self) -> Option<u64> {
-        self.resumed.map(|_| self.resumed_established_at)
+    fn set_failed(&mut self) {
+        self.state = State::Failed;
+    }
+
+    fn note_alert_sent(&self, desc: AlertDescription) {
+        ALERT_SENT.inc();
+        emit(Event::AlertSent {
+            code: desc.to_byte(),
+        });
     }
 }
 
@@ -597,16 +572,5 @@ fn state_expectation(state: State) -> &'static str {
         State::AwaitFinished => "Finished",
         State::Established => "ApplicationData",
         State::Failed => "nothing (failed)",
-    }
-}
-
-fn alert_for(err: &TlsError) -> AlertDescription {
-    match err {
-        TlsError::NoCommonSuite => AlertDescription::HandshakeFailure,
-        TlsError::BadFinished => AlertDescription::DecryptError,
-        TlsError::Crypto(_) => AlertDescription::DecryptError,
-        TlsError::Trust(_) => AlertDescription::BadCertificate,
-        TlsError::UnexpectedMessage { .. } => AlertDescription::UnexpectedMessage,
-        _ => AlertDescription::DecodeError,
     }
 }

@@ -25,6 +25,7 @@
 use crate::error::TlsError;
 use crate::session::SessionState;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use ts_crypto::aead::{cbc_hmac_open, cbc_hmac_seal};
 use ts_crypto::drbg::HmacDrbg;
@@ -458,47 +459,184 @@ impl StekManager {
     }
 }
 
+/// An immutable snapshot of the keys that decide ticket acceptance at a
+/// moment in virtual time: the active STEK plus retired keys still inside
+/// their acceptance overlap.
+///
+/// [`SharedStekManager`] publishes one of these behind an epoch counter;
+/// connections pin the `Arc` and decrypt tickets against it without
+/// touching the shared manager lock. The container itself is a
+/// per-connection view (default connection class); the epoch-class
+/// [`Stek`]s inside carry their own annotations and waivers.
+pub struct StekSet {
+    format: TicketFormat,
+    active: Stek,
+    accepted_retired: Vec<Stek>,
+    /// First virtual time at which this snapshot stops matching the
+    /// manager (next rotation due, or a retired key leaving its overlap).
+    /// `None` = valid forever (Static policy).
+    valid_until: Option<u64>,
+}
+
+impl StekSet {
+    fn from_manager(m: &StekManager) -> Self {
+        let (rotate_every, overlap) = match m.policy {
+            RotationPolicy::Static => (None, 0),
+            RotationPolicy::OnRestart { restart_interval } => (Some(restart_interval), 0),
+            RotationPolicy::Periodic { period, overlap } => (Some(period), overlap),
+        };
+        let mut valid_until = rotate_every.map(|r| m.active.created_at + r);
+        if let Some(rotate_every) = rotate_every {
+            for k in &m.retired {
+                let expiry = k.created_at + rotate_every + overlap;
+                valid_until = Some(valid_until.map_or(expiry, |v| v.min(expiry)));
+            }
+        }
+        StekSet {
+            format: m.format,
+            active: m.active.clone(),
+            accepted_retired: m.retired.clone(),
+            valid_until,
+        }
+    }
+
+    /// Does this snapshot still reflect the manager at `now`?
+    fn valid_at(&self, now: u64) -> bool {
+        self.valid_until.is_none_or(|t| now < t)
+    }
+
+    /// Try the active key, then the retired overlap — the same order as
+    /// [`StekManager::accept`].
+    fn open(&self, ticket: &[u8]) -> Result<SessionState, TlsError> {
+        if let Ok(state) = self.active.open(ticket, self.format) {
+            return Ok(state);
+        }
+        for key in &self.accepted_retired {
+            if let Ok(state) = key.open(ticket, self.format) {
+                return Ok(state);
+            }
+        }
+        Err(TlsError::Decode("no STEK accepts this ticket"))
+    }
+}
+
+/// A connection's pin on the published [`StekSet`]: the `Arc` plus the
+/// epoch it was taken at. While the epoch matches and the set is still
+/// valid, ticket decryption is lock-free.
+#[derive(Clone)]
+pub struct PinnedStekSet {
+    epoch: u64,
+    set: Arc<StekSet>,
+}
+
+struct SharedStekInner {
+    manager: Mutex<StekManager>,
+    /// Bumped every time `published` is replaced; pinned readers compare
+    /// it with a single atomic load before trusting their snapshot.
+    epoch: AtomicU64,
+    published: Mutex<Arc<StekSet>>,
+}
+
 /// A STEK manager shareable across the servers of a service group —
 /// the §5.2 "shared STEK" phenomenon (CloudFlare: 62,176 domains).
+///
+/// The canonical [`StekManager`] sits behind one mutex, but the accept
+/// hot path never takes it: a published `Arc<StekSet>` snapshot (epoch-
+/// stamped) serves ticket decryption lock-free once a connection has
+/// pinned it. The manager lock is only touched when virtual time crosses
+/// a rotation or overlap boundary — exactly when the key material
+/// actually changes.
 #[derive(Clone)]
-pub struct SharedStekManager(Arc<Mutex<StekManager>>);
+pub struct SharedStekManager(Arc<SharedStekInner>);
 
 impl SharedStekManager {
-    /// Wrap a manager.
+    /// Wrap a manager and publish its initial snapshot.
     pub fn new(manager: StekManager) -> Self {
-        SharedStekManager(Arc::new(Mutex::new(manager)))
+        let published = Arc::new(StekSet::from_manager(&manager));
+        SharedStekManager(Arc::new(SharedStekInner {
+            manager: Mutex::new(manager),
+            epoch: AtomicU64::new(0),
+            published: Mutex::new(published),
+        }))
     }
 
-    /// Issue a ticket.
+    /// Issue a ticket. Sealing draws IVs from the manager's DRBG, so it
+    /// stays under the manager lock.
     pub fn issue(&self, state: &SessionState, now: u64) -> Vec<u8> {
-        self.0.lock().issue(state, now)
+        self.0.manager.lock().issue(state, now)
     }
 
-    /// Accept a ticket.
+    /// Accept a ticket without a standing pin (locks the snapshot mutex
+    /// briefly; rotation only when due).
     pub fn accept(&self, ticket: &[u8], now: u64) -> Result<SessionState, TlsError> {
-        self.0.lock().accept(ticket, now)
+        let mut pin = None;
+        self.accept_pinned(&mut pin, ticket, now)
+    }
+
+    /// Accept a ticket through an epoch-pinned snapshot.
+    ///
+    /// Fast path (pin present, epoch unchanged, no rotation due): one
+    /// atomic load, then ticket decryption against the pinned `Arc` —
+    /// no lock at all. Otherwise the pin is refreshed from the published
+    /// snapshot, advancing the manager only when a boundary was crossed.
+    pub fn accept_pinned(
+        &self,
+        pin: &mut Option<PinnedStekSet>,
+        ticket: &[u8],
+        now: u64,
+    ) -> Result<SessionState, TlsError> {
+        if let Some(p) = pin {
+            if p.epoch == self.0.epoch.load(Ordering::Acquire) && p.set.valid_at(now) {
+                return p.set.open(ticket);
+            }
+        }
+        let fresh = self.refresh_pin(now);
+        let result = fresh.set.open(ticket);
+        *pin = Some(fresh);
+        result
+    }
+
+    /// Current pin for `now` — republishing from the manager only if the
+    /// published snapshot went stale.
+    fn refresh_pin(&self, now: u64) -> PinnedStekSet {
+        let inner = &*self.0;
+        let mut published = inner.published.lock();
+        if published.valid_at(now) {
+            return PinnedStekSet {
+                epoch: inner.epoch.load(Ordering::Acquire),
+                set: published.clone(),
+            };
+        }
+        let mut manager = inner.manager.lock();
+        manager.tick(now);
+        let set = Arc::new(StekSet::from_manager(&manager));
+        drop(manager);
+        *published = set.clone();
+        // Publish under the snapshot lock so (epoch, set) stay paired.
+        let epoch = inner.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        PinnedStekSet { epoch, set }
     }
 
     /// Ticket format.
     pub fn format(&self) -> TicketFormat {
-        self.0.lock().format()
+        self.0.manager.lock().format()
     }
 
     /// Active key name after advancing to `now`.
     pub fn active_key_name_at(&self, now: u64) -> Vec<u8> {
-        let mut m = self.0.lock();
+        let mut m = self.0.manager.lock();
         m.tick(now);
         m.active_key_name()
     }
 
     /// Steal in-memory keys (attacker model).
     pub fn steal_keys(&self) -> Vec<Stek> {
-        self.0.lock().steal_keys()
+        self.0.manager.lock().steal_keys()
     }
 
     /// Ground-truth key history.
     pub fn key_history(&self) -> Vec<Stek> {
-        self.0.lock().key_history().to_vec()
+        self.0.manager.lock().key_history().to_vec()
     }
 
     /// Same underlying manager?

@@ -141,12 +141,12 @@ fn application_data_flows_both_ways() {
     client.send_app_data(b"GET / HTTP/1.1\r\n\r\n").unwrap();
     let mut cap = Default::default();
     pump_app_data(&mut client, &mut server, &mut cap).unwrap();
-    assert_eq!(server.take_app_data(), b"GET / HTTP/1.1\r\n\r\n");
+    assert_eq!(server.recv_app_data(), b"GET / HTTP/1.1\r\n\r\n");
     server
         .send_app_data(b"HTTP/1.1 200 OK\r\n\r\nhello")
         .unwrap();
     pump_app_data(&mut client, &mut server, &mut cap).unwrap();
-    assert_eq!(client.take_app_data(), b"HTTP/1.1 200 OK\r\n\r\nhello");
+    assert_eq!(client.recv_app_data(), b"HTTP/1.1 200 OK\r\n\r\nhello");
     // The wire never shows plaintext.
     assert!(!cap.client_to_server.windows(5).any(|w| w == b"GET /"));
     assert!(!cap.server_to_client.windows(5).any(|w| w == b"hello"));

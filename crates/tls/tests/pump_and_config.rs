@@ -112,7 +112,7 @@ fn pump_app_data_is_incremental() {
         client.send_app_data(format!("msg {i}").as_bytes()).unwrap();
         pump_app_data(&mut client, &mut server, &mut capture).unwrap();
     }
-    assert_eq!(server.take_app_data(), b"msg 0msg 1msg 2");
+    assert_eq!(server.recv_app_data(), b"msg 0msg 1msg 2");
     assert!(capture.client_to_server.len() > before);
 }
 
@@ -164,21 +164,41 @@ fn tampered_wire_fails_cleanly() {
         HmacDrbg::new(b"c"),
     );
     let mut server = ServerConn::new(cfg, HmacDrbg::new(b"s"), 100);
-    // Run the flights manually so we can tamper mid-way.
-    let ch = client.take_output();
-    server.input(&ch).unwrap();
-    let flight = server.take_output();
-    client.input(&flight).unwrap();
-    let cke_ccs_fin = client.take_output();
-    server.input(&cke_ccs_fin).unwrap();
-    let mut server_fin = server.take_output();
+    // Run the flights manually with the byte-port API so we can tamper
+    // mid-way.
+    fn drain(conn: &mut ts_tls::ConnectionCommon) -> Vec<u8> {
+        let mut buf = Vec::new();
+        while conn.wants_write() {
+            conn.write_tls(&mut buf).unwrap();
+        }
+        buf
+    }
+    fn feed(conn: &mut ts_tls::ConnectionCommon, bytes: &[u8]) {
+        let mut rd: &[u8] = bytes;
+        while !rd.is_empty() {
+            conn.read_tls(&mut rd).unwrap();
+        }
+    }
+    let ch = drain(&mut client);
+    feed(&mut server, &ch);
+    server.process_new_packets().unwrap();
+    let flight = drain(&mut server);
+    feed(&mut client, &flight);
+    client.process_new_packets().unwrap();
+    let cke_ccs_fin = drain(&mut client);
+    feed(&mut server, &cke_ccs_fin);
+    server.process_new_packets().unwrap();
+    let mut server_fin = drain(&mut server);
     // Tamper with the LAST byte (inside the encrypted Finished record).
     let last = server_fin.len() - 1;
     server_fin[last] ^= 0xff;
-    let err = client.input(&server_fin).unwrap_err();
+    feed(&mut client, &server_fin);
+    let err = client.process_new_packets().unwrap_err();
     assert!(
         matches!(err, TlsError::Crypto(_) | TlsError::BadFinished),
         "{err:?}"
     );
     assert!(client.is_failed());
+    // The failure queued a fatal alert for the peer.
+    assert!(client.wants_write(), "alert queued on failure");
 }

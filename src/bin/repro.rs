@@ -3,11 +3,18 @@
 //! ```text
 //! repro [EXPERIMENT] [--size N] [--seed S] [--days D] [--step SECS]
 //!       [--workers N] [--telemetry-json PATH]
+//! repro loadgen [--workers N] [--targets M] [--requests R]
+//!       [--mix FULL/SID/TICKET] [--seed S] [--telemetry-json PATH]
 //!
 //! EXPERIMENT: all (default) | table1 | table2 | table3 | table4 |
 //!             table5 | table6 | table7 | fig1 | fig2 | fig3 | fig4 |
 //!             fig5 | fig6 | fig7 | fig8 | google | demo | tls13 | ablation
 //! ```
+//!
+//! `loadgen` is not an experiment: it drives the sans-I/O connection API
+//! with N worker threads against a simulated server fleet and prints a
+//! `loadgen/v1` JSON report (deterministic work counts + measured
+//! throughput/latency). `BENCH_7.json` archives its scaling curve.
 //!
 //! Absolute counts scale with `--size`; the percentages, orderings and
 //! crossovers are the reproduction targets (see EXPERIMENTS.md).
@@ -118,7 +125,93 @@ fn parse_args() -> Args {
     args
 }
 
+/// `repro loadgen ...` — its own tiny arg surface, separate from the
+/// experiment flags.
+fn run_loadgen(argv: &[String]) -> ! {
+    let mut cfg = ts_loadgen::LoadgenConfig::default();
+    let mut telemetry_json: Option<String> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--workers" => {
+                i += 1;
+                cfg.workers = argv[i].parse().expect("--workers N");
+            }
+            "--targets" => {
+                i += 1;
+                cfg.targets = argv[i].parse().expect("--targets M");
+            }
+            "--requests" => {
+                i += 1;
+                cfg.requests_per_worker = argv[i].parse().expect("--requests R");
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = argv[i].parse().expect("--seed S");
+            }
+            "--mix" => {
+                i += 1;
+                let parts: Vec<u8> = argv[i]
+                    .split('/')
+                    .map(|p| p.parse().expect("--mix FULL/SID/TICKET"))
+                    .collect();
+                assert_eq!(parts.len(), 3, "--mix FULL/SID/TICKET");
+                cfg.mix = ts_loadgen::Mix {
+                    full_pct: parts[0],
+                    session_id_pct: parts[1],
+                    ticket_pct: parts[2],
+                };
+            }
+            "--telemetry-json" => {
+                i += 1;
+                telemetry_json = Some(argv[i].clone());
+            }
+            "--help" | "-h" => {
+                println!(
+                    "repro loadgen [--workers N] [--targets M] [--requests R] \
+                     [--mix FULL/SID/TICKET] [--seed S] [--telemetry-json PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown loadgen flag '{other}'"),
+        }
+        i += 1;
+    }
+    // Clock injected here so ts-loadgen itself stays wall-clock-free
+    // under the determinism lint.
+    let t0 = Instant::now();
+    let clock = move || t0.elapsed().as_nanos() as u64;
+    let report = ts_loadgen::run(&cfg, &clock);
+    println!("{}", report.to_json());
+    eprintln!(
+        "[loadgen] {} handshakes ({} full, {} sid, {} ticket) with {} workers: \
+         {:.1} hs/s wall, {:.1} hs/s on ideal cores, p50 {:?}us p99 {:?}us",
+        report.work.handshakes,
+        report.work.full,
+        report.work.resume_session_id,
+        report.work.resume_ticket,
+        cfg.workers,
+        report.handshakes_per_sec(),
+        report.modeled_ideal_core_hs_per_sec(),
+        report.p50_us,
+        report.p99_us,
+    );
+    if let Some(path) = &telemetry_json {
+        // Deterministic form: wall-flagged latency histograms excluded, so
+        // the file is byte-identical across same-seed runs at any worker
+        // count.
+        let json = ts_telemetry::snapshot().to_json(false).to_json_string();
+        std::fs::write(path, json).expect("write telemetry json");
+        eprintln!("[loadgen] telemetry snapshot written to {path}");
+    }
+    std::process::exit(0);
+}
+
 fn main() {
+    let first: Vec<String> = std::env::args().skip(1).collect();
+    if first.first().map(String::as_str) == Some("loadgen") {
+        run_loadgen(&first[1..]);
+    }
     let args = parse_args();
     if args.bench_smoke {
         // Performance probe, not an experiment: no population build, JSON

@@ -68,6 +68,53 @@ fn stale_lifetime_waiver_fails_the_lint() {
 }
 
 #[test]
+fn removed_connection_api_has_no_callers() {
+    // The PR that introduced the sans-I/O `ConnectionCommon` deleted the
+    // old `input`/`take_output` surface in the same sweep. This grep keeps
+    // it deleted: no file in the workspace may call the removed methods.
+    // The needles are assembled at runtime so this test never matches its
+    // own source.
+    let needles = [
+        format!(".{}{}(", "take_", "output"),
+        format!(".{}{}(", "in", "put"),
+        format!(".{}{}(", "take_", "app_data"),
+    ];
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut offenders = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("readable dir") {
+            let entry = entry.expect("dir entry");
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                // Vendored stand-ins and build output are not ours to police.
+                if name != "target" && name != "vendor" && name != ".git" {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let text = std::fs::read_to_string(&path).expect("readable source");
+                for needle in &needles {
+                    if text.contains(needle.as_str()) {
+                        offenders.push(format!(
+                            "{}: calls removed API `{}...)`",
+                            path.strip_prefix(root).unwrap_or(&path).display(),
+                            needle
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "removed connection API still has callers:\n{}",
+        offenders.join("\n")
+    );
+}
+
+#[test]
 fn telemetry_sink_rule_is_armed_for_the_workspace_scan() {
     // The clean verdict above must include the telemetry-sink rule: the
     // built-in sink names and the extra `[telemetry] sinks` entries from
