@@ -111,6 +111,142 @@ fn rate(count: u64, secs: f64) -> String {
     format!("{:.1}", count as f64 / secs)
 }
 
+/// Plaintext bytes per record-layer probe iteration (a large-ish record
+/// burst, past the 8-block threshold where the AVX2 ChaCha path engages).
+const REC_BUF: usize = 16 * 1024;
+/// Iterations per record-layer probe: 1 MiB of traffic each.
+const REC_ITERS: u64 = 64;
+/// Scalar-multiplication count for the X25519 probes (multiple of 4 so the
+/// batched probe runs whole batches).
+const KEX_OPS: u64 = 16;
+/// Exponentiation pairs for the Straus multi-exponentiation probe.
+const STRAUS_PAIRS: u64 = 8;
+
+/// Time `f` processing `bytes` total and render one `record_layer` line.
+/// The dispatched and `_portable` variants run the same byte volume, so
+/// their ratio is the SIMD speedup on this host.
+fn record_probe(
+    name: &str,
+    bytes: u64,
+    now_nanos: &dyn Fn() -> u64,
+    mut f: impl FnMut(),
+) -> String {
+    let t0 = now_nanos();
+    f();
+    let secs = now_nanos().saturating_sub(t0) as f64 / 1e9;
+    format!(
+        "    {{\"name\": \"{name}\", \"bytes\": {bytes}, \"bytes_per_sec\": {}}}",
+        rate(bytes, secs)
+    )
+}
+
+/// Same shape for the asymmetric probes, counting operations not bytes.
+fn kex_probe(name: &str, ops: u64, now_nanos: &dyn Fn() -> u64, mut f: impl FnMut()) -> String {
+    let t0 = now_nanos();
+    f();
+    let secs = now_nanos().saturating_sub(t0) as f64 / 1e9;
+    format!(
+        "    {{\"name\": \"{name}\", \"ops\": {ops}, \"ops_per_sec\": {}}}",
+        rate(ops, secs)
+    )
+}
+
+/// The SIMD-vs-scalar record-layer probes: AES-GCM seal and the ChaCha20
+/// keystream, each through the CPU-dispatched path and the in-binary
+/// scalar reference (`*_portable`), over identical inputs.
+fn record_layer_probes(now_nanos: &dyn Fn() -> u64) -> Vec<String> {
+    let key16 = [0x42u8; 16];
+    let key32 = [0x24u8; 32];
+    let nonce = [0x07u8; 12];
+    let aad = b"bench-smoke-aad";
+    let plaintext: Vec<u8> = (0..REC_BUF).map(|i| i as u8).collect();
+    let bytes = REC_BUF as u64 * REC_ITERS;
+    vec![
+        record_probe("aes128gcm_seal", bytes, now_nanos, || {
+            for _ in 0..REC_ITERS {
+                std::hint::black_box(ts_crypto::gcm::seal(&key16, &nonce, aad, &plaintext));
+            }
+        }),
+        record_probe("aes128gcm_seal_portable", bytes, now_nanos, || {
+            for _ in 0..REC_ITERS {
+                std::hint::black_box(ts_crypto::gcm::seal_portable(
+                    &key16, &nonce, aad, &plaintext,
+                ));
+            }
+        }),
+        record_probe("chacha20_xor", bytes, now_nanos, || {
+            let mut buf = plaintext.clone();
+            for _ in 0..REC_ITERS {
+                ts_crypto::chacha20::xor_stream(&key32, 1, &nonce, &mut buf);
+            }
+            std::hint::black_box(&buf);
+        }),
+        record_probe("chacha20_xor_portable", bytes, now_nanos, || {
+            let mut buf = plaintext.clone();
+            for _ in 0..REC_ITERS {
+                ts_crypto::chacha20::xor_stream_portable(&key32, 1, &nonce, &mut buf);
+            }
+            std::hint::black_box(&buf);
+        }),
+    ]
+}
+
+/// Batched-vs-serial asymmetric probes: X25519 public-key derivation
+/// (serial ladder vs the 4-way interleaved ladder) and DHE server-side
+/// exponentiation (per-exponent `modpow` vs the shared-table
+/// `modpow_batch`, plus Straus `multi_modpow` vs a serial product).
+fn batch_kex_probes(now_nanos: &dyn Fn() -> u64) -> Vec<String> {
+    use ts_crypto::bignum::Ub;
+    let secrets: Vec<[u8; 32]> = (0..KEX_OPS)
+        .map(|i| {
+            let mut s = [0u8; 32];
+            s[0] = 0x40 | i as u8;
+            s[31] = !(i as u8);
+            s
+        })
+        .collect();
+    let group = ts_crypto::dh::DhGroup::Sim256;
+    let mont = group.montgomery();
+    let g = group.generator();
+    let exps: Vec<Ub> = (0..KEX_OPS)
+        .map(|i| Ub::from_bytes_be(&[&[0x33 + i as u8], &secrets[i as usize][..31]].concat()))
+        .collect();
+    let pairs: Vec<(Ub, Ub)> = (0..STRAUS_PAIRS)
+        .map(|i| (Ub::from_u64(0x1_0001 + 2 * i), exps[i as usize].clone()))
+        .collect();
+    vec![
+        kex_probe("x25519_serial", KEX_OPS, now_nanos, || {
+            for s in &secrets {
+                std::hint::black_box(ts_crypto::x25519::public_key(s));
+            }
+        }),
+        kex_probe("x25519_batch4", KEX_OPS, now_nanos, || {
+            for quad in secrets.chunks_exact(4) {
+                let lanes: [[u8; 32]; 4] = quad.try_into().expect("chunked by 4");
+                std::hint::black_box(ts_crypto::x25519::public_key_batch4(&lanes));
+            }
+        }),
+        kex_probe("dhe_modpow_serial", KEX_OPS, now_nanos, || {
+            for e in &exps {
+                std::hint::black_box(mont.modpow(g, e));
+            }
+        }),
+        kex_probe("dhe_modpow_batch", KEX_OPS, now_nanos, || {
+            std::hint::black_box(mont.modpow_batch(g, &exps));
+        }),
+        kex_probe("straus_serial_product", STRAUS_PAIRS, now_nanos, || {
+            let mut acc = Ub::one();
+            for (b, e) in &pairs {
+                acc = acc.mul_mod(&mont.modpow(b, e), mont.modulus());
+            }
+            std::hint::black_box(acc);
+        }),
+        kex_probe("straus_multi_modpow", STRAUS_PAIRS, now_nanos, || {
+            std::hint::black_box(mont.multi_modpow(&pairs));
+        }),
+    ]
+}
+
 /// Run the smoke probe and return the JSON report.
 ///
 /// `now_nanos` supplies monotonic elapsed nanoseconds — injected by the
@@ -119,10 +255,13 @@ fn rate(count: u64, secs: f64) -> String {
 /// rules; everything here except the two rate fields is a pure function
 /// of the workload.
 ///
-/// Schema (`bench-smoke/v1`): `suites[]` carries, per key-exchange family,
+/// Schema (`bench-smoke/v2`): `suites[]` carries, per key-exchange family,
 /// the deterministic work counts (`handshakes`, `modexps`,
 /// `mont_cache_hits`) and the measured `handshakes_per_sec` /
-/// `modexps_per_sec`; `totals` aggregates across families.
+/// `modexps_per_sec`; `record_layer[]` compares the CPU-dispatched AEAD
+/// kernels against their in-binary scalar references; `batch_kex[]`
+/// compares batched against serial asymmetric kernels; `totals`
+/// aggregates across families.
 pub fn run(now_nanos: &dyn Fn() -> u64) -> String {
     let w = smoke_world();
     let mut suite_lines = Vec::new();
@@ -155,11 +294,20 @@ pub fn run(now_nanos: &dyn Fn() -> u64) -> String {
             rate(modexps, secs),
         ));
     }
+    // Record-layer and batched-kex probes run after the suite loop so
+    // their modexp/counter traffic can't perturb the per-suite deltas
+    // pinned against BENCH_5.json.
+    let record_lines = record_layer_probes(now_nanos);
+    let kex_lines = batch_kex_probes(now_nanos);
     format!(
-        "{{\n  \"schema\": \"bench-smoke/v1\",\n  \"suites\": [\n{}\n  ],\n  \
+        "{{\n  \"schema\": \"bench-smoke/v2\",\n  \"suites\": [\n{}\n  ],\n  \
+         \"record_layer\": [\n{}\n  ],\n  \
+         \"batch_kex\": [\n{}\n  ],\n  \
          \"totals\": {{\"handshakes\": {total_hs}, \"modexps\": {total_modexp}, \
          \"handshakes_per_sec\": {}, \"modexps_per_sec\": {}}}\n}}",
         suite_lines.join(",\n"),
+        record_lines.join(",\n"),
+        kex_lines.join(",\n"),
         rate(total_hs, total_secs),
         rate(total_modexp, total_secs),
     )
@@ -183,7 +331,21 @@ mod tests {
     fn smoke_report_has_deterministic_schema_and_counts() {
         let clock = fake_clock();
         let report = run(&clock);
-        assert!(report.contains("\"schema\": \"bench-smoke/v1\""));
+        assert!(report.contains("\"schema\": \"bench-smoke/v2\""));
+        for name in [
+            "aes128gcm_seal",
+            "aes128gcm_seal_portable",
+            "chacha20_xor",
+            "chacha20_xor_portable",
+            "x25519_serial",
+            "x25519_batch4",
+            "dhe_modpow_serial",
+            "dhe_modpow_batch",
+            "straus_serial_product",
+            "straus_multi_modpow",
+        ] {
+            assert!(report.contains(&format!("\"name\": \"{name}\"")), "{name}");
+        }
         for suite in SUITES {
             assert!(report.contains(&format!("\"suite\": \"{suite:?}\"")));
         }

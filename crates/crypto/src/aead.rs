@@ -1,6 +1,8 @@
-//! ChaCha20-Poly1305 AEAD (RFC 7539 §2.8) and the CBC+HMAC
-//! encrypt-then-MAC construction used for session tickets and CBC cipher
-//! suites.
+//! The unified AEAD front: ChaCha20-Poly1305 (RFC 7539 §2.8), AES-128-GCM
+//! (re-exported from [`crate::gcm`]), and the CBC+HMAC encrypt-then-MAC
+//! construction used for session tickets and CBC cipher suites. The record
+//! layer in `ts-tls` goes through these entry points, so every suite picks
+//! up the SIMD fast paths (and the forced-portable fallback) uniformly.
 
 use crate::cbc;
 use crate::chacha20::{self, KEY_LEN as CHACHA_KEY_LEN, NONCE_LEN};
@@ -60,6 +62,27 @@ pub fn chacha20poly1305_open(
     let mut pt = ct.to_vec();
     chacha20::xor_stream(key, 1, nonce, &mut pt);
     Ok(pt)
+}
+
+/// AES-128-GCM seal: returns ciphertext || 16-byte tag. Dispatches to the
+/// AES-NI/CLMUL path when the CPU supports it (see [`crate::gcm`]).
+pub fn aes128gcm_seal(
+    key: &[u8; 16],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    plaintext: &[u8],
+) -> Vec<u8> {
+    crate::gcm::seal(key, nonce, aad, plaintext)
+}
+
+/// AES-128-GCM open: verifies the tag, returns the plaintext.
+pub fn aes128gcm_open(
+    key: &[u8; 16],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    sealed: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
+    crate::gcm::open(key, nonce, aad, sealed)
 }
 
 /// Encrypt-then-MAC with AES-128-CBC and HMAC-SHA256.

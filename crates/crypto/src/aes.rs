@@ -115,8 +115,54 @@ impl Aes128 {
         Aes128 { round_keys }
     }
 
+    /// The expanded schedule repacked as 44 little-endian `u32` words
+    /// (4 per round key, in memory order). This is the form the AES-NI
+    /// kernels consume: an `_mm_loadu_si128` over four consecutive words
+    /// reproduces the round key's byte layout exactly. Word-typed so the
+    /// hardware path never handles the schedule as bytes.
+    pub(crate) fn schedule_words(&self) -> [u32; 44] {
+        let mut w = [0u32; 44];
+        for r in 0..11 {
+            for c in 0..4 {
+                w[4 * r + c] = u32::from_le_bytes([
+                    self.round_keys[r][4 * c],
+                    self.round_keys[r][4 * c + 1],
+                    self.round_keys[r][4 * c + 2],
+                    self.round_keys[r][4 * c + 3],
+                ]);
+            }
+        }
+        w
+    }
+
     /// Encrypt one 16-byte block in place.
     pub fn encrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
+        #[cfg(target_arch = "x86_64")]
+        if ni::available() {
+            let rk = self.schedule_words();
+            let mut w = block_to_words(block);
+            ni::encrypt_block(&rk, &mut w);
+            words_to_block(&w, block);
+            return;
+        }
+        self.encrypt_block_scalar(block);
+    }
+
+    /// Decrypt one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
+        #[cfg(target_arch = "x86_64")]
+        if ni::available() {
+            let rk = self.schedule_words();
+            let mut w = block_to_words(block);
+            ni::decrypt_block(&rk, &mut w);
+            words_to_block(&w, block);
+            return;
+        }
+        self.decrypt_block_scalar(block);
+    }
+
+    /// The portable byte-oriented encryption (FIPS 197 pseudocode).
+    pub(crate) fn encrypt_block_scalar(&self, block: &mut [u8; BLOCK_LEN]) {
         add_round_key(block, &self.round_keys[0]);
         for r in 1..10 {
             sub_bytes(block);
@@ -129,8 +175,8 @@ impl Aes128 {
         add_round_key(block, &self.round_keys[10]);
     }
 
-    /// Decrypt one 16-byte block in place.
-    pub fn decrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
+    /// The portable byte-oriented decryption.
+    pub(crate) fn decrypt_block_scalar(&self, block: &mut [u8; BLOCK_LEN]) {
         add_round_key(block, &self.round_keys[10]);
         inv_shift_rows(block);
         inv_sub_bytes(block);
@@ -141,6 +187,27 @@ impl Aes128 {
             inv_sub_bytes(block);
         }
         add_round_key(block, &self.round_keys[0]);
+    }
+}
+
+/// Repack a block as 4 little-endian words (the `__m128i` lane order).
+pub(crate) fn block_to_words(block: &[u8; BLOCK_LEN]) -> [u32; 4] {
+    let mut w = [0u32; 4];
+    for i in 0..4 {
+        w[i] = u32::from_le_bytes([
+            block[4 * i],
+            block[4 * i + 1],
+            block[4 * i + 2],
+            block[4 * i + 3],
+        ]);
+    }
+    w
+}
+
+/// Inverse of [`block_to_words`].
+pub(crate) fn words_to_block(w: &[u32; 4], block: &mut [u8; BLOCK_LEN]) {
+    for i in 0..4 {
+        block[4 * i..4 * i + 4].copy_from_slice(&w[i].to_le_bytes());
     }
 }
 
@@ -220,6 +287,162 @@ fn inv_mix_columns(state: &mut [u8; 16]) {
     }
 }
 
+/// AES-NI hardware block path, used when CPUID reports support.
+///
+/// Every kernel here takes the key schedule as the `[u32; 44]` word form
+/// from [`Aes128::schedule_words`] and the state as `u32`/`u64` words —
+/// never as bytes — so the hardware boundary carries no byte-typed secret
+/// channels. Output is bit-identical to the scalar path (the FIPS vectors
+/// exercise whichever path the host selects, and
+/// `hardware_and_scalar_block_paths_agree` pins them against each other).
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod ni {
+    // The sanctioned unsafe exception (see lib.rs): scoped, behind runtime
+    // feature detection, with safety comments.
+    #![allow(unsafe_code)]
+
+    use core::arch::x86_64::*;
+
+    /// Does this CPU have AES-NI (plus the SSE2 baseline the loads/stores
+    /// use), and is the build not forced portable? Detected once.
+    pub fn available() -> bool {
+        use std::sync::OnceLock;
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| {
+            !crate::dispatch::force_portable()
+                && std::arch::is_x86_feature_detected!("aes")
+                && std::arch::is_x86_feature_detected!("sse2")
+        })
+    }
+
+    /// Load the 11 round keys out of the word-form schedule.
+    #[target_feature(enable = "sse2")]
+    unsafe fn load_schedule(rk: &[u32; 44]) -> [__m128i; 11] {
+        let mut keys = [_mm_setzero_si128(); 11];
+        // SAFETY: 4 * r + 4 <= 44 for r in 0..11, so every 16-byte load
+        // stays inside the borrowed array.
+        unsafe {
+            for (r, k) in keys.iter_mut().enumerate() {
+                *k = _mm_loadu_si128(rk.as_ptr().add(4 * r) as *const __m128i);
+            }
+        }
+        keys
+    }
+
+    /// Encrypt a single block held as 4 LE words.
+    pub fn encrypt_block(rk: &[u32; 44], block: &mut [u32; 4]) {
+        // SAFETY: `available()` gates every call site on CPUID.
+        unsafe { encrypt_block_impl(rk, block) }
+    }
+
+    #[target_feature(enable = "aes", enable = "sse2")]
+    unsafe fn encrypt_block_impl(rk: &[u32; 44], block: &mut [u32; 4]) {
+        // SAFETY: in-bounds unaligned loads/stores over the borrowed
+        // arrays; `target_feature` is vouched for by the caller's CPUID
+        // check.
+        unsafe {
+            let keys = load_schedule(rk);
+            let mut b = _mm_loadu_si128(block.as_ptr() as *const __m128i);
+            b = _mm_xor_si128(b, keys[0]);
+            for k in &keys[1..10] {
+                b = _mm_aesenc_si128(b, *k);
+            }
+            b = _mm_aesenclast_si128(b, keys[10]);
+            _mm_storeu_si128(block.as_mut_ptr() as *mut __m128i, b);
+        }
+    }
+
+    /// Decrypt a single block held as 4 LE words. The decryption round
+    /// keys (Equivalent Inverse Cipher form) are derived on the fly with
+    /// `aesimc` — one instruction per round, cheap next to the rounds.
+    pub fn decrypt_block(rk: &[u32; 44], block: &mut [u32; 4]) {
+        // SAFETY: `available()` gates every call site on CPUID.
+        unsafe { decrypt_block_impl(rk, block) }
+    }
+
+    #[target_feature(enable = "aes", enable = "sse2")]
+    unsafe fn decrypt_block_impl(rk: &[u32; 44], block: &mut [u32; 4]) {
+        // SAFETY: in-bounds unaligned loads/stores over the borrowed
+        // arrays; `target_feature` is vouched for by the caller's CPUID
+        // check.
+        unsafe {
+            let keys = load_schedule(rk);
+            let mut b = _mm_loadu_si128(block.as_ptr() as *const __m128i);
+            b = _mm_xor_si128(b, keys[10]);
+            for r in (1..10).rev() {
+                b = _mm_aesdec_si128(b, _mm_aesimc_si128(keys[r]));
+            }
+            b = _mm_aesdeclast_si128(b, keys[0]);
+            _mm_storeu_si128(block.as_mut_ptr() as *mut __m128i, b);
+        }
+    }
+
+    /// Fill `out` with CTR keystream: for each 16-byte block `i`,
+    /// `out[2i..2i+2]` receives `E(K, j0 ‖ be32(first_ctr + i))` as two
+    /// LE `u64` lanes (memory order == keystream byte order). The first
+    /// three nonce words come from `j0`; the big-endian counter word is
+    /// rebuilt per block (GCM `inc32` semantics, wrapping at 2^32).
+    /// Blocks run four abreast to pipeline the `aesenc` latency chain.
+    pub fn ctr_keystream(rk: &[u32; 44], j0: &[u32; 3], first_ctr: u32, out: &mut [u64]) {
+        debug_assert_eq!(out.len() % 2, 0);
+        // SAFETY: `available()` gates every call site on CPUID.
+        unsafe { ctr_keystream_impl(rk, j0, first_ctr, out) }
+    }
+
+    #[target_feature(enable = "aes", enable = "sse2")]
+    unsafe fn ctr_keystream_impl(rk: &[u32; 44], j0: &[u32; 3], first_ctr: u32, out: &mut [u64]) {
+        // SAFETY: all loads/stores stay inside the borrowed slices: the
+        // store for block index `i` touches `out[2i..2i+2]` and `i` ranges
+        // over `out.len() / 2`; `target_feature` is vouched for by the
+        // caller's CPUID check.
+        unsafe {
+            let keys = load_schedule(rk);
+            let nblocks = out.len() / 2;
+            let ctr_block = |i: usize| {
+                let ctr = first_ctr.wrapping_add(i as u32);
+                _mm_set_epi32(
+                    ctr.swap_bytes() as i32,
+                    j0[2] as i32,
+                    j0[1] as i32,
+                    j0[0] as i32,
+                )
+            };
+            let mut i = 0;
+            while i + 4 <= nblocks {
+                let mut b0 = _mm_xor_si128(ctr_block(i), keys[0]);
+                let mut b1 = _mm_xor_si128(ctr_block(i + 1), keys[0]);
+                let mut b2 = _mm_xor_si128(ctr_block(i + 2), keys[0]);
+                let mut b3 = _mm_xor_si128(ctr_block(i + 3), keys[0]);
+                for k in &keys[1..10] {
+                    b0 = _mm_aesenc_si128(b0, *k);
+                    b1 = _mm_aesenc_si128(b1, *k);
+                    b2 = _mm_aesenc_si128(b2, *k);
+                    b3 = _mm_aesenc_si128(b3, *k);
+                }
+                b0 = _mm_aesenclast_si128(b0, keys[10]);
+                b1 = _mm_aesenclast_si128(b1, keys[10]);
+                b2 = _mm_aesenclast_si128(b2, keys[10]);
+                b3 = _mm_aesenclast_si128(b3, keys[10]);
+                let p = out.as_mut_ptr();
+                _mm_storeu_si128(p.add(2 * i) as *mut __m128i, b0);
+                _mm_storeu_si128(p.add(2 * i + 2) as *mut __m128i, b1);
+                _mm_storeu_si128(p.add(2 * i + 4) as *mut __m128i, b2);
+                _mm_storeu_si128(p.add(2 * i + 6) as *mut __m128i, b3);
+                i += 4;
+            }
+            while i < nblocks {
+                let mut b = _mm_xor_si128(ctr_block(i), keys[0]);
+                for k in &keys[1..10] {
+                    b = _mm_aesenc_si128(b, *k);
+                }
+                b = _mm_aesenclast_si128(b, keys[10]);
+                _mm_storeu_si128(out.as_mut_ptr().add(2 * i) as *mut __m128i, b);
+                i += 1;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,6 +509,54 @@ mod tests {
         c1.encrypt_block(&mut b1);
         c2.encrypt_block(&mut b2);
         assert_ne!(b1, b2);
+    }
+
+    #[test]
+    fn hardware_and_scalar_block_paths_agree() {
+        // `encrypt_block`/`decrypt_block` dispatch to AES-NI when the host
+        // has it; pin them against the always-scalar path bit-for-bit.
+        let cipher = Aes128::new(b"agreement-key-00");
+        for i in 0..64u8 {
+            let mut via_dispatch = [i.wrapping_mul(37); 16];
+            let mut via_scalar = via_dispatch;
+            cipher.encrypt_block(&mut via_dispatch);
+            cipher.encrypt_block_scalar(&mut via_scalar);
+            assert_eq!(via_dispatch, via_scalar, "encrypt block {i}");
+            cipher.decrypt_block(&mut via_dispatch);
+            cipher.decrypt_block_scalar(&mut via_scalar);
+            assert_eq!(via_dispatch, via_scalar, "decrypt block {i}");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn ctr_keystream_matches_single_block_encryptions() {
+        if !ni::available() {
+            return;
+        }
+        let cipher = Aes128::new(b"ctr-keystream-k!");
+        let rk = cipher.schedule_words();
+        let j0 = [
+            0x01020304u32.to_be(),
+            0x05060708u32.to_be(),
+            0x090a0b0cu32.to_be(),
+        ];
+        for nblocks in [1usize, 3, 4, 5, 8, 17] {
+            let mut ks = vec![0u64; 2 * nblocks];
+            ni::ctr_keystream(&rk, &j0, 2, &mut ks);
+            for b in 0..nblocks {
+                let mut block = [0u8; 16];
+                block[..4].copy_from_slice(&j0[0].to_le_bytes());
+                block[4..8].copy_from_slice(&j0[1].to_le_bytes());
+                block[8..12].copy_from_slice(&j0[2].to_le_bytes());
+                block[12..].copy_from_slice(&(2u32.wrapping_add(b as u32)).to_be_bytes());
+                cipher.encrypt_block_scalar(&mut block);
+                let mut got = [0u8; 16];
+                got[..8].copy_from_slice(&ks[2 * b].to_le_bytes());
+                got[8..].copy_from_slice(&ks[2 * b + 1].to_le_bytes());
+                assert_eq!(got, block, "block {b} of {nblocks}");
+            }
+        }
     }
 
     #[test]

@@ -722,6 +722,88 @@ impl Montgomery {
     /// before the loop.
     pub fn modpow(&self, base: &Ub, exp: &Ub) -> Ub {
         MODEXP_TOTAL.inc();
+        let mut scratch = vec![0u64; self.scratch_len()];
+        let table = self.build_window_table(base, &mut scratch);
+        let mut operand = vec![0u64; self.width];
+        self.modpow_with_table(&table, exp, &mut scratch, &mut operand)
+    }
+
+    /// Several exponentiations of the *same* base: `base^e mod n` for each
+    /// `e` in `exps`.
+    ///
+    /// The 16-entry window table costs 15 Montgomery multiplies to build;
+    /// a batch pays that once instead of once per exponent, which is the
+    /// dominant fixed cost for the short exponents in the simulation's DH
+    /// groups. Results are bit-identical to serial [`Montgomery::modpow`]
+    /// calls (same table, same window walk).
+    pub fn modpow_batch(&self, base: &Ub, exps: &[Ub]) -> Vec<Ub> {
+        let mut scratch = vec![0u64; self.scratch_len()];
+        let table = self.build_window_table(base, &mut scratch);
+        let mut operand = vec![0u64; self.width];
+        exps.iter()
+            .map(|exp| {
+                MODEXP_TOTAL.inc();
+                self.modpow_with_table(&table, exp, &mut scratch, &mut operand)
+            })
+            .collect()
+    }
+
+    /// Straus/Shamir multi-exponentiation: `∏ gᵢ^eᵢ mod n` in one pass.
+    ///
+    /// All factors share a single squaring chain — each 4-bit window
+    /// position squares the accumulator four times *once*, then multiplies
+    /// in every base's table entry — so the squaring work (the bulk of an
+    /// exponentiation) is paid once instead of once per factor. The
+    /// per-base window lookups use the same constant-time full-table scan
+    /// as [`Montgomery::modpow`]. Counts one modexp per factor in
+    /// telemetry, since that is the serial work it replaces.
+    pub fn multi_modpow(&self, pairs: &[(Ub, Ub)]) -> Ub {
+        if pairs.is_empty() {
+            return Ub::one().rem(&self.n);
+        }
+        let mut scratch = vec![0u64; self.scratch_len()];
+        let tables: Vec<Vec<u64>> = pairs
+            .iter()
+            .map(|(base, _)| {
+                MODEXP_TOTAL.inc();
+                self.build_window_table(base, &mut scratch)
+            })
+            .collect();
+        let bits = pairs
+            .iter()
+            .map(|(_, e)| e.bit_len())
+            .max()
+            .expect("non-empty");
+        let windows = bits.div_ceil(WINDOW_BITS);
+        let mut result = self.r1.clone();
+        let mut operand = vec![0u64; self.width];
+        for w in (0..windows).rev() {
+            if w + 1 != windows {
+                for _ in 0..WINDOW_BITS {
+                    self.mont_sqr_assign(&mut result, &mut scratch);
+                }
+            }
+            for (table, (_, exp)) in tables.iter().zip(pairs.iter()) {
+                let mut win = 0u64;
+                for b in 0..WINDOW_BITS {
+                    win |= (exp.bit(w * WINDOW_BITS + b) as u64) << b;
+                }
+                self.ct_table_scan(table, win, &mut operand);
+                self.mont_mul_assign(&mut result, &operand, &mut scratch);
+            }
+        }
+        // Convert out of the Montgomery domain: multiply by plain 1.
+        operand.fill(0);
+        operand[0] = 1;
+        self.mont_mul_assign(&mut result, &operand, &mut scratch);
+        let mut out = Ub { limbs: result };
+        out.normalize();
+        out
+    }
+
+    /// Build the fixed-window table for `base`: `table[w] = base^w` in
+    /// Montgomery form, `table[0] = Montgomery(1)`.
+    fn build_window_table(&self, base: &Ub, scratch: &mut [u64]) -> Vec<u64> {
         let k = self.width;
         let reduced;
         let base = if base.cmp_to(&self.n) == std::cmp::Ordering::Less {
@@ -730,48 +812,61 @@ impl Montgomery {
             reduced = base.rem(&self.n);
             &reduced
         };
-        let mut scratch = vec![0u64; self.scratch_len()];
-        // table[w] = base^w in Montgomery form; table[0] = Montgomery(1).
         let mut table = vec![0u64; TABLE_SIZE * k];
         table[..k].copy_from_slice(&self.r1);
         {
             let (_, entry1) = table.split_at_mut(k);
             entry1[..base.limbs.len()].copy_from_slice(&base.limbs);
-            self.mont_mul_assign(&mut entry1[..k], &self.rr, &mut scratch);
+            self.mont_mul_assign(&mut entry1[..k], &self.rr, scratch);
         }
         for w in 2..TABLE_SIZE {
             let (lo, hi) = table.split_at_mut(w * k);
             hi[..k].copy_from_slice(&lo[(w - 1) * k..]);
-            self.mont_mul_assign(&mut hi[..k], &lo[k..2 * k], &mut scratch);
+            self.mont_mul_assign(&mut hi[..k], &lo[k..2 * k], scratch);
         }
+        table
+    }
+
+    /// Constant-time table scan: touch all 16 entries, keep `win`'s.
+    fn ct_table_scan(&self, table: &[u64], win: u64, operand: &mut [u64]) {
+        let k = self.width;
+        operand.fill(0);
+        for (idx, entry) in table.chunks_exact(k).enumerate() {
+            let mask = crate::ct::ct_eq_u64_mask(idx as u64, win);
+            for (o, &e) in operand.iter_mut().zip(entry.iter()) {
+                *o = crate::ct::ct_select_u64(mask, e, *o);
+            }
+        }
+    }
+
+    /// The window walk of [`Montgomery::modpow`] over a prebuilt table.
+    fn modpow_with_table(
+        &self,
+        table: &[u64],
+        exp: &Ub,
+        scratch: &mut [u64],
+        operand: &mut [u64],
+    ) -> Ub {
         let mut result = self.r1.clone();
-        let mut operand = vec![0u64; k];
         let bits = exp.bit_len();
         let windows = bits.div_ceil(WINDOW_BITS);
         for w in (0..windows).rev() {
             if w + 1 != windows {
                 for _ in 0..WINDOW_BITS {
-                    self.mont_sqr_assign(&mut result, &mut scratch);
+                    self.mont_sqr_assign(&mut result, scratch);
                 }
             }
             let mut win = 0u64;
             for b in 0..WINDOW_BITS {
                 win |= (exp.bit(w * WINDOW_BITS + b) as u64) << b;
             }
-            // Constant-time table scan: touch all 16 entries, keep one.
-            operand.fill(0);
-            for (idx, entry) in table.chunks_exact(k).enumerate() {
-                let mask = crate::ct::ct_eq_u64_mask(idx as u64, win);
-                for (o, &e) in operand.iter_mut().zip(entry.iter()) {
-                    *o = crate::ct::ct_select_u64(mask, e, *o);
-                }
-            }
-            self.mont_mul_assign(&mut result, &operand, &mut scratch);
+            self.ct_table_scan(table, win, operand);
+            self.mont_mul_assign(&mut result, operand, scratch);
         }
         // Convert out of the Montgomery domain: multiply by plain 1.
         operand.fill(0);
         operand[0] = 1;
-        self.mont_mul_assign(&mut result, &operand, &mut scratch);
+        self.mont_mul_assign(&mut result, operand, scratch);
         let mut out = Ub { limbs: result };
         out.normalize();
         out
@@ -1093,6 +1188,68 @@ mod tests {
             }
             assert_eq!(mont.modpow(&base, &exp), reference);
         }
+    }
+
+    #[test]
+    fn modpow_batch_matches_serial() {
+        // The shared-table batch against one modpow per exponent, over
+        // exponents of very different lengths (including zero).
+        let mut fill = fill_counter();
+        let m = Ub::from_hex("ffffffffffffffffffffffffffffff61");
+        let mont = Montgomery::new(&m);
+        let mut bbuf = [0u8; 16];
+        fill(&mut bbuf);
+        let base = Ub::from_bytes_be(&bbuf);
+        let mut exps = vec![Ub::zero(), Ub::one(), Ub::from_u64(65537)];
+        for _ in 0..5 {
+            let mut ebuf = [0u8; 16];
+            fill(&mut ebuf);
+            exps.push(Ub::from_bytes_be(&ebuf));
+        }
+        let batched = mont.modpow_batch(&base, &exps);
+        assert_eq!(batched.len(), exps.len());
+        for (e, got) in exps.iter().zip(&batched) {
+            assert_eq!(got, &mont.modpow(&base, e), "exp {}", e.to_hex());
+        }
+    }
+
+    #[test]
+    fn multi_modpow_matches_product_of_serial() {
+        // Straus against the serial product ∏ gᵢ^eᵢ mod n, with factor
+        // counts 0..4 and mixed exponent bit lengths.
+        let mut fill = fill_counter();
+        let m = Ub::from_hex("ffffffffffffffffffffffffffffff61");
+        let mont = Montgomery::new(&m);
+        for count in 0..=4 {
+            let mut pairs = Vec::new();
+            for i in 0..count {
+                let mut bbuf = [0u8; 16];
+                fill(&mut bbuf);
+                let mut ebuf = vec![0u8; 1 + 5 * i]; // widely varying lengths
+                fill(&mut ebuf);
+                pairs.push((Ub::from_bytes_be(&bbuf), Ub::from_bytes_be(&ebuf)));
+            }
+            let mut reference = Ub::one().rem(&m);
+            for (g, e) in &pairs {
+                reference = reference.mul_mod(&mont.modpow(g, e), &m);
+            }
+            assert_eq!(mont.multi_modpow(&pairs), reference, "count {count}");
+        }
+    }
+
+    #[test]
+    fn multi_modpow_with_zero_exponent_factor() {
+        // A factor with exponent 0 contributes 1 and must not disturb the
+        // shared squaring chain.
+        let m = Ub::from_u64(1000003);
+        let mont = Montgomery::new(&m);
+        let pairs = vec![
+            (Ub::from_u64(2), Ub::from_u64(10)),
+            (Ub::from_u64(999), Ub::zero()),
+            (Ub::from_u64(3), Ub::from_u64(7)),
+        ];
+        // 2^10 * 3^7 = 1024 * 2187 = 2239488 mod 1000003 = 239482.
+        assert_eq!(mont.multi_modpow(&pairs), Ub::from_u64(239482));
     }
 
     #[test]

@@ -1,0 +1,30 @@
+//! Runtime SIMD dispatch policy.
+//!
+//! Every hardware fast path in this crate (SHA-NI, AES-NI, CLMUL, AVX2)
+//! gates itself on two things: CPUID feature detection and the `portable`
+//! cargo feature. Building with `--features ts-crypto/portable` forces the
+//! scalar implementations even on capable hardware — CI runs one leg this
+//! way so the fallbacks stay exercised, and it is the fastest way to A/B
+//! the two paths locally.
+//!
+//! A compile-time flag (rather than an environment variable) keeps the
+//! dispatch decision out of ambient process state: the determinism lint
+//! treats `env::var` reads as entropy, and rightly so — a knob that can
+//! differ between two "identical" invocations has no place in a
+//! reproduction. A feature is pinned in the build plan instead.
+
+/// Is the build forced onto the portable scalar paths?
+///
+/// Checked (alongside CPUID) by every `available()` gate in this crate.
+pub fn force_portable() -> bool {
+    cfg!(feature = "portable")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn force_portable_is_stable() {
+        // Compile-time answer: must not change between calls.
+        assert_eq!(super::force_portable(), super::force_portable());
+    }
+}

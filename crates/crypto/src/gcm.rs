@@ -1,0 +1,579 @@
+//! AES-128-GCM (NIST SP 800-38D).
+//!
+//! The record layer's fast AEAD: CTR-mode AES for confidentiality and
+//! GHASH — polynomial evaluation over GF(2^128) — for integrity. Two
+//! implementations sit behind one dispatch:
+//!
+//! * **Hardware**: the AES-NI CTR keystream from [`crate::aes`] plus a
+//!   CLMUL (`pclmulqdq`) GHASH. The carry-less multiplier produces the
+//!   three 128-bit Karatsuba part-products; the shift-and-fold reduction
+//!   is shared scalar code, so the two paths agree by construction
+//!   everywhere except the multiplier itself.
+//! * **Portable**: a constant-time scalar GHASH using masked integer
+//!   multiplication (the classic `bmul64` trick: four masked multiplies
+//!   emulate one carry-less multiply with no data-dependent table reads),
+//!   and the byte-oriented AES from [`crate::aes`].
+//!
+//! Both paths are pinned to the McGrew/Viega AES-GCM test vectors and to
+//! each other (`clmul_and_scalar_ghash_agree`).
+//!
+//! Secrets cross the hardware boundary only as `u64` words — the GHASH
+//! key, accumulator and data limbs — never as byte slices.
+
+use crate::aes::{Aes128, BLOCK_LEN};
+use crate::error::CryptoError;
+
+/// GCM nonce length (the 12-byte fast path; other lengths unsupported).
+pub const NONCE_LEN: usize = 12;
+/// GCM authentication tag length.
+pub const TAG_LEN: usize = 16;
+/// AES-128 key length.
+pub const KEY_LEN: usize = 16;
+
+// --------------------------------------------------------------------------
+// GF(2^128) multiplication
+// --------------------------------------------------------------------------
+
+/// Bit-reverse a 64-bit word (swap within bytes, then swap bytes).
+fn rev64(mut x: u64) -> u64 {
+    x = ((x & 0x5555_5555_5555_5555) << 1) | ((x >> 1) & 0x5555_5555_5555_5555);
+    x = ((x & 0x3333_3333_3333_3333) << 2) | ((x >> 2) & 0x3333_3333_3333_3333);
+    x = ((x & 0x0f0f_0f0f_0f0f_0f0f) << 4) | ((x >> 4) & 0x0f0f_0f0f_0f0f_0f0f);
+    x.swap_bytes()
+}
+
+/// Carry-less multiply, low 64 bits, without a carry-less multiplier:
+/// split each operand into four strided bit groups so every partial
+/// integer product keeps its carries out of the lanes we keep. Constant
+/// time — no branches, no table reads.
+fn bmul64(x: u64, y: u64) -> u64 {
+    const M0: u64 = 0x1111_1111_1111_1111;
+    const M1: u64 = 0x2222_2222_2222_2222;
+    const M2: u64 = 0x4444_4444_4444_4444;
+    const M3: u64 = 0x8888_8888_8888_8888;
+    let (x0, x1, x2, x3) = (x & M0, x & M1, x & M2, x & M3);
+    let (y0, y1, y2, y3) = (y & M0, y & M1, y & M2, y & M3);
+    let z0 = x0.wrapping_mul(y0) ^ x1.wrapping_mul(y3) ^ x2.wrapping_mul(y2) ^ x3.wrapping_mul(y1);
+    let z1 = x0.wrapping_mul(y1) ^ x1.wrapping_mul(y0) ^ x2.wrapping_mul(y3) ^ x3.wrapping_mul(y2);
+    let z2 = x0.wrapping_mul(y2) ^ x1.wrapping_mul(y1) ^ x2.wrapping_mul(y0) ^ x3.wrapping_mul(y3);
+    let z3 = x0.wrapping_mul(y3) ^ x1.wrapping_mul(y2) ^ x2.wrapping_mul(y1) ^ x3.wrapping_mul(y0);
+    (z0 & M0) | (z1 & M1) | (z2 & M2) | (z3 & M3)
+}
+
+/// Shared tail of both multipliers: take the four 64-bit limbs of the
+/// 255-bit carry-less Karatsuba product (low to high), shift left one bit
+/// (GCM's reflected bit convention), fold modulo x^128 + x^7 + x^2 + x + 1,
+/// and return the reduced accumulator as `(y1, y0)` big-endian halves.
+fn shift_reduce(v: [u64; 4]) -> (u64, u64) {
+    let [mut v0, mut v1, mut v2, mut v3] = v;
+    v3 = (v3 << 1) | (v2 >> 63);
+    v2 = (v2 << 1) | (v1 >> 63);
+    v1 = (v1 << 1) | (v0 >> 63);
+    v0 <<= 1;
+    v2 ^= v0 ^ (v0 >> 1) ^ (v0 >> 2) ^ (v0 >> 7);
+    v1 ^= (v0 << 63) ^ (v0 << 62) ^ (v0 << 57);
+    v3 ^= v1 ^ (v1 >> 1) ^ (v1 >> 2) ^ (v1 >> 7);
+    v2 ^= (v1 << 63) ^ (v1 << 62) ^ (v1 << 57);
+    (v3, v2)
+}
+
+/// The GHASH state: accumulator `y` and hash key `h`, both as big-endian
+/// 64-bit halves (`*1` is the first eight bytes of the block), plus the
+/// bit-reversed forms the scalar multiplier needs.
+struct Ghash {
+    y1: u64,
+    y0: u64,
+    h1: u64,
+    h0: u64,
+    h2: u64,
+    h0r: u64,
+    h1r: u64,
+    h2r: u64,
+    use_clmul: bool,
+}
+
+impl Ghash {
+    #[cfg(test)]
+    fn new(h: &[u8; BLOCK_LEN]) -> Self {
+        Self::new_with(h, clmul_available())
+    }
+
+    fn new_with(h: &[u8; BLOCK_LEN], use_clmul: bool) -> Self {
+        let h1 = u64::from_be_bytes(h[..8].try_into().expect("8 bytes"));
+        let h0 = u64::from_be_bytes(h[8..].try_into().expect("8 bytes"));
+        let (h0r, h1r) = (rev64(h0), rev64(h1));
+        Ghash {
+            y1: 0,
+            y0: 0,
+            h1,
+            h0,
+            h2: h0 ^ h1,
+            h0r,
+            h1r,
+            h2r: h0r ^ h1r,
+            use_clmul,
+        }
+    }
+
+    /// Absorb one 16-byte block: xor into the accumulator, multiply by H.
+    fn update_block(&mut self, block: &[u8; BLOCK_LEN]) {
+        self.y1 ^= u64::from_be_bytes(block[..8].try_into().expect("8 bytes"));
+        self.y0 ^= u64::from_be_bytes(block[8..].try_into().expect("8 bytes"));
+        let v = if self.use_clmul {
+            #[cfg(target_arch = "x86_64")]
+            {
+                ni::karatsuba(self.y1, self.y0, self.h1, self.h0)
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                unreachable!("clmul_available() is false off x86_64")
+            }
+        } else {
+            self.karatsuba_scalar()
+        };
+        (self.y1, self.y0) = shift_reduce(v);
+    }
+
+    /// The portable Karatsuba: nine masked multiplies (three per 64-bit
+    /// part-product, the high halves recovered through bit reversal).
+    fn karatsuba_scalar(&self) -> [u64; 4] {
+        let (y0r, y1r) = (rev64(self.y0), rev64(self.y1));
+        let y2 = self.y0 ^ self.y1;
+        let y2r = y0r ^ y1r;
+        let z0 = bmul64(self.y0, self.h0);
+        let z1 = bmul64(self.y1, self.h1);
+        let mut z2 = bmul64(y2, self.h2);
+        let z0h = bmul64(y0r, self.h0r);
+        let z1h = bmul64(y1r, self.h1r);
+        let mut z2h = bmul64(y2r, self.h2r);
+        z2 ^= z0 ^ z1;
+        z2h ^= z0h ^ z1h;
+        let z0h = rev64(z0h) >> 1;
+        let z1h = rev64(z1h) >> 1;
+        let z2h = rev64(z2h) >> 1;
+        [z0, z0h ^ z2, z1 ^ z2h, z1h]
+    }
+
+    /// Absorb `data`, zero-padding the trailing partial block (GCM pads
+    /// AAD and ciphertext independently).
+    fn update_padded(&mut self, data: &[u8]) {
+        let mut chunks = data.chunks_exact(BLOCK_LEN);
+        for chunk in &mut chunks {
+            self.update_block(chunk.try_into().expect("exact chunk"));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut last = [0u8; BLOCK_LEN];
+            last[..rem.len()].copy_from_slice(rem);
+            self.update_block(&last);
+        }
+    }
+
+    /// Finish with the lengths block and return the untagged GHASH value.
+    fn finalize(mut self, aad_len: usize, ct_len: usize) -> [u8; BLOCK_LEN] {
+        let mut lens = [0u8; BLOCK_LEN];
+        lens[..8].copy_from_slice(&(8 * aad_len as u64).to_be_bytes());
+        lens[8..].copy_from_slice(&(8 * ct_len as u64).to_be_bytes());
+        self.update_block(&lens);
+        let mut out = [0u8; BLOCK_LEN];
+        out[..8].copy_from_slice(&self.y1.to_be_bytes());
+        out[8..].copy_from_slice(&self.y0.to_be_bytes());
+        out
+    }
+}
+
+/// Is the CLMUL GHASH path usable on this host (and not forced portable)?
+fn clmul_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| {
+            !crate::dispatch::force_portable()
+                && std::arch::is_x86_feature_detected!("pclmulqdq")
+                && std::arch::is_x86_feature_detected!("sse2")
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// CLMUL part-product kernel. Only the three carry-less 64×64 multiplies
+/// run in vector registers; the shift-and-fold reduction is the shared
+/// scalar `shift_reduce`, so this path cannot disagree with the portable
+/// one about anything but the multiplier — which the agreement tests pin.
+#[cfg(target_arch = "x86_64")]
+mod ni {
+    // The sanctioned unsafe exception (see lib.rs): scoped, behind runtime
+    // feature detection, with safety comments.
+    #![allow(unsafe_code)]
+
+    use core::arch::x86_64::*;
+
+    /// Karatsuba part-products of `(y1‖y0) ⊗ (h1‖h0)` as four limbs, low
+    /// to high — bit-compatible with `Ghash::karatsuba_scalar`.
+    pub fn karatsuba(y1: u64, y0: u64, h1: u64, h0: u64) -> [u64; 4] {
+        // SAFETY: `clmul_available()` gates every call site on CPUID.
+        unsafe { karatsuba_impl(y1, y0, h1, h0) }
+    }
+
+    #[target_feature(enable = "pclmulqdq", enable = "sse2")]
+    unsafe fn karatsuba_impl(y1: u64, y0: u64, h1: u64, h0: u64) -> [u64; 4] {
+        // SAFETY: register-only SIMD plus stores into stack arrays of
+        // exactly 16 bytes; `target_feature` is vouched for by the
+        // caller's CPUID check.
+        unsafe {
+            let a = _mm_set_epi64x(y1 as i64, y0 as i64);
+            let b = _mm_set_epi64x(h1 as i64, h0 as i64);
+            let p0 = _mm_clmulepi64_si128(a, b, 0x00);
+            let p1 = _mm_clmulepi64_si128(a, b, 0x11);
+            let af = _mm_xor_si128(a, _mm_srli_si128(a, 8));
+            let bf = _mm_xor_si128(b, _mm_srli_si128(b, 8));
+            let mut mid = _mm_clmulepi64_si128(af, bf, 0x00);
+            mid = _mm_xor_si128(mid, _mm_xor_si128(p0, p1));
+            let mut lo = [0u64; 2];
+            let mut hi = [0u64; 2];
+            let mut md = [0u64; 2];
+            _mm_storeu_si128(lo.as_mut_ptr() as *mut __m128i, p0);
+            _mm_storeu_si128(hi.as_mut_ptr() as *mut __m128i, p1);
+            _mm_storeu_si128(md.as_mut_ptr() as *mut __m128i, mid);
+            [lo[0], lo[1] ^ md[0], hi[0] ^ md[1], hi[1]]
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// CTR keystream + seal/open
+// --------------------------------------------------------------------------
+
+/// Generate `len` bytes of CTR keystream starting at big-endian counter
+/// `first_ctr` (GCM `inc32` semantics over the 12-byte nonce).
+fn ctr_keystream(aes: &Aes128, nonce: &[u8; NONCE_LEN], first_ctr: u32, len: usize) -> Vec<u8> {
+    #[cfg(target_arch = "x86_64")]
+    if crate::aes::ni::available() {
+        let nblocks = len.div_ceil(BLOCK_LEN);
+        let mut out = vec![0u8; nblocks * BLOCK_LEN];
+        let rk = aes.schedule_words();
+        let j0 = [
+            u32::from_le_bytes(nonce[..4].try_into().expect("4 bytes")),
+            u32::from_le_bytes(nonce[4..8].try_into().expect("4 bytes")),
+            u32::from_le_bytes(nonce[8..].try_into().expect("4 bytes")),
+        ];
+        let mut ks = vec![0u64; 2 * nblocks];
+        crate::aes::ni::ctr_keystream(&rk, &j0, first_ctr, &mut ks);
+        for (i, w) in ks.iter().enumerate() {
+            out[8 * i..8 * i + 8].copy_from_slice(&w.to_le_bytes());
+        }
+        out.truncate(len);
+        return out;
+    }
+    ctr_keystream_scalar(aes, nonce, first_ctr, len)
+}
+
+/// The byte-oriented CTR loop: the portable fallback, and (forced) the
+/// reference baseline for the agreement tests and benchmarks.
+fn ctr_keystream_scalar(
+    aes: &Aes128,
+    nonce: &[u8; NONCE_LEN],
+    first_ctr: u32,
+    len: usize,
+) -> Vec<u8> {
+    let nblocks = len.div_ceil(BLOCK_LEN);
+    let mut out = vec![0u8; nblocks * BLOCK_LEN];
+    for b in 0..nblocks {
+        let mut block = [0u8; BLOCK_LEN];
+        block[..NONCE_LEN].copy_from_slice(nonce);
+        block[NONCE_LEN..].copy_from_slice(&first_ctr.wrapping_add(b as u32).to_be_bytes());
+        aes.encrypt_block_scalar(&mut block);
+        out[BLOCK_LEN * b..BLOCK_LEN * (b + 1)].copy_from_slice(&block);
+    }
+    out.truncate(len);
+    out
+}
+
+/// Hash key + keystream generation, with the `portable` flag forcing the
+/// scalar reference paths (used by agreement tests and benchmarks to
+/// compare against the dispatched paths inside one binary).
+fn hash_key(aes: &Aes128, portable: bool) -> [u8; BLOCK_LEN] {
+    let mut h = [0u8; BLOCK_LEN];
+    if portable {
+        aes.encrypt_block_scalar(&mut h);
+    } else {
+        aes.encrypt_block(&mut h);
+    }
+    h
+}
+
+fn keystream(
+    aes: &Aes128,
+    nonce: &[u8; NONCE_LEN],
+    first_ctr: u32,
+    len: usize,
+    portable: bool,
+) -> Vec<u8> {
+    if portable {
+        ctr_keystream_scalar(aes, nonce, first_ctr, len)
+    } else {
+        ctr_keystream(aes, nonce, first_ctr, len)
+    }
+}
+
+fn seal_impl(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    plaintext: &[u8],
+    portable: bool,
+) -> Vec<u8> {
+    let aes = Aes128::new(key);
+    let h = hash_key(&aes, portable);
+    // Data blocks start at counter 2; counter 1 masks the tag.
+    let ks = keystream(&aes, nonce, 2, plaintext.len(), portable);
+    let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+    out.extend(plaintext.iter().zip(&ks).map(|(p, k)| p ^ k));
+    let mut ghash = Ghash::new_with(&h, !portable && clmul_available());
+    ghash.update_padded(aad);
+    ghash.update_padded(&out);
+    let mut tag = ghash.finalize(aad.len(), plaintext.len());
+    let mask = keystream(&aes, nonce, 1, TAG_LEN, portable);
+    for (t, m) in tag.iter_mut().zip(&mask) {
+        *t ^= m;
+    }
+    out.extend_from_slice(&tag);
+    out
+}
+
+fn open_impl(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    ciphertext: &[u8],
+    portable: bool,
+) -> Result<Vec<u8>, CryptoError> {
+    if ciphertext.len() < TAG_LEN {
+        return Err(CryptoError::BadMac);
+    }
+    let (ct, tag) = ciphertext.split_at(ciphertext.len() - TAG_LEN);
+    let aes = Aes128::new(key);
+    let h = hash_key(&aes, portable);
+    let mut ghash = Ghash::new_with(&h, !portable && clmul_available());
+    ghash.update_padded(aad);
+    ghash.update_padded(ct);
+    let mut expect = ghash.finalize(aad.len(), ct.len());
+    let mask = keystream(&aes, nonce, 1, TAG_LEN, portable);
+    for (t, m) in expect.iter_mut().zip(&mask) {
+        *t ^= m;
+    }
+    if !crate::ct::ct_eq(&expect, tag) {
+        return Err(CryptoError::BadMac);
+    }
+    let ks = keystream(&aes, nonce, 2, ct.len(), portable);
+    Ok(ct.iter().zip(&ks).map(|(c, k)| c ^ k).collect())
+}
+
+/// Encrypt and authenticate: returns `ciphertext ‖ tag`.
+pub fn seal(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    seal_impl(key, nonce, aad, plaintext, false)
+}
+
+/// Verify and decrypt `ciphertext ‖ tag`. The tag is checked (in constant
+/// time) before any plaintext is released.
+pub fn open(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    ciphertext: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
+    open_impl(key, nonce, aad, ciphertext, false)
+}
+
+/// [`seal`] forced onto the scalar reference paths regardless of CPU
+/// features. For agreement tests and scalar-baseline benchmarks only.
+#[doc(hidden)]
+pub fn seal_portable(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    plaintext: &[u8],
+) -> Vec<u8> {
+    seal_impl(key, nonce, aad, plaintext, true)
+}
+
+/// [`open`] forced onto the scalar reference paths regardless of CPU
+/// features. For agreement tests and scalar-baseline benchmarks only.
+#[doc(hidden)]
+pub fn open_portable(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    ciphertext: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
+    open_impl(key, nonce, aad, ciphertext, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len() / 2)
+            .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn kat(key: &str, nonce: &str, aad: &str, pt: &str, ct: &str, tag: &str) {
+        let key: [u8; 16] = unhex(key).try_into().unwrap();
+        let nonce: [u8; 12] = unhex(nonce).try_into().unwrap();
+        let (aad, pt) = (unhex(aad), unhex(pt));
+        let sealed = seal(&key, &nonce, &aad, &pt);
+        let want: Vec<u8> = unhex(ct).into_iter().chain(unhex(tag)).collect();
+        assert_eq!(sealed, want, "seal mismatch");
+        let opened = open(&key, &nonce, &aad, &sealed).expect("tag verifies");
+        assert_eq!(opened, pt, "open mismatch");
+    }
+
+    // McGrew/Viega "The Galois/Counter Mode of Operation" test cases 1-4
+    // (the NIST CAVS AES-128-GCM anchor vectors).
+    #[test]
+    fn mcgrew_viega_case_1_empty() {
+        kat(
+            "00000000000000000000000000000000",
+            "000000000000000000000000",
+            "",
+            "",
+            "",
+            "58e2fccefa7e3061367f1d57a4e7455a",
+        );
+    }
+
+    #[test]
+    fn mcgrew_viega_case_2_one_block() {
+        kat(
+            "00000000000000000000000000000000",
+            "000000000000000000000000",
+            "",
+            "00000000000000000000000000000000",
+            "0388dace60b6a392f328c2b971b2fe78",
+            "ab6e47d42cec13bdf53a67b21257bddf",
+        );
+    }
+
+    #[test]
+    fn mcgrew_viega_case_3_four_blocks() {
+        kat(
+            "feffe9928665731c6d6a8f9467308308",
+            "cafebabefacedbaddecaf888",
+            "",
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985",
+            "4d5c2af327cd64a62cf35abd2ba6fab4",
+        );
+    }
+
+    #[test]
+    fn mcgrew_viega_case_4_aad_and_partial_block() {
+        kat(
+            "feffe9928665731c6d6a8f9467308308",
+            "cafebabefacedbaddecaf888",
+            "feedfacedeadbeeffeedfacedeadbeefabaddad2",
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091",
+            "5bc94fbc3221a5db94fae95ae7121a47",
+        );
+    }
+
+    #[test]
+    fn tampered_tag_ciphertext_and_aad_all_fail() {
+        let key = [7u8; 16];
+        let nonce = [3u8; 12];
+        let sealed = seal(&key, &nonce, b"aad", b"hello, record layer");
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 1;
+            assert!(open(&key, &nonce, b"aad", &bad).is_err(), "byte {i}");
+        }
+        assert!(open(&key, &nonce, b"aae", &sealed).is_err(), "bad aad");
+        assert!(open(&key, &[4u8; 12], b"aad", &sealed).is_err(), "nonce");
+    }
+
+    /// The NIST SP 800-38D bit-by-bit reference multiplication, used to
+    /// pin the Karatsuba/fold implementation independently of the KATs.
+    fn gf_mul_reference(x: &[u8; 16], y: &[u8; 16]) -> [u8; 16] {
+        let mut z = [0u8; 16];
+        let mut v = *y;
+        for i in 0..128 {
+            if x[i / 8] >> (7 - i % 8) & 1 == 1 {
+                for (zb, vb) in z.iter_mut().zip(&v) {
+                    *zb ^= vb;
+                }
+            }
+            let lsb = v[15] & 1;
+            for j in (1..16).rev() {
+                v[j] = v[j] >> 1 | v[j - 1] << 7;
+            }
+            v[0] >>= 1;
+            if lsb == 1 {
+                v[0] ^= 0xe1;
+            }
+        }
+        z
+    }
+
+    #[test]
+    fn scalar_ghash_matches_bitwise_reference() {
+        let mut rng = crate::drbg::HmacDrbg::new(b"ghash-ref");
+        for _ in 0..50 {
+            let mut h = [0u8; 16];
+            let mut x = [0u8; 16];
+            rng.fill_bytes(&mut h);
+            rng.fill_bytes(&mut x);
+            let mut g = Ghash::new(&h);
+            g.use_clmul = false;
+            g.update_block(&x);
+            let mut got = [0u8; 16];
+            got[..8].copy_from_slice(&g.y1.to_be_bytes());
+            got[8..].copy_from_slice(&g.y0.to_be_bytes());
+            assert_eq!(got, gf_mul_reference(&x, &h));
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn clmul_and_scalar_ghash_agree() {
+        if !clmul_available() {
+            return;
+        }
+        let mut rng = crate::drbg::HmacDrbg::new(b"ghash-clmul");
+        for _ in 0..200 {
+            let mut h = [0u8; 16];
+            let mut x = [0u8; 16];
+            rng.fill_bytes(&mut h);
+            rng.fill_bytes(&mut x);
+            let mut hw = Ghash::new(&h);
+            let mut sw = Ghash::new(&h);
+            sw.use_clmul = false;
+            assert!(hw.use_clmul);
+            hw.update_block(&x);
+            sw.update_block(&x);
+            assert_eq!((hw.y1, hw.y0), (sw.y1, sw.y0));
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_lengths_through_two_blocks() {
+        let key = [0x42u8; 16];
+        let nonce = [0x24u8; 12];
+        for len in 0..=33 {
+            let pt: Vec<u8> = (0..len as u8).collect();
+            let sealed = seal(&key, &nonce, b"hdr", &pt);
+            assert_eq!(sealed.len(), pt.len() + TAG_LEN);
+            assert_eq!(open(&key, &nonce, b"hdr", &sealed).unwrap(), pt);
+        }
+    }
+}

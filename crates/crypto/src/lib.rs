@@ -12,9 +12,12 @@
 //! * [`hmac`] — HMAC-SHA256 (RFC 4231)
 //! * [`prf`] — the TLS 1.2 pseudo-random function `P_SHA256` (RFC 5246 §5)
 //!   and HKDF (RFC 5869) for the TLS 1.3 PSK module
-//! * [`aes`] — the AES-128 block cipher (FIPS 197)
+//! * [`aes`] — the AES-128 block cipher (FIPS 197), with an AES-NI fast
+//!   path behind runtime CPUID detection (see [`dispatch`])
 //! * [`cbc`] — AES-128-CBC with PKCS#7 padding (NIST SP 800-38A)
-//! * [`chacha20`] / [`poly1305`] / [`aead`] — ChaCha20-Poly1305 (RFC 7539)
+//! * [`gcm`] — AES-128-GCM (NIST SP 800-38D) with a CLMUL GHASH fast path
+//! * [`chacha20`] / [`poly1305`] / [`aead`] — ChaCha20-Poly1305 (RFC 7539),
+//!   with an AVX2 8-way keystream fast path
 //! * [`bignum`] — arbitrary-precision unsigned integers with Knuth-D
 //!   division and Montgomery modular exponentiation
 //! * [`dh`] — finite-field Diffie-Hellman over named groups (RFC 3526 plus
@@ -32,9 +35,10 @@
 //! are written for a *measurement simulation*: they favour clarity over
 //! side-channel hardening. Do not lift them into production use.
 
-// `deny` rather than `forbid`: the one sanctioned exception is the
-// volatile-write zeroization primitive in [`wipe`], which opts back in with
-// a scoped `#[allow(unsafe_code)]` and a safety comment.
+// `deny` rather than `forbid`: the sanctioned exceptions are the
+// volatile-write zeroization primitive in [`wipe`] and the SIMD kernels in
+// [`aes`], [`gcm`], and [`chacha20`] — each opts back in with a scoped
+// `#[allow(unsafe_code)]`, runtime CPUID gating, and safety comments.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -45,8 +49,10 @@ pub mod cbc;
 pub mod chacha20;
 pub mod ct;
 pub mod dh;
+pub mod dispatch;
 pub mod drbg;
 pub mod error;
+pub mod gcm;
 pub mod hmac;
 pub mod poly1305;
 pub mod prf;

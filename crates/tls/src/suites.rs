@@ -2,8 +2,9 @@
 //!
 //! The study cares about the *key exchange* dimension (RSA vs DHE vs
 //! ECDHE — §2.1) and is indifferent to record protection, so we ship the
-//! five suites modern 2016-era servers actually negotiated, with their real
-//! IANA code points.
+//! suites modern 2016-era servers actually negotiated, with their real
+//! IANA code points: AES-GCM first (what the Alexa top sites actually
+//! picked), then ChaCha20-Poly1305, then CBC as the compatibility floor.
 
 use ts_crypto::dh::DhGroup;
 
@@ -23,6 +24,8 @@ pub enum KeyExchange {
 pub enum RecordProtection {
     /// AES-128-CBC with HMAC-SHA256 (encrypt-then-MAC).
     CbcHmacSha256,
+    /// AES-128-GCM AEAD.
+    Aes128Gcm,
     /// ChaCha20-Poly1305 AEAD.
     ChaCha20Poly1305,
 }
@@ -36,6 +39,12 @@ pub enum CipherSuite {
     DheRsaAes128CbcSha256,
     /// TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA256 (0xC027)
     EcdheRsaAes128CbcSha256,
+    /// TLS_RSA_WITH_AES_128_GCM_SHA256 (0x009C)
+    RsaAes128GcmSha256,
+    /// TLS_DHE_RSA_WITH_AES_128_GCM_SHA256 (0x009E)
+    DheRsaAes128GcmSha256,
+    /// TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256 (0xC02F)
+    EcdheRsaAes128GcmSha256,
     /// TLS_DHE_RSA_WITH_CHACHA20_POLY1305_SHA256 (0xCCAA)
     DheRsaChaCha20Poly1305,
     /// TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256 (0xCCA8)
@@ -49,6 +58,9 @@ impl CipherSuite {
             CipherSuite::RsaAes128CbcSha256 => 0x003c,
             CipherSuite::DheRsaAes128CbcSha256 => 0x0067,
             CipherSuite::EcdheRsaAes128CbcSha256 => 0xc027,
+            CipherSuite::RsaAes128GcmSha256 => 0x009c,
+            CipherSuite::DheRsaAes128GcmSha256 => 0x009e,
+            CipherSuite::EcdheRsaAes128GcmSha256 => 0xc02f,
             CipherSuite::DheRsaChaCha20Poly1305 => 0xccaa,
             CipherSuite::EcdheRsaChaCha20Poly1305 => 0xcca8,
         }
@@ -60,6 +72,9 @@ impl CipherSuite {
             0x003c => Some(CipherSuite::RsaAes128CbcSha256),
             0x0067 => Some(CipherSuite::DheRsaAes128CbcSha256),
             0xc027 => Some(CipherSuite::EcdheRsaAes128CbcSha256),
+            0x009c => Some(CipherSuite::RsaAes128GcmSha256),
+            0x009e => Some(CipherSuite::DheRsaAes128GcmSha256),
+            0xc02f => Some(CipherSuite::EcdheRsaAes128GcmSha256),
             0xccaa => Some(CipherSuite::DheRsaChaCha20Poly1305),
             0xcca8 => Some(CipherSuite::EcdheRsaChaCha20Poly1305),
             _ => None,
@@ -69,13 +84,13 @@ impl CipherSuite {
     /// Key-exchange method.
     pub fn key_exchange(self) -> KeyExchange {
         match self {
-            CipherSuite::RsaAes128CbcSha256 => KeyExchange::Rsa,
-            CipherSuite::DheRsaAes128CbcSha256 | CipherSuite::DheRsaChaCha20Poly1305 => {
-                KeyExchange::Dhe
-            }
-            CipherSuite::EcdheRsaAes128CbcSha256 | CipherSuite::EcdheRsaChaCha20Poly1305 => {
-                KeyExchange::Ecdhe
-            }
+            CipherSuite::RsaAes128CbcSha256 | CipherSuite::RsaAes128GcmSha256 => KeyExchange::Rsa,
+            CipherSuite::DheRsaAes128CbcSha256
+            | CipherSuite::DheRsaAes128GcmSha256
+            | CipherSuite::DheRsaChaCha20Poly1305 => KeyExchange::Dhe,
+            CipherSuite::EcdheRsaAes128CbcSha256
+            | CipherSuite::EcdheRsaAes128GcmSha256
+            | CipherSuite::EcdheRsaChaCha20Poly1305 => KeyExchange::Ecdhe,
         }
     }
 
@@ -85,6 +100,9 @@ impl CipherSuite {
             CipherSuite::RsaAes128CbcSha256
             | CipherSuite::DheRsaAes128CbcSha256
             | CipherSuite::EcdheRsaAes128CbcSha256 => RecordProtection::CbcHmacSha256,
+            CipherSuite::RsaAes128GcmSha256
+            | CipherSuite::DheRsaAes128GcmSha256
+            | CipherSuite::EcdheRsaAes128GcmSha256 => RecordProtection::Aes128Gcm,
             CipherSuite::DheRsaChaCha20Poly1305 | CipherSuite::EcdheRsaChaCha20Poly1305 => {
                 RecordProtection::ChaCha20Poly1305
             }
@@ -97,29 +115,36 @@ impl CipherSuite {
         self.key_exchange() != KeyExchange::Rsa
     }
 
-    /// Every suite the stack knows, in a server-typical preference order
-    /// (ECDHE first, then DHE, then RSA).
-    pub fn all() -> [CipherSuite; 5] {
+    /// Every suite the stack knows, in a server-typical preference order:
+    /// ECDHE first, then DHE, then RSA; within a key exchange, AES-GCM
+    /// (the hardware-accelerated AEAD) ahead of ChaCha20-Poly1305, CBC as
+    /// the compatibility floor.
+    pub fn all() -> [CipherSuite; 8] {
         [
+            CipherSuite::EcdheRsaAes128GcmSha256,
             CipherSuite::EcdheRsaChaCha20Poly1305,
             CipherSuite::EcdheRsaAes128CbcSha256,
+            CipherSuite::DheRsaAes128GcmSha256,
             CipherSuite::DheRsaChaCha20Poly1305,
             CipherSuite::DheRsaAes128CbcSha256,
+            CipherSuite::RsaAes128GcmSha256,
             CipherSuite::RsaAes128CbcSha256,
         ]
     }
 
     /// Suites whose key exchange is DHE (for cipher-restricted scans).
-    pub fn dhe_only() -> [CipherSuite; 2] {
+    pub fn dhe_only() -> [CipherSuite; 3] {
         [
+            CipherSuite::DheRsaAes128GcmSha256,
             CipherSuite::DheRsaChaCha20Poly1305,
             CipherSuite::DheRsaAes128CbcSha256,
         ]
     }
 
     /// Suites whose key exchange is ECDHE.
-    pub fn ecdhe_only() -> [CipherSuite; 2] {
+    pub fn ecdhe_only() -> [CipherSuite; 3] {
         [
+            CipherSuite::EcdheRsaAes128GcmSha256,
             CipherSuite::EcdheRsaChaCha20Poly1305,
             CipherSuite::EcdheRsaAes128CbcSha256,
         ]
@@ -145,6 +170,11 @@ impl RecordProtection {
                 mac_key: 32,
                 enc_key: 16,
                 fixed_iv: 16,
+            },
+            RecordProtection::Aes128Gcm => KeyMaterialSizes {
+                mac_key: 0,
+                enc_key: 16,
+                fixed_iv: 12,
             },
             RecordProtection::ChaCha20Poly1305 => KeyMaterialSizes {
                 mac_key: 0,
@@ -176,8 +206,26 @@ mod tests {
     #[test]
     fn forward_secrecy_classification() {
         assert!(!CipherSuite::RsaAes128CbcSha256.is_forward_secret());
+        assert!(!CipherSuite::RsaAes128GcmSha256.is_forward_secret());
         assert!(CipherSuite::DheRsaAes128CbcSha256.is_forward_secret());
+        assert!(CipherSuite::DheRsaAes128GcmSha256.is_forward_secret());
+        assert!(CipherSuite::EcdheRsaAes128GcmSha256.is_forward_secret());
         assert!(CipherSuite::EcdheRsaChaCha20Poly1305.is_forward_secret());
+    }
+
+    #[test]
+    fn gcm_preferred_within_each_key_exchange() {
+        // The first suite of each key-exchange class in the preference
+        // order must be the GCM one (hardware-accelerated record path).
+        let all = CipherSuite::all();
+        for kx in [KeyExchange::Ecdhe, KeyExchange::Dhe, KeyExchange::Rsa] {
+            let first = all.iter().find(|s| s.key_exchange() == kx).unwrap();
+            assert_eq!(
+                first.record_protection(),
+                RecordProtection::Aes128Gcm,
+                "{kx:?}"
+            );
+        }
     }
 
     #[test]
@@ -194,6 +242,8 @@ mod tests {
     fn key_sizes_match_algorithms() {
         let cbc = RecordProtection::CbcHmacSha256.sizes();
         assert_eq!((cbc.mac_key, cbc.enc_key, cbc.fixed_iv), (32, 16, 16));
+        let gcm = RecordProtection::Aes128Gcm.sizes();
+        assert_eq!((gcm.mac_key, gcm.enc_key, gcm.fixed_iv), (0, 16, 12));
         let aead = RecordProtection::ChaCha20Poly1305.sizes();
         assert_eq!((aead.mac_key, aead.enc_key, aead.fixed_iv), (0, 32, 12));
     }

@@ -134,7 +134,7 @@ fn default_configs_are_sane() {
     let (store, cfg) = env(b"pump-defaults");
     // Server defaults: all suites, session IDs on, 5-minute cache, no
     // tickets until configured.
-    assert_eq!(cfg.suites.len(), 5);
+    assert_eq!(cfg.suites.len(), 8);
     assert!(cfg.issue_session_ids);
     assert!(cfg.tickets.is_none());
     assert_eq!(cfg.session_cache.as_ref().unwrap().lifetime_secs(), 300);

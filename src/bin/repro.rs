@@ -3,7 +3,7 @@
 //! ```text
 //! repro [EXPERIMENT] [--size N] [--seed S] [--days D] [--step SECS]
 //!       [--workers N] [--telemetry-json PATH]
-//! repro loadgen [--workers N] [--targets M] [--requests R]
+//! repro loadgen [--workers N] [--targets M] [--requests R] [--bulk PCT]
 //!       [--mix FULL/SID/TICKET] [--seed S] [--telemetry-json PATH]
 //!
 //! EXPERIMENT: all (default) | table1 | table2 | table3 | table4 |
@@ -162,6 +162,14 @@ fn run_loadgen(argv: &[String]) -> ! {
                     ticket_pct: parts[2],
                 };
             }
+            "--bulk" => {
+                i += 1;
+                cfg.bulk_pct = argv[i].parse().expect("--bulk PCT");
+            }
+            "--bulk-bytes" => {
+                i += 1;
+                cfg.bulk_bytes = argv[i].parse().expect("--bulk-bytes N");
+            }
             "--telemetry-json" => {
                 i += 1;
                 telemetry_json = Some(argv[i].clone());
@@ -169,7 +177,8 @@ fn run_loadgen(argv: &[String]) -> ! {
             "--help" | "-h" => {
                 println!(
                     "repro loadgen [--workers N] [--targets M] [--requests R] \
-                     [--mix FULL/SID/TICKET] [--seed S] [--telemetry-json PATH]"
+                     [--mix FULL/SID/TICKET] [--seed S] [--bulk PCT] \
+                     [--bulk-bytes N] [--telemetry-json PATH]"
                 );
                 std::process::exit(0);
             }

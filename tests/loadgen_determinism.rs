@@ -35,6 +35,7 @@ fn profile() -> LoadgenConfig {
             ticket_pct: 45,
         },
         seed: 2016,
+        ..LoadgenConfig::default()
     }
 }
 
