@@ -29,6 +29,7 @@
 pub mod cdf;
 pub mod exposure;
 pub mod groups;
+pub mod interleave;
 pub mod json;
 pub mod lifetime;
 pub mod observations;

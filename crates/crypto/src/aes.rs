@@ -320,7 +320,9 @@ pub(crate) mod ni {
     unsafe fn load_schedule(rk: &[u32; 44]) -> [__m128i; 11] {
         let mut keys = [_mm_setzero_si128(); 11];
         // SAFETY: 4 * r + 4 <= 44 for r in 0..11, so every 16-byte load
-        // stays inside the borrowed array.
+        // stays inside the borrowed array; the sse2 `target_feature` is
+        // vouched for by the dispatching caller's CPUID check via
+        // `available()`.
         unsafe {
             for (r, k) in keys.iter_mut().enumerate() {
                 *k = _mm_loadu_si128(rk.as_ptr().add(4 * r) as *const __m128i);

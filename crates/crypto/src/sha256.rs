@@ -295,7 +295,10 @@ mod ni {
         let cdgh_in = cdgh;
 
         let load = |off: usize| {
-            // SAFETY: off+16 <= BLOCK_LEN; unaligned load.
+            // SAFETY: off + 16 <= BLOCK_LEN at every call below, so the
+            // unaligned load stays inside the borrowed block; the sha/sse
+            // `target_feature` set is vouched for by the caller's CPUID
+            // check via `available()`.
             _mm_shuffle_epi8(
                 _mm_loadu_si128(block.as_ptr().add(off) as *const __m128i),
                 be_mask,

@@ -44,6 +44,16 @@
 //! file = "crates/tls/src/cache.rs"
 //! ident = "entries"
 //! reason = "session-ID resumption IS the measured shortcut"
+//!
+//! # [[concurrency]] blocks excuse concurrency-family findings
+//! # (`lock-order`, `atomic-ordering`, `lock-across-callback`,
+//! # `simd-dispatch-gate`). Same contract: a mandatory reason, and a
+//! # stale entry fails the lint.
+//! [[concurrency]]
+//! rule = "atomic-ordering"
+//! file = "crates/example/src/counter.rs"
+//! ident = "epoch"
+//! reason = "single-writer flag; readers tolerate staleness by design"
 //! ```
 //!
 //! `reason` is mandatory: an exception without a recorded justification is a
@@ -181,6 +191,9 @@ impl Config {
                 section = Section::Allow(partial.len() - 1);
             } else if line == "[[lifetime]]" {
                 partial.push(PartialAllow::new(RuleFamily::Lifetime));
+                section = Section::Allow(partial.len() - 1);
+            } else if line == "[[concurrency]]" {
+                partial.push(PartialAllow::new(RuleFamily::Concurrency));
                 section = Section::Allow(partial.len() - 1);
             } else if line == "[secrets]" {
                 section = Section::Secrets;
@@ -464,6 +477,26 @@ mod tests {
         assert_eq!(cfg.allows.len(), 1);
         assert_eq!(cfg.allows[0].section, RuleFamily::Determinism);
         assert_eq!(cfg.allows[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn parses_concurrency_section() {
+        let cfg = Config::from_toml(
+            "[[concurrency]]\nrule = \"lock-order\"\nfile = \"cache.rs\"\nident = \"shards\"\nreason = \"fixed-index fallback order\"\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.allows.len(), 1);
+        assert_eq!(cfg.allows[0].section, RuleFamily::Concurrency);
+        assert_eq!(cfg.allows[0].rule, "lock-order");
+    }
+
+    #[test]
+    fn concurrency_rule_in_allow_section_is_an_error() {
+        let err = Config::from_toml(
+            "[[allow]]\nrule = \"atomic-ordering\"\nfile = \"x.rs\"\nident = \"epoch\"\nreason = \"r\"\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("belongs in [[concurrency]]"), "{err}");
     }
 
     #[test]

@@ -63,6 +63,30 @@ pub enum Rule {
     /// body mentions secret-tainted data — raw-pointer code over key
     /// material needs an individually justified waiver.
     UnsafeAudit,
+    /// Two lock fields acquired in opposite orders somewhere in the
+    /// workspace (directly, or through a resolved call while a guard is
+    /// still live). The global lock-acquisition graph — lock fields as
+    /// nodes, "acquired B while holding A" as edges, held-sets propagated
+    /// interprocedurally over the call graph — must stay acyclic, which is
+    /// the classical sufficient condition for deadlock freedom.
+    LockOrder,
+    /// A `Relaxed` operation on an atomic field annotated
+    /// `// ctlint: publishes(...)` — i.e. an atomic whose value gates the
+    /// visibility of other data. Publication needs `Release` on the
+    /// writer side and `Acquire` on the reader side; `Relaxed` orders
+    /// nothing and lets readers observe the flag before the payload.
+    AtomicOrdering,
+    /// A lock guard bound to a local and still live at a `parallel_map` /
+    /// `scope` / `spawn` fan-out or a user-supplied callback invocation.
+    /// Worker closures that re-enter the guarded structure deadlock, and
+    /// even when they don't, the lock serialises the whole fan-out.
+    LockAcrossCallback,
+    /// A `#[target_feature]` SIMD kernel reachable (over the call graph)
+    /// from a production caller whose path back to dispatch never crosses
+    /// a CPUID detect gate (`*available()` / `is_x86_feature_detected!`),
+    /// or an unsafe block calling such a kernel whose `// SAFETY:` comment
+    /// does not name the gate that makes the call sound.
+    SimdDispatchGate,
 }
 
 impl Rule {
@@ -82,6 +106,10 @@ impl Rule {
             Rule::SecretLifetime => "secret-lifetime",
             Rule::WipeOnAllPaths => "wipe-on-all-paths",
             Rule::UnsafeAudit => "unsafe-audit",
+            Rule::LockOrder => "lock-order",
+            Rule::AtomicOrdering => "atomic-ordering",
+            Rule::LockAcrossCallback => "lock-across-callback",
+            Rule::SimdDispatchGate => "simd-dispatch-gate",
         }
     }
 
@@ -102,11 +130,15 @@ impl Rule {
             | Rule::AmbientEntropy
             | Rule::UnorderedReduction => RuleFamily::Determinism,
             Rule::SecretLifetime => RuleFamily::Lifetime,
+            Rule::LockOrder
+            | Rule::AtomicOrdering
+            | Rule::LockAcrossCallback
+            | Rule::SimdDispatchGate => RuleFamily::Concurrency,
         }
     }
 
     /// All rules, for iteration/tests.
-    pub fn all() -> [Rule; 12] {
+    pub fn all() -> [Rule; 16] {
         [
             Rule::NonCtComparison,
             Rule::SecretLeak,
@@ -120,6 +152,10 @@ impl Rule {
             Rule::SecretLifetime,
             Rule::WipeOnAllPaths,
             Rule::UnsafeAudit,
+            Rule::LockOrder,
+            Rule::AtomicOrdering,
+            Rule::LockAcrossCallback,
+            Rule::SimdDispatchGate,
         ]
     }
 }
@@ -137,6 +173,9 @@ pub enum RuleFamily {
     Determinism,
     /// Key-material lifetime: suppressed by `[[lifetime]]`.
     Lifetime,
+    /// Concurrency soundness (lock order, atomics ordering, fan-out
+    /// discipline, SIMD dispatch gating): suppressed by `[[concurrency]]`.
+    Concurrency,
 }
 
 impl RuleFamily {
@@ -146,6 +185,7 @@ impl RuleFamily {
             RuleFamily::Hygiene => "[[allow]]",
             RuleFamily::Determinism => "[[determinism]]",
             RuleFamily::Lifetime => "[[lifetime]]",
+            RuleFamily::Concurrency => "[[concurrency]]",
         }
     }
 }

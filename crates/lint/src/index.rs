@@ -48,6 +48,11 @@ pub struct FieldDef {
     pub annotated_public: bool,
     /// Marked `// ctlint: secret` — force-included in taint.
     pub annotated_secret: bool,
+    /// Marked `// ctlint: publishes(a, b)` — this atomic field gates the
+    /// visibility of the named sibling data, so `Relaxed` operations on it
+    /// fire `atomic-ordering` (see [`crate::concurrency`]). `Some` even
+    /// when the list is empty.
+    pub publishes: Option<Vec<String>>,
 }
 
 /// An `impl` block header.
@@ -86,6 +91,9 @@ pub struct FnDef {
     /// The `impl` block's type name when this is a method (`impl Foo {
     /// fn … }` records `Foo`); `None` for free functions.
     pub self_type: Option<String>,
+    /// Carries a `#[target_feature(enable = …)]` attribute — a SIMD kernel
+    /// whose call sites must be CPUID-gated (see [`crate::concurrency`]).
+    pub target_feature: bool,
 }
 
 /// One `unsafe { … }` block found in a function body.
@@ -98,6 +106,10 @@ pub struct UnsafeBlock {
     /// A `// SAFETY:` line comment immediately precedes the block or opens
     /// its body.
     pub has_safety_comment: bool,
+    /// The text of that comment run (the `SAFETY` line plus its
+    /// continuation lines), empty when absent. The SIMD-audit rule greps
+    /// it for the CPUID gate the comment is supposed to name.
+    pub safety_text: String,
     /// Inside `#[cfg(test)]` code.
     pub in_test: bool,
 }
@@ -161,17 +173,37 @@ fn find_unsafe_blocks(toks: &[Token], fns: &[FnDef]) -> Vec<UnsafeBlock> {
         // The comment run directly above: walk back over consecutive
         // line comments (a multi-line SAFETY comment is several tokens).
         let mut justified = false;
+        let mut run_start = i;
         let mut j = i;
         while j > 0 && toks[j - 1].kind == TokKind::LineComment {
             j -= 1;
+            run_start = j;
             if is_safety(&toks[j]) {
                 justified = true;
                 break;
             }
         }
-        // Or the justification opens the block body itself.
-        if !justified {
-            justified = toks[i + 2..close].iter().any(is_safety);
+        let mut safety_text = String::new();
+        if justified {
+            for t in &toks[run_start..i] {
+                if t.kind == TokKind::LineComment {
+                    safety_text.push_str(&t.text);
+                    safety_text.push(' ');
+                }
+            }
+        } else {
+            // Or the justification opens the block body itself: capture the
+            // whole contiguous comment run starting at the SAFETY line.
+            if let Some(s) = toks[i + 2..close].iter().position(is_safety) {
+                justified = true;
+                for t in &toks[i + 2 + s..close] {
+                    if t.kind != TokKind::LineComment {
+                        break;
+                    }
+                    safety_text.push_str(&t.text);
+                    safety_text.push(' ');
+                }
+            }
         }
         let in_test = fns
             .iter()
@@ -180,6 +212,7 @@ fn find_unsafe_blocks(toks: &[Token], fns: &[FnDef]) -> Vec<UnsafeBlock> {
             line: toks[i].line,
             body: (i + 2, close),
             has_safety_comment: justified,
+            safety_text,
             in_test,
         });
     }
@@ -233,12 +266,14 @@ struct Pending {
     secret: bool,
     public: bool,
     lifetime: Option<String>,
+    publishes: Option<Vec<String>>,
     derives: Vec<String>,
     cfg_test: bool,
+    target_feature: bool,
 }
 
 /// Parse one `ctlint:` directive body (`secret`, `public`,
-/// `lifetime(connection)`) into the pending context.
+/// `lifetime(connection)`, `publishes(field, …)`) into the pending context.
 fn read_ctlint_directive(rest: &str, pend: &mut Pending) {
     let rest = rest.trim();
     match rest {
@@ -250,6 +285,16 @@ fn read_ctlint_directive(rest: &str, pend: &mut Pending) {
                 .and_then(|r| r.strip_suffix(')'))
             {
                 pend.lifetime = Some(class.trim().to_string());
+            } else if let Some(list) = rest
+                .strip_prefix("publishes(")
+                .and_then(|r| r.strip_suffix(')'))
+            {
+                pend.publishes = Some(
+                    list.split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                );
             }
         }
     }
@@ -366,6 +411,9 @@ fn read_attr(toks: &[Token], lo: usize, hi: usize, pend: &mut Pending) {
                 i = close + 1;
                 continue;
             }
+            if name == "target_feature" {
+                pend.target_feature = true;
+            }
         }
         i += 1;
     }
@@ -429,6 +477,7 @@ fn scan_fields(toks: &[Token], lo: usize, hi: usize, def: &mut TypeDef) {
     let mut i = lo;
     let mut f_secret = false;
     let mut f_public = false;
+    let mut f_publishes: Option<Vec<String>> = None;
     while i < hi {
         match toks[i].kind {
             TokKind::LineComment => {
@@ -437,7 +486,19 @@ fn scan_fields(toks: &[Token], lo: usize, hi: usize, def: &mut TypeDef) {
                     match rest.trim() {
                         "secret" => f_secret = true,
                         "public" => f_public = true,
-                        _ => {}
+                        other => {
+                            if let Some(list) = other
+                                .strip_prefix("publishes(")
+                                .and_then(|r| r.strip_suffix(')'))
+                            {
+                                f_publishes = Some(
+                                    list.split(',')
+                                        .map(|s| s.trim().to_string())
+                                        .filter(|s| !s.is_empty())
+                                        .collect(),
+                                );
+                            }
+                        }
                     }
                 }
                 i += 1;
@@ -495,11 +556,13 @@ fn scan_fields(toks: &[Token], lo: usize, hi: usize, def: &mut TypeDef) {
                         byteish,
                         annotated_public: f_public,
                         annotated_secret: f_secret,
+                        publishes: f_publishes.take(),
                     });
                     i += 1; // comma
                 }
                 f_secret = false;
                 f_public = false;
+                f_publishes = None;
             }
             _ => i += 1,
         }
@@ -681,6 +744,7 @@ fn scan_fn(
         body,
         in_test: in_test || pend.cfg_test,
         self_type: self_type.map(|s| s.to_string()),
+        target_feature: pend.target_feature,
     });
     *pend = Pending::default();
     next
@@ -886,6 +950,36 @@ mod tests {
         assert!(t.fields[0].type_idents.contains(&"CacheEntry".to_string()));
         assert!(t.fields[1].byteish);
         assert_eq!(t.fields[2].name, "n");
+    }
+
+    #[test]
+    fn publishes_annotation_and_target_feature_attr() {
+        let src = r#"
+            struct Shared {
+                // ctlint: publishes(published, horizon)
+                epoch: AtomicU64,
+                published: Mutex<Arc<Set>>,
+            }
+            #[target_feature(enable = "avx2")]
+            unsafe fn blocks8(state: &[u32; 16]) {}
+            fn plain() {}
+        "#;
+        let idx = scan_file("t.rs", src);
+        let t = &idx.types[0];
+        assert_eq!(
+            t.fields[0].publishes.as_deref(),
+            Some(&["published".to_string(), "horizon".to_string()][..])
+        );
+        assert_eq!(t.fields[1].publishes, None);
+        let f = idx.fns.iter().find(|f| f.name == "blocks8").unwrap();
+        assert!(f.target_feature);
+        assert!(
+            !idx.fns
+                .iter()
+                .find(|f| f.name == "plain")
+                .unwrap()
+                .target_feature
+        );
     }
 
     #[test]

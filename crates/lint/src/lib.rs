@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod callgraph;
+pub mod concurrency;
 pub mod config;
 pub mod determinism;
 pub mod diag;
@@ -126,6 +127,20 @@ pub fn workspace_determinism_model(
     let (files, _config) = load_workspace(root)?;
     let indexes = driver::index_files(&files, 1);
     Ok(determinism::DeterminismModel::build(&indexes))
+}
+
+/// The concurrency model — lock-field declarations, the global
+/// lock-acquisition graph, interprocedural held-lock sets, and publisher
+/// atomics — as printed by `ts-lint --model`. Deterministic (name-sorted)
+/// and byte-identical for every `workers` value.
+pub fn workspace_concurrency_model(
+    root: &Path,
+    workers: usize,
+) -> Result<concurrency::ConcurrencyModel, ConfigError> {
+    let (files, _config) = load_workspace(root)?;
+    let indexes = driver::index_files(&files, workers);
+    let graph = callgraph::CallGraph::build(&indexes);
+    Ok(concurrency::ConcurrencyModel::build(&indexes, &graph))
 }
 
 fn load_workspace(root: &Path) -> Result<(Vec<(String, String)>, Config), ConfigError> {

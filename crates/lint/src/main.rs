@@ -4,7 +4,8 @@
 //! the workspace is not clean — the same check `tests/lint_clean.rs`
 //! enforces from `cargo test`.
 //!
-//! Flags: `--model` dumps the inferred secret/hash models instead of
+//! Flags: `--model` dumps the inferred secret/hash/concurrency models
+//! (including the lock-acquisition graph and held-lock sets) instead of
 //! linting; `--workers N` sets the analysis worker count (output is
 //! byte-identical at any N); `--telemetry-json PATH` writes the
 //! `crypto.lint.*` cost counters as a deterministic JSON snapshot.
@@ -59,8 +60,9 @@ fn main() -> ExitCode {
         return match (
             ts_lint::workspace_model(&root),
             ts_lint::workspace_determinism_model(&root),
+            ts_lint::workspace_concurrency_model(&root, workers),
         ) {
-            (Ok(m), Ok(dm)) => {
+            (Ok(m), Ok(dm), Ok(cm)) => {
                 println!("secret types:  {}", join(&m.secret_types));
                 println!("direct types:  {}", join(&m.direct_secret_types));
                 println!("secret fields: {}", join(&m.secret_fields));
@@ -68,9 +70,10 @@ fn main() -> ExitCode {
                 println!("secret fns:    {}", join(&m.secret_fns));
                 println!("hash fields:   {}", join(&dm.hash_fields));
                 println!("hash fns:      {}", join(&dm.hash_fns));
+                print!("{}", cm.render());
                 ExitCode::SUCCESS
             }
-            (Err(e), _) | (_, Err(e)) => {
+            (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
                 println!("config error: {e}");
                 ExitCode::FAILURE
             }

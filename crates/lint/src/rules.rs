@@ -217,6 +217,10 @@ pub fn analyze_with_workers<F: AsRef<FileIndex> + Sync>(
     // (hash-collection fields/fns instead of secrets).
     crate::determinism::check(files, &mut diags);
 
+    // The concurrency family reuses the call graph for interprocedural
+    // held-lock propagation and SIMD dispatch-gate walks.
+    crate::concurrency::check(files, &graph, &mut diags);
+
     diags.sort_by(|a, b| {
         (&a.file, a.line, a.rule.id(), &a.ident).cmp(&(&b.file, b.line, b.rule.id(), &b.ident))
     });

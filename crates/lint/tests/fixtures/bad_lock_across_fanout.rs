@@ -1,0 +1,17 @@
+// expect: lock-across-callback Registry.entries
+//
+// The guard bound to `g` is still live when the `parallel_map` fan-out
+// starts: any worker closure that re-enters the registry deadlocks, and
+// even the happy path serialises the whole fan-out behind one lock.
+
+struct Registry {
+    entries: Mutex<Vec<u8>>,
+}
+
+impl Registry {
+    fn broadcast(&self, items: &[u8], workers: usize) -> Vec<Vec<u8>> {
+        let g = self.entries.lock();
+        g.len();
+        parallel_map(items, workers, |_chunk, xs: &[u8]| xs.to_vec())
+    }
+}

@@ -1,0 +1,25 @@
+// expect: lock-order CacheShards.a
+//
+// Two functions acquire the same pair of mutex fields in opposite
+// orders: one thread in `ab` and one in `ba` can each hold their first
+// lock and block forever on the second. The lock-acquisition graph gets
+// both `a -> b` and `b -> a`, a cycle.
+
+struct CacheShards {
+    a: Mutex<Vec<u8>>,
+    b: Mutex<Vec<u8>>,
+}
+
+impl CacheShards {
+    fn ab(&self) -> usize {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        ga.len() + gb.len()
+    }
+
+    fn ba(&self) -> usize {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        ga.len() + gb.len()
+    }
+}

@@ -1,0 +1,34 @@
+// expect: lock-order Ledger.accounts
+//
+// The cycle only appears interprocedurally: each function takes one lock
+// directly and the other through a helper while the first guard is still
+// live. Held-lock sets propagated over the call graph close the loop.
+
+struct Ledger {
+    accounts: Mutex<Vec<u64>>,
+    journal: Mutex<Vec<u64>>,
+}
+
+impl Ledger {
+    fn post(&self) {
+        let accounts = self.accounts.lock();
+        self.append_journal();
+        accounts.len();
+    }
+
+    fn append_journal(&self) {
+        let journal = self.journal.lock();
+        journal.len();
+    }
+
+    fn replay(&self) {
+        let journal = self.journal.lock();
+        self.touch_accounts();
+        journal.len();
+    }
+
+    fn touch_accounts(&self) {
+        let accounts = self.accounts.lock();
+        accounts.len();
+    }
+}

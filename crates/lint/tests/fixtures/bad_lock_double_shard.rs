@@ -1,0 +1,18 @@
+// expect: lock-order Sharded.shards
+//
+// Two elements of the same lock-array field held at once: with `from`
+// and `to` swapped between two threads this deadlocks exactly like a
+// two-field cycle. The sharded SessionCache stays safe by never holding
+// two shards — lock, copy out, unlock, then lock the next.
+
+struct Sharded {
+    shards: Vec<Mutex<Vec<u8>>>,
+}
+
+impl Sharded {
+    fn transfer(&self, from: usize, to: usize) {
+        let src = self.shards[from].lock();
+        let dst = self.shards[to].lock();
+        src.len() + dst.len();
+    }
+}

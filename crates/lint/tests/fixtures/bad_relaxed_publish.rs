@@ -1,0 +1,23 @@
+// expect: atomic-ordering epoch
+//
+// `epoch` is annotated as publishing `current`: readers treat an epoch
+// match as proof their pinned snapshot is still the published one. A
+// `Relaxed` load orders nothing, so a reader can observe the new epoch
+// value before the snapshot it vouches for.
+
+struct Snapshot {
+    // ctlint: publishes(current)
+    epoch: AtomicU64,
+    current: Mutex<u64>,
+}
+
+impl Snapshot {
+    fn read_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    fn read_current(&self) -> u64 {
+        let current = self.current.lock();
+        *current
+    }
+}

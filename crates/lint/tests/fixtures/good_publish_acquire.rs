@@ -1,0 +1,21 @@
+// The epoch-publication pattern with correct orderings: AcqRel on the
+// bump that accompanies replacing the published value, Acquire on the
+// reader side — the annotated atomic never uses Relaxed.
+
+struct Snapshot {
+    // ctlint: publishes(current)
+    epoch: AtomicU64,
+    current: Mutex<u64>,
+}
+
+impl Snapshot {
+    fn replace(&self, v: u64) -> u64 {
+        let mut current = self.current.lock();
+        *current = v;
+        self.epoch.fetch_add(1, Ordering::AcqRel)
+    }
+
+    fn read_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,19 @@
+// The lock-then-fan-out pattern done right: the guard lives in an inner
+// block that closes (releasing the lock) before `parallel_map` starts,
+// so workers never contend with — or deadlock against — the holder.
+
+struct Registry {
+    entries: Mutex<Vec<u8>>,
+}
+
+impl Registry {
+    fn broadcast(&self, items: &[u8], workers: usize) -> Vec<Vec<u8>> {
+        let seed = {
+            let g = self.entries.lock();
+            g.len() as u8
+        };
+        parallel_map(items, workers, move |_chunk, xs: &[u8]| {
+            xs.iter().map(|b| b.wrapping_add(seed)).collect()
+        })
+    }
+}

@@ -533,6 +533,7 @@ struct SharedStekInner {
     manager: Mutex<StekManager>,
     /// Bumped every time `published` is replaced; pinned readers compare
     /// it with a single atomic load before trusting their snapshot.
+    // ctlint: publishes(published)
     epoch: AtomicU64,
     published: Mutex<Arc<StekSet>>,
 }

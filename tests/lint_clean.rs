@@ -39,6 +39,61 @@ fn workspace_report_is_identical_at_any_worker_count() {
 }
 
 #[test]
+fn concurrency_model_dump_is_identical_at_any_worker_count() {
+    // The `--model` dump now includes the inferred lock-acquisition graph
+    // and interprocedural held-lock sets; like every other analyzer
+    // output, the rendered form must be byte-identical no matter how the
+    // parse fan-out is sliced.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let serial = ts_lint::workspace_concurrency_model(root, 1)
+        .expect("ctlint.toml parses")
+        .render();
+    let parallel = ts_lint::workspace_concurrency_model(root, 8)
+        .expect("ctlint.toml parses")
+        .render();
+    assert_eq!(serial, parallel);
+    // The exemplar the lock-order rule checks: STEK republication nests
+    // `published` -> `manager` (and nothing else may invert it).
+    assert!(
+        serial.contains("SharedStekInner.published -> SharedStekInner.manager"),
+        "expected the STEK republication edge in the model dump:\n{serial}"
+    );
+    assert!(
+        serial.contains("SharedStekInner.epoch  publishes(published)"),
+        "expected the epoch publisher annotation in the model dump:\n{serial}"
+    );
+}
+
+#[test]
+fn stale_concurrency_waiver_fails_the_lint() {
+    // `[[concurrency]]` entries obey the same contract as the other
+    // waiver sections: one that matches no finding flips the report to
+    // not-clean, so a deadlock waiver cannot outlive the cycle it excused.
+    let mut config = ts_lint::Config::default();
+    config.allows.push(ts_lint::Allow {
+        section: ts_lint::RuleFamily::Concurrency,
+        rule: "lock-order".into(),
+        file: "crates/gone/src/cache.rs".into(),
+        ident: "Gone.shards".into(),
+        reason: "a cycle that no longer exists".into(),
+    });
+    let report = ts_lint::analyze_sources(
+        &[(
+            "lib.rs".into(),
+            "fn ok(a: u32, b: u32) -> bool { a == b }".into(),
+        )],
+        &config,
+    );
+    assert!(!report.is_clean(), "\n{}", report.render());
+    assert_eq!(report.stale_allows.len(), 1, "\n{}", report.render());
+    assert!(
+        report.stale_allows[0].starts_with("[[concurrency]]"),
+        "{}",
+        report.stale_allows[0]
+    );
+}
+
+#[test]
 fn stale_lifetime_waiver_fails_the_lint() {
     // A `[[lifetime]]` entry that matches no finding must flip the report
     // to not-clean, exactly like stale `[[allow]]`/`[[determinism]]`
