@@ -2,27 +2,147 @@
 //! Figure 3 (STEK lifetime CDF), Figure 4 (STEK lifetime by rank tier),
 //! Figure 5 (DHE/ECDHE reuse-span CDFs), and Tables 2–4 (top domains with
 //! prolonged reuse).
+//!
+//! The campaign runs **sharded and streaming**: the domain population is
+//! partitioned into fixed, count-derived shards (the same layout
+//! [`parallel_map`](ts_core::par::parallel_map) uses for chunks), each
+//! shard owns its analysis accumulators, and every sighting is folded into
+//! a bounded accumulator the moment the scanner produces it. Nothing ever
+//! materialises the full `Vec<TicketSighting>` of a nine-week scan, so
+//! peak memory is governed by the eviction horizon and the domain count —
+//! not by domain-days.
 
-use crate::{parallel_map, Context, DAY};
+use crate::{Context, DAY};
 use std::collections::BTreeMap;
 use ts_core::cdf::Cdf;
-use ts_core::lifetime::SpanEstimator;
+use ts_core::groups::ServiceGroup;
 use ts_core::observations::{KexKind, KexSighting, TicketSighting};
+use ts_core::par::{for_each_shard, ShardPlan};
 use ts_core::report::{compare_line, pct, TextTable};
-use ts_core::tiers::{tier_cdfs, tiers_for_population};
-use ts_scanner::daily::{run_campaign, CampaignOptions};
+use ts_core::stream::{GroupAcc, Merge, SpanAcc, TierAcc};
+use ts_core::tiers::tiers_for_population;
+use ts_scanner::daily::{run_campaign_streaming, CampaignOptions, CampaignSink};
 use ts_scanner::Scanner;
 
-/// The campaign's collected sightings.
+/// Sliding eviction horizon for campaign accumulators, in days.
+///
+/// A (domain, identifier) pair not re-observed for this many days is
+/// retired into its domain aggregate; a shared identifier unseen for this
+/// long is dropped from the group tracker. Safe because the simulated
+/// servers never resurrect an identifier: STEK managers rotate forward and
+/// reuse windows are contiguous, so once an id goes quiet it stays quiet.
+/// The horizon comfortably exceeds the longest plausible flaky gap, and
+/// final per-domain spans are exactly what the unbounded estimator yields.
+pub const EVICTION_HORIZON_DAYS: u64 = 21;
+
+/// The campaign's sealed analysis.
+///
+/// Earlier revisions carried every raw sighting (`Vec<TicketSighting>`,
+/// `Vec<KexSighting>`) and re-derived each figure from scratch; this holds
+/// only the merged streaming accumulators and the precomputed group
+/// structures the figures read.
 pub struct Campaign {
-    /// Ticket sightings over the study.
-    pub tickets: Vec<TicketSighting>,
-    /// Key-exchange sightings (both flavours).
-    pub kex: Vec<KexSighting>,
+    /// Per-mechanism span accumulators, merged over shards in shard order.
+    pub spans: CampaignSpans,
+    /// STEK service groups over the whole campaign (Figure 6).
+    pub stek_groups: Vec<ServiceGroup>,
+    /// Diffie-Hellman service groups, both flavours (Figure 7 right).
+    pub dh_groups: Vec<ServiceGroup>,
+    /// Per-domain last-observed ticket lifetime hint (Figure 2's series).
+    pub hints: BTreeMap<String, u32>,
     /// Total handshake attempts.
     pub attempts: u64,
     /// Days scanned.
     pub days: u64,
+    /// Shard/memory accounting for the streaming run.
+    pub stats: CampaignStats,
+}
+
+/// Accounting for the sharded streaming campaign: how the population was
+/// split and how much live state the accumulators ever held.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignStats {
+    /// Number of domain shards the population was partitioned into.
+    pub shards: usize,
+    /// Domains scanned daily.
+    pub domains: usize,
+    /// Scanned domain-days (`domains × days`) — the quantity peak memory
+    /// must stay sublinear in.
+    pub domain_days: u64,
+    /// Peak live accumulator entries across all shards, sampled at each
+    /// day boundary after eviction (span pairs + tracked group ids).
+    pub peak_live_entries: usize,
+    /// Shared-identifier entries the group trackers evicted at the
+    /// horizon over the whole campaign.
+    pub evicted_group_ids: u64,
+}
+
+/// Span analysis bundles for the campaign.
+pub struct CampaignSpans {
+    /// Per-domain STEK spans.
+    pub stek: SpanAcc,
+    /// Per-domain DHE value spans.
+    pub dhe: SpanAcc,
+    /// Per-domain ECDHE value spans.
+    pub ecdhe: SpanAcc,
+}
+
+/// One shard's private campaign state: its slice of the population, its
+/// span accumulators, its hint tracker, and the current day's sighting
+/// batch awaiting the post-barrier drain into the global group trackers.
+struct ShardState {
+    domains: Vec<String>,
+    stek: SpanAcc,
+    dhe: SpanAcc,
+    ecdhe: SpanAcc,
+    /// domain → (last day seen, hint on that day); last observation wins,
+    /// matching the old collect-then-fold hint pass.
+    hints: BTreeMap<String, (u64, u32)>,
+    attempts: u64,
+    day_tickets: Vec<(String, String)>,
+    day_kex: Vec<(String, String)>,
+}
+
+impl ShardState {
+    fn new(domains: Vec<String>) -> Self {
+        let horizon = Some(EVICTION_HORIZON_DAYS);
+        ShardState {
+            domains,
+            stek: SpanAcc::with_horizon(horizon),
+            dhe: SpanAcc::with_horizon(horizon),
+            ecdhe: SpanAcc::with_horizon(horizon),
+            hints: BTreeMap::new(),
+            attempts: 0,
+            day_tickets: Vec::new(),
+            day_kex: Vec::new(),
+        }
+    }
+
+    fn live_entries(&self) -> usize {
+        self.stek.live_pairs() + self.dhe.live_pairs() + self.ecdhe.live_pairs()
+    }
+}
+
+impl CampaignSink for ShardState {
+    fn ticket(&mut self, s: TicketSighting) {
+        self.stek.record(&s.domain, &s.stek_id, s.day);
+        let e = self
+            .hints
+            .entry(s.domain.clone())
+            .or_insert((s.day, s.lifetime_hint));
+        if s.day >= e.0 {
+            *e = (s.day, s.lifetime_hint);
+        }
+        self.day_tickets.push((s.domain, s.stek_id));
+    }
+
+    fn kex(&mut self, s: KexSighting) {
+        match s.kex {
+            KexKind::Dhe => self.dhe.record(&s.domain, &s.value_fp, s.day),
+            KexKind::Ecdhe => self.ecdhe.record(&s.domain, &s.value_fp, s.day),
+        }
+        self.day_kex.push((s.domain, s.value_fp));
+    }
 }
 
 /// Run the daily campaign over the stable core against a pristine world.
@@ -32,62 +152,112 @@ pub struct Campaign {
 /// identical for every artefact this campaign feeds and skips wasted
 /// connections.
 ///
-/// Parallelism is **day-lockstep**: workers fan out across domains within
-/// one day, then barrier before the next. Virtual time inside shared STEK
-/// managers only moves forward, so letting one worker race ahead to day 40
-/// while another still scans day 2 would freeze rotation state for every
-/// domain sharing a manager across the chunk boundary and corrupt the span
-/// estimates. Within a day all grabs carry the same timestamps, making the
-/// shared-state ticks idempotent and the result deterministic.
+/// **Sharding.** The core is partitioned by [`ShardPlan`] — the exact
+/// chunk layout `parallel_map` derives from the domain count — so shard
+/// `s` on day `d` seeds its scanner `daily-campaign-{d}-{s}` exactly as
+/// the chunked collector did, and output is byte-identical at any worker
+/// count. Each shard folds its own sightings into [`SpanAcc`]s as they
+/// are produced; cross-shard structures (the STEK and DH group trackers)
+/// are global and fed after each day's barrier, draining every shard's
+/// bounded day batch in fixed shard order. Sharers present a shared
+/// identifier on the same day, so union edges always form before the
+/// horizon can evict either endpoint.
+///
+/// **Parallelism** stays day-lockstep: workers fan out across shards
+/// within one day, then barrier before the next. Virtual time inside
+/// shared STEK managers only moves forward, so letting one worker race
+/// ahead to day 40 while another still scans day 2 would freeze rotation
+/// state for every domain sharing a manager across a shard boundary and
+/// corrupt the span estimates. Within a day all grabs carry the same
+/// timestamps, making the shared-state ticks idempotent and the result
+/// deterministic.
 pub fn run_daily_campaign(ctx: &Context) -> Campaign {
     let pop = ctx.fresh_pop();
     let days = ctx.config.study_days;
     let domains = &ctx.core_trusted;
-    let mut tickets = Vec::new();
-    let mut kex = Vec::new();
-    let mut attempts = 0;
+    let plan = ShardPlan::for_len(domains.len());
+    let mut states: Vec<ShardState> = (0..plan.shard_count())
+        .map(|s| ShardState::new(domains[plan.range(s)].to_vec()))
+        .collect();
+    let horizon = Some(EVICTION_HORIZON_DAYS);
+    let mut stek_group_acc = GroupAcc::with_horizon(horizon);
+    let mut dh_group_acc = GroupAcc::with_horizon(horizon);
+    let mut peak_live_entries = 0usize;
     for day in 0..days {
-        let day_results = parallel_map(domains, crate::default_workers(), |chunk_id, chunk| {
-            let mut scanner = Scanner::new(&pop, &format!("daily-campaign-{day}-{chunk_id}"));
+        for_each_shard(&mut states, crate::default_workers(), |shard_id, state| {
+            let mut scanner = Scanner::new(&pop, &format!("daily-campaign-{day}-{shard_id}"));
             let options = CampaignOptions::new().days(day..day + 1);
-            let chunk_vec: Vec<String> = chunk.to_vec();
-            vec![run_campaign(&mut scanner, &options, |_day| {
-                chunk_vec.clone()
-            })]
+            let shard_domains = state.domains.clone();
+            let attempts = run_campaign_streaming(
+                &mut scanner,
+                &options,
+                move |_day| shard_domains.clone(),
+                state,
+            );
+            state.attempts += attempts;
         });
-        for data in day_results {
-            tickets.extend(data.tickets);
-            kex.extend(data.kex);
-            attempts += data.attempts;
+        // Barrier passed: drain each shard's day batch into the global
+        // group trackers in fixed shard order (the same stream order the
+        // collect-then-group path produced), then evict at the horizon.
+        for state in &mut states {
+            for (domain, id) in state.day_tickets.drain(..) {
+                stek_group_acc.record(&domain, &id, day);
+            }
+            for (domain, fp) in state.day_kex.drain(..) {
+                dh_group_acc.record(&domain, &fp, day);
+            }
+            state.stek.advance(day);
+            state.dhe.advance(day);
+            state.ecdhe.advance(day);
         }
+        stek_group_acc.advance(day);
+        dh_group_acc.advance(day);
+        let live: usize = states.iter().map(ShardState::live_entries).sum::<usize>()
+            + stek_group_acc.live_ids()
+            + dh_group_acc.live_ids();
+        peak_live_entries = peak_live_entries.max(live);
     }
+
+    // Seal: merge shard accumulators in fixed shard order. Shards own
+    // disjoint domains, so the span merge is a disjoint union and the
+    // hint maps never collide.
+    let mut stek = SpanAcc::with_horizon(horizon);
+    let mut dhe = SpanAcc::with_horizon(horizon);
+    let mut ecdhe = SpanAcc::with_horizon(horizon);
+    let mut hints = BTreeMap::new();
+    let mut attempts = 0u64;
+    let domain_count = domains.len();
+    for state in states {
+        stek.merge(state.stek);
+        dhe.merge(state.dhe);
+        ecdhe.merge(state.ecdhe);
+        for (domain, (_day, hint)) in state.hints {
+            hints.insert(domain, hint);
+        }
+        attempts += state.attempts;
+    }
+    let evicted_group_ids = stek_group_acc.evicted_ids() + dh_group_acc.evicted_ids();
     Campaign {
-        tickets,
-        kex,
+        spans: CampaignSpans { stek, dhe, ecdhe },
+        stek_groups: stek_group_acc.service_groups(),
+        dh_groups: dh_group_acc.service_groups(),
+        hints,
         attempts,
         days,
+        stats: CampaignStats {
+            shards: plan.shard_count(),
+            domains: domain_count,
+            domain_days: domain_count as u64 * days,
+            peak_live_entries,
+            evicted_group_ids,
+        },
     }
 }
 
-/// Span analysis bundles for the campaign.
-pub struct CampaignSpans {
-    /// Per-domain STEK spans.
-    pub stek: SpanEstimator,
-    /// Per-domain DHE value spans.
-    pub dhe: SpanEstimator,
-    /// Per-domain ECDHE value spans.
-    pub ecdhe: SpanEstimator,
-}
-
-/// Build the three span estimators from campaign data.
-pub fn spans(campaign: &Campaign) -> CampaignSpans {
-    let mut stek = SpanEstimator::new();
-    stek.record_tickets(&campaign.tickets);
-    let mut dhe = SpanEstimator::new();
-    dhe.record_kex(&campaign.kex, KexKind::Dhe);
-    let mut ecdhe = SpanEstimator::new();
-    ecdhe.record_kex(&campaign.kex, KexKind::Ecdhe);
-    CampaignSpans { stek, dhe, ecdhe }
+/// The campaign's span accumulators (kept as an accessor for the figure
+/// builders, which predate the sealed [`Campaign`]).
+pub fn spans(campaign: &Campaign) -> &CampaignSpans {
+    &campaign.spans
 }
 
 /// Figure 3: STEK lifetime CDF.
@@ -149,21 +319,21 @@ pub fn fig3_stek_lifetime(ctx: &Context) -> Fig3 {
 }
 
 /// Figure 4: STEK lifetime by rank tier.
+///
+/// Streams `(rank, span)` samples through a [`TierAcc`] — count-based
+/// per-tier CDFs — instead of materialising and sorting a sample vector
+/// per tier.
 pub fn fig4_stek_by_rank(ctx: &Context) -> String {
     let campaign = ctx.campaign();
     let s = spans(campaign);
-    let spans_by_domain = s.stek.domain_spans();
-    let samples: Vec<(usize, u64)> = spans_by_domain
-        .iter()
-        .filter_map(|(domain, ds)| {
-            ctx.pop
-                .truth
-                .get(domain)
-                .map(|t| (t.rank, ds.max_span_days))
-        })
-        .collect();
     let tiers = tiers_for_population(ctx.pop.config.size);
-    let cdfs = tier_cdfs(&samples, &tiers);
+    let mut acc = TierAcc::new(&tiers);
+    for (domain, ds) in s.stek.domain_spans() {
+        if let Some(t) = ctx.pop.truth.get(&domain) {
+            acc.record(t.rank, ds.max_span_days);
+        }
+    }
+    let cdfs = acc.cdfs();
     let mut report = String::new();
     report.push_str("Figure 4 — STEK Lifetime by Rank Tier (per-tier CDF)\n");
     let mut t = TextTable::new(&["tier", "issuers", "≥7d", "≥30d", "median"]);
@@ -248,12 +418,12 @@ pub fn fig5_kex_reuse(ctx: &Context) -> Fig5 {
 /// Tables 2, 3, 4: top domains (by rank) with ≥7-day reuse.
 pub fn top_reuse_table(
     ctx: &Context,
-    estimator: &SpanEstimator,
+    acc: &SpanAcc,
     title: &str,
     paper_examples: &str,
     k: usize,
 ) -> String {
-    let long: Vec<(String, u64)> = estimator.domains_with_span_at_least(7);
+    let long: Vec<(String, u64)> = acc.domains_with_span_at_least(7);
     // Order by rank (most popular first), as the paper's tables do.
     let mut ranked: Vec<(usize, String, u64)> = long
         .into_iter()
@@ -342,17 +512,14 @@ pub fn validate_against_truth(ctx: &Context) -> (usize, usize) {
 }
 
 /// Ticket lifetime *hints* observed (feeds Figure 2's hint series and the
-/// fantabob-style outlier hunt).
+/// fantabob-style outlier hunt). The per-domain last-observed hint is
+/// tracked during the streaming run; this folds it into a histogram.
 pub fn hint_distribution(campaign: &Campaign) -> BTreeMap<u32, usize> {
     // Ordered maps end to end: the hint histogram feeds Figure 2's rendered
     // series, so its iteration order is part of the repro's output.
-    let mut per_domain: BTreeMap<&str, u32> = BTreeMap::new();
-    for s in &campaign.tickets {
-        per_domain.insert(&s.domain, s.lifetime_hint);
-    }
     let mut out: BTreeMap<u32, usize> = BTreeMap::new();
-    for (_, hint) in per_domain {
-        *out.entry(hint).or_default() += 1;
+    for hint in campaign.hints.values() {
+        *out.entry(*hint).or_default() += 1;
     }
     out
 }
@@ -373,7 +540,9 @@ mod tests {
         let ctx = small_ctx();
         let campaign = ctx.campaign();
         assert!(campaign.attempts > 0);
-        assert!(!campaign.tickets.is_empty());
+        assert!(campaign.spans.stek.pair_count() > 0);
+        assert!(campaign.stats.shards > 0);
+        assert!(campaign.stats.peak_live_entries > 0);
         let f3 = fig3_stek_lifetime(&ctx);
         assert!(!f3.cdf.is_empty());
         assert!(f3.report.contains("Figure 3"));
@@ -445,5 +614,40 @@ mod tests {
         // fantabobworld/fantabobshow advertise 90 days.
         let ninety = (90 * DAY) as u32;
         assert!(hints.get(&ninety).copied().unwrap_or(0) >= 1, "{hints:?}");
+    }
+
+    #[test]
+    fn eviction_bounds_live_state_past_the_horizon() {
+        // A study longer than the horizon: daily rotators accumulate one
+        // (domain, id) pair per day, so without eviction live state grows
+        // linearly in days. With it, pairs retire and group ids drop out
+        // while the final spans still match ground truth.
+        let mut cfg = ts_population::PopulationConfig::new(41, 150);
+        cfg.flakiness = 0.0;
+        cfg.study_days = EVICTION_HORIZON_DAYS + 9;
+        let ctx = Context::from_config(cfg);
+        let campaign = ctx.campaign();
+        assert!(campaign.days > EVICTION_HORIZON_DAYS);
+        assert!(
+            campaign.spans.stek.live_pairs() < campaign.spans.stek.pair_count(),
+            "daily rotators must have retired pairs: live {} of {}",
+            campaign.spans.stek.live_pairs(),
+            campaign.spans.stek.pair_count()
+        );
+        assert!(
+            campaign.stats.evicted_group_ids > 0,
+            "group trackers never evicted"
+        );
+        // Peak live state is bounded by domains × horizon, not by
+        // domain-days: the whole point of the streaming rewrite.
+        assert!(
+            (campaign.stats.peak_live_entries as u64) < campaign.stats.domain_days * 3,
+            "peak {} vs domain-days {}",
+            campaign.stats.peak_live_entries,
+            campaign.stats.domain_days
+        );
+        let (checked, mismatches) = validate_against_truth(&ctx);
+        assert!(checked > 5, "checked {checked}");
+        assert_eq!(mismatches, 0, "eviction must not distort final spans");
     }
 }

@@ -6,7 +6,8 @@ use ts_core::groups::{stats, top_groups, ServiceGroup};
 use ts_core::report::{compare_line, fmt_duration, pct, TextTable};
 use ts_core::treemap::{build_cells, red_cells, LongevityBucket};
 use ts_scanner::crossdomain::{
-    build_targets, dh_sharing_scan, session_cache_groups, stek_sharing_scan,
+    build_targets, dh_sharing_scan_streaming, session_cache_scan_streaming,
+    stek_sharing_scan_streaming,
 };
 use ts_scanner::Scanner;
 
@@ -50,34 +51,31 @@ pub fn table5_cache_groups(ctx: &Context) -> SharingResult {
     // overwhelmingly land in the same chunk — and the paper's method also
     // samples (≤5+5 per domain) rather than exhausting, so chunk-local
     // sampling tightens the same lower bound.
-    let chunked = parallel_map(&targets, crate::default_workers(), |chunk_id, chunk| {
+    // Each chunk folds its own edges straight into a chunk-local
+    // union-find (edges are chunk-local by construction, see above); the
+    // shard structures then merge in fixed chunk order, which interns
+    // names and replays edges exactly as the old single global pass did.
+    let shard_sets = parallel_map(&targets, crate::default_workers(), |chunk_id, chunk| {
         let mut scanner = Scanner::new(&pop, &format!("t5-{chunk_id}"));
-        let (_, edges) = session_cache_groups(&mut scanner, chunk, 86_400, 5);
-        vec![edges]
+        let mut ds = ts_core::unionfind::DisjointSets::new();
+        for t in chunk {
+            ds.add(&t.domain);
+        }
+        session_cache_scan_streaming(
+            &mut scanner,
+            chunk,
+            86_400,
+            5,
+            |_| {},
+            |e| ds.union(&e.a, &e.b),
+        );
+        vec![ds]
     });
-    let mut edges = Vec::new();
-    for e in chunked {
-        edges.extend(e);
-    }
     let mut ds = ts_core::unionfind::DisjointSets::new();
-    for t in &targets {
-        ds.add(&t.domain);
+    for shard in shard_sets {
+        ds.merge(shard);
     }
-    for e in &edges {
-        ds.union(&e.a, &e.b);
-    }
-    let groups: Vec<ServiceGroup> = {
-        let mut gs: Vec<ServiceGroup> = ds
-            .groups()
-            .into_iter()
-            .map(|members| ServiceGroup {
-                label: ts_core::groups::infer_label(&members),
-                members,
-            })
-            .collect();
-        gs.sort_by(|a, b| b.size().cmp(&a.size()).then(a.label.cmp(&b.label)));
-        gs
-    };
+    let groups = ts_core::groups::finalize_groups(ds.groups());
     let report = render_groups(
         "Table 5 — Largest Session Cache Service Groups",
         &groups,
@@ -96,7 +94,10 @@ pub fn table6_stek_groups(ctx: &Context) -> SharingResult {
     let t0 = 86_400;
     let window = 6 * 3_600;
     let connections = 10u64;
-    let mut sightings = Vec::new();
+    // Stream each connection round into an incremental group accumulator
+    // instead of holding all eleven rounds of sightings at once: peak
+    // memory is one round plus the live identifier index.
+    let mut acc = ts_core::stream::GroupAcc::exact();
     for k in 0..=connections {
         // Connections 0..10 across the 6-hour window, plus the 30-minute
         // snapshot scan joined at the end (§5.2).
@@ -108,12 +109,15 @@ pub fn table6_stek_groups(ctx: &Context) -> SharingResult {
         let step: Vec<ts_core::observations::TicketSighting> =
             parallel_map(&targets, crate::default_workers(), |chunk_id, chunk| {
                 let mut scanner = Scanner::new(&pop, &format!("t6-{k}-{chunk_id}"));
-                let (_, s) = stek_sharing_scan(&mut scanner, chunk, at, 0, 1, 0);
+                let mut s = Vec::new();
+                stek_sharing_scan_streaming(&mut scanner, chunk, at, 0, 1, 0, |x| s.push(x));
                 s
             });
-        sightings.extend(step);
+        for s in step {
+            acc.record(&s.domain, &s.stek_id, s.day);
+        }
     }
-    let groups = ts_core::groups::stek_groups(&sightings);
+    let groups = acc.service_groups();
     let report = render_groups(
         "Table 6 — Largest STEK Service Groups",
         &groups,
@@ -130,18 +134,23 @@ pub fn table7_dh_groups(ctx: &Context) -> SharingResult {
     let t0 = 86_400;
     let window = 5 * 3_600;
     let connections = 10u64;
-    let mut sightings = Vec::new();
+    // Same per-round streaming as Table 6: rounds drain into the
+    // accumulator as they complete.
+    let mut acc = ts_core::stream::GroupAcc::exact();
     for k in 0..connections {
         let at = t0 + window * k / connections;
         let step: Vec<ts_core::observations::KexSighting> =
             parallel_map(&targets, crate::default_workers(), |chunk_id, chunk| {
                 let mut scanner = Scanner::new(&pop, &format!("t7-{k}-{chunk_id}"));
-                let (_, s) = dh_sharing_scan(&mut scanner, chunk, at, 0, 1);
+                let mut s = Vec::new();
+                dh_sharing_scan_streaming(&mut scanner, chunk, at, 0, 1, |x| s.push(x));
                 s
             });
-        sightings.extend(step);
+        for s in step {
+            acc.record(&s.domain, &s.value_fp, s.day);
+        }
     }
-    let groups = ts_core::groups::dh_groups(&sightings);
+    let groups = acc.service_groups();
     let report = render_groups(
         "Table 7 — Largest Diffie-Hellman Service Groups",
         &groups,
@@ -155,19 +164,19 @@ pub fn fig6_fig7_treemaps(ctx: &Context) -> String {
     let campaign = ctx.campaign();
     let spans = crate::exp_campaign::spans(campaign);
 
-    // STEK treemap (Figure 6): groups from the whole campaign's sightings,
-    // coloured by per-domain max STEK span.
-    let stek_groups = ts_core::groups::stek_groups(&campaign.tickets);
+    // STEK treemap (Figure 6): groups tracked incrementally during the
+    // streaming campaign, coloured by per-domain max STEK span.
+    let stek_groups = &campaign.stek_groups;
     let stek_longevity: BTreeMap<String, u64> = spans
         .stek
         .domain_spans()
         .into_iter()
         .map(|(d, s)| (d, s.max_span_days * 86_400))
         .collect();
-    let stek_cells = build_cells(&stek_groups, &stek_longevity, 2);
+    let stek_cells = build_cells(stek_groups, &stek_longevity, 2);
 
     // DH treemap (Figure 7 right).
-    let dh_groups = ts_core::groups::dh_groups(&campaign.kex);
+    let dh_groups = &campaign.dh_groups;
     let mut dh_longevity: BTreeMap<String, u64> = BTreeMap::new();
     for (d, s) in spans.dhe.domain_spans() {
         dh_longevity.insert(d, s.max_span_days * 86_400);
@@ -179,7 +188,7 @@ pub fn fig6_fig7_treemaps(ctx: &Context) -> String {
             .and_modify(|v| *v = (*v).max(secs))
             .or_insert(secs);
     }
-    let dh_cells = build_cells(&dh_groups, &dh_longevity, 2);
+    let dh_cells = build_cells(dh_groups, &dh_longevity, 2);
 
     let mut report = String::new();
     report.push_str("Figure 6 — STEK Sharing and Longevity (size × colour cells)\n");

@@ -7,7 +7,7 @@
 
 use crate::{parallel_map, Context};
 use ts_core::report::{compare_line, pct, TextTable};
-use ts_scanner::burst::{burst_scan, BurstFunnel, BurstMetric};
+use ts_scanner::burst::{burst_scan_streaming, BurstFunnel, BurstMetric};
 use ts_scanner::{Scanner, SuiteOffer};
 
 /// The three funnels of Table 1.
@@ -49,7 +49,9 @@ fn scan(
     let funnels = parallel_map(&domains, crate::default_workers(), |chunk_id, chunk| {
         let mut scanner = Scanner::new(pop, &format!("{label}-{chunk_id}"));
         let chunk_vec: Vec<String> = chunk.to_vec();
-        let (_, funnel) = burst_scan(&mut scanner, &chunk_vec, now, offer, metric, 10);
+        // Table 1 only needs the funnel: drop each per-domain summary at
+        // the source instead of collecting a vector per chunk.
+        let funnel = burst_scan_streaming(&mut scanner, &chunk_vec, now, offer, metric, 10, |_| {});
         vec![funnel]
     });
     merge(funnels)

@@ -78,6 +78,24 @@ impl ExposureTable {
         *slot = Some(slot.map_or(window_secs, |cur| cur.max(window_secs)));
     }
 
+    /// Fold another table into this one — the shard-merge law for
+    /// exposure windows: per domain and mechanism, keep the maximum.
+    /// Associative and commutative, so shard merge order cannot matter.
+    pub fn merge(&mut self, other: ExposureTable) {
+        for (domain, e) in other.domains {
+            let mine = self.domains.entry(domain).or_default();
+            for (slot, theirs) in [
+                (&mut mine.ticket_window, e.ticket_window),
+                (&mut mine.cache_window, e.cache_window),
+                (&mut mine.dh_window, e.dh_window),
+            ] {
+                if let Some(w) = theirs {
+                    *slot = Some(slot.map_or(w, |cur| cur.max(w)));
+                }
+            }
+        }
+    }
+
     /// Look up one domain.
     pub fn get(&self, domain: &str) -> Option<&DomainExposure> {
         self.domains.get(domain)

@@ -57,7 +57,7 @@ pub fn groups_from_edges<'a>(
     for e in edges {
         ds.union(&e.a, &e.b);
     }
-    finalize(ds.groups())
+    finalize_groups(ds.groups())
 }
 
 /// Build groups from shared identifiers: any two domains that ever
@@ -81,7 +81,7 @@ pub fn groups_from_shared_ids<'a>(
             }
         }
     }
-    finalize(ds.groups())
+    finalize_groups(ds.groups())
 }
 
 /// STEK service groups from ticket sightings.
@@ -103,7 +103,13 @@ pub fn dh_groups(sightings: &[KexSighting]) -> Vec<ServiceGroup> {
     )
 }
 
-fn finalize(groups: Vec<Vec<String>>) -> Vec<ServiceGroup> {
+/// Label and order raw member sets into [`ServiceGroup`]s. Input sets
+/// must already be (size desc, first member) ordered, as
+/// [`DisjointSets::groups`] and
+/// [`GroupAcc::groups`](crate::stream::GroupAcc::groups) produce them:
+/// the stable sort below only reorders across label ties, so the source
+/// order is the final tiebreak.
+pub fn finalize_groups(groups: Vec<Vec<String>>) -> Vec<ServiceGroup> {
     let mut out: Vec<ServiceGroup> = groups
         .into_iter()
         .map(|members| ServiceGroup {

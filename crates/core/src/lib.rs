@@ -15,6 +15,8 @@
 //!   and cross-domain resumption edges (§5, Tables 5–7)
 //! * [`exposure`] — per-domain *vulnerability windows* and the combined
 //!   maximum-exposure distribution (§6, Figure 8)
+//! * [`stream`] — streaming, mergeable accumulators for sharded
+//!   campaigns (spans, CDFs, groups, top-k) with an explicit merge law
 //! * [`tiers`] — rank-tier breakdowns (Figure 4)
 //! * [`treemap`] — size × longevity summaries standing in for the paper's
 //!   treemap visualizations (Figures 6, 7)
@@ -35,6 +37,7 @@ pub mod lifetime;
 pub mod observations;
 pub mod par;
 pub mod report;
+pub mod stream;
 pub mod tiers;
 pub mod treemap;
 pub mod unionfind;
@@ -43,4 +46,5 @@ pub use cdf::Cdf;
 pub use exposure::{DomainExposure, ExposureKind};
 pub use lifetime::SpanEstimator;
 pub use observations::{KexKind, KexSighting, ResumptionProbe, TicketSighting};
+pub use stream::{CountCdf, GroupAcc, Merge, SpanAcc, TierAcc, TopK};
 pub use unionfind::DisjointSets;

@@ -18,6 +18,83 @@ use std::sync::Mutex;
 /// regardless of how many worker threads execute them.
 pub const DETERMINISTIC_CHUNKS: usize = 64;
 
+/// The fixed, count-derived shard layout behind [`parallel_map`], exposed
+/// so callers can partition *state* (per-shard accumulators, scanner
+/// seeds) along exactly the same boundaries as the work items. Two values
+/// of `for_len(n)` are interchangeable: the layout is a pure function of
+/// the item count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    len: usize,
+    chunk_size: usize,
+}
+
+impl ShardPlan {
+    /// The layout [`parallel_map`] uses for `len` items.
+    pub fn for_len(len: usize) -> Self {
+        ShardPlan {
+            len,
+            chunk_size: len.div_ceil(DETERMINISTIC_CHUNKS).max(1),
+        }
+    }
+
+    /// Number of shards (0 for an empty input, otherwise 1..=64).
+    pub fn shard_count(&self) -> usize {
+        self.len.div_ceil(self.chunk_size)
+    }
+
+    /// Item count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for the empty layout.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Index range of shard `shard` (matches `items.chunks(chunk_size)`).
+    pub fn range(&self, shard: usize) -> std::ops::Range<usize> {
+        let start = shard * self.chunk_size;
+        start..((start + self.chunk_size).min(self.len))
+    }
+
+    /// Which shard item `index` belongs to.
+    pub fn shard_of(&self, index: usize) -> usize {
+        index / self.chunk_size
+    }
+}
+
+/// Run `f(shard_id, &mut states[shard_id])` for every shard on `workers`
+/// threads. The mutable-state sibling of [`parallel_map`]: each shard's
+/// state is visited exactly once, shards are pulled from a shared queue,
+/// and because every shard owns disjoint state the result is a pure
+/// function of `(states, f)` — worker count only changes wall time.
+pub fn for_each_shard<S: Send>(states: &mut [S], workers: usize, f: impl Fn(usize, &mut S) + Sync) {
+    if states.is_empty() {
+        return;
+    }
+    let workers = workers.max(1).min(states.len());
+    let cells: Vec<Mutex<&mut S>> = states.iter_mut().map(Mutex::new).collect();
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            let f = &f;
+            let next = &next;
+            let cells = &cells;
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else {
+                    break;
+                };
+                let mut state = cell.lock().expect("shard state");
+                f(i, &mut state);
+            });
+        }
+    })
+    .expect("scope");
+}
+
 /// Worker-count override (0 = use [`available_parallelism`]), settable once
 /// by the binary's `--workers` flag.
 ///
@@ -126,6 +203,45 @@ mod tests {
         let ids = parallel_map(&items, 4, |id, chunk| vec![id; chunk.len()]);
         let distinct: std::collections::BTreeSet<usize> = ids.iter().copied().collect();
         assert_eq!(distinct.len(), DETERMINISTIC_CHUNKS);
+    }
+
+    #[test]
+    fn shard_plan_matches_parallel_map_layout() {
+        // ShardPlan is advertised as *the* parallel_map layout; keep the
+        // two in lockstep for a spread of sizes including the edge cases
+        // (empty, single, exactly 64, one over a chunk boundary).
+        for n in [0usize, 1, 5, 63, 64, 65, 128, 997, 1024, 100_000] {
+            let items: Vec<usize> = (0..n).collect();
+            let plan = ShardPlan::for_len(n);
+            let observed = parallel_map(&items, 4, |id, chunk| vec![(id, chunk[0], chunk.len())]);
+            assert_eq!(plan.shard_count(), observed.len(), "n={n}");
+            for (id, first, len) in observed {
+                let range = plan.range(id);
+                assert_eq!(range.start, first, "n={n} shard={id}");
+                assert_eq!(range.len(), len, "n={n} shard={id}");
+            }
+            for i in 0..n {
+                assert!(plan.range(plan.shard_of(i)).contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_shard_is_worker_independent() {
+        let run = |workers| {
+            let mut states: Vec<Vec<usize>> = vec![Vec::new(); 37];
+            for_each_shard(&mut states, workers, |shard, state| {
+                state.push(shard * 3);
+                state.push(shard * 3 + 1);
+            });
+            states
+        };
+        let one = run(1);
+        assert_eq!(one, run(4));
+        assert_eq!(one, run(16));
+        assert_eq!(one[36], vec![108, 109]);
+        let mut empty: Vec<u8> = Vec::new();
+        for_each_shard(&mut empty, 4, |_, _| unreachable!());
     }
 
     #[test]

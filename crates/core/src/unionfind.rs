@@ -167,6 +167,20 @@ impl DisjointSets {
         self.names.is_empty()
     }
 
+    /// Fold another structure's elements and edges into this one — the
+    /// shard-merge law for the cross-domain indexes. `other`'s names are
+    /// interned in their insertion order and its edges replayed after
+    /// this one's, so merging per-shard structures in fixed shard order
+    /// reproduces exactly the structure a single pass over the
+    /// concatenated stream would build.
+    pub fn merge(&mut self, other: DisjointSets) {
+        let remap: Vec<usize> = other.names.iter().map(|name| self.index(name)).collect();
+        for (a, b) in other.edges {
+            self.edges.push((remap[a], remap[b]));
+        }
+        self.uf = None;
+    }
+
     /// All groups as sorted name vectors, largest first.
     pub fn groups(&mut self) -> Vec<Vec<String>> {
         if self.names.is_empty() {

@@ -28,9 +28,11 @@ pub mod churn;
 pub mod ground_truth;
 pub mod operators;
 pub mod profile;
+pub mod shard;
 pub mod terminator;
 
 pub use build::{Population, PopulationConfig};
 pub use ground_truth::GroundTruth;
 pub use profile::{CachePolicy, DomainBehavior, Software, TicketPolicy};
+pub use shard::PopulationShards;
 pub use terminator::Terminator;

@@ -1,0 +1,220 @@
+//! Count-derived domain shards over a population.
+//!
+//! Million-domain campaigns split the scan list into the fixed shard
+//! layout [`ShardPlan`] derives from the domain count — the same layout
+//! `parallel_map` uses for work chunks — so per-shard scanner seeds and
+//! per-shard accumulator state line up exactly with the parallel fan-out
+//! at any worker count. This module is the population-side view of that
+//! partition: each shard knows its domain slice, can extract the DNS
+//! subzone covering exactly those domains, and the whole partition can be
+//! audited for shared server state (session caches, STEK managers,
+//! ephemeral-value caches) that *straddles* a shard boundary.
+//!
+//! Straddling units are why shard-local analysis alone is not enough:
+//! two domains behind one STEK manager may land in different shards, so
+//! cross-domain structures (service groups) must be built from merged
+//! shard summaries rather than per shard. The [`unit_census`] makes that
+//! boundary traffic measurable instead of folklore.
+//!
+//! [`unit_census`]: PopulationShards::unit_census
+
+use crate::build::Population;
+use std::collections::BTreeMap;
+use ts_core::par::ShardPlan;
+use ts_simnet::dns::Dns;
+
+/// One shard of the partition: its index and its slice of the scan list.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardView<'a> {
+    /// Shard index (also the chunk id `parallel_map` would pass).
+    pub shard: usize,
+    /// The shard's domains, in scan-list order.
+    pub domains: &'a [String],
+}
+
+/// How the population's shared server-state units fall across the
+/// partition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnitCensus {
+    /// Shared units whose member domains all live in one shard.
+    pub contained: usize,
+    /// Shared units with member domains in two or more shards. These
+    /// force cross-shard merges during group analysis.
+    pub straddling: usize,
+}
+
+impl UnitCensus {
+    /// Total shared units observed in the partition.
+    pub fn total(&self) -> usize {
+        self.contained + self.straddling
+    }
+}
+
+/// A fixed partition of a scan list over a population.
+pub struct PopulationShards<'a> {
+    pop: &'a Population,
+    domains: &'a [String],
+    plan: ShardPlan,
+}
+
+impl<'a> PopulationShards<'a> {
+    /// Partition `domains` (a scan list over `pop`) into the
+    /// count-derived shard layout.
+    pub fn new(pop: &'a Population, domains: &'a [String]) -> Self {
+        PopulationShards {
+            pop,
+            domains,
+            plan: ShardPlan::for_len(domains.len()),
+        }
+    }
+
+    /// The underlying layout.
+    pub fn plan(&self) -> ShardPlan {
+        self.plan
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.plan.shard_count()
+    }
+
+    /// One shard's view.
+    pub fn view(&self, shard: usize) -> ShardView<'a> {
+        ShardView {
+            shard,
+            domains: &self.domains[self.plan.range(shard)],
+        }
+    }
+
+    /// All shards, in shard order.
+    pub fn iter(&self) -> impl Iterator<Item = ShardView<'a>> + '_ {
+        (0..self.shard_count()).map(|s| self.view(s))
+    }
+
+    /// The DNS subzone covering exactly one shard's domains.
+    pub fn subzone(&self, shard: usize) -> Dns {
+        self.pop
+            .dns
+            .subzone(self.view(shard).domains.iter().map(|d| d.as_str()))
+    }
+
+    /// Census of shared server-state units (session-cache, STEK, and
+    /// ephemeral-value units from ground truth) against the partition:
+    /// how many are contained in a single shard vs straddle a boundary.
+    pub fn unit_census(&self) -> UnitCensus {
+        // Ordered map keyed by (unit kind, unit id); values record the
+        // first shard seen and whether a second shard ever appeared.
+        let mut units: BTreeMap<(u8, usize), (usize, bool)> = BTreeMap::new();
+        for (i, domain) in self.domains.iter().enumerate() {
+            let shard = self.plan.shard_of(i);
+            let Some(truth) = self.pop.truth.get(domain) else {
+                continue;
+            };
+            for (kind, unit) in [
+                (0u8, truth.cache_unit),
+                (1u8, truth.stek_unit),
+                (2u8, truth.dh_unit),
+            ] {
+                if let Some(u) = unit {
+                    let e = units.entry((kind, u)).or_insert((shard, false));
+                    if e.0 != shard {
+                        e.1 = true;
+                    }
+                }
+            }
+        }
+        let mut census = UnitCensus::default();
+        for (_, (_, straddles)) in units {
+            if straddles {
+                census.straddling += 1;
+            } else {
+                census.contained += 1;
+            }
+        }
+        census
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::PopulationConfig;
+    use std::sync::OnceLock;
+
+    fn pop() -> &'static Population {
+        static POP: OnceLock<Population> = OnceLock::new();
+        POP.get_or_init(|| Population::build(PopulationConfig::new(23, 800)))
+    }
+
+    fn core_list(p: &Population) -> Vec<String> {
+        p.churn.core().to_vec()
+    }
+
+    #[test]
+    fn shards_partition_the_list_in_order() {
+        let p = pop();
+        let domains = core_list(p);
+        let shards = PopulationShards::new(p, &domains);
+        assert!(shards.shard_count() > 1);
+        let rejoined: Vec<String> = shards
+            .iter()
+            .flat_map(|v| v.domains.iter().cloned())
+            .collect();
+        assert_eq!(rejoined, domains, "shards concatenate to the list");
+        for (i, v) in shards.iter().enumerate() {
+            assert_eq!(v.shard, i);
+        }
+    }
+
+    #[test]
+    fn subzone_resolves_own_shard_only() {
+        let p = pop();
+        let domains = core_list(p);
+        let shards = PopulationShards::new(p, &domains);
+        let zone0 = shards.subzone(0);
+        let v0 = shards.view(0);
+        for d in v0.domains {
+            assert!(
+                zone0.lookup_all(d).is_some(),
+                "{d} must resolve in its own shard's zone"
+            );
+            assert_eq!(
+                zone0.lookup_all(d),
+                p.dns.lookup_all(d),
+                "records carry over verbatim"
+            );
+        }
+        let last = shards.view(shards.shard_count() - 1);
+        let foreign = &last.domains[0];
+        assert!(
+            zone0.lookup_all(foreign).is_none(),
+            "{foreign} belongs to another shard"
+        );
+    }
+
+    #[test]
+    fn unit_census_sees_the_cdn_straddle() {
+        let p = pop();
+        let domains = core_list(p);
+        let shards = PopulationShards::new(p, &domains);
+        let census = shards.unit_census();
+        assert!(census.total() > 0, "operators create shared units");
+        // The CDN analogue alone spans far more domains than one shard
+        // holds at this size, so at least one unit must straddle.
+        assert!(census.straddling > 0, "{census:?}");
+        assert!(census.contained > 0, "{census:?}");
+    }
+
+    #[test]
+    fn single_shard_list_has_no_straddlers() {
+        let p = pop();
+        // Under the count-derived layout a list of length 1 is the only
+        // genuinely single-shard partition (chunk_size is 1 for short
+        // lists, so a 10-domain list already spans 10 shards).
+        let domains: Vec<String> = core_list(p).into_iter().take(1).collect();
+        let shards = PopulationShards::new(p, &domains);
+        assert_eq!(shards.shard_count(), 1);
+        let census = shards.unit_census();
+        assert_eq!(census.straddling, 0);
+    }
+}

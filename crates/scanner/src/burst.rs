@@ -51,11 +51,30 @@ pub fn burst_scan(
     metric: BurstMetric,
     connections: u32,
 ) -> (Vec<BurstSummary>, BurstFunnel) {
+    let mut summaries = Vec::with_capacity(domains.len());
+    let funnel = burst_scan_streaming(scanner, domains, now, offer, metric, connections, |s| {
+        summaries.push(s)
+    });
+    (summaries, funnel)
+}
+
+/// Run a burst scan, handing each per-domain summary to `on_summary` as
+/// it is produced instead of collecting a vector. Same scan sequence as
+/// [`burst_scan`]; callers that only need the funnel (Table 1) drop the
+/// summaries at the source.
+pub fn burst_scan_streaming(
+    scanner: &mut Scanner,
+    domains: &[String],
+    now: u64,
+    offer: SuiteOffer,
+    metric: BurstMetric,
+    connections: u32,
+    mut on_summary: impl FnMut(BurstSummary),
+) -> BurstFunnel {
     let mut funnel = BurstFunnel {
         listed: domains.len(),
         ..Default::default()
     };
-    let mut summaries = Vec::with_capacity(domains.len());
     for domain in domains {
         if scanner.population().blacklist.contains(domain) {
             continue;
@@ -121,9 +140,9 @@ pub fn burst_scan(
                 funnel.all_same += 1;
             }
         }
-        summaries.push(summary);
+        on_summary(summary);
     }
-    (summaries, funnel)
+    funnel
 }
 
 #[cfg(test)]

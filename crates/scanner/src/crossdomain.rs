@@ -53,6 +53,32 @@ pub fn session_cache_groups(
     now: u64,
     per_domain_samples: usize,
 ) -> (Vec<ServiceGroup>, Vec<SharingEdge>) {
+    let mut edges = Vec::new();
+    let mut resuming: Vec<String> = Vec::new();
+    session_cache_scan_streaming(
+        scanner,
+        targets,
+        now,
+        per_domain_samples,
+        |d| resuming.push(d.to_string()),
+        |e| edges.push(e),
+    );
+    let groups = groups::groups_from_edges(resuming.iter().map(|s| s.as_str()), &edges);
+    (groups, edges)
+}
+
+/// §5.1 streaming form: `on_resuming` fires once per domain that resumes
+/// its own session (the grouping universe), `on_edge` once per observed
+/// cross-domain resumption. Probe order is identical to
+/// [`session_cache_groups`], which is now this plus a collector.
+pub fn session_cache_scan_streaming(
+    scanner: &mut Scanner,
+    targets: &[Target],
+    now: u64,
+    per_domain_samples: usize,
+    mut on_resuming: impl FnMut(&str),
+    mut on_edge: impl FnMut(SharingEdge),
+) {
     // Index by AS and by IP. Ordered maps: `take(N)` below samples the
     // first N candidates, so the sampling frame must be stable.
     let mut by_as: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
@@ -64,8 +90,6 @@ pub fn session_cache_groups(
         by_ip.entry(t.ip).or_default().push(i);
     }
 
-    let mut edges = Vec::new();
-    let mut resuming: Vec<String> = Vec::new();
     for (i, t) in targets.iter().enumerate() {
         // Establish a session on t.
         let g = scanner.grab(&t.domain, now, &GrabOptions::default());
@@ -84,7 +108,7 @@ pub fn session_cache_groups(
         if !self_resumes {
             continue;
         }
-        resuming.push(t.domain.clone());
+        on_resuming(&t.domain);
 
         // Candidate siblings: up to N from the same AS, up to N on the
         // same IP (deduplicated, self excluded).
@@ -120,7 +144,7 @@ pub fn session_cache_groups(
                 .map(|o| o.resumed == Some(ResumeKind::SessionId))
                 .unwrap_or(false);
             if resumed {
-                edges.push(SharingEdge {
+                on_edge(SharingEdge {
                     a: t.domain.clone(),
                     b: sibling.domain.clone(),
                     kind: SharingKind::SessionCache,
@@ -128,8 +152,6 @@ pub fn session_cache_groups(
             }
         }
     }
-    let groups = groups::groups_from_edges(resuming.iter().map(|s| s.as_str()), &edges);
-    (groups, edges)
 }
 
 /// §5.2: STEK sharing. Ten connections across `window_secs`, then one more
@@ -143,13 +165,38 @@ pub fn stek_sharing_scan(
     snapshot_offset: u64,
 ) -> (Vec<ServiceGroup>, Vec<TicketSighting>) {
     let mut sightings = Vec::new();
+    stek_sharing_scan_streaming(
+        scanner,
+        targets,
+        now,
+        window_secs,
+        connections,
+        snapshot_offset,
+        |s| sightings.push(s),
+    );
+    let groups = groups::stek_groups(&sightings);
+    (groups, sightings)
+}
+
+/// §5.2 streaming form: each ticket sighting goes to `on_sighting` as it
+/// is observed (same grab order as [`stek_sharing_scan`]); grouping is
+/// left to the caller's accumulator.
+pub fn stek_sharing_scan_streaming(
+    scanner: &mut Scanner,
+    targets: &[Target],
+    now: u64,
+    window_secs: u64,
+    connections: u32,
+    snapshot_offset: u64,
+    mut on_sighting: impl FnMut(TicketSighting),
+) {
     for t in targets {
         for k in 0..connections {
             let at = now + (window_secs * k as u64) / connections.max(1) as u64;
             let g = scanner.grab(&t.domain, at, &GrabOptions::default());
             if let Some(obs) = g.ok() {
                 if let (true, Some(id), Some(nst)) = (obs.trusted, &obs.stek_id, &obs.ticket) {
-                    sightings.push(TicketSighting {
+                    on_sighting(TicketSighting {
                         domain: t.domain.clone(),
                         day: at / 86_400,
                         stek_id: id.clone(),
@@ -163,7 +210,7 @@ pub fn stek_sharing_scan(
         let g = scanner.grab(&t.domain, at, &GrabOptions::default());
         if let Some(obs) = g.ok() {
             if let (true, Some(id), Some(nst)) = (obs.trusted, &obs.stek_id, &obs.ticket) {
-                sightings.push(TicketSighting {
+                on_sighting(TicketSighting {
                     domain: t.domain.clone(),
                     day: at / 86_400,
                     stek_id: id.clone(),
@@ -172,8 +219,6 @@ pub fn stek_sharing_scan(
             }
         }
     }
-    let groups = groups::stek_groups(&sightings);
-    (groups, sightings)
 }
 
 /// §5.3: Diffie-Hellman value sharing, DHE-only plus ECDHE-only offers.
@@ -185,6 +230,23 @@ pub fn dh_sharing_scan(
     connections: u32,
 ) -> (Vec<ServiceGroup>, Vec<KexSighting>) {
     let mut sightings = Vec::new();
+    dh_sharing_scan_streaming(scanner, targets, now, window_secs, connections, |s| {
+        sightings.push(s)
+    });
+    let groups = groups::dh_groups(&sightings);
+    (groups, sightings)
+}
+
+/// §5.3 streaming form: each key-exchange sighting goes to `on_sighting`
+/// as it is observed (same grab order as [`dh_sharing_scan`]).
+pub fn dh_sharing_scan_streaming(
+    scanner: &mut Scanner,
+    targets: &[Target],
+    now: u64,
+    window_secs: u64,
+    connections: u32,
+    mut on_sighting: impl FnMut(KexSighting),
+) {
     for t in targets {
         for (offer, kex) in [
             (SuiteOffer::DheOnly, KexKind::Dhe),
@@ -196,7 +258,7 @@ pub fn dh_sharing_scan(
                 let g = scanner.grab(&t.domain, at, &opts);
                 if let Some(obs) = g.ok() {
                     if let (true, Some(fp)) = (obs.trusted, &obs.kex_value_fp) {
-                        sightings.push(KexSighting {
+                        on_sighting(KexSighting {
                             domain: t.domain.clone(),
                             day: at / 86_400,
                             kex,
@@ -207,8 +269,6 @@ pub fn dh_sharing_scan(
             }
         }
     }
-    let groups = groups::dh_groups(&sightings);
-    (groups, sightings)
 }
 
 #[cfg(test)]

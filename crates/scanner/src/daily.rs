@@ -95,29 +95,55 @@ pub struct CampaignData {
     pub attempts: u64,
 }
 
-/// Run a daily campaign over the population's per-day list.
+/// Consumer of campaign observations, invoked as the scan produces them.
 ///
-/// `domains_for_day` selects targets (e.g. the full list, or the stable
-/// core); the default campaign scans whatever the churned list contains,
-/// and analysis filters to the core afterwards — exactly the paper's flow.
-pub fn run_campaign(
+/// The streaming counterpart of [`CampaignData`]: a sink that folds each
+/// sighting into a bounded accumulator lets a sharded campaign run with
+/// peak memory independent of the domain-day count, instead of holding
+/// every sighting of a nine-week scan at once.
+pub trait CampaignSink {
+    /// One ticket sighting (trusted grab that issued a ticket).
+    fn ticket(&mut self, sighting: TicketSighting);
+    /// One key-exchange sighting (either flavour).
+    fn kex(&mut self, sighting: KexSighting);
+    /// A campaign day finished scanning (eviction / flush hook).
+    fn day_done(&mut self, _day: u64) {}
+}
+
+impl CampaignSink for CampaignData {
+    fn ticket(&mut self, sighting: TicketSighting) {
+        self.tickets.push(sighting);
+    }
+
+    fn kex(&mut self, sighting: KexSighting) {
+        self.kex.push(sighting);
+    }
+}
+
+/// Run a daily campaign, draining observations into `sink` as each grab
+/// completes. Returns the number of handshake attempts made.
+///
+/// Identical grab sequence and observation stream to [`run_campaign`] —
+/// that function is now this one with a [`CampaignData`] sink.
+pub fn run_campaign_streaming(
     scanner: &mut Scanner,
     options: &CampaignOptions,
     mut domains_for_day: impl FnMut(u64) -> Vec<String>,
-) -> CampaignData {
-    let mut data = CampaignData::default();
+    sink: &mut impl CampaignSink,
+) -> u64 {
+    let mut attempts = 0u64;
     for day in options.days.clone() {
         let clock = Clock::at(day * DAY + options.scan_time_of_day);
         let now = clock.now();
         debug_assert_eq!(clock.day(), day);
         for domain in domains_for_day(day) {
             if options.tickets {
-                data.attempts += 1;
+                attempts += 1;
                 let g = scanner.grab(&domain, now, &GrabOptions::new());
                 if let Some(obs) = g.ok() {
                     if obs.trusted {
                         if let (Some(stek_id), Some(nst)) = (&obs.stek_id, &obs.ticket) {
-                            data.tickets.push(TicketSighting {
+                            sink.ticket(TicketSighting {
                                 domain: domain.clone(),
                                 day,
                                 stek_id: stek_id.clone(),
@@ -128,13 +154,13 @@ pub fn run_campaign(
                 }
             }
             if options.dhe {
-                data.attempts += 1;
+                attempts += 1;
                 let opts = GrabOptions::new().suites(SuiteOffer::DheOnly);
                 let g = scanner.grab(&domain, now + MINUTE, &opts);
                 if let Some(obs) = g.ok() {
                     if obs.trusted {
                         if let Some(fp) = &obs.kex_value_fp {
-                            data.kex.push(KexSighting {
+                            sink.kex(KexSighting {
                                 domain: domain.clone(),
                                 day,
                                 kex: KexKind::Dhe,
@@ -145,7 +171,7 @@ pub fn run_campaign(
                 }
             }
             if options.ecdhe {
-                data.attempts += 1;
+                attempts += 1;
                 let opts = GrabOptions::new().suites(SuiteOffer::EcdheThenRsa);
                 let g = scanner.grab(&domain, now + 2 * MINUTE, &opts);
                 if let Some(obs) = g.ok() {
@@ -153,7 +179,7 @@ pub fn run_campaign(
                         // Only ECDHE connections yield a value; RSA
                         // fallback connections record nothing.
                         if let Some(fp) = &obs.kex_value_fp {
-                            data.kex.push(KexSighting {
+                            sink.kex(KexSighting {
                                 domain: domain.clone(),
                                 day,
                                 kex: KexKind::Ecdhe,
@@ -166,8 +192,25 @@ pub fn run_campaign(
         }
         CAMPAIGN_DAYS.inc();
         emit(Event::CampaignDay { day });
+        sink.day_done(day);
     }
-    CAMPAIGN_ATTEMPTS.add(data.attempts);
+    CAMPAIGN_ATTEMPTS.add(attempts);
+    attempts
+}
+
+/// Run a daily campaign over the population's per-day list.
+///
+/// `domains_for_day` selects targets (e.g. the full list, or the stable
+/// core); the default campaign scans whatever the churned list contains,
+/// and analysis filters to the core afterwards — exactly the paper's flow.
+pub fn run_campaign(
+    scanner: &mut Scanner,
+    options: &CampaignOptions,
+    domains_for_day: impl FnMut(u64) -> Vec<String>,
+) -> CampaignData {
+    let mut data = CampaignData::default();
+    let attempts = run_campaign_streaming(scanner, options, domains_for_day, &mut data);
+    data.attempts = attempts;
     data
 }
 

@@ -26,6 +26,6 @@ pub mod daily;
 pub mod grab;
 pub mod probe;
 
-pub use daily::CampaignOptions;
+pub use daily::{CampaignOptions, CampaignSink};
 pub use grab::{Grab, GrabFailure, GrabOptions, Observation, Scanner, SuiteOffer};
 pub use probe::ProbeSchedule;

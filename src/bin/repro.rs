@@ -8,8 +8,16 @@
 //!
 //! EXPERIMENT: all (default) | table1 | table2 | table3 | table4 |
 //!             table5 | table6 | table7 | fig1 | fig2 | fig3 | fig4 |
-//!             fig5 | fig6 | fig7 | fig8 | google | demo | tls13 | ablation
+//!             fig5 | fig6 | fig7 | fig8 | google | demo | tls13 |
+//!             ablation | campaign
 //! ```
+//!
+//! `campaign` (explicit-only, like `ablation`) runs the sharded daily
+//! campaign and prints a `campaign/v1` JSON summary on stdout: shard
+//! layout, domain-days, streamed pair/group counts and the bounded-memory
+//! high-water marks from [`ts_bench::exp_campaign::CampaignStats`]. Every
+//! field is deterministic for a fixed (seed, size, days) at any worker
+//! count — CI diffs it across `--workers` values.
 //!
 //! `loadgen` is not an experiment: it drives the sans-I/O connection API
 //! with N worker threads against a simulated server fleet and prints a
@@ -22,7 +30,11 @@
 //! `--telemetry-json PATH` writes the merged telemetry snapshot (counters,
 //! histograms, span timers) in its deterministic form — byte-identical
 //! across runs for a fixed (seed, size, experiment) regardless of worker
-//! count, because wall-clock durations are excluded.
+//! count, because wall-clock durations are excluded. `--telemetry-wall`
+//! switches the file to the full form, adding the wall-flagged
+//! performance metrics (`campaign.domains_per_sec`, `process.peak_rss_kb`,
+//! span wall nanos) for perf trajectories; that form is *not* covered by
+//! the byte-identical claim.
 //!
 //! `--workers N` pins the fan-out thread count. It exists to *prove* it
 //! doesn't matter: `tests/repro_determinism.rs` runs `--workers 1` and
@@ -33,8 +45,9 @@ use ts_bench::{
     exp_ablation, exp_campaign, exp_exposure, exp_lifetimes, exp_sharing, exp_support, exp_target,
     exp_tls13, Context, DAY,
 };
+use ts_core::json::Json;
 use ts_scanner::probe::ProbeSchedule;
-use ts_telemetry::SpanStat;
+use ts_telemetry::{Histogram, SpanStat};
 
 static SPAN_BUILD: SpanStat = SpanStat::new("repro.build_population");
 static SPAN_TABLE1: SpanStat = SpanStat::new("repro.table1");
@@ -45,6 +58,34 @@ static SPAN_TABLE5: SpanStat = SpanStat::new("repro.table5");
 static SPAN_TABLE6: SpanStat = SpanStat::new("repro.table6");
 static SPAN_TABLE7: SpanStat = SpanStat::new("repro.table7");
 static SPAN_FIG8: SpanStat = SpanStat::new("repro.fig8");
+
+/// Campaign throughput in domain-days per wall second. Wall-flagged: the
+/// deterministic telemetry form drops it, so same-seed `--telemetry-json`
+/// files stay byte-identical while `--telemetry-wall` archives the rate.
+static CAMPAIGN_DOMAINS_PER_SEC: Histogram = Histogram::new_wall(
+    "campaign.domains_per_sec",
+    &[
+        10, 100, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000,
+    ],
+);
+
+/// Process peak resident set (VmHWM) in kB, sampled once per run just
+/// before the telemetry snapshot is written. Wall-flagged for the same
+/// reason: memory ceilings are host facts, not artefacts of the seed.
+static PROCESS_PEAK_RSS_KB: Histogram = Histogram::new_wall(
+    "process.peak_rss_kb",
+    &[
+        10_000, 50_000, 100_000, 250_000, 500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000,
+    ],
+);
+
+/// Peak resident set size of this process in kB (Linux `VmHWM`), or
+/// `None` where `/proc` is unavailable.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
 
 /// Run `f`, recording wall time and the experiment's virtual-time window
 /// under `span`.
@@ -63,6 +104,7 @@ struct Args {
     step: u64,
     workers: usize,
     telemetry_json: Option<String>,
+    telemetry_wall: bool,
     bench_smoke: bool,
 }
 
@@ -75,6 +117,7 @@ fn parse_args() -> Args {
         step: 300,  // the paper's probe cadence
         workers: 0, // 0 = hardware default
         telemetry_json: None,
+        telemetry_wall: false,
         bench_smoke: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -105,14 +148,21 @@ fn parse_args() -> Args {
                 i += 1;
                 args.telemetry_json = Some(argv[i].clone());
             }
+            "--telemetry-wall" => {
+                args.telemetry_wall = true;
+            }
             "--bench-smoke" => {
                 args.bench_smoke = true;
             }
             "--help" | "-h" => {
                 println!(
                     "repro [EXPERIMENT] [--size N] [--seed S] [--days D] [--step SECS] \
-                     [--workers N] [--telemetry-json PATH] [--bench-smoke]\n\
-                     experiments: all table1..table7 fig1..fig8 google demo tls13 ablation\n\
+                     [--workers N] [--telemetry-json PATH] [--telemetry-wall] [--bench-smoke]\n\
+                     experiments: all table1..table7 fig1..fig8 google demo tls13 ablation \
+                     campaign\n\
+                     campaign: sharded daily campaign; deterministic campaign/v1 JSON on stdout\n\
+                     --telemetry-wall: include wall-flagged perf metrics (domains/sec, \
+                     peak RSS) in the telemetry JSON — no longer byte-identical\n\
                      --bench-smoke: skip experiments; print handshake/modexp \
                      throughput JSON (schema bench-smoke/v1)"
                 );
@@ -294,20 +344,87 @@ fn main() {
         );
         eprintln!("[repro] fig2 in {:.1}s", t.elapsed().as_secs_f64());
     }
-    let campaign_needed = [
-        "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table2", "table3", "table4", "tls13",
-    ]
-    .iter()
-    .any(|e| run(e));
+    let campaign_needed = args.experiment == "campaign"
+        || [
+            "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table2", "table3", "table4", "tls13",
+        ]
+        .iter()
+        .any(|e| run(e));
     if campaign_needed {
         let t = Instant::now();
         let campaign = timed(&SPAN_CAMPAIGN, args.days * DAY, || ctx.campaign());
+        let wall = t.elapsed().as_secs_f64();
+        // Wall-side throughput: domain-days streamed per second of wall
+        // time. Recorded into a wall-flagged histogram so it reaches
+        // `--telemetry-wall` archives without touching the deterministic
+        // form.
+        let dps = if wall > 0.0 {
+            campaign.stats.domain_days as f64 / wall
+        } else {
+            0.0
+        };
+        CAMPAIGN_DOMAINS_PER_SEC.observe(dps as u64);
         eprintln!(
-            "[repro] daily campaign: {} attempts over {} days in {:.1}s",
+            "[repro] daily campaign: {} attempts over {} days in {:.1}s \
+             ({} shards, {} domain-days, {:.0} domain-days/s, \
+             peak {} live stream entries)",
             campaign.attempts,
             campaign.days,
-            t.elapsed().as_secs_f64(),
+            wall,
+            campaign.stats.shards,
+            campaign.stats.domain_days,
+            dps,
+            campaign.stats.peak_live_entries,
         );
+    }
+    if args.experiment == "campaign" {
+        // Explicit-only, like `ablation`: stdout is exactly one JSON
+        // document (schema campaign/v1), every field a pure function of
+        // (seed, size, days) — CI compares it across worker counts.
+        ran = true;
+        let campaign = ctx.campaign();
+        let spans = &campaign.spans;
+        let mut top = ts_core::stream::TopK::new(10);
+        for (domain, ds) in spans.stek.domain_spans() {
+            top.push(&domain, ds.max_span_days);
+        }
+        let top_reusers = Json::Array(
+            top.into_vec()
+                .into_iter()
+                .map(|(domain, span)| {
+                    Json::obj(vec![
+                        ("domain", Json::str(domain)),
+                        ("span_days", Json::uint(span)),
+                    ])
+                })
+                .collect(),
+        );
+        let report = Json::obj(vec![
+            ("schema", Json::str("campaign/v1")),
+            ("size", Json::uint(args.size as u64)),
+            ("seed", Json::uint(args.seed)),
+            ("days", Json::uint(campaign.days)),
+            ("shards", Json::uint(campaign.stats.shards as u64)),
+            ("domains", Json::uint(campaign.stats.domains as u64)),
+            ("domain_days", Json::uint(campaign.stats.domain_days)),
+            ("attempts", Json::uint(campaign.attempts)),
+            ("stek_pairs", Json::uint(spans.stek.pair_count() as u64)),
+            ("dhe_pairs", Json::uint(spans.dhe.pair_count() as u64)),
+            ("ecdhe_pairs", Json::uint(spans.ecdhe.pair_count() as u64)),
+            ("stek_groups", Json::uint(campaign.stek_groups.len() as u64)),
+            ("dh_groups", Json::uint(campaign.dh_groups.len() as u64)),
+            ("hinted_domains", Json::uint(campaign.hints.len() as u64)),
+            (
+                "peak_live_entries",
+                Json::uint(campaign.stats.peak_live_entries as u64),
+            ),
+            (
+                "evicted_group_ids",
+                Json::uint(campaign.stats.evicted_group_ids),
+            ),
+            ("top_stek_reusers", top_reusers),
+        ]);
+        println!("{}", report.to_json_string());
     }
     if run("fig3") {
         ran = true;
@@ -417,6 +534,10 @@ fn main() {
         std::process::exit(2);
     }
 
+    if let Some(kb) = peak_rss_kb() {
+        PROCESS_PEAK_RSS_KB.observe(kb);
+        eprintln!("[repro] peak RSS {kb} kB (VmHWM)");
+    }
     let snap = ts_telemetry::snapshot();
     let handshakes = snap.counter("simnet.connect.ok");
     let resumptions = snap.counter("tls.server.resume.ticket.hit")
@@ -429,9 +550,11 @@ fn main() {
         snap.counter("tls.stek.rotations"),
     );
     if let Some(path) = &args.telemetry_json {
-        // Deterministic form: wall-clock durations excluded, so the file
-        // is byte-identical for a fixed (seed, size, experiment).
-        let json = snap.to_json(false).to_json_string();
+        // Deterministic form by default: wall-clock durations (and the
+        // wall-flagged perf histograms) excluded, so the file is
+        // byte-identical for a fixed (seed, size, experiment).
+        // `--telemetry-wall` opts into the full form for perf archives.
+        let json = snap.to_json(args.telemetry_wall).to_json_string();
         std::fs::write(path, json).expect("write telemetry json");
         eprintln!("[repro] telemetry snapshot written to {path}");
     }
